@@ -1,0 +1,39 @@
+//! Criterion kernel for Figures 1–2: one DFS window of co-simulation under
+//! the reactive baseline and the Pro-Temp controller.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protemp::prelude::*;
+use protemp_bench::{build_small_table, control_config, platform};
+use protemp_sim::{run_simulation, BasicDfs, FirstIdle, SimConfig};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
+
+fn bench(c: &mut Criterion) {
+    let platform = platform();
+    let trace = TraceGenerator::new(1).generate(&BenchmarkProfile::compute_intensive(), 0.5, 8);
+    let cfg = SimConfig {
+        max_duration_s: 0.5,
+        ..SimConfig::default()
+    };
+    let table = build_small_table(&control_config());
+
+    let mut g = c.benchmark_group("fig01_02_traces");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("basic_dfs_half_second", |b| {
+        b.iter(|| {
+            let mut p = BasicDfs::default();
+            run_simulation(&platform, &trace, &mut p, &mut FirstIdle, &cfg).expect("sim")
+        })
+    });
+    g.bench_function("protemp_half_second", |b| {
+        b.iter(|| {
+            let mut p = ProTempController::new(table.clone());
+            run_simulation(&platform, &trace, &mut p, &mut FirstIdle, &cfg).expect("sim")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

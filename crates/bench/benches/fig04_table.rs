@@ -1,0 +1,27 @@
+//! Criterion kernel for Figure 4: one Phase-1 design-point solve and a
+//! run-time table lookup.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use protemp::prelude::*;
+use protemp::solve_assignment;
+use protemp_bench::{build_small_table, control_config, platform};
+
+fn bench(c: &mut Criterion) {
+    let ctx = AssignmentContext::new(&platform(), &control_config()).expect("ctx");
+    let table = build_small_table(&control_config());
+
+    let mut g = c.benchmark_group("fig04_table");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("design_point_solve", |b| {
+        b.iter(|| solve_assignment(&ctx, black_box(70.0), black_box(0.5e9)).expect("solve"))
+    });
+    g.bench_function("table_lookup", |b| {
+        b.iter(|| table.lookup(black_box(78.3), black_box(0.61e9)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion kernel for Figure 6: band accounting over a short
+//! three-policy comparison.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protemp_bench::platform;
+use protemp_sim::{run_simulation, BandOccupancy, FirstIdle, NoTc, SimConfig};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
+
+fn bench(c: &mut Criterion) {
+    let platform = platform();
+    let trace = TraceGenerator::new(2).generate(&BenchmarkProfile::multimedia(), 0.5, 8);
+    let cfg = SimConfig {
+        max_duration_s: 0.5,
+        ..SimConfig::default()
+    };
+
+    let mut g = c.benchmark_group("fig06_bands");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("sim_with_band_accounting", |b| {
+        b.iter(|| {
+            let mut p = NoTc;
+            run_simulation(&platform, &trace, &mut p, &mut FirstIdle, &cfg).expect("sim")
+        })
+    });
+    g.bench_function("band_record_million", |b| {
+        b.iter(|| {
+            let mut bands = BandOccupancy::paper_bands();
+            for i in 0..1_000_000u32 {
+                bands.record(60.0 + (i % 60) as f64, 4e-4);
+            }
+            bands.fractions()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

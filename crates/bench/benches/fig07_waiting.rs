@@ -1,0 +1,22 @@
+//! Criterion kernel for Figure 7: waiting-time statistics collection.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use protemp_sim::WaitingStats;
+
+fn bench(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..100_000u64)
+        .map(|i| ((i.wrapping_mul(2654435761)) % 100_000) as f64)
+        .collect();
+
+    let mut g = c.benchmark_group("fig07_waiting");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    g.bench_function("waiting_stats_100k", |b| {
+        b.iter(|| WaitingStats::from_samples(black_box(samples.clone())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

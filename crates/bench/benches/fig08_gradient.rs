@@ -1,0 +1,35 @@
+//! Criterion kernel for Figure 8: the gradient-constrained convex solve
+//! (objective (5) with the pairwise Equation (4) rows) vs the plain
+//! model (3) — an ablation of the paper's gradient extension.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protemp::prelude::*;
+use protemp::solve_assignment;
+use protemp_bench::platform;
+
+fn bench(c: &mut Criterion) {
+    let with_grad = AssignmentContext::new(&platform(), &ControlConfig::default()).expect("ctx");
+    let no_grad = AssignmentContext::new(
+        &platform(),
+        &ControlConfig {
+            tgrad_weight: 0.0,
+            ..ControlConfig::default()
+        },
+    )
+    .expect("ctx");
+
+    let mut g = c.benchmark_group("fig08_gradient");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("solve_with_gradient_constraints", |b| {
+        b.iter(|| solve_assignment(&with_grad, 70.0, 0.4e9).expect("solve"))
+    });
+    g.bench_function("solve_without_gradient_constraints", |b| {
+        b.iter(|| solve_assignment(&no_grad, 70.0, 0.4e9).expect("solve"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion kernel for Figures 9–10: one feasibility probe (phase-I only)
+//! of the frontier bisection, uniform vs variable.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protemp::check_feasible;
+use protemp::prelude::*;
+use protemp_bench::platform;
+
+fn bench(c: &mut Criterion) {
+    let var = AssignmentContext::new(&platform(), &ControlConfig::default()).expect("ctx");
+    let uni = AssignmentContext::new(
+        &platform(),
+        &ControlConfig {
+            mode: FreqMode::Uniform,
+            ..ControlConfig::default()
+        },
+    )
+    .expect("ctx");
+
+    let mut g = c.benchmark_group("fig09_10_frontier");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("feasibility_probe_variable", |b| {
+        b.iter(|| check_feasible(&var, 80.0, 0.45e9).expect("probe"))
+    });
+    g.bench_function("feasibility_probe_uniform", |b| {
+        b.iter(|| check_feasible(&uni, 80.0, 0.45e9).expect("probe"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

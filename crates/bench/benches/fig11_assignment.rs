@@ -1,0 +1,45 @@
+//! Criterion kernel for Figure 11: assignment-policy decision cost and a
+//! short co-simulation under each policy.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use protemp_bench::platform;
+use protemp_sim::{
+    run_simulation, AssignmentPolicy, BasicDfs, CoolestFirst, FirstIdle, SimConfig,
+};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
+
+fn bench(c: &mut Criterion) {
+    let platform = platform();
+    let trace = TraceGenerator::new(3).generate(&BenchmarkProfile::web_serving(), 0.5, 8);
+    let cfg = SimConfig {
+        max_duration_s: 0.5,
+        ..SimConfig::default()
+    };
+
+    let mut g = c.benchmark_group("fig11_assignment");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("pick_coolest_of_8", |b| {
+        let temps = [81.0, 75.5, 92.3, 66.0, 71.2, 88.8, 69.9, 73.4];
+        let idle = [0usize, 1, 3, 4, 6, 7];
+        let mut policy = CoolestFirst;
+        b.iter(|| policy.pick(black_box(&idle), black_box(&temps)))
+    });
+    g.bench_function("sim_coolest_first", |b| {
+        b.iter(|| {
+            let mut p = BasicDfs::default();
+            run_simulation(&platform, &trace, &mut p, &mut CoolestFirst, &cfg).expect("sim")
+        })
+    });
+    g.bench_function("sim_first_idle", |b| {
+        b.iter(|| {
+            let mut p = BasicDfs::default();
+            run_simulation(&platform, &trace, &mut p, &mut FirstIdle, &cfg).expect("sim")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks of the substrates every figure rests on: thermal
+//! stepping, linear algebra kernels, trace generation and reachability.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use protemp_bench::platform;
+use protemp_floorplan::niagara::niagara8;
+use protemp_linalg::{expm, Cholesky, Lu, Matrix};
+use protemp_thermal::{AffineReach, DiscreteModel, IntegrationMethod, RcNetwork, ThermalConfig};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
+
+fn bench(c: &mut Criterion) {
+    let net = RcNetwork::from_floorplan(&niagara8(), &ThermalConfig::default());
+    let model = DiscreteModel::new(&net, 0.4e-3, IntegrationMethod::ForwardEuler).expect("model");
+    let t0 = net.uniform_state(60.0);
+    let u = net
+        .input_vector(&net.full_power_vector(3.0))
+        .expect("input");
+
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    g.bench_function("thermal_step_37_nodes", |b| {
+        b.iter(|| model.step(black_box(&t0), black_box(&u)))
+    });
+    g.bench_function("thermal_window_250_steps", |b| {
+        b.iter(|| model.simulate(black_box(&t0), black_box(&u), 250))
+    });
+    g.bench_function("reach_build_250", |b| {
+        b.iter(|| AffineReach::new(&net, &model, 250).expect("reach"))
+    });
+    g.bench_function("steady_state_solve", |b| {
+        b.iter(|| net.steady_state(black_box(&net.full_power_vector(3.0))).expect("ss"))
+    });
+
+    // Linear algebra on thermal-sized matrices.
+    let n = net.num_nodes();
+    let spd = {
+        let m = net.system_matrix();
+        let mut a = m.transpose().matmul(&m).expect("square");
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        a
+    };
+    g.bench_function("cholesky_37", |b| {
+        b.iter(|| Cholesky::factor(black_box(&spd)).expect("chol"))
+    });
+    g.bench_function("lu_37", |b| {
+        b.iter(|| Lu::factor(black_box(&spd)).expect("lu"))
+    });
+    g.bench_function("expm_37", |b| {
+        b.iter(|| expm(black_box(&net.system_matrix().scale(-0.4e-3))).expect("expm"))
+    });
+    g.bench_function("matmul_37", |b| {
+        let m = Matrix::identity(n);
+        b.iter(|| spd.matmul(black_box(&m)).expect("matmul"))
+    });
+
+    // Trace generation (the paper's 60 k-task scale, shortened).
+    g.bench_function("trace_gen_1s_compute", |b| {
+        b.iter(|| {
+            TraceGenerator::new(9).generate(&BenchmarkProfile::compute_intensive(), 1.0, 8)
+        })
+    });
+
+    let _ = platform();
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

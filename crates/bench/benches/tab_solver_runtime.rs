@@ -1,0 +1,29 @@
+//! Criterion kernel for the Section 5.1 design-time cost: solver runtime
+//! scaling with the constraint horizon (paper: 250 steps per 100 ms window).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protemp::prelude::*;
+use protemp::solve_assignment;
+use protemp_bench::platform;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab_solver_runtime");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    // Horizon scaling: fewer steps = shorter DFS window at the same dt.
+    for (label, window_us) in [("m=63", 25_200u64), ("m=125", 50_000), ("m=250", 100_000)] {
+        let cfg = ControlConfig {
+            dfs_period_us: window_us,
+            ..ControlConfig::default()
+        };
+        let ctx = AssignmentContext::new(&platform(), &cfg).expect("ctx");
+        g.bench_with_input(BenchmarkId::new("horizon", label), &ctx, |b, ctx| {
+            b.iter(|| solve_assignment(ctx, 70.0, 0.4e9).expect("solve"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

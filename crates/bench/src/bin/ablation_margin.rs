@@ -1,0 +1,58 @@
+//! **Ablation (DESIGN.md §5, decision 4)** — cost of the paper's
+//! single-starting-temperature simplification.
+//!
+//! Phase 1 assumes *every* thermal node starts at the maximum core
+//! temperature. That is conservative (the spreader and sink are really
+//! cooler), so the controller leaves performance on the table; the safety
+//! margin `margin_c` also adds conservatism but protects against sensor
+//! noise. This ablation sweeps the margin and reports the
+//! violations/performance trade-off.
+
+use protemp::prelude::*;
+use protemp_bench::{compute_trace, platform, run_policy, write_csv};
+use protemp_sim::FirstIdle;
+
+fn main() {
+    let trace = compute_trace(30.0);
+    let mut rows = Vec::new();
+    println!("margin_c | feasible cells | peak C | >100C % | mean wait ms");
+    for margin in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let cfg = ControlConfig {
+            margin_c: margin,
+            ..ControlConfig::default()
+        };
+        let ctx = AssignmentContext::new(&platform(), &cfg).expect("ctx");
+        let (table, _) = TableBuilder::new()
+            .tstarts(vec![55.0, 70.0, 80.0, 85.0, 90.0, 95.0, 100.0])
+            .ftargets(vec![0.2e9, 0.4e9, 0.6e9, 0.8e9, 1.0e9])
+            .build(&ctx)
+            .expect("table");
+        let mut policy = ProTempController::new(table.clone());
+        let r = run_policy(&trace, &mut policy, &mut FirstIdle, false);
+        println!(
+            "{margin:8.1} | {:14} | {:6.2} | {:7.3} | {:12.1}",
+            table.feasible_count(),
+            r.peak_temp_c,
+            r.violation_fraction * 100.0,
+            r.waiting.mean_us / 1e3
+        );
+        rows.push(format!(
+            "{margin},{},{:.3},{:.6},{:.3}",
+            table.feasible_count(),
+            r.peak_temp_c,
+            r.violation_fraction,
+            r.waiting.mean_us / 1e3
+        ));
+        assert_eq!(
+            r.violation_fraction, 0.0,
+            "the guarantee must hold at every margin (uniform-start already conservative)"
+        );
+    }
+    write_csv(
+        "ablation_margin.csv",
+        "margin_c,feasible_cells,peak_c,violation_frac,mean_wait_ms",
+        &rows,
+    );
+    println!("\nconclusion: the uniform-start assumption alone already upholds the");
+    println!("guarantee (0 violations at margin 0); larger margins only trade waiting time.");
+}

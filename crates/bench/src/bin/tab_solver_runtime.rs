@@ -1,0 +1,55 @@
+//! **Section 5.1 (design time)** — solver runtime per design point and
+//! total Phase-1 time.
+//!
+//! Paper: "the solver takes less than 2 minutes to determine the optimal
+//! solution" per point (2007-era CVX/MATLAB) and "the total time taken to
+//! perform phase 1 of the method is few hours". Our from-scratch
+//! interior-point solver on the eliminated-state formulation solves each
+//! point in seconds; the shape to preserve is that Phase 1 is an offline,
+//! once-per-platform cost.
+
+use std::time::Instant;
+
+use protemp::prelude::*;
+use protemp::{solve_assignment, AssignmentContext};
+use protemp_bench::{control_config, platform, write_csv};
+
+fn main() {
+    let ctx = AssignmentContext::new(&platform(), &control_config()).expect("ctx");
+
+    // Per-point timings across the temperature range.
+    println!("Section 5.1 — per-point solve time (250-step horizon, gradient constraints on):");
+    let mut rows = Vec::new();
+    for (t, f) in [
+        (40.0, 0.8e9),
+        (60.0, 0.6e9),
+        (80.0, 0.5e9),
+        (90.0, 0.3e9),
+        (97.0, 0.1e9),
+    ] {
+        let t0 = Instant::now();
+        let sol = solve_assignment(&ctx, t, f).expect("solve");
+        let dt = t0.elapsed().as_secs_f64();
+        let status = if sol.is_some() { "feasible" } else { "infeasible" };
+        println!("  tstart {t:5.1} C, ftarget {:6.0} MHz: {dt:6.2} s ({status})", f / 1e6);
+        rows.push(format!("{t},{:.0},{dt:.3},{status}", f / 1e6));
+    }
+    write_csv(
+        "tab_solver_runtime.csv",
+        "tstart_c,ftarget_mhz,solve_s,status",
+        &rows,
+    );
+
+    // Full Phase-1 build with the default grids.
+    let t0 = Instant::now();
+    let (table, stats) = TableBuilder::new().build(&ctx).expect("build");
+    println!(
+        "\nPhase-1 build: {} points ({} feasible) in {:.1} s wall \
+         (mean {:.2} s/point, max {:.2} s; paper: <2 min/point, hours total)",
+        stats.points,
+        table.feasible_count(),
+        t0.elapsed().as_secs_f64(),
+        stats.mean_point_s,
+        stats.max_point_s
+    );
+}

@@ -1,0 +1,32 @@
+//! End-to-end smoke: table-driven Pro-Temp vs Basic-DFS vs No-TC on a
+//! compute-intensive trace (the paper's headline comparison).
+//!
+//! Run with `cargo run -p protemp --release --example probe_endtoend`.
+use protemp::prelude::*;
+use protemp_sim::{run_simulation, BasicDfs, FirstIdle, NoTc, SimConfig};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
+use std::time::Instant;
+
+fn main() {
+    let platform = Platform::niagara8();
+    let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+    let t0 = Instant::now();
+    let (table, stats) = TableBuilder::new().build(&ctx).unwrap();
+    println!("table: {} points ({} feasible) in {:.1}s (mean {:.2}s/pt)",
+             stats.points, stats.feasible, t0.elapsed().as_secs_f64(), stats.mean_point_s);
+
+    let trace = TraceGenerator::new(11).generate(&BenchmarkProfile::compute_intensive(), 60.0, 8);
+    let cfg = SimConfig { max_duration_s: 200.0, t_init_c: 70.0, ..SimConfig::default() };
+
+    for (name, mut policy) in [
+        ("no-tc", Box::new(NoTc) as Box<dyn protemp_sim::DfsPolicy>),
+        ("basic-dfs", Box::new(BasicDfs::default())),
+        ("pro-temp", Box::new(ProTempController::new(table.clone()))),
+    ] {
+        let r = run_simulation(&platform, &trace, policy.as_mut(), &mut FirstIdle, &cfg).unwrap();
+        let f = r.bands_avg.fractions();
+        println!("{name:10}: peak {:6.2}C viol {:6.3}% bands [<80 {:.2} 80-90 {:.2} 90-100 {:.2} >100 {:.3}] wait {:.1}ms done {}/{} dur {:.1}s grad {:.2}C",
+                 r.peak_temp_c, r.violation_fraction * 100.0, f[0], f[1], f[2], f[3],
+                 r.waiting.mean_us / 1e3, r.completed, r.completed + r.unfinished, r.duration_s, r.mean_gradient_c);
+    }
+}

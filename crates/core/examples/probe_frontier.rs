@@ -1,0 +1,12 @@
+//! Prints the feasibility frontier for the default platform (debug aid).
+use protemp::frontier::max_supported_frequency;
+use protemp::{AssignmentContext, ControlConfig};
+use protemp_sim::Platform;
+
+fn main() {
+    let ctx = AssignmentContext::new(&Platform::niagara8(), &ControlConfig::default()).unwrap();
+    for t in [27.0, 37.0, 47.0, 57.0, 67.0, 77.0, 87.0, 92.0, 97.0] {
+        let f = max_supported_frequency(&ctx, t, 10e6).unwrap();
+        println!("tstart {t:5.1} C -> max avg freq {:7.1} MHz", f / 1e6);
+    }
+}

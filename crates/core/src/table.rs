@@ -1,0 +1,317 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{FreqMode, FrequencyAssignment};
+
+/// The Phase-1 output: a grid of frequency assignments indexed by starting
+/// temperature and target average frequency (the paper's Figure 4).
+///
+/// Rows are starting temperatures (ascending), columns target frequencies
+/// (ascending); `None` cells are design points the optimizer reported
+/// infeasible.
+///
+/// # Lookup semantics (Section 3.3)
+///
+/// [`FrequencyTable::lookup`] rounds the measured maximum temperature *up*
+/// to the next grid row (conservative: hotter rows allow less) and the
+/// required frequency *up* to the next grid column (serve at least the
+/// demand); if that cell is infeasible it walks *down* the frequency
+/// columns — "the unit chooses the next lower frequency point in the table
+/// that can support the temperature constraints". If the temperature
+/// exceeds the hottest row, or no column is feasible, the outcome is
+/// [`LookupOutcome::Shutdown`].
+///
+/// # Example
+///
+/// ```
+/// use protemp::{FrequencyAssignment, FrequencyTable, FreqMode, LookupOutcome};
+///
+/// let assignment = FrequencyAssignment {
+///     freqs_hz: vec![0.5e9; 8],
+///     powers_w: vec![1.0; 8],
+///     tgrad_c: None,
+///     objective: 8.0,
+/// };
+/// let table = FrequencyTable::new(
+///     vec![60.0, 100.0],
+///     vec![0.5e9],
+///     vec![Some(assignment.clone()), Some(assignment)],
+///     FreqMode::Variable,
+/// );
+/// match table.lookup(55.0, 0.3e9) {
+///     LookupOutcome::Run { freqs_hz, .. } => assert_eq!(freqs_hz[0], 0.5e9),
+///     _ => panic!("expected a feasible entry"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyTable {
+    tstarts_c: Vec<f64>,
+    ftargets_hz: Vec<f64>,
+    /// Row-major: `entries[row * ftargets.len() + col]`.
+    entries: Vec<Option<FrequencyAssignment>>,
+    mode: FreqMode,
+}
+
+/// Result of a run-time table lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LookupOutcome {
+    /// Run the cores at the given frequencies.
+    Run {
+        /// Per-core frequencies, Hz.
+        freqs_hz: Vec<f64>,
+        /// Grid row (starting temperature) used, °C.
+        tstart_c: f64,
+        /// Grid column (target frequency) used, Hz.
+        ftarget_hz: f64,
+        /// `true` when the requested frequency had to be degraded to a
+        /// lower feasible column.
+        degraded: bool,
+    },
+    /// No feasible entry: shut every core down for this window.
+    Shutdown,
+}
+
+impl FrequencyTable {
+    /// Assembles a table from grids and row-major entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids are not strictly ascending or the entry count
+    /// is not `rows × cols`.
+    pub fn new(
+        tstarts_c: Vec<f64>,
+        ftargets_hz: Vec<f64>,
+        entries: Vec<Option<FrequencyAssignment>>,
+        mode: FreqMode,
+    ) -> Self {
+        assert!(
+            tstarts_c.windows(2).all(|w| w[0] < w[1]),
+            "temperature grid must be strictly ascending"
+        );
+        assert!(
+            ftargets_hz.windows(2).all(|w| w[0] < w[1]),
+            "frequency grid must be strictly ascending"
+        );
+        assert_eq!(
+            entries.len(),
+            tstarts_c.len() * ftargets_hz.len(),
+            "entry count must be rows × cols"
+        );
+        FrequencyTable {
+            tstarts_c,
+            ftargets_hz,
+            entries,
+            mode,
+        }
+    }
+
+    /// The temperature grid (rows), °C.
+    pub fn tstarts_c(&self) -> &[f64] {
+        &self.tstarts_c
+    }
+
+    /// The target-frequency grid (columns), Hz.
+    pub fn ftargets_hz(&self) -> &[f64] {
+        &self.ftargets_hz
+    }
+
+    /// Frequency-assignment mode the table was built with.
+    pub fn mode(&self) -> FreqMode {
+        self.mode
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn entry(&self, row: usize, col: usize) -> Option<&FrequencyAssignment> {
+        self.entries[row * self.ftargets_hz.len() + col].as_ref()
+    }
+
+    /// Number of feasible cells.
+    pub fn feasible_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the table has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Run-time lookup (see the type-level docs for the exact semantics).
+    pub fn lookup(&self, max_core_temp_c: f64, required_freq_hz: f64) -> LookupOutcome {
+        // Round temperature UP to the next grid row.
+        let Some(row) = self
+            .tstarts_c
+            .iter()
+            .position(|&t| t >= max_core_temp_c)
+        else {
+            // Hotter than the hottest modeled row: shut down.
+            return LookupOutcome::Shutdown;
+        };
+
+        // Desired column: smallest ftarget ≥ demand (or the highest column
+        // if demand exceeds the grid).
+        let ncols = self.ftargets_hz.len();
+        let desired = self
+            .ftargets_hz
+            .iter()
+            .position(|&f| f >= required_freq_hz)
+            .unwrap_or(ncols - 1);
+
+        // Walk down until a feasible cell is found.
+        for col in (0..=desired).rev() {
+            if let Some(a) = self.entry(row, col) {
+                return LookupOutcome::Run {
+                    freqs_hz: a.freqs_hz.clone(),
+                    tstart_c: self.tstarts_c[row],
+                    ftarget_hz: self.ftargets_hz[col],
+                    degraded: col < desired,
+                };
+            }
+        }
+        LookupOutcome::Shutdown
+    }
+
+    /// Renders the table in the paper's Figure 4 layout (rows = starting
+    /// temperatures, columns = target frequencies, cells = MHz vectors or
+    /// `--` for infeasible).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("tstart\\ftarget");
+        for f in &self.ftargets_hz {
+            out.push_str(&format!(" | {:>7.0} MHz", f / 1e6));
+        }
+        out.push('\n');
+        for (r, t) in self.tstarts_c.iter().enumerate() {
+            out.push_str(&format!("<= {t:>5.1} C   "));
+            for c in 0..self.ftargets_hz.len() {
+                match self.entry(r, c) {
+                    Some(a) => {
+                        let avg = a.avg_freq_hz() / 1e6;
+                        out.push_str(&format!(" | avg {avg:>5.0}"));
+                    }
+                    None => out.push_str(" |      --"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asg(f_mhz: f64) -> FrequencyAssignment {
+        FrequencyAssignment {
+            freqs_hz: vec![f_mhz * 1e6; 8],
+            powers_w: vec![1.0; 8],
+            tgrad_c: Some(2.0),
+            objective: 8.0,
+        }
+    }
+
+    /// 2 rows (60, 100 °C) × 3 cols (300, 600, 900 MHz); the hot row only
+    /// supports the lowest column.
+    fn table() -> FrequencyTable {
+        FrequencyTable::new(
+            vec![60.0, 100.0],
+            vec![0.3e9, 0.6e9, 0.9e9],
+            vec![
+                Some(asg(300.0)),
+                Some(asg(600.0)),
+                Some(asg(900.0)),
+                Some(asg(300.0)),
+                None,
+                None,
+            ],
+            FreqMode::Variable,
+        )
+    }
+
+    #[test]
+    fn exact_match_lookup() {
+        let t = table();
+        match t.lookup(50.0, 0.6e9) {
+            LookupOutcome::Run {
+                ftarget_hz,
+                degraded,
+                ..
+            } => {
+                assert_eq!(ftarget_hz, 0.6e9);
+                assert!(!degraded);
+            }
+            _ => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn demand_rounds_up() {
+        let t = table();
+        match t.lookup(50.0, 0.45e9) {
+            LookupOutcome::Run { ftarget_hz, .. } => assert_eq!(ftarget_hz, 0.6e9),
+            _ => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn hot_row_degrades_to_lower_column() {
+        let t = table();
+        match t.lookup(90.0, 0.9e9) {
+            LookupOutcome::Run {
+                ftarget_hz,
+                degraded,
+                tstart_c,
+                ..
+            } => {
+                assert_eq!(tstart_c, 100.0); // rounded up from 90
+                assert_eq!(ftarget_hz, 0.3e9); // degraded twice
+                assert!(degraded);
+            }
+            _ => panic!("expected degraded run"),
+        }
+    }
+
+    #[test]
+    fn beyond_hottest_row_shuts_down() {
+        let t = table();
+        assert_eq!(t.lookup(101.0, 0.3e9), LookupOutcome::Shutdown);
+    }
+
+    #[test]
+    fn demand_above_grid_uses_top_column() {
+        let t = table();
+        match t.lookup(50.0, 2.0e9) {
+            LookupOutcome::Run { ftarget_hz, .. } => assert_eq!(ftarget_hz, 0.9e9),
+            _ => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn counts_and_render() {
+        let t = table();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.feasible_count(), 4);
+        let s = t.render();
+        assert!(s.contains("--"));
+        assert!(s.contains("MHz"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_grid_rejected() {
+        let _ = FrequencyTable::new(
+            vec![100.0, 60.0],
+            vec![0.3e9],
+            vec![None, None],
+            FreqMode::Variable,
+        );
+    }
+}

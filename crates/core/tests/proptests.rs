@@ -1,0 +1,136 @@
+//! Property-based tests for the Pro-Temp core: table lookup semantics and
+//! optimizer certificates that must hold at any feasible design point.
+
+use proptest::prelude::*;
+use protemp::prelude::*;
+use protemp::{solve_assignment, FrequencyAssignment, LookupOutcome};
+
+fn mk_assignment(avg_mhz: f64) -> FrequencyAssignment {
+    FrequencyAssignment {
+        freqs_hz: vec![avg_mhz * 1e6; 8],
+        powers_w: vec![4.0 * (avg_mhz / 1000.0) * (avg_mhz / 1000.0); 8],
+        tgrad_c: Some(1.0),
+        objective: 1.0,
+    }
+}
+
+/// A synthetic but structurally valid table: rows hotter → fewer feasible
+/// columns (monotone, like a real build).
+fn synthetic_table(rows: usize, cols: usize) -> FrequencyTable {
+    let tstarts: Vec<f64> = (0..rows).map(|r| 50.0 + 10.0 * r as f64).collect();
+    let ftargets: Vec<f64> = (0..cols).map(|c| 0.1e9 * (c as f64 + 1.0)).collect();
+    let mut entries = Vec::new();
+    for r in 0..rows {
+        // Hotter rows support fewer columns.
+        let feasible_cols = cols.saturating_sub(r);
+        for c in 0..cols {
+            entries.push(if c < feasible_cols {
+                Some(mk_assignment(ftargets[c] / 1e6))
+            } else {
+                None
+            });
+        }
+    }
+    FrequencyTable::new(tstarts, ftargets, entries, FreqMode::Variable)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lookups never land in a row cooler than the measurement (that would
+    /// break the guarantee) and never return an infeasible cell.
+    #[test]
+    fn lookup_is_conservative(rows in 2usize..6, cols in 2usize..6,
+                              temp in 40.0..130.0f64, freq in 0.0..1.4e9) {
+        let table = synthetic_table(rows, cols);
+        match table.lookup(temp, freq) {
+            LookupOutcome::Run { tstart_c, ftarget_hz, freqs_hz, .. } => {
+                prop_assert!(tstart_c >= temp, "row must round up");
+                prop_assert!(!freqs_hz.is_empty());
+                // The chosen column is one of the grid points.
+                prop_assert!(table.ftargets_hz().contains(&ftarget_hz));
+            }
+            LookupOutcome::Shutdown => {
+                // Only allowed when hotter than the grid, or nothing
+                // feasible in the (rounded-up) row.
+                let hotter = temp > *table.tstarts_c().last().unwrap();
+                if !hotter {
+                    let row = table.tstarts_c().iter().position(|&t| t >= temp).unwrap();
+                    let any_feasible = (0..table.ftargets_hz().len())
+                        .any(|c| table.entry(row, c).is_some());
+                    prop_assert!(!any_feasible, "shutdown only when the row is empty");
+                }
+            }
+        }
+    }
+
+    /// Degradation only happens when the desired column is infeasible, and
+    /// the result is then the highest feasible column below it.
+    #[test]
+    fn degradation_picks_highest_feasible(rows in 2usize..6, cols in 3usize..6,
+                                          temp in 40.0..100.0f64) {
+        let table = synthetic_table(rows, cols);
+        let demand = *table.ftargets_hz().last().unwrap();
+        if let LookupOutcome::Run { ftarget_hz, degraded, tstart_c, .. } = table.lookup(temp, demand) {
+            let row = table.tstarts_c().iter().position(|&t| t == tstart_c).unwrap();
+            let col = table.ftargets_hz().iter().position(|&f| f == ftarget_hz).unwrap();
+            if degraded {
+                // Nothing feasible above the chosen column.
+                for c in (col + 1)..table.ftargets_hz().len() {
+                    prop_assert!(table.entry(row, c).is_none());
+                }
+            } else {
+                prop_assert_eq!(ftarget_hz, demand);
+            }
+        }
+    }
+}
+
+/// Optimizer certificates on a sparse sample of real design points (kept
+/// small: each case is a full interior-point solve).
+#[test]
+fn optimizer_certificates_hold_on_sampled_points() {
+    let platform = Platform::niagara8();
+    let cfg = ControlConfig::default();
+    let ctx = AssignmentContext::new(&platform, &cfg).expect("ctx");
+    for (tstart, fr) in [(55.0, 0.55e9), (70.0, 0.45e9), (82.0, 0.35e9)] {
+        let Some(a) = solve_assignment(&ctx, tstart, fr).expect("solve") else {
+            panic!("({tstart}, {fr}) should be feasible");
+        };
+        // 1. Workload certificate.
+        assert!(
+            a.avg_freq_hz() >= fr * 0.995,
+            "workload met at ({tstart}, {fr})"
+        );
+        // 2. Power-coupling certificate: p within tolerance of q f².
+        for (f, p) in a.freqs_hz.iter().zip(&a.powers_w) {
+            let rule = platform.core_power(*f);
+            assert!(
+                *p >= rule - 1e-6 && *p <= rule + 0.12,
+                "power {p} vs rule {rule} at ({tstart}, {fr})"
+            );
+        }
+        // 3. Temperature certificate via independent trajectory check.
+        let offsets = ctx.offsets_for(tstart);
+        for k in (1..=cfg.steps_per_window()).step_by(10) {
+            let pred = ctx.reach().predict(k, &a.powers_w, &offsets);
+            for t in &pred {
+                assert!(*t <= cfg.tmax_c + 1e-6);
+            }
+        }
+        // 4. Gradient certificate: reported tgrad bounds the core spread at
+        //    the (sub-sampled) constraint steps.
+        if let Some(tg) = a.tgrad_c {
+            for k in (1..=cfg.steps_per_window()).step_by(cfg.gradient_stride) {
+                let pred = ctx.reach().predict(k, &a.powers_w, &offsets);
+                let mx = pred.iter().cloned().fold(f64::MIN, f64::max);
+                let mn = pred.iter().cloned().fold(f64::MAX, f64::min);
+                assert!(
+                    mx - mn <= tg + 1e-6,
+                    "gradient {:.4} exceeds bound {tg:.4} at step {k}",
+                    mx - mn
+                );
+            }
+        }
+    }
+}

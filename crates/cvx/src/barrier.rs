@@ -1,0 +1,732 @@
+use protemp_linalg::{vecops, Cholesky, Matrix, Qr};
+
+use crate::{CvxError, Problem, QuadConstraint, Result, Solution, SolveStatus, SolverOptions};
+
+/// Two-phase log-barrier interior-point solver.
+///
+/// Phase I minimizes the worst constraint violation to find a strictly
+/// feasible point (or certify infeasibility); phase II follows the central
+/// path `minimize t·f₀(x) − Σ log(−fᵢ(x))` with damped Newton centering
+/// steps, multiplying `t` by `µ` between centerings until the duality-gap
+/// bound `m/t` meets the tolerance. Equality constraints are eliminated
+/// up-front by a QR nullspace parametrization, so every Newton system is
+/// symmetric positive definite and solved by Cholesky.
+///
+/// This is the algorithm of Boyd & Vandenberghe, *Convex Optimization*,
+/// chapter 11 — the paper's reference \[25\].
+///
+/// # Example
+///
+/// ```
+/// use protemp_cvx::{BarrierSolver, Problem, SolverOptions};
+///
+/// // minimize -x - y  s.t. x + y <= 1, 0 <= x, 0 <= y  (optimum -1)
+/// let mut p = Problem::new(2);
+/// p.set_linear_objective(vec![-1.0, -1.0]);
+/// p.add_linear_le(vec![1.0, 1.0], 1.0);
+/// p.add_box(0, 0.0, f64::INFINITY);
+/// p.add_box(1, 0.0, f64::INFINITY);
+/// let sol = BarrierSolver::new(SolverOptions::default()).solve(&p).unwrap();
+/// assert!((sol.objective + 1.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarrierSolver {
+    opts: SolverOptions,
+}
+
+/// Inequality-only problem data in the (possibly reduced) variable space.
+struct Dense {
+    n: usize,
+    p0: Option<Matrix>,
+    q0: Vec<f64>,
+    lin_rows: Vec<Vec<f64>>,
+    lin_rhs: Vec<f64>,
+    quad: Vec<QuadConstraint>,
+}
+
+impl Dense {
+    fn num_ineq(&self) -> usize {
+        self.lin_rows.len() + self.quad.len()
+    }
+
+    /// Worst constraint value (≤ 0 ⇒ feasible).
+    fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst = f64::NEG_INFINITY;
+        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
+            worst = worst.max(vecops::dot(row, x) - rhs);
+        }
+        for q in &self.quad {
+            worst = worst.max(q.eval(x));
+        }
+        if self.num_ineq() == 0 {
+            f64::NEG_INFINITY
+        } else {
+            worst
+        }
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        let quad = match &self.p0 {
+            Some(p) => 0.5 * vecops::dot(&p.matvec(x), x),
+            None => 0.0,
+        };
+        quad + vecops::dot(&self.q0, x)
+    }
+
+    /// Barrier function `t·f₀(x) − Σ log(sᵢ)`; `None` if any slack ≤ 0.
+    fn barrier_value(&self, t: f64, x: &[f64]) -> Option<f64> {
+        let mut v = t * self.objective(x);
+        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
+            let s = rhs - vecops::dot(row, x);
+            if s <= 0.0 {
+                return None;
+            }
+            v -= s.ln();
+        }
+        for q in &self.quad {
+            let s = -q.eval(x);
+            if s <= 0.0 {
+                return None;
+            }
+            v -= s.ln();
+        }
+        v.is_finite().then_some(v)
+    }
+
+    /// Gradient and Hessian of the barrier function at a strictly feasible x.
+    fn grad_hess(&self, t: f64, x: &[f64]) -> (Vec<f64>, Matrix) {
+        let n = self.n;
+        let mut grad = vec![0.0; n];
+        let mut hess = Matrix::zeros(n, n);
+        // Objective part.
+        if let Some(p) = &self.p0 {
+            let px = p.matvec(x);
+            vecops::axpy(t, &px, &mut grad);
+            hess.axpy(t, p).expect("shape");
+        }
+        vecops::axpy(t, &self.q0, &mut grad);
+        // Linear constraints.
+        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
+            let s = rhs - vecops::dot(row, x);
+            let inv = 1.0 / s;
+            vecops::axpy(inv, row, &mut grad);
+            hess.rank1_update(inv * inv, row);
+        }
+        // Quadratic constraints.
+        for q in &self.quad {
+            let s = -q.eval(x);
+            let inv = 1.0 / s;
+            let g = q.gradient(x);
+            vecops::axpy(inv, &g, &mut grad);
+            hess.rank1_update(inv * inv, &g);
+            hess.axpy(inv, &q.p).expect("shape");
+        }
+        (grad, hess)
+    }
+}
+
+/// Outcome of the inner barrier loop.
+struct BarrierRun {
+    x: Vec<f64>,
+    outer: usize,
+    newton: usize,
+    gap: f64,
+    converged: bool,
+}
+
+impl BarrierSolver {
+    /// Creates a solver with the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options are invalid (programmer error).
+    pub fn new(opts: SolverOptions) -> Self {
+        opts.validate().expect("solver options must validate");
+        BarrierSolver { opts }
+    }
+
+    /// Solves a [`Problem`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::solve`].
+    pub fn solve(&self, prob: &Problem) -> Result<Solution> {
+        self.solve_with_start(prob, None)
+    }
+
+    /// Solves a [`Problem`], optionally warm-starting phase II from `x0`
+    /// (used by the table builder, where neighbouring grid points have
+    /// nearby optima). The warm start is only used if strictly feasible.
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::solve`].
+    pub fn solve_with_start(&self, prob: &Problem, x0: Option<&[f64]>) -> Result<Solution> {
+        prob.validate()?;
+        let n = prob.num_vars();
+
+        // Eliminate equality constraints: x = x_p + F z.
+        let (x_p, f_basis) = reduce_equalities(prob)?;
+        let dense = project_problem(prob, &x_p, f_basis.as_ref());
+        let nz = dense.n;
+
+        // Initial z: user warm start (projected) or zero.
+        let mut z0 = vec![0.0; nz];
+        if let Some(x0) = x0 {
+            if x0.len() == n {
+                z0 = match &f_basis {
+                    Some(f) => {
+                        // z = Fᵀ(x0 − x_p); F has orthonormal columns.
+                        f.matvec_t(&vecops::sub(x0, &x_p))
+                    }
+                    None => x0.to_vec(),
+                };
+            }
+        }
+
+        let mut outer_total = 0;
+        let mut newton_total = 0;
+
+        // Phase I if needed.
+        if dense.num_ineq() > 0 && dense.max_violation(&z0) >= -self.opts.phase1_margin {
+            match self.phase1(&dense, &z0)? {
+                Some((z_feas, o, nsteps)) => {
+                    z0 = z_feas;
+                    outer_total += o;
+                    newton_total += nsteps;
+                }
+                None => return Ok(Solution::infeasible(outer_total, newton_total)),
+            }
+        }
+
+        // Phase II.
+        let run = self.run_barrier(&dense, z0, None)?;
+        outer_total += run.outer;
+        newton_total += run.newton;
+
+        let x = match &f_basis {
+            Some(f) => vecops::add(&x_p, &f.matvec(&run.x)),
+            None => run.x.clone(),
+        };
+        let objective = prob.objective_value(&x);
+        Ok(Solution {
+            status: if run.converged {
+                SolveStatus::Optimal
+            } else {
+                SolveStatus::MaxIterations
+            },
+            x,
+            objective,
+            outer_iterations: outer_total,
+            newton_steps: newton_total,
+            gap_bound: run.gap,
+        })
+    }
+
+    /// Runs phase I only: returns a strictly feasible point for the
+    /// problem's constraints, or `None` when none exists.
+    ///
+    /// This is much cheaper than a full solve and is what the feasibility
+    /// frontier sweeps (paper Figure 9) use for their bisections.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BarrierSolver::solve`].
+    pub fn find_feasible(&self, prob: &Problem) -> Result<Option<Vec<f64>>> {
+        prob.validate()?;
+        let (x_p, f_basis) = reduce_equalities(prob)?;
+        let dense = project_problem(prob, &x_p, f_basis.as_ref());
+        let z0 = vec![0.0; dense.n];
+        if dense.num_ineq() == 0 || dense.max_violation(&z0) < -self.opts.phase1_margin {
+            let x = match &f_basis {
+                Some(f) => vecops::add(&x_p, &f.matvec(&z0)),
+                None => z0,
+            };
+            return Ok(Some(x));
+        }
+        match self.phase1(&dense, &z0)? {
+            Some((z, _, _)) => {
+                let x = match &f_basis {
+                    Some(f) => vecops::add(&x_p, &f.matvec(&z)),
+                    None => z,
+                };
+                Ok(Some(x))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Phase I: minimize s subject to fᵢ(z) ≤ s. Returns a strictly feasible
+    /// z, or `None` when the problem is infeasible.
+    fn phase1(&self, dense: &Dense, z0: &[f64]) -> Result<Option<(Vec<f64>, usize, usize)>> {
+        let nz = dense.n;
+        let n_aug = nz + 1;
+        let mut aug = Dense {
+            n: n_aug,
+            p0: None,
+            q0: {
+                let mut q = vec![0.0; n_aug];
+                q[nz] = 1.0; // minimize s
+                q
+            },
+            lin_rows: Vec::with_capacity(dense.lin_rows.len()),
+            lin_rhs: dense.lin_rhs.clone(),
+            quad: Vec::with_capacity(dense.quad.len()),
+        };
+        for row in &dense.lin_rows {
+            let mut r = row.clone();
+            r.push(-1.0);
+            aug.lin_rows.push(r);
+        }
+        for q in &dense.quad {
+            let mut p = Matrix::zeros(n_aug, n_aug);
+            for r in 0..nz {
+                for c in 0..nz {
+                    p[(r, c)] = q.p[(r, c)];
+                }
+            }
+            let mut qv = q.q.clone();
+            qv.push(-1.0);
+            aug.quad.push(QuadConstraint { p, q: qv, r: q.r });
+        }
+
+        let viol = dense.max_violation(z0);
+        let mut start = z0.to_vec();
+        let s0 = viol + f64::max(1.0, viol.abs() * 0.1);
+        start.push(s0);
+
+        // Start the barrier parameter high enough that the first centering
+        // weights the objective comparably to the (many) barrier terms;
+        // otherwise the analytic center throws `s` far upward and the
+        // solver wastes centerings crawling back down.
+        let t0 = (aug.num_ineq() as f64 / (s0.abs() + 1.0)).max(self.opts.t0);
+        let margin = self.opts.phase1_margin;
+        let run =
+            self.run_barrier_from(&aug, start, t0, Some(&|pt: &[f64]| pt[nz] < -margin))?;
+        if run.x[nz] < -margin {
+            let z = run.x[..nz].to_vec();
+            Ok(Some((z, run.outer, run.newton)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The central-path loop with damped Newton centering.
+    fn run_barrier(
+        &self,
+        dense: &Dense,
+        x0: Vec<f64>,
+        early_exit: Option<&dyn Fn(&[f64]) -> bool>,
+    ) -> Result<BarrierRun> {
+        self.run_barrier_from(dense, x0, self.opts.t0, early_exit)
+    }
+
+    /// As [`Self::run_barrier`] but with an explicit initial barrier
+    /// parameter (phase I chooses a larger one).
+    fn run_barrier_from(
+        &self,
+        dense: &Dense,
+        x0: Vec<f64>,
+        t0: f64,
+        early_exit: Option<&dyn Fn(&[f64]) -> bool>,
+    ) -> Result<BarrierRun> {
+        let o = &self.opts;
+        let m = dense.num_ineq() as f64;
+        let mut x = x0;
+        let mut newton_total = 0;
+
+        // Unconstrained case: a single Newton solve on the objective.
+        if dense.num_ineq() == 0 {
+            let (grad, hess) = dense.grad_hess(1.0, &x);
+            if dense.p0.is_none() {
+                // Pure linear objective with no constraints is unbounded
+                // unless the gradient is zero.
+                if vecops::norm_inf(&grad) > 1e-12 {
+                    return Err(CvxError::NumericalTrouble {
+                        phase: "unconstrained solve (unbounded objective)",
+                    });
+                }
+                return Ok(BarrierRun {
+                    x,
+                    outer: 0,
+                    newton: 0,
+                    gap: 0.0,
+                    converged: true,
+                });
+            }
+            let dx = solve_spd(&hess, &vecops::scale(&grad, -1.0))?;
+            vecops::axpy(1.0, &dx, &mut x);
+            return Ok(BarrierRun {
+                x,
+                outer: 1,
+                newton: 1,
+                gap: 0.0,
+                converged: true,
+            });
+        }
+
+        debug_assert!(
+            dense.max_violation(&x) < 0.0,
+            "barrier loop requires a strictly feasible start"
+        );
+
+        let mut t = t0;
+        let mut outer = 0;
+        loop {
+            // Centering at parameter t.
+            for _ in 0..o.max_newton {
+                let (grad, hess) = dense.grad_hess(t, &x);
+                let dx = solve_spd(&hess, &vecops::scale(&grad, -1.0))?;
+                let lambda2 = -vecops::dot(&grad, &dx);
+                if !lambda2.is_finite() {
+                    return Err(CvxError::NumericalTrouble { phase: "newton" });
+                }
+                if lambda2 / 2.0 <= o.tol_inner {
+                    break;
+                }
+                // Backtracking line search on the barrier function.
+                let psi0 = dense
+                    .barrier_value(t, &x)
+                    .ok_or(CvxError::NumericalTrouble { phase: "line search" })?;
+                let mut alpha = 1.0;
+                let mut accepted = false;
+                while alpha > 1e-14 {
+                    let cand = vecops::add(&x, &vecops::scale(&dx, alpha));
+                    if let Some(psi) = dense.barrier_value(t, &cand) {
+                        if psi <= psi0 - o.armijo * alpha * lambda2 {
+                            x = cand;
+                            accepted = true;
+                            break;
+                        }
+                    }
+                    alpha *= o.beta;
+                }
+                newton_total += 1;
+                if std::env::var_os("PROTEMP_CVX_DEBUG").is_some() && newton_total % 16 == 0 {
+                    eprintln!(
+                        "[newton {newton_total}] t={t:.1e} lambda2={lambda2:.3e} alpha={:.3e} accepted={accepted}",
+                        alpha
+                    );
+                }
+                if !accepted {
+                    // No descent possible: numerically centered already.
+                    break;
+                }
+                if let Some(exit) = early_exit {
+                    if exit(&x) {
+                        return Ok(BarrierRun {
+                            x,
+                            outer,
+                            newton: newton_total,
+                            gap: m / t,
+                            converged: true,
+                        });
+                    }
+                }
+            }
+            outer += 1;
+            if std::env::var_os("PROTEMP_CVX_DEBUG").is_some() {
+                eprintln!(
+                    "[barrier] outer {outer}: t={t:.3e} newton_total={newton_total} x_last={:.6e} obj={:.6e}",
+                    x.last().copied().unwrap_or(f64::NAN),
+                    dense.objective(&x)
+                );
+            }
+            if let Some(exit) = early_exit {
+                if exit(&x) {
+                    return Ok(BarrierRun {
+                        x,
+                        outer,
+                        newton: newton_total,
+                        gap: m / t,
+                        converged: true,
+                    });
+                }
+            }
+            if m / t < o.tol {
+                return Ok(BarrierRun {
+                    x,
+                    outer,
+                    newton: newton_total,
+                    gap: m / t,
+                    converged: true,
+                });
+            }
+            if outer >= o.max_outer {
+                return Ok(BarrierRun {
+                    x,
+                    outer,
+                    newton: newton_total,
+                    gap: m / t,
+                    converged: false,
+                });
+            }
+            t *= o.mu;
+        }
+    }
+}
+
+/// Solves the SPD system `H d = b`.
+///
+/// Barrier Hessians mix enormous curvatures (active constraints with tiny
+/// slacks contribute `1/s²` terms) with nearly flat directions, so the raw
+/// system can span 15+ orders of magnitude. Jacobi scaling `D H D` (unit
+/// diagonal) restores a workable condition number; an escalating ridge on
+/// the scaled system covers the remaining degenerate cases.
+fn solve_spd(h: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = h.rows();
+    let d: Vec<f64> = (0..n)
+        .map(|i| {
+            let v = h[(i, i)];
+            if v > 0.0 && v.is_finite() {
+                1.0 / v.sqrt()
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let hs = Matrix::from_fn(n, n, |r, c| h[(r, c)] * d[r] * d[c]);
+    let bs: Vec<f64> = b.iter().zip(&d).map(|(x, di)| x * di).collect();
+    let mut ridge = 0.0;
+    for _ in 0..10 {
+        match Cholesky::factor_regularized(&hs, ridge) {
+            Ok(ch) => {
+                let y = ch.solve(&bs);
+                return Ok(y.iter().zip(&d).map(|(yi, di)| yi * di).collect());
+            }
+            Err(_) => {
+                ridge = if ridge == 0.0 { 1e-12 } else { ridge * 100.0 };
+            }
+        }
+    }
+    Err(CvxError::NumericalTrouble {
+        phase: "hessian factorization",
+    })
+}
+
+/// Computes a particular solution and nullspace basis for `A x = b`.
+///
+/// Returns `(x_p, None)` with `x_p = 0` when there are no equalities.
+fn reduce_equalities(prob: &Problem) -> Result<(Vec<f64>, Option<Matrix>)> {
+    let n = prob.num_vars();
+    let (rows, rhs) = prob.equalities();
+    if rows.is_empty() {
+        return Ok((vec![0.0; n], None));
+    }
+    let k = rows.len();
+    if k > n {
+        return Err(CvxError::InconsistentEqualities);
+    }
+    // QR of Aᵀ (n × k): A = RᵀQᵀ, so x_p = Q_thin (Rᵀ)⁻¹ b.
+    let at = Matrix::from_fn(n, k, |r, c| rows[c][r]);
+    let qr = Qr::factor(&at)?;
+    let r = qr.r();
+    // Forward substitution on Rᵀ w = b.
+    let mut w = rhs.to_vec();
+    let rscale = r.norm_max().max(1.0);
+    for i in 0..k {
+        for j in 0..i {
+            let rji = r[(j, i)];
+            w[i] -= rji * w[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() < 1e-12 * rscale {
+            return Err(CvxError::InconsistentEqualities);
+        }
+        w[i] /= d;
+    }
+    let q = qr.q();
+    let mut x_p = vec![0.0; n];
+    for r_i in 0..n {
+        for c in 0..k {
+            x_p[r_i] += q[(r_i, c)] * w[c];
+        }
+    }
+    // Verify consistency.
+    for (row, &b) in rows.iter().zip(rhs) {
+        if (vecops::dot(row, &x_p) - b).abs() > 1e-7 * (1.0 + b.abs()) {
+            return Err(CvxError::InconsistentEqualities);
+        }
+    }
+    let f = qr.nullspace_basis();
+    Ok((x_p, Some(f)))
+}
+
+/// Projects the problem into the reduced space `x = x_p + F z`.
+fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
+    let (p0, q0, _) = prob.objective();
+    match f {
+        None => Dense {
+            n: prob.num_vars(),
+            p0: p0.cloned(),
+            q0: q0.to_vec(),
+            lin_rows: prob.lin_rows().to_vec(),
+            lin_rhs: prob.lin_rhs().to_vec(),
+            quad: prob.quad_constraints().to_vec(),
+        },
+        Some(f) => {
+            let nz = f.cols();
+            // Objective.
+            let q0_z = match p0 {
+                Some(p) => {
+                    let px = p.matvec(x_p);
+                    f.matvec_t(&vecops::add(&px, q0))
+                }
+                None => f.matvec_t(q0),
+            };
+            let p0_z = p0.map(|p| {
+                let pf = p.matmul(f).expect("shape");
+                f.transpose().matmul(&pf).expect("shape")
+            });
+            // Linear rows.
+            let mut lin_rows = Vec::with_capacity(prob.lin_rows().len());
+            let mut lin_rhs = Vec::with_capacity(prob.lin_rows().len());
+            for (row, &rhs) in prob.lin_rows().iter().zip(prob.lin_rhs()) {
+                lin_rows.push(f.matvec_t(row));
+                lin_rhs.push(rhs - vecops::dot(row, x_p));
+            }
+            // Quadratic constraints.
+            let quad = prob
+                .quad_constraints()
+                .iter()
+                .map(|qc| {
+                    let pf = qc.p.matmul(f).expect("shape");
+                    let p_z = f.transpose().matmul(&pf).expect("shape");
+                    let px = qc.p.matvec(x_p);
+                    let q_z = f.matvec_t(&vecops::add(&px, &qc.q));
+                    let r_z = qc.r
+                        - 0.5 * vecops::dot(&px, x_p)
+                        - vecops::dot(&qc.q, x_p);
+                    QuadConstraint {
+                        p: p_z,
+                        q: q_z,
+                        r: r_z,
+                    }
+                })
+                .collect();
+            Dense {
+                n: nz,
+                p0: p0_z,
+                q0: q0_z,
+                lin_rows,
+                lin_rhs,
+                quad,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(p: &Problem) -> Solution {
+        BarrierSolver::new(SolverOptions::default()).solve(p).unwrap()
+    }
+
+    #[test]
+    fn simple_lp() {
+        // minimize -x-2y s.t. x+y<=4, x<=2, x,y>=0. Optimum at (2,2): -6... wait
+        // x<=2, y free up to x+y<=4 → (2, 2) gives -2-4=-6? -x-2y=-2-4=-6. But (0,4): -8.
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![-1.0, -2.0]);
+        p.add_linear_le(vec![1.0, 1.0], 4.0);
+        p.add_box(0, 0.0, 2.0);
+        p.add_box(1, 0.0, f64::INFINITY);
+        let s = solve(&p);
+        assert!(s.status.is_optimal());
+        assert!((s.objective + 8.0).abs() < 1e-4, "got {}", s.objective);
+        assert!(s.x[0].abs() < 1e-3 && (s.x[1] - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn qp_projection_onto_halfspace() {
+        // minimize ‖x − (2,2)‖² s.t. x1 + x2 ≤ 2 → optimum (1,1).
+        let mut p = Problem::new(2);
+        p.set_quadratic_objective(Matrix::from_diag(&[2.0, 2.0]), vec![-4.0, -4.0]);
+        p.add_linear_le(vec![1.0, 1.0], 2.0);
+        let s = solve(&p);
+        assert!(s.status.is_optimal());
+        assert!((s.x[0] - 1.0).abs() < 1e-4 && (s.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quadratic_constraint_active() {
+        // minimize -x s.t. x² ≤ 4 (as ½·2x² ≤ 4 → r=4) → x = 2.
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![-1.0]);
+        p.add_quad_le(Matrix::from_diag(&[2.0]), vec![0.0], 4.0);
+        let s = solve(&p);
+        assert!((s.x[0] - 2.0).abs() < 1e-4, "got {}", s.x[0]);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 0 and x ≥ 1 simultaneously.
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![1.0]);
+        p.add_linear_le(vec![1.0], 0.0);
+        p.add_linear_le(vec![-1.0], -1.0);
+        let s = solve(&p);
+        assert_eq!(s.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn equality_constraints_respected() {
+        // minimize x² + y² s.t. x + y = 2 → (1,1).
+        let mut p = Problem::new(2);
+        p.set_quadratic_objective(Matrix::from_diag(&[2.0, 2.0]), vec![0.0, 0.0]);
+        p.add_eq(vec![1.0, 1.0], 2.0);
+        let s = solve(&p);
+        assert!(s.status.is_optimal());
+        assert!((s.x[0] - 1.0).abs() < 1e-6 && (s.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_plus_inequalities() {
+        // minimize -y s.t. x = 0.5, x + y ≤ 1, y ≥ 0 → y = 0.5.
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![0.0, -1.0]);
+        p.add_eq(vec![1.0, 0.0], 0.5);
+        p.add_linear_le(vec![1.0, 1.0], 1.0);
+        p.add_box(1, 0.0, f64::INFINITY);
+        let s = solve(&p);
+        assert!((s.x[0] - 0.5).abs() < 1e-5);
+        assert!((s.x[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inconsistent_equalities_error() {
+        let mut p = Problem::new(1);
+        p.add_eq(vec![1.0], 0.0);
+        p.add_eq(vec![1.0], 1.0);
+        let err = BarrierSolver::new(SolverOptions::default()).solve(&p);
+        assert!(matches!(err, Err(CvxError::InconsistentEqualities)));
+    }
+
+    #[test]
+    fn warm_start_used_when_feasible() {
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![1.0]);
+        p.add_box(0, 0.0, 10.0);
+        let solver = BarrierSolver::new(SolverOptions::default());
+        let s = solver.solve_with_start(&p, Some(&[5.0])).unwrap();
+        assert!(s.x[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn kkt_stationarity_at_optimum() {
+        // QP with several constraints; check ∇f + Σ λᵢ∇gᵢ ≈ 0 using the
+        // barrier's implicit multipliers λᵢ = 1/(t·sᵢ).
+        let mut p = Problem::new(2);
+        p.set_quadratic_objective(Matrix::from_diag(&[2.0, 2.0]), vec![-2.0, -6.0]);
+        p.add_linear_le(vec![1.0, 1.0], 2.0);
+        p.add_linear_le(vec![-1.0, 2.0], 2.0);
+        p.add_linear_le(vec![2.0, 1.0], 3.0);
+        let s = solve(&p);
+        assert!(s.status.is_optimal());
+        // Known optimum of this classic QP: (2/3, 4/3).
+        assert!((s.x[0] - 2.0 / 3.0).abs() < 1e-3, "x0={}", s.x[0]);
+        assert!((s.x[1] - 4.0 / 3.0).abs() < 1e-3, "x1={}", s.x[1]);
+    }
+}

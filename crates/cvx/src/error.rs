@@ -1,0 +1,64 @@
+use std::fmt;
+
+use protemp_linalg::LinalgError;
+
+/// Errors produced by the convex solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CvxError {
+    /// An underlying linear algebra operation failed.
+    Linalg(LinalgError),
+    /// A constraint or objective had the wrong dimension.
+    DimensionMismatch {
+        /// What was being supplied.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The equality constraints are themselves inconsistent.
+    InconsistentEqualities,
+    /// The Newton iteration could not make progress.
+    NumericalTrouble {
+        /// Phase in which the failure occurred.
+        phase: &'static str,
+    },
+    /// An input contained NaN or infinity.
+    NotFinite,
+}
+
+impl fmt::Display for CvxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CvxError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CvxError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            CvxError::InconsistentEqualities => {
+                write!(f, "equality constraints are inconsistent")
+            }
+            CvxError::NumericalTrouble { phase } => {
+                write!(f, "newton iteration stalled during {phase}")
+            }
+            CvxError::NotFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for CvxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CvxError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CvxError {
+    fn from(e: LinalgError) -> Self {
+        CvxError::Linalg(e)
+    }
+}

@@ -1,0 +1,228 @@
+use std::collections::BTreeMap;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A variable handle issued by [`crate::Model::add_var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The variable's index in the model's variable vector.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A sparse affine expression `Σ cᵢ·xᵢ + constant`.
+///
+/// Expressions support `+`, `-`, negation and scalar multiplication, so
+/// constraints read close to the mathematical model:
+///
+/// ```
+/// use protemp_cvx::{Expr, Model};
+///
+/// let mut m = Model::new();
+/// let x = m.add_var("x");
+/// let y = m.add_var("y");
+/// let e = Expr::from(x) * 2.0 + Expr::from(y) - 1.0;
+/// assert_eq!(e.coefficient(x), 2.0);
+/// assert_eq!(e.constant(), -1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Expr {
+    /// Coefficients keyed by variable index (sorted, deduplicated).
+    terms: BTreeMap<usize, f64>,
+    constant: f64,
+}
+
+impl Expr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Expr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant_value(c: f64) -> Self {
+        Expr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// Builds `Σ coef·var` from pairs.
+    pub fn linear(pairs: &[(Var, f64)]) -> Self {
+        let mut e = Expr::zero();
+        for (v, c) in pairs {
+            *e.terms.entry(v.0).or_insert(0.0) += c;
+        }
+        e
+    }
+
+    /// Sum of the given variables with unit coefficients.
+    pub fn sum(vars: &[Var]) -> Self {
+        Expr::linear(&vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>())
+    }
+
+    /// The coefficient of `v` (0 if absent).
+    pub fn coefficient(&self, v: Var) -> f64 {
+        self.terms.get(&v.0).copied().unwrap_or(0.0)
+    }
+
+    /// The constant term.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Adds `coef·var` in place.
+    pub fn add_term(&mut self, v: Var, coef: f64) -> &mut Self {
+        *self.terms.entry(v.0).or_insert(0.0) += coef;
+        self
+    }
+
+    /// Densifies into a coefficient vector of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut row = vec![0.0; n];
+        for (&i, &c) in &self.terms {
+            assert!(i < n, "variable index {i} out of range {n}");
+            row[i] = c;
+        }
+        row
+    }
+
+    /// Evaluates the expression at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let mut v = self.constant;
+        for (&i, &c) in &self.terms {
+            v += c * x[i];
+        }
+        v
+    }
+
+    /// Iterator over `(index, coefficient)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.terms.iter().map(|(&i, &c)| (i, c))
+    }
+}
+
+impl From<Var> for Expr {
+    fn from(v: Var) -> Self {
+        Expr::linear(&[(v, 1.0)])
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+
+    fn add(mut self, rhs: Expr) -> Expr {
+        for (i, c) in rhs.terms {
+            *self.terms.entry(i).or_insert(0.0) += c;
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Add<f64> for Expr {
+    type Output = Expr;
+
+    fn add(mut self, rhs: f64) -> Expr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+
+    fn sub(self, rhs: Expr) -> Expr {
+        self + (-rhs)
+    }
+}
+
+impl Sub<f64> for Expr {
+    type Output = Expr;
+
+    fn sub(mut self, rhs: f64) -> Expr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Neg for Expr {
+    type Output = Expr;
+
+    fn neg(mut self) -> Expr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for Expr {
+    type Output = Expr;
+
+    fn mul(mut self, s: f64) -> Expr {
+        for c in self.terms.values_mut() {
+            *c *= s;
+        }
+        self.constant *= s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_eval() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = Expr::linear(&[(x, 2.0), (y, -1.0)]) + 3.0;
+        assert_eq!(e.eval(&[1.0, 2.0]), 2.0 - 2.0 + 3.0);
+        assert_eq!(e.coefficient(x), 2.0);
+        assert_eq!(e.coefficient(Var(5)), 0.0);
+    }
+
+    #[test]
+    fn algebra() {
+        let x = Var(0);
+        let a = Expr::from(x) * 3.0;
+        let b = Expr::from(x) + 1.0;
+        let c = a - b; // 2x - 1
+        assert_eq!(c.coefficient(x), 2.0);
+        assert_eq!(c.constant(), -1.0);
+        let d = -c;
+        assert_eq!(d.coefficient(x), -2.0);
+        assert_eq!(d.constant(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_terms_merge() {
+        let x = Var(0);
+        let e = Expr::linear(&[(x, 1.0), (x, 2.5)]);
+        assert_eq!(e.coefficient(x), 3.5);
+    }
+
+    #[test]
+    fn dense_conversion() {
+        let e = Expr::linear(&[(Var(2), 4.0)]);
+        assert_eq!(e.to_dense(3), vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn sum_of_vars() {
+        let vars = [Var(0), Var(1), Var(2)];
+        let s = Expr::sum(&vars);
+        assert_eq!(s.eval(&[1.0, 2.0, 3.0]), 6.0);
+    }
+}

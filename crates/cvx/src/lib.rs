@@ -1,0 +1,63 @@
+//! A from-scratch convex optimization solver for the Pro-Temp reproduction.
+//!
+//! The paper solves its thermal/workload-constrained power minimization
+//! (model (3)–(5)) with CVX \[27\] and interior-point methods \[25\]. Mature
+//! convex-solver crates are not available offline, so this crate implements
+//! the required solver class directly:
+//!
+//! * [`Problem`] — a canonical convex program: (convex) quadratic objective,
+//!   linear inequality constraints, convex quadratic inequality constraints
+//!   and linear equality constraints.
+//! * [`BarrierSolver`] — a two-phase log-barrier interior-point method
+//!   (Boyd & Vandenberghe, ch. 11): phase I finds a strictly feasible point
+//!   or certifies infeasibility; phase II follows the central path with
+//!   damped Newton steps. Equality constraints are eliminated through a QR
+//!   nullspace parametrization so every Newton system stays symmetric
+//!   positive definite.
+//! * [`Model`] — a small modeling layer (variables, affine expressions,
+//!   `≤`/`≥`/`=` constraints) that compiles to a [`Problem`], standing in
+//!   for the disciplined-convex-programming front end of CVX.
+//! * [`solve_lp`] / [`solve_qp`] — one-call convenience wrappers.
+//!
+//! # Example
+//!
+//! ```
+//! use protemp_cvx::{Model, SolverOptions};
+//!
+//! // minimize x + y  s.t.  x + 2y >= 2, x >= 0, y >= 0
+//! let mut m = Model::new();
+//! let x = m.add_var("x");
+//! let y = m.add_var("y");
+//! m.bound(x, 0.0, f64::INFINITY);
+//! m.bound(y, 0.0, f64::INFINITY);
+//! let lhs = m.expr(&[(x, 1.0), (y, 2.0)]);
+//! m.constrain_ge(lhs, 2.0);
+//! let obj = m.expr(&[(x, 1.0), (y, 1.0)]);
+//! m.minimize(obj);
+//! let sol = m.solve(&SolverOptions::default()).unwrap();
+//! assert!((sol.objective() - 1.0).abs() < 1e-5); // x=0, y=1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod barrier;
+mod error;
+mod expr;
+mod model;
+mod options;
+mod problem;
+mod status;
+mod wrappers;
+
+pub use barrier::BarrierSolver;
+pub use error::CvxError;
+pub use expr::{Expr, Var};
+pub use model::{Model, ModelSolution};
+pub use options::SolverOptions;
+pub use problem::{Problem, QuadConstraint};
+pub use status::{Solution, SolveStatus};
+pub use wrappers::{solve_lp, solve_qp};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, CvxError>;

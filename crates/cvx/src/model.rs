@@ -1,0 +1,292 @@
+use protemp_linalg::Matrix;
+
+use crate::{Expr, Problem, Result, Solution, SolveStatus, SolverOptions, Var};
+
+/// A small disciplined-modeling layer that compiles to a [`Problem`].
+///
+/// This stands in for the CVX front end the paper used: named variables,
+/// affine expressions, `≤`/`≥`/`=` constraints, simple bounds, convex
+/// quadratic constraints of the form `a·x_i² ≤ expr`, and a linear or
+/// quadratic objective.
+///
+/// # Example
+///
+/// ```
+/// use protemp_cvx::{Expr, Model, SolverOptions};
+///
+/// // The paper's power model in miniature: minimize p subject to
+/// // q·f² ≤ p and f ≥ 0.8 (q = 4).
+/// let mut m = Model::new();
+/// let f = m.add_var("f");
+/// let p = m.add_var("p");
+/// m.bound(f, 0.0, 1.0);
+/// m.bound(p, 0.0, 4.0);
+/// m.constrain_quad_le(f, 4.0, Expr::from(p));
+/// m.constrain_ge(Expr::from(f), 0.8);
+/// m.minimize(Expr::from(p));
+/// let sol = m.solve(&SolverOptions::default()).unwrap();
+/// assert!((sol.value(p) - 4.0 * 0.64).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    names: Vec<String>,
+    objective: Expr,
+    quad_objective: Vec<(Var, f64)>, // Σ a·x², a > 0
+    lin_le: Vec<(Expr, f64)>,        // expr ≤ rhs
+    eq: Vec<(Expr, f64)>,            // expr = rhs
+    quad_le: Vec<(Var, f64, Expr)>,  // a·v² ≤ expr
+    bounds: Vec<(Var, f64, f64)>,
+}
+
+/// A solved model: the raw [`Solution`] plus variable accessors.
+#[derive(Debug, Clone)]
+pub struct ModelSolution {
+    inner: Solution,
+}
+
+impl ModelSolution {
+    /// Termination status.
+    pub fn status(&self) -> SolveStatus {
+        self.inner.status
+    }
+
+    /// Objective value.
+    pub fn objective(&self) -> f64 {
+        self.inner.objective
+    }
+
+    /// Value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solve was infeasible (no point available).
+    pub fn value(&self, v: Var) -> f64 {
+        assert!(
+            !self.inner.x.is_empty(),
+            "no primal point: problem was infeasible"
+        );
+        self.inner.x[v.index()]
+    }
+
+    /// The full primal vector.
+    pub fn x(&self) -> &[f64] {
+        &self.inner.x
+    }
+
+    /// The raw solver result.
+    pub fn raw(&self) -> &Solution {
+        &self.inner
+    }
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a scalar variable.
+    pub fn add_var(&mut self, name: impl Into<String>) -> Var {
+        self.names.push(name.into());
+        Var(self.names.len() - 1)
+    }
+
+    /// Adds `count` variables named `prefix0..`.
+    pub fn add_vars(&mut self, prefix: &str, count: usize) -> Vec<Var> {
+        (0..count).map(|i| self.add_var(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Variable name.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Convenience: builds an affine expression from `(var, coef)` pairs.
+    pub fn expr(&self, pairs: &[(Var, f64)]) -> Expr {
+        Expr::linear(pairs)
+    }
+
+    /// Sets the objective to minimize an affine expression.
+    pub fn minimize(&mut self, e: Expr) {
+        self.objective = e;
+        self.quad_objective.clear();
+    }
+
+    /// Sets the objective to minimize `Σ aᵢ·xᵢ² + affine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quadratic coefficient is not strictly positive
+    /// (the objective must stay convex).
+    pub fn minimize_quad(&mut self, quadratic: Vec<(Var, f64)>, affine: Expr) {
+        assert!(
+            quadratic.iter().all(|(_, a)| *a > 0.0),
+            "quadratic objective coefficients must be positive"
+        );
+        self.quad_objective = quadratic;
+        self.objective = affine;
+    }
+
+    /// Adds `expr ≤ rhs`.
+    pub fn constrain_le(&mut self, e: Expr, rhs: f64) {
+        self.lin_le.push((e, rhs));
+    }
+
+    /// Adds `expr ≥ rhs`.
+    pub fn constrain_ge(&mut self, e: Expr, rhs: f64) {
+        self.lin_le.push((-e, -rhs));
+    }
+
+    /// Adds `expr = rhs`.
+    pub fn constrain_eq(&mut self, e: Expr, rhs: f64) {
+        self.eq.push((e, rhs));
+    }
+
+    /// Adds the convex quadratic constraint `a·v² ≤ expr` (`a > 0`).
+    ///
+    /// This is the shape of the paper's frequency–power coupling
+    /// `p_max·fᵢ²/f_max² ≤ pᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a ≤ 0`.
+    pub fn constrain_quad_le(&mut self, v: Var, a: f64, expr: Expr) {
+        assert!(a > 0.0, "quadratic coefficient must be positive");
+        self.quad_le.push((v, a, expr));
+    }
+
+    /// Adds bounds `lo ≤ v ≤ hi` (either side may be infinite).
+    pub fn bound(&mut self, v: Var, lo: f64, hi: f64) {
+        self.bounds.push((v, lo, hi));
+    }
+
+    /// Compiles the model into a canonical [`Problem`].
+    pub fn to_problem(&self) -> Problem {
+        let n = self.num_vars();
+        let mut p = Problem::new(n);
+
+        // Objective.
+        if self.quad_objective.is_empty() {
+            p.set_linear_objective(self.objective.to_dense(n));
+        } else {
+            let mut diag = vec![0.0; n];
+            for (v, a) in &self.quad_objective {
+                diag[v.index()] += 2.0 * a; // ½xᵀPx with P=2a gives a·x².
+            }
+            p.set_quadratic_objective(Matrix::from_diag(&diag), self.objective.to_dense(n));
+        }
+        p.add_objective_constant(self.objective.constant());
+
+        for (e, rhs) in &self.lin_le {
+            p.add_linear_le(e.to_dense(n), rhs - e.constant());
+        }
+        for (e, rhs) in &self.eq {
+            p.add_eq(e.to_dense(n), rhs - e.constant());
+        }
+        for (v, a, e) in &self.quad_le {
+            // a·v² − expr ≤ 0 →  ½ xᵀ(2a·e_v e_vᵀ)x + (−expr)ᵀx ≤ expr_const.
+            let mut diag = vec![0.0; n];
+            diag[v.index()] = 2.0 * a;
+            let q = (-e.clone()).to_dense(n);
+            p.add_quad_le(Matrix::from_diag(&diag), q, e.constant());
+        }
+        for (v, lo, hi) in &self.bounds {
+            p.add_box(v.index(), *lo, *hi);
+        }
+        p
+    }
+
+    /// Compiles and solves the model.
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::solve`].
+    pub fn solve(&self, opts: &SolverOptions) -> Result<ModelSolution> {
+        let sol = self.to_problem().solve(opts)?;
+        Ok(ModelSolution { inner: sol })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_through_model() {
+        // max x + y s.t. x ≤ 2, y ≤ 3 → minimize -(x+y) = -5.
+        let mut m = Model::new();
+        let x = m.add_var("x");
+        let y = m.add_var("y");
+        m.bound(x, 0.0, 2.0);
+        m.bound(y, 0.0, 3.0);
+        m.minimize(-(Expr::from(x) + Expr::from(y)));
+        let s = m.solve(&SolverOptions::default()).unwrap();
+        assert!((s.objective() + 5.0).abs() < 1e-4);
+        assert!((s.value(x) - 2.0).abs() < 1e-3);
+        assert!((s.value(y) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quadratic_objective_through_model() {
+        // minimize (x-1)² = x² - 2x + 1 s.t. x ∈ [0, 3].
+        let mut m = Model::new();
+        let x = m.add_var("x");
+        m.bound(x, 0.0, 3.0);
+        m.minimize_quad(vec![(x, 1.0)], Expr::from(x) * -2.0 + 1.0);
+        let s = m.solve(&SolverOptions::default()).unwrap();
+        assert!((s.value(x) - 1.0).abs() < 1e-4);
+        assert!(s.objective().abs() < 1e-4);
+    }
+
+    #[test]
+    fn quad_constraint_through_model() {
+        // minimize p s.t. 4f² ≤ p, f ≥ 0.5, p ≤ 4 → p = 1.
+        let mut m = Model::new();
+        let f = m.add_var("f");
+        let p = m.add_var("p");
+        m.bound(f, 0.0, 1.0);
+        m.bound(p, 0.0, 4.0);
+        m.constrain_quad_le(f, 4.0, Expr::from(p));
+        m.constrain_ge(Expr::from(f), 0.5);
+        m.minimize(Expr::from(p));
+        let s = m.solve(&SolverOptions::default()).unwrap();
+        assert!((s.value(p) - 1.0).abs() < 1e-3, "p = {}", s.value(p));
+    }
+
+    #[test]
+    fn equality_through_model() {
+        // minimize x² + y² s.t. x + y = 4 → (2,2).
+        let mut m = Model::new();
+        let x = m.add_var("x");
+        let y = m.add_var("y");
+        m.constrain_eq(Expr::from(x) + Expr::from(y), 4.0);
+        m.minimize_quad(vec![(x, 1.0), (y, 1.0)], Expr::zero());
+        let s = m.solve(&SolverOptions::default()).unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-5);
+        assert!((s.value(y) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn infeasible_model_reports_status() {
+        let mut m = Model::new();
+        let x = m.add_var("x");
+        m.bound(x, 0.0, 1.0);
+        m.constrain_ge(Expr::from(x), 2.0);
+        m.minimize(Expr::from(x));
+        let s = m.solve(&SolverOptions::default()).unwrap();
+        assert_eq!(s.status(), SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut m = Model::new();
+        let vars = m.add_vars("f", 3);
+        assert_eq!(m.name(vars[2]), "f2");
+        assert_eq!(m.num_vars(), 3);
+    }
+}

@@ -1,0 +1,98 @@
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the barrier interior-point solver.
+///
+/// The defaults follow Boyd & Vandenberghe chapter 11 and work for every
+/// problem in this workspace; they are exposed so benches can study the
+/// accuracy/speed trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverOptions {
+    /// Target duality-gap bound: the outer loop stops when
+    /// `m_constraints / t < tol`.
+    pub tol: f64,
+    /// Barrier parameter multiplier between outer iterations (µ).
+    pub mu: f64,
+    /// Initial barrier parameter `t₀`.
+    pub t0: f64,
+    /// Newton decrement threshold for inner convergence (`λ²/2 < tol_inner`).
+    pub tol_inner: f64,
+    /// Maximum Newton iterations per centering step.
+    pub max_newton: usize,
+    /// Maximum outer (centering) iterations per phase.
+    pub max_outer: usize,
+    /// Armijo slope fraction for backtracking line search.
+    pub armijo: f64,
+    /// Backtracking shrink factor.
+    pub beta: f64,
+    /// Strict-feasibility margin required from phase I.
+    pub phase1_margin: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tol: 1e-7,
+            mu: 20.0,
+            t0: 1.0,
+            tol_inner: 1e-9,
+            max_newton: 80,
+            max_outer: 60,
+            armijo: 0.05,
+            beta: 0.5,
+            phase1_margin: 1e-8,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// A faster, slightly looser profile used in table generation sweeps.
+    pub fn fast() -> Self {
+        SolverOptions {
+            tol: 1e-5,
+            mu: 50.0,
+            ..SolverOptions::default()
+        }
+    }
+
+    /// Validates the option values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !(self.tol > 0.0 && self.tol.is_finite()) {
+            return Err(format!("tol must be positive, got {}", self.tol));
+        }
+        if !(self.mu > 1.0 && self.mu.is_finite()) {
+            return Err(format!("mu must exceed 1, got {}", self.mu));
+        }
+        if !(self.t0 > 0.0 && self.t0.is_finite()) {
+            return Err(format!("t0 must be positive, got {}", self.t0));
+        }
+        if !(self.beta > 0.0 && self.beta < 1.0) {
+            return Err(format!("beta must be in (0,1), got {}", self.beta));
+        }
+        if !(self.armijo > 0.0 && self.armijo < 0.5) {
+            return Err(format!("armijo must be in (0,0.5), got {}", self.armijo));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        SolverOptions::default().validate().unwrap();
+        SolverOptions::fast().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_options_detected() {
+        let mut o = SolverOptions::default();
+        o.mu = 0.5;
+        assert!(o.validate().is_err());
+    }
+}

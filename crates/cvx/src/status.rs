@@ -1,0 +1,82 @@
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SolveStatus {
+    /// Converged to the requested duality-gap tolerance.
+    Optimal,
+    /// Phase I certified that no strictly feasible point exists.
+    Infeasible,
+    /// Outer iteration limit reached; the returned point is the best found.
+    MaxIterations,
+}
+
+impl SolveStatus {
+    /// `true` when the solution can be used as an optimum.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, SolveStatus::Optimal)
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::MaxIterations => "max-iterations",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of a successful solver run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Primal point (empty when `status` is `Infeasible`).
+    pub x: Vec<f64>,
+    /// Objective value at `x` (`f64::INFINITY` when infeasible).
+    pub objective: f64,
+    /// Outer (centering) iterations used.
+    pub outer_iterations: usize,
+    /// Total Newton steps across all centerings.
+    pub newton_steps: usize,
+    /// Final duality-gap upper bound `m/t`.
+    pub gap_bound: f64,
+}
+
+impl Solution {
+    /// An infeasibility marker solution.
+    pub(crate) fn infeasible(outer: usize, newton: usize) -> Self {
+        Solution {
+            status: SolveStatus::Infeasible,
+            x: Vec::new(),
+            objective: f64::INFINITY,
+            outer_iterations: outer,
+            newton_steps: newton,
+            gap_bound: f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display_and_flags() {
+        assert_eq!(SolveStatus::Optimal.to_string(), "optimal");
+        assert!(SolveStatus::Optimal.is_optimal());
+        assert!(!SolveStatus::Infeasible.is_optimal());
+    }
+
+    #[test]
+    fn infeasible_marker() {
+        let s = Solution::infeasible(3, 17);
+        assert_eq!(s.status, SolveStatus::Infeasible);
+        assert!(s.x.is_empty());
+        assert!(s.objective.is_infinite());
+    }
+}

@@ -1,0 +1,109 @@
+//! One-call convenience wrappers for common problem classes.
+
+use protemp_linalg::Matrix;
+
+use crate::{Problem, Result, Solution, SolverOptions};
+
+/// Solves the linear program `minimize cᵀx s.t. G x ≤ h`.
+///
+/// # Errors
+///
+/// See [`Problem::solve`].
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent.
+///
+/// # Example
+///
+/// ```
+/// use protemp_cvx::{solve_lp, SolverOptions};
+/// use protemp_linalg::Matrix;
+///
+/// // minimize -x s.t. x <= 5, -x <= 0.
+/// let g = Matrix::from_rows(&[&[1.0], &[-1.0]]);
+/// let sol = solve_lp(&[-1.0], &g, &[5.0, 0.0], &SolverOptions::default()).unwrap();
+/// assert!((sol.x[0] - 5.0).abs() < 1e-4);
+/// ```
+pub fn solve_lp(c: &[f64], g: &Matrix, h: &[f64], opts: &SolverOptions) -> Result<Solution> {
+    let n = c.len();
+    assert_eq!(g.cols(), n, "G column count must match c");
+    assert_eq!(g.rows(), h.len(), "G row count must match h");
+    let mut p = Problem::new(n);
+    p.set_linear_objective(c.to_vec());
+    for r in 0..g.rows() {
+        p.add_linear_le(g.row(r).to_vec(), h[r]);
+    }
+    p.solve(opts)
+}
+
+/// Solves the quadratic program `minimize ½xᵀPx + qᵀx s.t. G x ≤ h`.
+///
+/// `P` must be positive semidefinite.
+///
+/// # Errors
+///
+/// See [`Problem::solve`].
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent.
+///
+/// # Example
+///
+/// ```
+/// use protemp_cvx::{solve_qp, SolverOptions};
+/// use protemp_linalg::Matrix;
+///
+/// // minimize ½x² - x (optimum x=1) with x <= 0.5 binding.
+/// let p = Matrix::from_diag(&[1.0]);
+/// let g = Matrix::from_rows(&[&[1.0]]);
+/// let sol = solve_qp(&p, &[-1.0], &g, &[0.5], &SolverOptions::default()).unwrap();
+/// assert!((sol.x[0] - 0.5).abs() < 1e-4);
+/// ```
+pub fn solve_qp(
+    p: &Matrix,
+    q: &[f64],
+    g: &Matrix,
+    h: &[f64],
+    opts: &SolverOptions,
+) -> Result<Solution> {
+    let n = q.len();
+    assert_eq!(p.shape(), (n, n), "P must be n x n");
+    assert_eq!(g.cols(), n, "G column count must match q");
+    assert_eq!(g.rows(), h.len(), "G row count must match h");
+    let mut prob = Problem::new(n);
+    prob.set_quadratic_objective(p.clone(), q.to_vec());
+    for r in 0..g.rows() {
+        prob.add_linear_le(g.row(r).to_vec(), h[r]);
+    }
+    prob.solve(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_box() {
+        // minimize x + y over the box [1,2]².
+        let g = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[-1.0, 0.0],
+            &[0.0, 1.0],
+            &[0.0, -1.0],
+        ]);
+        let h = [2.0, -1.0, 2.0, -1.0];
+        let s = solve_lp(&[1.0, 1.0], &g, &h, &SolverOptions::default()).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn qp_unconstrained_interior() {
+        // minimize ½(x-2)² with loose constraint: optimum interior at 2.
+        let p = Matrix::from_diag(&[1.0]);
+        let g = Matrix::from_rows(&[&[1.0]]);
+        let s = solve_qp(&p, &[-2.0], &g, &[100.0], &SolverOptions::default()).unwrap();
+        assert!((s.x[0] - 2.0).abs() < 1e-4);
+    }
+}

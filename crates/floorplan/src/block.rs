@@ -1,0 +1,116 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Rect;
+
+/// Functional classification of a floorplan block.
+///
+/// The thermal and power models treat kinds differently: `Core` blocks are
+/// the DVFS-controlled heat sources; the other kinds draw fixed background
+/// power (the paper's "other cores on the system" at ~30 % of core power).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum BlockKind {
+    /// A processing core controlled by DFS.
+    Core,
+    /// An L2 cache bank (relatively cool, large area).
+    L2Cache,
+    /// The crossbar / on-chip interconnect.
+    Crossbar,
+    /// IO, DRAM controllers and bridges.
+    Io,
+    /// Anything else (buffers, pads, unused silicon).
+    Other,
+}
+
+impl BlockKind {
+    /// Short lowercase label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BlockKind::Core => "core",
+            BlockKind::L2Cache => "l2",
+            BlockKind::Crossbar => "xbar",
+            BlockKind::Io => "io",
+            BlockKind::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A named rectangular region of the die.
+///
+/// # Example
+///
+/// ```
+/// use protemp_floorplan::{Block, BlockKind, Rect};
+///
+/// let b = Block::new("P1", BlockKind::Core, Rect::new(0.0, 0.0, 2e-3, 2e-3));
+/// assert_eq!(b.name(), "P1");
+/// assert!(b.is_core());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    name: String,
+    kind: BlockKind,
+    rect: Rect,
+}
+
+impl Block {
+    /// Creates a block.
+    pub fn new(name: impl Into<String>, kind: BlockKind, rect: Rect) -> Self {
+        Block {
+            name: name.into(),
+            kind,
+            rect,
+        }
+    }
+
+    /// The block's name (unique within a validated floorplan).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The block's functional kind.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// The block's rectangle.
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+
+    /// Area in m².
+    pub fn area(&self) -> f64 {
+        self.rect.area()
+    }
+
+    /// `true` if this is a DVFS-controlled processing core.
+    pub fn is_core(&self) -> bool {
+        self.kind == BlockKind::Core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_accessors() {
+        let b = Block::new("XBAR", BlockKind::Crossbar, Rect::new(0.0, 0.0, 1.0, 2.0));
+        assert_eq!(b.name(), "XBAR");
+        assert_eq!(b.kind(), BlockKind::Crossbar);
+        assert_eq!(b.area(), 2.0);
+        assert!(!b.is_core());
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(BlockKind::Core.label(), "core");
+        assert_eq!(BlockKind::L2Cache.to_string(), "l2");
+    }
+}

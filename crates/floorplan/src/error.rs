@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Errors produced while constructing or validating floorplans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FloorplanError {
+    /// Two blocks share a name.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// Two blocks overlap in area.
+    Overlap {
+        /// First block's name.
+        a: String,
+        /// Second block's name.
+        b: String,
+    },
+    /// A block extends outside the die outline.
+    OutOfBounds {
+        /// The offending block's name.
+        name: String,
+    },
+    /// The floorplan has no blocks of a required kind.
+    MissingKind {
+        /// The kind that is required (human-readable label).
+        kind: &'static str,
+    },
+    /// A lookup by name failed.
+    UnknownBlock {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::DuplicateName { name } => {
+                write!(f, "duplicate block name `{name}`")
+            }
+            FloorplanError::Overlap { a, b } => {
+                write!(f, "blocks `{a}` and `{b}` overlap")
+            }
+            FloorplanError::OutOfBounds { name } => {
+                write!(f, "block `{name}` extends outside the die outline")
+            }
+            FloorplanError::MissingKind { kind } => {
+                write!(f, "floorplan has no `{kind}` blocks")
+            }
+            FloorplanError::UnknownBlock { name } => {
+                write!(f, "no block named `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}

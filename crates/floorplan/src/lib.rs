@@ -1,0 +1,41 @@
+//! Die floorplan geometry for the Pro-Temp reproduction.
+//!
+//! A [`Floorplan`] is a set of rectangular [`Block`]s tiling a die. The
+//! thermal crate derives its RC network from the block areas and from the
+//! [`adjacency`] relation (blocks sharing a boundary edge exchange heat
+//! laterally, with conductance proportional to the shared edge length).
+//!
+//! The module [`niagara`] builds the 8-core Sun Niagara floorplan of the
+//! paper's Figure 5: two rows of four cores flanked by L2 cache banks (so the
+//! outer cores P1/P4/P5/P8 sit next to cool caches while P2/P3/P6/P7 are
+//! sandwiched between hot cores), a central crossbar/L2-buffer band, and an
+//! IO/DRAM strip.
+//!
+//! # Example
+//!
+//! ```
+//! use protemp_floorplan::niagara::niagara8;
+//!
+//! let fp = niagara8();
+//! assert_eq!(fp.cores().count(), 8);
+//! fp.validate().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod error;
+mod plan;
+mod rect;
+
+pub mod adjacency;
+pub mod niagara;
+
+pub use block::{Block, BlockKind};
+pub use error::FloorplanError;
+pub use plan::Floorplan;
+pub use rect::Rect;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, FloorplanError>;

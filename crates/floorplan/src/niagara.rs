@@ -1,0 +1,182 @@
+//! The 8-core Sun Niagara floorplan of the paper's Figure 5.
+//!
+//! Topology (top of die at the top):
+//!
+//! ```text
+//! IIIIIIIIIIIIII   IO / DRAM controllers / bridges
+//! LL5566778899LL   core row P5..P8 flanked by L2 banks
+//! BBBBXXXXXXBBBB   L2 buffers + crossbar band
+//! LL1122334455LL   core row P1..P4 flanked by L2 banks
+//! LLLLLLLLLLLLLL   L2 cache banks
+//! ```
+//!
+//! The flanking L2 banks make the outer cores (P1, P4, P5, P8) neighbours of
+//! cool, low-power-density cache, while the inner cores (P2, P3, P6, P7) are
+//! sandwiched between hot cores — the thermal asymmetry Section 5.3 of the
+//! paper exploits with variable frequency assignments.
+
+use crate::{Block, BlockKind, Floorplan, Rect};
+
+/// Millimetres to metres.
+const MM: f64 = 1e-3;
+
+/// Builds the Niagara-8 floorplan used throughout the evaluation.
+///
+/// Die: 14 mm × 11 mm. Cores: 2.25 mm × 2 mm each (4.5 mm²), in two rows of
+/// four. The returned floorplan is validated by construction (a debug
+/// assertion enforces it) and tiles the die exactly.
+///
+/// # Example
+///
+/// ```
+/// use protemp_floorplan::niagara::niagara8;
+///
+/// let fp = niagara8();
+/// let cores: Vec<_> = fp.cores().map(|c| c.name().to_string()).collect();
+/// assert_eq!(cores, ["P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"]);
+/// ```
+pub fn niagara8() -> Floorplan {
+    let mut fp = Floorplan::new(14.0 * MM, 11.0 * MM);
+
+    // Bottom L2 cache banks: y in [0, 3) mm.
+    fp.push(Block::new(
+        "L2_B0",
+        BlockKind::L2Cache,
+        Rect::new(0.0, 0.0, 7.0 * MM, 3.0 * MM),
+    ));
+    fp.push(Block::new(
+        "L2_B1",
+        BlockKind::L2Cache,
+        Rect::new(7.0 * MM, 0.0, 7.0 * MM, 3.0 * MM),
+    ));
+
+    // Bottom core row: y in [3, 5) mm, flanked by L2 banks.
+    fp.push(Block::new(
+        "L2_BL",
+        BlockKind::L2Cache,
+        Rect::new(0.0, 3.0 * MM, 2.5 * MM, 2.0 * MM),
+    ));
+    for (i, name) in ["P1", "P2", "P3", "P4"].iter().enumerate() {
+        fp.push(Block::new(
+            *name,
+            BlockKind::Core,
+            Rect::new((2.5 + 2.25 * i as f64) * MM, 3.0 * MM, 2.25 * MM, 2.0 * MM),
+        ));
+    }
+    fp.push(Block::new(
+        "L2_BR",
+        BlockKind::L2Cache,
+        Rect::new(11.5 * MM, 3.0 * MM, 2.5 * MM, 2.0 * MM),
+    ));
+
+    // Middle band: L2 buffers + crossbar, y in [5, 8) mm.
+    fp.push(Block::new(
+        "L2BUF_L",
+        BlockKind::L2Cache,
+        Rect::new(0.0, 5.0 * MM, 4.0 * MM, 3.0 * MM),
+    ));
+    fp.push(Block::new(
+        "XBAR",
+        BlockKind::Crossbar,
+        Rect::new(4.0 * MM, 5.0 * MM, 6.0 * MM, 3.0 * MM),
+    ));
+    fp.push(Block::new(
+        "L2BUF_R",
+        BlockKind::L2Cache,
+        Rect::new(10.0 * MM, 5.0 * MM, 4.0 * MM, 3.0 * MM),
+    ));
+
+    // Top core row: y in [8, 10) mm, flanked by L2 banks.
+    fp.push(Block::new(
+        "L2_TL",
+        BlockKind::L2Cache,
+        Rect::new(0.0, 8.0 * MM, 2.5 * MM, 2.0 * MM),
+    ));
+    for (i, name) in ["P5", "P6", "P7", "P8"].iter().enumerate() {
+        fp.push(Block::new(
+            *name,
+            BlockKind::Core,
+            Rect::new((2.5 + 2.25 * i as f64) * MM, 8.0 * MM, 2.25 * MM, 2.0 * MM),
+        ));
+    }
+    fp.push(Block::new(
+        "L2_TR",
+        BlockKind::L2Cache,
+        Rect::new(11.5 * MM, 8.0 * MM, 2.5 * MM, 2.0 * MM),
+    ));
+
+    // IO / DRAM / bridges strip on top: y in [10, 11) mm.
+    fp.push(Block::new(
+        "IO_DRAM",
+        BlockKind::Io,
+        Rect::new(0.0, 10.0 * MM, 14.0 * MM, 1.0 * MM),
+    ));
+
+    debug_assert!(fp.validate().is_ok(), "niagara8 must validate");
+    fp
+}
+
+/// Names of the cores that sit next to flanking caches (cool edge cores).
+pub const EDGE_CORES: [&str; 4] = ["P1", "P4", "P5", "P8"];
+
+/// Names of the cores sandwiched between other cores (hot middle cores).
+pub const MIDDLE_CORES: [&str; 4] = ["P2", "P3", "P6", "P7"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency;
+
+    #[test]
+    fn validates_and_tiles() {
+        let fp = niagara8();
+        fp.validate().unwrap();
+        assert!((fp.coverage() - 1.0).abs() < 1e-9, "die fully tiled");
+        assert_eq!(fp.cores().count(), 8);
+    }
+
+    #[test]
+    fn edge_cores_touch_cache_middle_cores_do_not() {
+        let fp = niagara8();
+        let lists = adjacency::neighbor_lists(&fp);
+        let is_l2 = |i: usize| fp.blocks()[i].kind() == BlockKind::L2Cache;
+
+        for name in EDGE_CORES {
+            let i = fp.index_of(name).unwrap();
+            let lateral_l2 = lists[i].iter().any(|&j| {
+                is_l2(j) && {
+                    // Lateral neighbour: shares a vertical edge (same row).
+                    let a = fp.blocks()[i].rect();
+                    let b = fp.blocks()[j].rect();
+                    (a.x2() - b.x).abs() < 1e-9 || (b.x2() - a.x).abs() < 1e-9
+                }
+            });
+            assert!(lateral_l2, "{name} should laterally touch an L2 bank");
+        }
+        for name in MIDDLE_CORES {
+            let i = fp.index_of(name).unwrap();
+            let core_neighbors = lists[i]
+                .iter()
+                .filter(|&&j| fp.blocks()[j].is_core())
+                .count();
+            assert_eq!(core_neighbors, 2, "{name} should sit between two cores");
+        }
+    }
+
+    #[test]
+    fn core_area_matches_spec() {
+        let fp = niagara8();
+        for core in fp.cores() {
+            assert!((core.area() - 4.5e-6).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ascii_art_has_all_rows() {
+        let fp = niagara8();
+        let art = fp.ascii_art(28, 11);
+        assert!(art.contains('I'));
+        assert!(art.contains('X'));
+        assert!(art.contains('L'));
+    }
+}

@@ -1,0 +1,340 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Block, BlockKind, FloorplanError, Result};
+
+/// A complete die floorplan: a die outline plus a set of blocks.
+///
+/// Blocks are stored in insertion order; their index in that order is the
+/// node index used by the thermal model, so downstream crates can map block
+/// names to state-vector entries via [`Floorplan::index_of`].
+///
+/// # Example
+///
+/// ```
+/// use protemp_floorplan::{Block, BlockKind, Floorplan, Rect};
+///
+/// let mut fp = Floorplan::new(4e-3, 2e-3);
+/// fp.push(Block::new("P1", BlockKind::Core, Rect::new(0.0, 0.0, 2e-3, 2e-3)));
+/// fp.push(Block::new("L2", BlockKind::L2Cache, Rect::new(2e-3, 0.0, 2e-3, 2e-3)));
+/// fp.validate().unwrap();
+/// assert_eq!(fp.index_of("L2"), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    die_w: f64,
+    die_h: f64,
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan with the given die dimensions (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are not strictly positive and finite.
+    pub fn new(die_w: f64, die_h: f64) -> Self {
+        assert!(die_w > 0.0 && die_w.is_finite(), "die width must be positive");
+        assert!(die_h > 0.0 && die_h.is_finite(), "die height must be positive");
+        Floorplan {
+            die_w,
+            die_h,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Die width in metres.
+    pub fn die_width(&self) -> f64 {
+        self.die_w
+    }
+
+    /// Die height in metres.
+    pub fn die_height(&self) -> f64 {
+        self.die_h
+    }
+
+    /// Adds a block. Validation is deferred to [`Floorplan::validate`].
+    pub fn push(&mut self, block: Block) {
+        self.blocks.push(block);
+    }
+
+    /// All blocks in node-index order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the floorplan has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterator over the processing-core blocks, in node-index order.
+    pub fn cores(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter().filter(|b| b.is_core())
+    }
+
+    /// Node indices of the processing cores, in node-index order.
+    pub fn core_indices(&self) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_core())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Node index of the block with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.blocks.iter().position(|b| b.name() == name)
+    }
+
+    /// Block lookup by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::UnknownBlock`] if no block has that name.
+    pub fn block(&self, name: &str) -> Result<&Block> {
+        self.blocks
+            .iter()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| FloorplanError::UnknownBlock {
+                name: name.to_string(),
+            })
+    }
+
+    /// Total area covered by blocks, in m².
+    pub fn covered_area(&self) -> f64 {
+        self.blocks.iter().map(Block::area).sum()
+    }
+
+    /// Fraction of the die covered by blocks (1.0 for a complete tiling).
+    pub fn coverage(&self) -> f64 {
+        self.covered_area() / (self.die_w * self.die_h)
+    }
+
+    /// Checks structural invariants: unique names, blocks inside the die,
+    /// no pairwise overlaps, and at least one core.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`FloorplanError`].
+    pub fn validate(&self) -> Result<()> {
+        // Unique names.
+        for (i, a) in self.blocks.iter().enumerate() {
+            for b in &self.blocks[i + 1..] {
+                if a.name() == b.name() {
+                    return Err(FloorplanError::DuplicateName {
+                        name: a.name().to_string(),
+                    });
+                }
+            }
+        }
+        // In bounds.
+        let eps = 1e-9;
+        for b in &self.blocks {
+            let r = b.rect();
+            if r.x < -eps || r.y < -eps || r.x2() > self.die_w + eps || r.y2() > self.die_h + eps {
+                return Err(FloorplanError::OutOfBounds {
+                    name: b.name().to_string(),
+                });
+            }
+        }
+        // No overlaps.
+        for (i, a) in self.blocks.iter().enumerate() {
+            for b in &self.blocks[i + 1..] {
+                if a.rect().overlaps(b.rect()) {
+                    return Err(FloorplanError::Overlap {
+                        a: a.name().to_string(),
+                        b: b.name().to_string(),
+                    });
+                }
+            }
+        }
+        // At least one core.
+        if !self.blocks.iter().any(Block::is_core) {
+            return Err(FloorplanError::MissingKind { kind: "core" });
+        }
+        Ok(())
+    }
+
+    /// Returns a refined floorplan with every block split into an
+    /// `nx × ny` grid of sub-blocks (named `<block>@x_y`).
+    ///
+    /// This is the analogue of HotSpot's grid mode: the thermal crate can
+    /// consume the refined floorplan unchanged to obtain a finer RC model.
+    /// Sub-blocks keep their parent's kind, so core power can be spread
+    /// over the refined cells with [`Floorplan::parent_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero.
+    pub fn refine(&self, nx: usize, ny: usize) -> Floorplan {
+        assert!(nx > 0 && ny > 0, "refinement factors must be positive");
+        let mut out = Floorplan::new(self.die_w, self.die_h);
+        for b in &self.blocks {
+            let r = b.rect();
+            let w = r.w / nx as f64;
+            let h = r.h / ny as f64;
+            for i in 0..nx {
+                for j in 0..ny {
+                    out.push(Block::new(
+                        format!("{}@{}_{}", b.name(), i, j),
+                        b.kind(),
+                        crate::Rect::new(r.x + i as f64 * w, r.y + j as f64 * h, w, h),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// For a refined block name (`parent@x_y`), returns the parent block
+    /// name; returns the name unchanged when it has no refinement suffix.
+    pub fn parent_of(name: &str) -> &str {
+        name.split('@').next().unwrap_or(name)
+    }
+
+    /// Renders a coarse ASCII map of the floorplan (for logs and examples).
+    pub fn ascii_art(&self, cols: usize, rows: usize) -> String {
+        let mut grid = vec![vec!['.'; cols]; rows];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            let r = b.rect();
+            let x0 = ((r.x / self.die_w) * cols as f64) as usize;
+            let x1 = (((r.x2()) / self.die_w) * cols as f64).ceil() as usize;
+            let y0 = ((r.y / self.die_h) * rows as f64) as usize;
+            let y1 = (((r.y2()) / self.die_h) * rows as f64).ceil() as usize;
+            let ch = match b.kind() {
+                BlockKind::Core => {
+                    // Label cores 1..9 then a..z by index among cores.
+                    let cores_before = self.blocks[..bi].iter().filter(|x| x.is_core()).count();
+                    char::from_digit((cores_before + 1) as u32 % 36, 36).unwrap_or('#')
+                }
+                BlockKind::L2Cache => 'L',
+                BlockKind::Crossbar => 'X',
+                BlockKind::Io => 'I',
+                BlockKind::Other => 'o',
+            };
+            for row in grid.iter_mut().take(y1.min(rows)).skip(y0) {
+                for cell in row.iter_mut().take(x1.min(cols)).skip(x0) {
+                    *cell = ch;
+                }
+            }
+        }
+        // y grows upwards, so print top row first.
+        grid.iter()
+            .rev()
+            .map(|row| row.iter().collect::<String>())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    fn two_block_plan() -> Floorplan {
+        let mut fp = Floorplan::new(4.0, 2.0);
+        fp.push(Block::new("P1", BlockKind::Core, Rect::new(0.0, 0.0, 2.0, 2.0)));
+        fp.push(Block::new("L2", BlockKind::L2Cache, Rect::new(2.0, 0.0, 2.0, 2.0)));
+        fp
+    }
+
+    #[test]
+    fn validate_accepts_good_plan() {
+        let fp = two_block_plan();
+        fp.validate().unwrap();
+        assert_eq!(fp.len(), 2);
+        assert!((fp.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(fp.core_indices(), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut fp = two_block_plan();
+        fp.push(Block::new("P1", BlockKind::Other, Rect::new(0.0, 0.0, 1.0, 1.0)));
+        assert!(matches!(
+            fp.validate(),
+            Err(FloorplanError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut fp = Floorplan::new(4.0, 2.0);
+        fp.push(Block::new("A", BlockKind::Core, Rect::new(0.0, 0.0, 2.0, 2.0)));
+        fp.push(Block::new("B", BlockKind::Core, Rect::new(1.0, 0.0, 2.0, 2.0)));
+        assert!(matches!(fp.validate(), Err(FloorplanError::Overlap { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut fp = Floorplan::new(2.0, 2.0);
+        fp.push(Block::new("A", BlockKind::Core, Rect::new(1.0, 0.0, 2.0, 2.0)));
+        assert!(matches!(
+            fp.validate(),
+            Err(FloorplanError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn core_required() {
+        let mut fp = Floorplan::new(2.0, 2.0);
+        fp.push(Block::new("L2", BlockKind::L2Cache, Rect::new(0.0, 0.0, 2.0, 2.0)));
+        assert!(matches!(
+            fp.validate(),
+            Err(FloorplanError::MissingKind { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let fp = two_block_plan();
+        assert_eq!(fp.index_of("L2"), Some(1));
+        assert!(fp.block("L2").is_ok());
+        assert!(matches!(
+            fp.block("nope"),
+            Err(FloorplanError::UnknownBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn ascii_art_renders() {
+        let fp = two_block_plan();
+        let art = fp.ascii_art(8, 2);
+        assert!(art.contains('1'));
+        assert!(art.contains('L'));
+    }
+
+    #[test]
+    fn refine_preserves_area_and_validates() {
+        let fp = two_block_plan();
+        let fine = fp.refine(3, 2);
+        fine.validate().unwrap();
+        assert_eq!(fine.len(), fp.len() * 6);
+        assert!((fine.covered_area() - fp.covered_area()).abs() < 1e-12);
+        // Core count scales with the refinement.
+        assert_eq!(fine.cores().count(), 6);
+    }
+
+    #[test]
+    fn refine_names_and_parents() {
+        let fp = two_block_plan();
+        let fine = fp.refine(2, 1);
+        assert!(fine.index_of("P1@0_0").is_some());
+        assert!(fine.index_of("P1@1_0").is_some());
+        assert_eq!(Floorplan::parent_of("P1@1_0"), "P1");
+        assert_eq!(Floorplan::parent_of("XBAR"), "XBAR");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn refine_zero_panics() {
+        let _ = two_block_plan().refine(0, 1);
+    }
+}

@@ -1,0 +1,161 @@
+use serde::{Deserialize, Serialize};
+
+/// Geometric tolerance (in metres) used when comparing coordinates.
+///
+/// Die dimensions are millimetres, so 1 nm of slack absorbs floating-point
+/// noise without ever merging distinct block boundaries.
+pub(crate) const GEOM_EPS: f64 = 1e-9;
+
+/// An axis-aligned rectangle on the die, in metres.
+///
+/// The origin is the lower-left corner of the die; `x` grows rightwards and
+/// `y` grows upwards.
+///
+/// # Example
+///
+/// ```
+/// use protemp_floorplan::Rect;
+///
+/// let r = Rect::new(0.0, 0.0, 2e-3, 1e-3);
+/// assert!((r.area() - 2e-6).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge (m).
+    pub x: f64,
+    /// Bottom edge (m).
+    pub y: f64,
+    /// Width (m).
+    pub w: f64,
+    /// Height (m).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is not strictly positive and finite.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(w > 0.0 && w.is_finite(), "rect width must be positive");
+        assert!(h > 0.0 && h.is_finite(), "rect height must be positive");
+        assert!(x.is_finite() && y.is_finite(), "rect origin must be finite");
+        Rect { x, y, w, h }
+    }
+
+    /// Right edge.
+    pub fn x2(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge.
+    pub fn y2(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Area in m².
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Centre point `(cx, cy)`.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + 0.5 * self.w, self.y + 0.5 * self.h)
+    }
+
+    /// `true` if the interiors of `self` and `other` overlap.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x < other.x2() - GEOM_EPS
+            && other.x < self.x2() - GEOM_EPS
+            && self.y < other.y2() - GEOM_EPS
+            && other.y < self.y2() - GEOM_EPS
+    }
+
+    /// Length of the shared boundary between two non-overlapping rectangles.
+    ///
+    /// Returns `0.0` if the rectangles only touch at a corner or are apart.
+    pub fn shared_edge(&self, other: &Rect) -> f64 {
+        // Vertical contact: my right edge on their left edge, or vice versa.
+        let x_touch = (self.x2() - other.x).abs() < GEOM_EPS
+            || (other.x2() - self.x).abs() < GEOM_EPS;
+        if x_touch {
+            let lo = self.y.max(other.y);
+            let hi = self.y2().min(other.y2());
+            if hi - lo > GEOM_EPS {
+                return hi - lo;
+            }
+        }
+        // Horizontal contact: my top edge on their bottom edge, or vice versa.
+        let y_touch = (self.y2() - other.y).abs() < GEOM_EPS
+            || (other.y2() - self.y).abs() < GEOM_EPS;
+        if y_touch {
+            let lo = self.x.max(other.x);
+            let hi = self.x2().min(other.x2());
+            if hi - lo > GEOM_EPS {
+                return hi - lo;
+            }
+        }
+        0.0
+    }
+
+    /// Euclidean distance between the centres of two rectangles.
+    pub fn center_distance(&self, other: &Rect) -> f64 {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.x2(), 4.0);
+        assert_eq!(r.y2(), 6.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), (2.5, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = Rect::new(0.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(2.0, 0.0, 2.0, 2.0); // touches a's right edge
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn shared_edges() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let right = Rect::new(2.0, 1.0, 2.0, 2.0);
+        assert!((a.shared_edge(&right) - 1.0).abs() < 1e-12);
+        assert!((right.shared_edge(&a) - 1.0).abs() < 1e-12);
+
+        let above = Rect::new(0.5, 2.0, 1.0, 1.0);
+        assert!((a.shared_edge(&above) - 1.0).abs() < 1e-12);
+
+        let corner = Rect::new(2.0, 2.0, 1.0, 1.0); // corner contact only
+        assert_eq!(a.shared_edge(&corner), 0.0);
+
+        let apart = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert_eq!(a.shared_edge(&apart), 0.0);
+    }
+
+    #[test]
+    fn center_distance() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(3.0, 4.0, 2.0, 2.0);
+        assert!((a.center_distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for floorplan geometry.
+
+use proptest::prelude::*;
+use protemp_floorplan::{adjacency, Block, BlockKind, Floorplan, Rect};
+
+/// Strategy: an n×m grid tiling of the unit die — always a valid floorplan.
+fn grid_plan(max_side: usize) -> impl Strategy<Value = Floorplan> {
+    (1..=max_side, 1..=max_side).prop_map(|(nx, ny)| {
+        let mut fp = Floorplan::new(1.0, 1.0);
+        let w = 1.0 / nx as f64;
+        let h = 1.0 / ny as f64;
+        for i in 0..nx {
+            for j in 0..ny {
+                let kind = if (i + j) % 2 == 0 {
+                    BlockKind::Core
+                } else {
+                    BlockKind::L2Cache
+                };
+                fp.push(Block::new(
+                    format!("b{i}_{j}"),
+                    kind,
+                    Rect::new(i as f64 * w, j as f64 * h, w, h),
+                ));
+            }
+        }
+        fp
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grid_tilings_validate_and_cover(fp in grid_plan(5)) {
+        fp.validate().unwrap();
+        prop_assert!((fp.coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive(fp in grid_plan(5)) {
+        let lists = adjacency::neighbor_lists(&fp);
+        for (i, neigh) in lists.iter().enumerate() {
+            prop_assert!(!neigh.contains(&i), "no self adjacency");
+            for &j in neigh {
+                prop_assert!(lists[j].contains(&i), "adjacency must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_adjacency_count_matches_formula(nx in 1usize..6, ny in 1usize..6) {
+        // An nx × ny grid has nx(ny-1) + ny(nx-1) interior edges.
+        let mut fp = Floorplan::new(1.0, 1.0);
+        let w = 1.0 / nx as f64;
+        let h = 1.0 / ny as f64;
+        for i in 0..nx {
+            for j in 0..ny {
+                fp.push(Block::new(
+                    format!("b{i}_{j}"),
+                    BlockKind::Core,
+                    Rect::new(i as f64 * w, j as f64 * h, w, h),
+                ));
+            }
+        }
+        let expected = nx * (ny - 1) + ny * (nx - 1);
+        prop_assert_eq!(adjacency::adjacencies(&fp).len(), expected);
+    }
+
+    #[test]
+    fn shared_edge_is_commutative(ax in 0.0..3.0f64, ay in 0.0..3.0f64,
+                                  aw in 0.1..2.0f64, ah in 0.1..2.0f64,
+                                  bx in 0.0..3.0f64, by in 0.0..3.0f64,
+                                  bw in 0.1..2.0f64, bh in 0.1..2.0f64) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        prop_assert_eq!(a.shared_edge(&b), b.shared_edge(&a));
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn shared_edge_bounded_by_sides(offset in -1.0..1.0f64, w in 0.1..2.0f64, h in 0.1..2.0f64) {
+        // Two rectangles sharing a vertical boundary with arbitrary offset.
+        let a = Rect::new(0.0, 0.0, w, h);
+        let b = Rect::new(w, offset, w, h);
+        let e = a.shared_edge(&b);
+        prop_assert!(e <= h + 1e-12);
+        prop_assert!(e >= 0.0);
+    }
+}

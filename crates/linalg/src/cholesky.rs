@@ -1,0 +1,188 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive definite matrix.
+///
+/// The interior-point solver assembles Newton systems whose Hessians are SPD
+/// by construction; Cholesky gives the cheapest and most stable solve for
+/// them. [`Cholesky::factor_regularized`] adds a diagonal ridge before
+/// factoring, which the solver uses to survive nearly-singular Hessians far
+/// from the central path.
+///
+/// # Example
+///
+/// ```
+/// use protemp_linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::factor(&a).unwrap();
+/// let x = ch.solve(&[2.0, 1.0]);
+/// let ax = a.matvec(&x);
+/// assert!((ax[0] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a non-positive pivot is met.
+    /// * [`LinalgError::NotFinite`] if `a` has NaN or infinite entries.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        Self::factor_regularized(a, 0.0)
+    }
+
+    /// Factors `a + ridge * I`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cholesky::factor`].
+    pub fn factor_regularized(a: &Matrix, ridge: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)] + ridge;
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { index: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow of the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "cholesky solve dimension mismatch");
+        // Forward substitution L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Back substitution Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Log-determinant of `A` (twice the log-determinant of `L`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.l();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        assert!((&llt - &a).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn solve_gives_residual_zero() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let x = ch.solve(&b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_nan() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::factor(&a).is_err());
+        let mut b = Matrix::identity(2);
+        b[(0, 0)] = f64::NAN;
+        assert!(matches!(Cholesky::factor(&b), Err(LinalgError::NotFinite)));
+    }
+
+    #[test]
+    fn ridge_rescues_semidefinite() {
+        // Singular PSD matrix: ones(2,2).
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::factor(&a).is_err());
+        assert!(Cholesky::factor_regularized(&a, 1e-8).is_ok());
+    }
+
+    #[test]
+    fn log_det_matches_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!(ch.log_det().abs() < 1e-14);
+        let a = Matrix::from_diag(&[2.0, 3.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - 6.0_f64.ln()).abs() < 1e-12);
+    }
+}

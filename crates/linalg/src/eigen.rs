@@ -1,0 +1,168 @@
+//! Power-iteration eigenvalue bounds.
+//!
+//! The thermal integrators need the extremal eigenvalues of the (symmetric,
+//! similarity-transformed) system matrix `C⁻¹G` to compute the forward-Euler
+//! stability limit — the quantity behind the paper's statement that the
+//! thermal equation "had to be solved with a time step of 0.4 ms" for
+//! numerical stability.
+
+use crate::{LinalgError, Lu, Matrix, Result};
+
+/// Default iteration cap for the power methods.
+const MAX_ITERS: usize = 10_000;
+/// Relative convergence tolerance on the Rayleigh quotient.
+const TOL: f64 = 1e-10;
+
+/// Estimates the spectral radius of a square matrix by power iteration.
+///
+/// Uses a fixed deterministic starting vector with a small perturbation to
+/// avoid starting orthogonal to the dominant eigenvector.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+/// * [`LinalgError::NoConvergence`] if the iteration stalls (e.g. complex
+///   dominant pair with equal magnitude); the thermal matrices in this
+///   workspace have real spectra, so this indicates misuse.
+pub fn spectral_radius(a: &Matrix) -> Result<f64> {
+    if !a.is_square() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "spectral_radius",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + 0.01 * (i as f64 + 1.0)).collect();
+    normalize(&mut v);
+    let mut lambda = 0.0;
+    for it in 0..MAX_ITERS {
+        let w = a.matvec(&v);
+        let norm = crate::vecops::norm2(&w);
+        if norm == 0.0 {
+            return Ok(0.0); // v in nullspace and A nilpotent-like: radius 0 signal.
+        }
+        let new_lambda = crate::vecops::dot(&w, &v);
+        v = w;
+        normalize(&mut v);
+        if it > 2 && (new_lambda - lambda).abs() <= TOL * new_lambda.abs().max(1e-30) {
+            return Ok(new_lambda.abs());
+        }
+        lambda = new_lambda;
+    }
+    Err(LinalgError::NoConvergence {
+        method: "power iteration",
+        iterations: MAX_ITERS,
+    })
+}
+
+/// Largest eigenvalue of a symmetric matrix by power iteration on `A + σI`.
+///
+/// The shift `σ = ‖A‖₁` makes all eigenvalues of the shifted matrix
+/// non-negative so the dominant one corresponds to `λ_max(A)`.
+///
+/// # Errors
+///
+/// Same conditions as [`spectral_radius`].
+pub fn sym_eig_max(a: &Matrix) -> Result<f64> {
+    let sigma = a.norm_one();
+    let n = a.rows();
+    let mut shifted = a.clone();
+    for i in 0..n {
+        shifted[(i, i)] += sigma;
+    }
+    let r = spectral_radius(&shifted)?;
+    Ok(r - sigma)
+}
+
+/// Smallest eigenvalue of a symmetric matrix (negated `sym_eig_max` of `-A`).
+///
+/// # Errors
+///
+/// Same conditions as [`spectral_radius`].
+pub fn sym_eig_min(a: &Matrix) -> Result<f64> {
+    let neg = a.scale(-1.0);
+    Ok(-sym_eig_max(&neg)?)
+}
+
+/// Condition-number estimate `λ_max/λ_min` for a symmetric positive definite
+/// matrix, using inverse power iteration for the smallest eigenvalue.
+///
+/// # Errors
+///
+/// * Propagates factorization failures if `a` is singular.
+/// * Same convergence conditions as [`spectral_radius`].
+pub fn spd_condition(a: &Matrix) -> Result<f64> {
+    let lmax = sym_eig_max(a)?;
+    let lu = Lu::factor(a)?;
+    // Inverse power iteration: dominant eigenvalue of A⁻¹ is 1/λ_min.
+    let n = a.rows();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + 0.01 * (i as f64 + 1.0)).collect();
+    normalize(&mut v);
+    let mut mu = 0.0;
+    for it in 0..MAX_ITERS {
+        let w = lu.solve(&v)?;
+        let new_mu = crate::vecops::dot(&w, &v);
+        let mut w = w;
+        normalize(&mut w);
+        v = w;
+        if it > 2 && (new_mu - mu).abs() <= TOL * new_mu.abs().max(1e-30) {
+            let lmin = 1.0 / new_mu;
+            return Ok(lmax / lmin);
+        }
+        mu = new_mu;
+    }
+    Err(LinalgError::NoConvergence {
+        method: "inverse power iteration",
+        iterations: MAX_ITERS,
+    })
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = crate::vecops::norm2(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_spectral_radius() {
+        let a = Matrix::from_diag(&[1.0, -3.0, 2.0]);
+        let r = spectral_radius(&a).unwrap();
+        assert!((r - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sym_extremes() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        // Eigenvalues 1 and 3.
+        assert!((sym_eig_max(&a).unwrap() - 3.0).abs() < 1e-8);
+        assert!((sym_eig_min(&a).unwrap() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn condition_of_diag() {
+        let a = Matrix::from_diag(&[10.0, 1.0, 2.0]);
+        let c = spd_condition(&a).unwrap();
+        assert!((c - 10.0).abs() < 1e-6, "got {c}");
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(spectral_radius(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_radius_zero() {
+        assert_eq!(spectral_radius(&Matrix::zeros(3, 3)).unwrap(), 0.0);
+    }
+}

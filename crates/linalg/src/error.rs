@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced by the linear algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) to working precision.
+    Singular {
+        /// Pivot index at which factorization broke down.
+        pivot: usize,
+    },
+    /// The matrix is not positive definite (Cholesky breakdown).
+    NotPositiveDefinite {
+        /// Diagonal index at which the factorization broke down.
+        index: usize,
+    },
+    /// An iterative method failed to converge.
+    NoConvergence {
+        /// The method that failed.
+        method: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input contained NaN or infinity.
+    NotFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite at diagonal {index}")
+            }
+            LinalgError::NoConvergence { method, iterations } => {
+                write!(f, "{method} did not converge after {iterations} iterations")
+            }
+            LinalgError::NotFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

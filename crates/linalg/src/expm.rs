@@ -1,0 +1,173 @@
+use crate::{LinalgError, Lu, Matrix, Result};
+
+/// Matrix exponential via scaling-and-squaring with a degree-13 Padé
+/// approximant (Higham's method, as used by `scipy.linalg.expm`).
+///
+/// The thermal crate uses `expm` to compute the *exact* discrete transition
+/// matrix `e^{-C⁻¹G Δt}` against which the forward/backward-Euler integrators
+/// are validated.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+/// * [`LinalgError::NotFinite`] if `a` has NaN or infinite entries.
+/// * [`LinalgError::Singular`] if the Padé denominator is singular
+///   (does not occur for well-scaled finite inputs).
+///
+/// # Example
+///
+/// ```
+/// use protemp_linalg::{expm, Matrix};
+///
+/// let z = Matrix::zeros(3, 3);
+/// let e = expm(&z).unwrap();
+/// assert!((&e - &Matrix::identity(3)).norm_max() < 1e-14);
+/// ```
+pub fn expm(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "expm",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NotFinite);
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Matrix::zeros(0, 0));
+    }
+
+    // Scaling: bring ‖A/2^s‖₁ under theta_13 = 5.37.
+    const THETA_13: f64 = 5.371_920_351_148_152;
+    let norm = a.norm_one();
+    let s = if norm > THETA_13 {
+        ((norm / THETA_13).log2().ceil()) as u32
+    } else {
+        0
+    };
+    let a_scaled = a.scale(0.5_f64.powi(s as i32));
+
+    // Degree-13 Padé coefficients.
+    const B: [f64; 14] = [
+        64_764_752_532_480_000.0,
+        32_382_376_266_240_000.0,
+        7_771_770_303_897_600.0,
+        1_187_353_796_428_800.0,
+        129_060_195_264_000.0,
+        10_559_470_521_600.0,
+        670_442_572_800.0,
+        33_522_128_640.0,
+        1_323_241_920.0,
+        40_840_800.0,
+        960_960.0,
+        16_380.0,
+        182.0,
+        1.0,
+    ];
+
+    let ident = Matrix::identity(n);
+    let a2 = a_scaled.matmul(&a_scaled)?;
+    let a4 = a2.matmul(&a2)?;
+    let a6 = a2.matmul(&a4)?;
+
+    // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+    let mut w1 = a6.scale(B[13]);
+    w1.axpy(1.0, &a4.scale(B[11])).ok();
+    w1.axpy(1.0, &a2.scale(B[9])).ok();
+    let mut w2 = a6.scale(B[7]);
+    w2.axpy(1.0, &a4.scale(B[5])).ok();
+    w2.axpy(1.0, &a2.scale(B[3])).ok();
+    w2.axpy(1.0, &ident.scale(B[1])).ok();
+    let w = {
+        let mut t = a6.matmul(&w1)?;
+        t.axpy(1.0, &w2).ok();
+        t
+    };
+    let u = a_scaled.matmul(&w)?;
+
+    // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+    let mut z1 = a6.scale(B[12]);
+    z1.axpy(1.0, &a4.scale(B[10])).ok();
+    z1.axpy(1.0, &a2.scale(B[8])).ok();
+    let mut z2 = a6.scale(B[6]);
+    z2.axpy(1.0, &a4.scale(B[4])).ok();
+    z2.axpy(1.0, &a2.scale(B[2])).ok();
+    z2.axpy(1.0, &ident.scale(B[0])).ok();
+    let v = {
+        let mut t = a6.matmul(&z1)?;
+        t.axpy(1.0, &z2).ok();
+        t
+    };
+
+    // Solve (V - U) F = (V + U).
+    let vmu = &v - &u;
+    let vpu = &v + &u;
+    let lu = Lu::factor(&vmu)?;
+    let mut f = lu.solve_matrix(&vpu)?;
+
+    // Undo scaling by repeated squaring.
+    for _ in 0..s {
+        f = f.matmul(&f)?;
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expm_zero_is_identity() {
+        let e = expm(&Matrix::zeros(4, 4)).unwrap();
+        assert!((&e - &Matrix::identity(4)).norm_max() < 1e-14);
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let a = Matrix::from_diag(&[1.0, -2.0, 0.5]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - 1.0_f64.exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - (-2.0_f64).exp()).abs() < 1e-12);
+        assert!((e[(2, 2)] - 0.5_f64.exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_rotation_block() {
+        // exp([[0, -t], [t, 0]]) = [[cos t, -sin t], [sin t, cos t]]
+        let t = 0.7;
+        let a = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - t.cos()).abs() < 1e-12);
+        assert!((e[(1, 0)] - t.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_large_norm_uses_scaling() {
+        // Norm >> theta so s > 0; still accurate for diagonal.
+        let a = Matrix::from_diag(&[10.0, -30.0]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - 10.0_f64.exp()).abs() / 10.0_f64.exp() < 1e-10);
+        assert!(e[(1, 1)] < 1e-12);
+    }
+
+    #[test]
+    fn expm_additivity_for_same_matrix() {
+        // exp(A) * exp(A) == exp(2A) for any A (A commutes with itself).
+        let a = Matrix::from_rows(&[&[0.1, 0.3], &[-0.2, 0.05]]);
+        let e1 = expm(&a).unwrap();
+        let e2 = expm(&a.scale(2.0)).unwrap();
+        let prod = e1.matmul(&e1).unwrap();
+        assert!((&prod - &e2).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(expm(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::INFINITY;
+        assert!(expm(&a).is_err());
+    }
+}

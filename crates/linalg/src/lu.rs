@@ -1,0 +1,225 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization with partial pivoting, `P A = L U`.
+///
+/// Used for general square systems: interior-point KKT matrices (which are
+/// symmetric indefinite) and thermal steady-state conductance solves.
+///
+/// # Example
+///
+/// ```
+/// use protemp_linalg::{Lu, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+/// let lu = Lu::factor(&a).unwrap();
+/// let x = lu.solve(&[2.0, 2.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of A.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Pivot magnitudes below this threshold are treated as singular.
+    const PIVOT_TOL: f64 = 1e-13;
+
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot underflows the tolerance
+    ///   relative to the matrix scale.
+    /// * [`LinalgError::NotFinite`] if `a` has NaN or infinite entries.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let n = a.rows();
+        let scale = a.norm_max().max(1.0);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at or below row k.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < Self::PIVOT_TOL * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(p, c)];
+                    lu[(p, c)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m == 0.0 {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let ukc = lu[(k, c)];
+                    lu[(i, c)] -= m * ukc;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col: Vec<f64> = b.col(c);
+            let x = self.solve(&col)?;
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (none expected after a successful factor).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+        assert!((lu.det() - (-1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[3.0, 0.5], &[-1.0, 2.0]]);
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(2)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn det_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Lu::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR factorization `A = Q R` of an `m × n` matrix with `m ≥ n`.
+///
+/// Used for least-squares solves and for computing orthonormal nullspace
+/// bases when the convex solver eliminates equality constraints.
+///
+/// # Example
+///
+/// ```
+/// use protemp_linalg::{Matrix, Qr};
+///
+/// // Overdetermined least squares: fit y = a + b t.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let qr = Qr::factor(&a).unwrap();
+/// let coef = qr.solve_least_squares(&[1.0, 3.0, 5.0]).unwrap();
+/// assert!((coef[0] - 1.0).abs() < 1e-12 && (coef[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; R on and above it.
+    qr: Matrix,
+    /// Scalar factors of the Householder reflectors.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors an `m × n` matrix with `m ≥ n`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `m < n`.
+    /// * [`LinalgError::NotFinite`] if `a` has NaN or infinite entries.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr (requires rows >= cols)",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // Normalize so v[k] = 1 implicitly; store v[i]/v0 below diagonal.
+            for i in (k + 1)..m {
+                let v = qr[(i, k)] / v0;
+                qr[(i, k)] = v;
+            }
+            tau[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+            // Apply the reflector to the remaining columns.
+            for c in (k + 1)..n {
+                let mut s = qr[(k, c)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, c)];
+                }
+                s *= tau[k];
+                qr[(k, c)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, c)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, tau })
+    }
+
+    /// Shape `(m, n)` of the factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = self.qr.shape();
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= self.tau[k];
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Applies `Q` to a vector of length `m`.
+    fn apply_q(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = self.qr.shape();
+        let mut y = b.to_vec();
+        for k in (0..n).rev() {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= self.tau[k];
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `b.len() != m`.
+    /// * [`LinalgError::Singular`] if `R` has a (near-)zero diagonal entry,
+    ///   i.e. `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let scale = self.qr.norm_max().max(1.0);
+        let y = self.apply_qt(b);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.qr[(i, k)] * x[k];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() < 1e-13 * scale {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Returns the `m × m` orthogonal factor `Q` explicitly.
+    pub fn q(&self) -> Matrix {
+        let (m, _) = self.qr.shape();
+        let mut q = Matrix::zeros(m, m);
+        for c in 0..m {
+            let mut e = vec![0.0; m];
+            e[c] = 1.0;
+            let col = self.apply_q(&e);
+            for r in 0..m {
+                q[(r, c)] = col[r];
+            }
+        }
+        q
+    }
+
+    /// Returns the upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        let (_, n) = self.qr.shape();
+        Matrix::from_fn(n, n, |r, c| if c >= r { self.qr[(r, c)] } else { 0.0 })
+    }
+
+    /// Orthonormal basis for the nullspace of `Aᵀ` (the last `m − n` columns
+    /// of `Q`), useful for eliminating equality constraints `Aᵀ x = b`.
+    pub fn nullspace_basis(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let q = self.q();
+        Matrix::from_fn(m, m - n, |r, c| q[(r, n + c)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        let q = qr.q();
+        let r = qr.r();
+        // Q is orthogonal.
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!((&qtq - &Matrix::identity(3)).norm_max() < 1e-12);
+        // Q[:, :n] * R == A.
+        let qthin = Matrix::from_fn(3, 2, |i, j| q[(i, j)]);
+        let qa = qthin.matmul(&r).unwrap();
+        assert!((&qa - &a).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [0.9, 3.1, 4.9, 7.2];
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations: (AᵀA) x = Aᵀ b.
+        let ata = a.transpose().matmul(&a).unwrap();
+        let atb = a.matvec_t(&b);
+        let x2 = crate::Lu::factor(&ata).unwrap().solve(&atb).unwrap();
+        for (u, v) in x.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn nullspace_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        let ns = qr.nullspace_basis();
+        assert_eq!(ns.shape(), (3, 2));
+        // Columns of ns are orthogonal to the column of a.
+        for c in 0..2 {
+            let col = ns.col(c);
+            let d: f64 = col.iter().sum();
+            assert!(d.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Qr::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+}

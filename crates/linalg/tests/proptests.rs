@@ -1,0 +1,122 @@
+//! Property-based tests for the dense linear algebra kernels.
+
+use proptest::prelude::*;
+use protemp_linalg::{expm, vecops, Cholesky, Lu, Matrix, Qr};
+
+/// Strategy: a well-conditioned SPD matrix A = BᵀB + n·I of side `n`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let mut a = b.transpose().matmul(&b).expect("square");
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    })
+}
+
+/// Strategy: a general square matrix with entries in [-1, 1] plus a strong
+/// diagonal so it is comfortably nonsingular.
+fn diag_dominant(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+        let mut a = Matrix::from_vec(n, n, data);
+        for i in 0..n {
+            a[(i, i)] += 2.0 * n as f64;
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(5)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.l();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        prop_assert!((&llt - &a).norm_max() < 1e-9 * a.norm_max().max(1.0));
+    }
+
+    #[test]
+    fn cholesky_solve_residual(a in spd_matrix(5), b in prop::collection::vec(-10.0..10.0f64, 5)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        let r = vecops::sub(&a.matvec(&x), &b);
+        prop_assert!(vecops::norm_inf(&r) < 1e-8);
+    }
+
+    #[test]
+    fn lu_solve_residual(a in diag_dominant(6), b in prop::collection::vec(-10.0..10.0f64, 6)) {
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = vecops::sub(&a.matvec(&x), &b);
+        prop_assert!(vecops::norm_inf(&r) < 1e-8);
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(a in diag_dominant(4)) {
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!((&prod - &Matrix::identity(4)).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn qr_orthogonality(data in prop::collection::vec(-1.0..1.0f64, 6 * 3)) {
+        let mut a = Matrix::from_vec(6, 3, data);
+        // Keep full column rank by boosting the top 3x3 diagonal.
+        for i in 0..3 { a[(i, i)] += 5.0; }
+        let qr = Qr::factor(&a).unwrap();
+        let q = qr.q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        prop_assert!((&qtq - &Matrix::identity(6)).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn qr_least_squares_optimality(data in prop::collection::vec(-1.0..1.0f64, 6 * 2),
+                                   b in prop::collection::vec(-5.0..5.0f64, 6)) {
+        let mut a = Matrix::from_vec(6, 2, data);
+        for i in 0..2 { a[(i, i)] += 5.0; }
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations residual: Aᵀ(Ax - b) == 0 at the optimum.
+        let resid = vecops::sub(&a.matvec(&x), &b);
+        let grad = a.matvec_t(&resid);
+        prop_assert!(vecops::norm_inf(&grad) < 1e-8);
+    }
+
+    #[test]
+    fn expm_inverse_property(data in prop::collection::vec(-0.5..0.5f64, 9)) {
+        // exp(A) * exp(-A) == I for any square A.
+        let a = Matrix::from_vec(3, 3, data);
+        let e = expm(&a).unwrap();
+        let einv = expm(&a.scale(-1.0)).unwrap();
+        let prod = e.matmul(&einv).unwrap();
+        prop_assert!((&prod - &Matrix::identity(3)).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn matmul_associative(x in prop::collection::vec(-1.0..1.0f64, 9),
+                          y in prop::collection::vec(-1.0..1.0f64, 9),
+                          z in prop::collection::vec(-1.0..1.0f64, 9)) {
+        let a = Matrix::from_vec(3, 3, x);
+        let b = Matrix::from_vec(3, 3, y);
+        let c = Matrix::from_vec(3, 3, z);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!((&left - &right).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution(data in prop::collection::vec(-1.0..1.0f64, 12)) {
+        let a = Matrix::from_vec(3, 4, data);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(a in prop::collection::vec(-10.0..10.0f64, 8),
+                          b in prop::collection::vec(-10.0..10.0f64, 8)) {
+        let lhs = vecops::dot(&a, &b).abs();
+        let rhs = vecops::norm2(&a) * vecops::norm2(&b);
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+}

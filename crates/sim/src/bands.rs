@@ -1,0 +1,159 @@
+use serde::{Deserialize, Serialize};
+
+/// Accumulates the fraction of time spent in temperature bands.
+///
+/// The paper's Figure 6 reports four bands: `< 80`, `80–90`, `90–100` and
+/// `> 100` °C; those are the default edges.
+///
+/// # Example
+///
+/// ```
+/// use protemp_sim::BandOccupancy;
+///
+/// let mut b = BandOccupancy::paper_bands();
+/// b.record(75.0, 1.0);
+/// b.record(95.0, 1.0);
+/// let f = b.fractions();
+/// assert!((f[0] - 0.5).abs() < 1e-12); // half the time below 80
+/// assert!((f[2] - 0.5).abs() < 1e-12); // half in 90-100
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandOccupancy {
+    edges: Vec<f64>,
+    time_in_band: Vec<f64>,
+    total_time: f64,
+}
+
+impl BandOccupancy {
+    /// Creates an accumulator with the given ascending band edges; `n`
+    /// edges produce `n + 1` bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges are not strictly ascending.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "band edges must be strictly ascending"
+        );
+        let n = edges.len() + 1;
+        BandOccupancy {
+            edges,
+            time_in_band: vec![0.0; n],
+            total_time: 0.0,
+        }
+    }
+
+    /// The paper's Figure 6 bands: `<80`, `80–90`, `90–100`, `>100` °C.
+    pub fn paper_bands() -> Self {
+        BandOccupancy::new(vec![80.0, 90.0, 100.0])
+    }
+
+    /// Records `dt` time units spent at temperature `temp`.
+    pub fn record(&mut self, temp: f64, dt: f64) {
+        let idx = self.edges.iter().take_while(|&&e| temp >= e).count();
+        self.time_in_band[idx] += dt;
+        self.total_time += dt;
+    }
+
+    /// Band edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Fraction of time per band (sums to 1 when any time was recorded).
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total_time == 0.0 {
+            return vec![0.0; self.time_in_band.len()];
+        }
+        self.time_in_band
+            .iter()
+            .map(|t| t / self.total_time)
+            .collect()
+    }
+
+    /// Fraction of time at or above the given temperature edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not one of the configured edges.
+    pub fn fraction_above(&self, edge: f64) -> f64 {
+        let pos = self
+            .edges
+            .iter()
+            .position(|&e| e == edge)
+            .expect("edge must be one of the configured edges");
+        let above: f64 = self.time_in_band[pos + 1..].iter().sum();
+        if self.total_time == 0.0 {
+            0.0
+        } else {
+            above / self.total_time
+        }
+    }
+
+    /// Merges another accumulator (used to average across cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges differ.
+    pub fn merge(&mut self, other: &BandOccupancy) {
+        assert_eq!(self.edges, other.edges, "band edges must match");
+        for (a, b) in self.time_in_band.iter_mut().zip(&other.time_in_band) {
+            *a += b;
+        }
+        self.total_time += other.total_time;
+    }
+
+    /// Total recorded time.
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_go_to_upper_band() {
+        let mut b = BandOccupancy::paper_bands();
+        b.record(80.0, 1.0); // exactly 80 → band 1 (80-90)
+        let f = b.fractions();
+        assert_eq!(f[1], 1.0);
+    }
+
+    #[test]
+    fn fraction_above_works() {
+        let mut b = BandOccupancy::paper_bands();
+        b.record(70.0, 3.0);
+        b.record(105.0, 1.0);
+        assert!((b.fraction_above(100.0) - 0.25).abs() < 1e-12);
+        assert!((b.fraction_above(80.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BandOccupancy::paper_bands();
+        a.record(85.0, 1.0);
+        let mut b = BandOccupancy::paper_bands();
+        b.record(95.0, 1.0);
+        a.merge(&b);
+        let f = a.fractions();
+        assert!((f[1] - 0.5).abs() < 1e-12);
+        assert!((f[2] - 0.5).abs() < 1e-12);
+        assert_eq!(a.total_time(), 2.0);
+    }
+
+    #[test]
+    fn empty_fractions_zero() {
+        let b = BandOccupancy::paper_bands();
+        assert_eq!(b.fractions(), vec![0.0; 4]);
+        assert_eq!(b.fraction_above(100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn bad_edges_panic() {
+        let _ = BandOccupancy::new(vec![90.0, 80.0]);
+    }
+}

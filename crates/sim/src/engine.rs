@@ -1,0 +1,547 @@
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use protemp_thermal::{DiscreteModel, IntegrationMethod, RcNetwork, ThermalSim};
+use protemp_workload::{Task, Trace};
+
+use crate::metrics::FreqResidency;
+use crate::{
+    AssignmentPolicy, BandOccupancy, DfsPolicy, Observation, Platform, Result, SimError,
+    SimReport, TimePoint, WaitingStats,
+};
+
+/// Simulation parameters.
+///
+/// Defaults follow the paper's experimental setup: 0.4 ms thermal step,
+/// 100 ms DFS period, 100 °C maximum temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Thermal/executive time step, µs (paper: 400).
+    pub dt_us: u64,
+    /// DFS period, µs (paper: 100 ms).
+    pub dfs_period_us: u64,
+    /// Maximum allowed temperature, °C (paper: 100).
+    pub tmax_c: f64,
+    /// Initial temperature of every thermal node, °C.
+    pub t_init_c: f64,
+    /// Standard deviation of sensor noise, °C (0 = ideal sensors).
+    pub sensor_noise_sd: f64,
+    /// RNG seed (sensor noise and any stochastic tie-breaking).
+    pub seed: u64,
+    /// Record a decimated temperature/frequency trajectory.
+    pub record_trace: bool,
+    /// Trajectory sampling period, µs.
+    pub trace_sample_us: u64,
+    /// Hard wall-clock cap on simulated time, seconds.
+    pub max_duration_s: f64,
+    /// Smoothing factor for the arrival-work predictor (0..1].
+    pub ewma_alpha: f64,
+    /// Floor on the demand ratio whenever work is pending (fraction of
+    /// `f_max`). The averaged estimator divides backlog across all cores;
+    /// without a floor the last straggling task makes the requested
+    /// frequency decay geometrically and never finish.
+    pub min_active_ratio: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dt_us: 400,
+            dfs_period_us: 100_000,
+            tmax_c: 100.0,
+            t_init_c: 55.0,
+            sensor_noise_sd: 0.0,
+            seed: 0xC0FFEE,
+            record_trace: false,
+            trace_sample_us: 10_000,
+            max_duration_s: 600.0,
+            ewma_alpha: 0.5,
+            min_active_ratio: 0.1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] when fields are inconsistent.
+    pub fn validate(&self) -> Result<()> {
+        if self.dt_us == 0 || self.dfs_period_us == 0 {
+            return Err(SimError::BadConfig {
+                reason: "dt_us and dfs_period_us must be positive".to_string(),
+            });
+        }
+        if self.dfs_period_us % self.dt_us != 0 {
+            return Err(SimError::BadConfig {
+                reason: format!(
+                    "dfs_period_us ({}) must be a multiple of dt_us ({})",
+                    self.dfs_period_us, self.dt_us
+                ),
+            });
+        }
+        if !(self.max_duration_s > 0.0) {
+            return Err(SimError::BadConfig {
+                reason: "max_duration_s must be positive".to_string(),
+            });
+        }
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(SimError::BadConfig {
+                reason: "ewma_alpha must be in (0, 1]".to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.min_active_ratio) {
+            return Err(SimError::BadConfig {
+                reason: "min_active_ratio must be in [0, 1]".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-core execution state.
+#[derive(Debug, Clone)]
+struct CoreState {
+    /// Frequency for the current window, Hz. 0 means shut down.
+    freq_hz: f64,
+    /// Running task and its remaining work (µs at f_max).
+    running: Option<(Task, f64)>,
+    /// Busy time inside the current window, µs.
+    busy_us: f64,
+}
+
+/// Runs one simulation: a trace through a platform under a DFS policy and
+/// an assignment policy.
+///
+/// The loop follows the paper's simulator: every `dt` the engine admits
+/// arrivals, dispatches queued tasks to available cores, advances execution
+/// at the current frequencies, injects the corresponding power into the RC
+/// thermal model and steps it; every DFS period it builds an
+/// [`Observation`] and asks the policy for the next frequency vector.
+///
+/// The simulation ends when the trace is exhausted, the queue is drained
+/// and all cores are idle — or at `max_duration_s`.
+///
+/// # Errors
+///
+/// * [`SimError::BadConfig`] for inconsistent configuration.
+/// * [`SimError::BadFrequencies`] if the policy returns NaN/negative or a
+///   wrong-length vector.
+/// * [`SimError::Thermal`] if the thermal substrate fails.
+pub fn run_simulation(
+    platform: &Platform,
+    trace: &Trace,
+    policy: &mut dyn DfsPolicy,
+    assign: &mut dyn AssignmentPolicy,
+    cfg: &SimConfig,
+) -> Result<SimReport> {
+    cfg.validate()?;
+    platform.validate().map_err(|reason| SimError::BadConfig { reason })?;
+
+    let net = RcNetwork::from_floorplan(&platform.floorplan, &platform.thermal);
+    let model = DiscreteModel::new(&net, cfg.dt_us as f64 / 1e6, IntegrationMethod::ForwardEuler)?;
+    let initial = net.uniform_state(cfg.t_init_c);
+    let mut thermal = ThermalSim::from_parts(net, model, initial);
+
+    let n_cores = platform.num_cores();
+    let core_block_idx: Vec<usize> = platform.floorplan.core_indices();
+    let mut cores: Vec<CoreState> = (0..n_cores)
+        .map(|_| CoreState {
+            freq_hz: 0.0,
+            running: None,
+            busy_us: 0.0,
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut queue: VecDeque<Task> = VecDeque::new();
+    let tasks = trace.tasks();
+    let mut next_arrival = 0usize;
+
+    let dt_s = cfg.dt_us as f64 / 1e6;
+    let window_us = cfg.dfs_period_us;
+    let max_us = (cfg.max_duration_s * 1e6) as u64;
+
+    // Metrics.
+    let mut bands_per_core: Vec<BandOccupancy> =
+        (0..n_cores).map(|_| BandOccupancy::paper_bands()).collect();
+    let mut waiting_samples: Vec<f64> = Vec::new();
+    let mut completed = 0usize;
+    let mut peak_temp = f64::MIN;
+    let mut grad_sum = 0.0;
+    let mut grad_max: f64 = 0.0;
+    let mut grad_steps = 0u64;
+    let mut violation_time = 0.0; // (core × seconds) above tmax
+    let mut total_core_time = 0.0;
+    let mut core_energy_j = 0.0;
+    let mut work_done_us = 0.0;
+    let mut trace_out: Vec<TimePoint> = Vec::new();
+    let mut windows = 0u64;
+    let mut freq_residency = FreqResidency::new(n_cores);
+    let mut freq_ratios = vec![0.0; n_cores];
+
+    // Arrival-work predictor state.
+    let mut window_arrived_work_us = 0.0;
+    let mut predicted_work_us = 0.0;
+
+    let mut now_us: u64 = 0;
+    let mut block_powers = vec![0.0; platform.floorplan.len()];
+
+    loop {
+        // --- DFS decision at window boundaries (including t = 0).
+        if now_us % window_us == 0 {
+            let temps = thermal.core_temps();
+            let sensed: Vec<f64> = temps
+                .iter()
+                .map(|&t| {
+                    if cfg.sensor_noise_sd > 0.0 {
+                        t + gaussian(&mut rng) * cfg.sensor_noise_sd
+                    } else {
+                        t
+                    }
+                })
+                .collect();
+            // Update the arrival-work predictor from the window just ended.
+            if now_us > 0 {
+                predicted_work_us = cfg.ewma_alpha * window_arrived_work_us
+                    + (1.0 - cfg.ewma_alpha) * predicted_work_us;
+            }
+            window_arrived_work_us = 0.0;
+
+            let backlog: f64 = queue.iter().map(|t| t.work_us as f64).sum::<f64>()
+                + cores
+                    .iter()
+                    .filter_map(|c| c.running.as_ref().map(|(_, rem)| *rem))
+                    .sum::<f64>();
+            let mut demand_ratio =
+                (backlog + predicted_work_us) / (n_cores as f64 * window_us as f64);
+            if backlog > 0.0 {
+                demand_ratio = demand_ratio.max(cfg.min_active_ratio);
+            }
+            let required = (platform.fmax_hz * demand_ratio).clamp(0.0, platform.fmax_hz);
+
+            let max_temp = sensed.iter().cloned().fold(f64::MIN, f64::max);
+            let obs = Observation {
+                window_index: windows,
+                core_temps: sensed,
+                max_core_temp: max_temp,
+                required_avg_freq_hz: required,
+                queue_len: queue.len(),
+                backlog_work_us: backlog,
+                utilization: cores
+                    .iter()
+                    .map(|c| c.busy_us / window_us as f64)
+                    .collect(),
+            };
+            let freqs = policy.frequencies(&obs, platform);
+            if freqs.len() != n_cores {
+                return Err(SimError::BadFrequencies {
+                    reason: format!("expected {} entries, got {}", n_cores, freqs.len()),
+                });
+            }
+            if freqs.iter().any(|f| !f.is_finite() || *f < 0.0) {
+                return Err(SimError::BadFrequencies {
+                    reason: "frequencies must be finite and non-negative".to_string(),
+                });
+            }
+            for (core, f) in cores.iter_mut().zip(&freqs) {
+                core.freq_hz = f.min(platform.fmax_hz);
+                core.busy_us = 0.0;
+            }
+            windows += 1;
+        }
+
+        // --- Admit arrivals.
+        while next_arrival < tasks.len() && tasks[next_arrival].arrival_us <= now_us {
+            let t = tasks[next_arrival];
+            window_arrived_work_us += t.work_us as f64;
+            queue.push_back(t);
+            next_arrival += 1;
+        }
+
+        // --- Dispatch queued tasks to available cores.
+        if !queue.is_empty() {
+            let temps = thermal.core_temps();
+            loop {
+                if queue.is_empty() {
+                    break;
+                }
+                let idle: Vec<usize> = cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.running.is_none() && c.freq_hz > 0.0)
+                    .map(|(i, _)| i)
+                    .collect();
+                if idle.is_empty() {
+                    break;
+                }
+                let pick = assign.pick(&idle, &temps);
+                let task = queue.pop_front().expect("queue non-empty");
+                waiting_samples.push((now_us.saturating_sub(task.arrival_us)) as f64);
+                let work = task.work_us as f64;
+                cores[pick].running = Some((task, work));
+            }
+        }
+
+        // --- Execute one step.
+        for core in cores.iter_mut() {
+            if core.freq_hz <= 0.0 {
+                continue;
+            }
+            if let Some((_, remaining)) = core.running.as_mut() {
+                let progress = cfg.dt_us as f64 * core.freq_hz / platform.fmax_hz;
+                let used = progress.min(*remaining);
+                *remaining -= used;
+                work_done_us += used;
+                core.busy_us += cfg.dt_us as f64;
+                if *remaining <= 1e-9 {
+                    core.running = None;
+                    completed += 1;
+                }
+            }
+        }
+
+        // --- Thermal step with the current power map.
+        block_powers.copy_from_slice(thermal.network().uncore_power());
+        for (i, core) in cores.iter().enumerate() {
+            let p = if core.freq_hz <= 0.0 {
+                0.0
+            } else if core.running.is_some() {
+                platform.core_power(core.freq_hz)
+            } else {
+                platform.idle_power_w
+            };
+            block_powers[core_block_idx[i]] = p;
+            core_energy_j += p * dt_s;
+        }
+        thermal.step(&block_powers)?;
+
+        // --- Metrics.
+        let temps = thermal.core_temps();
+        let mut tmax_now = f64::MIN;
+        let mut tmin_now = f64::MAX;
+        for (i, &t) in temps.iter().enumerate() {
+            bands_per_core[i].record(t, dt_s);
+            if t > cfg.tmax_c {
+                violation_time += dt_s;
+            }
+            total_core_time += dt_s;
+            tmax_now = tmax_now.max(t);
+            tmin_now = tmin_now.min(t);
+        }
+        peak_temp = peak_temp.max(tmax_now);
+        grad_sum += tmax_now - tmin_now;
+        grad_max = grad_max.max(tmax_now - tmin_now);
+        grad_steps += 1;
+        for (r, core) in freq_ratios.iter_mut().zip(&cores) {
+            *r = core.freq_hz / platform.fmax_hz;
+        }
+        freq_residency.record(&freq_ratios, dt_s);
+
+        if cfg.record_trace && now_us % cfg.trace_sample_us == 0 {
+            trace_out.push(TimePoint {
+                time_s: now_us as f64 / 1e6,
+                core_temps: temps.clone(),
+                core_freqs: cores.iter().map(|c| c.freq_hz).collect(),
+            });
+        }
+
+        now_us += cfg.dt_us;
+
+        // --- Termination.
+        let drained = next_arrival >= tasks.len()
+            && queue.is_empty()
+            && cores.iter().all(|c| c.running.is_none());
+        if drained || now_us >= max_us {
+            break;
+        }
+    }
+
+    let unfinished = (tasks.len() - next_arrival)
+        + queue.len()
+        + cores.iter().filter(|c| c.running.is_some()).count();
+
+    let mut bands_avg = BandOccupancy::paper_bands();
+    for b in &bands_per_core {
+        bands_avg.merge(b);
+    }
+
+    Ok(SimReport {
+        policy: policy.name().to_string(),
+        assignment: assign.name().to_string(),
+        duration_s: now_us as f64 / 1e6,
+        windows,
+        completed,
+        unfinished,
+        bands_avg,
+        bands_per_core,
+        waiting: WaitingStats::from_samples(waiting_samples),
+        violation_fraction: if total_core_time > 0.0 {
+            violation_time / total_core_time
+        } else {
+            0.0
+        },
+        peak_temp_c: peak_temp,
+        mean_gradient_c: if grad_steps > 0 {
+            grad_sum / grad_steps as f64
+        } else {
+            0.0
+        },
+        max_gradient_c: grad_max,
+        core_energy_j,
+        work_done_s: work_done_us / 1e6,
+        freq_residency,
+        trace: trace_out,
+    })
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BasicDfs, CoolestFirst, FirstIdle, NoTc};
+    use protemp_workload::{BenchmarkProfile, TraceGenerator};
+
+    fn quick_trace(seed: u64, secs: f64) -> Trace {
+        TraceGenerator::new(seed).generate(&BenchmarkProfile::web_serving(), secs, 8)
+    }
+
+    #[test]
+    fn completes_all_tasks_under_light_load() {
+        let platform = Platform::niagara8();
+        let trace = quick_trace(1, 2.0);
+        let n = trace.len();
+        let mut policy = NoTc;
+        let mut assign = FirstIdle;
+        let r = run_simulation(&platform, &trace, &mut policy, &mut assign, &SimConfig::default())
+            .unwrap();
+        assert_eq!(r.completed, n, "all tasks complete under light load");
+        assert_eq!(r.unfinished, 0);
+        assert!(r.duration_s > 0.0);
+        assert!(r.work_done_s > 0.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let platform = Platform::niagara8();
+        let trace = quick_trace(2, 1.0);
+        let cfg = SimConfig::default();
+        let r1 = run_simulation(&platform, &trace, &mut NoTc, &mut FirstIdle, &cfg).unwrap();
+        let r2 = run_simulation(&platform, &trace, &mut NoTc, &mut FirstIdle, &cfg).unwrap();
+        assert_eq!(r1.completed, r2.completed);
+        assert!((r1.core_energy_j - r2.core_energy_j).abs() < 1e-9);
+        assert!((r1.peak_temp_c - r2.peak_temp_c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_workload_heats_the_chip() {
+        let platform = Platform::niagara8();
+        let trace = TraceGenerator::new(3).generate(&BenchmarkProfile::compute_intensive(), 5.0, 8);
+        let cfg = SimConfig::default();
+        let r = run_simulation(&platform, &trace, &mut NoTc, &mut FirstIdle, &cfg).unwrap();
+        assert!(
+            r.peak_temp_c > 80.0,
+            "compute-intensive run must heat the chip, peaked at {:.1}",
+            r.peak_temp_c
+        );
+    }
+
+    #[test]
+    fn basic_dfs_cooler_than_no_tc() {
+        let platform = Platform::niagara8();
+        let trace = TraceGenerator::new(4).generate(&BenchmarkProfile::compute_intensive(), 8.0, 8);
+        let cfg = SimConfig::default();
+        let no_tc = run_simulation(&platform, &trace, &mut NoTc, &mut FirstIdle, &cfg).unwrap();
+        let basic =
+            run_simulation(&platform, &trace, &mut BasicDfs::default(), &mut FirstIdle, &cfg)
+                .unwrap();
+        assert!(
+            basic.violation_fraction <= no_tc.violation_fraction + 1e-12,
+            "reactive control must not violate more than no control: {} vs {}",
+            basic.violation_fraction,
+            no_tc.violation_fraction
+        );
+    }
+
+    #[test]
+    fn trace_recording_samples() {
+        let platform = Platform::niagara8();
+        let trace = quick_trace(5, 1.0);
+        let cfg = SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let r = run_simulation(&platform, &trace, &mut NoTc, &mut FirstIdle, &cfg).unwrap();
+        assert!(!r.trace.is_empty());
+        // Samples are time-ordered.
+        assert!(r.trace.windows(2).all(|w| w[0].time_s < w[1].time_s));
+        assert_eq!(r.trace[0].core_temps.len(), 8);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let cfg = SimConfig {
+            dt_us: 300, // does not divide 100 000
+            ..SimConfig::default()
+        };
+        let platform = Platform::niagara8();
+        let trace = quick_trace(6, 0.5);
+        let e = run_simulation(&platform, &trace, &mut NoTc, &mut FirstIdle, &cfg);
+        assert!(matches!(e, Err(SimError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn coolest_first_runs() {
+        let platform = Platform::niagara8();
+        let trace = quick_trace(7, 1.0);
+        let r = run_simulation(
+            &platform,
+            &trace,
+            &mut BasicDfs::default(),
+            &mut CoolestFirst,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.assignment, "coolest-first");
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn duration_cap_respected() {
+        let platform = Platform::niagara8();
+        // Overloaded trace that can never finish in the cap.
+        let trace =
+            TraceGenerator::new(8).generate(&BenchmarkProfile::compute_intensive(), 10.0, 8);
+        let cfg = SimConfig {
+            max_duration_s: 0.5,
+            ..SimConfig::default()
+        };
+        let r = run_simulation(&platform, &trace, &mut NoTc, &mut FirstIdle, &cfg).unwrap();
+        assert!(r.duration_s <= 0.5 + 1e-6);
+        assert!(r.unfinished > 0);
+    }
+
+    #[test]
+    fn sensor_noise_changes_basic_dfs_behaviour_not_physics() {
+        let platform = Platform::niagara8();
+        let trace = TraceGenerator::new(9).generate(&BenchmarkProfile::compute_intensive(), 3.0, 8);
+        let noisy = SimConfig {
+            sensor_noise_sd: 2.0,
+            ..SimConfig::default()
+        };
+        let r = run_simulation(&platform, &trace, &mut BasicDfs::default(), &mut FirstIdle, &noisy)
+            .unwrap();
+        // Physics stays sane under sensor noise.
+        assert!(r.peak_temp_c < 150.0);
+        assert!(r.peak_temp_c > 45.0);
+    }
+}

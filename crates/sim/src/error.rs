@@ -1,0 +1,48 @@
+use std::fmt;
+
+use protemp_thermal::ThermalError;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The thermal substrate failed.
+    Thermal(ThermalError),
+    /// A policy returned a malformed frequency vector.
+    BadFrequencies {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The configuration is invalid.
+    BadConfig {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Thermal(e) => write!(f, "thermal model failure: {e}"),
+            SimError::BadFrequencies { reason } => {
+                write!(f, "policy returned bad frequencies: {reason}")
+            }
+            SimError::BadConfig { reason } => write!(f, "bad simulator config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Thermal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ThermalError> for SimError {
+    fn from(e: ThermalError) -> Self {
+        SimError::Thermal(e)
+    }
+}

@@ -1,0 +1,127 @@
+use protemp_floorplan::{niagara::niagara8, Floorplan};
+use protemp_thermal::ThermalConfig;
+use serde::{Deserialize, Serialize};
+
+/// Hardware description of the simulated platform: floorplan, thermal
+/// parameters and the DVFS envelope of the cores.
+///
+/// The default is the paper's evaluation platform (Section 5): the 8-core
+/// Niagara with `f_max` = 1 GHz and `p_max` = 4 W per core.
+///
+/// # Example
+///
+/// ```
+/// use protemp_sim::Platform;
+///
+/// let p = Platform::niagara8();
+/// assert_eq!(p.num_cores(), 8);
+/// // The paper's quadratic power rule: p = p_max (f / f_max)².
+/// assert!((p.core_power(0.5e9) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// Die floorplan.
+    pub floorplan: Floorplan,
+    /// Thermal model parameters.
+    pub thermal: ThermalConfig,
+    /// Maximum core frequency, Hz.
+    pub fmax_hz: f64,
+    /// Core power at `f_max`, W.
+    pub pmax_w: f64,
+    /// Power drawn by an idle (but not shut down) core, W.
+    pub idle_power_w: f64,
+}
+
+impl Platform {
+    /// The paper's Niagara-8 platform at 1 GHz / 4 W per core.
+    pub fn niagara8() -> Self {
+        Platform {
+            floorplan: niagara8(),
+            thermal: ThermalConfig::default(),
+            fmax_hz: 1.0e9,
+            pmax_w: 4.0,
+            idle_power_w: 0.3,
+        }
+    }
+
+    /// Number of processing cores.
+    pub fn num_cores(&self) -> usize {
+        self.floorplan.cores().count()
+    }
+
+    /// Dynamic power of a busy core at frequency `f_hz` (Equation (2)):
+    /// `p = p_max · f²/f_max²`.
+    pub fn core_power(&self, f_hz: f64) -> f64 {
+        let r = (f_hz / self.fmax_hz).clamp(0.0, 1.0);
+        self.pmax_w * r * r
+    }
+
+    /// The quadratic power coefficient `q = p_max / f_max²` such that
+    /// `p = q·f²` (used to build the convex models).
+    pub fn power_coefficient(&self) -> f64 {
+        self.pmax_w / (self.fmax_hz * self.fmax_hz)
+    }
+
+    /// Validates the platform description.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.floorplan.validate().map_err(|e| e.to_string())?;
+        self.thermal.validate()?;
+        if !(self.fmax_hz > 0.0 && self.fmax_hz.is_finite()) {
+            return Err(format!("fmax_hz must be positive, got {}", self.fmax_hz));
+        }
+        if !(self.pmax_w > 0.0 && self.pmax_w.is_finite()) {
+            return Err(format!("pmax_w must be positive, got {}", self.pmax_w));
+        }
+        if !(self.idle_power_w >= 0.0 && self.idle_power_w <= self.pmax_w) {
+            return Err(format!(
+                "idle_power_w must be in [0, pmax], got {}",
+                self.idle_power_w
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform::niagara8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_platform() {
+        let p = Platform::default();
+        p.validate().unwrap();
+        assert_eq!(p.num_cores(), 8);
+        assert_eq!(p.fmax_hz, 1.0e9);
+        assert_eq!(p.pmax_w, 4.0);
+    }
+
+    #[test]
+    fn power_rule_quadratic() {
+        let p = Platform::niagara8();
+        assert_eq!(p.core_power(1.0e9), 4.0);
+        assert!((p.core_power(0.5e9) - 1.0).abs() < 1e-12);
+        assert_eq!(p.core_power(0.0), 0.0);
+        // Clamps above fmax.
+        assert_eq!(p.core_power(2.0e9), 4.0);
+        // q f² reproduces the same rule.
+        let q = p.power_coefficient();
+        assert!((q * 0.7e9 * 0.7e9 - p.core_power(0.7e9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_platform_detected() {
+        let mut p = Platform::niagara8();
+        p.idle_power_w = 10.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,166 @@
+use crate::Platform;
+
+/// What a DFS policy sees at each decision point (every DFS window).
+///
+/// This mirrors the paper's Section 3.3: the thermal/power management unit
+/// tracks the utilization of the processors, the workload waiting in the
+/// task queue, and the temperature sensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Index of the window being configured (0 = first window).
+    pub window_index: u64,
+    /// Sensor readings for each core, °C.
+    pub core_temps: Vec<f64>,
+    /// Maximum core sensor reading, °C.
+    pub max_core_temp: f64,
+    /// Required average core frequency for the next window, Hz
+    /// (derived from queue backlog plus predicted arrivals).
+    pub required_avg_freq_hz: f64,
+    /// Number of queued tasks.
+    pub queue_len: usize,
+    /// Total queued + in-flight work, µs at f_max.
+    pub backlog_work_us: f64,
+    /// Busy fraction of each core over the last window.
+    pub utilization: Vec<f64>,
+}
+
+/// A dynamic frequency scaling policy: decides per-core frequencies at
+/// every DFS period.
+///
+/// Frequencies of `0.0` mean the core is shut down for the window (it keeps
+/// its task, if any, but makes no progress and draws no power).
+pub trait DfsPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Returns the frequency (Hz) for each core for the next window.
+    fn frequencies(&mut self, obs: &Observation, platform: &Platform) -> Vec<f64>;
+}
+
+/// "No-TC": frequencies match application demand; temperature is ignored.
+///
+/// This is the paper's no-temperature-control reference in Figure 6.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTc;
+
+impl DfsPolicy for NoTc {
+    fn name(&self) -> &str {
+        "no-tc"
+    }
+
+    fn frequencies(&mut self, obs: &Observation, platform: &Platform) -> Vec<f64> {
+        vec![obs.required_avg_freq_hz.min(platform.fmax_hz); platform.num_cores()]
+    }
+}
+
+/// Traditional reactive DFS (the paper's "Basic-DFS" baseline).
+///
+/// Frequencies match application demand, but any core whose sensor reads at
+/// or above the threshold (the paper uses 90 °C against a 100 °C limit) is
+/// shut down "for the time-period until the next DFS is applied"
+/// (Section 5.2).
+#[derive(Debug, Clone, Copy)]
+pub struct BasicDfs {
+    threshold_c: f64,
+}
+
+impl BasicDfs {
+    /// Creates the policy with the given shutdown threshold (°C).
+    pub fn new(threshold_c: f64) -> Self {
+        BasicDfs { threshold_c }
+    }
+
+    /// The shutdown threshold, °C.
+    pub fn threshold_c(&self) -> f64 {
+        self.threshold_c
+    }
+}
+
+impl Default for BasicDfs {
+    /// The paper's configuration: 90 °C threshold.
+    fn default() -> Self {
+        BasicDfs::new(90.0)
+    }
+}
+
+impl DfsPolicy for BasicDfs {
+    fn name(&self) -> &str {
+        "basic-dfs"
+    }
+
+    fn frequencies(&mut self, obs: &Observation, platform: &Platform) -> Vec<f64> {
+        let demand = obs.required_avg_freq_hz.min(platform.fmax_hz);
+        obs.core_temps
+            .iter()
+            .map(|&t| if t >= self.threshold_c { 0.0 } else { demand })
+            .collect()
+    }
+}
+
+/// A fixed-frequency policy (useful for calibration and ablations).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedFrequency {
+    /// The frequency applied to every core, Hz.
+    pub f_hz: f64,
+}
+
+impl DfsPolicy for FixedFrequency {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+
+    fn frequencies(&mut self, _obs: &Observation, platform: &Platform) -> Vec<f64> {
+        vec![self.f_hz.min(platform.fmax_hz); platform.num_cores()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(temps: Vec<f64>, f_req: f64) -> Observation {
+        let max = temps.iter().cloned().fold(f64::MIN, f64::max);
+        Observation {
+            window_index: 0,
+            max_core_temp: max,
+            core_temps: temps,
+            required_avg_freq_hz: f_req,
+            queue_len: 0,
+            backlog_work_us: 0.0,
+            utilization: vec![1.0; 8],
+        }
+    }
+
+    #[test]
+    fn no_tc_matches_demand() {
+        let p = Platform::niagara8();
+        let f = NoTc.frequencies(&obs(vec![120.0; 8], 0.7e9), &p);
+        assert!(f.iter().all(|&x| (x - 0.7e9).abs() < 1.0));
+    }
+
+    #[test]
+    fn no_tc_clamps_to_fmax() {
+        let p = Platform::niagara8();
+        let f = NoTc.frequencies(&obs(vec![50.0; 8], 5.0e9), &p);
+        assert!(f.iter().all(|&x| x == p.fmax_hz));
+    }
+
+    #[test]
+    fn basic_dfs_shuts_down_hot_cores() {
+        let p = Platform::niagara8();
+        let mut temps = vec![50.0; 8];
+        temps[2] = 95.0;
+        temps[5] = 90.0; // exactly at threshold → shut down
+        let f = BasicDfs::default().frequencies(&obs(temps, 1.0e9), &p);
+        assert_eq!(f[2], 0.0);
+        assert_eq!(f[5], 0.0);
+        assert_eq!(f[0], 1.0e9);
+    }
+
+    #[test]
+    fn fixed_frequency_constant() {
+        let p = Platform::niagara8();
+        let f = FixedFrequency { f_hz: 0.5e9 }.frequencies(&obs(vec![50.0; 8], 0.0), &p);
+        assert!(f.iter().all(|&x| x == 0.5e9));
+    }
+}

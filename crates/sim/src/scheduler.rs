@@ -1,0 +1,109 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks which idle core receives the next queued task.
+///
+/// The paper's default control unit "assigns the task to any idle
+/// processor" ([`FirstIdle`]); Section 5.4 integrates the thermal-aware
+/// assignment policy of Coskun et al. \[26\], which steers work toward
+/// cooler cores — reproduced here as [`CoolestFirst`].
+pub trait AssignmentPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Chooses one index from `idle` (guaranteed non-empty), given current
+    /// per-core temperatures.
+    fn pick(&mut self, idle: &[usize], core_temps: &[f64]) -> usize;
+}
+
+/// Assigns to the lowest-numbered idle core (the paper's simple policy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstIdle;
+
+impl AssignmentPolicy for FirstIdle {
+    fn name(&self) -> &str {
+        "first-idle"
+    }
+
+    fn pick(&mut self, idle: &[usize], _core_temps: &[f64]) -> usize {
+        idle[0]
+    }
+}
+
+/// Assigns to the coolest idle core (the \[26\]-style thermal-aware policy
+/// used in the paper's Section 5.4 experiment).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoolestFirst;
+
+impl AssignmentPolicy for CoolestFirst {
+    fn name(&self) -> &str {
+        "coolest-first"
+    }
+
+    fn pick(&mut self, idle: &[usize], core_temps: &[f64]) -> usize {
+        *idle
+            .iter()
+            .min_by(|&&a, &&b| {
+                core_temps[a]
+                    .partial_cmp(&core_temps[b])
+                    .expect("temperatures are finite")
+            })
+            .expect("idle is non-empty")
+    }
+}
+
+/// Assigns to a uniformly random idle core (an ablation baseline).
+#[derive(Debug, Clone)]
+pub struct RandomAssign {
+    rng: StdRng,
+}
+
+impl RandomAssign {
+    /// Creates the policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomAssign {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl AssignmentPolicy for RandomAssign {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn pick(&mut self, idle: &[usize], _core_temps: &[f64]) -> usize {
+        idle[self.rng.gen_range(0..idle.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_idle_picks_first() {
+        let mut p = FirstIdle;
+        assert_eq!(p.pick(&[3, 5, 1], &[0.0; 8]), 3);
+    }
+
+    #[test]
+    fn coolest_first_picks_min_temp() {
+        let mut p = CoolestFirst;
+        let temps = [90.0, 70.0, 80.0, 60.0];
+        assert_eq!(p.pick(&[0, 2, 3], &temps), 3);
+        assert_eq!(p.pick(&[0, 2], &temps), 2);
+    }
+
+    #[test]
+    fn random_assign_deterministic_and_in_range() {
+        let mut a = RandomAssign::new(9);
+        let mut b = RandomAssign::new(9);
+        for _ in 0..20 {
+            let pa = a.pick(&[1, 4, 6], &[0.0; 8]);
+            let pb = b.pick(&[1, 4, 6], &[0.0; 8]);
+            assert_eq!(pa, pb);
+            assert!([1, 4, 6].contains(&pa));
+        }
+    }
+}

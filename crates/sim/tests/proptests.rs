@@ -1,0 +1,115 @@
+//! Property-based tests for the multi-core simulator: conservation laws
+//! and policy-independent invariants.
+
+use proptest::prelude::*;
+use protemp_sim::{
+    run_simulation, BasicDfs, CoolestFirst, DfsPolicy, FirstIdle, FixedFrequency, NoTc, Platform,
+    SimConfig,
+};
+use protemp_workload::{BenchmarkProfile, Task, Trace, TraceGenerator};
+
+fn short_trace(seed: u64, load: f64) -> Trace {
+    let profile = BenchmarkProfile {
+        name: "prop".to_string(),
+        min_work_us: 1_000,
+        max_work_us: 6_000,
+        load,
+        pattern: protemp_workload::ArrivalPattern::Poisson,
+    };
+    TraceGenerator::new(seed).generate(&profile, 1.5, 8)
+}
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        max_duration_s: 30.0,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Work is conserved: completed tasks' work equals the work the cores
+    /// performed (when everything completes).
+    #[test]
+    fn work_conservation(seed in 0u64..500, load in 0.2..0.8f64) {
+        let platform = Platform::niagara8();
+        let trace = short_trace(seed, load);
+        let total_work: f64 = trace.tasks().iter().map(|t| t.work_us as f64).sum();
+        let mut p = NoTc;
+        let r = run_simulation(&platform, &trace, &mut p, &mut FirstIdle, &cfg()).unwrap();
+        prop_assert_eq!(r.completed, trace.len());
+        prop_assert!((r.work_done_s * 1e6 - total_work).abs() < 1.0,
+            "work done {} vs trace work {}", r.work_done_s * 1e6, total_work);
+    }
+
+    /// Band fractions always sum to 1 and violations are consistent with
+    /// the >100 band.
+    #[test]
+    fn band_accounting_consistent(seed in 0u64..500, load in 0.3..1.1f64) {
+        let platform = Platform::niagara8();
+        let trace = short_trace(seed, load);
+        let mut p = NoTc;
+        let r = run_simulation(&platform, &trace, &mut p, &mut FirstIdle, &cfg()).unwrap();
+        let f = r.bands_avg.fractions();
+        prop_assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((r.bands_avg.fraction_above(100.0) - r.violation_fraction).abs() < 1e-9);
+    }
+
+    /// Higher fixed frequency never slows completion (makespan monotone).
+    #[test]
+    fn faster_is_never_slower(seed in 0u64..200) {
+        let platform = Platform::niagara8();
+        let trace = short_trace(seed, 0.5);
+        let mut slow = FixedFrequency { f_hz: 0.4e9 };
+        let rs = run_simulation(&platform, &trace, &mut slow, &mut FirstIdle, &cfg()).unwrap();
+        let mut fast = FixedFrequency { f_hz: 1.0e9 };
+        let rf = run_simulation(&platform, &trace, &mut fast, &mut FirstIdle, &cfg()).unwrap();
+        prop_assert!(rf.duration_s <= rs.duration_s + 1e-6);
+        prop_assert!(rf.waiting.mean_us <= rs.waiting.mean_us + 1e-6);
+    }
+
+    /// Energy is non-negative and bounded by running everything at p_max.
+    #[test]
+    fn energy_bounds(seed in 0u64..200, load in 0.2..1.0f64) {
+        let platform = Platform::niagara8();
+        let trace = short_trace(seed, load);
+        let mut p = BasicDfs::default();
+        let r = run_simulation(&platform, &trace, &mut p, &mut FirstIdle, &cfg()).unwrap();
+        prop_assert!(r.core_energy_j >= 0.0);
+        let upper = platform.pmax_w * 8.0 * r.duration_s;
+        prop_assert!(r.core_energy_j <= upper + 1e-6);
+    }
+
+    /// The assignment policy cannot change how much work exists — both
+    /// complete the same tasks under light load.
+    #[test]
+    fn assignment_policy_preserves_completion(seed in 0u64..200) {
+        let platform = Platform::niagara8();
+        let trace = short_trace(seed, 0.4);
+        let mut p1 = NoTc;
+        let r1 = run_simulation(&platform, &trace, &mut p1, &mut FirstIdle, &cfg()).unwrap();
+        let mut p2 = NoTc;
+        let r2 = run_simulation(&platform, &trace, &mut p2, &mut CoolestFirst, &cfg()).unwrap();
+        prop_assert_eq!(r1.completed, r2.completed);
+    }
+
+    /// Policies returning the wrong vector length are rejected, regardless
+    /// of when they do it.
+    #[test]
+    fn malformed_policy_rejected(len in 0usize..16) {
+        prop_assume!(len != 8);
+        struct Bad(usize);
+        impl DfsPolicy for Bad {
+            fn name(&self) -> &str { "bad" }
+            fn frequencies(&mut self, _: &protemp_sim::Observation, _: &Platform) -> Vec<f64> {
+                vec![1.0e9; self.0]
+            }
+        }
+        let platform = Platform::niagara8();
+        let trace = Trace::new(vec![Task::new(0, 0, 1_000)]);
+        let mut p = Bad(len);
+        let r = run_simulation(&platform, &trace, &mut p, &mut FirstIdle, &cfg());
+        prop_assert!(r.is_err());
+    }
+}

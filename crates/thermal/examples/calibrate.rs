@@ -1,0 +1,50 @@
+//! Calibration probe: prints steady states, step responses and the
+//! forward-Euler stability limit for the default Niagara-8 thermal model.
+//!
+//! Run with `cargo run -p protemp-thermal --example calibrate --release`.
+
+use protemp_floorplan::niagara::niagara8;
+use protemp_thermal::{
+    stability_limit, DiscreteModel, IntegrationMethod, RcNetwork, ThermalConfig,
+};
+
+fn main() {
+    let fp = niagara8();
+    let net = RcNetwork::from_floorplan(&fp, &ThermalConfig::default());
+    println!(
+        "stability limit: {:.4} ms (paper uses 0.4 ms)",
+        stability_limit(&net).unwrap() * 1e3
+    );
+    for pw in [4.0, 3.0, 2.0, 1.0, 0.3] {
+        let t = net.steady_state(&net.full_power_vector(pw)).unwrap();
+        let p1 = t[fp.index_of("P1").unwrap()];
+        let p2 = t[fp.index_of("P2").unwrap()];
+        let sink = t[net.num_nodes() - 1];
+        println!("core {pw:.1} W steady state: P1={p1:.1} C  P2={p2:.1} C  sink={sink:.1} C");
+    }
+
+    // Window-scale step response: warm platform, then all cores to 4 W.
+    let model = DiscreteModel::new(&net, 0.4e-3, IntegrationMethod::ForwardEuler).unwrap();
+    let warm = net.steady_state(&net.full_power_vector(2.0)).unwrap();
+    let u_hot = net.input_vector(&net.full_power_vector(4.0)).unwrap();
+    let p2i = fp.index_of("P2").unwrap();
+    let mut t = warm.clone();
+    print!("heating from 2 W steady (P2={:.1} C), per 100 ms window:", warm[p2i]);
+    for _ in 0..10 {
+        for _ in 0..250 {
+            t = model.step(&t, &u_hot);
+        }
+        print!(" {:.1}", t[p2i]);
+    }
+    println!();
+
+    let u_cold = net.input_vector(&net.full_power_vector(0.0)).unwrap();
+    print!("cooling with cores off, per 100 ms window:");
+    for _ in 0..10 {
+        for _ in 0..250 {
+            t = model.step(&t, &u_cold);
+        }
+        print!(" {:.1}", t[p2i]);
+    }
+    println!();
+}

@@ -1,0 +1,138 @@
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of the thermal RC model.
+///
+/// Defaults are calibrated for the paper's evaluation platform (Section 5):
+/// an 8-core Niagara-class die where
+///
+/// * running all cores at `p_max = 4 W` drives core temperatures well above
+///   the 100 °C limit (so the No-TC baseline violates it),
+/// * a core switched to full power from ~90 °C crosses 100 °C within one
+///   100 ms DFS window (so the reactive Basic-DFS overshoots), and
+/// * the forward-Euler integrator is stable at the paper's 0.4 ms step.
+///
+/// The layer stack is silicon → thermal interface material (TIM) → copper
+/// heat spreader → heat sink → ambient, the same stack HotSpot models.
+///
+/// # Example
+///
+/// ```
+/// use protemp_thermal::ThermalConfig;
+///
+/// let cfg = ThermalConfig::default();
+/// assert!(cfg.ambient_c > 20.0 && cfg.ambient_c < 60.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Ambient (air inlet) temperature in °C.
+    pub ambient_c: f64,
+    /// Silicon thermal conductivity, W/(m·K).
+    pub k_si: f64,
+    /// Silicon die thickness, m.
+    pub t_si: f64,
+    /// Silicon volumetric heat capacity, J/(m³·K).
+    pub cv_si: f64,
+    /// Thermal-interface-material conductivity, W/(m·K).
+    pub k_tim: f64,
+    /// Thermal-interface-material thickness, m.
+    pub t_tim: f64,
+    /// Copper (spreader) thermal conductivity, W/(m·K).
+    pub k_cu: f64,
+    /// Heat-spreader thickness, m.
+    pub t_spreader: f64,
+    /// Copper volumetric heat capacity, J/(m³·K).
+    pub cv_cu: f64,
+    /// Spreader-to-sink interface resistance, K·m²/W (per unit area).
+    pub r_spreader_sink: f64,
+    /// Lumped heat-sink capacitance, J/K.
+    pub sink_capacitance: f64,
+    /// Sink-to-ambient convection resistance, K/W.
+    pub r_convection: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig {
+            ambient_c: 47.0,
+            k_si: 100.0,
+            t_si: 0.5e-3,
+            cv_si: 5.25e6,
+            k_tim: 1.1,
+            t_tim: 45e-6,
+            k_cu: 400.0,
+            t_spreader: 3.0e-3,
+            cv_cu: 3.45e6,
+            r_spreader_sink: 8e-6,
+            sink_capacitance: 25.0,
+            r_convection: 1.5,
+        }
+    }
+}
+
+impl ThermalConfig {
+    /// Per-area vertical conductance through the TIM, W/(m²·K).
+    pub fn tim_conductance_per_area(&self) -> f64 {
+        self.k_tim / self.t_tim
+    }
+
+    /// Per-area conductance from spreader to sink, W/(m²·K).
+    pub fn spreader_sink_conductance_per_area(&self) -> f64 {
+        1.0 / self.r_spreader_sink
+    }
+
+    /// Validates that all parameters are positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first bad field.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        let fields = [
+            ("k_si", self.k_si),
+            ("t_si", self.t_si),
+            ("cv_si", self.cv_si),
+            ("k_tim", self.k_tim),
+            ("t_tim", self.t_tim),
+            ("k_cu", self.k_cu),
+            ("t_spreader", self.t_spreader),
+            ("cv_cu", self.cv_cu),
+            ("r_spreader_sink", self.r_spreader_sink),
+            ("sink_capacitance", self.sink_capacitance),
+            ("r_convection", self.r_convection),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("thermal config field `{name}` must be positive, got {v}"));
+            }
+        }
+        if !self.ambient_c.is_finite() {
+            return Err("ambient_c must be finite".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        ThermalConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_field_detected() {
+        let cfg = ThermalConfig {
+            k_si: -1.0,
+            ..ThermalConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn derived_conductances() {
+        let cfg = ThermalConfig::default();
+        assert!(cfg.tim_conductance_per_area() > 0.0);
+        assert!(cfg.spreader_sink_conductance_per_area() > 0.0);
+    }
+}

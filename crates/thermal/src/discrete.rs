@@ -1,0 +1,276 @@
+use protemp_linalg::{eigen, expm, Lu, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::{RcNetwork, Result, ThermalError};
+
+/// Discretization scheme for the thermal dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum IntegrationMethod {
+    /// Explicit (forward) Euler — the paper's Equation (1). Conditionally
+    /// stable: requires `dt < 2/λ_max(C⁻¹G)` (see [`stability_limit`]).
+    ForwardEuler,
+    /// Implicit (backward) Euler — unconditionally stable extension.
+    BackwardEuler,
+    /// Exact matrix-exponential map for piecewise-constant inputs; used to
+    /// validate the Euler schemes.
+    Exact,
+}
+
+/// Largest forward-Euler-stable time step, `2/λ_max(C⁻¹G)`, in seconds.
+///
+/// This reproduces the paper's Section 4 observation that the thermal
+/// equation "had to be solved with a time step of 0.4 ms" to achieve
+/// numerical stability: steps above the returned bound diverge.
+///
+/// # Errors
+///
+/// Propagates eigenvalue-estimation failures (the thermal matrices here have
+/// real spectra, so failures indicate a malformed network).
+pub fn stability_limit(net: &RcNetwork) -> Result<f64> {
+    // C⁻¹G is similar to the symmetric S = C^{-1/2} G C^{-1/2}; use the
+    // symmetric form so power iteration is reliable.
+    let n = net.num_nodes();
+    let c = net.capacitance();
+    let g = net.conductance();
+    let s = Matrix::from_fn(n, n, |r, col| g[(r, col)] / (c[r] * c[col]).sqrt());
+    let lmax = eigen::sym_eig_max(&s)?;
+    if lmax <= 0.0 {
+        return Err(ThermalError::NotFinite);
+    }
+    Ok(2.0 / lmax)
+}
+
+/// A discrete-time linear map `T⁺ = A_d·T + B_d·u` advancing the thermal
+/// state by one step of `dt` seconds under piecewise-constant input.
+///
+/// `u` is the *nodal* input vector produced by [`RcNetwork::input_vector`]
+/// (injected block powers plus the ambient source term).
+///
+/// # Example
+///
+/// ```
+/// use protemp_floorplan::niagara::niagara8;
+/// use protemp_thermal::{DiscreteModel, IntegrationMethod, RcNetwork, ThermalConfig};
+///
+/// let net = RcNetwork::from_floorplan(&niagara8(), &ThermalConfig::default());
+/// let model = DiscreteModel::new(&net, 0.4e-3, IntegrationMethod::ForwardEuler).unwrap();
+/// let mut t = net.uniform_state(45.0);
+/// let u = net.input_vector(&net.full_power_vector(4.0)).unwrap();
+/// for _ in 0..100 {
+///     t = model.step(&t, &u);
+/// }
+/// assert!(t.iter().all(|x| x.is_finite()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscreteModel {
+    a: Matrix,
+    b: Matrix,
+    dt: f64,
+    method: IntegrationMethod,
+    num_nodes: usize,
+}
+
+impl DiscreteModel {
+    /// Builds the discrete map for the given network, step and method.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::UnstableStep`] if `method` is forward Euler and
+    ///   `dt` exceeds [`stability_limit`].
+    /// * [`ThermalError::Linalg`] if a factorization/exponential fails.
+    pub fn new(net: &RcNetwork, dt: f64, method: IntegrationMethod) -> Result<Self> {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
+        let n = net.num_nodes();
+        let m = net.system_matrix(); // C⁻¹ G
+        let c = net.capacitance();
+        let (a, b) = match method {
+            IntegrationMethod::ForwardEuler => {
+                let limit = stability_limit(net)?;
+                if dt > limit {
+                    return Err(ThermalError::UnstableStep { dt, limit });
+                }
+                // A = I − dt·C⁻¹G ; B = dt·C⁻¹.
+                let mut a = m.scale(-dt);
+                for i in 0..n {
+                    a[(i, i)] += 1.0;
+                }
+                let b = Matrix::from_diag(&c.iter().map(|ci| dt / ci).collect::<Vec<_>>());
+                (a, b)
+            }
+            IntegrationMethod::BackwardEuler => {
+                // (I + dt·C⁻¹G)·T⁺ = T + dt·C⁻¹·u.
+                let mut s = m.scale(dt);
+                for i in 0..n {
+                    s[(i, i)] += 1.0;
+                }
+                let lu = Lu::factor(&s)?;
+                let a = lu.solve_matrix(&Matrix::identity(n))?;
+                let binv = Matrix::from_diag(&c.iter().map(|ci| dt / ci).collect::<Vec<_>>());
+                let b = a.matmul(&binv)?;
+                (a, b)
+            }
+            IntegrationMethod::Exact => {
+                // T⁺ = e^{−M·dt}·T + (I − e^{−M·dt})·G⁻¹·u.
+                let a = expm(&m.scale(-dt))?;
+                let mut ima = a.scale(-1.0);
+                for i in 0..n {
+                    ima[(i, i)] += 1.0;
+                }
+                let ginv = Lu::factor(net.conductance())?.inverse()?;
+                let b = ima.matmul(&ginv)?;
+                (a, b)
+            }
+        };
+        Ok(DiscreteModel {
+            a,
+            b,
+            dt,
+            method,
+            num_nodes: n,
+        })
+    }
+
+    /// The state-propagation matrix `A_d`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The input matrix `B_d`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// The time step in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The discretization method.
+    pub fn method(&self) -> IntegrationMethod {
+        self.method
+    }
+
+    /// Number of thermal nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Advances the state one step: returns `A_d·t + B_d·u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `u` have the wrong length.
+    pub fn step(&self, t: &[f64], u: &[f64]) -> Vec<f64> {
+        let mut next = self.a.matvec(t);
+        let bu = self.b.matvec(u);
+        for (n, b) in next.iter_mut().zip(&bu) {
+            *n += b;
+        }
+        next
+    }
+
+    /// Simulates `steps` steps under constant input, returning the final
+    /// state.
+    pub fn simulate(&self, t0: &[f64], u: &[f64], steps: usize) -> Vec<f64> {
+        let mut t = t0.to_vec();
+        for _ in 0..steps {
+            t = self.step(&t, u);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThermalConfig;
+    use protemp_floorplan::niagara::niagara8;
+
+    fn net() -> RcNetwork {
+        RcNetwork::from_floorplan(&niagara8(), &ThermalConfig::default())
+    }
+
+    #[test]
+    fn paper_step_is_stable() {
+        let net = net();
+        let limit = stability_limit(&net).unwrap();
+        assert!(
+            limit > 0.4e-3,
+            "0.4 ms (the paper's step) must be stable; limit is {limit:.2e} s"
+        );
+    }
+
+    #[test]
+    fn unstable_step_rejected() {
+        let net = net();
+        let limit = stability_limit(&net).unwrap();
+        let err = DiscreteModel::new(&net, limit * 2.0, IntegrationMethod::ForwardEuler);
+        assert!(matches!(err, Err(ThermalError::UnstableStep { .. })));
+    }
+
+    #[test]
+    fn forward_euler_converges_to_steady_state() {
+        let net = net();
+        let model = DiscreteModel::new(&net, 0.4e-3, IntegrationMethod::ForwardEuler).unwrap();
+        let p = net.full_power_vector(2.0);
+        let u = net.input_vector(&p).unwrap();
+        let ss = net.steady_state(&p).unwrap();
+        // Long simulation approaches steady state on the fast (die) nodes;
+        // start at the steady state itself and check it is a fixed point.
+        let after = model.simulate(&ss, &u, 1000);
+        for (a, s) in after.iter().zip(&ss) {
+            assert!((a - s).abs() < 1e-6, "steady state must be a fixed point");
+        }
+    }
+
+    #[test]
+    fn integrators_agree_over_one_window() {
+        let net = net();
+        let dt = 0.4e-3;
+        let fe = DiscreteModel::new(&net, dt, IntegrationMethod::ForwardEuler).unwrap();
+        let be = DiscreteModel::new(&net, dt, IntegrationMethod::BackwardEuler).unwrap();
+        let ex = DiscreteModel::new(&net, dt, IntegrationMethod::Exact).unwrap();
+        let t0 = net.uniform_state(60.0);
+        let u = net.input_vector(&net.full_power_vector(4.0)).unwrap();
+        let steps = 250; // one 100 ms DFS window
+        let tf = fe.simulate(&t0, &u, steps);
+        let tb = be.simulate(&t0, &u, steps);
+        let te = ex.simulate(&t0, &u, steps);
+        for ((f, b), e) in tf.iter().zip(&tb).zip(&te) {
+            assert!((f - e).abs() < 0.5, "FE {f:.3} vs exact {e:.3}");
+            assert!((b - e).abs() < 0.5, "BE {b:.3} vs exact {e:.3}");
+        }
+    }
+
+    #[test]
+    fn exact_map_semigroup_property() {
+        // Stepping twice with dt equals stepping once with 2·dt.
+        let net = net();
+        let dt = 1e-3;
+        let one = DiscreteModel::new(&net, dt, IntegrationMethod::Exact).unwrap();
+        let two = DiscreteModel::new(&net, 2.0 * dt, IntegrationMethod::Exact).unwrap();
+        let t0 = net.uniform_state(80.0);
+        let u = net.input_vector(&net.full_power_vector(3.0)).unwrap();
+        let a = one.step(&one.step(&t0, &u), &u);
+        let b = two.step(&t0, &u);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn heating_is_monotone_from_cold_start() {
+        let net = net();
+        let model = DiscreteModel::new(&net, 0.4e-3, IntegrationMethod::ForwardEuler).unwrap();
+        let u = net.input_vector(&net.full_power_vector(4.0)).unwrap();
+        let mut t = net.uniform_state(net.ambient_c());
+        let mut prev_max = f64::MIN;
+        for _ in 0..50 {
+            t = model.step(&t, &u);
+            let m = t.iter().cloned().fold(f64::MIN, f64::max);
+            assert!(m >= prev_max - 1e-9, "max temp must not decrease while heating");
+            prev_max = m;
+        }
+    }
+}

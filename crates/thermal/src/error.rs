@@ -1,0 +1,62 @@
+use std::fmt;
+
+use protemp_linalg::LinalgError;
+
+/// Errors produced by the thermal modeling crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// An underlying linear algebra operation failed.
+    Linalg(LinalgError),
+    /// The requested time step is not stable for forward Euler.
+    UnstableStep {
+        /// Requested step (s).
+        dt: f64,
+        /// Largest stable step (s).
+        limit: f64,
+    },
+    /// An input vector had the wrong length.
+    DimensionMismatch {
+        /// What was being supplied.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A non-finite value was supplied or produced.
+    NotFinite,
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            ThermalError::UnstableStep { dt, limit } => write!(
+                f,
+                "time step {dt} s exceeds the forward-Euler stability limit {limit} s"
+            ),
+            ThermalError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            ThermalError::NotFinite => write!(f, "non-finite value in thermal computation"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThermalError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ThermalError {
+    fn from(e: LinalgError) -> Self {
+        ThermalError::Linalg(e)
+    }
+}

@@ -1,0 +1,201 @@
+//! Temperature-dependent leakage power (extension beyond the paper).
+//!
+//! The paper's power model (Equation (2)) is dynamic-only; its related work
+//! (\[17\], \[18\]) highlights the leakage–temperature feedback loop. This
+//! module adds a linearized leakage model and a fixed-point solver for the
+//! leakage-aware steady state, used by the `online_vs_table` /
+//! leakage-ablation benches to quantify how much the dynamic-only
+//! assumption costs.
+//!
+//! Model: every block dissipates `p_leak(T) = p_ref · (1 + k·(T − T_ref))`
+//! in addition to its injected dynamic power — a first-order expansion of
+//! the exponential subthreshold dependence, adequate over the 45–110 °C
+//! range of interest.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{RcNetwork, Result, ThermalError};
+
+/// Linearized leakage parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageModel {
+    /// Per-block leakage at the reference temperature, W (applied to core
+    /// blocks; uncore blocks leak `uncore_fraction` of this).
+    pub p_ref_w: f64,
+    /// Reference temperature, °C.
+    pub t_ref_c: f64,
+    /// Relative leakage increase per Kelvin (typical 1–2 %/K).
+    pub slope_per_k: f64,
+    /// Leakage of non-core blocks relative to core blocks (by area ratio).
+    pub uncore_fraction: f64,
+}
+
+impl Default for LeakageModel {
+    fn default() -> Self {
+        LeakageModel {
+            p_ref_w: 0.4,
+            t_ref_c: 65.0,
+            slope_per_k: 0.012,
+            uncore_fraction: 0.3,
+        }
+    }
+}
+
+impl LeakageModel {
+    /// Leakage power of one core block at temperature `t_c`.
+    pub fn core_leakage(&self, t_c: f64) -> f64 {
+        (self.p_ref_w * (1.0 + self.slope_per_k * (t_c - self.t_ref_c))).max(0.0)
+    }
+
+    /// Leakage power of one uncore block at temperature `t_c`.
+    pub fn uncore_leakage(&self, t_c: f64) -> f64 {
+        self.core_leakage(t_c) * self.uncore_fraction
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !(self.p_ref_w >= 0.0 && self.p_ref_w.is_finite()) {
+            return Err(format!("p_ref_w must be non-negative, got {}", self.p_ref_w));
+        }
+        if !(0.0..0.2).contains(&self.slope_per_k) {
+            return Err(format!(
+                "slope_per_k {} outside the linearization's validity",
+                self.slope_per_k
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.uncore_fraction) {
+            return Err(format!("uncore_fraction {} must be in [0,1]", self.uncore_fraction));
+        }
+        Ok(())
+    }
+}
+
+/// Solves the leakage-aware steady state by fixed-point iteration:
+/// `T ← steady_state(p_dyn + p_leak(T))` until the update is below `tol_c`.
+///
+/// Returns `(temperatures, iterations)`.
+///
+/// # Errors
+///
+/// * [`ThermalError::DimensionMismatch`] for a bad power vector.
+/// * [`ThermalError::NotFinite`] if the loop diverges (thermal runaway —
+///   physically meaningful: leakage feedback exceeds the cooling slope).
+pub fn leakage_aware_steady_state(
+    net: &RcNetwork,
+    dynamic_block_powers: &[f64],
+    leak: &LeakageModel,
+    tol_c: f64,
+    max_iter: usize,
+) -> Result<(Vec<f64>, usize)> {
+    if dynamic_block_powers.len() != net.num_blocks() {
+        return Err(ThermalError::DimensionMismatch {
+            what: "dynamic power vector",
+            expected: net.num_blocks(),
+            actual: dynamic_block_powers.len(),
+        });
+    }
+    let core_set: std::collections::HashSet<usize> = net.core_nodes().iter().copied().collect();
+    let mut temps = net.uniform_state(net.ambient_c());
+    for it in 0..max_iter {
+        let mut p = dynamic_block_powers.to_vec();
+        for (i, pi) in p.iter_mut().enumerate() {
+            let t_block = temps[i];
+            *pi += if core_set.contains(&i) {
+                leak.core_leakage(t_block)
+            } else {
+                leak.uncore_leakage(t_block)
+            };
+        }
+        let next = net.steady_state(&p)?;
+        let delta = next
+            .iter()
+            .zip(&temps)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        if !next.iter().all(|t| t.is_finite() && *t < 500.0) {
+            return Err(ThermalError::NotFinite);
+        }
+        temps = next;
+        if delta < tol_c {
+            return Ok((temps, it + 1));
+        }
+    }
+    Err(ThermalError::NotFinite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThermalConfig;
+    use protemp_floorplan::niagara::niagara8;
+
+    fn net() -> RcNetwork {
+        RcNetwork::from_floorplan(&niagara8(), &ThermalConfig::default())
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let m = LeakageModel::default();
+        assert!(m.core_leakage(100.0) > m.core_leakage(60.0));
+        assert!(m.uncore_leakage(80.0) < m.core_leakage(80.0));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn leakage_never_negative() {
+        let m = LeakageModel::default();
+        assert_eq!(m.core_leakage(-300.0), 0.0);
+    }
+
+    #[test]
+    fn fixed_point_converges_and_exceeds_dynamic_only() {
+        let net = net();
+        let p_dyn = net.full_power_vector(2.0);
+        let plain = net.steady_state(&p_dyn).unwrap();
+        let (with_leak, iters) =
+            leakage_aware_steady_state(&net, &p_dyn, &LeakageModel::default(), 1e-6, 100).unwrap();
+        assert!(iters < 100, "fixed point converges, took {iters}");
+        // Leakage adds heat: every node at least as hot.
+        for (a, b) in with_leak.iter().zip(&plain) {
+            assert!(*a >= *b - 1e-9);
+        }
+        // And the effect is material on the cores.
+        let core0 = net.core_nodes()[0];
+        assert!(with_leak[core0] - plain[core0] > 1.0);
+    }
+
+    #[test]
+    fn zero_leakage_matches_plain_steady_state() {
+        let net = net();
+        let p_dyn = net.full_power_vector(1.5);
+        let plain = net.steady_state(&p_dyn).unwrap();
+        let zero = LeakageModel {
+            p_ref_w: 0.0,
+            ..LeakageModel::default()
+        };
+        let (with_leak, _) = leakage_aware_steady_state(&net, &p_dyn, &zero, 1e-9, 50).unwrap();
+        for (a, b) in with_leak.iter().zip(&plain) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bad_dimension_rejected() {
+        let net = net();
+        let err = leakage_aware_steady_state(&net, &[1.0], &LeakageModel::default(), 1e-6, 10);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_slope() {
+        let m = LeakageModel {
+            slope_per_k: 0.5,
+            ..LeakageModel::default()
+        };
+        assert!(m.validate().is_err());
+    }
+}

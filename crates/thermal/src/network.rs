@@ -1,0 +1,375 @@
+use protemp_floorplan::{adjacency, BlockKind, Floorplan};
+use protemp_linalg::{Lu, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, ThermalConfig, ThermalError};
+
+/// Fraction of total core power drawn by the uncore blocks (paper Sec. 5:
+/// "the power consumption of the other cores on the system is around 30% of
+/// the power consumption of the processing cores").
+pub const UNCORE_POWER_FRACTION: f64 = 0.30;
+
+/// A lumped thermal RC network derived from a floorplan.
+///
+/// # Node layout
+///
+/// For a floorplan with `N` blocks the network has `2N + 1` nodes:
+///
+/// * nodes `0..N` — silicon, one per block (heat is injected here);
+/// * nodes `N..2N` — heat-spreader footprint under each block;
+/// * node `2N` — the lumped heat sink, coupled to the fixed ambient.
+///
+/// The continuous dynamics are `C·Ṫ = −G·T + u`, where `G` is the
+/// conductance Laplacian (with the ambient coupling on the sink diagonal),
+/// `C` the nodal heat capacities and `u` collects injected power plus the
+/// ambient source term. Temperatures are in °C throughout.
+///
+/// # Example
+///
+/// ```
+/// use protemp_floorplan::niagara::niagara8;
+/// use protemp_thermal::{RcNetwork, ThermalConfig};
+///
+/// let net = RcNetwork::from_floorplan(&niagara8(), &ThermalConfig::default());
+/// assert_eq!(net.num_nodes(), 2 * 18 + 1);
+/// assert_eq!(net.core_nodes().len(), 8);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RcNetwork {
+    /// Node names (block name, block name + "_sp", "SINK").
+    names: Vec<String>,
+    /// Conductance Laplacian, (2N+1)².
+    g: Matrix,
+    /// Nodal heat capacities, J/K.
+    c: Vec<f64>,
+    /// Per-node conductance to the fixed ambient (only the sink is nonzero).
+    g_amb: Vec<f64>,
+    /// Number of floorplan blocks N.
+    n_blocks: usize,
+    /// Silicon node indices of the processing cores.
+    core_nodes: Vec<usize>,
+    /// Fixed per-block background power for non-core blocks, W.
+    uncore_power: Vec<f64>,
+    /// Ambient temperature, °C.
+    ambient_c: f64,
+}
+
+impl RcNetwork {
+    /// Builds the RC network for a floorplan.
+    ///
+    /// Uncore background power is sized as [`UNCORE_POWER_FRACTION`] of the
+    /// total core budget at 4 W per core and spread over non-core blocks
+    /// proportionally to area; use [`RcNetwork::set_uncore_power_budget`] to
+    /// change it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the floorplan fails validation or the config is invalid —
+    /// both indicate programmer error in the calling code.
+    pub fn from_floorplan(fp: &Floorplan, cfg: &ThermalConfig) -> Self {
+        fp.validate().expect("floorplan must validate");
+        cfg.validate().expect("thermal config must validate");
+
+        let n = fp.len();
+        let total = 2 * n + 1;
+        let sink = 2 * n;
+        let mut g = Matrix::zeros(total, total);
+        let mut c = vec![0.0; total];
+        let mut g_amb = vec![0.0; total];
+        let mut names = Vec::with_capacity(total);
+
+        for b in fp.blocks() {
+            names.push(b.name().to_string());
+        }
+        for b in fp.blocks() {
+            names.push(format!("{}_sp", b.name()));
+        }
+        names.push("SINK".to_string());
+
+        // Capacities.
+        for (i, b) in fp.blocks().iter().enumerate() {
+            c[i] = cfg.cv_si * b.area() * cfg.t_si;
+            c[n + i] = cfg.cv_cu * b.area() * cfg.t_spreader;
+        }
+        c[sink] = cfg.sink_capacitance;
+
+        let couple = |g: &mut Matrix, a: usize, b: usize, cond: f64| {
+            g[(a, a)] += cond;
+            g[(b, b)] += cond;
+            g[(a, b)] -= cond;
+            g[(b, a)] -= cond;
+        };
+
+        // Lateral conductances in silicon and spreader layers.
+        for adj in adjacency::adjacencies(fp) {
+            let g_si = cfg.k_si * cfg.t_si * adj.shared_edge / adj.center_distance;
+            couple(&mut g, adj.a, adj.b, g_si);
+            let g_sp = cfg.k_cu * cfg.t_spreader * adj.shared_edge / adj.center_distance;
+            couple(&mut g, n + adj.a, n + adj.b, g_sp);
+        }
+
+        // Vertical paths: silicon → spreader (TIM), spreader → sink.
+        for (i, b) in fp.blocks().iter().enumerate() {
+            let g_tim = cfg.tim_conductance_per_area() * b.area();
+            couple(&mut g, i, n + i, g_tim);
+            let g_ss = cfg.spreader_sink_conductance_per_area() * b.area();
+            couple(&mut g, n + i, sink, g_ss);
+        }
+
+        // Sink → ambient convection.
+        let g_conv = 1.0 / cfg.r_convection;
+        g[(sink, sink)] += g_conv;
+        g_amb[sink] = g_conv;
+
+        // Uncore background power: 30% of the 8x4 W core budget, by area.
+        let core_nodes = fp.core_indices();
+        let mut net = RcNetwork {
+            names,
+            g,
+            c,
+            g_amb,
+            n_blocks: n,
+            core_nodes,
+            uncore_power: vec![0.0; n],
+            ambient_c: cfg.ambient_c,
+        };
+        let core_budget: f64 = 4.0 * net.core_nodes.len() as f64;
+        net.distribute_uncore_power(fp, UNCORE_POWER_FRACTION * core_budget);
+        net
+    }
+
+    fn distribute_uncore_power(&mut self, fp: &Floorplan, budget: f64) {
+        let uncore_area: f64 = fp
+            .blocks()
+            .iter()
+            .filter(|b| !b.is_core())
+            .map(|b| b.area())
+            .sum();
+        for (i, b) in fp.blocks().iter().enumerate() {
+            self.uncore_power[i] = if b.is_core() || uncore_area == 0.0 {
+                0.0
+            } else {
+                // Crossbar and IO run hotter per area than cache.
+                let weight = match b.kind() {
+                    BlockKind::Crossbar => 2.0,
+                    BlockKind::Io => 1.5,
+                    _ => 1.0,
+                };
+                budget * weight * b.area() / uncore_area
+            };
+        }
+        // Normalize so the weighted split still sums to the budget.
+        let s: f64 = self.uncore_power.iter().sum();
+        if s > 0.0 {
+            for p in &mut self.uncore_power {
+                *p *= budget / s;
+            }
+        }
+    }
+
+    /// Re-sizes the uncore background power budget (W, spread by area).
+    pub fn set_uncore_power_budget(&mut self, fp: &Floorplan, budget: f64) {
+        self.distribute_uncore_power(fp, budget);
+    }
+
+    /// Total number of thermal nodes (`2N + 1`).
+    pub fn num_nodes(&self) -> usize {
+        2 * self.n_blocks + 1
+    }
+
+    /// Number of floorplan blocks `N`.
+    pub fn num_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Silicon node indices of the processing cores.
+    pub fn core_nodes(&self) -> &[usize] {
+        &self.core_nodes
+    }
+
+    /// Node name by index.
+    pub fn node_name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Ambient temperature, °C.
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Conductance Laplacian (including ambient coupling on the diagonal).
+    pub fn conductance(&self) -> &Matrix {
+        &self.g
+    }
+
+    /// Nodal heat capacities, J/K.
+    pub fn capacitance(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Fixed background power for every block (zero on cores), W.
+    pub fn uncore_power(&self) -> &[f64] {
+        &self.uncore_power
+    }
+
+    /// Builds the full nodal input vector `u` from per-block powers.
+    ///
+    /// `block_powers[i]` is the power injected in block `i`'s silicon node;
+    /// the ambient source term is added on the sink node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::DimensionMismatch`] if the slice length is not
+    /// the number of blocks.
+    pub fn input_vector(&self, block_powers: &[f64]) -> Result<Vec<f64>> {
+        if block_powers.len() != self.n_blocks {
+            return Err(ThermalError::DimensionMismatch {
+                what: "block power vector",
+                expected: self.n_blocks,
+                actual: block_powers.len(),
+            });
+        }
+        let mut u = vec![0.0; self.num_nodes()];
+        for (i, p) in block_powers.iter().enumerate() {
+            u[i] = *p;
+        }
+        for (ui, ga) in u.iter_mut().zip(&self.g_amb) {
+            *ui += ga * self.ambient_c;
+        }
+        Ok(u)
+    }
+
+    /// Per-block power vector with every core at `core_power` W and uncore
+    /// blocks at their fixed background power.
+    pub fn full_power_vector(&self, core_power: f64) -> Vec<f64> {
+        let mut p = self.uncore_power.clone();
+        for &i in &self.core_nodes {
+            p[i] = core_power;
+        }
+        p
+    }
+
+    /// Steady-state node temperatures for constant per-block powers.
+    ///
+    /// Solves `G·T = u`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::DimensionMismatch`] for a bad power vector.
+    /// * [`ThermalError::Linalg`] if the conductance matrix is singular
+    ///   (cannot happen for a connected network with ambient coupling).
+    pub fn steady_state(&self, block_powers: &[f64]) -> Result<Vec<f64>> {
+        let u = self.input_vector(block_powers)?;
+        let lu = Lu::factor(&self.g)?;
+        Ok(lu.solve(&u)?)
+    }
+
+    /// The system matrix `M = C⁻¹·G` of the dynamics `Ṫ = −M·T + C⁻¹·u`.
+    pub fn system_matrix(&self) -> Matrix {
+        let n = self.num_nodes();
+        Matrix::from_fn(n, n, |r, c| self.g[(r, c)] / self.c[r])
+    }
+
+    /// Uniform temperature vector (all nodes at `t`).
+    pub fn uniform_state(&self, t: f64) -> Vec<f64> {
+        vec![t; self.num_nodes()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protemp_floorplan::niagara::niagara8;
+    use protemp_linalg::vecops;
+
+    fn net() -> RcNetwork {
+        RcNetwork::from_floorplan(&niagara8(), &ThermalConfig::default())
+    }
+
+    #[test]
+    fn laplacian_row_sums_are_ambient_couplings() {
+        let net = net();
+        // For a Laplacian with ambient coupling folded into the diagonal,
+        // each row sums to that node's conductance to ambient.
+        let g = net.conductance();
+        for r in 0..net.num_nodes() {
+            let s: f64 = (0..net.num_nodes()).map(|c| g[(r, c)]).sum();
+            let expected = net.g_amb[r];
+            assert!(
+                (s - expected).abs() < 1e-9,
+                "row {r} sums to {s}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn conductance_symmetric() {
+        let net = net();
+        assert!(net.conductance().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn zero_power_steady_state_is_ambient() {
+        let net = net();
+        let t = net.steady_state(&vec![0.0; net.num_blocks()]).unwrap();
+        for (i, ti) in t.iter().enumerate() {
+            assert!(
+                (ti - net.ambient_c()).abs() < 1e-6,
+                "node {i} at {ti}, ambient {}",
+                net.ambient_c()
+            );
+        }
+    }
+
+    #[test]
+    fn full_power_steady_state_is_hot() {
+        let net = net();
+        let t = net.steady_state(&net.full_power_vector(4.0)).unwrap();
+        let core_max = net
+            .core_nodes()
+            .iter()
+            .map(|&i| t[i])
+            .fold(f64::MIN, f64::max);
+        assert!(core_max > 105.0, "full-power cores reach {core_max:.1} C");
+        assert!(core_max < 200.0, "calibration sane, got {core_max:.1} C");
+    }
+
+    #[test]
+    fn more_power_means_warmer_everywhere() {
+        let net = net();
+        let lo = net.steady_state(&net.full_power_vector(1.0)).unwrap();
+        let hi = net.steady_state(&net.full_power_vector(3.0)).unwrap();
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(*h >= l - 1e-9);
+        }
+    }
+
+    #[test]
+    fn uncore_budget_is_30_percent() {
+        let net = net();
+        let total: f64 = vecops::sum(net.uncore_power());
+        assert!((total - 0.3 * 32.0).abs() < 1e-9);
+        for &i in net.core_nodes() {
+            assert_eq!(net.uncore_power()[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn input_vector_checks_length() {
+        let net = net();
+        assert!(net.input_vector(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn edge_core_cooler_than_middle_core_at_equal_power() {
+        let net = net();
+        let fp = niagara8();
+        let t = net.steady_state(&net.full_power_vector(4.0)).unwrap();
+        let p1 = t[fp.index_of("P1").unwrap()];
+        let p2 = t[fp.index_of("P2").unwrap()];
+        assert!(
+            p1 < p2,
+            "edge core P1 ({p1:.2} C) should run cooler than middle core P2 ({p2:.2} C)"
+        );
+    }
+}

@@ -1,0 +1,227 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ArrivalPattern, BenchmarkProfile, Task, Trace, US_PER_S};
+
+/// Deterministic trace generator.
+///
+/// All sampling uses a seeded [`StdRng`]; the same seed, profile and
+/// duration always produce the identical trace.
+///
+/// # Example
+///
+/// ```
+/// use protemp_workload::{BenchmarkProfile, TraceGenerator};
+///
+/// let t1 = TraceGenerator::new(7).generate(&BenchmarkProfile::multimedia(), 5.0, 8);
+/// let t2 = TraceGenerator::new(7).generate(&BenchmarkProfile::multimedia(), 5.0, 8);
+/// assert_eq!(t1.tasks(), t2.tasks());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TraceGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// Generates a trace for one profile over `duration_s` seconds, sized
+    /// for a platform with `n_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn generate(&mut self, profile: &BenchmarkProfile, duration_s: f64, n_cores: usize) -> Trace {
+        profile.validate().expect("profile must validate");
+        let mut tasks = Vec::new();
+        self.fill_segment(&mut tasks, profile, 0, (duration_s * US_PER_S as f64) as u64, n_cores);
+        Trace::new(tasks)
+    }
+
+    /// Generates the paper's *mixed* trace: segments rotating through the
+    /// given profiles (each `segment_s` long) until `total_s` is covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or a profile fails validation.
+    pub fn generate_mix(
+        &mut self,
+        profiles: &[BenchmarkProfile],
+        segment_s: f64,
+        total_s: f64,
+        n_cores: usize,
+    ) -> Trace {
+        assert!(!profiles.is_empty(), "need at least one profile");
+        let seg_us = (segment_s * US_PER_S as f64) as u64;
+        let total_us = (total_s * US_PER_S as f64) as u64;
+        let mut tasks = Vec::new();
+        let mut start = 0u64;
+        let mut idx = 0usize;
+        while start < total_us {
+            let end = (start + seg_us).min(total_us);
+            self.fill_segment(&mut tasks, &profiles[idx % profiles.len()], start, end, n_cores);
+            start = end;
+            idx += 1;
+        }
+        tasks.sort_by_key(|t: &Task| t.arrival_us);
+        Trace::new(tasks)
+    }
+
+    /// Appends tasks arriving in `[start_us, end_us)` for one profile.
+    fn fill_segment(
+        &mut self,
+        tasks: &mut Vec<Task>,
+        profile: &BenchmarkProfile,
+        start_us: u64,
+        end_us: u64,
+        n_cores: usize,
+    ) {
+        let rate = profile.arrival_rate(n_cores); // tasks per second
+        match profile.pattern {
+            ArrivalPattern::Poisson => {
+                let mut t = start_us as f64;
+                loop {
+                    t += self.exp_sample(rate) * US_PER_S as f64;
+                    if t >= end_us as f64 {
+                        break;
+                    }
+                    self.push_task(tasks, profile, t as u64);
+                }
+            }
+            ArrivalPattern::Bursty {
+                mean_on_s,
+                mean_off_s,
+            } => {
+                // During bursts the rate is boosted so the long-run average
+                // still meets the profile's load.
+                let duty = mean_on_s / (mean_on_s + mean_off_s);
+                let on_rate = rate / duty;
+                let mut t = start_us as f64;
+                let mut in_burst = true;
+                let mut phase_end = t + self.exp_sample(1.0 / mean_on_s) * US_PER_S as f64;
+                loop {
+                    if t >= end_us as f64 {
+                        break;
+                    }
+                    if t >= phase_end {
+                        in_burst = !in_burst;
+                        let mean = if in_burst { mean_on_s } else { mean_off_s };
+                        phase_end = t + self.exp_sample(1.0 / mean.max(1e-6)) * US_PER_S as f64;
+                        continue;
+                    }
+                    if in_burst {
+                        let dt = self.exp_sample(on_rate) * US_PER_S as f64;
+                        t += dt;
+                        if t < end_us as f64 && t < phase_end {
+                            self.push_task(tasks, profile, t as u64);
+                        }
+                    } else {
+                        t = phase_end;
+                    }
+                }
+            }
+            ArrivalPattern::Periodic { jitter } => {
+                let period_us = US_PER_S as f64 / rate;
+                let mut t = start_us as f64;
+                while t < end_us as f64 {
+                    let j = 1.0 + jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
+                    let arrive = t;
+                    if arrive >= start_us as f64 && arrive < end_us as f64 {
+                        self.push_task(tasks, profile, arrive as u64);
+                    }
+                    t += period_us * j;
+                }
+            }
+        }
+    }
+
+    fn push_task(&mut self, tasks: &mut Vec<Task>, profile: &BenchmarkProfile, arrival_us: u64) {
+        let work = self
+            .rng
+            .gen_range(profile.min_work_us..=profile.max_work_us);
+        let id = self.next_id;
+        self.next_id += 1;
+        tasks.push(Task::new(id, arrival_us, work));
+    }
+
+    /// Exponential sample with the given rate (mean 1/rate).
+    fn exp_sample(&mut self, rate: f64) -> f64 {
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        -u.ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TraceGenerator::new(1).generate(&BenchmarkProfile::web_serving(), 5.0, 8);
+        let b = TraceGenerator::new(1).generate(&BenchmarkProfile::web_serving(), 5.0, 8);
+        assert_eq!(a.tasks(), b.tasks());
+        let c = TraceGenerator::new(2).generate(&BenchmarkProfile::web_serving(), 5.0, 8);
+        assert_ne!(a.tasks(), c.tasks());
+    }
+
+    #[test]
+    fn poisson_load_close_to_target() {
+        let p = BenchmarkProfile::compute_intensive();
+        let trace = TraceGenerator::new(3).generate(&p, 30.0, 8);
+        let load = trace.stats(8).offered_load;
+        assert!(
+            (load - p.load).abs() < 0.12,
+            "offered load {load:.3} vs target {:.3}",
+            p.load
+        );
+    }
+
+    #[test]
+    fn bursty_load_close_to_target_long_run() {
+        let p = BenchmarkProfile::web_serving();
+        let trace = TraceGenerator::new(4).generate(&p, 60.0, 8);
+        let load = trace.stats(8).offered_load;
+        assert!(
+            (load - p.load).abs() < 0.15,
+            "offered load {load:.3} vs target {:.3}",
+            p.load
+        );
+    }
+
+    #[test]
+    fn mix_covers_whole_duration_sorted() {
+        let profiles = [
+            BenchmarkProfile::web_serving(),
+            BenchmarkProfile::multimedia(),
+            BenchmarkProfile::compute_intensive(),
+        ];
+        let trace = TraceGenerator::new(5).generate_mix(&profiles, 2.0, 12.0, 8);
+        assert!(trace.is_sorted_by_arrival());
+        let last = trace.tasks().last().unwrap().arrival_us;
+        assert!(last > 10 * US_PER_S, "tasks arrive through the whole trace");
+    }
+
+    #[test]
+    fn work_bounds_respected() {
+        let p = BenchmarkProfile::multimedia();
+        let trace = TraceGenerator::new(6).generate(&p, 10.0, 8);
+        for t in trace.tasks() {
+            assert!(t.work_us >= p.min_work_us && t.work_us <= p.max_work_us);
+        }
+    }
+
+    #[test]
+    fn ids_unique_and_increasing() {
+        let trace = TraceGenerator::new(7).generate(&BenchmarkProfile::multimedia(), 5.0, 8);
+        for w in trace.tasks().windows(2) {
+            assert!(w[1].id > w[0].id);
+        }
+    }
+}

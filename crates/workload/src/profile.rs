@@ -1,0 +1,181 @@
+use serde::{Deserialize, Serialize};
+
+/// Arrival-process shape for a benchmark profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ArrivalPattern {
+    /// Memoryless Poisson arrivals.
+    Poisson,
+    /// Markov-modulated on/off bursts: Poisson at an elevated rate during
+    /// `on` periods, near-silent during `off` periods. Means in seconds.
+    Bursty {
+        /// Mean duration of a burst (s).
+        mean_on_s: f64,
+        /// Mean duration of a quiet period (s).
+        mean_off_s: f64,
+    },
+    /// Jittered periodic arrivals (frame-driven multimedia decoding).
+    Periodic {
+        /// Relative jitter applied to each period (0 = strictly periodic).
+        jitter: f64,
+    },
+}
+
+/// Statistical description of one benchmark's task stream.
+///
+/// The built-in profiles mirror the paper's benchmark mix: web serving
+/// (short, bursty tasks), multimedia playback (periodic, medium tasks) and a
+/// compute-intensive benchmark (long tasks at near-saturation load — the
+/// workload for which the paper reports Basic-DFS spending "up to 40% of the
+/// time above the maximum threshold").
+///
+/// # Example
+///
+/// ```
+/// use protemp_workload::BenchmarkProfile;
+///
+/// let p = BenchmarkProfile::compute_intensive();
+/// assert!(p.load > 0.9);
+/// p.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Minimum task workload (µs at f_max).
+    pub min_work_us: u64,
+    /// Maximum task workload (µs at f_max).
+    pub max_work_us: u64,
+    /// Offered load as a fraction of total platform capacity at f_max
+    /// (1.0 = the n cores are exactly saturated when running flat out).
+    pub load: f64,
+    /// Arrival pattern.
+    pub pattern: ArrivalPattern,
+}
+
+impl BenchmarkProfile {
+    /// Web-serving style: short 1–4 ms tasks, bursty, moderate load.
+    pub fn web_serving() -> Self {
+        BenchmarkProfile {
+            name: "web".to_string(),
+            min_work_us: 1_000,
+            max_work_us: 4_000,
+            load: 0.45,
+            pattern: ArrivalPattern::Bursty {
+                mean_on_s: 0.4,
+                mean_off_s: 0.25,
+            },
+        }
+    }
+
+    /// Multimedia playback: periodic 2–8 ms tasks, medium load.
+    pub fn multimedia() -> Self {
+        BenchmarkProfile {
+            name: "multimedia".to_string(),
+            min_work_us: 2_000,
+            max_work_us: 8_000,
+            load: 0.60,
+            pattern: ArrivalPattern::Periodic { jitter: 0.2 },
+        }
+    }
+
+    /// Compute-intensive: long 5–10 ms tasks at near-saturation load.
+    pub fn compute_intensive() -> Self {
+        BenchmarkProfile {
+            name: "compute".to_string(),
+            min_work_us: 5_000,
+            max_work_us: 10_000,
+            load: 1.05,
+            pattern: ArrivalPattern::Poisson,
+        }
+    }
+
+    /// Mean task workload in seconds.
+    pub fn mean_work_s(&self) -> f64 {
+        (self.min_work_us + self.max_work_us) as f64 / 2.0 / crate::US_PER_S as f64
+    }
+
+    /// Mean arrival rate (tasks/s) to hit `load` on an `n_cores` platform.
+    pub fn arrival_rate(&self, n_cores: usize) -> f64 {
+        self.load * n_cores as f64 / self.mean_work_s()
+    }
+
+    /// Validates field ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_work_us == 0 || self.min_work_us > self.max_work_us {
+            return Err(format!(
+                "work range [{}, {}] invalid",
+                self.min_work_us, self.max_work_us
+            ));
+        }
+        if !(self.load > 0.0 && self.load < 4.0) {
+            return Err(format!("load {} out of range", self.load));
+        }
+        match self.pattern {
+            ArrivalPattern::Bursty {
+                mean_on_s,
+                mean_off_s,
+            } => {
+                if mean_on_s <= 0.0 || mean_off_s < 0.0 {
+                    return Err("bursty pattern needs positive on/off means".to_string());
+                }
+            }
+            ArrivalPattern::Periodic { jitter } => {
+                if !(0.0..1.0).contains(&jitter) {
+                    return Err(format!("jitter {jitter} must be in [0,1)"));
+                }
+            }
+            ArrivalPattern::Poisson => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles_validate() {
+        for p in [
+            BenchmarkProfile::web_serving(),
+            BenchmarkProfile::multimedia(),
+            BenchmarkProfile::compute_intensive(),
+        ] {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn task_lengths_match_paper_range() {
+        // Paper: "the tasks have a workload of 1 ms - 10 ms".
+        for p in [
+            BenchmarkProfile::web_serving(),
+            BenchmarkProfile::multimedia(),
+            BenchmarkProfile::compute_intensive(),
+        ] {
+            assert!(p.min_work_us >= 1_000);
+            assert!(p.max_work_us <= 10_000);
+        }
+    }
+
+    #[test]
+    fn arrival_rate_scales_with_cores() {
+        let p = BenchmarkProfile::multimedia();
+        assert!((p.arrival_rate(16) / p.arrival_rate(8) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_fields_rejected() {
+        let mut p = BenchmarkProfile::web_serving();
+        p.load = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = BenchmarkProfile::web_serving();
+        p.min_work_us = 0;
+        assert!(p.validate().is_err());
+    }
+}

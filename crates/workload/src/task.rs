@@ -1,0 +1,56 @@
+use serde::{Deserialize, Serialize};
+
+/// A unit of work to be executed on one core.
+///
+/// `work_us` is the paper's *workload* definition (Section 3.1): "the total
+/// amount of time required for running the task, at the highest operating
+/// frequency". A core at frequency `f` completes `f/f_max` microseconds of
+/// work per microsecond of wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Task {
+    /// Unique, monotonically increasing identifier.
+    pub id: u64,
+    /// Arrival time in microseconds from simulation start.
+    pub arrival_us: u64,
+    /// Workload in microseconds at the maximum core frequency.
+    pub work_us: u64,
+}
+
+impl Task {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_us` is zero (a task must carry work).
+    pub fn new(id: u64, arrival_us: u64, work_us: u64) -> Self {
+        assert!(work_us > 0, "task work must be positive");
+        Task {
+            id,
+            arrival_us,
+            work_us,
+        }
+    }
+
+    /// Workload in seconds at maximum frequency.
+    pub fn work_s(&self) -> f64 {
+        self.work_us as f64 / crate::US_PER_S as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_fields() {
+        let t = Task::new(7, 1_000, 5_000);
+        assert_eq!(t.id, 7);
+        assert!((t.work_s() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be positive")]
+    fn zero_work_rejected() {
+        let _ = Task::new(0, 0, 0);
+    }
+}

@@ -1,0 +1,170 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Task, US_PER_S};
+
+/// An arrival-ordered sequence of tasks.
+///
+/// # Example
+///
+/// ```
+/// use protemp_workload::{Task, Trace};
+///
+/// let trace = Trace::new(vec![Task::new(0, 0, 1_000), Task::new(1, 500, 2_000)]);
+/// assert_eq!(trace.len(), 2);
+/// let stats = trace.stats(8);
+/// assert!(stats.total_work_s > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    tasks: Vec<Task>,
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of tasks.
+    pub count: usize,
+    /// Span from first arrival to last arrival, seconds.
+    pub duration_s: f64,
+    /// Total work at maximum frequency, seconds.
+    pub total_work_s: f64,
+    /// Offered load relative to `n_cores` running at `f_max`.
+    pub offered_load: f64,
+    /// Mean task workload, seconds.
+    pub mean_work_s: f64,
+}
+
+impl Trace {
+    /// Creates a trace, sorting tasks by arrival time.
+    pub fn new(mut tasks: Vec<Task>) -> Self {
+        tasks.sort_by_key(|t| (t.arrival_us, t.id));
+        Trace { tasks }
+    }
+
+    /// The tasks in arrival order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if the trace has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// `true` if arrivals are non-decreasing (always holds after `new`).
+    pub fn is_sorted_by_arrival(&self) -> bool {
+        self.tasks.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us)
+    }
+
+    /// Iterator over the tasks.
+    pub fn iter(&self) -> std::slice::Iter<'_, Task> {
+        self.tasks.iter()
+    }
+
+    /// Computes summary statistics for a platform with `n_cores`.
+    pub fn stats(&self, n_cores: usize) -> TraceStats {
+        if self.tasks.is_empty() {
+            return TraceStats {
+                count: 0,
+                duration_s: 0.0,
+                total_work_s: 0.0,
+                offered_load: 0.0,
+                mean_work_s: 0.0,
+            };
+        }
+        let first = self.tasks.first().expect("non-empty").arrival_us;
+        let last = self.tasks.last().expect("non-empty").arrival_us;
+        let duration_s = ((last - first).max(1)) as f64 / US_PER_S as f64;
+        let total_work_s: f64 = self.tasks.iter().map(Task::work_s).sum();
+        TraceStats {
+            count: self.tasks.len(),
+            duration_s,
+            total_work_s,
+            offered_load: total_work_s / (duration_s * n_cores as f64),
+            mean_work_s: total_work_s / self.tasks.len() as f64,
+        }
+    }
+
+    /// Returns the sub-trace arriving in `[from_us, to_us)`, re-based so the
+    /// window start is time zero.
+    pub fn window(&self, from_us: u64, to_us: u64) -> Trace {
+        let tasks = self
+            .tasks
+            .iter()
+            .filter(|t| t.arrival_us >= from_us && t.arrival_us < to_us)
+            .map(|t| Task::new(t.id, t.arrival_us - from_us, t.work_us))
+            .collect();
+        Trace { tasks }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Task;
+    type IntoIter = std::slice::Iter<'a, Task>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+impl FromIterator<Task> for Trace {
+    fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> Self {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts() {
+        let trace = Trace::new(vec![Task::new(1, 500, 100), Task::new(0, 100, 100)]);
+        assert!(trace.is_sorted_by_arrival());
+        assert_eq!(trace.tasks()[0].id, 0);
+    }
+
+    #[test]
+    fn stats_reasonable() {
+        // Two tasks of 8 ms over 1 s on 8 cores → load = 0.016/8 = 0.002.
+        let trace = Trace::new(vec![
+            Task::new(0, 0, 8_000),
+            Task::new(1, US_PER_S, 8_000),
+        ]);
+        let s = trace.stats(8);
+        assert_eq!(s.count, 2);
+        assert!((s.duration_s - 1.0).abs() < 1e-9);
+        assert!((s.total_work_s - 0.016).abs() < 1e-12);
+        assert!((s.offered_load - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = Trace::new(vec![]).stats(8);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.offered_load, 0.0);
+    }
+
+    #[test]
+    fn window_rebases() {
+        let trace = Trace::new(vec![
+            Task::new(0, 100, 50),
+            Task::new(1, 200, 50),
+            Task::new(2, 300, 50),
+        ]);
+        let w = trace.window(150, 350);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.tasks()[0].arrival_us, 50);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let trace: Trace = (0..3).map(|i| Task::new(i, i * 10, 100)).collect();
+        assert_eq!(trace.len(), 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the workload generator.
+
+use proptest::prelude::*;
+use protemp_workload::{ArrivalPattern, BenchmarkProfile, TraceGenerator};
+
+fn any_profile() -> impl Strategy<Value = BenchmarkProfile> {
+    (
+        1_000u64..5_000,
+        5_000u64..10_000,
+        0.2..1.2f64,
+        0usize..3,
+    )
+        .prop_map(|(min_w, max_w, load, pat)| BenchmarkProfile {
+            name: "prop".to_string(),
+            min_work_us: min_w,
+            max_work_us: max_w,
+            load,
+            pattern: match pat {
+                0 => ArrivalPattern::Poisson,
+                1 => ArrivalPattern::Bursty {
+                    mean_on_s: 0.3,
+                    mean_off_s: 0.2,
+                },
+                _ => ArrivalPattern::Periodic { jitter: 0.1 },
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn traces_sorted_ids_unique(profile in any_profile(), seed in 0u64..1000) {
+        let trace = TraceGenerator::new(seed).generate(&profile, 3.0, 8);
+        prop_assert!(trace.is_sorted_by_arrival());
+        let mut ids: Vec<u64> = trace.tasks().iter().map(|t| t.id).collect();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "task ids must be unique");
+    }
+
+    #[test]
+    fn work_respects_profile_bounds(profile in any_profile(), seed in 0u64..1000) {
+        let trace = TraceGenerator::new(seed).generate(&profile, 2.0, 8);
+        for t in trace.tasks() {
+            prop_assert!(t.work_us >= profile.min_work_us);
+            prop_assert!(t.work_us <= profile.max_work_us);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace(profile in any_profile(), seed in 0u64..1000) {
+        let a = TraceGenerator::new(seed).generate(&profile, 2.0, 8);
+        let b = TraceGenerator::new(seed).generate(&profile, 2.0, 8);
+        prop_assert_eq!(a.tasks(), b.tasks());
+    }
+
+    #[test]
+    fn offered_load_tracks_target_for_poisson(load in 0.3..1.2f64, seed in 0u64..100) {
+        let profile = BenchmarkProfile {
+            name: "poisson".to_string(),
+            min_work_us: 2_000,
+            max_work_us: 8_000,
+            load,
+            pattern: ArrivalPattern::Poisson,
+        };
+        // Long trace so the law of large numbers bites.
+        let trace = TraceGenerator::new(seed).generate(&profile, 40.0, 8);
+        let measured = trace.stats(8).offered_load;
+        prop_assert!(
+            (measured - load).abs() < 0.2 * load + 0.05,
+            "load {measured:.3} vs target {load:.3}"
+        );
+    }
+
+    #[test]
+    fn window_preserves_order_and_rebases(seed in 0u64..100) {
+        let profile = BenchmarkProfile::multimedia();
+        let trace = TraceGenerator::new(seed).generate(&profile, 4.0, 8);
+        let w = trace.window(1_000_000, 3_000_000);
+        prop_assert!(w.is_sorted_by_arrival());
+        for t in w.tasks() {
+            prop_assert!(t.arrival_us < 2_000_000);
+        }
+    }
+
+    #[test]
+    fn mix_has_tasks_from_whole_range(seed in 0u64..100) {
+        let profiles = [
+            BenchmarkProfile::web_serving(),
+            BenchmarkProfile::multimedia(),
+            BenchmarkProfile::compute_intensive(),
+        ];
+        let trace = TraceGenerator::new(seed).generate_mix(&profiles, 1.0, 6.0, 8);
+        prop_assert!(!trace.is_empty());
+        let last = trace.tasks().last().unwrap().arrival_us;
+        prop_assert!(last >= 4_000_000, "tasks reach the final segments");
+    }
+}

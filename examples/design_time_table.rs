@@ -1,0 +1,46 @@
+//! Phase-1 walkthrough (the paper's Figure 3 design-time flow): build the
+//! thermal model from the floorplan, sweep starting temperatures × target
+//! frequencies, solve the convex model at each point and persist the table.
+//!
+//! Run with `cargo run --example design_time_table --release`.
+
+use protemp::prelude::*;
+use protemp::{read_table, write_table};
+use protemp_floorplan::niagara::niagara8;
+use protemp_thermal::{stability_limit, RcNetwork, ThermalConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Inputs of Figure 3: floorplan + power/frequency envelope.
+    let platform = Platform::niagara8();
+
+    // Thermal models "that can track the temperature variations of the
+    // cores" — and the time step they need (paper Section 4: 0.4 ms).
+    let net = RcNetwork::from_floorplan(&niagara8(), &ThermalConfig::default());
+    println!(
+        "thermal network: {} nodes; forward-Euler stable up to {:.2} ms (paper uses 0.4 ms)",
+        net.num_nodes(),
+        stability_limit(&net)? * 1e3
+    );
+
+    // The convex optimization sweep.
+    let cfg = ControlConfig::default();
+    let ctx = AssignmentContext::new(&platform, &cfg)?;
+    let (table, stats) = TableBuilder::new()
+        .tstarts((6..=20).map(|i| i as f64 * 5.0).collect()) // 30..100 C
+        .ftargets((1..=10).map(|i| i as f64 * 100.0e6).collect()) // 100..1000 MHz
+        .build(&ctx)?;
+    println!(
+        "swept {} design points ({} feasible) in {:.1} s — mean {:.2} s/point \
+         (the paper reports <2 min/point with 2007-era CVX)",
+        stats.points, stats.feasible, stats.total_s, stats.mean_point_s
+    );
+    println!("{}", table.render());
+
+    // Persist and reload (the run-time unit would ship this table).
+    let path = std::env::temp_dir().join("protemp_table.txt");
+    write_table(&table, std::io::BufWriter::new(std::fs::File::create(&path)?))?;
+    let reloaded = read_table(std::io::BufReader::new(std::fs::File::open(&path)?))?;
+    assert_eq!(reloaded, table);
+    println!("table round-tripped through {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! The paper's headline comparison in miniature: No-TC vs Basic-DFS vs
+//! Pro-Temp on a compute-intensive workload, reporting temperature bands,
+//! violations and waiting times (Figures 1/2/6/7 in one run).
+//!
+//! Run with `cargo run --example policy_comparison --release`.
+
+use protemp::prelude::*;
+use protemp_sim::{run_simulation, BasicDfs, DfsPolicy, FirstIdle, NoTc, SimConfig};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::niagara8();
+    let cfg = ControlConfig::default();
+    let ctx = AssignmentContext::new(&platform, &cfg)?;
+    let (table, _) = TableBuilder::new()
+        .tstarts(vec![55.0, 70.0, 85.0, 95.0, 100.0])
+        .ftargets(vec![0.2e9, 0.4e9, 0.6e9, 0.8e9, 1.0e9])
+        .build(&ctx)?;
+
+    let trace = TraceGenerator::new(3).generate(&BenchmarkProfile::compute_intensive(), 20.0, 8);
+    let sim_cfg = SimConfig {
+        t_init_c: 70.0,
+        max_duration_s: 120.0,
+        ..SimConfig::default()
+    };
+
+    println!("policy      | peak C | >100C %% | mean wait ms | makespan s");
+    let policies: Vec<(&str, Box<dyn DfsPolicy>)> = vec![
+        ("no-tc", Box::new(NoTc)),
+        ("basic-dfs", Box::new(BasicDfs::default())),
+        ("pro-temp", Box::new(ProTempController::new(table))),
+    ];
+    for (name, mut policy) in policies {
+        let r = run_simulation(&platform, &trace, policy.as_mut(), &mut FirstIdle, &sim_cfg)?;
+        println!(
+            "{name:11} | {:6.1} | {:7.2} | {:12.1} | {:.1}",
+            r.peak_temp_c,
+            r.violation_fraction * 100.0,
+            r.waiting.mean_us / 1e3,
+            r.duration_s
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build the paper's platform, solve one design point, build a
+//! small Phase-1 table and run the Pro-Temp controller for a few seconds.
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use protemp::prelude::*;
+use protemp::solve_assignment;
+use protemp_sim::{run_simulation, FirstIdle, SimConfig};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The evaluation platform: Sun Niagara-8, 1 GHz / 4 W cores.
+    let platform = Platform::niagara8();
+    println!(
+        "platform: {} cores at {:.1} GHz / {:.0} W",
+        platform.num_cores(),
+        platform.fmax_hz / 1e9,
+        platform.pmax_w
+    );
+    println!("{}", platform.floorplan.ascii_art(42, 11));
+
+    // 2. One Phase-1 design point: the convex optimum for a 70 C start
+    //    needing 500 MHz average.
+    let cfg = ControlConfig::default();
+    let ctx = AssignmentContext::new(&platform, &cfg)?;
+    let assignment = solve_assignment(&ctx, 70.0, 0.5e9)?.expect("feasible design point");
+    println!(
+        "\ndesign point (70 C, 500 MHz): per-core MHz {:?}, total power {:.2} W",
+        assignment
+            .freqs_hz
+            .iter()
+            .map(|f| (f / 1e6).round() as i64)
+            .collect::<Vec<_>>(),
+        assignment.total_power_w()
+    );
+
+    // 3. A small Phase-1 table and the run-time controller.
+    let (table, stats) = TableBuilder::new()
+        .tstarts(vec![60.0, 75.0, 90.0, 100.0])
+        .ftargets(vec![0.25e9, 0.5e9, 0.75e9, 1.0e9])
+        .build(&ctx)?;
+    println!(
+        "\nphase-1 table: {}/{} feasible in {:.1} s",
+        stats.feasible, stats.points, stats.total_s
+    );
+    println!("{}", table.render());
+
+    // 4. Run the controller against a multimedia workload.
+    let trace = TraceGenerator::new(7).generate(&BenchmarkProfile::multimedia(), 5.0, 8);
+    let mut policy = ProTempController::new(table);
+    let report = run_simulation(
+        &platform,
+        &trace,
+        &mut policy,
+        &mut FirstIdle,
+        &SimConfig::default(),
+    )?;
+    println!(
+        "simulated {:.1} s: {} tasks done, peak temp {:.1} C, time above 100 C: {:.2}%",
+        report.duration_s,
+        report.completed,
+        report.peak_temp_c,
+        report.violation_fraction * 100.0
+    );
+    Ok(())
+}

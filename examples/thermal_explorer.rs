@@ -1,0 +1,64 @@
+//! Explore the thermal substrate on its own: floorplan map, steady states,
+//! step responses and integrator agreement — useful when porting the model
+//! to a different platform.
+//!
+//! Run with `cargo run --example thermal_explorer --release`.
+
+use protemp_floorplan::niagara::niagara8;
+use protemp_thermal::{
+    stability_limit, DiscreteModel, IntegrationMethod, RcNetwork, ThermalConfig, ThermalSim,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fp = niagara8();
+    println!("Niagara-8 floorplan ({} blocks):", fp.len());
+    println!("{}\n", fp.ascii_art(42, 11));
+
+    let cfg = ThermalConfig::default();
+    let net = RcNetwork::from_floorplan(&fp, &cfg);
+    println!(
+        "RC network: {} nodes, ambient {:.0} C, forward-Euler limit {:.2} ms",
+        net.num_nodes(),
+        net.ambient_c(),
+        stability_limit(&net)? * 1e3
+    );
+
+    // Steady-state map at full power.
+    let t = net.steady_state(&net.full_power_vector(4.0))?;
+    println!("\nsteady state at 4 W/core:");
+    for (i, b) in fp.blocks().iter().enumerate() {
+        println!("  {:8} ({:4}) {:7.2} C", b.name(), b.kind().label(), t[i]);
+    }
+    println!("  {:8}        {:7.2} C", "SINK", t[net.num_nodes() - 1]);
+
+    // Integrator agreement over one DFS window.
+    let dt = 0.4e-3;
+    let fe = DiscreteModel::new(&net, dt, IntegrationMethod::ForwardEuler)?;
+    let ex = DiscreteModel::new(&net, dt, IntegrationMethod::Exact)?;
+    let t0 = net.uniform_state(70.0);
+    let u = net.input_vector(&net.full_power_vector(4.0))?;
+    let a = fe.simulate(&t0, &u, 250);
+    let b = ex.simulate(&t0, &u, 250);
+    let max_err = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nforward Euler vs exact matrix exponential after one 100 ms window: max |err| = {max_err:.2e} C");
+
+    // A step-response trace a designer would eyeball.
+    let mut sim = ThermalSim::new(&fp, &cfg, dt)?;
+    sim.reset(70.0);
+    let p1 = fp.index_of("P1").expect("P1 exists");
+    println!("\nP1 step response at 4 W/core (one line per 100 ms):");
+    let hot = sim.network().full_power_vector(4.0);
+    for window in 0..8 {
+        for _ in 0..250 {
+            sim.step(&hot)?;
+        }
+        let temp = sim.state()[p1];
+        let bar = "#".repeat(((temp - 60.0) / 2.0).max(0.0) as usize);
+        println!("  {:4} ms {temp:7.2} C {bar}", (window + 1) * 100);
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # Pro-Temp suite
+//!
+//! Umbrella crate for the reproduction of *"Temperature Control of
+//! High-Performance Multi-core Platforms Using Convex Optimization"*
+//! (Murali et al., DATE 2008).
+//!
+//! This crate re-exports the individual workspace crates under one roof so
+//! that examples and integration tests can use a single dependency. Library
+//! users should normally depend on the individual crates:
+//!
+//! * [`protemp`] — the Pro-Temp controller (the paper's contribution).
+//! * [`protemp_thermal`] — RC thermal network modeling.
+//! * [`protemp_cvx`] — the convex optimization solver.
+//! * [`protemp_sim`] — the multi-core task/DVFS simulator.
+//! * [`protemp_workload`] — synthetic workload-trace generation.
+//! * [`protemp_floorplan`] — die floorplan geometry.
+//! * [`protemp_linalg`] — dense linear algebra kernels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use protemp::prelude::*;
+//! let platform = Platform::niagara8();
+//! assert_eq!(platform.num_cores(), 8);
+//! ```
+
+pub use protemp;
+pub use protemp_cvx;
+pub use protemp_floorplan;
+pub use protemp_linalg;
+pub use protemp_sim;
+pub use protemp_thermal;
+pub use protemp_workload;

@@ -1,0 +1,115 @@
+//! Property-style stress tests of the paper's central guarantee: under the
+//! table-driven controller the cores never exceed `t_max`, across workload
+//! types, seeds, initial temperatures and assignment policies.
+
+use protemp::prelude::*;
+use protemp_sim::{run_simulation, CoolestFirst, FirstIdle, SimConfig};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
+
+fn build_ctx_and_table() -> (Platform, FrequencyTable) {
+    let platform = Platform::niagara8();
+    let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).expect("ctx");
+    let (table, _) = TableBuilder::new()
+        .tstarts(vec![55.0, 70.0, 85.0, 95.0, 100.0])
+        .ftargets(vec![0.2e9, 0.5e9, 0.8e9])
+        .build(&ctx)
+        .expect("table");
+    (platform, table)
+}
+
+#[test]
+fn guarantee_holds_across_workloads_and_seeds() {
+    let (platform, table) = build_ctx_and_table();
+    let profiles = [
+        BenchmarkProfile::web_serving(),
+        BenchmarkProfile::multimedia(),
+        BenchmarkProfile::compute_intensive(),
+    ];
+    for (i, profile) in profiles.iter().enumerate() {
+        for seed in [1u64, 77, 4242] {
+            let trace = TraceGenerator::new(seed).generate(profile, 5.0, 8);
+            let cfg = SimConfig {
+                t_init_c: 60.0 + 10.0 * i as f64, // vary the initial state too
+                max_duration_s: 40.0,
+                ..SimConfig::default()
+            };
+            let mut policy = ProTempController::new(table.clone());
+            let report = run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg)
+                .expect("sim");
+            assert_eq!(
+                report.violation_fraction, 0.0,
+                "violation under {} seed {seed}: peak {:.2} C",
+                profile.name, report.peak_temp_c
+            );
+        }
+    }
+}
+
+#[test]
+fn guarantee_holds_with_coolest_first_assignment() {
+    let (platform, table) = build_ctx_and_table();
+    let trace = TraceGenerator::new(5).generate(&BenchmarkProfile::compute_intensive(), 8.0, 8);
+    let cfg = SimConfig {
+        t_init_c: 75.0,
+        max_duration_s: 60.0,
+        ..SimConfig::default()
+    };
+    let mut policy = ProTempController::new(table);
+    let report =
+        run_simulation(&platform, &trace, &mut policy, &mut CoolestFirst, &cfg).expect("sim");
+    assert_eq!(report.violation_fraction, 0.0);
+}
+
+#[test]
+fn guarantee_degrades_gracefully_with_sensor_noise() {
+    // With noisy sensors the measured maximum can under-read; the built-in
+    // margin absorbs moderate noise. We allow a small excursion bound
+    // rather than strict zero here.
+    let (platform, table) = build_ctx_and_table();
+    let trace = TraceGenerator::new(6).generate(&BenchmarkProfile::compute_intensive(), 6.0, 8);
+    let cfg = SimConfig {
+        t_init_c: 75.0,
+        sensor_noise_sd: 0.25,
+        max_duration_s: 60.0,
+        ..SimConfig::default()
+    };
+    let mut policy = ProTempController::new(table);
+    let report =
+        run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg).expect("sim");
+    assert!(
+        report.peak_temp_c <= 100.0 + 1.0,
+        "noise beyond the margin must stay bounded, peak {:.2}",
+        report.peak_temp_c
+    );
+}
+
+#[test]
+fn table_assignments_keep_predicted_trajectories_below_tmax() {
+    // Verify the offline guarantee directly: for every feasible cell, the
+    // model-predicted trajectory from the cell's starting temperature stays
+    // below t_max at every one of the 250 steps.
+    let platform = Platform::niagara8();
+    let cfg = ControlConfig::default();
+    let ctx = AssignmentContext::new(&platform, &cfg).expect("ctx");
+    let (table, _) = TableBuilder::new()
+        .tstarts(vec![70.0, 90.0])
+        .ftargets(vec![0.3e9, 0.6e9])
+        .build(&ctx)
+        .expect("table");
+
+    for (r, &tstart) in table.tstarts_c().iter().enumerate() {
+        let offsets = ctx.offsets_for(tstart);
+        for c in 0..table.ftargets_hz().len() {
+            let Some(asg) = table.entry(r, c) else { continue };
+            for k in 1..=ctx.reach().steps() {
+                let pred = ctx.reach().predict(k, &asg.powers_w, &offsets);
+                for (core, t) in pred.iter().enumerate() {
+                    assert!(
+                        *t <= cfg.tmax_c + 1e-6,
+                        "cell ({r},{c}) core {core} step {k}: {t:.3} C"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate consistency checks between the substrates: the optimizer's
+//! thermal predictions vs the simulator's physics, table persistence, and
+//! the uniform-frequency mode through the full stack.
+
+use protemp::prelude::*;
+use protemp::{read_table, solve_assignment, write_table};
+use protemp_floorplan::niagara::niagara8;
+use protemp_thermal::{DiscreteModel, IntegrationMethod, RcNetwork, ThermalConfig, ThermalSim};
+
+#[test]
+fn optimizer_predictions_match_simulator_physics() {
+    // The reach operator the optimizer uses and the stateful simulator the
+    // evaluation uses must agree exactly (same discretization).
+    let platform = Platform::niagara8();
+    let cfg = ControlConfig::default();
+    let ctx = AssignmentContext::new(&platform, &cfg).expect("ctx");
+    let tstart = 72.0;
+    let asg = solve_assignment(&ctx, tstart, 0.45e9)
+        .expect("solve")
+        .expect("feasible");
+
+    // Drive the raw thermal simulation with the optimizer's powers.
+    let net = RcNetwork::from_floorplan(&platform.floorplan, &platform.thermal);
+    let model = DiscreteModel::new(&net, 0.4e-3, IntegrationMethod::ForwardEuler).expect("model");
+    let mut sim = ThermalSim::from_parts(net, model, vec![tstart; 37]);
+    let mut blocks = sim.network().uncore_power().to_vec();
+    for (j, &b) in sim.network().core_nodes().iter().enumerate() {
+        blocks[b] = asg.powers_w[j];
+    }
+    let offsets = ctx.offsets_for(tstart);
+    for k in 1..=cfg.steps_per_window() {
+        sim.step(&blocks).expect("step");
+        let predicted = ctx.reach().predict(k, &asg.powers_w, &offsets);
+        for (j, &pred) in predicted.iter().enumerate() {
+            let actual = sim.core_temps()[j];
+            assert!(
+                (pred - actual).abs() < 1e-9,
+                "step {k} core {j}: predicted {pred:.6} vs simulated {actual:.6}"
+            );
+        }
+    }
+    // And the guarantee: the simulated window never crossed t_max.
+    assert!(sim.max_core_temp() <= cfg.tmax_c);
+}
+
+#[test]
+fn table_round_trips_through_file() {
+    let platform = Platform::niagara8();
+    let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).expect("ctx");
+    let (table, _) = TableBuilder::new()
+        .tstarts(vec![65.0, 92.0])
+        .ftargets(vec![0.3e9, 0.7e9])
+        .build(&ctx)
+        .expect("table");
+
+    let path = std::env::temp_dir().join("protemp_roundtrip_test_table.txt");
+    write_table(
+        &table,
+        std::io::BufWriter::new(std::fs::File::create(&path).expect("create")),
+    )
+    .expect("write");
+    let reloaded = read_table(std::io::BufReader::new(
+        std::fs::File::open(&path).expect("open"),
+    ))
+    .expect("read");
+    assert_eq!(reloaded, table);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn uniform_mode_flows_through_the_stack() {
+    let platform = Platform::niagara8();
+    let cfg = ControlConfig {
+        mode: FreqMode::Uniform,
+        ..ControlConfig::default()
+    };
+    let ctx = AssignmentContext::new(&platform, &cfg).expect("ctx");
+    let (table, _) = TableBuilder::new()
+        .tstarts(vec![70.0, 95.0])
+        .ftargets(vec![0.3e9, 0.6e9])
+        .build(&ctx)
+        .expect("table");
+    assert_eq!(table.mode(), FreqMode::Uniform);
+    // Every feasible entry carries identical per-core frequencies.
+    for r in 0..2 {
+        for c in 0..2 {
+            if let Some(a) = table.entry(r, c) {
+                let f0 = a.freqs_hz[0];
+                for f in &a.freqs_hz {
+                    assert!((f - f0).abs() <= 1e-3 * f0.max(1.0), "uniform cell ({r},{c})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn variable_beats_uniform_on_objective() {
+    // At the same (feasible) design point the variable mode can only do
+    // better (lower power+gradient objective): its feasible set is a
+    // superset of the uniform one.
+    let platform = Platform::niagara8();
+    let var_ctx =
+        AssignmentContext::new(&platform, &ControlConfig::default()).expect("ctx");
+    let uni_ctx = AssignmentContext::new(
+        &platform,
+        &ControlConfig {
+            mode: FreqMode::Uniform,
+            ..ControlConfig::default()
+        },
+    )
+    .expect("ctx");
+    let (t, f) = (75.0, 0.4e9);
+    let var = solve_assignment(&var_ctx, t, f).expect("solve").expect("feasible");
+    let uni = solve_assignment(&uni_ctx, t, f).expect("solve").expect("feasible");
+    assert!(
+        var.objective <= uni.objective + 1e-3,
+        "variable {} vs uniform {}",
+        var.objective,
+        uni.objective
+    );
+}
+
+#[test]
+fn floorplan_thermal_dimensions_agree() {
+    let fp = niagara8();
+    let net = RcNetwork::from_floorplan(&fp, &ThermalConfig::default());
+    assert_eq!(net.num_blocks(), fp.len());
+    assert_eq!(net.num_nodes(), 2 * fp.len() + 1);
+    assert_eq!(net.core_nodes().len(), fp.cores().count());
+    // Core node indices point at the core blocks in floorplan order.
+    for (&node, idx) in net.core_nodes().iter().zip(fp.core_indices()) {
+        assert_eq!(node, idx);
+    }
+}
