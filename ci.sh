@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification pipeline. Everything here must pass before merging:
+#
+#   ./ci.sh          # fmt + clippy + release build + full test suite
+#   ./ci.sh quick    # skip the release build (debug tests only)
+#
+# The workspace builds fully offline: crates.io dependencies are replaced by
+# the API-subset shims under shims/ (see Cargo.toml [workspace.dependencies]).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick="${1:-}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$quick" != "quick" ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test"
+cargo test -q
+
+echo "ci.sh: all green"

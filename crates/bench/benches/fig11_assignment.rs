@@ -5,9 +5,7 @@ use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use protemp_bench::platform;
-use protemp_sim::{
-    run_simulation, AssignmentPolicy, BasicDfs, CoolestFirst, FirstIdle, SimConfig,
-};
+use protemp_sim::{run_simulation, AssignmentPolicy, BasicDfs, CoolestFirst, FirstIdle, SimConfig};
 use protemp_workload::{BenchmarkProfile, TraceGenerator};
 
 fn bench(c: &mut Criterion) {

@@ -31,7 +31,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| AffineReach::new(&net, &model, 250).expect("reach"))
     });
     g.bench_function("steady_state_solve", |b| {
-        b.iter(|| net.steady_state(black_box(&net.full_power_vector(3.0))).expect("ss"))
+        b.iter(|| {
+            net.steady_state(black_box(&net.full_power_vector(3.0)))
+                .expect("ss")
+        })
     });
 
     // Linear algebra on thermal-sized matrices.
@@ -60,9 +63,7 @@ fn bench(c: &mut Criterion) {
 
     // Trace generation (the paper's 60 k-task scale, shortened).
     g.bench_function("trace_gen_1s_compute", |b| {
-        b.iter(|| {
-            TraceGenerator::new(9).generate(&BenchmarkProfile::compute_intensive(), 1.0, 8)
-        })
+        b.iter(|| TraceGenerator::new(9).generate(&BenchmarkProfile::compute_intensive(), 1.0, 8))
     });
 
     let _ = platform();

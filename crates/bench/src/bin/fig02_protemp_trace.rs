@@ -4,7 +4,9 @@
 //! Paper: the maximum temperature constraint is met at all time instances.
 
 use protemp::prelude::*;
-use protemp_bench::{build_table, compute_trace, control_config, print_bands, run_policy, write_csv};
+use protemp_bench::{
+    build_table, compute_trace, control_config, print_bands, run_policy, write_csv,
+};
 use protemp_sim::FirstIdle;
 
 fn main() {

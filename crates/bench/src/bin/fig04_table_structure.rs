@@ -10,15 +10,14 @@ use protemp_bench::{build_table, control_config, results_dir};
 fn main() {
     let table = build_table(&control_config());
 
-    println!("Figure 4 — Phase-1 table structure ({} mode):", table.mode());
+    println!(
+        "Figure 4 — Phase-1 table structure ({} mode):",
+        table.mode()
+    );
     println!("{}", table.render());
 
     // Show one concrete cell like the paper's example row.
-    if let Some(row) = table
-        .tstarts_c()
-        .iter()
-        .position(|&t| t >= 80.0)
-    {
+    if let Some(row) = table.tstarts_c().iter().position(|&t| t >= 80.0) {
         for (c, &ft) in table.ftargets_hz().iter().enumerate() {
             if let Some(asg) = table.entry(row, c) {
                 let mhz: Vec<String> = asg

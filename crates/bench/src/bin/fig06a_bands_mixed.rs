@@ -41,6 +41,9 @@ fn main() {
         "policy,below80,band80_90,band90_100,above100",
         &rows,
     );
-    assert_eq!(protemp_above, 0.0, "paper shape: Pro-Temp never exceeds 100 C");
+    assert_eq!(
+        protemp_above, 0.0,
+        "paper shape: Pro-Temp never exceeds 100 C"
+    );
     let _ = basic_above;
 }

@@ -6,7 +6,9 @@
 //! spends none.
 
 use protemp::prelude::*;
-use protemp_bench::{build_table, compute_trace, control_config, print_bands, run_policy, write_csv};
+use protemp_bench::{
+    build_table, compute_trace, control_config, print_bands, run_policy, write_csv,
+};
 use protemp_sim::{BasicDfs, DfsPolicy, FirstIdle, NoTc};
 
 fn main() {
@@ -37,7 +39,11 @@ fn main() {
         &rows,
     );
     let protemp = above.iter().find(|(n, _)| *n == "pro-temp").expect("ran").1;
-    let basic = above.iter().find(|(n, _)| *n == "basic-dfs").expect("ran").1;
+    let basic = above
+        .iter()
+        .find(|(n, _)| *n == "basic-dfs")
+        .expect("ran")
+        .1;
     let no_tc = above.iter().find(|(n, _)| *n == "no-tc").expect("ran").1;
     assert_eq!(protemp, 0.0, "paper shape: Pro-Temp never exceeds 100 C");
     assert!(

@@ -24,7 +24,11 @@ fn main() {
             )
         })
         .collect();
-    write_csv("fig08_gradient_trace.csv", "time_s,p1_temp_c,p2_temp_c", &rows);
+    write_csv(
+        "fig08_gradient_trace.csv",
+        "time_s,p1_temp_c,p2_temp_c",
+        &rows,
+    );
 
     let max_gap = report
         .trace

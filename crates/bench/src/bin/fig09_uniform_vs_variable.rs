@@ -31,8 +31,7 @@ fn main() {
         let fu = max_supported_frequency(&uni_ctx, t, tol).expect("uniform frontier");
         // Any uniform-feasible point is variable-feasible, so the variable
         // bisection starts at the uniform frontier.
-        let fv = max_supported_frequency_at_least(&var_ctx, t, fu, tol)
-            .expect("variable frontier");
+        let fv = max_supported_frequency_at_least(&var_ctx, t, fu, tol).expect("variable frontier");
         println!("  {t:6.1} | {:8.1} | {:8.1}", fu / 1e6, fv / 1e6);
         rows.push(format!("{t},{:.1},{:.1}", fu / 1e6, fv / 1e6));
         if fv + tol < fu {

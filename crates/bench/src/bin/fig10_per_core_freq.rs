@@ -24,7 +24,11 @@ fn main() {
         if let Some(a) = &p.assignment {
             let p1 = a.freqs_hz[0] / 1e6;
             let p2 = a.freqs_hz[1] / 1e6;
-            println!("  {:6.1} | {p1:7.1} | {p2:7.1} | {:+6.1}", p.tstart_c, p1 - p2);
+            println!(
+                "  {:6.1} | {p1:7.1} | {p2:7.1} | {:+6.1}",
+                p.tstart_c,
+                p1 - p2
+            );
             rows.push(format!("{},{p1:.1},{p2:.1}", p.tstart_c));
             p1_total += p1;
             p2_total += p2;

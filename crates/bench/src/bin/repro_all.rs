@@ -114,9 +114,18 @@ fn main() {
     let rows: Vec<String> = r8
         .trace
         .iter()
-        .map(|pt| format!("{:.3},{:.3},{:.3}", pt.time_s, pt.core_temps[0], pt.core_temps[1]))
+        .map(|pt| {
+            format!(
+                "{:.3},{:.3},{:.3}",
+                pt.time_s, pt.core_temps[0], pt.core_temps[1]
+            )
+        })
         .collect();
-    write_csv("fig08_gradient_trace.csv", "time_s,p1_temp_c,p2_temp_c", &rows);
+    write_csv(
+        "fig08_gradient_trace.csv",
+        "time_s,p1_temp_c,p2_temp_c",
+        &rows,
+    );
 
     // ---------------- Fig 9 / 10 ----------------
     println!("\n=== Figures 9 & 10: uniform vs variable frontier, per-core split ===");
@@ -188,21 +197,42 @@ fn main() {
         "fig11_task_assignment.csv",
         "policy,assignment,above_tmax_frac,mean_gradient_c",
         &[
-            format!("basic-dfs,first-idle,{:.6},{:.3}", bf.violation_fraction, bf.mean_gradient_c),
-            format!("basic-dfs,coolest-first,{:.6},{:.3}", bc.violation_fraction, bc.mean_gradient_c),
-            format!("pro-temp,first-idle,{:.6},{:.3}", pf.violation_fraction, pf.mean_gradient_c),
-            format!("pro-temp,coolest-first,{:.6},{:.3}", pc.violation_fraction, pc.mean_gradient_c),
+            format!(
+                "basic-dfs,first-idle,{:.6},{:.3}",
+                bf.violation_fraction, bf.mean_gradient_c
+            ),
+            format!(
+                "basic-dfs,coolest-first,{:.6},{:.3}",
+                bc.violation_fraction, bc.mean_gradient_c
+            ),
+            format!(
+                "pro-temp,first-idle,{:.6},{:.3}",
+                pf.violation_fraction, pf.mean_gradient_c
+            ),
+            format!(
+                "pro-temp,coolest-first,{:.6},{:.3}",
+                pc.violation_fraction, pc.mean_gradient_c
+            ),
         ],
     );
 
     // ---------------- Summary ----------------
     println!("\n=== Paper-vs-measured summary ===");
     println!("claim                                    | paper       | measured");
-    println!("pro-temp time above t_max                | 0%          | {:.2}%", fig2.violation_fraction * 100.0);
-    println!("basic-dfs violates on hot workload       | yes (~40%)  | {:.2}%", fig1.violation_fraction * 100.0);
+    println!(
+        "pro-temp time above t_max                | 0%          | {:.2}%",
+        fig2.violation_fraction * 100.0
+    );
+    println!(
+        "basic-dfs violates on hot workload       | yes (~40%)  | {:.2}%",
+        fig1.violation_fraction * 100.0
+    );
     println!("pro-temp normalized waiting time         | ~0.4        | {ratio:.3}");
     println!("variable >= uniform frontier everywhere  | yes         | yes (see fig09)");
     println!("edge core faster than middle core        | yes         | see fig10 columns");
     println!("phase-1 build                            | hours       | {phase1_s:.1} s");
-    println!("\ntotal repro_all wall time: {:.1} s", wall.elapsed().as_secs_f64());
+    println!(
+        "\ntotal repro_all wall time: {:.1} s",
+        wall.elapsed().as_secs_f64()
+    );
 }

@@ -7,12 +7,43 @@
 //! interior-point solver on the eliminated-state formulation solves each
 //! point in seconds; the shape to preserve is that Phase 1 is an offline,
 //! once-per-platform cost.
+//!
+//! Beyond the per-point table, this binary measures the Phase-1 sweep three
+//! ways on the paper's 8×10 grid — serial cold (the naive baseline),
+//! serial warm (column-neighbour warm starts), and parallel warm (all cores,
+//! each worker owning its solver scratch) — verifies the parallel table is
+//! identical to the serial one, and emits a JSON record
+//! (`results/tab_solver_runtime.json`) so future changes have a perf
+//! trajectory to compare against.
 
 use std::time::Instant;
 
 use protemp::prelude::*;
-use protemp::{solve_assignment, AssignmentContext};
-use protemp_bench::{control_config, platform, write_csv};
+use protemp::{solve_assignment, AssignmentContext, BuildStats};
+use protemp_bench::{control_config, platform, write_csv, write_text};
+
+/// The paper's Figure 4 grid: 30–100 °C at 10 °C steps × 100–1000 MHz.
+fn paper_grid() -> TableBuilder {
+    TableBuilder::new()
+        .tstarts((3..=10).map(|i| i as f64 * 10.0).collect())
+        .ftargets((1..=10).map(|i| i as f64 * 100.0e6).collect())
+}
+
+fn stats_json(label: &str, s: &BuildStats) -> String {
+    format!(
+        "  \"{label}\": {{\"threads\": {}, \"warm_started\": {}, \"solved_points\": {}, \
+         \"newton_steps\": {}, \"total_s\": {:.3}, \"mean_point_s\": {:.4}, \
+         \"max_point_s\": {:.4}, \"points_per_s\": {:.3}}}",
+        s.threads,
+        s.warm_started,
+        s.solved_points,
+        s.newton_steps,
+        s.total_s,
+        s.mean_point_s,
+        s.max_point_s,
+        s.points_per_s()
+    )
+}
 
 fn main() {
     let ctx = AssignmentContext::new(&platform(), &control_config()).expect("ctx");
@@ -30,8 +61,15 @@ fn main() {
         let t0 = Instant::now();
         let sol = solve_assignment(&ctx, t, f).expect("solve");
         let dt = t0.elapsed().as_secs_f64();
-        let status = if sol.is_some() { "feasible" } else { "infeasible" };
-        println!("  tstart {t:5.1} C, ftarget {:6.0} MHz: {dt:6.2} s ({status})", f / 1e6);
+        let status = if sol.is_some() {
+            "feasible"
+        } else {
+            "infeasible"
+        };
+        println!(
+            "  tstart {t:5.1} C, ftarget {:6.0} MHz: {dt:6.2} s ({status})",
+            f / 1e6
+        );
         rows.push(format!("{t},{:.0},{dt:.3},{status}", f / 1e6));
     }
     write_csv(
@@ -40,16 +78,98 @@ fn main() {
         &rows,
     );
 
-    // Full Phase-1 build with the default grids.
-    let t0 = Instant::now();
-    let (table, stats) = TableBuilder::new().build(&ctx).expect("build");
+    // Phase-1 sweep, three ways on the paper's 8×10 grid.
+    println!("\nPhase-1 sweep (8 temperatures × 10 targets, Niagara-8):");
+    let (cold_table, cold) = paper_grid()
+        .threads(1)
+        .warm_start(false)
+        .build(&ctx)
+        .expect("serial cold build");
     println!(
-        "\nPhase-1 build: {} points ({} feasible) in {:.1} s wall \
-         (mean {:.2} s/point, max {:.2} s; paper: <2 min/point, hours total)",
-        stats.points,
-        table.feasible_count(),
-        t0.elapsed().as_secs_f64(),
-        stats.mean_point_s,
-        stats.max_point_s
+        "  serial cold : {:6.1} s  ({:5.2} pts/s)",
+        cold.total_s,
+        cold.points_per_s()
     );
+    let (serial_table, serial_warm) = paper_grid()
+        .threads(1)
+        .build(&ctx)
+        .expect("serial warm build");
+    println!(
+        "  serial warm : {:6.1} s  ({:5.2} pts/s, {} warm-started)",
+        serial_warm.total_s,
+        serial_warm.points_per_s(),
+        serial_warm.warm_started
+    );
+    let (parallel_table, parallel_warm) = paper_grid().build(&ctx).expect("parallel warm build");
+    println!(
+        "  parallel warm: {:5.1} s  ({:5.2} pts/s, {} threads)",
+        parallel_warm.total_s,
+        parallel_warm.points_per_s(),
+        parallel_warm.threads
+    );
+
+    // The tentpole guarantee: thread count never changes the table.
+    assert_eq!(
+        serial_table, parallel_table,
+        "parallel build must be identical to the serial build"
+    );
+    // Warm-vs-cold feasibility at the frontier is a numerical comparison,
+    // not a guarantee — different phase-I seeds can reach different
+    // early-exit verdicts on razor-thin cells. Report both directions:
+    // "rescued" cells the warm chain proved feasible where cold phase I
+    // stalled, and (unexpected but possible) "lost" cells the other way.
+    let mut rescued = 0usize;
+    let mut lost = 0usize;
+    for r in 0..serial_table.tstarts_c().len() {
+        for c in 0..serial_table.ftargets_hz().len() {
+            let cold_ok = cold_table.entry(r, c).is_some();
+            let warm_ok = serial_table.entry(r, c).is_some();
+            if warm_ok && !cold_ok {
+                rescued += 1;
+                println!(
+                    "  warm chain rescued frontier cell: tstart {} C, ftarget {:.0} MHz",
+                    serial_table.tstarts_c()[r],
+                    serial_table.ftargets_hz()[c] / 1e6
+                );
+            }
+            if cold_ok && !warm_ok {
+                lost += 1;
+                println!(
+                    "  WARNING: warm sweep missed cold-feasible cell: tstart {} C, ftarget {:.0} MHz",
+                    serial_table.tstarts_c()[r],
+                    serial_table.ftargets_hz()[c] / 1e6
+                );
+            }
+        }
+    }
+
+    let speedup = cold.total_s / parallel_warm.total_s;
+    println!(
+        "\n  speedup vs serial cold: {speedup:.1}x wall  \
+         (warm starts {:.2}x wall / {:.2}x newton-steps, threading {:.2}x)",
+        cold.total_s / serial_warm.total_s,
+        cold.newton_steps as f64 / serial_warm.newton_steps.max(1) as f64,
+        serial_warm.total_s / parallel_warm.total_s
+    );
+    println!(
+        "  paper: <2 min/point, hours total — this machine: {:.3} s/point mean",
+        parallel_warm.mean_point_s
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"tab_solver_runtime\",\n  \"platform\": \"niagara8\",\n  \
+         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n  \
+         \"speedup_total\": {:.3},\n  \"tables_identical\": true,\n  \
+         \"frontier_cells_rescued_by_warm\": {},\n  \
+         \"frontier_cells_lost_by_warm\": {}\n}}\n",
+        serial_table.tstarts_c().len(),
+        serial_table.ftargets_hz().len(),
+        stats_json("serial_cold", &cold),
+        stats_json("serial_warm", &serial_warm),
+        stats_json("parallel_warm", &parallel_warm),
+        speedup,
+        rescued,
+        lost
+    );
+    write_text("tab_solver_runtime.json", &json);
 }

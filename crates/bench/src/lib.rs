@@ -155,6 +155,14 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     println!("wrote {}", path.display());
 }
 
+/// Writes a complete text artifact (e.g. a JSON record) to
+/// `results/<name>`.
+pub fn write_text(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("write results file");
+    println!("wrote {}", path.display());
+}
+
 /// Pretty-prints a band-occupancy report in the paper's Figure 6 layout.
 pub fn print_bands(label: &str, report: &SimReport) {
     let f = report.bands_avg.fractions();

@@ -4,7 +4,9 @@ use protemp_workload::{ArrivalPattern, BenchmarkProfile, TraceGenerator};
 
 struct Recorder<P: AssignmentPolicy>(P, Vec<usize>);
 impl<P: AssignmentPolicy> AssignmentPolicy for Recorder<P> {
-    fn name(&self) -> &str { self.0.name() }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
     fn pick(&mut self, idle: &[usize], temps: &[f64]) -> usize {
         let p = self.0.pick(idle, temps);
         self.1.push(p);
@@ -15,11 +17,21 @@ impl<P: AssignmentPolicy> AssignmentPolicy for Recorder<P> {
 fn main() {
     let platform = Platform::niagara8();
     let profile = BenchmarkProfile {
-        name: "bursty".into(), min_work_us: 2_000, max_work_us: 9_000, load: 0.65,
-        pattern: ArrivalPattern::Bursty { mean_on_s: 0.5, mean_off_s: 0.5 },
+        name: "bursty".into(),
+        min_work_us: 2_000,
+        max_work_us: 9_000,
+        load: 0.65,
+        pattern: ArrivalPattern::Bursty {
+            mean_on_s: 0.5,
+            mean_off_s: 0.5,
+        },
     };
     let trace = TraceGenerator::new(99).generate(&profile, 5.0, 8);
-    let cfg = SimConfig { t_init_c: 70.0, max_duration_s: 30.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        t_init_c: 70.0,
+        max_duration_s: 30.0,
+        ..SimConfig::default()
+    };
     let mut a = Recorder(FirstIdle, Vec::new());
     let mut pol = BasicDfs::default();
     run_simulation(&platform, &trace, &mut pol, &mut a, &cfg).unwrap();
@@ -28,7 +40,13 @@ fn main() {
     run_simulation(&platform, &trace, &mut pol, &mut b, &cfg).unwrap();
     let diff = a.1.iter().zip(&b.1).filter(|(x, y)| x != y).count();
     println!("picks: {} vs {}, differing {}", a.1.len(), b.1.len(), diff);
-    let hist = |v: &[usize]| { let mut h = [0usize; 8]; for &x in v { h[x] += 1; } h };
+    let hist = |v: &[usize]| {
+        let mut h = [0usize; 8];
+        for &x in v {
+            h[x] += 1;
+        }
+        h
+    };
     println!("first-idle hist:    {:?}", hist(&a.1));
     println!("coolest-first hist: {:?}", hist(&b.1));
 }

@@ -12,11 +12,20 @@ fn main() {
     let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
     let t0 = Instant::now();
     let (table, stats) = TableBuilder::new().build(&ctx).unwrap();
-    println!("table: {} points ({} feasible) in {:.1}s (mean {:.2}s/pt)",
-             stats.points, stats.feasible, t0.elapsed().as_secs_f64(), stats.mean_point_s);
+    println!(
+        "table: {} points ({} feasible) in {:.1}s (mean {:.2}s/pt)",
+        stats.points,
+        stats.feasible,
+        t0.elapsed().as_secs_f64(),
+        stats.mean_point_s
+    );
 
     let trace = TraceGenerator::new(11).generate(&BenchmarkProfile::compute_intensive(), 60.0, 8);
-    let cfg = SimConfig { max_duration_s: 200.0, t_init_c: 70.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        max_duration_s: 200.0,
+        t_init_c: 70.0,
+        ..SimConfig::default()
+    };
 
     for (name, mut policy) in [
         ("no-tc", Box::new(NoTc) as Box<dyn protemp_sim::DfsPolicy>),

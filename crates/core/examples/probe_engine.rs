@@ -6,13 +6,30 @@ fn main() {
     let platform = Platform::niagara8();
     let trace = TraceGenerator::new(11).generate(&BenchmarkProfile::compute_intensive(), 20.0, 8);
     let stats = trace.stats(8);
-    println!("trace: {} tasks, {:.1}s span, load {:.3}, total work {:.1} core-s",
-             stats.count, stats.duration_s, stats.offered_load, stats.total_work_s);
-    let cfg = SimConfig { max_duration_s: 120.0, ..SimConfig::default() };
+    println!(
+        "trace: {} tasks, {:.1}s span, load {:.3}, total work {:.1} core-s",
+        stats.count, stats.duration_s, stats.offered_load, stats.total_work_s
+    );
+    let cfg = SimConfig {
+        max_duration_s: 120.0,
+        ..SimConfig::default()
+    };
     let mut fixed = FixedFrequency { f_hz: 1.0e9 };
     let r = run_simulation(&platform, &trace, &mut fixed, &mut FirstIdle, &cfg).unwrap();
-    println!("fixed@1GHz: dur {:.1}s done {} wait {:.0}ms work_done {:.1}s", r.duration_s, r.completed, r.waiting.mean_us/1e3, r.work_done_s);
+    println!(
+        "fixed@1GHz: dur {:.1}s done {} wait {:.0}ms work_done {:.1}s",
+        r.duration_s,
+        r.completed,
+        r.waiting.mean_us / 1e3,
+        r.work_done_s
+    );
     let mut notc = NoTc;
     let r = run_simulation(&platform, &trace, &mut notc, &mut FirstIdle, &cfg).unwrap();
-    println!("no-tc     : dur {:.1}s done {} wait {:.0}ms work_done {:.1}s", r.duration_s, r.completed, r.waiting.mean_us/1e3, r.work_done_s);
+    println!(
+        "no-tc     : dur {:.1}s done {} wait {:.0}ms work_done {:.1}s",
+        r.duration_s,
+        r.completed,
+        r.waiting.mean_us / 1e3,
+        r.work_done_s
+    );
 }

@@ -4,12 +4,20 @@ use protemp_workload::{BenchmarkProfile, TraceGenerator};
 
 struct Logger(NoTc);
 impl DfsPolicy for Logger {
-    fn name(&self) -> &str { "logger" }
+    fn name(&self) -> &str {
+        "logger"
+    }
     fn frequencies(&mut self, obs: &Observation, p: &Platform) -> Vec<f64> {
-        if obs.window_index % 20 == 0 {
-            println!("w{:4}: f_req {:6.1} MHz backlog {:9.0}us queue {:5} util[0] {:.2} T {:.1}",
-                     obs.window_index, obs.required_avg_freq_hz / 1e6, obs.backlog_work_us,
-                     obs.queue_len, obs.utilization[0], obs.max_core_temp);
+        if obs.window_index.is_multiple_of(20) {
+            println!(
+                "w{:4}: f_req {:6.1} MHz backlog {:9.0}us queue {:5} util[0] {:.2} T {:.1}",
+                obs.window_index,
+                obs.required_avg_freq_hz / 1e6,
+                obs.backlog_work_us,
+                obs.queue_len,
+                obs.utilization[0],
+                obs.max_core_temp
+            );
         }
         self.0.frequencies(obs, p)
     }
@@ -18,7 +26,10 @@ impl DfsPolicy for Logger {
 fn main() {
     let platform = Platform::niagara8();
     let trace = TraceGenerator::new(11).generate(&BenchmarkProfile::compute_intensive(), 20.0, 8);
-    let cfg = SimConfig { max_duration_s: 120.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        max_duration_s: 120.0,
+        ..SimConfig::default()
+    };
     let r = run_simulation(&platform, &trace, &mut Logger(NoTc), &mut FirstIdle, &cfg).unwrap();
     println!("dur {:.1}s", r.duration_s);
 }

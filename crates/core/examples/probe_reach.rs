@@ -13,7 +13,9 @@ fn main() {
             // also mid-window
             let mid = ctx.reach().predict(50, &powers, &offs);
             let mxm = mid.iter().cloned().fold(f64::MIN, f64::max);
-            println!("tstart {tstart:5.1} p {p:3.1} W/core: max T @k=50 {mxm:6.2} C, @k=250 {mx:6.2} C");
+            println!(
+                "tstart {tstart:5.1} p {p:3.1} W/core: max T @k=50 {mxm:6.2} C, @k=250 {mx:6.2} C"
+            );
         }
     }
 }

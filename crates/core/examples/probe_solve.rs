@@ -14,10 +14,13 @@ fn main() {
         let n = 8;
         let phi = (fr / 1e9 + 0.02).min(0.999);
         let mut x = vec![0.0; 2 * n + 1];
-        for i in 0..n { x[i] = phi; x[n + i] = 4.0 * phi * phi + 0.05; }
+        for i in 0..n {
+            x[i] = phi;
+            x[n + i] = 4.0 * phi * phi + 0.05;
+        }
         x[2 * n] = 150.0;
         let viol = prob.max_violation(&x);
-        let solver = BarrierSolver::new(SolverOptions::fast());
+        let mut solver = BarrierSolver::new(SolverOptions::fast());
         let feas = solver.find_feasible(&prob).unwrap();
         let sol = solver.solve(&prob).unwrap();
         println!("ts {ts} fr {:.0}MHz: hand-point viol {viol:.3e}, find_feasible {}, solve {:?} obj {:.3}",

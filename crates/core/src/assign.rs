@@ -31,8 +31,11 @@ impl AssignmentContext {
             .validate()
             .map_err(|reason| crate::ProTempError::BadConfig { reason })?;
         let net = RcNetwork::from_floorplan(&platform.floorplan, &platform.thermal);
-        let model =
-            DiscreteModel::new(&net, cfg.dt_us as f64 / 1e6, IntegrationMethod::ForwardEuler)?;
+        let model = DiscreteModel::new(
+            &net,
+            cfg.dt_us as f64 / 1e6,
+            IntegrationMethod::ForwardEuler,
+        )?;
         let reach = AffineReach::new(&net, &model, cfg.steps_per_window())?;
         Ok(AssignmentContext {
             platform: platform.clone(),
@@ -66,6 +69,11 @@ impl AssignmentContext {
     /// Overrides the solver options (default: [`SolverOptions::fast`]).
     pub fn set_solver_options(&mut self, opts: SolverOptions) {
         self.solver_opts = opts;
+    }
+
+    /// The solver options design-point solves run with.
+    pub fn solver_options(&self) -> &SolverOptions {
+        &self.solver_opts
     }
 
     /// Offsets `o_k` for a uniform starting temperature, as the paper's
@@ -110,6 +118,11 @@ impl FrequencyAssignment {
 /// hold the temperature limit at that workload (the paper's "the
 /// optimization notifies an infeasible solution").
 ///
+/// One-shot convenience: allocates a fresh solver per call. The sweep and
+/// controller hot paths hold a [`PointSolver`] (or a
+/// [`protemp_cvx::BarrierSolver`] with [`solve_assignment_with`]) instead,
+/// so the solver scratch and warm starts carry across points.
+///
 /// # Errors
 ///
 /// Propagates numerical solver failures; infeasibility is *not* an error.
@@ -118,12 +131,75 @@ pub fn solve_assignment(
     tstart_c: f64,
     ftarget_hz: f64,
 ) -> Result<Option<FrequencyAssignment>> {
+    let mut solver = BarrierSolver::new(ctx.solver_opts);
+    Ok(
+        solve_assignment_with(ctx, &mut solver, tstart_c, ftarget_hz, None)?
+            .solution
+            .map(|p| p.assignment),
+    )
+}
+
+/// One feasible design-point solve: the assignment and the raw optimizer
+/// point (what a neighbouring solve passes back as its warm start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvedPoint {
+    /// The per-core frequency assignment.
+    pub assignment: FrequencyAssignment,
+    /// Raw solution vector in the problem's variable layout.
+    pub x: Vec<f64>,
+}
+
+/// Outcome of one design-point solve: the Newton-step cost (a
+/// deterministic work measure, unlike wall time — counted for infeasible
+/// points too, whose phase-I certificates are often the most expensive
+/// solves in a sweep) and the solution when the point is feasible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// Newton steps the solve consumed (phases I and II).
+    pub newton_steps: usize,
+    /// The solved point, or `None` when infeasible.
+    pub solution: Option<SolvedPoint>,
+}
+
+/// Solves one design point on a caller-provided solver, optionally
+/// warm-starting from the raw optimizer point of a neighbouring solve.
+///
+/// Returns a [`PointOutcome`] whose solution's `x` is exactly what the
+/// next neighbouring point should pass back as `warm`. Reusing one
+/// `solver` across a sweep keeps every Newton temporary in its
+/// [`protemp_cvx::SolverScratch`], so per-point heap traffic is limited to
+/// building the problem itself.
+///
+/// # Errors
+///
+/// Propagates numerical solver failures; infeasibility is *not* an error.
+pub fn solve_assignment_with(
+    ctx: &AssignmentContext,
+    solver: &mut BarrierSolver,
+    tstart_c: f64,
+    ftarget_hz: f64,
+    warm: Option<&[f64]>,
+) -> Result<PointOutcome> {
     let offsets = ctx.offsets_for(tstart_c);
     let prob = build_problem(&ctx.platform, &ctx.cfg, &ctx.reach, &offsets, ftarget_hz);
-    let solver = BarrierSolver::new(ctx.solver_opts);
-    let sol = solver.solve(&prob)?;
+    let sol = match warm {
+        Some(x0) => solver.solve_warm(&prob, x0)?,
+        None => {
+            // Cold solves still get a domain-informed seed: it satisfies
+            // the workload and coupling constraints by construction, so
+            // phase I only has to resolve the temperature rows. Starting
+            // from the origin instead makes phase I stall on thin frontier
+            // cells and misreport them infeasible.
+            let x0 = heuristic_start(&ctx.platform, &ctx.cfg, ftarget_hz);
+            solver.solve_seeded(&prob, &x0)?
+        }
+    };
+    let newton_steps = sol.newton_steps;
     match sol.status {
-        SolveStatus::Infeasible => Ok(None),
+        SolveStatus::Infeasible => Ok(PointOutcome {
+            newton_steps,
+            solution: None,
+        }),
         _ => {
             let n = ctx.platform.num_cores();
             let freqs_hz: Vec<f64> = (0..n)
@@ -131,13 +207,80 @@ pub fn solve_assignment(
                 .collect();
             let powers_w: Vec<f64> = (0..n).map(|i| sol.x[p_var(n, i)]).collect();
             let tgrad_c = (ctx.cfg.tgrad_weight > 0.0).then(|| sol.x[tgrad_var(n)]);
-            Ok(Some(FrequencyAssignment {
+            let assignment = FrequencyAssignment {
                 freqs_hz,
                 powers_w,
                 tgrad_c,
                 objective: sol.objective,
-            }))
+            };
+            Ok(PointOutcome {
+                newton_steps,
+                solution: Some(SolvedPoint {
+                    assignment,
+                    x: sol.x,
+                }),
+            })
         }
+    }
+}
+
+/// A deterministic interior-leaning start for a design point: uniform
+/// frequencies just above the (relaxed) target, powers just above the
+/// frequency–power coupling, and the gradient bound mid-box. Everything
+/// except the temperature rows holds strictly, which is the best geometry
+/// phase I can ask for.
+fn heuristic_start(platform: &Platform, cfg: &ControlConfig, ftarget_hz: f64) -> Vec<f64> {
+    let n = platform.num_cores();
+    let fr = (ftarget_hz / platform.fmax_hz).clamp(0.0, 1.0);
+    let phi = (fr * 1.005).min(0.999);
+    let mut x0 = vec![0.0; 2 * n + 1];
+    for i in 0..n {
+        x0[f_var(i)] = phi;
+        x0[p_var(n, i)] = (platform.pmax_w * (phi * phi + 0.02)).min(platform.pmax_w * 0.999);
+    }
+    x0[tgrad_var(n)] = 2.0 * cfg.tmax_c;
+    x0
+}
+
+/// A per-worker design-point solver: one [`AssignmentContext`] borrow plus
+/// an owned [`BarrierSolver`] whose scratch persists across points.
+///
+/// Each table-build worker thread owns one of these and chains warm starts
+/// through it; the MPC-style [`crate::OnlineController`] holds the same
+/// machinery (via [`solve_assignment_with`]) across DFS windows.
+#[derive(Debug, Clone)]
+pub struct PointSolver<'a> {
+    ctx: &'a AssignmentContext,
+    solver: BarrierSolver,
+}
+
+impl<'a> PointSolver<'a> {
+    /// Creates a solver for this context.
+    pub fn new(ctx: &'a AssignmentContext) -> Self {
+        PointSolver {
+            ctx,
+            solver: BarrierSolver::new(ctx.solver_opts),
+        }
+    }
+
+    /// The context this solver works against.
+    pub fn context(&self) -> &AssignmentContext {
+        self.ctx
+    }
+
+    /// Solves one design point; see [`solve_assignment_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical solver failures; infeasibility is *not* an
+    /// error.
+    pub fn solve_point(
+        &mut self,
+        tstart_c: f64,
+        ftarget_hz: f64,
+        warm: Option<&[f64]>,
+    ) -> Result<PointOutcome> {
+        solve_assignment_with(self.ctx, &mut self.solver, tstart_c, ftarget_hz, warm)
     }
 }
 
@@ -150,7 +293,7 @@ pub fn solve_assignment(
 pub fn check_feasible(ctx: &AssignmentContext, tstart_c: f64, ftarget_hz: f64) -> Result<bool> {
     let offsets = ctx.offsets_for(tstart_c);
     let prob = build_problem(&ctx.platform, &ctx.cfg, &ctx.reach, &offsets, ftarget_hz);
-    let solver = BarrierSolver::new(ctx.solver_opts);
+    let mut solver = BarrierSolver::new(ctx.solver_opts);
     Ok(solver.find_feasible(&prob)?.is_some())
 }
 
@@ -244,6 +387,39 @@ mod tests {
         for f in &a.freqs_hz {
             assert!((f - f0).abs() < 1e-3 * f0, "uniform mode: {f} vs {f0}");
         }
+    }
+
+    #[test]
+    fn warm_started_point_matches_cold_point() {
+        let ctx = ctx(ControlConfig::default());
+        let mut ps = PointSolver::new(&ctx);
+        // Cold-solve a point, then warm-start its temperature neighbour.
+        let seed = ps.solve_point(70.0, 0.5e9, None).unwrap().solution.unwrap();
+        let warm = ps
+            .solve_point(75.0, 0.5e9, Some(&seed.x))
+            .unwrap()
+            .solution
+            .unwrap()
+            .assignment;
+        let cold = ps
+            .solve_point(75.0, 0.5e9, None)
+            .unwrap()
+            .solution
+            .unwrap()
+            .assignment;
+        assert!(
+            (warm.avg_freq_hz() - cold.avg_freq_hz()).abs() < 1e-3 * cold.avg_freq_hz(),
+            "warm {} vs cold {}",
+            warm.avg_freq_hz(),
+            cold.avg_freq_hz()
+        );
+        assert!(
+            (warm.total_power_w() - cold.total_power_w()).abs()
+                < 0.02 * cold.total_power_w().max(1.0),
+            "warm {} vs cold {}",
+            warm.total_power_w(),
+            cold.total_power_w()
+        );
     }
 
     #[test]

@@ -2,19 +2,28 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    solve_assignment, AssignmentContext, FrequencyAssignment, FrequencyTable, Result,
-};
 #[cfg(test)]
 use crate::ControlConfig;
+use crate::{AssignmentContext, FrequencyAssignment, FrequencyTable, PointSolver, Result};
+
+/// Largest temperature hop (°C) a warm chain crosses in one solve. Beyond
+/// this the previous optimum usually violates the hotter problem's
+/// temperature rows and the warm start degrades to a phase-I seed; split
+/// into continuation sub-steps instead, each of which re-centers in a
+/// handful of Newton iterations.
+const MAX_WARM_HOP_C: f64 = 5.0;
 
 /// Statistics from a Phase-1 table build (the paper's Section 5.1 reports
 /// these: "the solver takes less than 2 minutes" per point and "the total
 /// time taken to perform phase 1 of the method is few hours").
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BuildStats {
-    /// Number of design points solved.
+    /// Number of grid cells (including cells pruned by the feasibility
+    /// frontier without a solve).
     pub points: usize,
+    /// Cells that actually ran the solver (feasible cells plus one
+    /// infeasibility certificate per column at the frontier).
+    pub solved_points: usize,
     /// Number of feasible points.
     pub feasible: usize,
     /// Total wall-clock build time, seconds.
@@ -23,10 +32,43 @@ pub struct BuildStats {
     pub mean_point_s: f64,
     /// Slowest single point, seconds.
     pub max_point_s: f64,
+    /// Worker threads the sweep actually used.
+    pub threads: usize,
+    /// Points solved warm-started from a feasible column neighbour.
+    pub warm_started: usize,
+    /// Total interior-point Newton steps across the sweep (including
+    /// continuation sub-steps) — the deterministic work measure behind the
+    /// wall-clock numbers.
+    pub newton_steps: u64,
+}
+
+impl BuildStats {
+    /// Solver throughput, solved design points per wall-clock second
+    /// (pruned cells are free and excluded, so the number tracks solver
+    /// performance rather than grid shape).
+    pub fn points_per_s(&self) -> f64 {
+        if self.total_s > 0.0 {
+            self.solved_points as f64 / self.total_s
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Phase 1 of Pro-Temp: sweeps the (starting temperature × target
 /// frequency) grid and solves the convex model at every point.
+///
+/// The grid columns are partitioned across scoped worker threads. Each
+/// worker owns one [`PointSolver`] — so all Newton temporaries live in that
+/// worker's solver scratch for the whole sweep — and walks each of its
+/// columns from the coolest row to the hottest, warm-starting every point
+/// from the previous feasible solution in the same column. Away from the
+/// thermal frontier, the optimum for one target frequency barely moves with
+/// the starting temperature, so these chains re-enter the central path
+/// almost where the neighbour left it (the same mechanism the MPC-style
+/// online controller uses window to window). Warm chains never cross
+/// column boundaries, which makes the result *deterministic*: the table is
+/// identical for any thread count, including the serial build.
 ///
 /// # Example
 ///
@@ -47,6 +89,7 @@ pub struct TableBuilder {
     tstarts_c: Vec<f64>,
     ftargets_hz: Vec<f64>,
     threads: usize,
+    warm_start: bool,
 }
 
 impl Default for TableBuilder {
@@ -57,9 +100,22 @@ impl Default for TableBuilder {
             tstarts_c: (6..=20).map(|i| i as f64 * 5.0).collect(),
             ftargets_hz: (1..=10).map(|i| i as f64 * 100.0e6).collect(),
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            warm_start: true,
         }
     }
 }
+
+/// Result of one worker's chunk of columns: chunk-local column-major
+/// entries, per-point solve seconds, the warm-started point count, the
+/// Newton steps spent, and the number of cells that actually ran the
+/// solver (frontier-pruned cells don't).
+type ChunkResult = Result<(
+    Vec<Option<FrequencyAssignment>>,
+    Vec<f64>,
+    usize,
+    u64,
+    usize,
+)>;
 
 impl TableBuilder {
     /// Creates a builder with the paper's default grids
@@ -81,73 +137,203 @@ impl TableBuilder {
     }
 
     /// Caps the number of worker threads (default: available parallelism).
+    /// `1` gives the serial build, which produces the identical table.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
         self
     }
 
+    /// Enables or disables warm-starting points from their cooler
+    /// same-column neighbour (default: enabled). Cold builds exist for
+    /// benchmarking the warm-start speedup; both produce solutions within
+    /// solver tolerance.
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
     /// Runs the sweep, returning the table and build statistics.
-    ///
-    /// Rows are solved in parallel with scoped threads; every design point
-    /// is an independent convex program (the paper parallelizes the same
-    /// way across "each temperature and frequency point").
     ///
     /// # Errors
     ///
     /// Propagates solver/thermal failures; infeasible points are recorded
     /// as `None` entries, not errors.
     pub fn build(&self, ctx: &AssignmentContext) -> Result<(FrequencyTable, BuildStats)> {
+        // Validate up front: [`FrequencyTable::new`] would catch unsorted
+        // grids only after the whole sweep, and the frontier pruning below
+        // is only sound when temperatures ascend.
+        assert!(
+            self.tstarts_c.windows(2).all(|w| w[0] < w[1]),
+            "temperature grid must be strictly ascending"
+        );
+        assert!(
+            self.ftargets_hz.windows(2).all(|w| w[0] < w[1]),
+            "frequency grid must be strictly ascending"
+        );
         let start = Instant::now();
         let rows = self.tstarts_c.len();
         let cols = self.ftargets_hz.len();
+        let workers = self.threads.min(cols.max(1));
 
-        // Solve rows in parallel chunks.
-        let mut results: Vec<Option<FrequencyAssignment>> = Vec::with_capacity(rows * cols);
-        let mut point_times: Vec<f64> = Vec::with_capacity(rows * cols);
-
-        let row_results: Vec<Result<(Vec<Option<FrequencyAssignment>>, Vec<f64>)>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(rows);
-                for &tstart in &self.tstarts_c {
-                    let ftargets = &self.ftargets_hz;
-                    handles.push(scope.spawn(move || {
-                        let mut row = Vec::with_capacity(ftargets.len());
-                        let mut times = Vec::with_capacity(ftargets.len());
-                        for &ft in ftargets {
+        // Partition the grid by contiguous column chunks. Workers solve
+        // into chunk-local buffers (a column's cells are strided in the
+        // row-major table, so they cannot be handed out as one `&mut`
+        // window); the merge below is a fixed in-order copy, byte-identical
+        // for any thread count because warm chains stay inside a column
+        // and never cross a chunk.
+        let cols_per_chunk = cols.div_ceil(workers.max(1)).max(1);
+        let col_chunks: Vec<&[f64]> = self.ftargets_hz.chunks(cols_per_chunk).collect();
+        let chunk_outcomes: Vec<ChunkResult> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(col_chunks.len());
+            for chunk in &col_chunks {
+                let tstarts = &self.tstarts_c;
+                let warm_start = self.warm_start;
+                handles.push(scope.spawn(move || {
+                    let mut solver = PointSolver::new(ctx);
+                    let mut entries = Vec::with_capacity(rows * chunk.len());
+                    let mut times = vec![0.0; rows * chunk.len()];
+                    let mut warm_used = 0usize;
+                    let mut newton: u64 = 0;
+                    let mut solved_cells = 0usize;
+                    // Chunk-local layout is column-major so each column is
+                    // one contiguous warm chain.
+                    for &ftarget in *chunk {
+                        // Coolest to hottest: away from the frontier the
+                        // optimum barely moves with the start temperature.
+                        let mut prev: Option<(f64, Vec<f64>)> = None;
+                        // Chain health: the column's first (cold) cell sets
+                        // the baseline cost. A warm link that fails to
+                        // clearly beat it means this column's geometry
+                        // resists warm starts (degenerate active sets at
+                        // low targets do) — finish the column cold rather
+                        // than pay the failed-attempt tax on every row.
+                        // Newton counts are deterministic, so this adaptive
+                        // choice preserves build determinism.
+                        let mut baseline: Option<u64> = None;
+                        let mut chain_on = warm_start;
+                        // Feasibility is downward-closed in the starting
+                        // temperature (the RC propagator is nonnegative, so
+                        // offsets rise monotonically with it): once a cell
+                        // is certified infeasible, every hotter row in the
+                        // column is infeasible without solving. The
+                        // certificates this skips are among the most
+                        // expensive solves in the sweep.
+                        let mut column_dead = false;
+                        for &tstart in tstarts {
+                            if column_dead {
+                                entries.push(None);
+                                continue;
+                            }
                             let t0 = Instant::now();
-                            let a = solve_assignment(ctx, tstart, ft)?;
-                            times.push(t0.elapsed().as_secs_f64());
-                            row.push(a);
+                            let mut cell_cost = 0u64;
+                            // Continuation: cross large temperature hops in
+                            // ≤ MAX_WARM_HOP_C sub-steps so every warm
+                            // solve stays in the few-Newton-step regime.
+                            let mut carry: Option<Vec<f64>> = None;
+                            if chain_on {
+                                if let Some((prev_t, prev_x)) = &prev {
+                                    let mut x = prev_x.clone();
+                                    let hops = ((tstart - prev_t) / MAX_WARM_HOP_C).ceil().max(1.0);
+                                    let mut feasible = true;
+                                    for k in 1..hops as usize {
+                                        let tk = prev_t + (tstart - prev_t) * k as f64 / hops;
+                                        let hop = solver.solve_point(tk, ftarget, Some(&x))?;
+                                        cell_cost += hop.newton_steps as u64;
+                                        match hop.solution {
+                                            Some(p) => x = p.x,
+                                            None => {
+                                                feasible = false;
+                                                break;
+                                            }
+                                        }
+                                    }
+                                    if feasible {
+                                        carry = Some(x);
+                                    }
+                                }
+                            }
+                            let solved = solver.solve_point(tstart, ftarget, carry.as_deref())?;
+                            solved_cells += 1;
+                            times[entries.len()] = t0.elapsed().as_secs_f64();
+                            if carry.is_some() {
+                                warm_used += 1;
+                            }
+                            cell_cost += solved.newton_steps as u64;
+                            match solved.solution {
+                                Some(p) => {
+                                    newton += cell_cost;
+                                    match baseline {
+                                        None => baseline = Some(cell_cost.max(1)),
+                                        Some(base) => {
+                                            if carry.is_some() && cell_cost > base / 2 {
+                                                chain_on = false;
+                                            }
+                                        }
+                                    }
+                                    prev = Some((tstart, p.x));
+                                    entries.push(Some(p.assignment));
+                                }
+                                None => {
+                                    newton += cell_cost;
+                                    prev = None;
+                                    column_dead = true;
+                                    entries.push(None);
+                                }
+                            }
                         }
-                        Ok((row, times))
-                    }));
-                    // Simple throttle: join early when too many are live.
-                    if handles.len() >= self.threads {
-                        // The scope joins everything at the end anyway; this
-                        // keeps peak parallelism near the requested cap.
                     }
-                }
-                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-            });
+                    Ok((entries, times, warm_used, newton, solved_cells))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("table worker must not panic"))
+                .collect()
+        });
 
-        for r in row_results {
-            let (row, times) = r?;
-            results.extend(row);
-            point_times.extend(times);
+        // Deterministic merge: chunk-local column-major buffers into the
+        // row-major table, in column order.
+        let mut results: Vec<Option<FrequencyAssignment>> = vec![None; rows * cols];
+        let mut point_times: Vec<f64> = vec![0.0; rows * cols];
+        let mut warm_total = 0usize;
+        let mut newton_total: u64 = 0;
+        let mut solved_total = 0usize;
+        let mut col_base = 0usize;
+        for (outcome, chunk) in chunk_outcomes.into_iter().zip(&col_chunks) {
+            let (entries, times, warm_used, newton, solved_cells) = outcome?;
+            warm_total += warm_used;
+            newton_total += newton;
+            solved_total += solved_cells;
+            let mut it = entries.into_iter().zip(times);
+            for local_col in 0..chunk.len() {
+                for row in 0..rows {
+                    let (entry, time) = it.next().expect("chunk sized rows*cols");
+                    results[row * cols + col_base + local_col] = entry;
+                    point_times[row * cols + col_base + local_col] = time;
+                }
+            }
+            col_base += chunk.len();
         }
 
+        let worker_count = col_chunks.len().max(1);
         let feasible = results.iter().filter(|e| e.is_some()).count();
         let total_s = start.elapsed().as_secs_f64();
         let stats = BuildStats {
             points: rows * cols,
+            solved_points: solved_total,
             feasible,
             total_s,
-            mean_point_s: if point_times.is_empty() {
+            // Pruned cells never ran the solver (their recorded time is
+            // zero); average over the solves that actually happened.
+            mean_point_s: if solved_total == 0 {
                 0.0
             } else {
-                point_times.iter().sum::<f64>() / point_times.len() as f64
+                point_times.iter().sum::<f64>() / solved_total as f64
             },
             max_point_s: point_times.iter().cloned().fold(0.0, f64::max),
+            threads: worker_count,
+            warm_started: warm_total,
+            newton_steps: newton_total,
         };
         let table = FrequencyTable::new(
             self.tstarts_c.clone(),
@@ -183,6 +369,37 @@ mod tests {
         }
         assert!(stats.total_s > 0.0);
         assert!(stats.max_point_s >= stats.mean_point_s);
+        assert!(stats.threads >= 1);
+        assert!(stats.points_per_s() > 0.0);
+    }
+
+    #[test]
+    fn parallel_build_identical_to_serial() {
+        let platform = Platform::niagara8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        let builder = TableBuilder::new()
+            .tstarts(vec![55.0, 75.0, 95.0])
+            .ftargets(vec![0.2e9, 0.5e9, 0.8e9]);
+        let (serial, _) = builder.clone().threads(1).build(&ctx).unwrap();
+        let (parallel, stats) = builder.threads(3).build(&ctx).unwrap();
+        assert_eq!(stats.threads, 3);
+        assert_eq!(serial, parallel, "thread count must not change the table");
+    }
+
+    #[test]
+    fn warm_chains_record_in_stats() {
+        let platform = Platform::niagara8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        let builder = TableBuilder::new()
+            .tstarts(vec![55.0, 65.0, 75.0])
+            .ftargets(vec![0.4e9]);
+        let (_, warm_stats) = builder.clone().build(&ctx).unwrap();
+        assert_eq!(
+            warm_stats.warm_started, 2,
+            "rows 2 and 3 warm-start from their cooler column neighbour"
+        );
+        let (_, cold_stats) = builder.warm_start(false).build(&ctx).unwrap();
+        assert_eq!(cold_stats.warm_started, 0);
     }
 
     #[test]

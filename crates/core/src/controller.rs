@@ -1,8 +1,7 @@
+use protemp_cvx::BarrierSolver;
 use protemp_sim::{DfsPolicy, Observation, Platform};
 
-use crate::{
-    solve_assignment, AssignmentContext, FrequencyTable, LookupOutcome,
-};
+use crate::{solve_assignment_with, AssignmentContext, FrequencyTable, LookupOutcome};
 
 /// Phase 2 of Pro-Temp: the run-time controller (paper Section 3.3).
 ///
@@ -96,26 +95,44 @@ impl DfsPolicy for ProTempController {
 /// This trades DFS-decision latency (a solve per window) for sharper
 /// assignments; the `online_vs_table` ablation bench quantifies the gap.
 /// Solver failures fall back to shutdown, preserving the guarantee.
+///
+/// The controller owns one [`BarrierSolver`] for its whole lifetime — the
+/// Newton scratch is reused every window — and warm-starts each window's
+/// re-solve from the previous window's optimum (consecutive windows see
+/// nearly the same temperature and demand, the classic MPC warm start).
 #[derive(Debug, Clone)]
 pub struct OnlineController {
     ctx: AssignmentContext,
+    solver: BarrierSolver,
+    last_x: Option<Vec<f64>>,
     solves: u64,
     infeasible: u64,
+    warm_solves: u64,
 }
 
 impl OnlineController {
     /// Creates the online controller.
     pub fn new(ctx: AssignmentContext) -> Self {
+        let solver = BarrierSolver::new(*ctx.solver_options());
         OnlineController {
             ctx,
+            solver,
+            last_x: None,
             solves: 0,
             infeasible: 0,
+            warm_solves: 0,
         }
     }
 
     /// Counter pair `(solves, infeasible)`.
     pub fn counters(&self) -> (u64, u64) {
         (self.solves, self.infeasible)
+    }
+
+    /// Number of window solves that reused the previous window's optimum
+    /// as a warm start.
+    pub fn warm_solves(&self) -> u64 {
+        self.warm_solves
     }
 }
 
@@ -130,15 +147,30 @@ impl DfsPolicy for OnlineController {
         // first, then halve until feasible (few iterations in practice).
         let mut target = obs.required_avg_freq_hz.min(platform.fmax_hz);
         for _ in 0..6 {
-            match solve_assignment(&self.ctx, obs.max_core_temp, target) {
-                Ok(Some(a)) => return a.freqs_hz,
-                Ok(None) => {
-                    self.infeasible += 1;
-                    target *= 0.5;
-                    if target < platform.fmax_hz * 0.01 {
-                        break;
+            let warm = self.last_x.as_deref();
+            if warm.is_some() {
+                self.warm_solves += 1;
+            }
+            match solve_assignment_with(
+                &self.ctx,
+                &mut self.solver,
+                obs.max_core_temp,
+                target,
+                warm,
+            ) {
+                Ok(outcome) => match outcome.solution {
+                    Some(p) => {
+                        self.last_x = Some(p.x);
+                        return p.assignment.freqs_hz;
                     }
-                }
+                    None => {
+                        self.infeasible += 1;
+                        target *= 0.5;
+                        if target < platform.fmax_hz * 0.01 {
+                            break;
+                        }
+                    }
+                },
                 Err(_) => break,
             }
         }
@@ -218,5 +250,25 @@ mod tests {
         let avg = f.iter().sum::<f64>() / f.len() as f64;
         assert!(avg >= 0.5e9 * 0.99, "avg {avg}");
         assert_eq!(c.counters().0, 1);
+        assert_eq!(c.warm_solves(), 0, "first window has nothing to reuse");
+    }
+
+    #[test]
+    fn online_controller_warm_starts_consecutive_windows() {
+        let platform = Platform::niagara8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        let mut c = OnlineController::new(ctx);
+        let f1 = c.frequencies(&obs(60.0, 0.5e9), &platform);
+        let f2 = c.frequencies(&obs(61.0, 0.5e9), &platform);
+        assert_eq!(c.counters().0, 2);
+        assert_eq!(
+            c.warm_solves(),
+            1,
+            "second window reuses the first's optimum"
+        );
+        // Nearly identical windows must produce nearly identical assignments.
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((a - b).abs() < 0.05 * platform.fmax_hz, "{a} vs {b}");
+        }
     }
 }

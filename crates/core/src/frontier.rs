@@ -26,11 +26,7 @@ pub struct FrontierPoint {
 /// # Errors
 ///
 /// Propagates solver failures.
-pub fn max_supported_frequency(
-    ctx: &AssignmentContext,
-    tstart_c: f64,
-    tol_hz: f64,
-) -> Result<f64> {
+pub fn max_supported_frequency(ctx: &AssignmentContext, tstart_c: f64, tol_hz: f64) -> Result<f64> {
     max_supported_frequency_at_least(ctx, tstart_c, 0.0, tol_hz)
 }
 

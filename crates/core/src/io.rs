@@ -234,7 +234,8 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_entry() {
-        let text = "protemp-table v1\nmode variable\ntstarts 60\nftargets 1e8\nentry 5 0 infeasible\n";
+        let text =
+            "protemp-table v1\nmode variable\ntstarts 60\nftargets 1e8\nentry 5 0 infeasible\n";
         assert!(read_table(text.as_bytes()).is_err());
     }
 }

@@ -51,7 +51,10 @@ mod table;
 
 pub mod frontier;
 
-pub use assign::{check_feasible, solve_assignment, AssignmentContext, FrequencyAssignment};
+pub use assign::{
+    check_feasible, solve_assignment, solve_assignment_with, AssignmentContext,
+    FrequencyAssignment, PointOutcome, PointSolver, SolvedPoint,
+};
 pub use builder::{BuildStats, TableBuilder};
 pub use controller::{OnlineController, ProTempController};
 pub use error::ProTempError;

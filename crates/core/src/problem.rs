@@ -162,9 +162,12 @@ mod tests {
     fn setup(cfg: &ControlConfig) -> (Platform, AffineReach, Vec<Vec<f64>>) {
         let platform = Platform::niagara8();
         let net = RcNetwork::from_floorplan(&platform.floorplan, &platform.thermal);
-        let model =
-            DiscreteModel::new(&net, cfg.dt_us as f64 / 1e6, IntegrationMethod::ForwardEuler)
-                .unwrap();
+        let model = DiscreteModel::new(
+            &net,
+            cfg.dt_us as f64 / 1e6,
+            IntegrationMethod::ForwardEuler,
+        )
+        .unwrap();
         let steps = cfg.steps_per_window();
         let reach = AffineReach::new(&net, &model, steps).unwrap();
         let offsets = reach.offsets(&net.uniform_state(60.0));

@@ -97,7 +97,7 @@ impl ControlConfig {
                 reason: "dt_us and dfs_period_us must be positive".to_string(),
             });
         }
-        if self.dfs_period_us % self.dt_us != 0 {
+        if !self.dfs_period_us.is_multiple_of(self.dt_us) {
             return Err(ProTempError::BadConfig {
                 reason: format!(
                     "dfs_period_us ({}) must be a multiple of dt_us ({})",
@@ -144,14 +144,20 @@ mod tests {
 
     #[test]
     fn bad_configs_rejected() {
-        let mut c = ControlConfig::default();
-        c.dt_us = 333;
+        let c = ControlConfig {
+            dt_us: 333,
+            ..ControlConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ControlConfig::default();
-        c.margin_c = -1.0;
+        let c = ControlConfig {
+            margin_c: -1.0,
+            ..ControlConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ControlConfig::default();
-        c.gradient_stride = 0;
+        let c = ControlConfig {
+            gradient_stride: 0,
+            ..ControlConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -146,11 +146,7 @@ impl FrequencyTable {
     /// Run-time lookup (see the type-level docs for the exact semantics).
     pub fn lookup(&self, max_core_temp_c: f64, required_freq_hz: f64) -> LookupOutcome {
         // Round temperature UP to the next grid row.
-        let Some(row) = self
-            .tstarts_c
-            .iter()
-            .position(|&t| t >= max_core_temp_c)
-        else {
+        let Some(row) = self.tstarts_c.iter().position(|&t| t >= max_core_temp_c) else {
             // Hotter than the hottest modeled row: shut down.
             return LookupOutcome::Shutdown;
         };

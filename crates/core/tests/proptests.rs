@@ -23,9 +23,9 @@ fn synthetic_table(rows: usize, cols: usize) -> FrequencyTable {
     for r in 0..rows {
         // Hotter rows support fewer columns.
         let feasible_cols = cols.saturating_sub(r);
-        for c in 0..cols {
+        for (c, ft) in ftargets.iter().enumerate() {
             entries.push(if c < feasible_cols {
-                Some(mk_assignment(ftargets[c] / 1e6))
+                Some(mk_assignment(ft / 1e6))
             } else {
                 None
             });

@@ -1,0 +1,89 @@
+//! Tentpole guarantees of the warm-started parallel Phase-1 sweep:
+//!
+//! * warm-started and cold solves agree (to solver tolerance) on randomized
+//!   feasible Pro-Temp design points, and
+//! * the parallel table build is byte-identical to the serial build on the
+//!   paper's 8×10 grid (30–100 °C × 100–1000 MHz), for several thread
+//!   counts including ones that split the rows unevenly.
+//!
+//! A shortened constraint horizon (20 ms windows instead of 100 ms) keeps
+//! the grid build affordable in CI; the model and solver paths are
+//! identical to the paper configuration.
+
+use proptest::prelude::*;
+use protemp::prelude::*;
+use protemp::{AssignmentContext, PointSolver};
+
+/// The paper's controller config with a 50-step horizon for test speed.
+fn fast_config() -> ControlConfig {
+    ControlConfig {
+        dfs_period_us: 20_000,
+        ..ControlConfig::default()
+    }
+}
+
+fn context() -> AssignmentContext {
+    AssignmentContext::new(&Platform::niagara8(), &fast_config()).expect("context")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A warm start from a neighbouring optimum must land on the same
+    /// optimum as a cold solve: same feasibility verdict, matching
+    /// objective, frequencies and powers to solver tolerance.
+    #[test]
+    fn warm_and_cold_solves_agree(tstart in 40.0..80.0f64, ftarget in 0.15e9..0.55e9) {
+        let ctx = context();
+        let mut solver = PointSolver::new(&ctx);
+        // Neighbouring point: the same target a few degrees cooler (the
+        // direction the table builder chains in).
+        let seed = solver.solve_point(tstart - 5.0, ftarget, None).unwrap().solution;
+        prop_assume!(seed.is_some());
+        let warm_x = seed.unwrap().x;
+
+        let warm = solver.solve_point(tstart, ftarget, Some(&warm_x)).unwrap().solution;
+        let cold = solver.solve_point(tstart, ftarget, None).unwrap().solution;
+        prop_assert_eq!(warm.is_some(), cold.is_some(),
+                        "warm and cold must agree on feasibility");
+        if let (Some(wp), Some(cp)) = (warm, cold) {
+            let (w, c) = (wp.assignment, cp.assignment);
+            prop_assert!(
+                (w.objective - c.objective).abs() <= 1e-3 * c.objective.abs().max(1.0),
+                "objective: warm {} vs cold {}", w.objective, c.objective
+            );
+            for (fw, fc) in w.freqs_hz.iter().zip(&c.freqs_hz) {
+                prop_assert!((fw - fc).abs() < 5e-3 * ctx.platform().fmax_hz,
+                             "freq: warm {fw} vs cold {fc}");
+            }
+            for (pw, pc) in w.powers_w.iter().zip(&c.powers_w) {
+                prop_assert!((pw - pc).abs() < 0.05,
+                             "power: warm {pw} vs cold {pc}");
+            }
+        }
+    }
+}
+
+/// The paper's 8×10 grid: parallel builds must be byte-identical to the
+/// serial build, whatever the thread count.
+#[test]
+fn parallel_8x10_build_identical_to_serial() {
+    let ctx = context();
+    let grid = || {
+        TableBuilder::new()
+            .tstarts((3..=10).map(|i| i as f64 * 10.0).collect())
+            .ftargets((1..=10).map(|i| i as f64 * 100.0e6).collect())
+    };
+    let (serial, serial_stats) = grid().threads(1).build(&ctx).expect("serial build");
+    assert_eq!(serial_stats.points, 80);
+    assert_eq!(serial_stats.threads, 1);
+    // 3 workers split the 10 columns unevenly (4/4/2); 10 give one each.
+    for threads in [3usize, 10] {
+        let (parallel, stats) = grid().threads(threads).build(&ctx).expect("parallel build");
+        assert_eq!(stats.threads, threads);
+        assert_eq!(
+            serial, parallel,
+            "{threads}-thread build must be byte-identical to the serial build"
+        );
+    }
+}

@@ -1,6 +1,23 @@
-use protemp_linalg::{vecops, Cholesky, Matrix, Qr};
+use std::sync::OnceLock;
 
-use crate::{CvxError, Problem, QuadConstraint, Result, Solution, SolveStatus, SolverOptions};
+use protemp_linalg::{vecops, Matrix, Qr};
+
+use crate::scratch::DimScratch;
+use crate::{
+    CvxError, Problem, QuadConstraint, Result, Solution, SolveStatus, SolverOptions, SolverScratch,
+};
+
+/// Newton-step budget for the speculative warm-start attempt: enough for a
+/// genuine warm start (a few steps to re-center, then the gap check), small
+/// enough that a mismatched start fails over to the seeded path cheaply.
+const WARM_TRY_BUDGET: usize = 32;
+
+/// `true` when `PROTEMP_CVX_DEBUG` is set; read once per process so the
+/// Newton loop stays free of environment lookups (which allocate).
+fn debug_enabled() -> bool {
+    static DEBUG: OnceLock<bool> = OnceLock::new();
+    *DEBUG.get_or_init(|| std::env::var_os("PROTEMP_CVX_DEBUG").is_some())
+}
 
 /// Two-phase log-barrier interior-point solver.
 ///
@@ -14,6 +31,17 @@ use crate::{CvxError, Problem, QuadConstraint, Result, Solution, SolveStatus, So
 ///
 /// This is the algorithm of Boyd & Vandenberghe, *Convex Optimization*,
 /// chapter 11 — the paper's reference \[25\].
+///
+/// # Reuse and warm starts
+///
+/// The solver owns a [`SolverScratch`]: every Newton temporary (gradient,
+/// Hessian, scaled system, Cholesky factor, step, line-search candidate)
+/// lives there, so solve methods take `&mut self` and a solver reused
+/// across problems of one shape performs no per-iteration heap allocation
+/// after its first solve. [`BarrierSolver::solve_warm`] additionally starts
+/// phase II directly from a supplied strictly-feasible point, skipping
+/// phase I — the Phase-1 table sweep and the MPC-style online controller
+/// both re-solve from a neighbouring optimum this way.
 ///
 /// # Example
 ///
@@ -29,10 +57,14 @@ use crate::{CvxError, Problem, QuadConstraint, Result, Solution, SolveStatus, So
 /// let sol = BarrierSolver::new(SolverOptions::default()).solve(&p).unwrap();
 /// assert!((sol.objective + 1.0).abs() < 1e-5);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BarrierSolver {
     opts: SolverOptions,
+    scratch: SolverScratch,
 }
+
+/// Feasibility predicate for phase I's early exit.
+type EarlyExit<'a> = &'a dyn Fn(&[f64]) -> bool;
 
 /// Inequality-only problem data in the (possibly reduced) variable space.
 struct Dense {
@@ -67,7 +99,13 @@ impl Dense {
 
     fn objective(&self, x: &[f64]) -> f64 {
         let quad = match &self.p0 {
-            Some(p) => 0.5 * vecops::dot(&p.matvec(x), x),
+            Some(p) => {
+                let mut acc = 0.0;
+                for (r, &xr) in x.iter().enumerate() {
+                    acc += xr * vecops::dot(p.row(r), x);
+                }
+                0.5 * acc
+            }
             None => 0.0,
         };
         quad + vecops::dot(&self.q0, x)
@@ -93,35 +131,82 @@ impl Dense {
         v.is_finite().then_some(v)
     }
 
-    /// Gradient and Hessian of the barrier function at a strictly feasible x.
-    fn grad_hess(&self, t: f64, x: &[f64]) -> (Vec<f64>, Matrix) {
-        let n = self.n;
-        let mut grad = vec![0.0; n];
-        let mut hess = Matrix::zeros(n, n);
+    /// The largest step fraction `α ∈ (0, 1]` keeping `x + α·dx` strictly
+    /// inside every constraint (the interior-point fraction-to-boundary
+    /// rule, backed off by 1 %). Starting the backtracking line search here
+    /// instead of at `α = 1` matters when `x` hugs the boundary — a warm
+    /// start from a neighbouring optimum — where a full Newton step lands
+    /// far outside the region and Armijo would shrink `α` to nothing.
+    /// `tmp` is clobbered (a length-`n` buffer). Allocation-free.
+    fn max_step(&self, x: &[f64], dx: &[f64], tmp: &mut [f64]) -> f64 {
+        let mut alpha = 1.0_f64;
+        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
+            let deriv = vecops::dot(row, dx);
+            if deriv > 0.0 {
+                let slack = rhs - vecops::dot(row, x);
+                alpha = alpha.min(0.99 * slack / deriv);
+            }
+        }
+        for q in &self.quad {
+            // First-order boundary estimate along dx; the backtracking
+            // loop still guards the (convex) second-order term.
+            q.gradient_into(x, tmp);
+            let deriv = vecops::dot(tmp, dx);
+            if deriv > 0.0 {
+                let slack = -q.eval(x);
+                alpha = alpha.min(0.99 * slack / deriv);
+            }
+        }
+        alpha.max(1e-14)
+    }
+
+    /// Pure barrier gradient `∇φ` (no objective term) at a strictly
+    /// feasible `x`, written into `s.grad` (`s.qgrad` is clobbered).
+    /// Unlike [`Dense::grad_hess_into`] this skips the Hessian assembly —
+    /// the warm-start `t₀` estimate only needs the gradient, and the
+    /// rank-1 updates would cost a full Newton step's worth of work.
+    fn barrier_gradient_into(&self, x: &[f64], s: &mut DimScratch) {
+        s.grad.fill(0.0);
+        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
+            let slack = rhs - vecops::dot(row, x);
+            vecops::axpy(1.0 / slack, row, &mut s.grad);
+        }
+        for q in &self.quad {
+            let slack = -q.eval(x);
+            q.gradient_into(x, &mut s.qgrad);
+            vecops::axpy(1.0 / slack, &s.qgrad, &mut s.grad);
+        }
+    }
+
+    /// Gradient and Hessian of the barrier function at a strictly feasible
+    /// `x`, written into the scratch buffers (`s.grad`, `s.hess`; `s.qgrad`
+    /// is clobbered as a temporary). Allocation-free.
+    fn grad_hess_into(&self, t: f64, x: &[f64], s: &mut DimScratch) {
+        s.grad.fill(0.0);
+        s.hess.set_zero();
         // Objective part.
         if let Some(p) = &self.p0 {
-            let px = p.matvec(x);
-            vecops::axpy(t, &px, &mut grad);
-            hess.axpy(t, p).expect("shape");
+            p.matvec_into(x, &mut s.qgrad);
+            vecops::axpy(t, &s.qgrad, &mut s.grad);
+            s.hess.axpy(t, p).expect("shape");
         }
-        vecops::axpy(t, &self.q0, &mut grad);
+        vecops::axpy(t, &self.q0, &mut s.grad);
         // Linear constraints.
         for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
-            let s = rhs - vecops::dot(row, x);
-            let inv = 1.0 / s;
-            vecops::axpy(inv, row, &mut grad);
-            hess.rank1_update(inv * inv, row);
+            let slack = rhs - vecops::dot(row, x);
+            let inv = 1.0 / slack;
+            vecops::axpy(inv, row, &mut s.grad);
+            s.hess.rank1_update(inv * inv, row);
         }
         // Quadratic constraints.
         for q in &self.quad {
-            let s = -q.eval(x);
-            let inv = 1.0 / s;
-            let g = q.gradient(x);
-            vecops::axpy(inv, &g, &mut grad);
-            hess.rank1_update(inv * inv, &g);
-            hess.axpy(inv, &q.p).expect("shape");
+            let slack = -q.eval(x);
+            let inv = 1.0 / slack;
+            q.gradient_into(x, &mut s.qgrad);
+            vecops::axpy(inv, &s.qgrad, &mut s.grad);
+            s.hess.rank1_update(inv * inv, &s.qgrad);
+            s.hess.axpy(inv, &q.p).expect("shape");
         }
-        (grad, hess)
     }
 }
 
@@ -132,6 +217,11 @@ struct BarrierRun {
     newton: usize,
     gap: f64,
     converged: bool,
+    /// `true` when the final centering ended by driving the Newton
+    /// decrement under `tol_inner` (so the duality-gap bound `m/t` is
+    /// trustworthy), `false` when it ended in a line-search stall. A stalled
+    /// warm run falls back to the cold path instead of being certified.
+    centered: bool,
 }
 
 impl BarrierSolver {
@@ -142,7 +232,20 @@ impl BarrierSolver {
     /// Panics if the options are invalid (programmer error).
     pub fn new(opts: SolverOptions) -> Self {
         opts.validate().expect("solver options must validate");
-        BarrierSolver { opts }
+        BarrierSolver {
+            opts,
+            scratch: SolverScratch::new(),
+        }
+    }
+
+    /// The options this solver runs with.
+    pub fn options(&self) -> &SolverOptions {
+        &self.opts
+    }
+
+    /// The scratch buffers (exposed for capacity diagnostics).
+    pub fn scratch(&self) -> &SolverScratch {
+        &self.scratch
     }
 
     /// Solves a [`Problem`].
@@ -150,18 +253,58 @@ impl BarrierSolver {
     /// # Errors
     ///
     /// See [`Problem::solve`].
-    pub fn solve(&self, prob: &Problem) -> Result<Solution> {
+    pub fn solve(&mut self, prob: &Problem) -> Result<Solution> {
         self.solve_with_start(prob, None)
     }
 
-    /// Solves a [`Problem`], optionally warm-starting phase II from `x0`
-    /// (used by the table builder, where neighbouring grid points have
-    /// nearby optima). The warm start is only used if strictly feasible.
+    /// Solves a [`Problem`] warm: phase II starts from `x0` when it is
+    /// strictly feasible (skipping phase I entirely), and phase I itself
+    /// starts near `x0` otherwise. Neighbouring Phase-1 grid points and
+    /// consecutive MPC windows have nearby optima, which typically cuts the
+    /// Newton-step count by an integer factor versus a cold solve.
+    ///
+    /// The result is within solver tolerance of the cold-start optimum, not
+    /// bit-identical to it.
     ///
     /// # Errors
     ///
     /// See [`Problem::solve`].
-    pub fn solve_with_start(&self, prob: &Problem, x0: Option<&[f64]>) -> Result<Solution> {
+    pub fn solve_warm(&mut self, prob: &Problem, x0: &[f64]) -> Result<Solution> {
+        self.solve_with_start(prob, Some(x0))
+    }
+
+    /// Solves a [`Problem`], optionally warm-starting from `x0`
+    /// (see [`BarrierSolver::solve_warm`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::solve`].
+    pub fn solve_with_start(&mut self, prob: &Problem, x0: Option<&[f64]>) -> Result<Solution> {
+        self.solve_inner(prob, x0, true)
+    }
+
+    /// Solves a [`Problem`] from a *seed* point: `x0` becomes the phase-II
+    /// start (or the phase-I seed when infeasible) but the central-path
+    /// climb still begins at the configured `t₀`.
+    ///
+    /// Use this for heuristic starting points that are merely good
+    /// geometry; use [`BarrierSolver::solve_warm`] for points that are
+    /// near-optimal for a neighbouring problem, where re-entering the path
+    /// at the matching barrier parameter is the whole point.
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::solve`].
+    pub fn solve_seeded(&mut self, prob: &Problem, x0: &[f64]) -> Result<Solution> {
+        self.solve_inner(prob, Some(x0), false)
+    }
+
+    fn solve_inner(
+        &mut self,
+        prob: &Problem,
+        x0: Option<&[f64]>,
+        estimate_t: bool,
+    ) -> Result<Solution> {
         prob.validate()?;
         let n = prob.num_vars();
 
@@ -170,57 +313,100 @@ impl BarrierSolver {
         let dense = project_problem(prob, &x_p, f_basis.as_ref());
         let nz = dense.n;
 
-        // Initial z: user warm start (projected) or zero.
-        let mut z0 = vec![0.0; nz];
-        if let Some(x0) = x0 {
-            if x0.len() == n {
-                z0 = match &f_basis {
-                    Some(f) => {
-                        // z = Fᵀ(x0 − x_p); F has orthonormal columns.
-                        f.matvec_t(&vecops::sub(x0, &x_p))
-                    }
-                    None => x0.to_vec(),
-                };
-            }
-        }
-
         let mut outer_total = 0;
         let mut newton_total = 0;
 
-        // Phase I if needed.
-        if dense.num_ineq() > 0 && dense.max_violation(&z0) >= -self.opts.phase1_margin {
-            match self.phase1(&dense, &z0)? {
-                Some((z_feas, o, nsteps)) => {
-                    z0 = z_feas;
-                    outer_total += o;
-                    newton_total += nsteps;
+        // Projected warm start, when one was supplied with the right size.
+        let warm_z0: Option<Vec<f64>> = x0.filter(|v| v.len() == n).map(|x0| match &f_basis {
+            // z = Fᵀ(x0 − x_p); F has orthonormal columns.
+            Some(f) => f.matvec_t(&vecops::sub(x0, &x_p)),
+            None => x0.to_vec(),
+        });
+
+        // Warm fast path: a strictly interior supplied point enters phase II
+        // directly — the log barrier only needs positive slacks, and a
+        // neighbouring optimum's active constraints carry slacks far below
+        // `phase1_margin` (they shrink like the reciprocal of the final
+        // barrier parameter) — at the barrier parameter that best matches
+        // the point (Boyd & Vandenberghe §11.3.1, t₀ = argmin‖t∇f₀ + ∇φ‖;
+        // starting a near-optimal point at t₀ = 1 would drag it back toward
+        // the analytic center and waste the whole warm start). If the
+        // centering stalls — the supplied point fit a *different* problem —
+        // fall through to the cold path rather than certify a stale point.
+        let mut phase1_seed: Option<Vec<f64>> = None;
+        if let Some(z0) = warm_z0 {
+            if dense.num_ineq() > 0 && dense.max_violation(&z0) < 0.0 {
+                if estimate_t {
+                    // The attempt gets a small Newton budget: a genuine
+                    // warm start (neighbouring optimum, matching barrier
+                    // parameter) re-centers in a handful of steps, while a
+                    // mismatched one stalls against the boundary — detect
+                    // that cheaply and fall back instead of grinding.
+                    let t_start = self.estimate_warm_t0(&dense, &z0);
+                    let run =
+                        self.run_barrier_budgeted(&dense, z0.clone(), t_start, WARM_TRY_BUDGET)?;
+                    outer_total += run.outer;
+                    newton_total += run.newton;
+                    if run.centered {
+                        return Ok(assemble_solution(
+                            prob,
+                            &x_p,
+                            f_basis.as_ref(),
+                            run,
+                            outer_total,
+                            newton_total,
+                        ));
+                    }
+                    // Stalled: the point hugs a corner where phase II at
+                    // t₀ would crawl for hundreds of steps. Hand it to the
+                    // cold path below — its margin rule sends slack-< margin
+                    // points through phase I, which re-centers them off the
+                    // boundary far more cheaply than barrier descent can.
+                    phase1_seed = Some(z0);
+                } else {
+                    // Seed mode: phase II from the point at the configured
+                    // t₀ (seeds are interior by construction).
+                    let run = self.run_barrier_from(&dense, z0, self.opts.t0, None)?;
+                    outer_total += run.outer;
+                    newton_total += run.newton;
+                    return Ok(assemble_solution(
+                        prob,
+                        &x_p,
+                        f_basis.as_ref(),
+                        run,
+                        outer_total,
+                        newton_total,
+                    ));
                 }
-                None => return Ok(Solution::infeasible(outer_total, newton_total)),
+            } else {
+                // Infeasible for the new problem: still a better phase-I
+                // seed than the origin.
+                phase1_seed = Some(z0);
             }
         }
 
-        // Phase II.
-        let run = self.run_barrier(&dense, z0, None)?;
+        // Cold path (and the fallback for a stalled warm run).
+        let mut z0 = phase1_seed.unwrap_or_else(|| vec![0.0; nz]);
+        if dense.num_ineq() > 0 && dense.max_violation(&z0) >= -self.opts.phase1_margin {
+            let (feasible, o, nsteps) = self.phase1(&dense, &z0)?;
+            outer_total += o;
+            newton_total += nsteps;
+            match feasible {
+                Some(z_feas) => z0 = z_feas,
+                None => return Ok(Solution::infeasible(outer_total, newton_total)),
+            }
+        }
+        let run = self.run_barrier_from(&dense, z0, self.opts.t0, None)?;
         outer_total += run.outer;
         newton_total += run.newton;
-
-        let x = match &f_basis {
-            Some(f) => vecops::add(&x_p, &f.matvec(&run.x)),
-            None => run.x.clone(),
-        };
-        let objective = prob.objective_value(&x);
-        Ok(Solution {
-            status: if run.converged {
-                SolveStatus::Optimal
-            } else {
-                SolveStatus::MaxIterations
-            },
-            x,
-            objective,
-            outer_iterations: outer_total,
-            newton_steps: newton_total,
-            gap_bound: run.gap,
-        })
+        Ok(assemble_solution(
+            prob,
+            &x_p,
+            f_basis.as_ref(),
+            run,
+            outer_total,
+            newton_total,
+        ))
     }
 
     /// Runs phase I only: returns a strictly feasible point for the
@@ -232,7 +418,7 @@ impl BarrierSolver {
     /// # Errors
     ///
     /// Same conditions as [`BarrierSolver::solve`].
-    pub fn find_feasible(&self, prob: &Problem) -> Result<Option<Vec<f64>>> {
+    pub fn find_feasible(&mut self, prob: &Problem) -> Result<Option<Vec<f64>>> {
         prob.validate()?;
         let (x_p, f_basis) = reduce_equalities(prob)?;
         let dense = project_problem(prob, &x_p, f_basis.as_ref());
@@ -245,20 +431,55 @@ impl BarrierSolver {
             return Ok(Some(x));
         }
         match self.phase1(&dense, &z0)? {
-            Some((z, _, _)) => {
+            (Some(z), _, _) => {
                 let x = match &f_basis {
                     Some(f) => vecops::add(&x_p, &f.matvec(&z)),
                     None => z,
                 };
                 Ok(Some(x))
             }
-            None => Ok(None),
+            (None, _, _) => Ok(None),
+        }
+    }
+
+    /// The warm-start barrier parameter `t₀ = −⟨∇f₀, ∇φ⟩ / ‖∇f₀‖²` at a
+    /// strictly feasible `x`: the `t` whose centering condition
+    /// `t∇f₀ + ∇φ = 0` the supplied point comes closest to satisfying. At a
+    /// near-optimal warm start this recovers the `t` of the neighbouring
+    /// solve's final centering, so phase II resumes where it left off
+    /// instead of re-climbing the central path from `t₀`.
+    fn estimate_warm_t0(&mut self, dense: &Dense, x: &[f64]) -> f64 {
+        let s = self.scratch.for_dim(dense.n);
+        // s.grad = ∇φ (pure barrier gradient, no Hessian assembly).
+        dense.barrier_gradient_into(x, s);
+        // s.bs = ∇f₀.
+        if let Some(p) = &dense.p0 {
+            p.matvec_into(x, &mut s.bs);
+            vecops::axpy(1.0, &dense.q0, &mut s.bs);
+        } else {
+            s.bs.copy_from_slice(&dense.q0);
+        }
+        let gg = vecops::dot(&s.bs, &s.bs);
+        if !gg.is_finite() || gg <= 1e-300 {
+            return self.opts.t0;
+        }
+        let t = -vecops::dot(&s.bs, &s.grad) / gg;
+        if t.is_finite() {
+            // The upper clamp bound must not fall below t0 (clamp panics on
+            // an inverted range, and validate() allows arbitrarily large t0).
+            t.clamp(self.opts.t0, self.opts.t0.max(1e12))
+        } else {
+            self.opts.t0
         }
     }
 
     /// Phase I: minimize s subject to fᵢ(z) ≤ s. Returns a strictly feasible
     /// z, or `None` when the problem is infeasible.
-    fn phase1(&self, dense: &Dense, z0: &[f64]) -> Result<Option<(Vec<f64>, usize, usize)>> {
+    /// Returns `(strictly feasible z or None, outer iterations, Newton
+    /// steps)` — the counts cover the failed case too, where the
+    /// infeasibility certificate is often the most expensive solve in a
+    /// sweep.
+    fn phase1(&mut self, dense: &Dense, z0: &[f64]) -> Result<(Option<Vec<f64>>, usize, usize)> {
         let nz = dense.n;
         let n_aug = nz + 1;
         let mut aug = Dense {
@@ -301,47 +522,75 @@ impl BarrierSolver {
         // solver wastes centerings crawling back down.
         let t0 = (aug.num_ineq() as f64 / (s0.abs() + 1.0)).max(self.opts.t0);
         let margin = self.opts.phase1_margin;
-        let run =
-            self.run_barrier_from(&aug, start, t0, Some(&|pt: &[f64]| pt[nz] < -margin))?;
+        // Feasibility is decided by `s* < -margin`, so phase I must drive
+        // its duality gap below the margin — a frontier point with
+        // `s* ∈ (-tol, -margin)` would otherwise be misreported as
+        // infeasible when the loose sweep tolerance stops the climb early.
+        // The early exit fires the moment any iterate certifies
+        // feasibility, so the tighter gap only costs outers on (near-)
+        // infeasible cells.
+        let saved_opts = self.opts;
+        self.opts.tol = self.opts.tol.min(margin.max(1e-12));
+        let run = self.run_barrier_from(&aug, start, t0, Some(&|pt: &[f64]| pt[nz] < -margin));
+        self.opts = saved_opts;
+        let run = run?;
         if run.x[nz] < -margin {
             let z = run.x[..nz].to_vec();
-            Ok(Some((z, run.outer, run.newton)))
+            Ok((Some(z), run.outer, run.newton))
         } else {
-            Ok(None)
+            Ok((None, run.outer, run.newton))
         }
     }
 
-    /// The central-path loop with damped Newton centering.
-    fn run_barrier(
-        &self,
-        dense: &Dense,
-        x0: Vec<f64>,
-        early_exit: Option<&dyn Fn(&[f64]) -> bool>,
-    ) -> Result<BarrierRun> {
-        self.run_barrier_from(dense, x0, self.opts.t0, early_exit)
-    }
-
-    /// As [`Self::run_barrier`] but with an explicit initial barrier
-    /// parameter (phase I chooses a larger one).
+    /// The central-path loop with damped Newton centering, starting at
+    /// barrier parameter `t0` (phase I chooses a larger one).
+    ///
+    /// All per-iteration temporaries live in the solver's scratch slot for
+    /// `dense.n`; the loop allocates nothing after that slot has grown.
     fn run_barrier_from(
-        &self,
+        &mut self,
         dense: &Dense,
         x0: Vec<f64>,
         t0: f64,
-        early_exit: Option<&dyn Fn(&[f64]) -> bool>,
+        early_exit: Option<EarlyExit<'_>>,
     ) -> Result<BarrierRun> {
-        let o = &self.opts;
+        self.run_barrier_impl(dense, x0, t0, early_exit, usize::MAX)
+    }
+
+    /// As [`Self::run_barrier_from`], but gives up (uncentered, not
+    /// converged) once `newton_budget` Newton steps are spent. Used for the
+    /// speculative warm-start attempt.
+    fn run_barrier_budgeted(
+        &mut self,
+        dense: &Dense,
+        x0: Vec<f64>,
+        t0: f64,
+        newton_budget: usize,
+    ) -> Result<BarrierRun> {
+        self.run_barrier_impl(dense, x0, t0, None, newton_budget)
+    }
+
+    fn run_barrier_impl(
+        &mut self,
+        dense: &Dense,
+        x0: Vec<f64>,
+        t0: f64,
+        early_exit: Option<EarlyExit<'_>>,
+        newton_budget: usize,
+    ) -> Result<BarrierRun> {
+        let o = self.opts;
+        let s = self.scratch.for_dim(dense.n);
         let m = dense.num_ineq() as f64;
         let mut x = x0;
         let mut newton_total = 0;
 
         // Unconstrained case: a single Newton solve on the objective.
         if dense.num_ineq() == 0 {
-            let (grad, hess) = dense.grad_hess(1.0, &x);
+            dense.grad_hess_into(1.0, &x, s);
             if dense.p0.is_none() {
                 // Pure linear objective with no constraints is unbounded
                 // unless the gradient is zero.
-                if vecops::norm_inf(&grad) > 1e-12 {
+                if vecops::norm_inf(&s.grad) > 1e-12 {
                     return Err(CvxError::NumericalTrouble {
                         phase: "unconstrained solve (unbounded objective)",
                     });
@@ -352,16 +601,18 @@ impl BarrierSolver {
                     newton: 0,
                     gap: 0.0,
                     converged: true,
+                    centered: true,
                 });
             }
-            let dx = solve_spd(&hess, &vecops::scale(&grad, -1.0))?;
-            vecops::axpy(1.0, &dx, &mut x);
+            solve_spd_in_place(s)?;
+            vecops::axpy(1.0, &s.dx, &mut x);
             return Ok(BarrierRun {
                 x,
                 outer: 1,
                 newton: 1,
                 gap: 0.0,
                 converged: true,
+                centered: true,
             });
         }
 
@@ -373,28 +624,35 @@ impl BarrierSolver {
         let mut t = t0;
         let mut outer = 0;
         loop {
-            // Centering at parameter t.
+            // Centering at parameter t; `centered` records whether it ended
+            // by Newton-decrement convergence (vs a line-search stall).
+            let mut centered = false;
             for _ in 0..o.max_newton {
-                let (grad, hess) = dense.grad_hess(t, &x);
-                let dx = solve_spd(&hess, &vecops::scale(&grad, -1.0))?;
-                let lambda2 = -vecops::dot(&grad, &dx);
+                dense.grad_hess_into(t, &x, s);
+                solve_spd_in_place(s)?;
+                let lambda2 = -vecops::dot(&s.grad, &s.dx);
                 if !lambda2.is_finite() {
                     return Err(CvxError::NumericalTrouble { phase: "newton" });
                 }
                 if lambda2 / 2.0 <= o.tol_inner {
+                    centered = true;
                     break;
                 }
-                // Backtracking line search on the barrier function.
+                // Backtracking line search on the barrier function, entered
+                // at the fraction-to-boundary step so near-boundary starts
+                // get real candidates instead of infeasible ones.
                 let psi0 = dense
                     .barrier_value(t, &x)
-                    .ok_or(CvxError::NumericalTrouble { phase: "line search" })?;
-                let mut alpha = 1.0;
+                    .ok_or(CvxError::NumericalTrouble {
+                        phase: "line search",
+                    })?;
+                let mut alpha = dense.max_step(&x, &s.dx, &mut s.qgrad);
                 let mut accepted = false;
                 while alpha > 1e-14 {
-                    let cand = vecops::add(&x, &vecops::scale(&dx, alpha));
-                    if let Some(psi) = dense.barrier_value(t, &cand) {
+                    vecops::add_scaled_into(&x, alpha, &s.dx, &mut s.cand);
+                    if let Some(psi) = dense.barrier_value(t, &s.cand) {
                         if psi <= psi0 - o.armijo * alpha * lambda2 {
-                            x = cand;
+                            std::mem::swap(&mut x, &mut s.cand);
                             accepted = true;
                             break;
                         }
@@ -402,14 +660,24 @@ impl BarrierSolver {
                     alpha *= o.beta;
                 }
                 newton_total += 1;
-                if std::env::var_os("PROTEMP_CVX_DEBUG").is_some() && newton_total % 16 == 0 {
+                if newton_total >= newton_budget {
+                    return Ok(BarrierRun {
+                        x,
+                        outer,
+                        newton: newton_total,
+                        gap: m / t,
+                        converged: false,
+                        centered: false,
+                    });
+                }
+                if debug_enabled() && newton_total % 16 == 0 {
                     eprintln!(
                         "[newton {newton_total}] t={t:.1e} lambda2={lambda2:.3e} alpha={:.3e} accepted={accepted}",
                         alpha
                     );
                 }
                 if !accepted {
-                    // No descent possible: numerically centered already.
+                    // Line search stalled: no certified center at this t.
                     break;
                 }
                 if let Some(exit) = early_exit {
@@ -420,14 +688,15 @@ impl BarrierSolver {
                             newton: newton_total,
                             gap: m / t,
                             converged: true,
+                            centered: true,
                         });
                     }
                 }
             }
             outer += 1;
-            if std::env::var_os("PROTEMP_CVX_DEBUG").is_some() {
+            if debug_enabled() {
                 eprintln!(
-                    "[barrier] outer {outer}: t={t:.3e} newton_total={newton_total} x_last={:.6e} obj={:.6e}",
+                    "[barrier] outer {outer}: t={t:.3e} newton_total={newton_total} centered={centered} x_last={:.6e} obj={:.6e}",
                     x.last().copied().unwrap_or(f64::NAN),
                     dense.objective(&x)
                 );
@@ -440,6 +709,7 @@ impl BarrierSolver {
                         newton: newton_total,
                         gap: m / t,
                         converged: true,
+                        centered: true,
                     });
                 }
             }
@@ -450,6 +720,7 @@ impl BarrierSolver {
                     newton: newton_total,
                     gap: m / t,
                     converged: true,
+                    centered,
                 });
             }
             if outer >= o.max_outer {
@@ -459,6 +730,7 @@ impl BarrierSolver {
                     newton: newton_total,
                     gap: m / t,
                     converged: false,
+                    centered,
                 });
             }
             t *= o.mu;
@@ -466,33 +738,73 @@ impl BarrierSolver {
     }
 }
 
-/// Solves the SPD system `H d = b`.
+/// Maps a reduced-space barrier run back to the original variables and
+/// wraps it as a [`Solution`].
+fn assemble_solution(
+    prob: &Problem,
+    x_p: &[f64],
+    f_basis: Option<&Matrix>,
+    run: BarrierRun,
+    outer_total: usize,
+    newton_total: usize,
+) -> Solution {
+    let x = match f_basis {
+        Some(f) => vecops::add(x_p, &f.matvec(&run.x)),
+        None => run.x,
+    };
+    let objective = prob.objective_value(&x);
+    Solution {
+        status: if run.converged {
+            SolveStatus::Optimal
+        } else {
+            SolveStatus::MaxIterations
+        },
+        x,
+        objective,
+        outer_iterations: outer_total,
+        newton_steps: newton_total,
+        gap_bound: run.gap,
+    }
+}
+
+/// Solves the Newton system `H dx = −grad` entirely inside the scratch
+/// buffers: reads `s.grad`/`s.hess`, writes `s.dx`; `s.jacobi`, `s.hs`,
+/// `s.bs` and `s.chol` are clobbered. Allocation-free.
 ///
 /// Barrier Hessians mix enormous curvatures (active constraints with tiny
 /// slacks contribute `1/s²` terms) with nearly flat directions, so the raw
 /// system can span 15+ orders of magnitude. Jacobi scaling `D H D` (unit
 /// diagonal) restores a workable condition number; an escalating ridge on
 /// the scaled system covers the remaining degenerate cases.
-fn solve_spd(h: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
-    let n = h.rows();
-    let d: Vec<f64> = (0..n)
-        .map(|i| {
-            let v = h[(i, i)];
-            if v > 0.0 && v.is_finite() {
-                1.0 / v.sqrt()
-            } else {
-                1.0
-            }
-        })
-        .collect();
-    let hs = Matrix::from_fn(n, n, |r, c| h[(r, c)] * d[r] * d[c]);
-    let bs: Vec<f64> = b.iter().zip(&d).map(|(x, di)| x * di).collect();
+fn solve_spd_in_place(s: &mut DimScratch) -> Result<()> {
+    for (i, d) in s.jacobi.iter_mut().enumerate() {
+        let v = s.hess[(i, i)];
+        *d = if v > 0.0 && v.is_finite() {
+            1.0 / v.sqrt()
+        } else {
+            1.0
+        };
+    }
+    for (r, &dr) in s.jacobi.iter().enumerate() {
+        let src = s.hess.row(r);
+        let dst = s.hs.row_mut(r);
+        for ((h, &a), &dc) in dst.iter_mut().zip(src).zip(&s.jacobi) {
+            *h = a * dr * dc;
+        }
+    }
+    for ((b, &g), &d) in s.bs.iter_mut().zip(&s.grad).zip(&s.jacobi) {
+        *b = -g * d;
+    }
     let mut ridge = 0.0;
     for _ in 0..10 {
-        match Cholesky::factor_regularized(&hs, ridge) {
-            Ok(ch) => {
-                let y = ch.solve(&bs);
-                return Ok(y.iter().zip(&d).map(|(yi, di)| yi * di).collect());
+        match s.chol.factor_in_place(&s.hs, ridge) {
+            Ok(()) => {
+                s.dx.copy_from_slice(&s.bs);
+                s.chol.solve_in_place(&mut s.dx);
+                for (dxi, &d) in s.dx.iter_mut().zip(&s.jacobi) {
+                    *dxi *= d;
+                }
+                return Ok(());
             }
             Err(_) => {
                 ridge = if ridge == 0.0 { 1e-12 } else { ridge * 100.0 };
@@ -594,9 +906,7 @@ fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
                     let p_z = f.transpose().matmul(&pf).expect("shape");
                     let px = qc.p.matvec(x_p);
                     let q_z = f.matvec_t(&vecops::add(&px, &qc.q));
-                    let r_z = qc.r
-                        - 0.5 * vecops::dot(&px, x_p)
-                        - vecops::dot(&qc.q, x_p);
+                    let r_z = qc.r - 0.5 * vecops::dot(&px, x_p) - vecops::dot(&qc.q, x_p);
                     QuadConstraint {
                         p: p_z,
                         q: q_z,
@@ -621,13 +931,14 @@ mod tests {
     use super::*;
 
     fn solve(p: &Problem) -> Solution {
-        BarrierSolver::new(SolverOptions::default()).solve(p).unwrap()
+        BarrierSolver::new(SolverOptions::default())
+            .solve(p)
+            .unwrap()
     }
 
     #[test]
     fn simple_lp() {
-        // minimize -x-2y s.t. x+y<=4, x<=2, x,y>=0. Optimum at (2,2): -6... wait
-        // x<=2, y free up to x+y<=4 → (2, 2) gives -2-4=-6? -x-2y=-2-4=-6. But (0,4): -8.
+        // minimize -x-2y s.t. x+y<=4, x<=2, x,y>=0. Optimum at (0,4): -8.
         let mut p = Problem::new(2);
         p.set_linear_objective(vec![-1.0, -2.0]);
         p.add_linear_le(vec![1.0, 1.0], 4.0);
@@ -709,9 +1020,49 @@ mod tests {
         let mut p = Problem::new(1);
         p.set_linear_objective(vec![1.0]);
         p.add_box(0, 0.0, 10.0);
-        let solver = BarrierSolver::new(SolverOptions::default());
+        let mut solver = BarrierSolver::new(SolverOptions::default());
         let s = solver.solve_with_start(&p, Some(&[5.0])).unwrap();
         assert!(s.x[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_and_skips_phase1() {
+        // A QP whose phase II alone must reproduce the cold optimum when
+        // started from a strictly feasible interior point.
+        let mut p = Problem::new(2);
+        p.set_quadratic_objective(Matrix::from_diag(&[2.0, 2.0]), vec![-2.0, -6.0]);
+        p.add_linear_le(vec![1.0, 1.0], 2.0);
+        p.add_linear_le(vec![-1.0, 2.0], 2.0);
+        p.add_linear_le(vec![2.0, 1.0], 3.0);
+        let mut solver = BarrierSolver::new(SolverOptions::default());
+        let cold = solver.solve(&p).unwrap();
+        let warm = solver.solve_warm(&p, &cold.x).unwrap();
+        assert!(warm.status.is_optimal());
+        assert!((warm.x[0] - cold.x[0]).abs() < 1e-4);
+        assert!((warm.x[1] - cold.x[1]).abs() < 1e-4);
+        assert!(
+            warm.newton_steps < cold.newton_steps,
+            "warm start must shorten the Newton path ({} vs {})",
+            warm.newton_steps,
+            cold.newton_steps
+        );
+    }
+
+    #[test]
+    fn scratch_persists_across_solves() {
+        let mut p = Problem::new(2);
+        p.set_quadratic_objective(Matrix::from_diag(&[2.0, 2.0]), vec![-4.0, -4.0]);
+        p.add_linear_le(vec![1.0, 1.0], 2.0);
+        let mut solver = BarrierSolver::new(SolverOptions::default());
+        let _ = solver.solve(&p).unwrap();
+        let dims_after_first = solver.scratch().cached_dims();
+        assert!(dims_after_first >= 1);
+        let _ = solver.solve(&p).unwrap();
+        assert_eq!(
+            solver.scratch().cached_dims(),
+            dims_after_first,
+            "repeat solves of one shape must not grow the scratch"
+        );
     }
 
     #[test]

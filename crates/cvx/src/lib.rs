@@ -17,6 +17,12 @@
 //! * [`Model`] — a small modeling layer (variables, affine expressions,
 //!   `≤`/`≥`/`=` constraints) that compiles to a [`Problem`], standing in
 //!   for the disciplined-convex-programming front end of CVX.
+//! * [`SolverScratch`] — the reusable Newton-loop buffers a solver carries
+//!   across solves, keyed by problem dimension: reusing one
+//!   [`BarrierSolver`] across a sweep of same-shaped problems performs no
+//!   per-iteration heap allocation after the first solve, and
+//!   [`BarrierSolver::solve_warm`] re-enters phase II directly from a
+//!   neighbouring optimum.
 //! * [`solve_lp`] / [`solve_qp`] — one-call convenience wrappers.
 //!
 //! # Example
@@ -47,6 +53,7 @@ mod expr;
 mod model;
 mod options;
 mod problem;
+mod scratch;
 mod status;
 mod wrappers;
 
@@ -56,6 +63,7 @@ pub use expr::{Expr, Var};
 pub use model::{Model, ModelSolution};
 pub use options::SolverOptions;
 pub use problem::{Problem, QuadConstraint};
+pub use scratch::SolverScratch;
 pub use status::{Solution, SolveStatus};
 pub use wrappers::{solve_lp, solve_qp};
 

@@ -93,7 +93,9 @@ impl Model {
 
     /// Adds `count` variables named `prefix0..`.
     pub fn add_vars(&mut self, prefix: &str, count: usize) -> Vec<Var> {
-        (0..count).map(|i| self.add_var(format!("{prefix}{i}"))).collect()
+        (0..count)
+            .map(|i| self.add_var(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Number of variables.

@@ -20,17 +20,35 @@ pub struct QuadConstraint {
 
 impl QuadConstraint {
     /// Constraint value `½ xᵀP x + qᵀx − r` (feasible when ≤ 0).
+    ///
+    /// Accumulates `xᵀPx` row by row, so the evaluation is allocation-free —
+    /// this runs inside every barrier line-search step.
     pub fn eval(&self, x: &[f64]) -> f64 {
-        let px = self.p.matvec(x);
-        0.5 * protemp_linalg::vecops::dot(&px, x) + protemp_linalg::vecops::dot(&self.q, x)
-            - self.r
+        let mut quad = 0.0;
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            quad += xr * protemp_linalg::vecops::dot(self.p.row(r), x);
+        }
+        0.5 * quad + protemp_linalg::vecops::dot(&self.q, x) - self.r
     }
 
     /// Gradient `P x + q`.
     pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
-        let mut g = self.p.matvec(x);
-        protemp_linalg::vecops::axpy(1.0, &self.q, &mut g);
+        let mut g = vec![0.0; self.q.len()];
+        self.gradient_into(x, &mut g);
         g
+    }
+
+    /// Gradient `P x + q` written into `g` (allocation-free variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths are inconsistent.
+    pub fn gradient_into(&self, x: &[f64], g: &mut [f64]) {
+        self.p.matvec_into(x, g);
+        protemp_linalg::vecops::axpy(1.0, &self.q, g);
     }
 }
 
@@ -249,8 +267,7 @@ impl Problem {
     ///
     /// Returns [`CvxError::NotFinite`] if any coefficient is NaN/∞.
     pub fn validate(&self) -> Result<()> {
-        let finite_slice =
-            |s: &[f64]| -> bool { s.iter().all(|v| v.is_finite()) };
+        let finite_slice = |s: &[f64]| -> bool { s.iter().all(|v| v.is_finite()) };
         if !finite_slice(&self.q0)
             || !finite_slice(&self.lin_rhs)
             || !finite_slice(&self.eq_rhs)
@@ -279,7 +296,19 @@ impl Problem {
     /// An *infeasible* problem is not an error: it is reported through
     /// [`crate::SolveStatus::Infeasible`].
     pub fn solve(&self, opts: &crate::SolverOptions) -> Result<crate::Solution> {
-        crate::BarrierSolver::new(opts.clone()).solve(self)
+        crate::BarrierSolver::new(*opts).solve(self)
+    }
+
+    /// Solves warm-started from `x0` (see
+    /// [`crate::BarrierSolver::solve_warm`]). For repeated warm solves,
+    /// hold a [`crate::BarrierSolver`] instead so its scratch buffers are
+    /// reused too.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_warm(&self, opts: &crate::SolverOptions, x0: &[f64]) -> Result<crate::Solution> {
+        crate::BarrierSolver::new(*opts).solve_warm(self, x0)
     }
 }
 

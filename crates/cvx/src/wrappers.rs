@@ -31,8 +31,8 @@ pub fn solve_lp(c: &[f64], g: &Matrix, h: &[f64], opts: &SolverOptions) -> Resul
     assert_eq!(g.rows(), h.len(), "G row count must match h");
     let mut p = Problem::new(n);
     p.set_linear_objective(c.to_vec());
-    for r in 0..g.rows() {
-        p.add_linear_le(g.row(r).to_vec(), h[r]);
+    for (r, &rhs) in h.iter().enumerate() {
+        p.add_linear_le(g.row(r).to_vec(), rhs);
     }
     p.solve(opts)
 }
@@ -74,8 +74,8 @@ pub fn solve_qp(
     assert_eq!(g.rows(), h.len(), "G row count must match h");
     let mut prob = Problem::new(n);
     prob.set_quadratic_objective(p.clone(), q.to_vec());
-    for r in 0..g.rows() {
-        prob.add_linear_le(g.row(r).to_vec(), h[r]);
+    for (r, &rhs) in h.iter().enumerate() {
+        prob.add_linear_le(g.row(r).to_vec(), rhs);
     }
     prob.solve(opts)
 }
@@ -87,12 +87,7 @@ mod tests {
     #[test]
     fn lp_box() {
         // minimize x + y over the box [1,2]².
-        let g = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[-1.0, 0.0],
-            &[0.0, 1.0],
-            &[0.0, -1.0],
-        ]);
+        let g = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]);
         let h = [2.0, -1.0, 2.0, -1.0];
         let s = solve_lp(&[1.0, 1.0], &g, &h, &SolverOptions::default()).unwrap();
         assert!((s.objective - 2.0).abs() < 1e-4);

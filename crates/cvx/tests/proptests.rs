@@ -129,7 +129,7 @@ fn protemp_shape_miniature() {
     for i in 0..n {
         p.add_box(i, 0.0, 1.0); // f ∈ [0, 1]
         p.add_box(n + i, 0.0, 4.0); // p ∈ [0, 4]
-        // 4 f_i² ≤ p_i.
+                                    // 4 f_i² ≤ p_i.
         let mut diag = vec![0.0; 2 * n];
         diag[i] = 8.0;
         let mut lin = vec![0.0; 2 * n];
@@ -142,7 +142,9 @@ fn protemp_shape_miniature() {
         *ri = -1.0;
     }
     p.add_linear_le(row, -(n as f64) * 0.6);
-    let s = BarrierSolver::new(SolverOptions::default()).solve(&p).unwrap();
+    let s = BarrierSolver::new(SolverOptions::default())
+        .solve(&p)
+        .unwrap();
     assert!(s.status.is_optimal());
     // By symmetry+convexity every core runs at exactly 0.6, p = 4·0.36.
     for i in 0..n {

@@ -75,9 +75,21 @@ mod tests {
     fn strip_plan() -> Floorplan {
         // Three blocks in a row: A | B | C.
         let mut fp = Floorplan::new(3.0, 1.0);
-        fp.push(Block::new("A", BlockKind::Core, Rect::new(0.0, 0.0, 1.0, 1.0)));
-        fp.push(Block::new("B", BlockKind::Core, Rect::new(1.0, 0.0, 1.0, 1.0)));
-        fp.push(Block::new("C", BlockKind::Core, Rect::new(2.0, 0.0, 1.0, 1.0)));
+        fp.push(Block::new(
+            "A",
+            BlockKind::Core,
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+        ));
+        fp.push(Block::new(
+            "B",
+            BlockKind::Core,
+            Rect::new(1.0, 0.0, 1.0, 1.0),
+        ));
+        fp.push(Block::new(
+            "C",
+            BlockKind::Core,
+            Rect::new(2.0, 0.0, 1.0, 1.0),
+        ));
         fp
     }
 
@@ -104,8 +116,16 @@ mod tests {
     #[test]
     fn corner_contact_not_adjacent() {
         let mut fp = Floorplan::new(2.0, 2.0);
-        fp.push(Block::new("A", BlockKind::Core, Rect::new(0.0, 0.0, 1.0, 1.0)));
-        fp.push(Block::new("B", BlockKind::Core, Rect::new(1.0, 1.0, 1.0, 1.0)));
+        fp.push(Block::new(
+            "A",
+            BlockKind::Core,
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+        ));
+        fp.push(Block::new(
+            "B",
+            BlockKind::Core,
+            Rect::new(1.0, 1.0, 1.0, 1.0),
+        ));
         assert!(adjacencies(&fp).is_empty());
     }
 }

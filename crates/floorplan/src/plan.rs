@@ -33,8 +33,14 @@ impl Floorplan {
     ///
     /// Panics if the dimensions are not strictly positive and finite.
     pub fn new(die_w: f64, die_h: f64) -> Self {
-        assert!(die_w > 0.0 && die_w.is_finite(), "die width must be positive");
-        assert!(die_h > 0.0 && die_h.is_finite(), "die height must be positive");
+        assert!(
+            die_w > 0.0 && die_w.is_finite(),
+            "die width must be positive"
+        );
+        assert!(
+            die_h > 0.0 && die_h.is_finite(),
+            "die height must be positive"
+        );
         Floorplan {
             die_w,
             die_h,
@@ -240,8 +246,16 @@ mod tests {
 
     fn two_block_plan() -> Floorplan {
         let mut fp = Floorplan::new(4.0, 2.0);
-        fp.push(Block::new("P1", BlockKind::Core, Rect::new(0.0, 0.0, 2.0, 2.0)));
-        fp.push(Block::new("L2", BlockKind::L2Cache, Rect::new(2.0, 0.0, 2.0, 2.0)));
+        fp.push(Block::new(
+            "P1",
+            BlockKind::Core,
+            Rect::new(0.0, 0.0, 2.0, 2.0),
+        ));
+        fp.push(Block::new(
+            "L2",
+            BlockKind::L2Cache,
+            Rect::new(2.0, 0.0, 2.0, 2.0),
+        ));
         fp
     }
 
@@ -257,7 +271,11 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut fp = two_block_plan();
-        fp.push(Block::new("P1", BlockKind::Other, Rect::new(0.0, 0.0, 1.0, 1.0)));
+        fp.push(Block::new(
+            "P1",
+            BlockKind::Other,
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+        ));
         assert!(matches!(
             fp.validate(),
             Err(FloorplanError::DuplicateName { .. })
@@ -267,15 +285,27 @@ mod tests {
     #[test]
     fn overlap_rejected() {
         let mut fp = Floorplan::new(4.0, 2.0);
-        fp.push(Block::new("A", BlockKind::Core, Rect::new(0.0, 0.0, 2.0, 2.0)));
-        fp.push(Block::new("B", BlockKind::Core, Rect::new(1.0, 0.0, 2.0, 2.0)));
+        fp.push(Block::new(
+            "A",
+            BlockKind::Core,
+            Rect::new(0.0, 0.0, 2.0, 2.0),
+        ));
+        fp.push(Block::new(
+            "B",
+            BlockKind::Core,
+            Rect::new(1.0, 0.0, 2.0, 2.0),
+        ));
         assert!(matches!(fp.validate(), Err(FloorplanError::Overlap { .. })));
     }
 
     #[test]
     fn out_of_bounds_rejected() {
         let mut fp = Floorplan::new(2.0, 2.0);
-        fp.push(Block::new("A", BlockKind::Core, Rect::new(1.0, 0.0, 2.0, 2.0)));
+        fp.push(Block::new(
+            "A",
+            BlockKind::Core,
+            Rect::new(1.0, 0.0, 2.0, 2.0),
+        ));
         assert!(matches!(
             fp.validate(),
             Err(FloorplanError::OutOfBounds { .. })
@@ -285,7 +315,11 @@ mod tests {
     #[test]
     fn core_required() {
         let mut fp = Floorplan::new(2.0, 2.0);
-        fp.push(Block::new("L2", BlockKind::L2Cache, Rect::new(0.0, 0.0, 2.0, 2.0)));
+        fp.push(Block::new(
+            "L2",
+            BlockKind::L2Cache,
+            Rect::new(0.0, 0.0, 2.0, 2.0),
+        ));
         assert!(matches!(
             fp.validate(),
             Err(FloorplanError::MissingKind { .. })

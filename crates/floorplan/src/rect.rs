@@ -77,8 +77,8 @@ impl Rect {
     /// Returns `0.0` if the rectangles only touch at a corner or are apart.
     pub fn shared_edge(&self, other: &Rect) -> f64 {
         // Vertical contact: my right edge on their left edge, or vice versa.
-        let x_touch = (self.x2() - other.x).abs() < GEOM_EPS
-            || (other.x2() - self.x).abs() < GEOM_EPS;
+        let x_touch =
+            (self.x2() - other.x).abs() < GEOM_EPS || (other.x2() - self.x).abs() < GEOM_EPS;
         if x_touch {
             let lo = self.y.max(other.y);
             let hi = self.y2().min(other.y2());
@@ -87,8 +87,8 @@ impl Rect {
             }
         }
         // Horizontal contact: my top edge on their bottom edge, or vice versa.
-        let y_touch = (self.y2() - other.y).abs() < GEOM_EPS
-            || (other.y2() - self.y).abs() < GEOM_EPS;
+        let y_touch =
+            (self.y2() - other.y).abs() < GEOM_EPS || (other.y2() - self.y).abs() < GEOM_EPS;
         if y_touch {
             let lo = self.x.max(other.x);
             let hi = self.x2().min(other.x2());

@@ -45,6 +45,31 @@ impl Cholesky {
     ///
     /// Same as [`Cholesky::factor`].
     pub fn factor_regularized(a: &Matrix, ridge: f64) -> Result<Self> {
+        let mut ch = Cholesky::zeroed(a.rows());
+        ch.factor_in_place(a, ridge)?;
+        Ok(ch)
+    }
+
+    /// An unfactored placeholder whose storage [`Cholesky::factor_in_place`]
+    /// reuses; it exists so callers can allocate the factor once and
+    /// refactor in a hot loop. Solving before a successful factor is a
+    /// programmer error: the zero diagonal produces non-finite values.
+    pub fn zeroed(n: usize) -> Self {
+        Cholesky {
+            l: Matrix::zeros(n, n),
+        }
+    }
+
+    /// Factors `a + ridge * I` into this factorization's existing storage.
+    ///
+    /// No allocation when `a` has the same dimension as the current
+    /// storage; otherwise the storage is resized once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cholesky::factor`]. On error the storage contents are
+    /// unspecified and the factorization must not be used for solves.
+    pub fn factor_in_place(&mut self, a: &Matrix, ridge: f64) -> Result<()> {
         if !a.is_square() {
             return Err(LinalgError::ShapeMismatch {
                 op: "cholesky",
@@ -56,7 +81,12 @@ impl Cholesky {
             return Err(LinalgError::NotFinite);
         }
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        if self.l.shape() != (n, n) {
+            self.l = Matrix::zeros(n, n);
+        } else {
+            self.l.as_mut_slice().fill(0.0);
+        }
+        let l = &mut self.l;
         for j in 0..n {
             // Diagonal entry.
             let mut d = a[(j, j)] + ridge;
@@ -77,7 +107,7 @@ impl Cholesky {
                 l[(i, j)] = s / dj;
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -96,24 +126,41 @@ impl Cholesky {
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        self.solve_in_place(&mut y);
+        y
+    }
+
+    /// Solves `A x = b` in place: on return `b` holds the solution.
+    ///
+    /// The substitutions need no temporaries, so this is the allocation-free
+    /// kernel behind every Newton step of the barrier solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    // Triangular substitution reads a prefix/suffix of `b` while writing
+    // b[i]; the indexed form is the clearest way to express that.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve_in_place(&self, b: &mut [f64]) {
         let n = self.dim();
         assert_eq!(b.len(), n, "cholesky solve dimension mismatch");
         // Forward substitution L y = b.
-        let mut y = b.to_vec();
         for i in 0..n {
+            let mut acc = b[i];
             for k in 0..i {
-                y[i] -= self.l[(i, k)] * y[k];
+                acc -= self.l[(i, k)] * b[k];
             }
-            y[i] /= self.l[(i, i)];
+            b[i] = acc / self.l[(i, i)];
         }
         // Back substitution Lᵀ x = y.
         for i in (0..n).rev() {
+            let mut acc = b[i];
             for k in (i + 1)..n {
-                y[i] -= self.l[(k, i)] * y[k];
+                acc -= self.l[(k, i)] * b[k];
             }
-            y[i] /= self.l[(i, i)];
+            b[i] = acc / self.l[(i, i)];
         }
-        y
     }
 
     /// Log-determinant of `A` (twice the log-determinant of `L`).
@@ -175,6 +222,29 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
         assert!(Cholesky::factor(&a).is_err());
         assert!(Cholesky::factor_regularized(&a, 1e-8).is_ok());
+    }
+
+    #[test]
+    fn in_place_refactor_matches_fresh_factor() {
+        let a = spd3();
+        let fresh = Cholesky::factor(&a).unwrap();
+        let mut reused = Cholesky::zeroed(3);
+        // Factor something else first, then refactor with `a`: the reused
+        // storage must end up identical to a fresh factorization.
+        reused.factor_in_place(&Matrix::identity(3), 0.0).unwrap();
+        reused.factor_in_place(&a, 0.0).unwrap();
+        assert_eq!(reused.l(), fresh.l());
+        let b = [1.0, -2.0, 3.0];
+        let mut x = b;
+        reused.solve_in_place(&mut x);
+        assert_eq!(x.to_vec(), fresh.solve(&b));
+    }
+
+    #[test]
+    fn in_place_factor_resizes_on_shape_change() {
+        let mut ch = Cholesky::zeroed(2);
+        ch.factor_in_place(&spd3(), 0.0).unwrap();
+        assert_eq!(ch.dim(), 3);
     }
 
     #[test]

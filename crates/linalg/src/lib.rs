@@ -13,10 +13,15 @@
 //! * [`eigen`] — power-iteration bounds (spectral radius, extremal symmetric
 //!   eigenvalues) used for integrator stability limits.
 //! * [`vecops`] — small vector helpers on `&[f64]`.
+//! * [`SolveWorkspace`] / [`StackReq`] — caller-provided scratch memory for
+//!   the `_in_place` kernel variants, sized up front from the problem
+//!   dimensions (the faer `*_req` idiom); hot loops factor and solve with
+//!   zero heap traffic after the first iteration.
 //!
 //! The matrices in this workspace are small (tens to a few hundred rows), so
 //! the implementations favour clarity and numerical robustness over blocked
-//! performance.
+//! performance. The allocation discipline, not the kernel blocking, is what
+//! the Phase-1 sweep's throughput depends on.
 //!
 //! # Example
 //!
@@ -39,6 +44,7 @@ mod expm;
 mod lu;
 mod matrix;
 mod qr;
+mod workspace;
 
 pub mod eigen;
 pub mod vecops;
@@ -49,6 +55,7 @@ pub use expm::expm;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use workspace::{SolveWorkspace, Stack, StackReq};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

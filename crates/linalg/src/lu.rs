@@ -1,4 +1,4 @@
-use crate::{LinalgError, Matrix, Result};
+use crate::{LinalgError, Matrix, Result, SolveWorkspace, StackReq};
 
 /// LU factorization with partial pivoting, `P A = L U`.
 ///
@@ -38,6 +38,32 @@ impl Lu {
     ///   relative to the matrix scale.
     /// * [`LinalgError::NotFinite`] if `a` has NaN or infinite entries.
     pub fn factor(a: &Matrix) -> Result<Self> {
+        let mut lu = Lu::zeroed(a.rows());
+        lu.factor_in_place(a)?;
+        Ok(lu)
+    }
+
+    /// An unfactored placeholder whose storage [`Lu::factor_in_place`]
+    /// reuses; solving with it is a programmer error (it behaves as the
+    /// identity permutation of a zero matrix).
+    pub fn zeroed(n: usize) -> Self {
+        Lu {
+            lu: Matrix::zeros(n, n),
+            perm: (0..n).collect(),
+            sign: 1.0,
+        }
+    }
+
+    /// Factors `a` into this factorization's existing storage.
+    ///
+    /// No allocation when `a` matches the current dimension; otherwise the
+    /// storage is resized once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lu::factor`]. On error the storage contents are
+    /// unspecified and the factorization must not be used for solves.
+    pub fn factor_in_place(&mut self, a: &Matrix) -> Result<()> {
         if !a.is_square() {
             return Err(LinalgError::ShapeMismatch {
                 op: "lu",
@@ -50,9 +76,18 @@ impl Lu {
         }
         let n = a.rows();
         let scale = a.norm_max().max(1.0);
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
+        if self.lu.shape() != (n, n) {
+            self.lu = Matrix::zeros(n, n);
+            self.perm = (0..n).collect();
+        }
+        self.lu.as_mut_slice().copy_from_slice(a.as_slice());
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.sign = 1.0;
+        let lu = &mut self.lu;
+        let perm = &mut self.perm;
+        let sign = &mut self.sign;
         for k in 0..n {
             // Partial pivot: largest magnitude in column k at or below row k.
             let mut p = k;
@@ -74,7 +109,7 @@ impl Lu {
                     lu[(p, c)] = tmp;
                 }
                 perm.swap(k, p);
-                sign = -sign;
+                *sign = -*sign;
             }
             let pivot = lu[(k, k)];
             for i in (k + 1)..n {
@@ -89,7 +124,13 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, sign })
+        Ok(())
+    }
+
+    /// Workspace requirement of [`Lu::solve_in_place`] for dimension `n`
+    /// (one length-`n` vector to apply the row permutation).
+    pub const fn solve_in_place_req(n: usize) -> StackReq {
+        StackReq::scalars(n)
     }
 
     /// Dimension of the factored matrix.
@@ -103,6 +144,25 @@ impl Lu {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut y = b.to_vec();
+        let mut ws = SolveWorkspace::with_req(Self::solve_in_place_req(self.dim()));
+        self.solve_in_place(&mut y, &mut ws)?;
+        Ok(y)
+    }
+
+    /// Solves `A x = b` in place: on return `b` holds the solution.
+    ///
+    /// `ws` provides the length-`n` temporary for the permutation apply
+    /// (see [`Lu::solve_in_place_req`]); after the workspace has grown once
+    /// for this dimension, the solve performs no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    // Triangular substitution reads a prefix/suffix of `y` while writing
+    // y[i]; the indexed form is the clearest way to express that.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve_in_place(&self, b: &mut [f64], ws: &mut SolveWorkspace) -> Result<()> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -111,21 +171,29 @@ impl Lu {
                 rhs: (b.len(), 1),
             });
         }
+        let mut stack = ws.stack(Self::solve_in_place_req(n));
+        let y = stack.take(n);
         // Apply permutation, then forward substitution with unit-lower L.
-        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (yi, &p) in y.iter_mut().zip(&self.perm) {
+            *yi = b[p];
+        }
         for i in 1..n {
+            let mut acc = y[i];
             for k in 0..i {
-                y[i] -= self.lu[(i, k)] * y[k];
+                acc -= self.lu[(i, k)] * y[k];
             }
+            y[i] = acc;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
+            let mut acc = y[i];
             for k in (i + 1)..n {
-                y[i] -= self.lu[(i, k)] * y[k];
+                acc -= self.lu[(i, k)] * y[k];
             }
-            y[i] /= self.lu[(i, i)];
+            y[i] = acc / self.lu[(i, i)];
         }
-        Ok(y)
+        b.copy_from_slice(y);
+        Ok(())
     }
 
     /// Solves `A X = B` column by column.
@@ -221,5 +289,29 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         assert!(Lu::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn in_place_refactor_matches_fresh_factor() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let fresh = Lu::factor(&a).unwrap();
+        let mut reused = Lu::zeroed(3);
+        reused.factor_in_place(&Matrix::identity(3)).unwrap();
+        reused.factor_in_place(&a).unwrap();
+        assert_eq!(reused.det(), fresh.det());
+
+        let b = [1.0, 2.0, 3.0];
+        let mut ws = SolveWorkspace::with_req(Lu::solve_in_place_req(3));
+        let mut x = b;
+        reused.solve_in_place(&mut x, &mut ws).unwrap();
+        assert_eq!(x.to_vec(), fresh.solve(&b).unwrap());
+    }
+
+    #[test]
+    fn in_place_solve_rejects_bad_length() {
+        let lu = Lu::factor(&Matrix::identity(2)).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut b = vec![1.0; 3];
+        assert!(lu.solve_in_place(&mut b, &mut ws).is_err());
     }
 }

@@ -166,7 +166,9 @@ impl Matrix {
 
     /// Copy of the main diagonal.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Returns the transpose.
@@ -186,17 +188,27 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product written into `y` (allocation-free variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output length mismatch");
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[r] = acc;
+            *yr = acc;
         }
-        y
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -205,16 +217,42 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = self.row(r);
-            let xr = x[r];
+        self.matvec_t_into(x, &mut y);
+        y
+    }
+
+    /// Transposed matrix–vector product written into `y`
+    /// (allocation-free variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()` or `y.len() != self.cols()`.
+    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t output length mismatch");
+        y.fill(0.0);
+        for (row, &xr) in self.data.chunks_exact(self.cols.max(1)).zip(x) {
             for (yc, a) in y.iter_mut().zip(row) {
                 *yc += a * xr;
             }
         }
-        y
+    }
+
+    /// Copies `other`'s contents into `self`, resizing only on shape
+    /// change.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        if self.shape() != other.shape() {
+            self.rows = other.rows;
+            self.cols = other.cols;
+            self.data.resize(other.data.len(), 0.0);
+        }
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Sets every entry to zero, keeping the storage.
+    pub fn set_zero(&mut self) {
+        self.data.fill(0.0);
     }
 
     /// Matrix–matrix product.
@@ -281,7 +319,10 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square with side `x.len()`.
     pub fn rank1_update(&mut self, s: f64, x: &[f64]) {
-        assert!(self.is_square() && self.rows == x.len(), "rank1_update shape");
+        assert!(
+            self.is_square() && self.rows == x.len(),
+            "rank1_update shape"
+        );
         for r in 0..self.rows {
             let xr = s * x[r];
             if xr == 0.0 {
@@ -355,14 +396,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -518,6 +565,29 @@ mod tests {
         assert_eq!(m[(0, 0)], 3.0);
         let n = -&a;
         assert_eq!(n[(1, 1)], -1.0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = [1.0, 0.0, -1.0];
+        let mut y = vec![9.0; 2];
+        a.matvec_into(&x, &mut y);
+        assert_eq!(y, a.matvec(&x));
+        let xt = [1.0, 1.0];
+        let mut yt = vec![9.0; 3];
+        a.matvec_t_into(&xt, &mut yt);
+        assert_eq!(yt, a.matvec_t(&xt));
+    }
+
+    #[test]
+    fn copy_from_and_set_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut b = Matrix::zeros(1, 1);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        b.set_zero();
+        assert_eq!(b, Matrix::zeros(2, 2));
     }
 
     #[test]

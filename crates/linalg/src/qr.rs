@@ -88,6 +88,9 @@ impl Qr {
     }
 
     /// Applies `Qᵀ` to a vector of length `m`.
+    // Householder applications update a suffix of `y` in place; the indexed
+    // form is the clearest way to express that.
+    #[allow(clippy::needless_range_loop)]
     fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
         let (m, n) = self.qr.shape();
         let mut y = b.to_vec();
@@ -109,6 +112,7 @@ impl Qr {
     }
 
     /// Applies `Q` to a vector of length `m`.
+    #[allow(clippy::needless_range_loop)]
     fn apply_q(&self, b: &[f64]) -> Vec<f64> {
         let (m, n) = self.qr.shape();
         let mut y = b.to_vec();
@@ -136,6 +140,7 @@ impl Qr {
     /// * [`LinalgError::ShapeMismatch`] if `b.len() != m`.
     /// * [`LinalgError::Singular`] if `R` has a (near-)zero diagonal entry,
     ///   i.e. `A` is rank deficient.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
         let (m, n) = self.qr.shape();
         if b.len() != m {

@@ -50,6 +50,39 @@ pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
     a.iter().map(|x| x * s).collect()
 }
 
+/// In-place `a *= s`.
+pub fn scale_in_place(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// Writes `a - b` into `out`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "sub_into length mismatch");
+    assert_eq!(a.len(), out.len(), "sub_into output length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// Writes `a + alpha * x` into `out` (out-of-place axpy, allocation-free).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_scaled_into(a: &[f64], alpha: f64, x: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), x.len(), "add_scaled_into length mismatch");
+    assert_eq!(a.len(), out.len(), "add_scaled_into output length mismatch");
+    for ((o, ai), xi) in out.iter_mut().zip(a).zip(x) {
+        *o = ai + alpha * xi;
+    }
+}
+
 /// Euclidean norm.
 pub fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
@@ -109,6 +142,20 @@ mod tests {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[1.0, -1.0], &mut y);
         assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn in_place_and_into_variants() {
+        let mut a = vec![1.0, -2.0];
+        scale_in_place(&mut a, 3.0);
+        assert_eq!(a, vec![3.0, -6.0]);
+
+        let mut out = vec![0.0; 2];
+        sub_into(&[5.0, 1.0], &[2.0, 4.0], &mut out);
+        assert_eq!(out, vec![3.0, -3.0]);
+
+        add_scaled_into(&[1.0, 1.0], 2.0, &[1.0, -1.0], &mut out);
+        assert_eq!(out, vec![3.0, -1.0]);
     }
 
     #[test]

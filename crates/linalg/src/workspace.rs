@@ -1,0 +1,203 @@
+//! Caller-provided scratch memory for the in-place kernels.
+//!
+//! The interior-point solver calls the factorization kernels thousands of
+//! times per Phase-1 sweep; letting every call allocate its own temporaries
+//! puts the allocator on the hot path. Instead, each in-place entry point
+//! publishes its requirement as a [`StackReq`] (computed up front from the
+//! problem dimensions, in the style of faer's `*_req`/`PodStack` API) and
+//! takes a [`SolveWorkspace`] that the caller allocates once and reuses
+//! across every solve of the same shape.
+//!
+//! # Example
+//!
+//! ```
+//! use protemp_linalg::{Lu, Matrix, SolveWorkspace};
+//!
+//! let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+//! let mut ws = SolveWorkspace::with_req(Lu::solve_in_place_req(2));
+//! let mut lu = Lu::zeroed(2);
+//! lu.factor_in_place(&a).unwrap();
+//! let mut b = vec![2.0, 2.0];
+//! lu.solve_in_place(&mut b, &mut ws).unwrap();
+//! assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+//! ```
+
+/// A scratch-size requirement, counted in `f64` scalars.
+///
+/// Requirements compose with [`StackReq::and`] (used together: sizes add)
+/// and [`StackReq::or`] (used at different times: sizes max), so a caller
+/// can size one buffer for its worst-case pipeline before entering the hot
+/// loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StackReq {
+    scalars: usize,
+}
+
+impl StackReq {
+    /// Requirement for `n` scalars.
+    pub const fn scalars(n: usize) -> Self {
+        StackReq { scalars: n }
+    }
+
+    /// Requirement for a dense `rows × cols` matrix.
+    pub const fn matrix(rows: usize, cols: usize) -> Self {
+        StackReq {
+            scalars: rows * cols,
+        }
+    }
+
+    /// An empty requirement.
+    pub const fn empty() -> Self {
+        StackReq { scalars: 0 }
+    }
+
+    /// Combined requirement when both are live at the same time.
+    pub const fn and(self, other: Self) -> Self {
+        StackReq {
+            scalars: self.scalars + other.scalars,
+        }
+    }
+
+    /// Combined requirement when the uses never overlap in time.
+    pub const fn or(self, other: Self) -> Self {
+        StackReq {
+            scalars: if self.scalars >= other.scalars {
+                self.scalars
+            } else {
+                other.scalars
+            },
+        }
+    }
+
+    /// Total scalar count.
+    pub const fn len(&self) -> usize {
+        self.scalars
+    }
+
+    /// `true` when nothing is required.
+    pub const fn is_empty(&self) -> bool {
+        self.scalars == 0
+    }
+}
+
+/// A reusable scratch buffer satisfying [`StackReq`]s.
+///
+/// Grows monotonically: after the first solve of a given shape, re-entering
+/// with the same (or a smaller) requirement performs no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    buf: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; grows on first use.
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+
+    /// A workspace pre-sized for `req`.
+    pub fn with_req(req: StackReq) -> Self {
+        SolveWorkspace {
+            buf: vec![0.0; req.len()],
+        }
+    }
+
+    /// Grows the buffer to satisfy `req` (no-op when already large enough).
+    pub fn ensure(&mut self, req: StackReq) {
+        if self.buf.len() < req.len() {
+            self.buf.resize(req.len(), 0.0);
+        }
+    }
+
+    /// Current capacity in scalars.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Borrows the whole buffer as a splittable stack.
+    ///
+    /// Growing happens here (amortized, monotone); once the workspace has
+    /// seen its peak requirement, this is allocation-free.
+    pub fn stack(&mut self, req: StackReq) -> Stack<'_> {
+        self.ensure(req);
+        Stack {
+            rest: &mut self.buf,
+        }
+    }
+}
+
+/// A borrow of a [`SolveWorkspace`] that hands out disjoint slices.
+#[derive(Debug)]
+pub struct Stack<'a> {
+    rest: &'a mut [f64],
+}
+
+impl<'a> Stack<'a> {
+    /// Splits off the first `n` scalars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` scalars remain — the caller's [`StackReq`]
+    /// accounting is wrong (programmer error).
+    pub fn take(&mut self, n: usize) -> &'a mut [f64] {
+        assert!(
+            self.rest.len() >= n,
+            "workspace exhausted: requested {n}, remaining {} (StackReq too small)",
+            self.rest.len()
+        );
+        let (head, tail) = std::mem::take(&mut self.rest).split_at_mut(n);
+        self.rest = tail;
+        head
+    }
+
+    /// Scalars not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_algebra() {
+        let a = StackReq::scalars(3);
+        let b = StackReq::matrix(2, 4);
+        assert_eq!(a.and(b).len(), 11);
+        assert_eq!(a.or(b).len(), 8);
+        assert!(StackReq::empty().is_empty());
+        assert_eq!(StackReq::empty().and(a), a);
+    }
+
+    #[test]
+    fn workspace_grows_monotonically() {
+        let mut ws = SolveWorkspace::new();
+        assert_eq!(ws.capacity(), 0);
+        ws.ensure(StackReq::scalars(8));
+        assert_eq!(ws.capacity(), 8);
+        ws.ensure(StackReq::scalars(4));
+        assert_eq!(ws.capacity(), 8, "never shrinks");
+    }
+
+    #[test]
+    fn stack_hands_out_disjoint_slices() {
+        let mut ws = SolveWorkspace::with_req(StackReq::scalars(6));
+        let mut stack = ws.stack(StackReq::scalars(6));
+        let a = stack.take(2);
+        let b = stack.take(3);
+        a.fill(1.0);
+        b.fill(2.0);
+        assert_eq!(stack.remaining(), 1);
+        assert_eq!(a, &[1.0, 1.0]);
+        assert_eq!(b, &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace exhausted")]
+    fn overdraw_panics() {
+        let mut ws = SolveWorkspace::with_req(StackReq::scalars(2));
+        let mut stack = ws.stack(StackReq::scalars(2));
+        let _ = stack.take(3);
+    }
+}

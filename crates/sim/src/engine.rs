@@ -8,8 +8,8 @@ use protemp_workload::{Task, Trace};
 
 use crate::metrics::FreqResidency;
 use crate::{
-    AssignmentPolicy, BandOccupancy, DfsPolicy, Observation, Platform, Result, SimError,
-    SimReport, TimePoint, WaitingStats,
+    AssignmentPolicy, BandOccupancy, DfsPolicy, Observation, Platform, Result, SimError, SimReport,
+    TimePoint, WaitingStats,
 };
 
 /// Simulation parameters.
@@ -75,7 +75,7 @@ impl SimConfig {
                 reason: "dt_us and dfs_period_us must be positive".to_string(),
             });
         }
-        if self.dfs_period_us % self.dt_us != 0 {
+        if !self.dfs_period_us.is_multiple_of(self.dt_us) {
             return Err(SimError::BadConfig {
                 reason: format!(
                     "dfs_period_us ({}) must be a multiple of dt_us ({})",
@@ -83,7 +83,7 @@ impl SimConfig {
                 ),
             });
         }
-        if !(self.max_duration_s > 0.0) {
+        if !(self.max_duration_s.is_finite() && self.max_duration_s > 0.0) {
             return Err(SimError::BadConfig {
                 reason: "max_duration_s must be positive".to_string(),
             });
@@ -139,10 +139,16 @@ pub fn run_simulation(
     cfg: &SimConfig,
 ) -> Result<SimReport> {
     cfg.validate()?;
-    platform.validate().map_err(|reason| SimError::BadConfig { reason })?;
+    platform
+        .validate()
+        .map_err(|reason| SimError::BadConfig { reason })?;
 
     let net = RcNetwork::from_floorplan(&platform.floorplan, &platform.thermal);
-    let model = DiscreteModel::new(&net, cfg.dt_us as f64 / 1e6, IntegrationMethod::ForwardEuler)?;
+    let model = DiscreteModel::new(
+        &net,
+        cfg.dt_us as f64 / 1e6,
+        IntegrationMethod::ForwardEuler,
+    )?;
     let initial = net.uniform_state(cfg.t_init_c);
     let mut thermal = ThermalSim::from_parts(net, model, initial);
 
@@ -192,7 +198,7 @@ pub fn run_simulation(
 
     loop {
         // --- DFS decision at window boundaries (including t = 0).
-        if now_us % window_us == 0 {
+        if now_us.is_multiple_of(window_us) {
             let temps = thermal.core_temps();
             let sensed: Vec<f64> = temps
                 .iter()
@@ -231,10 +237,7 @@ pub fn run_simulation(
                 required_avg_freq_hz: required,
                 queue_len: queue.len(),
                 backlog_work_us: backlog,
-                utilization: cores
-                    .iter()
-                    .map(|c| c.busy_us / window_us as f64)
-                    .collect(),
+                utilization: cores.iter().map(|c| c.busy_us / window_us as f64).collect(),
             };
             let freqs = policy.frequencies(&obs, platform);
             if freqs.len() != n_cores {
@@ -341,7 +344,7 @@ pub fn run_simulation(
         }
         freq_residency.record(&freq_ratios, dt_s);
 
-        if cfg.record_trace && now_us % cfg.trace_sample_us == 0 {
+        if cfg.record_trace && now_us.is_multiple_of(cfg.trace_sample_us) {
             trace_out.push(TimePoint {
                 time_s: now_us as f64 / 1e6,
                 core_temps: temps.clone(),
@@ -422,8 +425,14 @@ mod tests {
         let n = trace.len();
         let mut policy = NoTc;
         let mut assign = FirstIdle;
-        let r = run_simulation(&platform, &trace, &mut policy, &mut assign, &SimConfig::default())
-            .unwrap();
+        let r = run_simulation(
+            &platform,
+            &trace,
+            &mut policy,
+            &mut assign,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.completed, n, "all tasks complete under light load");
         assert_eq!(r.unfinished, 0);
         assert!(r.duration_s > 0.0);
@@ -461,9 +470,14 @@ mod tests {
         let trace = TraceGenerator::new(4).generate(&BenchmarkProfile::compute_intensive(), 8.0, 8);
         let cfg = SimConfig::default();
         let no_tc = run_simulation(&platform, &trace, &mut NoTc, &mut FirstIdle, &cfg).unwrap();
-        let basic =
-            run_simulation(&platform, &trace, &mut BasicDfs::default(), &mut FirstIdle, &cfg)
-                .unwrap();
+        let basic = run_simulation(
+            &platform,
+            &trace,
+            &mut BasicDfs::default(),
+            &mut FirstIdle,
+            &cfg,
+        )
+        .unwrap();
         assert!(
             basic.violation_fraction <= no_tc.violation_fraction + 1e-12,
             "reactive control must not violate more than no control: {} vs {}",
@@ -538,8 +552,14 @@ mod tests {
             sensor_noise_sd: 2.0,
             ..SimConfig::default()
         };
-        let r = run_simulation(&platform, &trace, &mut BasicDfs::default(), &mut FirstIdle, &noisy)
-            .unwrap();
+        let r = run_simulation(
+            &platform,
+            &trace,
+            &mut BasicDfs::default(),
+            &mut FirstIdle,
+            &noisy,
+        )
+        .unwrap();
         // Physics stays sane under sensor noise.
         assert!(r.peak_temp_c < 150.0);
         assert!(r.peak_temp_c > 45.0);

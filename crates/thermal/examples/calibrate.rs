@@ -29,7 +29,10 @@ fn main() {
     let u_hot = net.input_vector(&net.full_power_vector(4.0)).unwrap();
     let p2i = fp.index_of("P2").unwrap();
     let mut t = warm.clone();
-    print!("heating from 2 W steady (P2={:.1} C), per 100 ms window:", warm[p2i]);
+    print!(
+        "heating from 2 W steady (P2={:.1} C), per 100 ms window:",
+        warm[p2i]
+    );
     for _ in 0..10 {
         for _ in 0..250 {
             t = model.step(&t, &u_hot);

@@ -101,7 +101,9 @@ impl ThermalConfig {
         ];
         for (name, v) in fields {
             if !(v.is_finite() && v > 0.0) {
-                return Err(format!("thermal config field `{name}` must be positive, got {v}"));
+                return Err(format!(
+                    "thermal config field `{name}` must be positive, got {v}"
+                ));
             }
         }
         if !self.ambient_c.is_finite() {

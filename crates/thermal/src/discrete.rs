@@ -269,7 +269,10 @@ mod tests {
         for _ in 0..50 {
             t = model.step(&t, &u);
             let m = t.iter().cloned().fold(f64::MIN, f64::max);
-            assert!(m >= prev_max - 1e-9, "max temp must not decrease while heating");
+            assert!(
+                m >= prev_max - 1e-9,
+                "max temp must not decrease while heating"
+            );
             prev_max = m;
         }
     }

@@ -59,7 +59,10 @@ impl LeakageModel {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> std::result::Result<(), String> {
         if !(self.p_ref_w >= 0.0 && self.p_ref_w.is_finite()) {
-            return Err(format!("p_ref_w must be non-negative, got {}", self.p_ref_w));
+            return Err(format!(
+                "p_ref_w must be non-negative, got {}",
+                self.p_ref_w
+            ));
         }
         if !(0.0..0.2).contains(&self.slope_per_k) {
             return Err(format!(
@@ -68,7 +71,10 @@ impl LeakageModel {
             ));
         }
         if !(0.0..=1.0).contains(&self.uncore_fraction) {
-            return Err(format!("uncore_fraction {} must be in [0,1]", self.uncore_fraction));
+            return Err(format!(
+                "uncore_fraction {} must be in [0,1]",
+                self.uncore_fraction
+            ));
         }
         Ok(())
     }

@@ -240,7 +240,10 @@ mod tests {
         for r in 0..h1.rows() {
             for c in 0..h1.cols() {
                 assert!(h1[(r, c)] >= -1e-12, "sensitivity must be non-negative");
-                assert!(h100[(r, c)] >= h1[(r, c)] - 1e-12, "sensitivity grows with horizon");
+                assert!(
+                    h100[(r, c)] >= h1[(r, c)] - 1e-12,
+                    "sensitivity grows with horizon"
+                );
             }
         }
     }

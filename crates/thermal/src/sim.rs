@@ -137,7 +137,10 @@ mod tests {
             sim.step(&hot).unwrap();
         }
         let peak = sim.max_core_temp();
-        assert!(peak > 60.0, "1 s of full power heats well above ambient, got {peak:.1}");
+        assert!(
+            peak > 60.0,
+            "1 s of full power heats well above ambient, got {peak:.1}"
+        );
         for _ in 0..2500 {
             sim.step(&cold).unwrap();
         }
@@ -164,10 +167,7 @@ mod tests {
             sim.step(&p).unwrap();
         }
         let fp = niagara8();
-        let core_min = sim
-            .core_temps()
-            .into_iter()
-            .fold(f64::MAX, f64::min);
+        let core_min = sim.core_temps().into_iter().fold(f64::MAX, f64::min);
         let cache = sim.state()[fp.index_of("L2_B0").unwrap()];
         assert!(
             core_min > cache,

@@ -38,10 +38,21 @@ impl TraceGenerator {
     /// # Panics
     ///
     /// Panics if the profile fails validation.
-    pub fn generate(&mut self, profile: &BenchmarkProfile, duration_s: f64, n_cores: usize) -> Trace {
+    pub fn generate(
+        &mut self,
+        profile: &BenchmarkProfile,
+        duration_s: f64,
+        n_cores: usize,
+    ) -> Trace {
         profile.validate().expect("profile must validate");
         let mut tasks = Vec::new();
-        self.fill_segment(&mut tasks, profile, 0, (duration_s * US_PER_S as f64) as u64, n_cores);
+        self.fill_segment(
+            &mut tasks,
+            profile,
+            0,
+            (duration_s * US_PER_S as f64) as u64,
+            n_cores,
+        );
         Trace::new(tasks)
     }
 
@@ -66,7 +77,13 @@ impl TraceGenerator {
         let mut idx = 0usize;
         while start < total_us {
             let end = (start + seg_us).min(total_us);
-            self.fill_segment(&mut tasks, &profiles[idx % profiles.len()], start, end, n_cores);
+            self.fill_segment(
+                &mut tasks,
+                &profiles[idx % profiles.len()],
+                start,
+                end,
+                n_cores,
+            );
             start = end;
             idx += 1;
         }

@@ -58,7 +58,9 @@ impl Trace {
 
     /// `true` if arrivals are non-decreasing (always holds after `new`).
     pub fn is_sorted_by_arrival(&self) -> bool {
-        self.tasks.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us)
+        self.tasks
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us)
     }
 
     /// Iterator over the tasks.
@@ -132,10 +134,7 @@ mod tests {
     #[test]
     fn stats_reasonable() {
         // Two tasks of 8 ms over 1 s on 8 cores → load = 0.016/8 = 0.002.
-        let trace = Trace::new(vec![
-            Task::new(0, 0, 8_000),
-            Task::new(1, US_PER_S, 8_000),
-        ]);
+        let trace = Trace::new(vec![Task::new(0, 0, 8_000), Task::new(1, US_PER_S, 8_000)]);
         let s = trace.stats(8);
         assert_eq!(s.count, 2);
         assert!((s.duration_s - 1.0).abs() < 1e-9);

@@ -4,13 +4,8 @@ use proptest::prelude::*;
 use protemp_workload::{ArrivalPattern, BenchmarkProfile, TraceGenerator};
 
 fn any_profile() -> impl Strategy<Value = BenchmarkProfile> {
-    (
-        1_000u64..5_000,
-        5_000u64..10_000,
-        0.2..1.2f64,
-        0usize..3,
-    )
-        .prop_map(|(min_w, max_w, load, pat)| BenchmarkProfile {
+    (1_000u64..5_000, 5_000u64..10_000, 0.2..1.2f64, 0usize..3).prop_map(
+        |(min_w, max_w, load, pat)| BenchmarkProfile {
             name: "prop".to_string(),
             min_work_us: min_w,
             max_work_us: max_w,
@@ -23,7 +18,8 @@ fn any_profile() -> impl Strategy<Value = BenchmarkProfile> {
                 },
                 _ => ArrivalPattern::Periodic { jitter: 0.1 },
             },
-        })
+        },
+    )
 }
 
 proptest! {

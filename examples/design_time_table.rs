@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Persist and reload (the run-time unit would ship this table).
     let path = std::env::temp_dir().join("protemp_table.txt");
-    write_table(&table, std::io::BufWriter::new(std::fs::File::create(&path)?))?;
+    write_table(
+        &table,
+        std::io::BufWriter::new(std::fs::File::create(&path)?),
+    )?;
     let reloaded = read_table(std::io::BufReader::new(std::fs::File::open(&path)?))?;
     assert_eq!(reloaded, table);
     println!("table round-tripped through {}", path.display());

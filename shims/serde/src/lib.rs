@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derives from the sibling `serde_derive` shim, so workspace types
+//! keep the same `#[derive(Serialize, Deserialize)]` annotations they would
+//! carry against the real crate. No code in this workspace bounds on these
+//! traits; actual persistence uses the text format in `protemp::io`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}

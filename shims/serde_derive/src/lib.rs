@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real serde stack is
+//! unavailable. Nothing in this workspace serializes through serde traits
+//! (persistence goes through the hand-rolled text format in
+//! `protemp::io`), but many types carry `#[derive(Serialize, Deserialize)]`
+//! so they stay drop-in compatible with the real crate. These derives
+//! accept that syntax and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -30,8 +30,7 @@ fn protemp_pipeline_runs_and_respects_limit() {
         ..SimConfig::default()
     };
     let mut policy = ProTempController::new(table);
-    let report =
-        run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg).expect("sim");
+    let report = run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg).expect("sim");
 
     assert_eq!(
         report.violation_fraction, 0.0,
@@ -61,9 +60,14 @@ fn baselines_violate_where_protemp_does_not() {
     };
 
     let no_tc = run_simulation(&platform, &trace, &mut NoTc, &mut FirstIdle, &cfg).expect("sim");
-    let basic =
-        run_simulation(&platform, &trace, &mut BasicDfs::default(), &mut FirstIdle, &cfg)
-            .expect("sim");
+    let basic = run_simulation(
+        &platform,
+        &trace,
+        &mut BasicDfs::default(),
+        &mut FirstIdle,
+        &cfg,
+    )
+    .expect("sim");
     let mut ctrl = ProTempController::new(table);
     let protemp = run_simulation(&platform, &trace, &mut ctrl, &mut FirstIdle, &cfg).expect("sim");
 
@@ -115,8 +119,14 @@ fn waiting_time_mechanism_visible_in_frequency_residency() {
         ..SimConfig::default()
     };
 
-    let basic = run_simulation(&platform, &trace, &mut BasicDfs::default(), &mut FirstIdle, &cfg)
-        .expect("sim");
+    let basic = run_simulation(
+        &platform,
+        &trace,
+        &mut BasicDfs::default(),
+        &mut FirstIdle,
+        &cfg,
+    )
+    .expect("sim");
     let mut ctrl = ProTempController::new(table);
     let protemp = run_simulation(&platform, &trace, &mut ctrl, &mut FirstIdle, &cfg).expect("sim");
 
@@ -143,8 +153,7 @@ fn online_controller_matches_guarantee() {
         ..SimConfig::default()
     };
     let mut policy = protemp::OnlineController::new(ctx);
-    let report =
-        run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg).expect("sim");
+    let report = run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg).expect("sim");
     assert_eq!(report.violation_fraction, 0.0);
     assert!(report.completed > 0);
 }

@@ -34,8 +34,8 @@ fn guarantee_holds_across_workloads_and_seeds() {
                 ..SimConfig::default()
             };
             let mut policy = ProTempController::new(table.clone());
-            let report = run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg)
-                .expect("sim");
+            let report =
+                run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg).expect("sim");
             assert_eq!(
                 report.violation_fraction, 0.0,
                 "violation under {} seed {seed}: peak {:.2} C",
@@ -74,8 +74,7 @@ fn guarantee_degrades_gracefully_with_sensor_noise() {
         ..SimConfig::default()
     };
     let mut policy = ProTempController::new(table);
-    let report =
-        run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg).expect("sim");
+    let report = run_simulation(&platform, &trace, &mut policy, &mut FirstIdle, &cfg).expect("sim");
     assert!(
         report.peak_temp_c <= 100.0 + 1.0,
         "noise beyond the margin must stay bounded, peak {:.2}",
@@ -100,7 +99,9 @@ fn table_assignments_keep_predicted_trajectories_below_tmax() {
     for (r, &tstart) in table.tstarts_c().iter().enumerate() {
         let offsets = ctx.offsets_for(tstart);
         for c in 0..table.ftargets_hz().len() {
-            let Some(asg) = table.entry(r, c) else { continue };
+            let Some(asg) = table.entry(r, c) else {
+                continue;
+            };
             for k in 1..=ctx.reach().steps() {
                 let pred = ctx.reach().predict(k, &asg.powers_w, &offsets);
                 for (core, t) in pred.iter().enumerate() {

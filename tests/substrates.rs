@@ -87,7 +87,10 @@ fn uniform_mode_flows_through_the_stack() {
             if let Some(a) = table.entry(r, c) {
                 let f0 = a.freqs_hz[0];
                 for f in &a.freqs_hz {
-                    assert!((f - f0).abs() <= 1e-3 * f0.max(1.0), "uniform cell ({r},{c})");
+                    assert!(
+                        (f - f0).abs() <= 1e-3 * f0.max(1.0),
+                        "uniform cell ({r},{c})"
+                    );
                 }
             }
         }
@@ -100,8 +103,7 @@ fn variable_beats_uniform_on_objective() {
     // better (lower power+gradient objective): its feasible set is a
     // superset of the uniform one.
     let platform = Platform::niagara8();
-    let var_ctx =
-        AssignmentContext::new(&platform, &ControlConfig::default()).expect("ctx");
+    let var_ctx = AssignmentContext::new(&platform, &ControlConfig::default()).expect("ctx");
     let uni_ctx = AssignmentContext::new(
         &platform,
         &ControlConfig {
@@ -111,8 +113,12 @@ fn variable_beats_uniform_on_objective() {
     )
     .expect("ctx");
     let (t, f) = (75.0, 0.4e9);
-    let var = solve_assignment(&var_ctx, t, f).expect("solve").expect("feasible");
-    let uni = solve_assignment(&uni_ctx, t, f).expect("solve").expect("feasible");
+    let var = solve_assignment(&var_ctx, t, f)
+        .expect("solve")
+        .expect("feasible");
+    let uni = solve_assignment(&uni_ctx, t, f)
+        .expect("solve")
+        .expect("feasible");
     assert!(
         var.objective <= uni.objective + 1e-3,
         "variable {} vs uniform {}",
