@@ -25,4 +25,29 @@ fi
 echo "==> cargo test"
 cargo test -q
 
+# Perf-telemetry smoke test: a reduced-grid tab_solver_runtime run must
+# still emit parseable JSON with the sweep-breakdown fields, so the perf
+# trajectory in results/ can't silently rot. (Runs the release binary in
+# full mode, a debug build in quick mode; the quick grid is seconds-cheap
+# either way and writes to a separate _quick.json.)
+echo "==> tab_solver_runtime --quick (telemetry check)"
+if [[ "$quick" != "quick" ]]; then
+    cargo run --release -q -p protemp-bench --bin tab_solver_runtime -- --quick
+else
+    cargo run -q -p protemp-bench --bin tab_solver_runtime -- --quick
+fi
+python3 - <<'EOF'
+import json
+with open("results/tab_solver_runtime_quick.json") as f:
+    data = json.load(f)
+for section in ("screened", "unscreened"):
+    for field in ("newton_steps", "phase1_solves", "certificate_screens"):
+        assert field in data[section], f"missing {section}.{field}"
+assert data["tables_identical"] is True
+assert data["screened"]["newton_steps"] > 0
+print("telemetry check: ok "
+      f"(screened {data['screened']['newton_steps']} newton steps, "
+      f"{data['screened']['certificate_screens']} screens)")
+EOF
+
 echo "ci.sh: all green"

@@ -5,16 +5,22 @@
 //! solution" per point (2007-era CVX/MATLAB) and "the total time taken to
 //! perform phase 1 of the method is few hours". Our from-scratch
 //! interior-point solver on the eliminated-state formulation solves each
-//! point in seconds; the shape to preserve is that Phase 1 is an offline,
-//! once-per-platform cost.
+//! point in tens of milliseconds; the shape to preserve is that Phase 1 is
+//! an offline, once-per-platform cost.
 //!
-//! Beyond the per-point table, this binary measures the Phase-1 sweep three
-//! ways on the paper's 8×10 grid — serial cold (the naive baseline),
-//! serial warm (column-neighbour warm starts), and parallel warm (all cores,
-//! each worker owning its solver scratch) — verifies the parallel table is
-//! identical to the serial one, and emits a JSON record
-//! (`results/tab_solver_runtime.json`) so future changes have a perf
-//! trajectory to compare against.
+//! Beyond the per-point table, this binary measures the Phase-1 sweep four
+//! ways on the paper's 8×10 grid — serial cold (the naive baseline), serial
+//! warm without certificate screening, serial warm with screening (the
+//! default configuration), and parallel warm+screening (all cores, each
+//! worker owning its solver scratch and certificate pool) — verifies the
+//! screened and parallel tables are identical to the unscreened serial one,
+//! and emits a JSON record (`results/tab_solver_runtime.json`) with the
+//! `newton_steps` / `phase1_solves` / `certificate_screens` breakdown so
+//! future changes have a perf trajectory to compare against.
+//!
+//! `--quick` runs a reduced 3×4 grid and writes
+//! `results/tab_solver_runtime_quick.json` instead (same fields, separate
+//! file so CI telemetry checks never pollute the real trajectory).
 
 use std::time::Instant;
 
@@ -29,15 +35,26 @@ fn paper_grid() -> TableBuilder {
         .ftargets((1..=10).map(|i| i as f64 * 100.0e6).collect())
 }
 
+/// Reduced grid for `--quick` CI telemetry checks: crosses the frontier
+/// (so `certificate_screens` is exercised) but stays seconds-cheap.
+fn quick_grid() -> TableBuilder {
+    TableBuilder::new()
+        .tstarts(vec![60.0, 90.0, 100.0])
+        .ftargets(vec![0.2e9, 0.4e9, 0.6e9, 0.8e9])
+}
+
 fn stats_json(label: &str, s: &BuildStats) -> String {
     format!(
         "  \"{label}\": {{\"threads\": {}, \"warm_started\": {}, \"solved_points\": {}, \
-         \"newton_steps\": {}, \"total_s\": {:.3}, \"mean_point_s\": {:.4}, \
-         \"max_point_s\": {:.4}, \"points_per_s\": {:.3}}}",
+         \"newton_steps\": {}, \"phase1_solves\": {}, \"certificate_screens\": {}, \
+         \"total_s\": {:.3}, \"mean_point_s\": {:.4}, \"max_point_s\": {:.4}, \
+         \"points_per_s\": {:.3}}}",
         s.threads,
         s.warm_started,
         s.solved_points,
         s.newton_steps,
+        s.phase1_solves,
+        s.certificate_screens,
         s.total_s,
         s.mean_point_s,
         s.max_point_s,
@@ -45,8 +62,51 @@ fn stats_json(label: &str, s: &BuildStats) -> String {
     )
 }
 
-fn main() {
+fn quick_run() {
     let ctx = AssignmentContext::new(&platform(), &control_config()).expect("ctx");
+    let (table, stats) = quick_grid().build(&ctx).expect("quick build");
+    let (plain, plain_stats) = quick_grid()
+        .certificate_screening(false)
+        .build(&ctx)
+        .expect("quick unscreened build");
+    assert_eq!(
+        table, plain,
+        "screening must not change the table (quick grid)"
+    );
+    println!(
+        "quick grid {}x{}: {} newton steps, {} phase-I solves, {} screens \
+         (unscreened: {} newton steps)",
+        table.tstarts_c().len(),
+        table.ftargets_hz().len(),
+        stats.newton_steps,
+        stats.phase1_solves,
+        stats.certificate_screens,
+        plain_stats.newton_steps,
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"tab_solver_runtime_quick\",\n  \"platform\": \"niagara8\",\n  \
+         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n  \"tables_identical\": true\n}}\n",
+        table.tstarts_c().len(),
+        table.ftargets_hz().len(),
+        stats_json("screened", &stats),
+        stats_json("unscreened", &plain_stats),
+    );
+    write_text("tab_solver_runtime_quick.json", &json);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_run();
+        return;
+    }
+    let ctx = AssignmentContext::new(&platform(), &control_config()).expect("ctx");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores == 1 {
+        println!(
+            "NOTE: only one core available — the \"parallel\" sweep below runs \
+             on a single worker and its numbers measure the serial path."
+        );
+    }
 
     // Per-point timings across the temperature range.
     println!("Section 5.1 — per-point solve time (250-step horizon, gradient constraints on):");
@@ -78,40 +138,58 @@ fn main() {
         &rows,
     );
 
-    // Phase-1 sweep, three ways on the paper's 8×10 grid.
+    // Phase-1 sweep, four ways on the paper's 8×10 grid.
     println!("\nPhase-1 sweep (8 temperatures × 10 targets, Niagara-8):");
     let (cold_table, cold) = paper_grid()
         .threads(1)
         .warm_start(false)
+        .certificate_screening(false)
         .build(&ctx)
         .expect("serial cold build");
     println!(
-        "  serial cold : {:6.1} s  ({:5.2} pts/s)",
+        "  serial cold          : {:6.1} s  ({:5.2} pts/s)",
         cold.total_s,
         cold.points_per_s()
+    );
+    let (noscreen_table, noscreen) = paper_grid()
+        .threads(1)
+        .certificate_screening(false)
+        .build(&ctx)
+        .expect("serial warm unscreened build");
+    println!(
+        "  serial warm noscreen : {:6.1} s  ({:5.2} pts/s, {} warm-started, {} phase-I)",
+        noscreen.total_s,
+        noscreen.points_per_s(),
+        noscreen.warm_started,
+        noscreen.phase1_solves
     );
     let (serial_table, serial_warm) = paper_grid()
         .threads(1)
         .build(&ctx)
         .expect("serial warm build");
     println!(
-        "  serial warm : {:6.1} s  ({:5.2} pts/s, {} warm-started)",
+        "  serial warm screened : {:6.1} s  ({:5.2} pts/s, {} screens avoided phase-I)",
         serial_warm.total_s,
         serial_warm.points_per_s(),
-        serial_warm.warm_started
+        serial_warm.certificate_screens
     );
     let (parallel_table, parallel_warm) = paper_grid().build(&ctx).expect("parallel warm build");
     println!(
-        "  parallel warm: {:5.1} s  ({:5.2} pts/s, {} threads)",
+        "  parallel warm        : {:6.1} s  ({:5.2} pts/s, {} worker threads)",
         parallel_warm.total_s,
         parallel_warm.points_per_s(),
         parallel_warm.threads
     );
 
-    // The tentpole guarantee: thread count never changes the table.
+    // The tentpole guarantees: neither the thread count nor certificate
+    // screening may change the table.
     assert_eq!(
         serial_table, parallel_table,
         "parallel build must be identical to the serial build"
+    );
+    assert_eq!(
+        serial_table, noscreen_table,
+        "certificate screening must not change the table"
     );
     // Warm-vs-cold feasibility at the frontier is a numerical comparison,
     // not a guarantee — different phase-I seeds can reach different
@@ -146,9 +224,9 @@ fn main() {
     let speedup = cold.total_s / parallel_warm.total_s;
     println!(
         "\n  speedup vs serial cold: {speedup:.1}x wall  \
-         (warm starts {:.2}x wall / {:.2}x newton-steps, threading {:.2}x)",
+         (screening {:.2}x newton-steps, warm+screen {:.2}x wall, threading {:.2}x)",
+        noscreen.newton_steps as f64 / serial_warm.newton_steps.max(1) as f64,
         cold.total_s / serial_warm.total_s,
-        cold.newton_steps as f64 / serial_warm.newton_steps.max(1) as f64,
         serial_warm.total_s / parallel_warm.total_s
     );
     println!(
@@ -158,13 +236,15 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"tab_solver_runtime\",\n  \"platform\": \"niagara8\",\n  \
-         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n  \
+         \"grid_rows\": {},\n  \"grid_cols\": {},\n  \"available_cores\": {cores},\n\
+         {},\n{},\n{},\n{},\n  \
          \"speedup_total\": {:.3},\n  \"tables_identical\": true,\n  \
          \"frontier_cells_rescued_by_warm\": {},\n  \
          \"frontier_cells_lost_by_warm\": {}\n}}\n",
         serial_table.tstarts_c().len(),
         serial_table.ftargets_hz().len(),
         stats_json("serial_cold", &cold),
+        stats_json("serial_warm_noscreen", &noscreen),
         stats_json("serial_warm", &serial_warm),
         stats_json("parallel_warm", &parallel_warm),
         speedup,

@@ -1,0 +1,86 @@
+//! One-off diagnostic: per-cell Newton-step cost over the paper's 8×10 grid
+//! replicating the builder's warm-chain policy (continuation hops, chain
+//! health, certificate screening), to see where the sweep budget goes.
+
+use protemp::{AssignmentContext, ControlConfig, PointSolver};
+use protemp_sim::Platform;
+
+fn main() {
+    let ctx = AssignmentContext::new(&Platform::niagara8(), &ControlConfig::default()).unwrap();
+    let tstarts: Vec<f64> = (3..=10).map(|i| i as f64 * 10.0).collect();
+    let ftargets: Vec<f64> = (1..=10).map(|i| i as f64 * 100.0e6).collect();
+    let mut solver = PointSolver::new(&ctx);
+    solver.set_screening(true);
+    let mut total = 0usize;
+    for &f in &ftargets {
+        let mut prev: Option<(f64, Vec<f64>)> = None;
+        let mut baseline: Option<usize> = None;
+        let mut chain_on = true;
+        let mut dead = false;
+        print!("f={:4.0}MHz:", f / 1e6);
+        for &t in &tstarts {
+            if dead {
+                print!("      .");
+                continue;
+            }
+            if prev.is_some() && solver.screen_infeasible(t, f).unwrap() {
+                dead = true;
+                print!("      S");
+                continue;
+            }
+            let mut cost = 0usize;
+            let mut carry = None;
+            if chain_on {
+                if let Some((pt, px)) = &prev {
+                    let mut x = px.clone();
+                    let hops = ((t - pt) / 5.0).ceil().max(1.0) as usize;
+                    let mut ok = true;
+                    for k in 1..hops {
+                        let tk = pt + (t - pt) * k as f64 / hops as f64;
+                        let hop = solver.solve_point(tk, f, Some(&x)).unwrap();
+                        cost += hop.newton_steps;
+                        match hop.solution {
+                            Some(p) => x = p.x,
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        carry = Some(x);
+                    }
+                }
+            }
+            let out = solver.solve_point(t, f, carry.as_deref()).unwrap();
+            cost += out.newton_steps;
+            total += cost;
+            if out.screened {
+                dead = true;
+                print!(" {cost:5}S");
+                continue;
+            }
+            match out.solution {
+                Some(p) => {
+                    match baseline {
+                        None => baseline = Some(cost.max(1)),
+                        Some(b) => {
+                            if carry.is_some() && cost > b / 2 {
+                                chain_on = false;
+                            }
+                        }
+                    }
+                    prev = Some((t, p.x));
+                    print!(" {cost:6}");
+                }
+                None => {
+                    prev = None;
+                    dead = true;
+                    print!(" {cost:5}X");
+                }
+            }
+        }
+        println!();
+    }
+    println!("total newton: {total}");
+}

@@ -1,10 +1,35 @@
-use protemp_cvx::{BarrierSolver, SolveStatus, SolverOptions};
+use protemp_cvx::{BarrierSolver, CertScratch, Certificate, Problem, SolveStatus, SolverOptions};
 use protemp_sim::Platform;
 use protemp_thermal::{AffineReach, DiscreteModel, IntegrationMethod, RcNetwork};
 use serde::{Deserialize, Serialize};
 
 use crate::problem::{build_problem, f_var, p_var, tgrad_var};
 use crate::{ControlConfig, Result};
+
+/// How many infeasibility certificates a [`PointSolver`] keeps, most
+/// recently useful first. The sweep's frontier moves monotonically, so a
+/// tiny MRU pool covers every screening opportunity in practice while
+/// keeping the miss cost (a handful of matvec-cheap checks) bounded.
+const MAX_CERTIFICATES: usize = 6;
+
+/// Blend factor pulling a warm-start point toward the strictly interior
+/// heuristic seed before it re-enters the barrier, applied only when the
+/// point hugs the boundary below [`WARM_DEGENERATE_SLACK`]. A neighbouring
+/// optimum can sit machine-epsilon-close to a degenerate constraint face
+/// (the pairwise gradient rows at low targets do this, with slacks down at
+/// `1e-17`), where the log barrier is numerically hopeless and every warm
+/// link stalls into a cold climb. The blend lifts those slacks into real
+/// `f64` territory while staying so close to the optimum that the warm
+/// re-centering still resumes at the neighbouring solve's final barrier
+/// parameter. Constraint concavity guarantees the blend of two feasible
+/// points stays feasible. Healthy warm points (slacks around `1/t_final`)
+/// are passed through untouched — blending those would only force a
+/// pointless partial re-climb.
+const WARM_PULLBACK: f64 = 1e-7;
+
+/// Worst-slack threshold below which a warm-start point counts as
+/// degenerate and gets the [`WARM_PULLBACK`] blend.
+const WARM_DEGENERATE_SLACK: f64 = 1e-12;
 
 /// Pre-computed machinery for solving design points on one platform:
 /// the RC network, the discrete model and the reachability operator
@@ -81,6 +106,14 @@ impl AssignmentContext {
     pub fn offsets_for(&self, tstart_c: f64) -> Vec<Vec<f64>> {
         self.reach.offsets(&self.net.uniform_state(tstart_c))
     }
+
+    /// Builds the convex program for one design point (the same problem
+    /// [`solve_assignment`] solves); exposed so feasibility screens and
+    /// probes can construct it without solving.
+    pub fn point_problem(&self, tstart_c: f64, ftarget_hz: f64) -> Problem {
+        let offsets = self.offsets_for(tstart_c);
+        build_problem(&self.platform, &self.cfg, &self.reach, &offsets, ftarget_hz)
+    }
 }
 
 /// The result of one design-point solve: the paper's per-core frequency
@@ -155,8 +188,15 @@ pub struct SolvedPoint {
 /// solves in a sweep) and the solution when the point is feasible.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointOutcome {
-    /// Newton steps the solve consumed (phases I and II).
+    /// Newton steps the solve consumed (phases I and II; 0 when the point
+    /// was screened).
     pub newton_steps: usize,
+    /// Newton steps spent inside phase I (0 for warm-started or screened
+    /// points) — the breakdown sweeps report as `phase1_solves`.
+    pub phase1_steps: usize,
+    /// `true` when an inherited infeasibility certificate rejected the
+    /// point with one matvec, without invoking the solver at all.
+    pub screened: bool,
     /// The solved point, or `None` when infeasible.
     pub solution: Option<SolvedPoint>,
 }
@@ -180,10 +220,32 @@ pub fn solve_assignment_with(
     ftarget_hz: f64,
     warm: Option<&[f64]>,
 ) -> Result<PointOutcome> {
-    let offsets = ctx.offsets_for(tstart_c);
-    let prob = build_problem(&ctx.platform, &ctx.cfg, &ctx.reach, &offsets, ftarget_hz);
+    let prob = ctx.point_problem(tstart_c, ftarget_hz);
+    let (outcome, _) = solve_built_problem(ctx, solver, &prob, ftarget_hz, warm)?;
+    Ok(outcome)
+}
+
+/// Solves an already-built design-point problem, returning the outcome and
+/// any verified infeasibility certificate phase I produced (so callers that
+/// screen — [`PointSolver`], the frontier probes — can inherit it).
+fn solve_built_problem(
+    ctx: &AssignmentContext,
+    solver: &mut BarrierSolver,
+    prob: &Problem,
+    ftarget_hz: f64,
+    warm: Option<&[f64]>,
+) -> Result<(PointOutcome, Option<Certificate>)> {
     let sol = match warm {
-        Some(x0) => solver.solve_warm(&prob, x0)?,
+        Some(x0) if prob.max_violation(x0) > -WARM_DEGENERATE_SLACK => {
+            let h = heuristic_start(&ctx.platform, &ctx.cfg, ftarget_hz);
+            let blended: Vec<f64> = x0
+                .iter()
+                .zip(&h)
+                .map(|(&a, &b)| a + WARM_PULLBACK * (b - a))
+                .collect();
+            solver.solve_warm(prob, &blended)?
+        }
+        Some(x0) => solver.solve_warm(prob, x0)?,
         None => {
             // Cold solves still get a domain-informed seed: it satisfies
             // the workload and coupling constraints by construction, so
@@ -191,15 +253,21 @@ pub fn solve_assignment_with(
             // from the origin instead makes phase I stall on thin frontier
             // cells and misreport them infeasible.
             let x0 = heuristic_start(&ctx.platform, &ctx.cfg, ftarget_hz);
-            solver.solve_seeded(&prob, &x0)?
+            solver.solve_seeded(prob, &x0)?
         }
     };
     let newton_steps = sol.newton_steps;
+    let phase1_steps = sol.phase1_steps;
     match sol.status {
-        SolveStatus::Infeasible => Ok(PointOutcome {
-            newton_steps,
-            solution: None,
-        }),
+        SolveStatus::Infeasible => Ok((
+            PointOutcome {
+                newton_steps,
+                phase1_steps,
+                screened: false,
+                solution: None,
+            },
+            sol.certificate,
+        )),
         _ => {
             let n = ctx.platform.num_cores();
             let freqs_hz: Vec<f64> = (0..n)
@@ -213,13 +281,18 @@ pub fn solve_assignment_with(
                 tgrad_c,
                 objective: sol.objective,
             };
-            Ok(PointOutcome {
-                newton_steps,
-                solution: Some(SolvedPoint {
-                    assignment,
-                    x: sol.x,
-                }),
-            })
+            Ok((
+                PointOutcome {
+                    newton_steps,
+                    phase1_steps,
+                    screened: false,
+                    solution: Some(SolvedPoint {
+                        assignment,
+                        x: sol.x,
+                    }),
+                },
+                None,
+            ))
         }
     }
 }
@@ -243,23 +316,37 @@ fn heuristic_start(platform: &Platform, cfg: &ControlConfig, ftarget_hz: f64) ->
 }
 
 /// A per-worker design-point solver: one [`AssignmentContext`] borrow plus
-/// an owned [`BarrierSolver`] whose scratch persists across points.
+/// an owned [`BarrierSolver`] whose scratch persists across points, and a
+/// small MRU pool of infeasibility [`Certificate`]s harvested from failed
+/// phase-I runs.
 ///
 /// Each table-build worker thread owns one of these and chains warm starts
 /// through it; the MPC-style [`crate::OnlineController`] holds the same
-/// machinery (via [`solve_assignment_with`]) across DFS windows.
+/// machinery (via [`solve_assignment_with`]) across DFS windows. With
+/// screening enabled ([`PointSolver::set_screening`]), every solve first
+/// tries to reject the point against the inherited certificates — one
+/// matvec each — before paying for phase I; the sweep's feasibility
+/// frontier is monotone in temperature and frequency, so one certificate
+/// typically kills every hotter/faster cell that follows it.
 #[derive(Debug, Clone)]
 pub struct PointSolver<'a> {
     ctx: &'a AssignmentContext,
     solver: BarrierSolver,
+    screening: bool,
+    certs: Vec<Certificate>,
+    cert_ws: CertScratch,
 }
 
 impl<'a> PointSolver<'a> {
-    /// Creates a solver for this context.
+    /// Creates a solver for this context (screening off; the table builder
+    /// turns it on explicitly so one-shot callers keep the plain behavior).
     pub fn new(ctx: &'a AssignmentContext) -> Self {
         PointSolver {
             ctx,
             solver: BarrierSolver::new(ctx.solver_opts),
+            screening: false,
+            certs: Vec::new(),
+            cert_ws: CertScratch::new(),
         }
     }
 
@@ -268,7 +355,65 @@ impl<'a> PointSolver<'a> {
         self.ctx
     }
 
-    /// Solves one design point; see [`solve_assignment_with`].
+    /// Enables or disables certificate screening for subsequent solves.
+    pub fn set_screening(&mut self, on: bool) {
+        self.screening = on;
+    }
+
+    /// Number of infeasibility certificates currently held.
+    pub fn certificate_count(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// Checks the point against the inherited certificates only (no
+    /// solve): `true` means certified infeasible. Updates the MRU order on
+    /// a hit. Useful to kill a cell before paying for warm-start
+    /// continuation hops toward it.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; `Result` for signature stability with the solve
+    /// path.
+    pub fn screen_infeasible(&mut self, tstart_c: f64, ftarget_hz: f64) -> Result<bool> {
+        if !self.screening || self.certs.is_empty() {
+            return Ok(false);
+        }
+        let prob = self.ctx.point_problem(tstart_c, ftarget_hz);
+        Ok(self.screen_problem(&prob))
+    }
+
+    /// As [`PointSolver::screen_infeasible`], but against an
+    /// already-built problem — the table builder constructs each cell's
+    /// problem once and reuses it for the screen and the solve.
+    pub(crate) fn screen_prepared(&mut self, prob: &Problem) -> bool {
+        self.screening && !self.certs.is_empty() && self.screen_problem(prob)
+    }
+
+    fn screen_problem(&mut self, prob: &Problem) -> bool {
+        match self
+            .certs
+            .iter()
+            .position(|c| c.certifies(prob, &mut self.cert_ws))
+        {
+            Some(hit) => {
+                // Move the winner to the front: neighbouring cells will hit
+                // it again.
+                self.certs[..=hit].rotate_right(1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn remember_certificate(&mut self, cert: Certificate) {
+        self.certs.insert(0, cert);
+        self.certs.truncate(MAX_CERTIFICATES);
+    }
+
+    /// Solves one design point; see [`solve_assignment_with`]. With
+    /// screening enabled, inherited certificates are tried first (a
+    /// screened point returns `screened: true` with zero Newton steps) and
+    /// any fresh certificate from a failed phase I joins the pool.
     ///
     /// # Errors
     ///
@@ -280,7 +425,35 @@ impl<'a> PointSolver<'a> {
         ftarget_hz: f64,
         warm: Option<&[f64]>,
     ) -> Result<PointOutcome> {
-        solve_assignment_with(self.ctx, &mut self.solver, tstart_c, ftarget_hz, warm)
+        let prob = self.ctx.point_problem(tstart_c, ftarget_hz);
+        self.solve_prepared(&prob, ftarget_hz, warm, true)
+    }
+
+    /// As [`PointSolver::solve_point`], against an already-built problem
+    /// (the builder's hot path — one problem construction per cell).
+    /// `screen` lets a caller that just ran [`PointSolver::screen_prepared`]
+    /// against an unchanged certificate pool skip the redundant re-check.
+    pub(crate) fn solve_prepared(
+        &mut self,
+        prob: &Problem,
+        ftarget_hz: f64,
+        warm: Option<&[f64]>,
+        screen: bool,
+    ) -> Result<PointOutcome> {
+        if screen && self.screening && self.screen_problem(prob) {
+            return Ok(PointOutcome {
+                newton_steps: 0,
+                phase1_steps: 0,
+                screened: true,
+                solution: None,
+            });
+        }
+        let (outcome, cert) =
+            solve_built_problem(self.ctx, &mut self.solver, prob, ftarget_hz, warm)?;
+        if let Some(cert) = cert {
+            self.remember_certificate(cert);
+        }
+        Ok(outcome)
     }
 }
 

@@ -40,6 +40,16 @@ pub struct BuildStats {
     /// continuation sub-steps) — the deterministic work measure behind the
     /// wall-clock numbers.
     pub newton_steps: u64,
+    /// Phase-I solve invocations across the sweep — cold starts and
+    /// frontier/infeasible cells, *including* continuation-hop sub-solves
+    /// that fell through to phase I (so a multi-hop frontier crossing can
+    /// contribute more than one). Warm-chained interior solves skip
+    /// phase I and don't count.
+    pub phase1_solves: u64,
+    /// Cells rejected by an inherited infeasibility certificate — one
+    /// matvec instead of a phase-I run. Together with `phase1_solves` this
+    /// breaks down where the sweep's feasibility decisions came from.
+    pub certificate_screens: u64,
 }
 
 impl BuildStats {
@@ -90,6 +100,7 @@ pub struct TableBuilder {
     ftargets_hz: Vec<f64>,
     threads: usize,
     warm_start: bool,
+    certificate_screening: bool,
 }
 
 impl Default for TableBuilder {
@@ -101,21 +112,24 @@ impl Default for TableBuilder {
             ftargets_hz: (1..=10).map(|i| i as f64 * 100.0e6).collect(),
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             warm_start: true,
+            certificate_screening: true,
         }
     }
 }
 
+/// One worker's tallies over its chunk of columns.
+#[derive(Debug, Default, Clone, Copy)]
+struct ChunkStats {
+    warm_used: usize,
+    newton: u64,
+    solved_cells: usize,
+    phase1_solves: u64,
+    certificate_screens: u64,
+}
+
 /// Result of one worker's chunk of columns: chunk-local column-major
-/// entries, per-point solve seconds, the warm-started point count, the
-/// Newton steps spent, and the number of cells that actually ran the
-/// solver (frontier-pruned cells don't).
-type ChunkResult = Result<(
-    Vec<Option<FrequencyAssignment>>,
-    Vec<f64>,
-    usize,
-    u64,
-    usize,
-)>;
+/// entries, per-point solve seconds, and the tallies.
+type ChunkResult = Result<(Vec<Option<FrequencyAssignment>>, Vec<f64>, ChunkStats)>;
 
 impl TableBuilder {
     /// Creates a builder with the paper's default grids
@@ -149,6 +163,17 @@ impl TableBuilder {
     /// solver tolerance.
     pub fn warm_start(mut self, on: bool) -> Self {
         self.warm_start = on;
+        self
+    }
+
+    /// Enables or disables certificate screening (default: enabled): cells
+    /// are first checked against infeasibility certificates inherited from
+    /// already-certified neighbours, skipping the phase-I solve when one
+    /// rejects them. Certificates are verified against each cell's own
+    /// constraint data, so the produced table is identical with screening
+    /// on or off — only the Newton-step count changes (property-tested).
+    pub fn certificate_screening(mut self, on: bool) -> Self {
+        self.certificate_screening = on;
         self
     }
 
@@ -188,13 +213,13 @@ impl TableBuilder {
             for chunk in &col_chunks {
                 let tstarts = &self.tstarts_c;
                 let warm_start = self.warm_start;
+                let screening = self.certificate_screening;
                 handles.push(scope.spawn(move || {
                     let mut solver = PointSolver::new(ctx);
+                    solver.set_screening(screening);
                     let mut entries = Vec::with_capacity(rows * chunk.len());
                     let mut times = vec![0.0; rows * chunk.len()];
-                    let mut warm_used = 0usize;
-                    let mut newton: u64 = 0;
-                    let mut solved_cells = 0usize;
+                    let mut stats = ChunkStats::default();
                     // Chunk-local layout is column-major so each column is
                     // one contiguous warm chain.
                     for &ftarget in *chunk {
@@ -225,11 +250,31 @@ impl TableBuilder {
                                 continue;
                             }
                             let t0 = Instant::now();
+                            // Build the cell's problem once; it serves the
+                            // pre-hop screen and the final solve.
+                            let prob = ctx.point_problem(tstart, ftarget);
+                            // Screen the target against inherited
+                            // certificates before paying for continuation
+                            // hops toward it: a certified cell (usually the
+                            // frontier crossing, already proven in a lower
+                            // column) dies for the cost of one matvec.
+                            let pre_screened = prev.is_some();
+                            if pre_screened && solver.screen_prepared(&prob) {
+                                // Screened cells record no time, like
+                                // pruned cells: `mean_point_s` averages
+                                // over actual solver runs only.
+                                stats.certificate_screens += 1;
+                                prev = None;
+                                column_dead = true;
+                                entries.push(None);
+                                continue;
+                            }
                             let mut cell_cost = 0u64;
                             // Continuation: cross large temperature hops in
                             // ≤ MAX_WARM_HOP_C sub-steps so every warm
                             // solve stays in the few-Newton-step regime.
                             let mut carry: Option<Vec<f64>> = None;
+                            let mut hops_ran = false;
                             if chain_on {
                                 if let Some((prev_t, prev_x)) = &prev {
                                     let mut x = prev_x.clone();
@@ -238,7 +283,11 @@ impl TableBuilder {
                                     for k in 1..hops as usize {
                                         let tk = prev_t + (tstart - prev_t) * k as f64 / hops;
                                         let hop = solver.solve_point(tk, ftarget, Some(&x))?;
+                                        hops_ran = true;
                                         cell_cost += hop.newton_steps as u64;
+                                        if hop.phase1_steps > 0 {
+                                            stats.phase1_solves += 1;
+                                        }
                                         match hop.solution {
                                             Some(p) => x = p.x,
                                             None => {
@@ -252,16 +301,43 @@ impl TableBuilder {
                                     }
                                 }
                             }
-                            let solved = solver.solve_point(tstart, ftarget, carry.as_deref())?;
-                            solved_cells += 1;
-                            times[entries.len()] = t0.elapsed().as_secs_f64();
+                            // Re-screen only when the pool could have
+                            // changed since the pre-hop screen (a hop may
+                            // have minted a certificate), or when no
+                            // pre-screen ran at all (column's first cell).
+                            let rescreen = !pre_screened || hops_ran;
+                            let solved = solver.solve_prepared(
+                                &prob,
+                                ftarget,
+                                carry.as_deref(),
+                                rescreen,
+                            )?;
+                            if !solved.screened {
+                                times[entries.len()] = t0.elapsed().as_secs_f64();
+                            }
+                            if solved.screened {
+                                // Killed by a certificate the pre-hop
+                                // screen didn't have yet: minted by a
+                                // continuation hop, or inherited from an
+                                // earlier column on the column's first row.
+                                stats.certificate_screens += 1;
+                                stats.newton += cell_cost;
+                                prev = None;
+                                column_dead = true;
+                                entries.push(None);
+                                continue;
+                            }
+                            stats.solved_cells += 1;
+                            if solved.phase1_steps > 0 {
+                                stats.phase1_solves += 1;
+                            }
                             if carry.is_some() {
-                                warm_used += 1;
+                                stats.warm_used += 1;
                             }
                             cell_cost += solved.newton_steps as u64;
+                            stats.newton += cell_cost;
                             match solved.solution {
                                 Some(p) => {
-                                    newton += cell_cost;
                                     match baseline {
                                         None => baseline = Some(cell_cost.max(1)),
                                         Some(base) => {
@@ -274,7 +350,6 @@ impl TableBuilder {
                                     entries.push(Some(p.assignment));
                                 }
                                 None => {
-                                    newton += cell_cost;
                                     prev = None;
                                     column_dead = true;
                                     entries.push(None);
@@ -282,7 +357,7 @@ impl TableBuilder {
                             }
                         }
                     }
-                    Ok((entries, times, warm_used, newton, solved_cells))
+                    Ok((entries, times, stats))
                 }));
             }
             handles
@@ -295,15 +370,15 @@ impl TableBuilder {
         // row-major table, in column order.
         let mut results: Vec<Option<FrequencyAssignment>> = vec![None; rows * cols];
         let mut point_times: Vec<f64> = vec![0.0; rows * cols];
-        let mut warm_total = 0usize;
-        let mut newton_total: u64 = 0;
-        let mut solved_total = 0usize;
+        let mut totals = ChunkStats::default();
         let mut col_base = 0usize;
         for (outcome, chunk) in chunk_outcomes.into_iter().zip(&col_chunks) {
-            let (entries, times, warm_used, newton, solved_cells) = outcome?;
-            warm_total += warm_used;
-            newton_total += newton;
-            solved_total += solved_cells;
+            let (entries, times, stats) = outcome?;
+            totals.warm_used += stats.warm_used;
+            totals.newton += stats.newton;
+            totals.solved_cells += stats.solved_cells;
+            totals.phase1_solves += stats.phase1_solves;
+            totals.certificate_screens += stats.certificate_screens;
             let mut it = entries.into_iter().zip(times);
             for local_col in 0..chunk.len() {
                 for row in 0..rows {
@@ -318,13 +393,15 @@ impl TableBuilder {
         let worker_count = col_chunks.len().max(1);
         let feasible = results.iter().filter(|e| e.is_some()).count();
         let total_s = start.elapsed().as_secs_f64();
+        let solved_total = totals.solved_cells;
         let stats = BuildStats {
             points: rows * cols,
             solved_points: solved_total,
             feasible,
             total_s,
-            // Pruned cells never ran the solver (their recorded time is
-            // zero); average over the solves that actually happened.
+            // Pruned and screened cells never ran the solver (their
+            // recorded time is zero); average over the solves that
+            // actually happened.
             mean_point_s: if solved_total == 0 {
                 0.0
             } else {
@@ -332,8 +409,10 @@ impl TableBuilder {
             },
             max_point_s: point_times.iter().cloned().fold(0.0, f64::max),
             threads: worker_count,
-            warm_started: warm_total,
-            newton_steps: newton_total,
+            warm_started: totals.warm_used,
+            newton_steps: totals.newton,
+            phase1_solves: totals.phase1_solves,
+            certificate_screens: totals.certificate_screens,
         };
         let table = FrequencyTable::new(
             self.tstarts_c.clone(),

@@ -1,10 +1,36 @@
 //! Feasibility frontiers: the maximum supportable average frequency as a
 //! function of starting temperature (the paper's Figure 9), and the
 //! per-core assignments along the frontier (Figure 10).
+//!
+//! Every bisection probe is a phase-I feasibility question, and the probes
+//! of one frontier are strongly related: consecutive probes differ only in
+//! the workload bound, and consecutive temperature points only in the
+//! thermal offsets. The prober therefore carries two pieces of state
+//! between probes — the last feasible point (a seed that lets the next
+//! phase I start next to the answer instead of at the origin) and the last
+//! infeasibility [`Certificate`] (which rejects dominated probes with one
+//! matvec, no solve). [`FrontierPoint::probes`] records how much work that
+//! saved.
 
+use protemp_cvx::{BarrierSolver, CertScratch, Certificate};
 use serde::{Deserialize, Serialize};
 
-use crate::{check_feasible, solve_assignment, AssignmentContext, FrequencyAssignment, Result};
+use crate::{solve_assignment, AssignmentContext, FrequencyAssignment, Result};
+
+/// Probe accounting for one frontier point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeStats {
+    /// Feasibility probes the bisection issued.
+    pub probes: usize,
+    /// Probes answered by an inherited infeasibility certificate (no
+    /// solve).
+    pub screened: usize,
+    /// Probes answered instantly because the previous feasible point was
+    /// still strictly feasible (no Newton steps).
+    pub seeded_hits: usize,
+    /// Total Newton steps across the probes that did run phase I.
+    pub newton_steps: u64,
+}
 
 /// One frontier point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -15,11 +41,105 @@ pub struct FrontierPoint {
     pub max_avg_freq_hz: f64,
     /// The optimizer's assignment at (just below) that frontier.
     pub assignment: Option<FrequencyAssignment>,
+    /// What the bisection cost and how much the seed/certificate reuse
+    /// saved.
+    pub probes: ProbeStats,
+}
+
+/// Reusable probe machinery: one solver (scratch persists), the last
+/// feasible point as a phase-I seed, and the last infeasibility
+/// certificate as a screen.
+struct FrontierProber<'a> {
+    ctx: &'a AssignmentContext,
+    solver: BarrierSolver,
+    seed: Option<Vec<f64>>,
+    cert: Option<Certificate>,
+    cert_ws: CertScratch,
+    stats: ProbeStats,
+}
+
+impl<'a> FrontierProber<'a> {
+    fn new(ctx: &'a AssignmentContext) -> Self {
+        FrontierProber {
+            ctx,
+            solver: BarrierSolver::new(*ctx.solver_options()),
+            seed: None,
+            cert: None,
+            cert_ws: CertScratch::new(),
+            stats: ProbeStats::default(),
+        }
+    }
+
+    /// One feasibility probe at `(tstart_c, ftarget_hz)`.
+    fn check(&mut self, tstart_c: f64, ftarget_hz: f64) -> Result<bool> {
+        self.stats.probes += 1;
+        let prob = self.ctx.point_problem(tstart_c, ftarget_hz);
+        if let Some(cert) = &self.cert {
+            if cert.certifies(&prob, &mut self.cert_ws) {
+                self.stats.screened += 1;
+                return Ok(false);
+            }
+        }
+        let had_seed = self.seed.is_some();
+        let out = self
+            .solver
+            .find_feasible_with(&prob, self.seed.as_deref())?;
+        self.stats.newton_steps += out.newton_steps as u64;
+        match out.point {
+            Some(x) => {
+                // Only a zero-cost accept *of the carried seed* counts as a
+                // seeded hit; trivially feasible unseeded probes (the f = 0
+                // quick end) are free anyway.
+                if had_seed && out.newton_steps == 0 {
+                    self.stats.seeded_hits += 1;
+                }
+                self.seed = Some(x);
+                Ok(true)
+            }
+            None => {
+                if out.certificate.is_some() {
+                    self.cert = out.certificate;
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Per-point stats snapshot (and reset for the next frontier point).
+    fn take_stats(&mut self) -> ProbeStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Bisection for the maximum supportable frequency from `tstart_c`,
+    /// starting from a known-feasible lower bound `lo_hz`.
+    fn max_frequency(&mut self, tstart_c: f64, lo_hz: f64, tol_hz: f64) -> Result<f64> {
+        let fmax = self.ctx.platform().fmax_hz;
+        // Quick ends: full speed feasible, or nothing feasible.
+        if self.check(tstart_c, fmax)? {
+            return Ok(fmax);
+        }
+        if lo_hz <= 0.0 && !self.check(tstart_c, 0.0)? {
+            return Ok(0.0);
+        }
+        let mut lo = lo_hz.clamp(0.0, fmax);
+        let mut hi = fmax;
+        while hi - lo > tol_hz.max(1.0) {
+            let mid = 0.5 * (lo + hi);
+            if self.check(tstart_c, mid)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
 }
 
 /// Computes the maximum average frequency supportable from `tstart_c`
 /// within the window's temperature constraints, by bisection on the
-/// workload target (each probe is a phase-I feasibility check).
+/// workload target (each probe is a phase-I feasibility check, seeded from
+/// the previous feasible probe and screened by the previous infeasibility
+/// certificate).
 ///
 /// `tol_hz` controls the bisection width (e.g. 5 MHz).
 ///
@@ -47,30 +167,17 @@ pub fn max_supported_frequency_at_least(
     lo_hz: f64,
     tol_hz: f64,
 ) -> Result<f64> {
-    let fmax = ctx.platform().fmax_hz;
-    // Quick ends: full speed feasible, or nothing feasible.
-    if check_feasible(ctx, tstart_c, fmax)? {
-        return Ok(fmax);
-    }
-    if lo_hz <= 0.0 && !check_feasible(ctx, tstart_c, 0.0)? {
-        return Ok(0.0);
-    }
-    let mut lo = lo_hz.clamp(0.0, fmax);
-    let mut hi = fmax;
-    while hi - lo > tol_hz.max(1.0) {
-        let mid = 0.5 * (lo + hi);
-        if check_feasible(ctx, tstart_c, mid)? {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    Ok(lo)
+    FrontierProber::new(ctx).max_frequency(tstart_c, lo_hz, tol_hz)
 }
 
 /// Sweeps the frontier over a temperature grid, optionally solving for the
 /// full assignment slightly inside the frontier (used by Figure 10 to show
 /// the per-core split).
+///
+/// One prober is shared across the whole sweep, so the certificate minted
+/// at one temperature screens the full-speed probe of every hotter one,
+/// and each point's first phase I starts from the previous frontier's
+/// feasible point.
 ///
 /// # Errors
 ///
@@ -81,9 +188,11 @@ pub fn sweep(
     tol_hz: f64,
     with_assignments: bool,
 ) -> Result<Vec<FrontierPoint>> {
+    let mut prober = FrontierProber::new(ctx);
     let mut out = Vec::with_capacity(tstarts_c.len());
     for &t in tstarts_c {
-        let fmax = max_supported_frequency(ctx, t, tol_hz)?;
+        let fmax = prober.max_frequency(t, 0.0, tol_hz)?;
+        let probes = prober.take_stats();
         let assignment = if with_assignments && fmax > 0.0 {
             // Back off 3% from the frontier so the solve is comfortably
             // strictly feasible even with bisection noise.
@@ -95,6 +204,7 @@ pub fn sweep(
             tstart_c: t,
             max_avg_freq_hz: fmax,
             assignment,
+            probes,
         });
     }
     Ok(out)
@@ -142,15 +252,41 @@ mod tests {
     }
 
     #[test]
-    fn sweep_attaches_assignments() {
+    fn sweep_attaches_assignments_and_probe_stats() {
         let ctx = ctx(FreqMode::Variable);
         let pts = sweep(&ctx, &[70.0, 90.0], 20e6, true).unwrap();
         assert_eq!(pts.len(), 2);
         for p in &pts {
+            assert!(p.probes.probes > 0, "bisection must record its probes");
+            assert!(
+                p.probes.screened + p.probes.seeded_hits <= p.probes.probes,
+                "savings cannot exceed the probe count"
+            );
             if p.max_avg_freq_hz > 0.0 {
                 let a = p.assignment.as_ref().expect("assignment");
                 assert!(a.avg_freq_hz() > 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn shared_prober_matches_fresh_probers() {
+        // Certificate screening is verdict-preserving by construction, but
+        // phase-I verdicts on razor-thin probes can depend on the start
+        // point (the bench tracks rescued/lost cells for exactly this), so
+        // the carried seed may shift individual bisection brackets. Require
+        // agreement within a few bisection widths, not exact equality.
+        let ctx = ctx(FreqMode::Variable);
+        let pts = sweep(&ctx, &[60.0, 88.0], 20e6, false).unwrap();
+        for p in &pts {
+            let fresh = max_supported_frequency(&ctx, p.tstart_c, 20e6).unwrap();
+            assert!(
+                (p.max_avg_freq_hz - fresh).abs() <= 60e6,
+                "swept {} vs fresh {} at {} C",
+                p.max_avg_freq_hz,
+                fresh,
+                p.tstart_c
+            );
         }
     }
 }

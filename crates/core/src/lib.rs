@@ -60,6 +60,7 @@ pub use controller::{OnlineController, ProTempController};
 pub use error::ProTempError;
 pub use io::{read_table, write_table};
 pub use problem::build_problem;
+pub use protemp_cvx::{CertScratch, Certificate};
 pub use spec::{ControlConfig, FreqMode};
 pub use table::{FrequencyTable, LookupOutcome};
 

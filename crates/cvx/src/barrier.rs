@@ -4,13 +4,35 @@ use protemp_linalg::{vecops, Matrix, Qr};
 
 use crate::scratch::DimScratch;
 use crate::{
-    CvxError, Problem, QuadConstraint, Result, Solution, SolveStatus, SolverOptions, SolverScratch,
+    CertScratch, Certificate, CvxError, Problem, QuadConstraint, Result, Solution, SolveStatus,
+    SolverOptions, SolverScratch,
 };
 
 /// Newton-step budget for the speculative warm-start attempt: enough for a
 /// genuine warm start (a few steps to re-center, then the gap check), small
 /// enough that a mismatched start fails over to the seeded path cheaply.
 const WARM_TRY_BUDGET: usize = 32;
+
+/// Centering-stall detector: a centering is abandoned when this many
+/// consecutive Newton steps fail to shrink the decrement by at least 30 %.
+/// Near-degenerate active sets (many close-to-redundant rows, e.g. the
+/// pairwise gradient constraints at low targets) push the decrement onto an
+/// `f64` noise plateau above `tol_inner`, where a centering would otherwise
+/// burn its whole `max_newton` budget making no progress — at every outer
+/// iteration of the climb. The barrier method tolerates inexact centering,
+/// so breaking early trades nothing but the wasted steps.
+const PLATEAU_BREAK: usize = 12;
+/// A step must beat the best decrement seen this centering by this factor
+/// to count as progress for the stall detector.
+const PLATEAU_IMPROVE: f64 = 0.7;
+
+/// Loose centering certificate for the final gap check: a run whose last
+/// centering stalled (plateau or line search) still counts as converged
+/// when its final Newton decrement satisfies `λ²/2 ≤` this bound — by
+/// B&V §9.6.3 the iterate is then within ~λ² of the exact center, so the
+/// reported duality gap is honest to that accuracy. A run stalling *above*
+/// this is reported as `MaxIterations`, not `Optimal`.
+const LOOSE_CENTER_TOL: f64 = 1e-2;
 
 /// `true` when `PROTEMP_CVX_DEBUG` is set; read once per process so the
 /// Newton loop stays free of environment lookups (which allocate).
@@ -43,6 +65,20 @@ fn debug_enabled() -> bool {
 /// phase I — the Phase-1 table sweep and the MPC-style online controller
 /// both re-solve from a neighbouring optimum this way.
 ///
+/// # Infeasibility certificates
+///
+/// When phase I fails, the solver extracts a Farkas-style [`Certificate`]
+/// from the final centered iterate and attaches it to the returned
+/// [`Solution`] (after verifying it against the problem). Sweeps feed these
+/// to [`Certificate::certifies`] to reject neighbouring design points with
+/// one matvec instead of a fresh phase-I run. Phase I itself stops as soon
+/// as its duality bound proves no sufficiently feasible point exists,
+/// instead of polishing an infeasibility verdict it already knows.
+///
+/// The solver also caches the equality-elimination QR keyed by the
+/// constraint rows, so families of problems sharing one equality structure
+/// (e.g. the uniform-frequency sweep) only re-project the right-hand side.
+///
 /// # Example
 ///
 /// ```
@@ -61,31 +97,69 @@ fn debug_enabled() -> bool {
 pub struct BarrierSolver {
     opts: SolverOptions,
     scratch: SolverScratch,
+    eq_cache: Option<EqReduction>,
 }
 
-/// Feasibility predicate for phase I's early exit.
+/// Cached QR machinery for one equality-constraint structure: grid cells
+/// that share the constraint matrix re-project only the right-hand side
+/// instead of re-factoring per solve.
+#[derive(Debug, Clone)]
+struct EqReduction {
+    /// The equality rows this factorization covers (the cache key).
+    rows: Vec<Vec<f64>>,
+    /// Thin `Q` factor of `Aᵀ` (`n × k`).
+    q_thin: Matrix,
+    /// Upper-triangular `R` (`k × k`).
+    r: Matrix,
+    /// Orthonormal nullspace basis `F` (`n × (n−k)`), shared with callers
+    /// so cache hits hand it out without copying.
+    f: std::sync::Arc<Matrix>,
+}
+
+/// Feasibility predicate for phase I's early exit (checked every step).
 type EarlyExit<'a> = &'a dyn Fn(&[f64]) -> bool;
+/// Infeasibility predicate `(x, gap, centered) -> stop` checked after each
+/// outer iteration; `gap = m/t` is a valid duality bound only when
+/// `centered` is true, but certificate-based checks are sound anywhere.
+type BoundExit<'a> = &'a dyn Fn(&[f64], f64, bool) -> bool;
+
+/// Loop controls for one barrier run.
+#[derive(Default, Clone, Copy)]
+struct RunCtrl<'a> {
+    early_exit: Option<EarlyExit<'a>>,
+    bound_exit: Option<BoundExit<'a>>,
+    newton_budget: Option<usize>,
+}
 
 /// Inequality-only problem data in the (possibly reduced) variable space.
+///
+/// Linear rows are packed into one row-major matrix so the Newton assembly
+/// can run matvecs and the blocked `AᵀDA` update over contiguous memory.
 struct Dense {
     n: usize,
     p0: Option<Matrix>,
     q0: Vec<f64>,
-    lin_rows: Vec<Vec<f64>>,
-    lin_rhs: Vec<f64>,
+    /// Packed linear inequality rows (`m × n`).
+    a: Matrix,
+    /// Linear right-hand sides.
+    b: Vec<f64>,
     quad: Vec<QuadConstraint>,
 }
 
 impl Dense {
+    fn num_lin(&self) -> usize {
+        self.a.rows()
+    }
+
     fn num_ineq(&self) -> usize {
-        self.lin_rows.len() + self.quad.len()
+        self.num_lin() + self.quad.len()
     }
 
     /// Worst constraint value (≤ 0 ⇒ feasible).
     fn max_violation(&self, x: &[f64]) -> f64 {
         let mut worst = f64::NEG_INFINITY;
-        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
-            worst = worst.max(vecops::dot(row, x) - rhs);
+        for i in 0..self.num_lin() {
+            worst = worst.max(vecops::dot(self.a.row(i), x) - self.b[i]);
         }
         for q in &self.quad {
             worst = worst.max(q.eval(x));
@@ -114,8 +188,8 @@ impl Dense {
     /// Barrier function `t·f₀(x) − Σ log(sᵢ)`; `None` if any slack ≤ 0.
     fn barrier_value(&self, t: f64, x: &[f64]) -> Option<f64> {
         let mut v = t * self.objective(x);
-        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
-            let s = rhs - vecops::dot(row, x);
+        for i in 0..self.num_lin() {
+            let s = self.b[i] - vecops::dot(self.a.row(i), x);
             if s <= 0.0 {
                 return None;
             }
@@ -140,10 +214,11 @@ impl Dense {
     /// `tmp` is clobbered (a length-`n` buffer). Allocation-free.
     fn max_step(&self, x: &[f64], dx: &[f64], tmp: &mut [f64]) -> f64 {
         let mut alpha = 1.0_f64;
-        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
+        for i in 0..self.num_lin() {
+            let row = self.a.row(i);
             let deriv = vecops::dot(row, dx);
             if deriv > 0.0 {
-                let slack = rhs - vecops::dot(row, x);
+                let slack = self.b[i] - vecops::dot(row, x);
                 alpha = alpha.min(0.99 * slack / deriv);
             }
         }
@@ -161,51 +236,95 @@ impl Dense {
     }
 
     /// Pure barrier gradient `∇φ` (no objective term) at a strictly
-    /// feasible `x`, written into `s.grad` (`s.qgrad` is clobbered).
-    /// Unlike [`Dense::grad_hess_into`] this skips the Hessian assembly —
-    /// the warm-start `t₀` estimate only needs the gradient, and the
-    /// rank-1 updates would cost a full Newton step's worth of work.
+    /// feasible `x`, written into `s.grad` (`s.qgrad` and the row buffers
+    /// are clobbered). Unlike [`Dense::grad_hess_into`] this skips the
+    /// Hessian assembly — the warm-start `t₀` estimate only needs the
+    /// gradient.
     fn barrier_gradient_into(&self, x: &[f64], s: &mut DimScratch) {
-        s.grad.fill(0.0);
-        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
-            let slack = rhs - vecops::dot(row, x);
-            vecops::axpy(1.0 / slack, row, &mut s.grad);
+        let m = self.num_lin();
+        s.ensure_rows(m);
+        let DimScratch {
+            grad,
+            qgrad,
+            slack,
+            w,
+            ..
+        } = s;
+        grad.fill(0.0);
+        if m > 0 {
+            let slack = &mut slack[..m];
+            let w = &mut w[..m];
+            self.a.matvec_into(x, slack);
+            for ((wi, sl), &bi) in w.iter_mut().zip(slack.iter()).zip(&self.b) {
+                *wi = 1.0 / (bi - sl);
+            }
+            self.a.matvec_t_into(w, qgrad);
+            vecops::axpy(1.0, qgrad, grad);
         }
         for q in &self.quad {
             let slack = -q.eval(x);
-            q.gradient_into(x, &mut s.qgrad);
-            vecops::axpy(1.0 / slack, &s.qgrad, &mut s.grad);
+            q.gradient_into(x, qgrad);
+            vecops::axpy(1.0 / slack, qgrad, grad);
         }
     }
 
-    /// Gradient and Hessian of the barrier function at a strictly feasible
-    /// `x`, written into the scratch buffers (`s.grad`, `s.hess`; `s.qgrad`
-    /// is clobbered as a temporary). Allocation-free.
+    /// Gradient and *lower-triangle* Hessian of the barrier function at a
+    /// strictly feasible `x`, written into the scratch buffers (`s.grad`,
+    /// `s.hess`; `s.qgrad` and the row buffers are clobbered). The strict
+    /// upper triangle of `s.hess` is left unspecified — everything
+    /// downstream (Jacobi scaling, Cholesky) reads the lower triangle only.
+    ///
+    /// The linear-constraint contribution `Aᵀ D A` (with `Dᵢᵢ = 1/sᵢ²`) is
+    /// one blocked syrk-style rank-k update over the packed rows instead of
+    /// `m` full-matrix rank-1 updates; this is the hot kernel of the whole
+    /// sweep. Allocation-free after the row buffers have grown.
     fn grad_hess_into(&self, t: f64, x: &[f64], s: &mut DimScratch) {
-        s.grad.fill(0.0);
-        s.hess.set_zero();
+        let m = self.num_lin();
+        s.ensure_rows(m);
+        let DimScratch {
+            grad,
+            hess,
+            qgrad,
+            slack,
+            w,
+            ..
+        } = s;
+        grad.fill(0.0);
+        hess.set_zero();
         // Objective part.
         if let Some(p) = &self.p0 {
-            p.matvec_into(x, &mut s.qgrad);
-            vecops::axpy(t, &s.qgrad, &mut s.grad);
-            s.hess.axpy(t, p).expect("shape");
+            p.matvec_into(x, qgrad);
+            vecops::axpy(t, qgrad, grad);
+            hess.axpy_lower(t, p).expect("shape");
         }
-        vecops::axpy(t, &self.q0, &mut s.grad);
-        // Linear constraints.
-        for (row, rhs) in self.lin_rows.iter().zip(&self.lin_rhs) {
-            let slack = rhs - vecops::dot(row, x);
-            let inv = 1.0 / slack;
-            vecops::axpy(inv, row, &mut s.grad);
-            s.hess.rank1_update(inv * inv, row);
+        vecops::axpy(t, &self.q0, grad);
+        // Linear constraints: slacks s = b − Ax, then grad += Aᵀ(1/s) and
+        // hess += Aᵀ diag(1/s²) A in one blocked pass.
+        if m > 0 {
+            let slack = &mut slack[..m];
+            let w = &mut w[..m];
+            self.a.matvec_into(x, slack);
+            for (sl, &bi) in slack.iter_mut().zip(&self.b) {
+                *sl = bi - *sl;
+            }
+            for (wi, &sl) in w.iter_mut().zip(slack.iter()) {
+                *wi = 1.0 / sl;
+            }
+            self.a.matvec_t_into(w, qgrad);
+            vecops::axpy(1.0, qgrad, grad);
+            for wi in w.iter_mut() {
+                *wi *= *wi;
+            }
+            hess.syrk_lower_update(&self.a, w);
         }
         // Quadratic constraints.
         for q in &self.quad {
-            let slack = -q.eval(x);
-            let inv = 1.0 / slack;
-            q.gradient_into(x, &mut s.qgrad);
-            vecops::axpy(inv, &s.qgrad, &mut s.grad);
-            s.hess.rank1_update(inv * inv, &s.qgrad);
-            s.hess.axpy(inv, &q.p).expect("shape");
+            let sl = -q.eval(x);
+            let inv = 1.0 / sl;
+            q.gradient_into(x, qgrad);
+            vecops::axpy(inv, qgrad, grad);
+            hess.rank1_update_lower(inv * inv, qgrad);
+            hess.axpy_lower(inv, &q.p).expect("shape");
         }
     }
 }
@@ -216,12 +335,47 @@ struct BarrierRun {
     outer: usize,
     newton: usize,
     gap: f64,
+    /// Barrier parameter at termination (certificate extraction needs it).
+    t: f64,
     converged: bool,
     /// `true` when the final centering ended by driving the Newton
     /// decrement under `tol_inner` (so the duality-gap bound `m/t` is
     /// trustworthy), `false` when it ended in a line-search stall. A stalled
     /// warm run falls back to the cold path instead of being certified.
     centered: bool,
+}
+
+/// Raw certificate pieces in the reduced variable space, as extracted from
+/// a failed phase-I run (multipliers per original constraint, anchor `z`).
+struct CertParts {
+    lambda_lin: Vec<f64>,
+    lambda_quad: Vec<f64>,
+    anchor_z: Vec<f64>,
+}
+
+/// Outcome of one phase-I run.
+struct Phase1Outcome {
+    /// A strictly feasible reduced point, or `None` when infeasible.
+    z: Option<Vec<f64>>,
+    outer: usize,
+    newton: usize,
+    /// Raw certificate material when the run proved infeasibility.
+    cert: Option<CertParts>,
+}
+
+/// Result of a feasibility-only query
+/// ([`BarrierSolver::find_feasible_with`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibleOutcome {
+    /// A strictly feasible point in the original variable space, or `None`
+    /// when the problem is infeasible.
+    pub point: Option<Vec<f64>>,
+    /// Verified infeasibility certificate, when the problem is infeasible
+    /// and extraction succeeded.
+    pub certificate: Option<Certificate>,
+    /// Newton steps the query consumed (0 when the seed or origin was
+    /// already strictly feasible).
+    pub newton_steps: usize,
 }
 
 impl BarrierSolver {
@@ -235,6 +389,7 @@ impl BarrierSolver {
         BarrierSolver {
             opts,
             scratch: SolverScratch::new(),
+            eq_cache: None,
         }
     }
 
@@ -309,12 +464,13 @@ impl BarrierSolver {
         let n = prob.num_vars();
 
         // Eliminate equality constraints: x = x_p + F z.
-        let (x_p, f_basis) = reduce_equalities(prob)?;
-        let dense = project_problem(prob, &x_p, f_basis.as_ref());
+        let (x_p, f_basis) = self.reduce_equalities(prob)?;
+        let dense = project_problem(prob, &x_p, f_basis.as_deref());
         let nz = dense.n;
 
         let mut outer_total = 0;
         let mut newton_total = 0;
+        let mut phase1_steps = 0;
 
         // Projected warm start, when one was supplied with the right size.
         let warm_z0: Option<Vec<f64>> = x0.filter(|v| v.len() == n).map(|x0| match &f_basis {
@@ -343,18 +499,22 @@ impl BarrierSolver {
                     // mismatched one stalls against the boundary — detect
                     // that cheaply and fall back instead of grinding.
                     let t_start = self.estimate_warm_t0(&dense, &z0);
-                    let run =
-                        self.run_barrier_budgeted(&dense, z0.clone(), t_start, WARM_TRY_BUDGET)?;
+                    let ctrl = RunCtrl {
+                        newton_budget: Some(WARM_TRY_BUDGET),
+                        ..RunCtrl::default()
+                    };
+                    let run = self.run_barrier_impl(&dense, z0.clone(), t_start, ctrl)?;
                     outer_total += run.outer;
                     newton_total += run.newton;
                     if run.centered {
                         return Ok(assemble_solution(
                             prob,
                             &x_p,
-                            f_basis.as_ref(),
+                            f_basis.as_deref(),
                             run,
                             outer_total,
                             newton_total,
+                            phase1_steps,
                         ));
                     }
                     // Stalled: the point hugs a corner where phase II at
@@ -366,16 +526,18 @@ impl BarrierSolver {
                 } else {
                     // Seed mode: phase II from the point at the configured
                     // t₀ (seeds are interior by construction).
-                    let run = self.run_barrier_from(&dense, z0, self.opts.t0, None)?;
+                    let run =
+                        self.run_barrier_impl(&dense, z0, self.opts.t0, RunCtrl::default())?;
                     outer_total += run.outer;
                     newton_total += run.newton;
                     return Ok(assemble_solution(
                         prob,
                         &x_p,
-                        f_basis.as_ref(),
+                        f_basis.as_deref(),
                         run,
                         outer_total,
                         newton_total,
+                        phase1_steps,
                     ));
                 }
             } else {
@@ -386,26 +548,70 @@ impl BarrierSolver {
         }
 
         // Cold path (and the fallback for a stalled warm run).
+        let warm_origin = phase1_seed.is_some() && estimate_t;
         let mut z0 = phase1_seed.unwrap_or_else(|| vec![0.0; nz]);
         if dense.num_ineq() > 0 && dense.max_violation(&z0) >= -self.opts.phase1_margin {
-            let (feasible, o, nsteps) = self.phase1(&dense, &z0)?;
-            outer_total += o;
-            newton_total += nsteps;
-            match feasible {
+            let p1 = self.phase1(&dense, &z0, f_basis.is_some())?;
+            outer_total += p1.outer;
+            newton_total += p1.newton;
+            phase1_steps += p1.newton;
+            match p1.z {
                 Some(z_feas) => z0 = z_feas,
-                None => return Ok(Solution::infeasible(outer_total, newton_total)),
+                None => {
+                    let certificate =
+                        self.verify_cert_parts(prob, &x_p, f_basis.as_deref(), p1.cert);
+                    return Ok(Solution::infeasible(
+                        outer_total,
+                        newton_total,
+                        phase1_steps,
+                        certificate,
+                    ));
+                }
+            }
+            // Warm resume: when the supplied point was a neighbouring
+            // optimum (warm semantics) that phase I just nudged back into
+            // the strict interior — it stalled against the boundary, or
+            // violated the new constraints slightly — it is still
+            // essentially optimal, so re-enter the central path at the
+            // matching barrier parameter instead of re-climbing from t₀.
+            // Without this, a degenerate active set (e.g. the gradient
+            // rows at low targets, whose optimum has machine-epsilon
+            // slack) costs a full cold climb on every link of a warm
+            // chain. The attempt is budgeted exactly like the direct warm
+            // fast path and falls back to the cold climb if it stalls.
+            if warm_origin {
+                let t_start = self.estimate_warm_t0(&dense, &z0);
+                let ctrl = RunCtrl {
+                    newton_budget: Some(WARM_TRY_BUDGET),
+                    ..RunCtrl::default()
+                };
+                let run = self.run_barrier_impl(&dense, z0.clone(), t_start, ctrl)?;
+                outer_total += run.outer;
+                newton_total += run.newton;
+                if run.converged && run.centered {
+                    return Ok(assemble_solution(
+                        prob,
+                        &x_p,
+                        f_basis.as_deref(),
+                        run,
+                        outer_total,
+                        newton_total,
+                        phase1_steps,
+                    ));
+                }
             }
         }
-        let run = self.run_barrier_from(&dense, z0, self.opts.t0, None)?;
+        let run = self.run_barrier_impl(&dense, z0, self.opts.t0, RunCtrl::default())?;
         outer_total += run.outer;
         newton_total += run.newton;
         Ok(assemble_solution(
             prob,
             &x_p,
-            f_basis.as_ref(),
+            f_basis.as_deref(),
             run,
             outer_total,
             newton_total,
+            phase1_steps,
         ))
     }
 
@@ -419,27 +625,75 @@ impl BarrierSolver {
     ///
     /// Same conditions as [`BarrierSolver::solve`].
     pub fn find_feasible(&mut self, prob: &Problem) -> Result<Option<Vec<f64>>> {
+        Ok(self.find_feasible_with(prob, None)?.point)
+    }
+
+    /// As [`BarrierSolver::find_feasible`], but optionally seeds phase I
+    /// from `seed` (a feasible point of a neighbouring problem is excellent
+    /// geometry even when it violates the new constraints slightly), and
+    /// reports the Newton cost plus a verified infeasibility
+    /// [`Certificate`] when the problem has none. Frontier bisections chain
+    /// the previous feasible probe's point and screen with the previous
+    /// certificate, turning most probes into zero- or few-step checks.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BarrierSolver::solve`].
+    pub fn find_feasible_with(
+        &mut self,
+        prob: &Problem,
+        seed: Option<&[f64]>,
+    ) -> Result<FeasibleOutcome> {
         prob.validate()?;
-        let (x_p, f_basis) = reduce_equalities(prob)?;
-        let dense = project_problem(prob, &x_p, f_basis.as_ref());
-        let z0 = vec![0.0; dense.n];
+        let (x_p, f_basis) = self.reduce_equalities(prob)?;
+        let dense = project_problem(prob, &x_p, f_basis.as_deref());
+        let z0 = match seed.filter(|v| v.len() == prob.num_vars()) {
+            Some(x0) => match &f_basis {
+                Some(f) => f.matvec_t(&vecops::sub(x0, &x_p)),
+                None => x0.to_vec(),
+            },
+            None => vec![0.0; dense.n],
+        };
         if dense.num_ineq() == 0 || dense.max_violation(&z0) < -self.opts.phase1_margin {
-            let x = match &f_basis {
-                Some(f) => vecops::add(&x_p, &f.matvec(&z0)),
-                None => z0,
-            };
-            return Ok(Some(x));
+            return Ok(FeasibleOutcome {
+                point: Some(lift(&x_p, f_basis.as_deref(), &z0)),
+                certificate: None,
+                newton_steps: 0,
+            });
         }
-        match self.phase1(&dense, &z0)? {
-            (Some(z), _, _) => {
-                let x = match &f_basis {
-                    Some(f) => vecops::add(&x_p, &f.matvec(&z)),
-                    None => z,
-                };
-                Ok(Some(x))
-            }
-            (None, _, _) => Ok(None),
+        let p1 = self.phase1(&dense, &z0, f_basis.is_some())?;
+        match p1.z {
+            Some(z) => Ok(FeasibleOutcome {
+                point: Some(lift(&x_p, f_basis.as_deref(), &z)),
+                certificate: None,
+                newton_steps: p1.newton,
+            }),
+            None => Ok(FeasibleOutcome {
+                point: None,
+                certificate: self.verify_cert_parts(prob, &x_p, f_basis.as_deref(), p1.cert),
+                newton_steps: p1.newton,
+            }),
         }
+    }
+
+    /// Maps raw reduced-space certificate parts back to the original
+    /// variables and keeps them only if they genuinely certify `prob`
+    /// (the barrier multipliers are approximate; an unverified certificate
+    /// must never circulate).
+    fn verify_cert_parts(
+        &mut self,
+        prob: &Problem,
+        x_p: &[f64],
+        f_basis: Option<&Matrix>,
+        parts: Option<CertParts>,
+    ) -> Option<Certificate> {
+        let parts = parts?;
+        let cert = Certificate {
+            lambda_lin: parts.lambda_lin,
+            lambda_quad: parts.lambda_quad,
+            anchor: lift(x_p, f_basis, &parts.anchor_z),
+        };
+        cert.certifies(prob, self.scratch.cert_ws()).then_some(cert)
     }
 
     /// The warm-start barrier parameter `t₀ = −⟨∇f₀, ∇φ⟩ / ‖∇f₀‖²` at a
@@ -473,15 +727,32 @@ impl BarrierSolver {
         }
     }
 
-    /// Phase I: minimize s subject to fᵢ(z) ≤ s. Returns a strictly feasible
-    /// z, or `None` when the problem is infeasible.
-    /// Returns `(strictly feasible z or None, outer iterations, Newton
-    /// steps)` — the counts cover the failed case too, where the
-    /// infeasibility certificate is often the most expensive solve in a
-    /// sweep.
-    fn phase1(&mut self, dense: &Dense, z0: &[f64]) -> Result<(Option<Vec<f64>>, usize, usize)> {
+    /// Phase I: minimize `s` subject to `fᵢ(z) ≤ s`. Returns a strictly
+    /// feasible `z` (or `None`), the iteration counts — which cover the
+    /// failed case too — and, on failure, the raw Farkas certificate
+    /// material from the final centered iterate.
+    ///
+    /// Two early exits bound the work: the run stops the moment any iterate
+    /// certifies feasibility (`s < −margin`), and stops with an
+    /// infeasibility verdict as soon as the duality bound proves
+    /// `s* > −margin` (`s_cur − 2·gap > −margin`, with a factor-2 cushion
+    /// for the inexact centering) — deeply infeasible cells no longer
+    /// polish a verdict to tolerance that was already decided.
+    /// `reduced` marks an equality-eliminated problem: its projected rows
+    /// are dense, so the box-harvesting Farkas exit can never fire and is
+    /// skipped (the centered duality-gap exit still applies).
+    fn phase1(&mut self, dense: &Dense, z0: &[f64], reduced: bool) -> Result<Phase1Outcome> {
         let nz = dense.n;
         let n_aug = nz + 1;
+        let m_lin = dense.num_lin();
+        // Augmented rows [aᵢ, −1]; augmented quads keep P in the leading
+        // block and gain the −1 on s.
+        let mut a_aug = Matrix::zeros(m_lin, n_aug);
+        for i in 0..m_lin {
+            let row = a_aug.row_mut(i);
+            row[..nz].copy_from_slice(dense.a.row(i));
+            row[nz] = -1.0;
+        }
         let mut aug = Dense {
             n: n_aug,
             p0: None,
@@ -490,15 +761,10 @@ impl BarrierSolver {
                 q[nz] = 1.0; // minimize s
                 q
             },
-            lin_rows: Vec::with_capacity(dense.lin_rows.len()),
-            lin_rhs: dense.lin_rhs.clone(),
+            a: a_aug,
+            b: dense.b.clone(),
             quad: Vec::with_capacity(dense.quad.len()),
         };
-        for row in &dense.lin_rows {
-            let mut r = row.clone();
-            r.push(-1.0);
-            aug.lin_rows.push(r);
-        }
         for q in &dense.quad {
             let mut p = Matrix::zeros(n_aug, n_aug);
             for r in 0..nz {
@@ -526,48 +792,52 @@ impl BarrierSolver {
         // its duality gap below the margin — a frontier point with
         // `s* ∈ (-tol, -margin)` would otherwise be misreported as
         // infeasible when the loose sweep tolerance stops the climb early.
-        // The early exit fires the moment any iterate certifies
-        // feasibility, so the tighter gap only costs outers on (near-)
-        // infeasible cells.
+        // The early exits fire the moment either verdict is certain, so the
+        // tighter gap only costs outers on razor-thin frontier cells.
         let saved_opts = self.opts;
         self.opts.tol = self.opts.tol.min(margin.max(1e-12));
-        let run = self.run_barrier_from(&aug, start, t0, Some(&|pt: &[f64]| pt[nz] < -margin));
+        let feasible_exit = |pt: &[f64]| pt[nz] < -margin;
+        // Infeasibility is decided two ways, both sound: at a centered
+        // point the duality bound `s* ≥ s − 2·gap` (factor-2 cushion for
+        // the inexact centering) proves `s* > −margin`; at *any* iterate
+        // the Farkas candidate `λᵢ = 1/(s − fᵢ(z))` may already certify
+        // through the box-grounded bound — which is what rescues the runs
+        // whose centerings stall near the end of the climb.
+        // Borrow the solver's warm certificate workspace for the duration
+        // of the run (a RefCell because the exit closure only sees `&self`
+        // borrows); returned below so repeated phase-I runs stay
+        // allocation-free once the buffers have grown.
+        let cert_ws = std::cell::RefCell::new(std::mem::take(self.scratch.cert_ws()));
+        let infeasible_exit = |pt: &[f64], gap: f64, centered: bool| {
+            (centered && pt[nz] - 2.0 * gap > -margin)
+                || (!reduced && phase1_infeas_check(dense, pt, &mut cert_ws.borrow_mut()))
+        };
+        let ctrl = RunCtrl {
+            early_exit: Some(&feasible_exit),
+            bound_exit: Some(&infeasible_exit),
+            newton_budget: None,
+        };
+        let run = self.run_barrier_impl(&aug, start, t0, ctrl);
+        *self.scratch.cert_ws() = cert_ws.into_inner();
         self.opts = saved_opts;
         let run = run?;
         if run.x[nz] < -margin {
             let z = run.x[..nz].to_vec();
-            Ok((Some(z), run.outer, run.newton))
+            Ok(Phase1Outcome {
+                z: Some(z),
+                outer: run.outer,
+                newton: run.newton,
+                cert: None,
+            })
         } else {
-            Ok((None, run.outer, run.newton))
+            let cert = extract_cert_parts(&aug, &run);
+            Ok(Phase1Outcome {
+                z: None,
+                outer: run.outer,
+                newton: run.newton,
+                cert,
+            })
         }
-    }
-
-    /// The central-path loop with damped Newton centering, starting at
-    /// barrier parameter `t0` (phase I chooses a larger one).
-    ///
-    /// All per-iteration temporaries live in the solver's scratch slot for
-    /// `dense.n`; the loop allocates nothing after that slot has grown.
-    fn run_barrier_from(
-        &mut self,
-        dense: &Dense,
-        x0: Vec<f64>,
-        t0: f64,
-        early_exit: Option<EarlyExit<'_>>,
-    ) -> Result<BarrierRun> {
-        self.run_barrier_impl(dense, x0, t0, early_exit, usize::MAX)
-    }
-
-    /// As [`Self::run_barrier_from`], but gives up (uncentered, not
-    /// converged) once `newton_budget` Newton steps are spent. Used for the
-    /// speculative warm-start attempt.
-    fn run_barrier_budgeted(
-        &mut self,
-        dense: &Dense,
-        x0: Vec<f64>,
-        t0: f64,
-        newton_budget: usize,
-    ) -> Result<BarrierRun> {
-        self.run_barrier_impl(dense, x0, t0, None, newton_budget)
     }
 
     fn run_barrier_impl(
@@ -575,10 +845,10 @@ impl BarrierSolver {
         dense: &Dense,
         x0: Vec<f64>,
         t0: f64,
-        early_exit: Option<EarlyExit<'_>>,
-        newton_budget: usize,
+        ctrl: RunCtrl<'_>,
     ) -> Result<BarrierRun> {
         let o = self.opts;
+        let newton_budget = ctrl.newton_budget.unwrap_or(usize::MAX);
         let s = self.scratch.for_dim(dense.n);
         let m = dense.num_ineq() as f64;
         let mut x = x0;
@@ -600,6 +870,7 @@ impl BarrierSolver {
                     outer: 0,
                     newton: 0,
                     gap: 0.0,
+                    t: t0,
                     converged: true,
                     centered: true,
                 });
@@ -611,6 +882,7 @@ impl BarrierSolver {
                 outer: 1,
                 newton: 1,
                 gap: 0.0,
+                t: t0,
                 converged: true,
                 centered: true,
             });
@@ -623,10 +895,13 @@ impl BarrierSolver {
 
         let mut t = t0;
         let mut outer = 0;
+        let mut last_lambda2 = f64::INFINITY;
         loop {
             // Centering at parameter t; `centered` records whether it ended
-            // by Newton-decrement convergence (vs a line-search stall).
+            // by Newton-decrement convergence (vs a stall).
             let mut centered = false;
+            let mut best_lambda2 = f64::INFINITY;
+            let mut steps_since_progress = 0usize;
             for _ in 0..o.max_newton {
                 dense.grad_hess_into(t, &x, s);
                 solve_spd_in_place(s)?;
@@ -634,9 +909,21 @@ impl BarrierSolver {
                 if !lambda2.is_finite() {
                     return Err(CvxError::NumericalTrouble { phase: "newton" });
                 }
+                last_lambda2 = lambda2;
                 if lambda2 / 2.0 <= o.tol_inner {
                     centered = true;
                     break;
+                }
+                // Decrement plateau: the centering has hit its noise floor;
+                // abandon it instead of grinding out the whole budget.
+                if lambda2 < PLATEAU_IMPROVE * best_lambda2 {
+                    best_lambda2 = lambda2;
+                    steps_since_progress = 0;
+                } else {
+                    steps_since_progress += 1;
+                    if steps_since_progress >= PLATEAU_BREAK {
+                        break;
+                    }
                 }
                 // Backtracking line search on the barrier function, entered
                 // at the fraction-to-boundary step so near-boundary starts
@@ -666,6 +953,7 @@ impl BarrierSolver {
                         outer,
                         newton: newton_total,
                         gap: m / t,
+                        t,
                         converged: false,
                         centered: false,
                     });
@@ -680,13 +968,14 @@ impl BarrierSolver {
                     // Line search stalled: no certified center at this t.
                     break;
                 }
-                if let Some(exit) = early_exit {
+                if let Some(exit) = ctrl.early_exit {
                     if exit(&x) {
                         return Ok(BarrierRun {
                             x,
                             outer,
                             newton: newton_total,
                             gap: m / t,
+                            t,
                             converged: true,
                             centered: true,
                         });
@@ -701,25 +990,49 @@ impl BarrierSolver {
                     dense.objective(&x)
                 );
             }
-            if let Some(exit) = early_exit {
+            if let Some(exit) = ctrl.early_exit {
                 if exit(&x) {
                     return Ok(BarrierRun {
                         x,
                         outer,
                         newton: newton_total,
                         gap: m / t,
+                        t,
                         converged: true,
                         centered: true,
                     });
                 }
             }
+            // Infeasibility exit (phase I's verdict): checked after every
+            // outer iteration; the predicate receives `centered` so it can
+            // gate its duality-gap test while running certificate tests —
+            // which are sound at any iterate — unconditionally.
+            if let Some(exit) = ctrl.bound_exit {
+                if exit(&x, m / t, centered) {
+                    return Ok(BarrierRun {
+                        x,
+                        outer,
+                        newton: newton_total,
+                        gap: m / t,
+                        t,
+                        converged: true,
+                        centered,
+                    });
+                }
+            }
             if m / t < o.tol {
+                // A stalled final centering only counts as converged when
+                // its decrement certifies the iterate is near the center —
+                // otherwise the gap bound would be fiction and the caller
+                // must see `MaxIterations`.
+                let near_center = centered || last_lambda2 / 2.0 <= LOOSE_CENTER_TOL;
                 return Ok(BarrierRun {
                     x,
                     outer,
                     newton: newton_total,
                     gap: m / t,
-                    converged: true,
+                    t,
+                    converged: near_center,
                     centered,
                 });
             }
@@ -729,12 +1042,206 @@ impl BarrierSolver {
                     outer,
                     newton: newton_total,
                     gap: m / t,
+                    t,
                     converged: false,
                     centered,
                 });
             }
             t *= o.mu;
         }
+    }
+
+    /// Computes a particular solution and nullspace basis for the equality
+    /// system `A x = b`, returning `(x_p, None)` with `x_p = 0` when there
+    /// are no equalities.
+    ///
+    /// The QR factorization of `Aᵀ` is cached keyed by the constraint rows:
+    /// a sweep of problems sharing one equality structure (the common case
+    /// — only right-hand sides vary across grid cells) re-projects the
+    /// right-hand side with one small triangular solve instead of
+    /// re-factoring.
+    fn reduce_equalities(
+        &mut self,
+        prob: &Problem,
+    ) -> Result<(Vec<f64>, Option<std::sync::Arc<Matrix>>)> {
+        let n = prob.num_vars();
+        let (rows, rhs) = prob.equalities();
+        if rows.is_empty() {
+            return Ok((vec![0.0; n], None));
+        }
+        let k = rows.len();
+        if k > n {
+            return Err(CvxError::InconsistentEqualities);
+        }
+        let cached = self
+            .eq_cache
+            .as_ref()
+            .is_some_and(|c| c.q_thin.rows() == n && c.rows == rows);
+        if !cached {
+            // QR of Aᵀ (n × k): A = RᵀQᵀ, so x_p = Q_thin (Rᵀ)⁻¹ b.
+            let at = Matrix::from_fn(n, k, |r, c| rows[c][r]);
+            let qr = Qr::factor(&at)?;
+            let q = qr.q();
+            self.eq_cache = Some(EqReduction {
+                rows: rows.to_vec(),
+                q_thin: Matrix::from_fn(n, k, |r, c| q[(r, c)]),
+                r: qr.r(),
+                f: std::sync::Arc::new(qr.nullspace_basis()),
+            });
+        }
+        let cache = self.eq_cache.as_ref().expect("cache populated above");
+        // Forward substitution on Rᵀ w = b (cheap; this is all that varies
+        // between cache hits).
+        let r = &cache.r;
+        let mut w = rhs.to_vec();
+        let rscale = r.norm_max().max(1.0);
+        for i in 0..k {
+            for j in 0..i {
+                let rji = r[(j, i)];
+                w[i] -= rji * w[j];
+            }
+            let d = r[(i, i)];
+            if d.abs() < 1e-12 * rscale {
+                return Err(CvxError::InconsistentEqualities);
+            }
+            w[i] /= d;
+        }
+        let x_p = cache.q_thin.matvec(&w);
+        // Verify consistency.
+        for (row, &b) in rows.iter().zip(rhs) {
+            if (vecops::dot(row, &x_p) - b).abs() > 1e-7 * (1.0 + b.abs()) {
+                return Err(CvxError::InconsistentEqualities);
+            }
+        }
+        // Cache hits share the basis by reference count — no copy.
+        Ok((x_p, Some(std::sync::Arc::clone(&cache.f))))
+    }
+}
+
+/// Extracts Farkas certificate material from a failed phase-I run: the
+/// barrier's implicit multipliers `λᵢ = 1/(t·sᵢ)` at the final iterate,
+/// normalized to sum 1, plus the iterate itself (without the `s` slot) as
+/// the linearization anchor. Returns `None` when any slack is non-positive
+/// (the iterate left the domain — nothing trustworthy to extract).
+fn extract_cert_parts(aug: &Dense, run: &BarrierRun) -> Option<CertParts> {
+    let nz = aug.n - 1;
+    let t = run.t;
+    if !(t.is_finite() && t > 0.0) {
+        return None;
+    }
+    let mut lambda_lin = Vec::with_capacity(aug.num_lin());
+    let mut lambda_quad = Vec::with_capacity(aug.quad.len());
+    let mut sum = 0.0;
+    for i in 0..aug.num_lin() {
+        let slack = aug.b[i] - vecops::dot(aug.a.row(i), &run.x);
+        if !(slack.is_finite() && slack > 0.0) {
+            return None;
+        }
+        let l = 1.0 / (t * slack);
+        sum += l;
+        lambda_lin.push(l);
+    }
+    for q in &aug.quad {
+        let slack = -q.eval(&run.x);
+        if !(slack.is_finite() && slack > 0.0) {
+            return None;
+        }
+        let l = 1.0 / (t * slack);
+        sum += l;
+        lambda_quad.push(l);
+    }
+    if !(sum.is_finite() && sum > 0.0) {
+        return None;
+    }
+    for l in lambda_lin.iter_mut().chain(lambda_quad.iter_mut()) {
+        *l /= sum;
+    }
+    Some(CertParts {
+        lambda_lin,
+        lambda_quad,
+        anchor_z: run.x[..nz].to_vec(),
+    })
+}
+
+/// Decides whether the phase-I iterate `pt = (z, s)` already proves the
+/// underlying problem infeasible, using the Farkas candidate
+/// `λᵢ ∝ 1/(s − fᵢ(z))` (the barrier multipliers up to the scale `1/t`,
+/// which cancels out of the verdict) and the same box-grounded convexity
+/// bound as [`Certificate::certifies`], evaluated directly on the reduced
+/// problem:
+///
+/// ```text
+/// g(x) = Σλᵢfᵢ(x) ≥ g(z) + ∇g(z)ᵀ(x − z) ≥ lower > 0  ⇒  infeasible
+/// ```
+///
+/// Sound at *any* strictly feasible phase-I iterate — no centering
+/// required — which is exactly what terminates the deeply infeasible runs
+/// whose centerings stall. One pass over the constraint data per outer
+/// iteration. (After equality elimination the projected rows are dense, so
+/// no variable bounds can be harvested and the check simply never fires —
+/// the centered duality-gap exit still covers that case, and `phase1`
+/// skips this check entirely for reduced problems.)
+///
+/// NOTE: the aggregation mirrors [`Certificate::certifies`] over the
+/// packed row storage with inline multipliers — keep the two in sync; the
+/// acceptance verdict is shared via `boxed_bound_accepts`.
+fn phase1_infeas_check(dense: &Dense, pt: &[f64], ws: &mut CertScratch) -> bool {
+    let nz = dense.n;
+    let z = &pt[..nz];
+    let s = pt[nz];
+    ws.ensure(nz);
+    ws.rho.fill(0.0);
+    ws.lo.fill(f64::NEG_INFINITY);
+    ws.hi.fill(f64::INFINITY);
+    let mut value = 0.0;
+    let mut mag = 0.0;
+    for i in 0..dense.num_lin() {
+        let row = dense.a.row(i);
+        let f = vecops::dot(row, z) - dense.b[i];
+        let slack = s - f;
+        if !(slack.is_finite() && slack > 0.0) {
+            return false;
+        }
+        if let Some((j, c)) = crate::certificate::single_entry(row) {
+            let bound = dense.b[i] / c;
+            if c > 0.0 {
+                ws.hi[j] = ws.hi[j].min(bound);
+            } else {
+                ws.lo[j] = ws.lo[j].max(bound);
+            }
+        }
+        let l = 1.0 / slack;
+        value += l * f;
+        mag += l * f.abs();
+        vecops::axpy(l, row, &mut ws.rho);
+    }
+    for q in &dense.quad {
+        let f = q.eval(z);
+        let slack = s - f;
+        if !(slack.is_finite() && slack > 0.0) {
+            return false;
+        }
+        let l = 1.0 / slack;
+        value += l * f;
+        mag += l * f.abs();
+        q.gradient_into(z, &mut ws.qgrad);
+        vecops::axpy(l, &ws.qgrad, &mut ws.rho);
+    }
+    crate::certificate::boxed_bound_accepts(
+        value,
+        mag,
+        &ws.rho[..nz],
+        &ws.lo[..nz],
+        &ws.hi[..nz],
+        z,
+    )
+}
+
+/// Maps a reduced point back to the original variables: `x = x_p + F z`.
+fn lift(x_p: &[f64], f_basis: Option<&Matrix>, z: &[f64]) -> Vec<f64> {
+    match f_basis {
+        Some(f) => vecops::add(x_p, &f.matvec(z)),
+        None => z.to_vec(),
     }
 }
 
@@ -747,11 +1254,9 @@ fn assemble_solution(
     run: BarrierRun,
     outer_total: usize,
     newton_total: usize,
+    phase1_steps: usize,
 ) -> Solution {
-    let x = match f_basis {
-        Some(f) => vecops::add(x_p, &f.matvec(&run.x)),
-        None => run.x,
-    };
+    let x = lift(x_p, f_basis, &run.x);
     let objective = prob.objective_value(&x);
     Solution {
         status: if run.converged {
@@ -763,45 +1268,62 @@ fn assemble_solution(
         objective,
         outer_iterations: outer_total,
         newton_steps: newton_total,
+        phase1_steps,
         gap_bound: run.gap,
+        certificate: None,
     }
 }
 
 /// Solves the Newton system `H dx = −grad` entirely inside the scratch
-/// buffers: reads `s.grad`/`s.hess`, writes `s.dx`; `s.jacobi`, `s.hs`,
-/// `s.bs` and `s.chol` are clobbered. Allocation-free.
+/// buffers: reads `s.grad` and the lower triangle of `s.hess`, writes
+/// `s.dx`; `s.jacobi`, `s.hs`, `s.bs` and `s.chol` are clobbered.
+/// Allocation-free.
 ///
 /// Barrier Hessians mix enormous curvatures (active constraints with tiny
 /// slacks contribute `1/s²` terms) with nearly flat directions, so the raw
 /// system can span 15+ orders of magnitude. Jacobi scaling `D H D` (unit
 /// diagonal) restores a workable condition number; an escalating ridge on
-/// the scaled system covers the remaining degenerate cases.
+/// the scaled system covers the remaining degenerate cases. Both the
+/// scaling and the Cholesky factorization touch the lower triangle only —
+/// the upper halves of `s.hess`/`s.hs` are never read.
 fn solve_spd_in_place(s: &mut DimScratch) -> Result<()> {
-    for (i, d) in s.jacobi.iter_mut().enumerate() {
-        let v = s.hess[(i, i)];
+    let DimScratch {
+        hess,
+        jacobi,
+        hs,
+        bs,
+        grad,
+        dx,
+        chol,
+        ..
+    } = s;
+    let n = jacobi.len();
+    for (i, d) in jacobi.iter_mut().enumerate() {
+        let v = hess[(i, i)];
         *d = if v > 0.0 && v.is_finite() {
             1.0 / v.sqrt()
         } else {
             1.0
         };
     }
-    for (r, &dr) in s.jacobi.iter().enumerate() {
-        let src = s.hess.row(r);
-        let dst = s.hs.row_mut(r);
-        for ((h, &a), &dc) in dst.iter_mut().zip(src).zip(&s.jacobi) {
+    for r in 0..n {
+        let dr = jacobi[r];
+        let src = &hess.as_slice()[r * n..r * n + r + 1];
+        let dst = &mut hs.as_mut_slice()[r * n..r * n + r + 1];
+        for ((h, &a), &dc) in dst.iter_mut().zip(src).zip(jacobi.iter()) {
             *h = a * dr * dc;
         }
     }
-    for ((b, &g), &d) in s.bs.iter_mut().zip(&s.grad).zip(&s.jacobi) {
+    for ((b, &g), &d) in bs.iter_mut().zip(grad.iter()).zip(jacobi.iter()) {
         *b = -g * d;
     }
     let mut ridge = 0.0;
     for _ in 0..10 {
-        match s.chol.factor_in_place(&s.hs, ridge) {
+        match chol.factor_in_place(hs, ridge) {
             Ok(()) => {
-                s.dx.copy_from_slice(&s.bs);
-                s.chol.solve_in_place(&mut s.dx);
-                for (dxi, &d) in s.dx.iter_mut().zip(&s.jacobi) {
+                dx.copy_from_slice(bs);
+                chol.solve_in_place(dx);
+                for (dxi, &d) in dx.iter_mut().zip(jacobi.iter()) {
                     *dxi *= d;
                 }
                 return Ok(());
@@ -816,66 +1338,28 @@ fn solve_spd_in_place(s: &mut DimScratch) -> Result<()> {
     })
 }
 
-/// Computes a particular solution and nullspace basis for `A x = b`.
-///
-/// Returns `(x_p, None)` with `x_p = 0` when there are no equalities.
-fn reduce_equalities(prob: &Problem) -> Result<(Vec<f64>, Option<Matrix>)> {
-    let n = prob.num_vars();
-    let (rows, rhs) = prob.equalities();
-    if rows.is_empty() {
-        return Ok((vec![0.0; n], None));
-    }
-    let k = rows.len();
-    if k > n {
-        return Err(CvxError::InconsistentEqualities);
-    }
-    // QR of Aᵀ (n × k): A = RᵀQᵀ, so x_p = Q_thin (Rᵀ)⁻¹ b.
-    let at = Matrix::from_fn(n, k, |r, c| rows[c][r]);
-    let qr = Qr::factor(&at)?;
-    let r = qr.r();
-    // Forward substitution on Rᵀ w = b.
-    let mut w = rhs.to_vec();
-    let rscale = r.norm_max().max(1.0);
-    for i in 0..k {
-        for j in 0..i {
-            let rji = r[(j, i)];
-            w[i] -= rji * w[j];
-        }
-        let d = r[(i, i)];
-        if d.abs() < 1e-12 * rscale {
-            return Err(CvxError::InconsistentEqualities);
-        }
-        w[i] /= d;
-    }
-    let q = qr.q();
-    let mut x_p = vec![0.0; n];
-    for r_i in 0..n {
-        for c in 0..k {
-            x_p[r_i] += q[(r_i, c)] * w[c];
-        }
-    }
-    // Verify consistency.
-    for (row, &b) in rows.iter().zip(rhs) {
-        if (vecops::dot(row, &x_p) - b).abs() > 1e-7 * (1.0 + b.abs()) {
-            return Err(CvxError::InconsistentEqualities);
-        }
-    }
-    let f = qr.nullspace_basis();
-    Ok((x_p, Some(f)))
-}
-
-/// Projects the problem into the reduced space `x = x_p + F z`.
+/// Projects the problem into the reduced space `x = x_p + F z`, packing the
+/// linear inequality rows into one contiguous matrix for the blocked
+/// Newton assembly.
 fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
     let (p0, q0, _) = prob.objective();
+    let m_lin = prob.lin_rows().len();
     match f {
-        None => Dense {
-            n: prob.num_vars(),
-            p0: p0.cloned(),
-            q0: q0.to_vec(),
-            lin_rows: prob.lin_rows().to_vec(),
-            lin_rhs: prob.lin_rhs().to_vec(),
-            quad: prob.quad_constraints().to_vec(),
-        },
+        None => {
+            let n = prob.num_vars();
+            let mut a = Matrix::zeros(m_lin, n);
+            for (i, row) in prob.lin_rows().iter().enumerate() {
+                a.row_mut(i).copy_from_slice(row);
+            }
+            Dense {
+                n,
+                p0: p0.cloned(),
+                q0: q0.to_vec(),
+                a,
+                b: prob.lin_rhs().to_vec(),
+                quad: prob.quad_constraints().to_vec(),
+            }
+        }
         Some(f) => {
             let nz = f.cols();
             // Objective.
@@ -891,11 +1375,11 @@ fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
                 f.transpose().matmul(&pf).expect("shape")
             });
             // Linear rows.
-            let mut lin_rows = Vec::with_capacity(prob.lin_rows().len());
-            let mut lin_rhs = Vec::with_capacity(prob.lin_rows().len());
-            for (row, &rhs) in prob.lin_rows().iter().zip(prob.lin_rhs()) {
-                lin_rows.push(f.matvec_t(row));
-                lin_rhs.push(rhs - vecops::dot(row, x_p));
+            let mut a = Matrix::zeros(m_lin, nz);
+            let mut b = Vec::with_capacity(m_lin);
+            for (i, (row, &rhs)) in prob.lin_rows().iter().zip(prob.lin_rhs()).enumerate() {
+                a.row_mut(i).copy_from_slice(&f.matvec_t(row));
+                b.push(rhs - vecops::dot(row, x_p));
             }
             // Quadratic constraints.
             let quad = prob
@@ -918,8 +1402,8 @@ fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
                 n: nz,
                 p0: p0_z,
                 q0: q0_z,
-                lin_rows,
-                lin_rhs,
+                a,
+                b,
                 quad,
             }
         }
@@ -980,6 +1464,56 @@ mod tests {
         p.add_linear_le(vec![-1.0], -1.0);
         let s = solve(&p);
         assert_eq!(s.status, SolveStatus::Infeasible);
+        assert!(
+            s.phase1_steps > 0,
+            "infeasibility verdicts come from phase I"
+        );
+    }
+
+    #[test]
+    fn infeasible_solve_attaches_verified_certificate() {
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![1.0]);
+        p.add_linear_le(vec![1.0], 0.0);
+        p.add_linear_le(vec![-1.0], -1.0);
+        let s = solve(&p);
+        assert_eq!(s.status, SolveStatus::Infeasible);
+        let cert = s.certificate.expect("certificate extracted");
+        assert!(crate::check_certificate(&p, &cert));
+        // The same certificate rejects a strictly tighter variant …
+        let mut tighter = Problem::new(1);
+        tighter.set_linear_objective(vec![1.0]);
+        tighter.add_linear_le(vec![1.0], -0.5);
+        tighter.add_linear_le(vec![-1.0], -1.0);
+        assert!(crate::check_certificate(&tighter, &cert));
+        // … and never a feasible relaxation.
+        let mut feasible = Problem::new(1);
+        feasible.set_linear_objective(vec![1.0]);
+        feasible.add_linear_le(vec![1.0], 2.0);
+        feasible.add_linear_le(vec![-1.0], -1.0);
+        assert!(!crate::check_certificate(&feasible, &cert));
+    }
+
+    #[test]
+    fn find_feasible_with_reports_certificate_and_seed_shortcut() {
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![1.0]);
+        p.add_linear_le(vec![1.0], 0.0);
+        p.add_linear_le(vec![-1.0], -1.0);
+        let mut solver = BarrierSolver::new(SolverOptions::default());
+        let out = solver.find_feasible_with(&p, None).unwrap();
+        assert!(out.point.is_none());
+        assert!(out.newton_steps > 0);
+        assert!(out.certificate.is_some());
+
+        // A strictly interior seed on a feasible problem is accepted with
+        // zero Newton steps.
+        let mut q = Problem::new(1);
+        q.set_linear_objective(vec![1.0]);
+        q.add_box(0, 0.0, 10.0);
+        let out = solver.find_feasible_with(&q, Some(&[5.0])).unwrap();
+        assert_eq!(out.newton_steps, 0);
+        assert!(out.point.is_some());
     }
 
     #[test]
@@ -1004,6 +1538,31 @@ mod tests {
         let s = solve(&p);
         assert!((s.x[0] - 0.5).abs() < 1e-5);
         assert!((s.x[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn equality_reduction_cache_reused_across_rhs() {
+        // Same equality rows, different right-hand sides: the cached QR
+        // must re-project correctly for each.
+        let mut solver = BarrierSolver::new(SolverOptions::default());
+        for target in [1.0, 2.0, 3.0] {
+            let mut p = Problem::new(2);
+            p.set_quadratic_objective(Matrix::from_diag(&[2.0, 2.0]), vec![0.0, 0.0]);
+            p.add_eq(vec![1.0, 1.0], target);
+            let s = solver.solve(&p).unwrap();
+            assert!(
+                (s.x[0] - target / 2.0).abs() < 1e-6,
+                "target {target}: got {:?}",
+                s.x
+            );
+        }
+        // Different equality structure invalidates the cache.
+        let mut p = Problem::new(2);
+        p.set_quadratic_objective(Matrix::from_diag(&[2.0, 2.0]), vec![0.0, 0.0]);
+        p.add_eq(vec![1.0, -1.0], 0.0);
+        p.add_linear_le(vec![-1.0, 0.0], -1.0);
+        let s = solver.solve(&p).unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-4 && (s.x[1] - 1.0).abs() < 1e-4);
     }
 
     #[test]
@@ -1038,6 +1597,7 @@ mod tests {
         let cold = solver.solve(&p).unwrap();
         let warm = solver.solve_warm(&p, &cold.x).unwrap();
         assert!(warm.status.is_optimal());
+        assert_eq!(warm.phase1_steps, 0, "warm path skips phase I");
         assert!((warm.x[0] - cold.x[0]).abs() < 1e-4);
         assert!((warm.x[1] - cold.x[1]).abs() < 1e-4);
         assert!(

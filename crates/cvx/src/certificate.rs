@@ -1,0 +1,328 @@
+//! Farkas-style infeasibility certificates.
+//!
+//! When phase I fails, the barrier's implicit multipliers `λᵢ = 1/(t·sᵢ)`
+//! at the final centered iterate are (approximately) dual feasible for the
+//! phase-I program: `λ ≥ 0`, `Σλᵢ = 1`, `Σλᵢ∇fᵢ ≈ 0`, and the aggregated
+//! constraint `g(x) = Σλᵢ fᵢ(x)` has a positive infimum over the feasible
+//! box — for pure linear constraints this is exactly the Farkas certificate
+//! `λ ≥ 0`, `λᵀA = 0`, `λᵀb < 0`. A [`Certificate`] packages `λ` together
+//! with an anchor point `x̂`, and [`Certificate::certifies`] re-derives the
+//! positive lower bound *on the problem it is handed*, so a certificate
+//! extracted at one design point can reject a neighbouring point with one
+//! pass over the constraint data (one matvec-equivalent, no solve):
+//!
+//! ```text
+//! g(x) ≥ g(x̂) + ∇g(x̂)ᵀ(x − x̂)            (convexity)
+//!      ≥ g(x̂) + min over the box of the linear term
+//! ```
+//!
+//! Any feasible `x` has `g(x) ≤ 0` (each `fᵢ(x) ≤ 0`, `λᵢ ≥ 0`), so a
+//! positive lower bound proves infeasibility. Every quantity is evaluated
+//! against the target problem's own rows, which makes the check *sound by
+//! construction*: a certificate can never reject a feasible problem, no
+//! matter which problem it was extracted from. It merely fails to certify
+//! when the problems are too different (and the caller falls back to a full
+//! phase-I solve).
+//!
+//! The Phase-1 table sweep exploits monotonicity: offsets rise with the
+//! starting temperature and the workload bound tightens with the target
+//! frequency, so the right-hand sides of a hotter/faster cell are dominated
+//! and the inherited certificate's bound only grows. One certificate kills
+//! a whole column tail without ever invoking the solver.
+
+use protemp_linalg::vecops;
+use serde::{Deserialize, Serialize};
+
+use crate::Problem;
+
+/// Relative soundness cushion: the certified lower bound must clear the
+/// accumulated magnitude of the aggregation by this factor before we trust
+/// it, so `f64` cancellation across thousands of rows can never promote a
+/// marginally feasible problem to "certified infeasible". Phase I itself
+/// only reports feasible when the violation is below `-phase1_margin`, so
+/// the cushion costs nothing but near-tie certificates.
+pub(crate) const CERT_REL_TOL: f64 = 1e-9;
+
+/// A dual (Farkas-style) infeasibility certificate extracted from a failed
+/// phase-I run.
+///
+/// The fields are plain data so certificates can be serialized next to the
+/// tables they pruned and rebuilt by tests; see the module docs for the
+/// mathematical contract. Obtain one from
+/// [`crate::Solution::certificate`] after an infeasible solve, or from
+/// [`crate::BarrierSolver::find_feasible_with`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Nonnegative multipliers over the linear inequality rows, in problem
+    /// order (normalized to sum 1 with the quadratic multipliers).
+    pub lambda_lin: Vec<f64>,
+    /// Nonnegative multipliers over the quadratic constraints, in problem
+    /// order.
+    pub lambda_quad: Vec<f64>,
+    /// Anchor point `x̂` (the failed phase-I iterate, mapped back to the
+    /// original variable space) at which the aggregation is linearized.
+    pub anchor: Vec<f64>,
+}
+
+/// Reusable buffers for [`Certificate::certifies`].
+///
+/// Hold one per worker and reuse it across checks: after the first check of
+/// a given problem size the screen performs no heap allocation (the
+/// counting-allocator test pins this down).
+#[derive(Debug, Clone, Default)]
+pub struct CertScratch {
+    /// Aggregated gradient `∇g(x̂) = Σλᵢ∇fᵢ(x̂)`.
+    pub(crate) rho: Vec<f64>,
+    /// Per-variable lower bounds harvested from single-entry rows.
+    pub(crate) lo: Vec<f64>,
+    /// Per-variable upper bounds harvested from single-entry rows.
+    pub(crate) hi: Vec<f64>,
+    /// Gradient of one quadratic constraint (temporary).
+    pub(crate) qgrad: Vec<f64>,
+}
+
+impl CertScratch {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        CertScratch::default()
+    }
+
+    pub(crate) fn ensure(&mut self, n: usize) {
+        self.rho.resize(n, 0.0);
+        self.lo.resize(n, 0.0);
+        self.hi.resize(n, 0.0);
+        self.qgrad.resize(n, 0.0);
+    }
+}
+
+impl Certificate {
+    /// Returns `true` when this certificate proves `prob` infeasible.
+    ///
+    /// One pass over the constraint data — a matvec-equivalent, no solve.
+    /// Everything is evaluated against `prob`'s own rows, so the answer is
+    /// sound regardless of which problem the certificate came from; `false`
+    /// means "not certified", not "feasible".
+    ///
+    /// `ws` is clobbered; reuse one [`CertScratch`] across checks to keep
+    /// the screen allocation-free.
+    pub fn certifies(&self, prob: &Problem, ws: &mut CertScratch) -> bool {
+        let n = prob.num_vars();
+        let lin_rows = prob.lin_rows();
+        let lin_rhs = prob.lin_rhs();
+        let quad = prob.quad_constraints();
+        if self.anchor.len() != n
+            || self.lambda_lin.len() != lin_rows.len()
+            || self.lambda_quad.len() != quad.len()
+        {
+            return false;
+        }
+        let finite_nonneg = |l: &[f64]| l.iter().all(|&v| v.is_finite() && v >= 0.0);
+        if !finite_nonneg(&self.lambda_lin) || !finite_nonneg(&self.lambda_quad) {
+            return false;
+        }
+        if !self.anchor.iter().all(|v| v.is_finite()) {
+            return false;
+        }
+        ws.ensure(n);
+        ws.rho.fill(0.0);
+        ws.lo.fill(f64::NEG_INFINITY);
+        ws.hi.fill(f64::INFINITY);
+
+        // Aggregate value, gradient, and magnitude; harvest variable bounds
+        // from single-entry rows (`c·xⱼ ≤ b`) in the same pass.
+        // NOTE: phase I's in-run exit (`phase1_infeas_check` in barrier.rs)
+        // mirrors this aggregation over its packed row storage with inline
+        // multipliers — changes to the slack/finiteness guards or the
+        // harvesting rule must be applied to both (the acceptance verdict
+        // itself is shared via `boxed_bound_accepts`).
+        let mut value = 0.0;
+        let mut mag = 0.0;
+        for ((row, &rhs), &l) in lin_rows.iter().zip(lin_rhs).zip(&self.lambda_lin) {
+            if let Some((j, c)) = single_entry(row) {
+                let bound = rhs / c;
+                if c > 0.0 {
+                    ws.hi[j] = ws.hi[j].min(bound);
+                } else {
+                    ws.lo[j] = ws.lo[j].max(bound);
+                }
+            }
+            if l == 0.0 {
+                continue;
+            }
+            let f = vecops::dot(row, &self.anchor) - rhs;
+            value += l * f;
+            mag += l * f.abs();
+            vecops::axpy(l, row, &mut ws.rho);
+        }
+        for (q, &l) in quad.iter().zip(&self.lambda_quad) {
+            if l == 0.0 {
+                continue;
+            }
+            let f = q.eval(&self.anchor);
+            value += l * f;
+            mag += l * f.abs();
+            q.gradient_into(&self.anchor, &mut ws.qgrad);
+            vecops::axpy(l, &ws.qgrad, &mut ws.rho);
+        }
+
+        boxed_bound_accepts(
+            value,
+            mag,
+            &ws.rho[..n],
+            &ws.lo[..n],
+            &ws.hi[..n],
+            &self.anchor,
+        )
+    }
+}
+
+/// The shared tail of every certificate-style verdict: grounds the
+/// linearization `g(x) ≥ value + ρᵀ(x − anchor)` on the harvested variable
+/// bounds and accepts only when the resulting lower bound clears the
+/// accumulated magnitude by [`CERT_REL_TOL`] (an unbounded descent
+/// direction, a non-finite term, or a near-tie all reject). Both
+/// [`Certificate::certifies`] and phase I's in-run Farkas exit funnel
+/// through here, so the soundness cushion lives in exactly one place.
+pub(crate) fn boxed_bound_accepts(
+    value: f64,
+    mut mag: f64,
+    rho: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    anchor: &[f64],
+) -> bool {
+    let mut lower = value;
+    for (((&r, &l), &h), &a) in rho.iter().zip(lo).zip(hi).zip(anchor) {
+        let term = if r > 0.0 {
+            r * (l - a)
+        } else if r < 0.0 {
+            r * (h - a)
+        } else {
+            0.0
+        };
+        if !term.is_finite() {
+            return false;
+        }
+        lower += term;
+        mag += term.abs();
+    }
+    lower.is_finite() && lower > CERT_REL_TOL * mag.max(1.0)
+}
+
+/// `Some((index, coefficient))` when `row` has exactly one nonzero entry.
+pub(crate) fn single_entry(row: &[f64]) -> Option<(usize, f64)> {
+    let mut found = None;
+    for (j, &c) in row.iter().enumerate() {
+        if c != 0.0 {
+            if found.is_some() {
+                return None;
+            }
+            found = Some((j, c));
+        }
+    }
+    found
+}
+
+/// Convenience wrapper around [`Certificate::certifies`] that allocates a
+/// fresh workspace. Hot paths (the table sweep, frontier bisection) should
+/// hold a [`CertScratch`] instead.
+pub fn check_certificate(prob: &Problem, cert: &Certificate) -> bool {
+    cert.certifies(prob, &mut CertScratch::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `x ≤ 0` and `x ≥ 1`: the textbook Farkas pair.
+    fn infeasible_lp() -> Problem {
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![1.0]);
+        p.add_linear_le(vec![1.0], 0.0);
+        p.add_linear_le(vec![-1.0], -1.0);
+        p
+    }
+
+    #[test]
+    fn hand_built_farkas_certificate_checks() {
+        // λ = (½, ½): aggregated row 0·x, aggregated rhs −½ < 0.
+        let cert = Certificate {
+            lambda_lin: vec![0.5, 0.5],
+            lambda_quad: vec![],
+            anchor: vec![0.3],
+        };
+        assert!(check_certificate(&infeasible_lp(), &cert));
+    }
+
+    #[test]
+    fn certificate_never_rejects_a_feasible_problem() {
+        // Same structure, feasible rhs: x ≤ 2 and x ≥ 1.
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![1.0]);
+        p.add_linear_le(vec![1.0], 2.0);
+        p.add_linear_le(vec![-1.0], -1.0);
+        let cert = Certificate {
+            lambda_lin: vec![0.5, 0.5],
+            lambda_quad: vec![],
+            anchor: vec![0.3],
+        };
+        assert!(!check_certificate(&p, &cert));
+    }
+
+    #[test]
+    fn shape_mismatch_is_not_certified() {
+        let cert = Certificate {
+            lambda_lin: vec![1.0],
+            lambda_quad: vec![],
+            anchor: vec![0.0],
+        };
+        assert!(!check_certificate(&infeasible_lp(), &cert));
+    }
+
+    #[test]
+    fn negative_or_nonfinite_multipliers_rejected() {
+        let p = infeasible_lp();
+        for bad in [vec![-0.5, 1.0], vec![f64::NAN, 0.5]] {
+            let cert = Certificate {
+                lambda_lin: bad,
+                lambda_quad: vec![],
+                anchor: vec![0.0],
+            };
+            assert!(!check_certificate(&p, &cert));
+        }
+    }
+
+    #[test]
+    fn unbounded_residual_direction_is_not_certified() {
+        // Certificate leaves a gradient component on an unboxed variable:
+        // the linearization has no finite lower bound, so no verdict.
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![0.0, 0.0]);
+        p.add_linear_le(vec![1.0, 1.0], 0.0);
+        p.add_linear_le(vec![-1.0, 0.0], -1.0);
+        p.add_box(0, 0.0, 2.0);
+        let cert = Certificate {
+            // Aggregation keeps a +½ coefficient on x₁, which has no bounds.
+            lambda_lin: vec![0.5, 0.5, 0.0, 0.0],
+            lambda_quad: vec![],
+            anchor: vec![0.0, 0.0],
+        };
+        assert!(!check_certificate(&p, &cert));
+    }
+
+    #[test]
+    fn quadratic_infeasibility_certified_through_anchor() {
+        // ½·2x² ≤ −1 (impossible) with x boxed: λ on the quad row alone
+        // certifies through the anchored linearization.
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![1.0]);
+        p.add_box(0, -1.0, 1.0);
+        p.add_quad_le(protemp_linalg::Matrix::from_diag(&[2.0]), vec![0.0], -1.0);
+        let cert = Certificate {
+            lambda_lin: vec![0.0, 0.0],
+            lambda_quad: vec![1.0],
+            anchor: vec![0.0],
+        };
+        assert!(check_certificate(&p, &cert));
+    }
+}

@@ -23,6 +23,11 @@
 //!   per-iteration heap allocation after the first solve, and
 //!   [`BarrierSolver::solve_warm`] re-enters phase II directly from a
 //!   neighbouring optimum.
+//! * [`Certificate`] — Farkas-style infeasibility certificates extracted
+//!   from failed phase-I runs: [`Certificate::certifies`] soundly rejects
+//!   a related problem with one matvec-equivalent pass instead of a
+//!   solve, which is what lets design-space sweeps skip most of their
+//!   frontier phase-I runs.
 //! * [`solve_lp`] / [`solve_qp`] — one-call convenience wrappers.
 //!
 //! # Example
@@ -48,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod barrier;
+mod certificate;
 mod error;
 mod expr;
 mod model;
@@ -57,7 +63,8 @@ mod scratch;
 mod status;
 mod wrappers;
 
-pub use barrier::BarrierSolver;
+pub use barrier::{BarrierSolver, FeasibleOutcome};
+pub use certificate::{check_certificate, CertScratch, Certificate};
 pub use error::CvxError;
 pub use expr::{Expr, Var};
 pub use model::{Model, ModelSolution};

@@ -12,18 +12,21 @@
 
 use protemp_linalg::{Cholesky, Matrix, StackReq};
 
+use crate::CertScratch;
+
 /// Per-dimension buffer set for the Newton inner loop.
 #[derive(Debug, Clone)]
 pub(crate) struct DimScratch {
     /// Barrier gradient at the current point.
     pub grad: Vec<f64>,
-    /// Barrier Hessian at the current point.
+    /// Barrier Hessian at the current point (lower triangle; the strict
+    /// upper half is unspecified).
     pub hess: Matrix,
     /// Gradient of one quadratic constraint (temporary).
     pub qgrad: Vec<f64>,
     /// Jacobi scaling `d` with `d_i = 1/sqrt(H_ii)`.
     pub jacobi: Vec<f64>,
-    /// Jacobi-scaled Hessian `D H D`.
+    /// Jacobi-scaled Hessian `D H D` (lower triangle).
     pub hs: Matrix,
     /// Scaled negative gradient (Newton right-hand side).
     pub bs: Vec<f64>,
@@ -31,6 +34,11 @@ pub(crate) struct DimScratch {
     pub dx: Vec<f64>,
     /// Line-search candidate point.
     pub cand: Vec<f64>,
+    /// Constraint slacks `b − Ax` (one per linear row; grows to the row
+    /// count on first use).
+    pub slack: Vec<f64>,
+    /// Constraint weights `1/s` then `1/s²` (one per linear row).
+    pub w: Vec<f64>,
     /// Cholesky factor storage, refactored every Newton step.
     pub chol: Cholesky,
 }
@@ -46,12 +54,26 @@ impl DimScratch {
             bs: vec![0.0; n],
             dx: vec![0.0; n],
             cand: vec![0.0; n],
+            slack: Vec::new(),
+            w: Vec::new(),
             chol: Cholesky::zeroed(n),
         }
     }
 
-    /// Scalar footprint of one dimension slot (the up-front size
-    /// computation callers can use for capacity planning).
+    /// Grows the per-row buffers to cover `m` constraint rows. A no-op
+    /// (and allocation-free) once they have reached the problem family's
+    /// row count.
+    pub(crate) fn ensure_rows(&mut self, m: usize) {
+        if self.slack.len() < m {
+            self.slack.resize(m, 0.0);
+            self.w.resize(m, 0.0);
+        }
+    }
+
+    /// Scalar footprint of one dimension slot at creation (the up-front
+    /// size computation callers can use for capacity planning; the per-row
+    /// slack/weight buffers grow on first use and are reported by
+    /// [`crate::SolverScratch::footprint_scalars`] once sized).
     pub(crate) const fn req(n: usize) -> StackReq {
         // grad + qgrad + jacobi + bs + dx + cand, plus hess + hs + chol.
         StackReq::scalars(6 * n)
@@ -70,6 +92,7 @@ impl DimScratch {
 #[derive(Debug, Clone, Default)]
 pub struct SolverScratch {
     slots: Vec<(usize, DimScratch)>,
+    cert_ws: CertScratch,
 }
 
 impl SolverScratch {
@@ -81,6 +104,7 @@ impl SolverScratch {
     /// Drops all cached buffers.
     pub fn clear(&mut self) {
         self.slots.clear();
+        self.cert_ws = CertScratch::new();
     }
 
     /// Number of distinct problem dimensions currently cached.
@@ -88,12 +112,19 @@ impl SolverScratch {
         self.slots.len()
     }
 
-    /// Total scalar footprint of the cached buffers.
+    /// Total scalar footprint of the cached buffers (including the per-row
+    /// slack/weight buffers once they have grown to a problem's row count).
     pub fn footprint_scalars(&self) -> usize {
         self.slots
             .iter()
-            .map(|(n, _)| DimScratch::req(*n).len())
+            .map(|(n, s)| DimScratch::req(*n).len() + s.slack.len() + s.w.len())
             .sum()
+    }
+
+    /// The certificate-check workspace shared by this solver's
+    /// verification of freshly extracted certificates.
+    pub(crate) fn cert_ws(&mut self) -> &mut CertScratch {
+        &mut self.cert_ws
     }
 
     /// The buffer set for dimension `n`, creating it on first request.

@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 
+use crate::Certificate;
+
 /// Outcome of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -43,20 +45,36 @@ pub struct Solution {
     pub outer_iterations: usize,
     /// Total Newton steps across all centerings.
     pub newton_steps: usize,
+    /// Newton steps spent inside phase I (0 when a warm start or an
+    /// already-feasible seed skipped it). Sweeps use this to report where
+    /// their budget went.
+    pub phase1_steps: usize,
     /// Final duality-gap upper bound `m/t`.
     pub gap_bound: f64,
+    /// Verified Farkas-style infeasibility certificate, present only when
+    /// `status` is `Infeasible` and phase I's final iterate yielded
+    /// multipliers that re-certify this problem (see
+    /// [`crate::Certificate::certifies`]).
+    pub certificate: Option<Certificate>,
 }
 
 impl Solution {
     /// An infeasibility marker solution.
-    pub(crate) fn infeasible(outer: usize, newton: usize) -> Self {
+    pub(crate) fn infeasible(
+        outer: usize,
+        newton: usize,
+        phase1_steps: usize,
+        certificate: Option<Certificate>,
+    ) -> Self {
         Solution {
             status: SolveStatus::Infeasible,
             x: Vec::new(),
             objective: f64::INFINITY,
             outer_iterations: outer,
             newton_steps: newton,
+            phase1_steps,
             gap_bound: f64::INFINITY,
+            certificate,
         }
     }
 }
@@ -74,9 +92,11 @@ mod tests {
 
     #[test]
     fn infeasible_marker() {
-        let s = Solution::infeasible(3, 17);
+        let s = Solution::infeasible(3, 17, 17, None);
         assert_eq!(s.status, SolveStatus::Infeasible);
         assert!(s.x.is_empty());
         assert!(s.objective.is_infinite());
+        assert_eq!(s.phase1_steps, 17);
+        assert!(s.certificate.is_none());
     }
 }

@@ -17,7 +17,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use protemp_cvx::{BarrierSolver, Problem, SolverOptions};
+use protemp_cvx::{BarrierSolver, CertScratch, Problem, SolverOptions};
 use protemp_linalg::Matrix;
 
 struct CountingAlloc;
@@ -112,5 +112,42 @@ fn barrier_iterations_do_not_allocate() {
          ({} extra Newton steps allocated {} extra times)",
         tight_sol.newton_steps - loose_sol.newton_steps,
         tight_allocs as i64 - loose_allocs as i64
+    );
+
+    // Certificate screening is the other sweep hot path: after its
+    // workspace has grown once, a check must be completely allocation-free.
+    let infeasible = {
+        let mut p = problem();
+        // Contradict the box of x₀: x₀ ≤ 5 (from the box) and x₀ ≥ 6.
+        let mut row = vec![0.0; 6];
+        row[0] = -1.0;
+        p.add_linear_le(row, -6.0);
+        p
+    };
+    let sol = solver_loose.solve(&infeasible).unwrap();
+    let cert = sol
+        .certificate
+        .expect("infeasible solve yields a certificate");
+    let mut ws = CertScratch::new();
+    // Warm-up: grows the workspace buffers for this problem size.
+    assert!(cert.certifies(&infeasible, &mut ws));
+    let feasible = problem();
+    let (check_allocs, verdicts) = allocs_during(|| {
+        (
+            cert.certifies(&infeasible, &mut ws),
+            cert.certifies(&feasible, &mut ws),
+        )
+    });
+    assert!(
+        verdicts.0,
+        "certificate must keep certifying its own problem"
+    );
+    assert!(
+        !verdicts.1,
+        "certificate must not certify a feasible problem"
+    );
+    assert_eq!(
+        check_allocs, 0,
+        "certificate checks must be allocation-free after warm-up"
     );
 }

@@ -113,6 +113,56 @@ proptest! {
         prop_assert!((s1.x[0] - s2.x[0]).abs() < 5e-3);
         prop_assert!((s1.x[1] - s2.x[1]).abs() < 5e-3);
     }
+
+    /// Infeasible detections carry a certificate that re-certifies the
+    /// problem and keeps certifying any right-hand-side tightening of it.
+    #[test]
+    fn infeasibility_certificates_transfer_to_tightenings(
+        gap in 0.1..3.0f64,
+        tighten in 0.0..2.0f64,
+    ) {
+        let build = |g: f64| {
+            let mut p = Problem::new(2);
+            p.set_linear_objective(vec![1.0, 0.0]);
+            p.add_box(0, -5.0, 0.0);
+            p.add_box(1, -5.0, 5.0);
+            // x₀ ≥ g contradicts x₀ ≤ 0.
+            p.add_linear_le(vec![-1.0, 0.0], -g);
+            p
+        };
+        let s = solver().solve(&build(gap)).unwrap();
+        prop_assert_eq!(s.status, SolveStatus::Infeasible);
+        let cert = s.certificate.expect("certificate for a cleanly infeasible LP");
+        prop_assert!(protemp_cvx::check_certificate(&build(gap), &cert));
+        prop_assert!(protemp_cvx::check_certificate(&build(gap + tighten), &cert));
+    }
+
+    /// Soundness fuzz: no certificate — however adversarial — may certify
+    /// a problem with a known feasible point.
+    #[test]
+    fn certificates_never_reject_feasible_problems(
+        lam in prop::collection::vec(0.0..5.0f64, 6),
+        anchor in prop::collection::vec(-2.0..2.0f64, 2),
+        fx in -1.0..1.0f64,
+        fy in -1.0..1.0f64,
+    ) {
+        // Box [-1,1]² plus a halfspace through the feasible point (fx,fy).
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![1.0, 1.0]);
+        p.add_box(0, -1.0, 1.0);
+        p.add_box(1, -1.0, 1.0);
+        p.add_linear_le(vec![1.0, 1.0], fx + fy + 0.5);
+        p.add_linear_le(vec![-1.0, 1.0], fy - fx + 0.5);
+        let cert = protemp_cvx::Certificate {
+            lambda_lin: lam,
+            lambda_quad: vec![],
+            anchor,
+        };
+        prop_assert!(
+            !protemp_cvx::check_certificate(&p, &cert),
+            "feasible problem (contains ({fx},{fy})) must never be certified infeasible"
+        );
+    }
 }
 
 /// Deterministic regression: a miniature of the Pro-Temp problem shape —

@@ -62,6 +62,14 @@ impl Cholesky {
 
     /// Factors `a + ridge * I` into this factorization's existing storage.
     ///
+    /// Only the lower triangle of `a` is read (the barrier solver assembles
+    /// its Newton systems lower-triangle-only for exactly this reason). The
+    /// factorization is blocked right-looking: the lower triangle is copied
+    /// in once, then each diagonal block is factored unblocked, the panel
+    /// below it is solved against the block, and the trailing lower triangle
+    /// receives one rank-`NB` update — the same shape as the blocked
+    /// `AᵀDA` assembly feeding it, so both stay cache-resident.
+    ///
     /// No allocation when `a` has the same dimension as the current
     /// storage; otherwise the storage is resized once.
     ///
@@ -70,6 +78,9 @@ impl Cholesky {
     /// Same as [`Cholesky::factor`]. On error the storage contents are
     /// unspecified and the factorization must not be used for solves.
     pub fn factor_in_place(&mut self, a: &Matrix, ridge: f64) -> Result<()> {
+        /// Block size: systems at or below this run the plain unblocked
+        /// loop; larger ones get panel updates with better locality.
+        const NB: usize = 24;
         if !a.is_square() {
             return Err(LinalgError::ShapeMismatch {
                 op: "cholesky",
@@ -77,35 +88,73 @@ impl Cholesky {
                 rhs: a.shape(),
             });
         }
-        if !a.is_finite() {
-            return Err(LinalgError::NotFinite);
-        }
         let n = a.rows();
         if self.l.shape() != (n, n) {
             self.l = Matrix::zeros(n, n);
-        } else {
-            self.l.as_mut_slice().fill(0.0);
         }
+        // Seed the working lower triangle (plus ridge) and zero the strict
+        // upper so the exposed factor is clean; reject non-finite input in
+        // the same pass instead of re-scanning the whole matrix.
         let l = &mut self.l;
-        for j in 0..n {
-            // Diagonal entry.
-            let mut d = a[(j, j)] + ridge;
-            for k in 0..j {
-                d -= l[(j, k)] * l[(j, k)];
+        let mut finite = true;
+        for r in 0..n {
+            let src = &a.as_slice()[r * n..r * n + r + 1];
+            let dst = l.row_mut(r);
+            for (d, &s) in dst[..=r].iter_mut().zip(src) {
+                finite &= s.is_finite();
+                *d = s;
             }
-            if d <= 0.0 || !d.is_finite() {
-                return Err(LinalgError::NotPositiveDefinite { index: j });
-            }
-            let dj = d.sqrt();
-            l[(j, j)] = dj;
-            // Column below the diagonal.
-            for i in (j + 1)..n {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
+            dst[r] += ridge;
+            dst[r + 1..].fill(0.0);
+        }
+        if !finite {
+            return Err(LinalgError::NotFinite);
+        }
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = NB.min(n - j0);
+            // Factor the diagonal block in place (unblocked; contributions
+            // from earlier blocks were already subtracted by their trailing
+            // updates, so sums run over the block's own columns only).
+            for j in j0..j0 + jb {
+                let mut d = l[(j, j)];
+                for k in j0..j {
+                    d -= l[(j, k)] * l[(j, k)];
                 }
-                l[(i, j)] = s / dj;
+                if d <= 0.0 || !d.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { index: j });
+                }
+                let dj = d.sqrt();
+                l[(j, j)] = dj;
+                for i in (j + 1)..(j0 + jb) {
+                    let mut s = l[(i, j)];
+                    for k in j0..j {
+                        s -= l[(i, k)] * l[(j, k)];
+                    }
+                    l[(i, j)] = s / dj;
+                }
             }
+            // Panel solve: rows below the block against the block's factor.
+            for i in (j0 + jb)..n {
+                for j in j0..j0 + jb {
+                    let mut s = l[(i, j)];
+                    for k in j0..j {
+                        s -= l[(i, k)] * l[(j, k)];
+                    }
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+            // Trailing rank-`jb` update of the remaining lower triangle.
+            for i in (j0 + jb)..n {
+                for j in (j0 + jb)..=i {
+                    let mut s = 0.0;
+                    for k in j0..j0 + jb {
+                        s += l[(i, k)] * l[(j, k)];
+                    }
+                    l[(i, j)] -= s;
+                }
+            }
+            j0 += jb;
         }
         Ok(())
     }
@@ -245,6 +294,45 @@ mod tests {
         let mut ch = Cholesky::zeroed(2);
         ch.factor_in_place(&spd3(), 0.0).unwrap();
         assert_eq!(ch.dim(), 3);
+    }
+
+    #[test]
+    fn blocked_factor_crosses_block_boundary() {
+        // n = 40 spans two 24-wide blocks: build a well-conditioned SPD
+        // matrix A = MᵀM + 40·I and check L·Lᵀ reconstructs it.
+        let n = 40;
+        let m = Matrix::from_fn(n, n, |r, c| (((r * 31 + c * 17) % 13) as f64 - 6.0) / 6.0);
+        let mut a = m.transpose().matmul(&m).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let ch = Cholesky::factor(&a).unwrap();
+        let llt = ch.l().matmul(&ch.l().transpose()).unwrap();
+        assert!(
+            (&llt - &a).norm_max() < 1e-9 * a.norm_max(),
+            "reconstruction error {}",
+            (&llt - &a).norm_max()
+        );
+        // And the solve inverts it.
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = ch.solve(&b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn factor_reads_lower_triangle_only() {
+        // Garbage (even NaN) in the strict upper triangle must not affect
+        // the factorization: the barrier assembles lower-triangle-only.
+        let mut a = spd3();
+        let clean = Cholesky::factor(&a).unwrap();
+        a[(0, 1)] = f64::NAN;
+        a[(0, 2)] = 1e300;
+        a[(1, 2)] = -7.0;
+        let dirty = Cholesky::factor(&a).unwrap();
+        assert_eq!(clean.l(), dirty.l());
     }
 
     #[test]

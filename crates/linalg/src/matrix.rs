@@ -313,6 +313,97 @@ impl Matrix {
         Ok(())
     }
 
+    /// In-place `self += s * rhs` on the lower triangle only (including the
+    /// diagonal); the strict upper triangle is left untouched.
+    ///
+    /// Companion to [`Matrix::syrk_lower_update`] for accumulating symmetric
+    /// matrices that will only ever be read through their lower triangle
+    /// (e.g. by [`crate::Cholesky`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the matrices are not square
+    /// of equal size.
+    pub fn axpy_lower(&mut self, s: f64, rhs: &Matrix) -> Result<()> {
+        if !self.is_square() || self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "axpy_lower",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let n = self.rows;
+        for r in 0..n {
+            let dst = &mut self.data[r * n..r * n + r + 1];
+            let src = &rhs.data[r * n..r * n + r + 1];
+            for (a, b) in dst.iter_mut().zip(src) {
+                *a += s * b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds `Aᵀ diag(w) A` to the lower triangle of the matrix (a blocked
+    /// rank-k symmetric update, the `syrk` of the barrier Newton assembly);
+    /// the strict upper triangle is left untouched.
+    ///
+    /// Rows of `a` are consumed in panels of up to eight consecutive rows
+    /// that share the same nonzero span `[first, last]`, so each output row
+    /// is streamed once per panel instead of once per constraint row, and
+    /// columns outside the span are never touched. Constraint families lay
+    /// out exactly like this: box rows touch one column, temperature rows
+    /// touch the contiguous power block, so the span pruning skips most of
+    /// the matrix. Rows with zero weight are skipped. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square with side `a.cols()`, or
+    /// `w.len() != a.rows()`.
+    pub fn syrk_lower_update(&mut self, a: &Matrix, w: &[f64]) {
+        const PANEL: usize = 8;
+        let n = self.rows;
+        assert!(self.is_square() && a.cols() == n, "syrk_lower_update shape");
+        assert_eq!(a.rows(), w.len(), "syrk_lower_update weight length");
+        let m = a.rows();
+        let mut k = 0;
+        let mut coef = [0.0_f64; PANEL];
+        while k < m {
+            if w[k] == 0.0 {
+                k += 1;
+                continue;
+            }
+            let Some((lo, hi)) = nonzero_span(a.row(k)) else {
+                k += 1;
+                continue;
+            };
+            // Extend the panel over consecutive rows with the same span.
+            let mut end = k + 1;
+            while end < m
+                && end - k < PANEL
+                && w[end] != 0.0
+                && nonzero_span(a.row(end)) == Some((lo, hi))
+            {
+                end += 1;
+            }
+            for r in lo..=hi {
+                for (j, c) in coef.iter_mut().enumerate().take(end - k) {
+                    let row = a.row(k + j);
+                    *c = w[k + j] * row[r];
+                }
+                let dst = &mut self.data[r * n + lo..r * n + r + 1];
+                for (ci, h) in dst.iter_mut().enumerate() {
+                    let col = lo + ci;
+                    let mut acc = 0.0;
+                    for (j, c) in coef.iter().enumerate().take(end - k) {
+                        acc += c * a.data[(k + j) * a.cols + col];
+                    }
+                    *h += acc;
+                }
+            }
+            k = end;
+        }
+    }
+
     /// Adds `s * x xᵀ` to the matrix (symmetric rank-1 update).
     ///
     /// # Panics
@@ -329,6 +420,30 @@ impl Matrix {
                 continue;
             }
             let row = self.row_mut(r);
+            for (v, xc) in row.iter_mut().zip(x) {
+                *v += xr * xc;
+            }
+        }
+    }
+
+    /// Adds `s * x xᵀ` to the lower triangle only (including the diagonal);
+    /// the strict upper triangle is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square with side `x.len()`.
+    pub fn rank1_update_lower(&mut self, s: f64, x: &[f64]) {
+        assert!(
+            self.is_square() && self.rows == x.len(),
+            "rank1_update_lower shape"
+        );
+        let n = self.rows;
+        for r in 0..n {
+            let xr = s * x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * n..r * n + r + 1];
             for (v, xc) in row.iter_mut().zip(x) {
                 *v += xr * xc;
             }
@@ -390,6 +505,14 @@ impl Matrix {
         }
         out
     }
+}
+
+/// Inclusive `[first, last]` indices of the nonzero entries of `row`, or
+/// `None` when the row is entirely zero.
+fn nonzero_span(row: &[f64]) -> Option<(usize, usize)> {
+    let lo = row.iter().position(|&v| v != 0.0)?;
+    let hi = row.iter().rposition(|&v| v != 0.0)?;
+    Some((lo, hi))
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -530,6 +653,93 @@ mod tests {
         assert!(m.is_symmetric(0.0));
         assert_eq!(m[(1, 2)], 12.0);
         assert_eq!(m[(0, 0)], 2.0);
+    }
+
+    /// Reference implementation: full-matrix rank-1 accumulation.
+    fn naive_atda(a: &Matrix, w: &[f64]) -> Matrix {
+        let mut h = Matrix::zeros(a.cols(), a.cols());
+        for (k, &wk) in w.iter().enumerate() {
+            h.rank1_update(wk, a.row(k));
+        }
+        h
+    }
+
+    #[test]
+    fn syrk_lower_matches_naive_on_lower_triangle() {
+        // Mix of span shapes: a box-like row, contiguous blocks, full rows,
+        // a zero row and a zero weight.
+        let a = Matrix::from_rows(&[
+            &[0.0, 0.0, 1.0, 0.0, 0.0],
+            &[0.0, 2.0, -1.0, 3.0, 0.0],
+            &[0.0, 1.0, 4.0, -2.0, 0.0],
+            &[0.0, 0.5, 0.5, 0.5, 0.0],
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+            &[0.0, 0.0, 0.0, 0.0, 0.0],
+            &[-1.0, 0.0, 0.0, 0.0, 2.0],
+        ]);
+        let w = [1.0, 0.5, 2.0, 0.0, 1.5, 3.0, 0.25];
+        let expect = naive_atda(&a, &w);
+        let mut h = Matrix::zeros(5, 5);
+        // Poison the strict upper triangle: it must survive untouched.
+        for r in 0..5 {
+            for c in (r + 1)..5 {
+                h[(r, c)] = 77.0;
+            }
+        }
+        h.syrk_lower_update(&a, &w);
+        for r in 0..5 {
+            for c in 0..5 {
+                if c <= r {
+                    assert!(
+                        (h[(r, c)] - expect[(r, c)]).abs() < 1e-12,
+                        "H[{r}][{c}] = {} vs {}",
+                        h[(r, c)],
+                        expect[(r, c)]
+                    );
+                } else {
+                    assert_eq!(h[(r, c)], 77.0, "upper triangle must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_lower_long_panel_of_identical_spans() {
+        // More rows than one panel (8) sharing a span, to cross the panel
+        // boundary path.
+        let m = 21;
+        let a = Matrix::from_fn(m, 4, |r, c| {
+            if c == 0 {
+                0.0
+            } else {
+                ((r * 7 + c * 3) % 5) as f64 - 2.0
+            }
+        });
+        let w: Vec<f64> = (0..m).map(|k| 0.1 + (k % 3) as f64).collect();
+        let expect = naive_atda(&a, &w);
+        let mut h = Matrix::zeros(4, 4);
+        h.syrk_lower_update(&a, &w);
+        for r in 0..4 {
+            for c in 0..=r {
+                assert!((h[(r, c)] - expect[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_lower_and_rank1_lower_leave_upper_alone() {
+        let mut h = Matrix::zeros(3, 3);
+        h[(0, 2)] = 9.0;
+        h.axpy_lower(2.0, &Matrix::identity(3)).unwrap();
+        h.rank1_update_lower(1.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(h[(0, 0)], 3.0);
+        assert_eq!(h[(1, 0)], 2.0);
+        assert_eq!(h[(2, 1)], 6.0);
+        assert_eq!(h[(2, 2)], 11.0);
+        assert_eq!(h[(0, 2)], 9.0, "upper triangle untouched");
+        assert_eq!(h[(0, 1)], 0.0);
+        // Shape mismatch is an error.
+        assert!(h.axpy_lower(1.0, &Matrix::zeros(2, 2)).is_err());
     }
 
     #[test]
