@@ -27,10 +27,13 @@ cargo test -q
 
 # Perf-telemetry smoke test: a reduced-grid tab_solver_runtime run must
 # still emit parseable JSON with the sweep-breakdown fields, so the perf
-# trajectory in results/ can't silently rot. (Runs the release binary in
-# full mode, a debug build in quick mode; the quick grid is seconds-cheap
-# either way and writes to a separate _quick.json.)
-echo "==> tab_solver_runtime --quick (telemetry check)"
+# trajectory in results/ can't silently rot. The quick run also rebuilds
+# the quick grid *incrementally* against the checked-in prior quick table
+# (results/quick_prior.{table,certs}) and asserts inside the binary that
+# the incremental table is bit-identical to the cold one. (Runs the
+# release binary in full mode, a debug build in quick mode; the quick grid
+# is seconds-cheap either way and writes to a separate _quick.json.)
+echo "==> tab_solver_runtime --quick (telemetry + incremental check)"
 if [[ "$quick" != "quick" ]]; then
     cargo run --release -q -p protemp-bench --bin tab_solver_runtime -- --quick
 else
@@ -40,14 +43,23 @@ python3 - <<'EOF'
 import json
 with open("results/tab_solver_runtime_quick.json") as f:
     data = json.load(f)
-for section in ("screened", "unscreened"):
-    for field in ("newton_steps", "phase1_solves", "certificate_screens"):
+for section in ("screened", "unscreened", "incremental"):
+    for field in ("newton_steps", "phase1_solves", "certificate_screens",
+                  "seed_reuses", "incremental_screens"):
         assert field in data[section], f"missing {section}.{field}"
 assert data["tables_identical"] is True
+assert data["incremental_identical"] is True
 assert data["screened"]["newton_steps"] > 0
+# The quick prior shares the quick grid's coolest row across 3 columns,
+# so verbatim replay must actually fire (the binary regenerates a
+# stale-fingerprint prior itself, so this cannot trip on drift alone).
+assert data["incremental"]["seed_reuses"] >= 1
 print("telemetry check: ok "
       f"(screened {data['screened']['newton_steps']} newton steps, "
-      f"{data['screened']['certificate_screens']} screens)")
+      f"{data['screened']['certificate_screens']} screens; "
+      f"incremental {data['incremental']['newton_steps']} newton steps, "
+      f"{data['incremental']['seed_reuses']} reused cells, "
+      f"{data['incremental']['incremental_screens']} inherited screens)")
 EOF
 
 echo "ci.sh: all green"

@@ -25,14 +25,25 @@
 use std::time::Instant;
 
 use protemp::prelude::*;
-use protemp::{solve_assignment, AssignmentContext, BuildStats};
-use protemp_bench::{control_config, platform, write_csv, write_text};
+use protemp::{solve_assignment, AssignmentContext, BuildStats, TableStore};
+use protemp_bench::{control_config, platform, results_dir, write_csv, write_text};
 
 /// The paper's Figure 4 grid: 30–100 °C at 10 °C steps × 100–1000 MHz.
 fn paper_grid() -> TableBuilder {
     TableBuilder::new()
         .tstarts((3..=10).map(|i| i as f64 * 10.0).collect())
         .ftargets((1..=10).map(|i| i as f64 * 100.0e6).collect())
+}
+
+/// A 2× refinement of the paper grid in both axes (16 temperatures × 20
+/// targets), sharing the paper grid's coolest row and every other column —
+/// the incremental-rebuild scenario: certificates from the coarse
+/// frontier screen the fine frontier, and coinciding cells replay
+/// verbatim.
+fn fine_grid() -> TableBuilder {
+    TableBuilder::new()
+        .tstarts((6..=21).map(|i| i as f64 * 5.0).collect())
+        .ftargets((1..=20).map(|i| i as f64 * 50.0e6).collect())
 }
 
 /// Reduced grid for `--quick` CI telemetry checks: crosses the frontier
@@ -43,10 +54,19 @@ fn quick_grid() -> TableBuilder {
         .ftargets(vec![0.2e9, 0.4e9, 0.6e9, 0.8e9])
 }
 
+/// The checked-in prior for the `--quick` incremental path: a subset of
+/// [`quick_grid`] sharing its coolest row and three of its four columns.
+fn quick_prior_grid() -> TableBuilder {
+    TableBuilder::new()
+        .tstarts(vec![60.0, 100.0])
+        .ftargets(vec![0.2e9, 0.6e9, 0.8e9])
+}
+
 fn stats_json(label: &str, s: &BuildStats) -> String {
     format!(
         "  \"{label}\": {{\"threads\": {}, \"warm_started\": {}, \"solved_points\": {}, \
          \"newton_steps\": {}, \"phase1_solves\": {}, \"certificate_screens\": {}, \
+         \"seed_reuses\": {}, \"incremental_screens\": {}, \
          \"total_s\": {:.3}, \"mean_point_s\": {:.4}, \"max_point_s\": {:.4}, \
          \"points_per_s\": {:.3}}}",
         s.threads,
@@ -55,6 +75,8 @@ fn stats_json(label: &str, s: &BuildStats) -> String {
         s.newton_steps,
         s.phase1_solves,
         s.certificate_screens,
+        s.seed_reuses,
+        s.incremental_screens,
         s.total_s,
         s.mean_point_s,
         s.max_point_s,
@@ -83,13 +105,43 @@ fn quick_run() {
         stats.certificate_screens,
         plain_stats.newton_steps,
     );
+
+    // Incremental-rebuild telemetry against the checked-in prior quick
+    // table (regenerated in place if absent — e.g. the first run ever, or
+    // after a deliberate format/fingerprint change).
+    let store = TableStore::new(results_dir());
+    let prior = match store.load("quick_prior") {
+        Ok(prior) if prior.fingerprint == ctx.fingerprint() => prior,
+        _ => {
+            println!("regenerating results/quick_prior.{{table,certs}}");
+            let (prior, _) = quick_prior_grid()
+                .build_artifact(&ctx)
+                .expect("quick prior build");
+            store.save("quick_prior", &prior).expect("save quick prior");
+            store.load("quick_prior").expect("reload quick prior")
+        }
+    };
+    let (inc_artifact, inc_stats) = quick_grid()
+        .build_incremental(&ctx, &prior)
+        .expect("quick incremental build");
+    assert_eq!(
+        inc_artifact.table, table,
+        "incremental rebuild must be bit-identical to the cold quick build"
+    );
+    println!(
+        "quick incremental: {} newton steps ({} reused cells, {} inherited screens)",
+        inc_stats.newton_steps, inc_stats.seed_reuses, inc_stats.incremental_screens,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"tab_solver_runtime_quick\",\n  \"platform\": \"niagara8\",\n  \
-         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n  \"tables_identical\": true\n}}\n",
+         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n  \
+         \"incremental_identical\": true,\n  \"tables_identical\": true\n}}\n",
         table.tstarts_c().len(),
         table.ftargets_hz().len(),
         stats_json("screened", &stats),
         stats_json("unscreened", &plain_stats),
+        stats_json("incremental", &inc_stats),
     );
     write_text("tab_solver_runtime_quick.json", &json);
 }
@@ -163,10 +215,11 @@ fn main() {
         noscreen.warm_started,
         noscreen.phase1_solves
     );
-    let (serial_table, serial_warm) = paper_grid()
+    let (serial_artifact, serial_warm) = paper_grid()
         .threads(1)
-        .build(&ctx)
+        .build_artifact(&ctx)
         .expect("serial warm build");
+    let serial_table = serial_artifact.table.clone();
     println!(
         "  serial warm screened : {:6.1} s  ({:5.2} pts/s, {} screens avoided phase-I)",
         serial_warm.total_s,
@@ -234,10 +287,67 @@ fn main() {
         parallel_warm.mean_point_s
     );
 
+    // Incremental-rebuild comparison: persist the 8×10 artifact, then
+    // refine to the 16×20 grid cold vs. incrementally. The tables must be
+    // bit-identical — the incremental path only reuses work where the cold
+    // build would repeat the prior's solves exactly, plus verdict-sound
+    // certificate screens — while the Newton-step totals show what the
+    // persisted certificates and replayed cells saved.
+    println!("\nIncremental rebuild: paper 8×10 artifact → 16×20 refinement:");
+    let store = TableStore::new(results_dir());
+    store
+        .save("paper_8x10", &serial_artifact)
+        .expect("persist 8x10 artifact");
+    let prior = store.load("paper_8x10").expect("reload 8x10 artifact");
+    println!(
+        "  persisted {} cells + {} certificates to {}",
+        prior.cells.len(),
+        prior.certificates.len(),
+        store.table_path("paper_8x10").display()
+    );
+    let (fine_cold_art, fine_cold) = fine_grid().build_artifact(&ctx).expect("fine cold build");
+    let (fine_inc_art, fine_inc) = fine_grid()
+        .build_incremental(&ctx, &prior)
+        .expect("fine incremental build");
+    assert_eq!(
+        fine_cold_art.table, fine_inc_art.table,
+        "incremental rebuild must be bit-identical to the cold fine build"
+    );
+    assert!(
+        fine_inc.newton_steps < fine_cold.newton_steps,
+        "incremental rebuild must spend fewer Newton steps ({} vs {})",
+        fine_inc.newton_steps,
+        fine_cold.newton_steps
+    );
+    println!(
+        "  cold 16×20        : {:6.1} s  ({:5.2} pts/s, {} newton steps)",
+        fine_cold.total_s,
+        fine_cold.points_per_s(),
+        fine_cold.newton_steps
+    );
+    println!(
+        "  incremental 16×20 : {:6.1} s  ({:5.2} pts/s, {} newton steps, \
+         {} reused cells, {} inherited screens)",
+        fine_inc.total_s,
+        fine_inc.points_per_s(),
+        fine_inc.newton_steps,
+        fine_inc.seed_reuses,
+        fine_inc.incremental_screens
+    );
+    println!(
+        "  newton-step saving: {:.2}x",
+        fine_cold.newton_steps as f64 / fine_inc.newton_steps.max(1) as f64
+    );
+    store
+        .save("paper_16x20", &fine_inc_art)
+        .expect("persist 16x20 artifact");
+
     let json = format!(
         "{{\n  \"bench\": \"tab_solver_runtime\",\n  \"platform\": \"niagara8\",\n  \
          \"grid_rows\": {},\n  \"grid_cols\": {},\n  \"available_cores\": {cores},\n\
-         {},\n{},\n{},\n{},\n  \
+         {},\n{},\n{},\n{},\n{},\n{},\n  \
+         \"fine_grid_rows\": {},\n  \"fine_grid_cols\": {},\n  \
+         \"incremental_identical\": true,\n  \
          \"speedup_total\": {:.3},\n  \"tables_identical\": true,\n  \
          \"frontier_cells_rescued_by_warm\": {},\n  \
          \"frontier_cells_lost_by_warm\": {}\n}}\n",
@@ -247,6 +357,10 @@ fn main() {
         stats_json("serial_warm_noscreen", &noscreen),
         stats_json("serial_warm", &serial_warm),
         stats_json("parallel_warm", &parallel_warm),
+        stats_json("fine_cold", &fine_cold),
+        stats_json("fine_incremental", &fine_inc),
+        fine_cold_art.table.tstarts_c().len(),
+        fine_cold_art.table.ftargets_hz().len(),
         speedup,
         rescued,
         lost

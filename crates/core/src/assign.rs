@@ -6,11 +6,83 @@ use serde::{Deserialize, Serialize};
 use crate::problem::{build_problem, f_var, p_var, tgrad_var};
 use crate::{ControlConfig, Result};
 
-/// How many infeasibility certificates a [`PointSolver`] keeps, most
-/// recently useful first. The sweep's frontier moves monotonically, so a
-/// tiny MRU pool covers every screening opportunity in practice while
-/// keeping the miss cost (a handful of matvec-cheap checks) bounded.
-const MAX_CERTIFICATES: usize = 6;
+/// How many *freshly minted* infeasibility certificates a [`CertPool`]
+/// keeps, most recently useful first. The sweep's frontier moves
+/// monotonically, so a tiny MRU pool covers every screening opportunity in
+/// practice while keeping the miss cost (a handful of matvec-cheap checks)
+/// bounded. Certificates inherited from a prior build
+/// ([`CertPool::preload`]) live outside this cap: they cover the *whole*
+/// prior frontier and every one of them may be the only killer for some
+/// column of a finer grid.
+pub(crate) const MAX_CERTIFICATES: usize = 6;
+
+/// An MRU pool of infeasibility certificates with a reusable check
+/// workspace — the screening state shared by [`PointSolver`] (the table
+/// sweep), [`crate::OnlineController`] (MPC windows) and the frontier
+/// prober. Certificates enter either freshly minted from a failed phase I
+/// ([`CertPool::remember`], capped at [`MAX_CERTIFICATES`]) or inherited
+/// from a persisted prior build ([`CertPool::preload`], never evicted).
+/// Screening hits against inherited certificates are counted separately:
+/// they are the work an incremental rebuild avoided re-proving.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CertPool {
+    /// `(certificate, inherited)`, most recently useful first.
+    entries: Vec<(Certificate, bool)>,
+    ws: CertScratch,
+    inherited: usize,
+    inherited_hits: u64,
+}
+
+impl CertPool {
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Screens hit against certificates inherited via [`CertPool::preload`].
+    pub(crate) fn inherited_hits(&self) -> u64 {
+        self.inherited_hits
+    }
+
+    /// Adds verified certificates from a prior build (exempt from the MRU
+    /// cap, initially behind every minted certificate in check order).
+    pub(crate) fn preload(&mut self, certs: impl IntoIterator<Item = Certificate>) {
+        for c in certs {
+            self.entries.push((c, true));
+            self.inherited += 1;
+        }
+    }
+
+    /// Adds a freshly minted certificate at the front, evicting the least
+    /// recently useful *minted* certificate beyond [`MAX_CERTIFICATES`].
+    pub(crate) fn remember(&mut self, cert: Certificate) {
+        self.entries.insert(0, (cert, false));
+        if self.entries.len() > MAX_CERTIFICATES + self.inherited {
+            if let Some(pos) = self.entries.iter().rposition(|(_, inherited)| !inherited) {
+                self.entries.remove(pos);
+            }
+        }
+    }
+
+    /// `true` when some pooled certificate proves `prob` infeasible; the
+    /// winner moves to the front (neighbouring cells will hit it again).
+    pub(crate) fn screen(&mut self, prob: &Problem) -> bool {
+        let ws = &mut self.ws;
+        match self.entries.iter().position(|(c, _)| c.certifies(prob, ws)) {
+            Some(hit) => {
+                if self.entries[hit].1 {
+                    self.inherited_hits += 1;
+                }
+                self.entries[..=hit].rotate_right(1);
+                true
+            }
+            None => false,
+        }
+    }
+}
 
 /// Blend factor pulling a warm-start point toward the strictly interior
 /// heuristic seed before it re-enters the barrier, applied only when the
@@ -113,6 +185,22 @@ impl AssignmentContext {
     pub fn point_problem(&self, tstart_c: f64, ftarget_hz: f64) -> Problem {
         let offsets = self.offsets_for(tstart_c);
         build_problem(&self.platform, &self.cfg, &self.reach, &offsets, ftarget_hz)
+    }
+
+    /// A 64-bit fingerprint of everything that determines a design-point
+    /// solve besides the grid coordinates: the platform (floorplan, thermal
+    /// parameters, frequency/power envelope), the control configuration and
+    /// the solver options. Two contexts with equal fingerprints produce
+    /// bit-identical solves of the same `(tstart, ftarget)` point, which is
+    /// the precondition for [`crate::TableBuilder::build_incremental`] to
+    /// reuse a persisted prior build's cells and certificates.
+    pub fn fingerprint(&self) -> u64 {
+        // Debug formatting of f64 prints the shortest round-trip
+        // representation, so the digest covers every bit of every
+        // parameter.
+        crate::io::fnv1a(
+            format!("{:?}|{:?}|{:?}", self.platform, self.cfg, self.solver_opts).as_bytes(),
+        )
     }
 }
 
@@ -227,8 +315,9 @@ pub fn solve_assignment_with(
 
 /// Solves an already-built design-point problem, returning the outcome and
 /// any verified infeasibility certificate phase I produced (so callers that
-/// screen — [`PointSolver`], the frontier probes — can inherit it).
-fn solve_built_problem(
+/// screen — [`PointSolver`], the frontier probes, the MPC-style
+/// [`crate::OnlineController`] — can inherit it).
+pub(crate) fn solve_built_problem(
     ctx: &AssignmentContext,
     solver: &mut BarrierSolver,
     prob: &Problem,
@@ -333,8 +422,8 @@ pub struct PointSolver<'a> {
     ctx: &'a AssignmentContext,
     solver: BarrierSolver,
     screening: bool,
-    certs: Vec<Certificate>,
-    cert_ws: CertScratch,
+    pool: CertPool,
+    minted: Option<Certificate>,
 }
 
 impl<'a> PointSolver<'a> {
@@ -345,13 +434,14 @@ impl<'a> PointSolver<'a> {
             ctx,
             solver: BarrierSolver::new(ctx.solver_opts),
             screening: false,
-            certs: Vec::new(),
-            cert_ws: CertScratch::new(),
+            pool: CertPool::default(),
+            minted: None,
         }
     }
 
-    /// The context this solver works against.
-    pub fn context(&self) -> &AssignmentContext {
+    /// The context this solver works against (the full `'a` borrow, so
+    /// callers can keep it across mutable uses of the solver).
+    pub fn context(&self) -> &'a AssignmentContext {
         self.ctx
     }
 
@@ -362,7 +452,28 @@ impl<'a> PointSolver<'a> {
 
     /// Number of infeasibility certificates currently held.
     pub fn certificate_count(&self) -> usize {
-        self.certs.len()
+        self.pool.len()
+    }
+
+    /// Seeds the screening pool with certificates inherited from a prior
+    /// build (verify them first — see
+    /// [`crate::BuildArtifact::verify_certificates`]). Inherited
+    /// certificates are exempt from the MRU eviction cap.
+    pub fn preload_certificates(&mut self, certs: impl IntoIterator<Item = Certificate>) {
+        self.pool.preload(certs);
+    }
+
+    /// Screens that hit an *inherited* (preloaded) certificate — the
+    /// phase-I runs an incremental rebuild inherited instead of re-paying.
+    pub fn inherited_screens(&self) -> u64 {
+        self.pool.inherited_hits()
+    }
+
+    /// The certificate minted by the most recent infeasible solve, if that
+    /// solve produced one (cleared by the take). The table builder uses
+    /// this to persist frontier proofs next to the table.
+    pub fn take_minted_certificate(&mut self) -> Option<Certificate> {
+        self.minted.take()
     }
 
     /// Checks the point against the inherited certificates only (no
@@ -375,7 +486,7 @@ impl<'a> PointSolver<'a> {
     /// Never fails today; `Result` for signature stability with the solve
     /// path.
     pub fn screen_infeasible(&mut self, tstart_c: f64, ftarget_hz: f64) -> Result<bool> {
-        if !self.screening || self.certs.is_empty() {
+        if !self.screening || self.pool.is_empty() {
             return Ok(false);
         }
         let prob = self.ctx.point_problem(tstart_c, ftarget_hz);
@@ -386,28 +497,16 @@ impl<'a> PointSolver<'a> {
     /// already-built problem — the table builder constructs each cell's
     /// problem once and reuses it for the screen and the solve.
     pub(crate) fn screen_prepared(&mut self, prob: &Problem) -> bool {
-        self.screening && !self.certs.is_empty() && self.screen_problem(prob)
+        self.screening && !self.pool.is_empty() && self.screen_problem(prob)
     }
 
     fn screen_problem(&mut self, prob: &Problem) -> bool {
-        match self
-            .certs
-            .iter()
-            .position(|c| c.certifies(prob, &mut self.cert_ws))
-        {
-            Some(hit) => {
-                // Move the winner to the front: neighbouring cells will hit
-                // it again.
-                self.certs[..=hit].rotate_right(1);
-                true
-            }
-            None => false,
-        }
+        self.pool.screen(prob)
     }
 
     fn remember_certificate(&mut self, cert: Certificate) {
-        self.certs.insert(0, cert);
-        self.certs.truncate(MAX_CERTIFICATES);
+        self.minted = Some(cert.clone());
+        self.pool.remember(cert);
     }
 
     /// Solves one design point; see [`solve_assignment_with`]. With

@@ -1,10 +1,14 @@
 use std::time::Instant;
 
+use protemp_cvx::CertScratch;
 use serde::{Deserialize, Serialize};
 
 #[cfg(test)]
 use crate::ControlConfig;
-use crate::{AssignmentContext, FrequencyAssignment, FrequencyTable, PointSolver, Result};
+use crate::{
+    AssignmentContext, BuildArtifact, CellRecord, CellStatus, FrequencyAssignment, FrequencyTable,
+    PointSolver, Result, StoredCertificate,
+};
 
 /// Largest temperature hop (°C) a warm chain crosses in one solve. Beyond
 /// this the previous optimum usually violates the hotter problem's
@@ -38,7 +42,7 @@ pub struct BuildStats {
     pub warm_started: usize,
     /// Total interior-point Newton steps across the sweep (including
     /// continuation sub-steps) — the deterministic work measure behind the
-    /// wall-clock numbers.
+    /// wall-clock numbers. Cells reused from a prior artifact cost zero.
     pub newton_steps: u64,
     /// Phase-I solve invocations across the sweep — cold starts and
     /// frontier/infeasible cells, *including* continuation-hop sub-solves
@@ -50,6 +54,16 @@ pub struct BuildStats {
     /// matvec instead of a phase-I run. Together with `phase1_solves` this
     /// breaks down where the sweep's feasibility decisions came from.
     pub certificate_screens: u64,
+    /// Cells copied verbatim from a prior build artifact by
+    /// [`TableBuilder::build_incremental`] (zero solver work): the grid
+    /// prefix where the prior build already performed bit-identical
+    /// solves. `0` for cold builds.
+    pub seed_reuses: u64,
+    /// Certificate screens answered by a certificate *inherited from the
+    /// prior artifact* (a subset of `certificate_screens`): frontier
+    /// proofs the incremental rebuild did not have to re-pay phase I for.
+    /// `0` for cold builds.
+    pub incremental_screens: u64,
 }
 
 impl BuildStats {
@@ -79,6 +93,13 @@ impl BuildStats {
 /// online controller uses window to window). Warm chains never cross
 /// column boundaries, which makes the result *deterministic*: the table is
 /// identical for any thread count, including the serial build.
+///
+/// [`TableBuilder::build_artifact`] additionally returns the per-cell
+/// optimizer points, solve statistics and minted infeasibility
+/// certificates as a [`BuildArtifact`] that [`crate::TableStore`] can
+/// persist; [`TableBuilder::build_incremental`] consumes a persisted prior
+/// artifact to rebuild a finer or shifted grid for a fraction of the
+/// Newton steps while producing a table *bit-identical* to a cold build.
 ///
 /// # Example
 ///
@@ -125,11 +146,28 @@ struct ChunkStats {
     solved_cells: usize,
     phase1_solves: u64,
     certificate_screens: u64,
+    seed_reuses: u64,
+    inherited_screens: u64,
 }
 
-/// Result of one worker's chunk of columns: chunk-local column-major
-/// entries, per-point solve seconds, and the tallies.
-type ChunkResult = Result<(Vec<Option<FrequencyAssignment>>, Vec<f64>, ChunkStats)>;
+/// One worker's chunk of columns: chunk-local column-major entries and
+/// per-cell records, per-point solve seconds, minted certificates, and the
+/// tallies.
+type ChunkResult = Result<(
+    Vec<Option<FrequencyAssignment>>,
+    Vec<CellRecord>,
+    Vec<f64>,
+    Vec<StoredCertificate>,
+    ChunkStats,
+)>;
+
+/// What an incremental rebuild carries into every worker: the prior
+/// artifact (for verbatim cell reuse) and its certificates that survived
+/// re-verification against the current context (for screening).
+struct PriorReuse<'p> {
+    artifact: &'p BuildArtifact,
+    verified_certs: Vec<StoredCertificate>,
+}
 
 impl TableBuilder {
     /// Creates a builder with the paper's default grids
@@ -184,6 +222,87 @@ impl TableBuilder {
     /// Propagates solver/thermal failures; infeasible points are recorded
     /// as `None` entries, not errors.
     pub fn build(&self, ctx: &AssignmentContext) -> Result<(FrequencyTable, BuildStats)> {
+        let (artifact, stats) = self.build_with_prior(ctx, None)?;
+        Ok((artifact.table, stats))
+    }
+
+    /// As [`TableBuilder::build`], but returns the full [`BuildArtifact`]
+    /// — the table plus per-cell optimizer points, per-cell solve records
+    /// and the sweep's minted infeasibility certificates — ready for
+    /// [`crate::TableStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver/thermal failures.
+    pub fn build_artifact(&self, ctx: &AssignmentContext) -> Result<(BuildArtifact, BuildStats)> {
+        self.build_with_prior(ctx, None)
+    }
+
+    /// Rebuilds this builder's grid *incrementally* against a prior
+    /// artifact (typically a coarser grid loaded from a
+    /// [`crate::TableStore`]): the resulting table is **bit-identical** to
+    /// what a cold [`TableBuilder::build`] of the same grid would produce,
+    /// but the prior build's work is reused wherever that identity can be
+    /// proven:
+    ///
+    /// * **Verbatim cell reuse** (`seed_reuses`): where this grid's rows
+    ///   and a column's target coincide exactly with the prior grid's from
+    ///   the coolest row down, the cold build would deterministically
+    ///   repeat the prior build's solves bit for bit (solves are pure
+    ///   functions of the problem, seed and options — the thread-count
+    ///   identity property pins this down), so the prior entries, points
+    ///   and chain decisions are replayed without invoking the solver.
+    ///   The live chain then continues from the replayed state.
+    /// * **Certificate screening** (`incremental_screens`): the prior
+    ///   frontier's certificates — re-verified against this context before
+    ///   use, so a stale or tampered pool degrades to nothing — reject
+    ///   infeasible cells in one matvec each instead of a phase-I run.
+    ///   Screening is verdict-preserving by construction (a certificate
+    ///   can never reject a feasible cell), so entries are unchanged.
+    ///
+    /// If the prior artifact's fingerprint does not match `ctx` (different
+    /// platform, config or solver options) or its records are inconsistent,
+    /// the prior is ignored entirely and this degrades to a cold build —
+    /// never a wrong table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver/thermal failures.
+    pub fn build_incremental(
+        &self,
+        ctx: &AssignmentContext,
+        prior: &BuildArtifact,
+    ) -> Result<(BuildArtifact, BuildStats)> {
+        let consistent =
+            prior.fingerprint == ctx.fingerprint() && prior.cells.len() == prior.table.len();
+        if !consistent {
+            return self.build_with_prior(ctx, None);
+        }
+        // Re-verify every inherited certificate against this context's own
+        // problem data; anything tampered, truncated or stale drops out
+        // here (and even a wrongly-admitted certificate could only fail to
+        // certify later — `certifies` re-derives its bound per cell).
+        let mut ws = CertScratch::new();
+        let verified_certs: Vec<StoredCertificate> = prior
+            .certificates
+            .iter()
+            .filter(|sc| sc.verifies(ctx, &mut ws))
+            .cloned()
+            .collect();
+        self.build_with_prior(
+            ctx,
+            Some(PriorReuse {
+                artifact: prior,
+                verified_certs,
+            }),
+        )
+    }
+
+    fn build_with_prior(
+        &self,
+        ctx: &AssignmentContext,
+        prior: Option<PriorReuse<'_>>,
+    ) -> Result<(BuildArtifact, BuildStats)> {
         // Validate up front: [`FrequencyTable::new`] would catch unsorted
         // grids only after the whole sweep, and the frontier pruning below
         // is only sound when temperatures ascend.
@@ -199,6 +318,7 @@ impl TableBuilder {
         let rows = self.tstarts_c.len();
         let cols = self.ftargets_hz.len();
         let workers = self.threads.min(cols.max(1));
+        let prior = prior.as_ref();
 
         // Partition the grid by contiguous column chunks. Workers solve
         // into chunk-local buffers (a column's cells are strided in the
@@ -217,147 +337,40 @@ impl TableBuilder {
                 handles.push(scope.spawn(move || {
                     let mut solver = PointSolver::new(ctx);
                     solver.set_screening(screening);
+                    // Replay is only sound when the prior chained the same
+                    // way this build does (the decisions being replayed
+                    // depend on it); screening is sound unconditionally.
+                    let replay = prior
+                        .filter(|p| p.artifact.warm_start == warm_start)
+                        .map(|p| p.artifact);
+                    if let Some(p) = prior {
+                        solver.preload_certificates(
+                            p.verified_certs.iter().map(|sc| sc.certificate.clone()),
+                        );
+                    }
                     let mut entries = Vec::with_capacity(rows * chunk.len());
+                    let mut records = Vec::with_capacity(rows * chunk.len());
                     let mut times = vec![0.0; rows * chunk.len()];
+                    let mut minted = Vec::new();
                     let mut stats = ChunkStats::default();
                     // Chunk-local layout is column-major so each column is
                     // one contiguous warm chain.
                     for &ftarget in *chunk {
-                        // Coolest to hottest: away from the frontier the
-                        // optimum barely moves with the start temperature.
-                        let mut prev: Option<(f64, Vec<f64>)> = None;
-                        // Chain health: the column's first (cold) cell sets
-                        // the baseline cost. A warm link that fails to
-                        // clearly beat it means this column's geometry
-                        // resists warm starts (degenerate active sets at
-                        // low targets do) — finish the column cold rather
-                        // than pay the failed-attempt tax on every row.
-                        // Newton counts are deterministic, so this adaptive
-                        // choice preserves build determinism.
-                        let mut baseline: Option<u64> = None;
-                        let mut chain_on = warm_start;
-                        // Feasibility is downward-closed in the starting
-                        // temperature (the RC propagator is nonnegative, so
-                        // offsets rise monotonically with it): once a cell
-                        // is certified infeasible, every hotter row in the
-                        // column is infeasible without solving. The
-                        // certificates this skips are among the most
-                        // expensive solves in the sweep.
-                        let mut column_dead = false;
-                        for &tstart in tstarts {
-                            if column_dead {
-                                entries.push(None);
-                                continue;
-                            }
-                            let t0 = Instant::now();
-                            // Build the cell's problem once; it serves the
-                            // pre-hop screen and the final solve.
-                            let prob = ctx.point_problem(tstart, ftarget);
-                            // Screen the target against inherited
-                            // certificates before paying for continuation
-                            // hops toward it: a certified cell (usually the
-                            // frontier crossing, already proven in a lower
-                            // column) dies for the cost of one matvec.
-                            let pre_screened = prev.is_some();
-                            if pre_screened && solver.screen_prepared(&prob) {
-                                // Screened cells record no time, like
-                                // pruned cells: `mean_point_s` averages
-                                // over actual solver runs only.
-                                stats.certificate_screens += 1;
-                                prev = None;
-                                column_dead = true;
-                                entries.push(None);
-                                continue;
-                            }
-                            let mut cell_cost = 0u64;
-                            // Continuation: cross large temperature hops in
-                            // ≤ MAX_WARM_HOP_C sub-steps so every warm
-                            // solve stays in the few-Newton-step regime.
-                            let mut carry: Option<Vec<f64>> = None;
-                            let mut hops_ran = false;
-                            if chain_on {
-                                if let Some((prev_t, prev_x)) = &prev {
-                                    let mut x = prev_x.clone();
-                                    let hops = ((tstart - prev_t) / MAX_WARM_HOP_C).ceil().max(1.0);
-                                    let mut feasible = true;
-                                    for k in 1..hops as usize {
-                                        let tk = prev_t + (tstart - prev_t) * k as f64 / hops;
-                                        let hop = solver.solve_point(tk, ftarget, Some(&x))?;
-                                        hops_ran = true;
-                                        cell_cost += hop.newton_steps as u64;
-                                        if hop.phase1_steps > 0 {
-                                            stats.phase1_solves += 1;
-                                        }
-                                        match hop.solution {
-                                            Some(p) => x = p.x,
-                                            None => {
-                                                feasible = false;
-                                                break;
-                                            }
-                                        }
-                                    }
-                                    if feasible {
-                                        carry = Some(x);
-                                    }
-                                }
-                            }
-                            // Re-screen only when the pool could have
-                            // changed since the pre-hop screen (a hop may
-                            // have minted a certificate), or when no
-                            // pre-screen ran at all (column's first cell).
-                            let rescreen = !pre_screened || hops_ran;
-                            let solved = solver.solve_prepared(
-                                &prob,
-                                ftarget,
-                                carry.as_deref(),
-                                rescreen,
-                            )?;
-                            if !solved.screened {
-                                times[entries.len()] = t0.elapsed().as_secs_f64();
-                            }
-                            if solved.screened {
-                                // Killed by a certificate the pre-hop
-                                // screen didn't have yet: minted by a
-                                // continuation hop, or inherited from an
-                                // earlier column on the column's first row.
-                                stats.certificate_screens += 1;
-                                stats.newton += cell_cost;
-                                prev = None;
-                                column_dead = true;
-                                entries.push(None);
-                                continue;
-                            }
-                            stats.solved_cells += 1;
-                            if solved.phase1_steps > 0 {
-                                stats.phase1_solves += 1;
-                            }
-                            if carry.is_some() {
-                                stats.warm_used += 1;
-                            }
-                            cell_cost += solved.newton_steps as u64;
-                            stats.newton += cell_cost;
-                            match solved.solution {
-                                Some(p) => {
-                                    match baseline {
-                                        None => baseline = Some(cell_cost.max(1)),
-                                        Some(base) => {
-                                            if carry.is_some() && cell_cost > base / 2 {
-                                                chain_on = false;
-                                            }
-                                        }
-                                    }
-                                    prev = Some((tstart, p.x));
-                                    entries.push(Some(p.assignment));
-                                }
-                                None => {
-                                    prev = None;
-                                    column_dead = true;
-                                    entries.push(None);
-                                }
-                            }
-                        }
+                        solve_column(
+                            &mut solver,
+                            tstarts,
+                            ftarget,
+                            warm_start,
+                            replay,
+                            &mut entries,
+                            &mut records,
+                            &mut times,
+                            &mut stats,
+                            &mut minted,
+                        )?;
                     }
-                    Ok((entries, times, stats))
+                    stats.inherited_screens = solver.inherited_screens();
+                    Ok((entries, records, times, minted, stats))
                 }));
             }
             handles
@@ -369,25 +382,61 @@ impl TableBuilder {
         // Deterministic merge: chunk-local column-major buffers into the
         // row-major table, in column order.
         let mut results: Vec<Option<FrequencyAssignment>> = vec![None; rows * cols];
+        let mut cells: Vec<CellRecord> = Vec::with_capacity(rows * cols);
+        cells.resize(
+            rows * cols,
+            CellRecord {
+                status: CellStatus::Pruned,
+                newton_steps: 0,
+                phase1: false,
+                warm: false,
+                x: None,
+            },
+        );
+        let mut certificates: Vec<StoredCertificate> = Vec::new();
         let mut point_times: Vec<f64> = vec![0.0; rows * cols];
         let mut totals = ChunkStats::default();
         let mut col_base = 0usize;
         for (outcome, chunk) in chunk_outcomes.into_iter().zip(&col_chunks) {
-            let (entries, times, stats) = outcome?;
+            let (entries, records, times, minted, stats) = outcome?;
             totals.warm_used += stats.warm_used;
             totals.newton += stats.newton;
             totals.solved_cells += stats.solved_cells;
             totals.phase1_solves += stats.phase1_solves;
             totals.certificate_screens += stats.certificate_screens;
-            let mut it = entries.into_iter().zip(times);
+            totals.seed_reuses += stats.seed_reuses;
+            totals.inherited_screens += stats.inherited_screens;
+            certificates.extend(minted);
+            let mut it = entries.into_iter().zip(records).zip(times);
             for local_col in 0..chunk.len() {
                 for row in 0..rows {
-                    let (entry, time) = it.next().expect("chunk sized rows*cols");
-                    results[row * cols + col_base + local_col] = entry;
-                    point_times[row * cols + col_base + local_col] = time;
+                    let ((entry, record), time) = it.next().expect("chunk sized rows*cols");
+                    let idx = row * cols + col_base + local_col;
+                    results[idx] = entry;
+                    cells[idx] = record;
+                    point_times[idx] = time;
                 }
             }
             col_base += chunk.len();
+        }
+
+        // Carry verified inherited certificates forward (after this
+        // build's own mints, deduplicated by mint coordinates): screened
+        // cells re-prove nothing, so without this a chain of incremental
+        // rebuilds would progressively shed its frontier proofs.
+        if let Some(p) = prior {
+            let covered: std::collections::HashSet<(u64, u64)> = certificates
+                .iter()
+                .map(|sc| (sc.tstart_c.to_bits(), sc.ftarget_hz.to_bits()))
+                .collect();
+            certificates.extend(
+                p.verified_certs
+                    .iter()
+                    .filter(|sc| {
+                        !covered.contains(&(sc.tstart_c.to_bits(), sc.ftarget_hz.to_bits()))
+                    })
+                    .cloned(),
+            );
         }
 
         let worker_count = col_chunks.len().max(1);
@@ -399,8 +448,8 @@ impl TableBuilder {
             solved_points: solved_total,
             feasible,
             total_s,
-            // Pruned and screened cells never ran the solver (their
-            // recorded time is zero); average over the solves that
+            // Pruned, screened and reused cells never ran the solver
+            // (their recorded time is zero); average over the solves that
             // actually happened.
             mean_point_s: if solved_total == 0 {
                 0.0
@@ -413,6 +462,8 @@ impl TableBuilder {
             newton_steps: totals.newton,
             phase1_solves: totals.phase1_solves,
             certificate_screens: totals.certificate_screens,
+            seed_reuses: totals.seed_reuses,
+            incremental_screens: totals.inherited_screens,
         };
         let table = FrequencyTable::new(
             self.tstarts_c.clone(),
@@ -420,8 +471,273 @@ impl TableBuilder {
             results,
             ctx.config().mode,
         );
-        Ok((table, stats))
+        let artifact = BuildArtifact {
+            table,
+            cells,
+            certificates,
+            fingerprint: ctx.fingerprint(),
+            warm_start: self.warm_start,
+        };
+        Ok((artifact, stats))
     }
+}
+
+/// Chain state threaded through one column of the sweep.
+struct ColumnChain {
+    /// Previous feasible `(tstart, x)` in this column — the warm seed.
+    prev: Option<(f64, Vec<f64>)>,
+    /// Newton cost of the column's first feasible (cold) cell; the
+    /// chain-health baseline.
+    baseline: Option<u64>,
+    /// Whether warm links are still considered healthy.
+    chain_on: bool,
+    /// Set once a cell is certified infeasible: every hotter row is
+    /// infeasible by monotonicity and is pruned without a solve.
+    dead: bool,
+}
+
+/// Solves (or replays) one grid column, appending `tstarts.len()` entries
+/// and records.
+#[allow(clippy::too_many_arguments)]
+fn solve_column(
+    solver: &mut PointSolver<'_>,
+    tstarts: &[f64],
+    ftarget: f64,
+    warm_start: bool,
+    replay: Option<&BuildArtifact>,
+    entries: &mut Vec<Option<FrequencyAssignment>>,
+    records: &mut Vec<CellRecord>,
+    times: &mut [f64],
+    stats: &mut ChunkStats,
+    minted: &mut Vec<StoredCertificate>,
+) -> Result<()> {
+    let ctx = solver.context();
+    let mut chain = ColumnChain {
+        prev: None,
+        baseline: None,
+        chain_on: warm_start,
+        dead: false,
+    };
+
+    // Replay phase: copy the prior build's cells verbatim over the grid
+    // prefix where the cold build's solves would be bit-identical
+    // repetitions of the prior build's — same column target, same row
+    // temperatures from the coolest row down, same chaining mode (checked
+    // by the caller), same context (fingerprint-checked by
+    // `build_incremental`). The chain bookkeeping below replicates the
+    // live loop's decisions from the recorded costs so the live phase
+    // resumes exactly where a cold build would be.
+    let mut row = 0usize;
+    if let Some(p) = replay {
+        if let Some(pc) = p.table.ftargets_hz().iter().position(|&f| f == ftarget) {
+            let prior_temps = p.table.tstarts_c();
+            while row < tstarts.len() && row < prior_temps.len() {
+                if tstarts[row] != prior_temps[row] {
+                    break;
+                }
+                let rec = p.cell(row, pc);
+                // Once the column is dead, only a Pruned record is
+                // consistent with what a cold build would do; anything
+                // else means the prior is corrupt — stop trusting it and
+                // let the live loop prune the remainder itself.
+                if chain.dead && rec.status != CellStatus::Pruned {
+                    break;
+                }
+                match rec.status {
+                    CellStatus::Feasible => {
+                        let (Some(x), Some(entry)) = (rec.x.as_ref(), p.table.entry(row, pc))
+                        else {
+                            // Inconsistent record: stop trusting the prior
+                            // and let the live loop take over.
+                            break;
+                        };
+                        match chain.baseline {
+                            None => chain.baseline = Some(rec.newton_steps.max(1)),
+                            Some(base) => {
+                                if rec.warm && rec.newton_steps > base / 2 {
+                                    chain.chain_on = false;
+                                }
+                            }
+                        }
+                        chain.prev = Some((tstarts[row], x.clone()));
+                        entries.push(Some(entry.clone()));
+                    }
+                    CellStatus::Infeasible | CellStatus::Screened => {
+                        chain.prev = None;
+                        chain.dead = true;
+                        entries.push(None);
+                    }
+                    CellStatus::Pruned => {
+                        // The free tail of a dead column (the !dead case
+                        // broke out above): copy it so an identical-grid
+                        // rebuild replays every cell.
+                        entries.push(None);
+                    }
+                }
+                records.push(rec.clone());
+                stats.seed_reuses += 1;
+                row += 1;
+            }
+        }
+    }
+
+    // Live phase: identical to a cold build from `row` on.
+    for &tstart in &tstarts[row..] {
+        if chain.dead {
+            entries.push(None);
+            records.push(CellRecord {
+                status: CellStatus::Pruned,
+                newton_steps: 0,
+                phase1: false,
+                warm: false,
+                x: None,
+            });
+            continue;
+        }
+        let t0 = Instant::now();
+        // Build the cell's problem once; it serves the pre-hop screen and
+        // the final solve.
+        let prob = ctx.point_problem(tstart, ftarget);
+        // Screen the target against inherited certificates before paying
+        // for continuation hops toward it: a certified cell (usually the
+        // frontier crossing, already proven in a lower column) dies for
+        // the cost of one matvec.
+        let pre_screened = chain.prev.is_some();
+        if pre_screened && solver.screen_prepared(&prob) {
+            // Screened cells record no time, like pruned cells:
+            // `mean_point_s` averages over actual solver runs only.
+            stats.certificate_screens += 1;
+            chain.prev = None;
+            chain.dead = true;
+            entries.push(None);
+            records.push(CellRecord {
+                status: CellStatus::Screened,
+                newton_steps: 0,
+                phase1: false,
+                warm: false,
+                x: None,
+            });
+            continue;
+        }
+        let mut cell_cost = 0u64;
+        let mut cell_phase1 = false;
+        // Continuation: cross large temperature hops in ≤ MAX_WARM_HOP_C
+        // sub-steps so every warm solve stays in the few-Newton-step
+        // regime.
+        let mut carry: Option<Vec<f64>> = None;
+        let mut hops_ran = false;
+        if chain.chain_on {
+            if let Some((prev_t, prev_x)) = &chain.prev {
+                let mut x = prev_x.clone();
+                let hops = ((tstart - prev_t) / MAX_WARM_HOP_C).ceil().max(1.0);
+                let mut feasible = true;
+                for k in 1..hops as usize {
+                    let tk = prev_t + (tstart - prev_t) * k as f64 / hops;
+                    let hop = solver.solve_point(tk, ftarget, Some(&x))?;
+                    hops_ran = true;
+                    cell_cost += hop.newton_steps as u64;
+                    if hop.phase1_steps > 0 {
+                        stats.phase1_solves += 1;
+                        cell_phase1 = true;
+                    }
+                    match hop.solution {
+                        Some(p) => x = p.x,
+                        None => {
+                            if let Some(cert) = solver.take_minted_certificate() {
+                                minted.push(StoredCertificate {
+                                    tstart_c: tk,
+                                    ftarget_hz: ftarget,
+                                    certificate: cert,
+                                });
+                            }
+                            feasible = false;
+                            break;
+                        }
+                    }
+                }
+                if feasible {
+                    carry = Some(x);
+                }
+            }
+        }
+        // Re-screen only when the pool could have changed since the
+        // pre-hop screen (a hop may have minted a certificate), or when no
+        // pre-screen ran at all (column's first cell).
+        let rescreen = !pre_screened || hops_ran;
+        let solved = solver.solve_prepared(&prob, ftarget, carry.as_deref(), rescreen)?;
+        if !solved.screened {
+            times[entries.len()] = t0.elapsed().as_secs_f64();
+        }
+        if solved.screened {
+            // Killed by a certificate the pre-hop screen didn't have yet:
+            // minted by a continuation hop, or inherited from an earlier
+            // column on the column's first row.
+            stats.certificate_screens += 1;
+            stats.newton += cell_cost;
+            chain.prev = None;
+            chain.dead = true;
+            entries.push(None);
+            records.push(CellRecord {
+                status: CellStatus::Screened,
+                newton_steps: cell_cost,
+                phase1: cell_phase1,
+                warm: false,
+                x: None,
+            });
+            continue;
+        }
+        stats.solved_cells += 1;
+        if solved.phase1_steps > 0 {
+            stats.phase1_solves += 1;
+            cell_phase1 = true;
+        }
+        if carry.is_some() {
+            stats.warm_used += 1;
+        }
+        cell_cost += solved.newton_steps as u64;
+        stats.newton += cell_cost;
+        match solved.solution {
+            Some(p) => {
+                match chain.baseline {
+                    None => chain.baseline = Some(cell_cost.max(1)),
+                    Some(base) => {
+                        if carry.is_some() && cell_cost > base / 2 {
+                            chain.chain_on = false;
+                        }
+                    }
+                }
+                records.push(CellRecord {
+                    status: CellStatus::Feasible,
+                    newton_steps: cell_cost,
+                    phase1: cell_phase1,
+                    warm: carry.is_some(),
+                    x: Some(p.x.clone()),
+                });
+                chain.prev = Some((tstart, p.x));
+                entries.push(Some(p.assignment));
+            }
+            None => {
+                if let Some(cert) = solver.take_minted_certificate() {
+                    minted.push(StoredCertificate {
+                        tstart_c: tstart,
+                        ftarget_hz: ftarget,
+                        certificate: cert,
+                    });
+                }
+                records.push(CellRecord {
+                    status: CellStatus::Infeasible,
+                    newton_steps: cell_cost,
+                    phase1: cell_phase1,
+                    warm: carry.is_some(),
+                    x: None,
+                });
+                chain.prev = None;
+                chain.dead = true;
+                entries.push(None);
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -450,6 +766,8 @@ mod tests {
         assert!(stats.max_point_s >= stats.mean_point_s);
         assert!(stats.threads >= 1);
         assert!(stats.points_per_s() > 0.0);
+        assert_eq!(stats.seed_reuses, 0, "cold build reuses nothing");
+        assert_eq!(stats.incremental_screens, 0);
     }
 
     #[test]
@@ -479,6 +797,45 @@ mod tests {
         );
         let (_, cold_stats) = builder.warm_start(false).build(&ctx).unwrap();
         assert_eq!(cold_stats.warm_started, 0);
+    }
+
+    #[test]
+    fn artifact_records_are_consistent_with_the_table() {
+        let platform = Platform::niagara8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        let (artifact, stats) = TableBuilder::new()
+            .tstarts(vec![60.0, 95.0])
+            .ftargets(vec![0.3e9, 0.9e9])
+            .build_artifact(&ctx)
+            .unwrap();
+        assert_eq!(artifact.cells.len(), artifact.table.len());
+        assert_eq!(artifact.fingerprint, ctx.fingerprint());
+        assert!(artifact.warm_start);
+        let cols = artifact.table.ftargets_hz().len();
+        let mut recorded_newton = 0u64;
+        for r in 0..artifact.table.tstarts_c().len() {
+            for c in 0..cols {
+                let rec = artifact.cell(r, c);
+                assert_eq!(
+                    rec.status == CellStatus::Feasible,
+                    artifact.table.entry(r, c).is_some(),
+                    "record status must match the entry at ({r},{c})"
+                );
+                assert_eq!(
+                    rec.x.is_some(),
+                    rec.status == CellStatus::Feasible,
+                    "exactly the feasible cells carry optimizer points"
+                );
+                recorded_newton += rec.newton_steps;
+            }
+        }
+        assert_eq!(
+            recorded_newton, stats.newton_steps,
+            "per-cell costs must sum to the sweep total"
+        );
+        // Every minted certificate re-verifies against this context.
+        let mut check = artifact.clone();
+        assert_eq!(check.verify_certificates(&ctx), 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-use protemp_cvx::BarrierSolver;
+use protemp_cvx::{BarrierSolver, Certificate};
 use protemp_sim::{DfsPolicy, Observation, Platform};
 
-use crate::{solve_assignment_with, AssignmentContext, FrequencyTable, LookupOutcome};
+use crate::assign::{solve_built_problem, CertPool};
+use crate::{AssignmentContext, FrequencyTable, LookupOutcome};
 
 /// Phase 2 of Pro-Temp: the run-time controller (paper Section 3.3).
 ///
@@ -100,14 +101,28 @@ impl DfsPolicy for ProTempController {
 /// Newton scratch is reused every window — and warm-starts each window's
 /// re-solve from the previous window's optimum (consecutive windows see
 /// nearly the same temperature and demand, the classic MPC warm start).
+/// `warm_solves` counts only windows whose warm start actually carried a
+/// solve to an optimum, and `last_x` is invalidated whenever a window ends
+/// in a solver error or a shutdown, so the next window never warm-starts
+/// from a point solved for a different (possibly repeatedly halved)
+/// target.
+///
+/// The controller also keeps the same certificate pool the Phase-1 sweep
+/// uses: certificates minted by its own failed phase-I runs — optionally
+/// seeded from a persisted build artifact via
+/// [`OnlineController::preload_certificates`] — reject a transiently
+/// infeasible MPC window in one matvec, skipping the phase-I run before
+/// the bisection falls back to a halved target.
 #[derive(Debug, Clone)]
 pub struct OnlineController {
     ctx: AssignmentContext,
     solver: BarrierSolver,
+    pool: CertPool,
     last_x: Option<Vec<f64>>,
     solves: u64,
     infeasible: u64,
     warm_solves: u64,
+    screened: u64,
 }
 
 impl OnlineController {
@@ -117,11 +132,24 @@ impl OnlineController {
         OnlineController {
             ctx,
             solver,
+            pool: CertPool::default(),
             last_x: None,
             solves: 0,
             infeasible: 0,
             warm_solves: 0,
+            screened: 0,
         }
+    }
+
+    /// Seeds the screening pool with certificates from a prior build
+    /// (e.g. [`crate::BuildArtifact::certificate_pool`] after
+    /// [`crate::BuildArtifact::verify_certificates`]). Screening is sound
+    /// regardless — a certificate re-derives its infeasibility bound
+    /// against each window's own constraint data and can never reject a
+    /// feasible window — but verified certificates save the pool from
+    /// carrying dead weight.
+    pub fn preload_certificates(&mut self, certs: impl IntoIterator<Item = Certificate>) {
+        self.pool.preload(certs);
     }
 
     /// Counter pair `(solves, infeasible)`.
@@ -130,9 +158,20 @@ impl OnlineController {
     }
 
     /// Number of window solves that reused the previous window's optimum
-    /// as a warm start.
+    /// as a warm start *and* reached an optimum from it.
     pub fn warm_solves(&self) -> u64 {
         self.warm_solves
+    }
+
+    /// Number of bisection probes rejected by a pooled infeasibility
+    /// certificate (one matvec, no phase-I run).
+    pub fn screened_windows(&self) -> u64 {
+        self.screened
+    }
+
+    /// Number of infeasibility certificates currently pooled.
+    pub fn certificate_count(&self) -> usize {
+        self.pool.len()
     }
 }
 
@@ -147,33 +186,60 @@ impl DfsPolicy for OnlineController {
         // first, then halve until feasible (few iterations in practice).
         let mut target = obs.required_avg_freq_hz.min(platform.fmax_hz);
         for _ in 0..6 {
-            let warm = self.last_x.as_deref();
-            if warm.is_some() {
-                self.warm_solves += 1;
+            let prob = self.ctx.point_problem(obs.max_core_temp, target);
+            // One matvec per pooled certificate before any solve: a
+            // transiently infeasible window dies here instead of running
+            // phase I, and the bisection drops straight to a halved
+            // target.
+            if self.pool.screen(&prob) {
+                self.screened += 1;
+                self.infeasible += 1;
+                target *= 0.5;
+                if target < platform.fmax_hz * 0.01 {
+                    break;
+                }
+                continue;
             }
-            match solve_assignment_with(
+            let warm_attempted = self.last_x.is_some();
+            match solve_built_problem(
                 &self.ctx,
                 &mut self.solver,
-                obs.max_core_temp,
+                &prob,
                 target,
-                warm,
+                self.last_x.as_deref(),
             ) {
-                Ok(outcome) => match outcome.solution {
-                    Some(p) => {
-                        self.last_x = Some(p.x);
-                        return p.assignment.freqs_hz;
+                Ok((outcome, cert)) => {
+                    if let Some(cert) = cert {
+                        self.pool.remember(cert);
                     }
-                    None => {
-                        self.infeasible += 1;
-                        target *= 0.5;
-                        if target < platform.fmax_hz * 0.01 {
-                            break;
+                    match outcome.solution {
+                        Some(p) => {
+                            // Count the warm start only now that it
+                            // carried a solve to an optimum.
+                            if warm_attempted {
+                                self.warm_solves += 1;
+                            }
+                            self.last_x = Some(p.x);
+                            return p.assignment.freqs_hz;
+                        }
+                        None => {
+                            self.infeasible += 1;
+                            target *= 0.5;
+                            if target < platform.fmax_hz * 0.01 {
+                                break;
+                            }
                         }
                     }
-                },
-                Err(_) => break,
+                }
+                Err(_) => {
+                    break;
+                }
             }
         }
+        // Error or shutdown window: the carried optimum no longer matches
+        // what the next window will solve — drop it so the next solve
+        // starts cold instead of from a stale point.
+        self.last_x = None;
         vec![0.0; platform.num_cores()]
     }
 }
@@ -251,6 +317,78 @@ mod tests {
         assert!(avg >= 0.5e9 * 0.99, "avg {avg}");
         assert_eq!(c.counters().0, 1);
         assert_eq!(c.warm_solves(), 0, "first window has nothing to reuse");
+    }
+
+    #[test]
+    fn failed_window_counts_no_warm_solves_and_drops_the_stale_point() {
+        let platform = Platform::niagara8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        let mut c = OnlineController::new(ctx);
+        // Window 1: feasible, establishes a carried optimum.
+        let f1 = c.frequencies(&obs(60.0, 0.4e9), &platform);
+        assert!(f1.iter().any(|&x| x > 0.0));
+        assert_eq!(c.warm_solves(), 0);
+        // Window 2: hopelessly hot — every bisection probe is infeasible
+        // and the window shuts down. The probes warm-start from window 1's
+        // optimum but never reach one, so none of them may count, and the
+        // stale point must be dropped.
+        let f2 = c.frequencies(&obs(150.0, 0.4e9), &platform);
+        assert!(f2.iter().all(|&x| x == 0.0), "150 C must shut down");
+        assert_eq!(
+            c.warm_solves(),
+            0,
+            "failed warm attempts must not count as warm solves"
+        );
+        // Window 3: feasible again — must start cold (the carried point
+        // was solved for a halved target under a different temperature).
+        let f3 = c.frequencies(&obs(60.0, 0.4e9), &platform);
+        assert!(f3.iter().any(|&x| x > 0.0));
+        assert_eq!(c.warm_solves(), 0, "window after a shutdown starts cold");
+        // Window 4: now the warm chain is re-established.
+        let _ = c.frequencies(&obs(61.0, 0.4e9), &platform);
+        assert_eq!(c.warm_solves(), 1);
+    }
+
+    #[test]
+    fn online_controller_screens_with_pooled_certificates() {
+        use crate::PointSolver;
+        let platform = Platform::niagara8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        // Mint a certificate at an infeasible design point (the same kind
+        // the table store persists next to a build).
+        let mut ps = PointSolver::new(&ctx);
+        ps.set_screening(true);
+        let out = ps.solve_point(100.0, 0.6e9, None).unwrap();
+        assert!(out.solution.is_none(), "100 C / 600 MHz must be infeasible");
+        let cert = ps
+            .take_minted_certificate()
+            .expect("failed phase I at the frontier mints a certificate");
+
+        let mut c = OnlineController::new(ctx);
+        c.preload_certificates([cert]);
+        assert_eq!(c.certificate_count(), 1);
+        // A window at the certified design point dies in one matvec — no
+        // phase-I run — and the bisection degrades from there.
+        let _ = c.frequencies(&obs(100.0, 0.6e9), &platform);
+        assert!(
+            c.screened_windows() >= 1,
+            "the pooled certificate must reject the certified probe"
+        );
+        assert!(c.counters().1 >= 1, "screens count as infeasible probes");
+    }
+
+    #[test]
+    fn online_controller_pools_certificates_from_its_own_failures() {
+        let platform = Platform::niagara8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        let mut c = OnlineController::new(ctx);
+        // An infeasible demand forces at least one failed phase-I run,
+        // whose certificate joins the pool for later windows.
+        let _ = c.frequencies(&obs(100.0, 0.6e9), &platform);
+        assert!(
+            c.certificate_count() >= 1,
+            "failed windows must feed the certificate pool"
+        );
     }
 
     #[test]

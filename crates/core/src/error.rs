@@ -22,6 +22,12 @@ pub enum ProTempError {
         /// What was wrong.
         reason: String,
     },
+    /// Build-artifact store failure (filesystem level: a missing table
+    /// file, a failed atomic rename, an invalid artifact name).
+    Store {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ProTempError {
@@ -31,6 +37,7 @@ impl fmt::Display for ProTempError {
             ProTempError::Thermal(e) => write!(f, "thermal model failure: {e}"),
             ProTempError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
             ProTempError::TableFormat { reason } => write!(f, "bad table format: {reason}"),
+            ProTempError::Store { reason } => write!(f, "table store failure: {reason}"),
         }
     }
 }

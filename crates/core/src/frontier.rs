@@ -12,9 +12,10 @@
 //! matvec, no solve). [`FrontierPoint::probes`] records how much work that
 //! saved.
 
-use protemp_cvx::{BarrierSolver, CertScratch, Certificate};
+use protemp_cvx::{BarrierSolver, Certificate};
 use serde::{Deserialize, Serialize};
 
+use crate::assign::CertPool;
 use crate::{solve_assignment, AssignmentContext, FrequencyAssignment, Result};
 
 /// Probe accounting for one frontier point.
@@ -47,14 +48,14 @@ pub struct FrontierPoint {
 }
 
 /// Reusable probe machinery: one solver (scratch persists), the last
-/// feasible point as a phase-I seed, and the last infeasibility
-/// certificate as a screen.
+/// feasible point as a phase-I seed, and a pool of infeasibility
+/// certificates — minted by failed probes, optionally seeded from a
+/// persisted prior build — as a screen.
 struct FrontierProber<'a> {
     ctx: &'a AssignmentContext,
     solver: BarrierSolver,
     seed: Option<Vec<f64>>,
-    cert: Option<Certificate>,
-    cert_ws: CertScratch,
+    pool: CertPool,
     stats: ProbeStats,
 }
 
@@ -64,8 +65,7 @@ impl<'a> FrontierProber<'a> {
             ctx,
             solver: BarrierSolver::new(*ctx.solver_options()),
             seed: None,
-            cert: None,
-            cert_ws: CertScratch::new(),
+            pool: CertPool::default(),
             stats: ProbeStats::default(),
         }
     }
@@ -74,11 +74,9 @@ impl<'a> FrontierProber<'a> {
     fn check(&mut self, tstart_c: f64, ftarget_hz: f64) -> Result<bool> {
         self.stats.probes += 1;
         let prob = self.ctx.point_problem(tstart_c, ftarget_hz);
-        if let Some(cert) = &self.cert {
-            if cert.certifies(&prob, &mut self.cert_ws) {
-                self.stats.screened += 1;
-                return Ok(false);
-            }
+        if self.pool.screen(&prob) {
+            self.stats.screened += 1;
+            return Ok(false);
         }
         let had_seed = self.seed.is_some();
         let out = self
@@ -97,8 +95,8 @@ impl<'a> FrontierProber<'a> {
                 Ok(true)
             }
             None => {
-                if out.certificate.is_some() {
-                    self.cert = out.certificate;
+                if let Some(cert) = out.certificate {
+                    self.pool.remember(cert);
                 }
                 Ok(false)
             }
@@ -188,7 +186,29 @@ pub fn sweep(
     tol_hz: f64,
     with_assignments: bool,
 ) -> Result<Vec<FrontierPoint>> {
+    sweep_seeded(ctx, tstarts_c, tol_hz, with_assignments, &[])
+}
+
+/// As [`sweep`], but with the prober's certificate pool pre-seeded from a
+/// persisted prior build (e.g.
+/// [`crate::BuildArtifact::certificate_pool`] after
+/// [`crate::BuildArtifact::verify_certificates`]): probes dominated by a
+/// prior frontier proof are rejected in one matvec without a phase-I run.
+/// Screening is verdict-preserving, so the reported frontier is the same
+/// — only `ProbeStats::screened` and the Newton totals move.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn sweep_seeded(
+    ctx: &AssignmentContext,
+    tstarts_c: &[f64],
+    tol_hz: f64,
+    with_assignments: bool,
+    seed_certs: &[Certificate],
+) -> Result<Vec<FrontierPoint>> {
     let mut prober = FrontierProber::new(ctx);
+    prober.pool.preload(seed_certs.iter().cloned());
     let mut out = Vec::with_capacity(tstarts_c.len());
     for &t in tstarts_c {
         let fmax = prober.max_frequency(t, 0.0, tol_hz)?;

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod assign;
 mod builder;
 mod controller;
@@ -47,10 +48,12 @@ mod error;
 mod io;
 mod problem;
 mod spec;
+mod store;
 mod table;
 
 pub mod frontier;
 
+pub use artifact::{BuildArtifact, CellRecord, CellStatus, StoredCertificate};
 pub use assign::{
     check_feasible, solve_assignment, solve_assignment_with, AssignmentContext,
     FrequencyAssignment, PointOutcome, PointSolver, SolvedPoint,
@@ -58,10 +61,13 @@ pub use assign::{
 pub use builder::{BuildStats, TableBuilder};
 pub use controller::{OnlineController, ProTempController};
 pub use error::ProTempError;
-pub use io::{read_table, write_table};
+pub use io::{
+    read_certificates, read_table, read_table_v2, write_certificates, write_table, write_table_v2,
+};
 pub use problem::build_problem;
 pub use protemp_cvx::{CertScratch, Certificate};
 pub use spec::{ControlConfig, FreqMode};
+pub use store::TableStore;
 pub use table::{FrequencyTable, LookupOutcome};
 
 /// Convenience alias for results returned by this crate.

@@ -1,0 +1,169 @@
+//! Persistent storage of Phase-1 build artifacts under a results
+//! directory.
+//!
+//! A [`TableStore`] owns one directory and maps an artifact name to a pair
+//! of files: `<name>.table` (the `protemp-table v2` layout: table, per-cell
+//! points and stats, fingerprint, checksum) and `<name>.certs` (the
+//! frontier's Farkas certificates, same framing). Writes are atomic — each
+//! file is written to a `.tmp` sibling, flushed, and renamed into place —
+//! so a crashed or concurrent build never leaves a half-written artifact
+//! where a later [`TableStore::load`] would find it.
+//!
+//! The two files fail differently by design. The `.table` file is the
+//! artifact: a checksum mismatch or parse error is a hard
+//! [`ProTempError::TableFormat`]. The `.certs` file is pure acceleration:
+//! if it is missing, truncated, tampered with, or carries a different
+//! fingerprint, [`TableStore::load`] returns the artifact with an *empty*
+//! certificate pool and the rebuild degrades to a cold build — the
+//! certificates' verdicts are additionally re-verified against live
+//! problem data before every use ([`BuildArtifact::verify_certificates`]),
+//! so no corruption mode can change a table, only slow one down.
+
+use std::fs;
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use crate::io::{read_certificates, read_table_v2, write_certificates, write_table_v2};
+use crate::{BuildArtifact, ProTempError, Result};
+
+/// A directory of named build artifacts (see the module docs).
+///
+/// # Example
+///
+/// ```no_run
+/// use protemp::prelude::*;
+/// use protemp::TableStore;
+///
+/// let platform = Platform::niagara8();
+/// let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+/// let (artifact, _) = TableBuilder::new().build_artifact(&ctx).unwrap();
+/// let store = TableStore::new("results");
+/// store.save("paper_8x10", &artifact).unwrap();
+/// let reloaded = store.load("paper_8x10").unwrap();
+/// assert_eq!(reloaded.table, artifact.table);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableStore {
+    dir: PathBuf,
+}
+
+impl TableStore {
+    /// A store rooted at `dir` (created on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TableStore { dir: dir.into() }
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the `.table` file for `name`.
+    pub fn table_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.table"))
+    }
+
+    /// Path of the `.certs` file for `name`.
+    pub fn certs_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.certs"))
+    }
+
+    fn check_name(name: &str) -> Result<()> {
+        let ok = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+            && !name.contains("..");
+        if ok {
+            Ok(())
+        } else {
+            Err(ProTempError::Store {
+                reason: format!("invalid artifact name `{name}`"),
+            })
+        }
+    }
+
+    /// Serializes `artifact` to `<name>.table` + `<name>.certs`, each
+    /// written atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProTempError::Store`] on filesystem failures and
+    /// [`ProTempError::TableFormat`] if serialization itself fails.
+    pub fn save(&self, name: &str, artifact: &BuildArtifact) -> Result<()> {
+        Self::check_name(name)?;
+        fs::create_dir_all(&self.dir).map_err(|e| ProTempError::Store {
+            reason: format!("create {}: {e}", self.dir.display()),
+        })?;
+        let mut table_bytes = Vec::new();
+        write_table_v2(artifact, &mut table_bytes)?;
+        let mut cert_bytes = Vec::new();
+        write_certificates(
+            artifact.fingerprint,
+            &artifact.certificates,
+            &mut cert_bytes,
+        )?;
+        self.atomic_write(&self.table_path(name), &table_bytes)?;
+        self.atomic_write(&self.certs_path(name), &cert_bytes)?;
+        Ok(())
+    }
+
+    fn atomic_write(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let err = |what: &str, e: std::io::Error| ProTempError::Store {
+            reason: format!("{what} {}: {e}", path.display()),
+        };
+        // Writer-unique temp name: two concurrent saves of the same
+        // artifact must never interleave writes into one tmp inode —
+        // whichever rename lands last wins whole, which is the atomicity
+        // the module docs promise.
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut tmp_name = path
+            .file_name()
+            .expect("store paths always carry a file name")
+            .to_os_string();
+        tmp_name.push(format!(".{}.{}.tmp", std::process::id(), seq));
+        let tmp = path.with_file_name(tmp_name);
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| err("create", e))?;
+            f.write_all(bytes).map_err(|e| err("write", e))?;
+            f.sync_all().map_err(|e| err("sync", e))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| err("rename", e))
+    }
+
+    /// Loads the artifact saved under `name`.
+    ///
+    /// The `.table` file must parse and pass its checksum. The `.certs`
+    /// file is best-effort: any problem with it (absent, corrupt checksum,
+    /// structurally invalid certificate, fingerprint not matching the
+    /// table's) yields an artifact with an empty certificate pool instead
+    /// of an error, so downstream incremental rebuilds degrade to cold
+    /// rather than fail — and certificates that do load are still
+    /// re-verified against live problem data before use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProTempError::Store`] when the table file cannot be read
+    /// and [`ProTempError::TableFormat`] when it cannot be parsed.
+    pub fn load(&self, name: &str) -> Result<BuildArtifact> {
+        Self::check_name(name)?;
+        let table_path = self.table_path(name);
+        let f = fs::File::open(&table_path).map_err(|e| ProTempError::Store {
+            reason: format!("open {}: {e}", table_path.display()),
+        })?;
+        let mut artifact = read_table_v2(BufReader::new(f))?;
+        artifact.certificates = fs::File::open(self.certs_path(name))
+            .ok()
+            .and_then(|f| read_certificates(BufReader::new(f)).ok())
+            .filter(|(fp, _)| *fp == artifact.fingerprint)
+            .map(|(_, certs)| certs)
+            .unwrap_or_default();
+        Ok(artifact)
+    }
+
+    /// `true` when a `.table` file exists for `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.table_path(name).is_file()
+    }
+}

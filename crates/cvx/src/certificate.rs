@@ -33,7 +33,7 @@
 use protemp_linalg::vecops;
 use serde::{Deserialize, Serialize};
 
-use crate::Problem;
+use crate::{CvxError, Problem};
 
 /// Relative soundness cushion: the certified lower bound must clear the
 /// accumulated magnitude of the aggregation by this factor before we trust
@@ -96,6 +96,101 @@ impl CertScratch {
 }
 
 impl Certificate {
+    /// Structural validity: every multiplier finite and nonnegative, every
+    /// anchor coordinate finite. [`Certificate::certifies`] re-checks this
+    /// on every call (so even a hand-built certificate can never produce an
+    /// unsound verdict); [`Certificate::read_text`] enforces it at parse
+    /// time so a tampered serialized certificate is rejected on load rather
+    /// than silently carried around until its first use.
+    pub fn structurally_valid(&self) -> bool {
+        let finite_nonneg = |l: &[f64]| l.iter().all(|&v| v.is_finite() && v >= 0.0);
+        finite_nonneg(&self.lambda_lin)
+            && finite_nonneg(&self.lambda_quad)
+            && self.anchor.iter().all(|v| v.is_finite())
+    }
+
+    /// Serializes the certificate as three plain-text lines
+    /// (`lambda_lin …`, `lambda_quad …`, `anchor …`), numbers in
+    /// shortest-round-trip scientific notation so
+    /// [`Certificate::read_text`] reconstructs the exact `f64` values.
+    ///
+    /// The lines carry no header or framing — callers embed them in their
+    /// own container format (the table store wraps each certificate in
+    /// `cert …` / `endcert` lines with provenance coordinates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CvxError::Parse`] on I/O failure.
+    pub fn write_text<W: std::io::Write>(&self, w: &mut W) -> Result<(), CvxError> {
+        let io_err = |e: std::io::Error| CvxError::Parse {
+            reason: format!("certificate write failed: {e}"),
+        };
+        let nums = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x:e}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        writeln!(w, "lambda_lin {}", nums(&self.lambda_lin)).map_err(io_err)?;
+        writeln!(w, "lambda_quad {}", nums(&self.lambda_quad)).map_err(io_err)?;
+        writeln!(w, "anchor {}", nums(&self.anchor)).map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Parses the three lines written by [`Certificate::write_text`] and
+    /// validates the result structurally — negative or non-finite
+    /// multipliers, non-finite anchors, missing or repeated sections all
+    /// reject, so a tampered certificate never enters a screening pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CvxError::Parse`] on malformed or structurally invalid
+    /// input.
+    pub fn read_text(text: &str) -> Result<Certificate, CvxError> {
+        let bad = |reason: String| CvxError::Parse { reason };
+        let parse_nums = |s: &str| -> Result<Vec<f64>, CvxError> {
+            s.split_whitespace()
+                .map(|t| {
+                    t.parse::<f64>()
+                        .map_err(|_| bad(format!("bad certificate number `{t}`")))
+                })
+                .collect()
+        };
+        let mut lambda_lin = None;
+        let mut lambda_quad = None;
+        let mut anchor = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (slot, rest) = if let Some(rest) = line.strip_prefix("lambda_lin") {
+                (&mut lambda_lin, rest)
+            } else if let Some(rest) = line.strip_prefix("lambda_quad") {
+                (&mut lambda_quad, rest)
+            } else if let Some(rest) = line.strip_prefix("anchor") {
+                (&mut anchor, rest)
+            } else {
+                return Err(bad(format!("unknown certificate line `{line}`")));
+            };
+            if slot.is_some() {
+                return Err(bad(format!("repeated certificate section `{line}`")));
+            }
+            *slot = Some(parse_nums(rest)?);
+        }
+        let cert = Certificate {
+            lambda_lin: lambda_lin.ok_or_else(|| bad("missing lambda_lin".into()))?,
+            lambda_quad: lambda_quad.ok_or_else(|| bad("missing lambda_quad".into()))?,
+            anchor: anchor.ok_or_else(|| bad("missing anchor".into()))?,
+        };
+        if !cert.structurally_valid() {
+            return Err(bad(
+                "certificate rejected: negative or non-finite entries".into()
+            ));
+        }
+        Ok(cert)
+    }
+
     /// Returns `true` when this certificate proves `prob` infeasible.
     ///
     /// One pass over the constraint data — a matvec-equivalent, no solve.
@@ -116,11 +211,7 @@ impl Certificate {
         {
             return false;
         }
-        let finite_nonneg = |l: &[f64]| l.iter().all(|&v| v.is_finite() && v >= 0.0);
-        if !finite_nonneg(&self.lambda_lin) || !finite_nonneg(&self.lambda_quad) {
-            return false;
-        }
-        if !self.anchor.iter().all(|v| v.is_finite()) {
+        if !self.structurally_valid() {
             return false;
         }
         ws.ensure(n);
@@ -308,6 +399,50 @@ mod tests {
             anchor: vec![0.0, 0.0],
         };
         assert!(!check_certificate(&p, &cert));
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let cert = Certificate {
+            lambda_lin: vec![0.5, 1e-300, 3.337619428157851e-9, 0.0],
+            lambda_quad: vec![2.5e-17],
+            anchor: vec![-0.3333333333333333, 7.0e8],
+        };
+        let mut buf = Vec::new();
+        cert.write_text(&mut buf).unwrap();
+        let parsed = Certificate::read_text(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, cert, "shortest-round-trip floats must be exact");
+    }
+
+    #[test]
+    fn text_round_trip_empty_sections() {
+        let cert = Certificate {
+            lambda_lin: vec![],
+            lambda_quad: vec![],
+            anchor: vec![0.0],
+        };
+        let mut buf = Vec::new();
+        cert.write_text(&mut buf).unwrap();
+        let parsed = Certificate::read_text(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, cert);
+    }
+
+    #[test]
+    fn tampered_text_rejected_on_load() {
+        for text in [
+            "lambda_lin 0.5 -0.5\nlambda_quad\nanchor 0e0\n", // negative multiplier
+            "lambda_lin 0.5 NaN\nlambda_quad\nanchor 0e0\n",  // non-finite
+            "lambda_lin 0.5\nlambda_quad\nanchor inf\n",      // non-finite anchor
+            "lambda_lin 0.5\nanchor 0e0\n",                   // missing section
+            "lambda_lin 1\nlambda_lin 1\nlambda_quad\nanchor 0e0\n", // repeated
+            "lambda_lin 0.5\nlambda_quad\nanchor 0e0\nbogus 1\n", // unknown line
+            "lambda_lin zzz\nlambda_quad\nanchor 0e0\n",      // bad number
+        ] {
+            assert!(
+                matches!(Certificate::read_text(text), Err(CvxError::Parse { .. })),
+                "should reject: {text:?}"
+            );
+        }
     }
 
     #[test]

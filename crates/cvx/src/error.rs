@@ -26,6 +26,12 @@ pub enum CvxError {
     },
     /// An input contained NaN or infinity.
     NotFinite,
+    /// A serialized artifact (e.g. a certificate) failed to parse or
+    /// validate.
+    Parse {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CvxError {
@@ -44,6 +50,7 @@ impl fmt::Display for CvxError {
                 write!(f, "newton iteration stalled during {phase}")
             }
             CvxError::NotFinite => write!(f, "input contains NaN or infinite values"),
+            CvxError::Parse { reason } => write!(f, "parse failure: {reason}"),
         }
     }
 }
