@@ -43,23 +43,39 @@ python3 - <<'EOF'
 import json
 with open("results/tab_solver_runtime_quick.json") as f:
     data = json.load(f)
-for section in ("screened", "unscreened", "incremental"):
+for section in ("screened", "unscreened", "incremental", "unpruned"):
     for field in ("newton_steps", "phase1_solves", "certificate_screens",
-                  "seed_reuses", "incremental_screens"):
+                  "seed_reuses", "incremental_screens",
+                  "rows_pruned", "polish_mints"):
         assert field in data[section], f"missing {section}.{field}"
+        assert data[section][field] >= 0, f"negative {section}.{field}"
 assert data["tables_identical"] is True
 assert data["incremental_identical"] is True
+assert data["pruning_verdicts_identical"] is True
 assert data["screened"]["newton_steps"] > 0
+# The default-config quick grid must actually exercise the reduction pass
+# (the unpruned ablation section, by construction, must not).
+assert data["screened"]["rows_pruned"] > 0
+assert data["unpruned"]["rows_pruned"] == 0
+# Screened-window latency telemetry (the controller-ablation numbers).
+for field in ("screened_window_s", "bisection_window_s"):
+    assert field in data, f"missing {field}"
+    assert data[field] >= 0, f"negative {field}"
+assert data["screened_windows"] >= 1
 # The quick prior shares the quick grid's coolest row across 3 columns,
 # so verbatim replay must actually fire (the binary regenerates a
 # stale-fingerprint prior itself, so this cannot trip on drift alone).
 assert data["incremental"]["seed_reuses"] >= 1
 print("telemetry check: ok "
       f"(screened {data['screened']['newton_steps']} newton steps, "
-      f"{data['screened']['certificate_screens']} screens; "
+      f"{data['screened']['certificate_screens']} screens, "
+      f"{data['screened']['rows_pruned']} rows pruned; "
+      f"unpruned {data['unpruned']['newton_steps']} newton steps; "
       f"incremental {data['incremental']['newton_steps']} newton steps, "
       f"{data['incremental']['seed_reuses']} reused cells, "
-      f"{data['incremental']['incremental_screens']} inherited screens)")
+      f"{data['incremental']['incremental_screens']} inherited screens; "
+      f"screened window {data['screened_window_s']*1e3:.1f} ms vs "
+      f"bisection {data['bisection_window_s']*1e3:.1f} ms)")
 EOF
 
 echo "ci.sh: all green"

@@ -26,7 +26,9 @@ use std::time::Instant;
 
 use protemp::prelude::*;
 use protemp::{solve_assignment, AssignmentContext, BuildStats, TableStore};
-use protemp_bench::{control_config, platform, results_dir, write_csv, write_text};
+use protemp_bench::{
+    control_config, platform, results_dir, screened_window_latency, write_csv, write_text,
+};
 
 /// The paper's Figure 4 grid: 30–100 °C at 10 °C steps × 100–1000 MHz.
 fn paper_grid() -> TableBuilder {
@@ -67,6 +69,7 @@ fn stats_json(label: &str, s: &BuildStats) -> String {
         "  \"{label}\": {{\"threads\": {}, \"warm_started\": {}, \"solved_points\": {}, \
          \"newton_steps\": {}, \"phase1_solves\": {}, \"certificate_screens\": {}, \
          \"seed_reuses\": {}, \"incremental_screens\": {}, \
+         \"rows_pruned\": {}, \"polish_mints\": {}, \
          \"total_s\": {:.3}, \"mean_point_s\": {:.4}, \"max_point_s\": {:.4}, \
          \"points_per_s\": {:.3}}}",
         s.threads,
@@ -77,11 +80,37 @@ fn stats_json(label: &str, s: &BuildStats) -> String {
         s.certificate_screens,
         s.seed_reuses,
         s.incremental_screens,
+        s.rows_pruned,
+        s.polish_mints,
         s.total_s,
         s.mean_point_s,
         s.max_point_s,
         s.points_per_s()
     )
+}
+
+/// A context whose solver runs with the row-reduction pass and certificate
+/// polish disabled — the "before" side of the pruning ablation.
+fn unpruned_context() -> AssignmentContext {
+    let mut ctx = AssignmentContext::new(&platform(), &control_config()).expect("ctx");
+    let mut opts = *ctx.solver_options();
+    opts.row_reduction = false;
+    opts.polish_budget = 0;
+    ctx.set_solver_options(opts);
+    ctx
+}
+
+/// Verdict identity + operating-point tolerance between a pruned and an
+/// unpruned build of the same grid, via the shared comparator
+/// ([`FrequencyTable::agreement_error`]) the verdict-identity test harness
+/// also uses — one source of truth for the reduction contract. The
+/// tolerances match the harness: 5 % relative objective (the honest bound
+/// across two barrier ladders with loose-centered `t_grad`), 1 % average
+/// frequency.
+fn assert_tables_agree(pruned: &FrequencyTable, full: &FrequencyTable) {
+    if let Some(err) = pruned.agreement_error(full, 5e-2, 1e-2) {
+        panic!("pruning broke table agreement: {err}");
+    }
 }
 
 fn quick_run() {
@@ -133,15 +162,45 @@ fn quick_run() {
         inc_stats.newton_steps, inc_stats.seed_reuses, inc_stats.incremental_screens,
     );
 
+    // Pruning ablation on the quick grid: same verdicts, fewer rows in
+    // every solve (CI asserts the new telemetry fields off this run).
+    let unpruned_ctx = unpruned_context();
+    let (unpruned_table, unpruned_stats) = quick_grid()
+        .build(&unpruned_ctx)
+        .expect("quick unpruned build");
+    assert_tables_agree(&table, &unpruned_table);
+    assert!(
+        stats.rows_pruned > 0,
+        "the quick grid's solves must exercise the reduction pass"
+    );
+    println!(
+        "quick pruning ablation: {} newton steps / {} rows pruned (unpruned: {} newton steps)",
+        stats.newton_steps, stats.rows_pruned, unpruned_stats.newton_steps,
+    );
+
+    // Screened-window latency: the ROADMAP's missing controller number.
+    let (screened_s, bisection_s, screened_windows) = screened_window_latency(&ctx);
+    println!(
+        "quick screened window: {:.1} µs vs bisection {:.1} µs ({screened_windows} screens)",
+        screened_s * 1e6,
+        bisection_s * 1e6,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"tab_solver_runtime_quick\",\n  \"platform\": \"niagara8\",\n  \
-         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n  \
-         \"incremental_identical\": true,\n  \"tables_identical\": true\n}}\n",
+         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n{},\n  \
+         \"screened_window_s\": {:.6},\n  \"bisection_window_s\": {:.6},\n  \
+         \"screened_windows\": {screened_windows},\n  \
+         \"incremental_identical\": true,\n  \"tables_identical\": true,\n  \
+         \"pruning_verdicts_identical\": true\n}}\n",
         table.tstarts_c().len(),
         table.ftargets_hz().len(),
         stats_json("screened", &stats),
         stats_json("unscreened", &plain_stats),
         stats_json("incremental", &inc_stats),
+        stats_json("unpruned", &unpruned_stats),
+        screened_s,
+        bisection_s,
     );
     write_text("tab_solver_runtime_quick.json", &json);
 }
@@ -342,12 +401,67 @@ fn main() {
         .save("paper_16x20", &fine_inc_art)
         .expect("persist 16x20 artifact");
 
+    // Pruning + polish ablation: rebuild the paper grid with the solver's
+    // row reduction and certificate polish disabled (the pre-reduction
+    // solver) and compare Newton totals in both sweep modes. Verdicts must
+    // be identical and objectives within tolerance — pruning changes the
+    // barrier, never the feasible set — while the cold sweep (every cell a
+    // full solve, the uncontaminated per-solve measure) must save at least
+    // the headline 15 %.
+    println!("\nPruning + polish ablation (paper 8×10 grid):");
+    let unpruned_ctx = unpruned_context();
+    let (unpruned_cold_table, unpruned_cold) = paper_grid()
+        .threads(1)
+        .warm_start(false)
+        .certificate_screening(false)
+        .build(&unpruned_ctx)
+        .expect("unpruned cold build");
+    let (unpruned_warm_table, unpruned_warm) = paper_grid()
+        .threads(1)
+        .build(&unpruned_ctx)
+        .expect("unpruned warm build");
+    assert_tables_agree(&cold_table, &unpruned_cold_table);
+    assert_tables_agree(&serial_table, &unpruned_warm_table);
+    let cold_saving = 1.0 - cold.newton_steps as f64 / unpruned_cold.newton_steps.max(1) as f64;
+    let warm_saving =
+        1.0 - serial_warm.newton_steps as f64 / unpruned_warm.newton_steps.max(1) as f64;
+    println!(
+        "  cold sweep          : {} → {} newton steps ({:.1}% fewer, {} rows pruned/solve avg)",
+        unpruned_cold.newton_steps,
+        cold.newton_steps,
+        cold_saving * 100.0,
+        cold.rows_pruned / (cold.solved_points.max(1) as u64),
+    );
+    println!(
+        "  warm+screened sweep : {} → {} newton steps ({:.1}% fewer, {} polish mints)",
+        unpruned_warm.newton_steps,
+        serial_warm.newton_steps,
+        warm_saving * 100.0,
+        serial_warm.polish_mints,
+    );
+    assert!(
+        cold_saving >= 0.15,
+        "pruning+polish must cut ≥15% of the cold sweep's Newton steps \
+         (got {:.1}%)",
+        cold_saving * 100.0
+    );
+
+    let (screened_s, bisection_s, screened_windows) = screened_window_latency(&ctx);
+    println!(
+        "  screened MPC window : {:.1} µs vs {:.1} µs bisection ({screened_windows} screens)",
+        screened_s * 1e6,
+        bisection_s * 1e6
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"tab_solver_runtime\",\n  \"platform\": \"niagara8\",\n  \
          \"grid_rows\": {},\n  \"grid_cols\": {},\n  \"available_cores\": {cores},\n\
-         {},\n{},\n{},\n{},\n{},\n{},\n  \
+         {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \
          \"fine_grid_rows\": {},\n  \"fine_grid_cols\": {},\n  \
          \"incremental_identical\": true,\n  \
+         \"pruning_cold_saving\": {:.4},\n  \"pruning_warm_saving\": {:.4},\n  \
+         \"pruning_verdicts_identical\": true,\n  \
+         \"screened_window_s\": {:.6},\n  \"bisection_window_s\": {:.6},\n  \
          \"speedup_total\": {:.3},\n  \"tables_identical\": true,\n  \
          \"frontier_cells_rescued_by_warm\": {},\n  \
          \"frontier_cells_lost_by_warm\": {}\n}}\n",
@@ -359,8 +473,14 @@ fn main() {
         stats_json("parallel_warm", &parallel_warm),
         stats_json("fine_cold", &fine_cold),
         stats_json("fine_incremental", &fine_inc),
+        stats_json("unpruned_cold", &unpruned_cold),
+        stats_json("unpruned_warm", &unpruned_warm),
         fine_cold_art.table.tstarts_c().len(),
         fine_cold_art.table.ftargets_hz().len(),
+        cold_saving,
+        warm_saving,
+        screened_s,
+        bisection_s,
         speedup,
         rescued,
         lost

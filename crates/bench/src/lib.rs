@@ -130,6 +130,86 @@ pub fn build_small_table(cfg: &ControlConfig) -> FrequencyTable {
     table
 }
 
+/// Steady-state wall-clock of one transiently infeasible MPC window
+/// (96 °C, 800 MHz demand), screened vs unscreened: with a pooled frontier
+/// certificate the infeasible demand dies in screened matvecs and the
+/// window pays only the feasible re-solve at the degraded target; without
+/// one it pays a full phase-I run first. Both controllers get one feasible
+/// warm-up window so the timing measures the steady state, not first-use
+/// scratch and reduction-cache builds. Returns
+/// `(screened_s, bisection_s, screened_windows)`.
+///
+/// # Panics
+///
+/// Panics if the probe point is unexpectedly feasible or the pooled
+/// certificate fails to screen it (either would mean the measurement no
+/// longer isolates the screen).
+pub fn screened_window_latency(ctx: &AssignmentContext) -> (f64, f64, u64) {
+    use protemp::{OnlineController, PointSolver};
+    use protemp_sim::Observation;
+    use std::time::Instant;
+
+    let p = platform();
+    let obs = Observation {
+        window_index: 0,
+        core_temps: vec![96.0; 8],
+        max_core_temp: 96.0,
+        required_avg_freq_hz: 0.8e9,
+        queue_len: 0,
+        backlog_work_us: 0.0,
+        utilization: vec![0.5; 8],
+    };
+    let warmup = Observation {
+        max_core_temp: 60.0,
+        required_avg_freq_hz: 0.3e9,
+        core_temps: vec![60.0; 8],
+        ..obs.clone()
+    };
+    // Certificate minted at the window's design point (what a store
+    // preload would provide to the screened side).
+    let mut ps = PointSolver::new(ctx);
+    ps.set_screening(true);
+    let probe = ps.solve_point(96.0, 0.8e9, None).expect("probe solve");
+    assert!(
+        probe.solution.is_none(),
+        "96 C / 800 MHz must be infeasible"
+    );
+    let cert = ps
+        .take_minted_certificate()
+        .expect("failed phase I mints a certificate");
+
+    // Best-of-N timing: a single one-shot measurement at this scale is one
+    // scheduler preemption away from an order-of-magnitude error, and
+    // these numbers ship into results/*.json. Each repetition uses a
+    // fresh controller (the bisection side pools its own failure's
+    // certificate, so a reused one would silently start screening) plus
+    // the feasible warm-up window.
+    const REPS: usize = 5;
+    let mut bisection_s = f64::INFINITY;
+    let mut screened_s = f64::INFINITY;
+    let mut screens = 0;
+    for _ in 0..REPS {
+        let mut bisect = OnlineController::new(ctx.clone());
+        let _ = bisect.frequencies(&warmup, &p);
+        let t0 = Instant::now();
+        let _ = bisect.frequencies(&obs, &p);
+        bisection_s = bisection_s.min(t0.elapsed().as_secs_f64());
+
+        let mut screened = OnlineController::new(ctx.clone());
+        screened.preload_certificates([cert.clone()]);
+        let _ = screened.frequencies(&warmup, &p);
+        let t0 = Instant::now();
+        let _ = screened.frequencies(&obs, &p);
+        screened_s = screened_s.min(t0.elapsed().as_secs_f64());
+        assert!(
+            screened.screened_windows() >= 1,
+            "the pooled certificate must actually screen the probe"
+        );
+        screens = screened.screened_windows();
+    }
+    (screened_s, bisection_s, screens)
+}
+
 /// Runs one policy over a trace with the figure defaults.
 pub fn run_policy(
     trace: &Trace,

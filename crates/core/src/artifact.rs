@@ -69,6 +69,13 @@ pub struct CellRecord {
     pub phase1: bool,
     /// `true` when the cell was warm-started from its column neighbour.
     pub warm: bool,
+    /// Linear rows the solver's reduction pass pruned for this cell's
+    /// final solve (0 for screened/pruned cells and pre-reduction
+    /// artifacts; continuation hops are not counted).
+    pub rows_pruned: u64,
+    /// `true` when the cell's infeasibility certificate was minted by the
+    /// bounded polish continuation (possible only on `Infeasible` cells).
+    pub polish: bool,
     /// The optimizer's raw solution vector (feasible cells only) — the
     /// warm seed a finer rebuild chains from.
     pub x: Option<Vec<f64>>,

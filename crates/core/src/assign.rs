@@ -285,6 +285,12 @@ pub struct PointOutcome {
     /// `true` when an inherited infeasibility certificate rejected the
     /// point with one matvec, without invoking the solver at all.
     pub screened: bool,
+    /// Linear rows the solver's box-grounded reduction pass pruned before
+    /// the solve (0 when screened or reduction is off).
+    pub rows_pruned: usize,
+    /// `true` when the cell's infeasibility certificate was minted by the
+    /// bounded polish continuation after a duality-gap-bound verdict.
+    pub polished: bool,
     /// The solved point, or `None` when infeasible.
     pub solution: Option<SolvedPoint>,
 }
@@ -347,12 +353,16 @@ pub(crate) fn solve_built_problem(
     };
     let newton_steps = sol.newton_steps;
     let phase1_steps = sol.phase1_steps;
+    let rows_pruned = sol.rows_pruned;
+    let polished = sol.polished;
     match sol.status {
         SolveStatus::Infeasible => Ok((
             PointOutcome {
                 newton_steps,
                 phase1_steps,
                 screened: false,
+                rows_pruned,
+                polished,
                 solution: None,
             },
             sol.certificate,
@@ -375,6 +385,8 @@ pub(crate) fn solve_built_problem(
                     newton_steps,
                     phase1_steps,
                     screened: false,
+                    rows_pruned,
+                    polished,
                     solution: Some(SolvedPoint {
                         assignment,
                         x: sol.x,
@@ -544,6 +556,8 @@ impl<'a> PointSolver<'a> {
                 newton_steps: 0,
                 phase1_steps: 0,
                 screened: true,
+                rows_pruned: 0,
+                polished: false,
                 solution: None,
             });
         }

@@ -64,6 +64,14 @@ pub struct BuildStats {
     /// proofs the incremental rebuild did not have to re-pay phase I for.
     /// `0` for cold builds.
     pub incremental_screens: u64,
+    /// Linear rows the solver's box-grounded reduction pass pruned, summed
+    /// over the sweep's final cell solves (hops excluded). `0` when
+    /// `row_reduction` is off in the context's solver options.
+    pub rows_pruned: u64,
+    /// Infeasible cells whose transferable certificate was minted by the
+    /// bounded polish continuation (the duality-gap-bound verdicts that
+    /// would previously have left no usable proof behind).
+    pub polish_mints: u64,
 }
 
 impl BuildStats {
@@ -148,6 +156,8 @@ struct ChunkStats {
     certificate_screens: u64,
     seed_reuses: u64,
     inherited_screens: u64,
+    rows_pruned: u64,
+    polish_mints: u64,
 }
 
 /// One worker's chunk of columns: chunk-local column-major entries and
@@ -390,6 +400,8 @@ impl TableBuilder {
                 newton_steps: 0,
                 phase1: false,
                 warm: false,
+                rows_pruned: 0,
+                polish: false,
                 x: None,
             },
         );
@@ -406,6 +418,8 @@ impl TableBuilder {
             totals.certificate_screens += stats.certificate_screens;
             totals.seed_reuses += stats.seed_reuses;
             totals.inherited_screens += stats.inherited_screens;
+            totals.rows_pruned += stats.rows_pruned;
+            totals.polish_mints += stats.polish_mints;
             certificates.extend(minted);
             let mut it = entries.into_iter().zip(records).zip(times);
             for local_col in 0..chunk.len() {
@@ -464,6 +478,8 @@ impl TableBuilder {
             certificate_screens: totals.certificate_screens,
             seed_reuses: totals.seed_reuses,
             incremental_screens: totals.inherited_screens,
+            rows_pruned: totals.rows_pruned,
+            polish_mints: totals.polish_mints,
         };
         let table = FrequencyTable::new(
             self.tstarts_c.clone(),
@@ -590,6 +606,8 @@ fn solve_column(
                 newton_steps: 0,
                 phase1: false,
                 warm: false,
+                rows_pruned: 0,
+                polish: false,
                 x: None,
             });
             continue;
@@ -615,6 +633,8 @@ fn solve_column(
                 newton_steps: 0,
                 phase1: false,
                 warm: false,
+                rows_pruned: 0,
+                polish: false,
                 x: None,
             });
             continue;
@@ -682,6 +702,8 @@ fn solve_column(
                 newton_steps: cell_cost,
                 phase1: cell_phase1,
                 warm: false,
+                rows_pruned: 0,
+                polish: false,
                 x: None,
             });
             continue;
@@ -696,6 +718,10 @@ fn solve_column(
         }
         cell_cost += solved.newton_steps as u64;
         stats.newton += cell_cost;
+        stats.rows_pruned += solved.rows_pruned as u64;
+        if solved.polished {
+            stats.polish_mints += 1;
+        }
         match solved.solution {
             Some(p) => {
                 match chain.baseline {
@@ -711,6 +737,8 @@ fn solve_column(
                     newton_steps: cell_cost,
                     phase1: cell_phase1,
                     warm: carry.is_some(),
+                    rows_pruned: solved.rows_pruned as u64,
+                    polish: false,
                     x: Some(p.x.clone()),
                 });
                 chain.prev = Some((tstart, p.x));
@@ -729,6 +757,8 @@ fn solve_column(
                     newton_steps: cell_cost,
                     phase1: cell_phase1,
                     warm: carry.is_some(),
+                    rows_pruned: solved.rows_pruned as u64,
+                    polish: solved.polished,
                     x: None,
                 });
                 chain.prev = None;
@@ -768,6 +798,10 @@ mod tests {
         assert!(stats.points_per_s() > 0.0);
         assert_eq!(stats.seed_reuses, 0, "cold build reuses nothing");
         assert_eq!(stats.incremental_screens, 0);
+        assert!(
+            stats.rows_pruned > 0,
+            "the default model's solves must exercise the reduction pass"
+        );
     }
 
     #[test]
@@ -825,6 +859,10 @@ mod tests {
                     rec.x.is_some(),
                     rec.status == CellStatus::Feasible,
                     "exactly the feasible cells carry optimizer points"
+                );
+                assert!(
+                    !rec.polish || rec.status == CellStatus::Infeasible,
+                    "only infeasible cells can carry a polished certificate"
                 );
                 recorded_newton += rec.newton_steps;
             }

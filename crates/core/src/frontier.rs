@@ -31,6 +31,15 @@ pub struct ProbeStats {
     pub seeded_hits: usize,
     /// Total Newton steps across the probes that did run phase I.
     pub newton_steps: u64,
+    /// Linear rows the solver's reduction pass pruned, summed over every
+    /// probe that reached the solver (the pass runs before the seed
+    /// check, so zero-step seeded accepts count too; only screened probes
+    /// skip it).
+    pub rows_pruned: u64,
+    /// Probes whose infeasibility certificate came out of the bounded
+    /// polish continuation (a transferable proof where the duality-gap
+    /// verdict alone would have left none).
+    pub polish_mints: usize,
 }
 
 /// One frontier point.
@@ -83,6 +92,10 @@ impl<'a> FrontierProber<'a> {
             .solver
             .find_feasible_with(&prob, self.seed.as_deref())?;
         self.stats.newton_steps += out.newton_steps as u64;
+        self.stats.rows_pruned += out.rows_pruned as u64;
+        if out.polished {
+            self.stats.polish_mints += 1;
+        }
         match out.point {
             Some(x) => {
                 // Only a zero-cost accept *of the carried seed* counts as a
@@ -281,6 +294,14 @@ mod tests {
             assert!(
                 p.probes.screened + p.probes.seeded_hits <= p.probes.probes,
                 "savings cannot exceed the probe count"
+            );
+            assert!(
+                p.probes.rows_pruned > 0,
+                "default-model probes must exercise the reduction pass"
+            );
+            assert!(
+                p.probes.polish_mints <= p.probes.probes,
+                "polish mints cannot exceed the probe count"
             );
             if p.max_avg_freq_hz > 0.0 {
                 let a = p.assignment.as_ref().expect("assignment");

@@ -18,9 +18,12 @@
 //!
 //! **v2** ([`write_table_v2`] / [`read_table_v2`]) carries the whole
 //! [`BuildArtifact`] minus its certificates: per-cell optimal points
-//! (`x r c …`), per-cell solve statistics (`stats r c …`), the build
-//! context fingerprint, and a trailing FNV-1a checksum line so truncated
-//! or hand-edited files are rejected instead of silently reused:
+//! (`x r c …`), per-cell solve statistics (`stats r c …` — status, Newton
+//! steps, phase-I flag, warm flag, rows pruned by the solver's reduction
+//! pass, polish flag; the last two are optional so pre-reduction v2 files
+//! still load, with zeros), the build context fingerprint, and a trailing
+//! FNV-1a checksum line so truncated or hand-edited files are rejected
+//! instead of silently reused:
 //!
 //! ```text
 //! protemp-table v2
@@ -31,9 +34,9 @@
 //! ftargets ...
 //! entry 0 0 freqs ... powers ... tgrad ... objective ...
 //! x 0 0 1.2e-1 ...
-//! stats 0 0 feasible 14 1 0
+//! stats 0 0 feasible 14 1 0 1976 0
 //! entry 0 1 infeasible
-//! stats 0 1 infeasible 96 1 0
+//! stats 0 1 infeasible 96 1 0 1976 1
 //! ...
 //! checksum 9f8e7d6c5b4a3921
 //! ```
@@ -380,11 +383,13 @@ pub fn write_table_v2<W: Write>(artifact: &BuildArtifact, mut w: W) -> Result<()
                 buf.push_str(&format!("x {r} {c} {}\n", format_nums(x)));
             }
             buf.push_str(&format!(
-                "stats {r} {c} {} {} {} {}\n",
+                "stats {r} {c} {} {} {} {} {} {}\n",
                 rec.status.tag(),
                 rec.newton_steps,
                 u8::from(rec.phase1),
-                u8::from(rec.warm)
+                u8::from(rec.warm),
+                rec.rows_pruned,
+                u8::from(rec.polish)
             ));
         }
     }
@@ -426,7 +431,8 @@ fn read_table_v2_text(text: &str) -> Result<BuildArtifact> {
     let mut ftargets: Option<Vec<f64>> = None;
     let mut entries: Vec<(usize, usize, Option<FrequencyAssignment>)> = Vec::new();
     let mut xs: Vec<(usize, usize, Vec<f64>)> = Vec::new();
-    let mut stats: Vec<(usize, usize, CellStatus, u64, bool, bool)> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let mut stats: Vec<(usize, usize, CellStatus, u64, bool, bool, u64, bool)> = Vec::new();
 
     for line in lines {
         let line = line.trim();
@@ -464,7 +470,9 @@ fn read_table_v2_text(text: &str) -> Result<BuildArtifact> {
             xs.push((r, c, v));
         } else if let Some(rest) = line.strip_prefix("stats ") {
             let parts: Vec<&str> = rest.split_whitespace().collect();
-            if parts.len() != 6 {
+            // 6 fields: pre-reduction v2 files (no rows_pruned/polish —
+            // they load with zeros). 8 fields: current layout.
+            if parts.len() != 6 && parts.len() != 8 {
                 return Err(bad(format!("malformed stats line `{line}`")));
             }
             let r: usize = parts[0].parse().map_err(|_| bad("bad stats row"))?;
@@ -477,7 +485,26 @@ fn read_table_v2_text(text: &str) -> Result<BuildArtifact> {
                 "1" => Ok(true),
                 other => Err(bad(format!("bad stats flag `{other}`"))),
             };
-            stats.push((r, c, status, newton, flag(parts[4])?, flag(parts[5])?));
+            let (rows_pruned, polish) = if parts.len() == 8 {
+                (
+                    parts[6]
+                        .parse::<u64>()
+                        .map_err(|_| bad("bad stats rows_pruned"))?,
+                    flag(parts[7])?,
+                )
+            } else {
+                (0, false)
+            };
+            stats.push((
+                r,
+                c,
+                status,
+                newton,
+                flag(parts[4])?,
+                flag(parts[5])?,
+                rows_pruned,
+                polish,
+            ));
         } else {
             return Err(bad(format!("unknown line `{line}`")));
         }
@@ -498,7 +525,7 @@ fn read_table_v2_text(text: &str) -> Result<BuildArtifact> {
 
     let mut cells: Vec<Option<CellRecord>> = vec![None; total];
     let mut seen_stats = SeenCells::new(total);
-    for (r, c, status, newton_steps, phase1, warm) in stats {
+    for (r, c, status, newton_steps, phase1, warm, rows_pruned, polish) in stats {
         let idx = cell_index(r, c, rows, cols, "stats")?;
         if !seen_stats.insert(idx) {
             return Err(bad(format!("duplicate stats ({r},{c})")));
@@ -514,6 +541,8 @@ fn read_table_v2_text(text: &str) -> Result<BuildArtifact> {
             newton_steps,
             phase1,
             warm,
+            rows_pruned,
+            polish,
             x: None,
         });
     }
@@ -701,6 +730,8 @@ mod tests {
                     newton_steps: 10 + i as u64,
                     phase1: !feasible,
                     warm: i == 1,
+                    rows_pruned: 7 * i as u64,
+                    polish: i == 2,
                     x: feasible.then(|| vec![0.125 * i as f64, -3.0, 1e-15]),
                 }
             })
@@ -852,6 +883,40 @@ mod tests {
             e.to_string().contains("out of range"),
             "want range rejection, got: {e}"
         );
+    }
+
+    #[test]
+    fn v2_stats_without_reduction_fields_still_load() {
+        // Pre-reduction v2 files carry 6-field stats lines; they must keep
+        // loading, with `rows_pruned`/`polish` defaulting to zero.
+        let artifact = sample_artifact();
+        let mut buf = Vec::new();
+        write_table_v2(&artifact, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let content: String = text
+            .lines()
+            .filter(|l| !l.starts_with("checksum "))
+            .map(|l| {
+                if l.starts_with("stats ") {
+                    let kept: Vec<&str> = l.split_whitespace().take(7).collect();
+                    format!("{}\n", kept.join(" "))
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let reframed = format!("{content}checksum {:016x}\n", fnv1a(content.as_bytes()));
+        let parsed = read_table_v2(reframed.as_bytes()).unwrap();
+        assert_eq!(parsed.table, artifact.table);
+        for (old, new) in artifact.cells.iter().zip(&parsed.cells) {
+            assert_eq!(new.status, old.status);
+            assert_eq!(new.newton_steps, old.newton_steps);
+            assert_eq!(new.phase1, old.phase1);
+            assert_eq!(new.warm, old.warm);
+            assert_eq!(new.x, old.x);
+            assert_eq!(new.rows_pruned, 0, "missing field defaults to zero");
+            assert!(!new.polish, "missing field defaults to false");
+        }
     }
 
     #[test]

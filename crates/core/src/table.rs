@@ -133,6 +133,61 @@ impl FrequencyTable {
         self.entries.iter().filter(|e| e.is_some()).count()
     }
 
+    /// Compares two same-grid tables under the solver-option-ablation
+    /// contract (screening / row reduction / polish may move Newton
+    /// counts, never verdicts): every cell's feasible/infeasible verdict
+    /// must match exactly, and feasible cells must describe the same
+    /// operating point — objective within `obj_rel_tol` and average
+    /// frequency within `freq_rel_tol` (both relative). Returns `None` on
+    /// agreement, or a description of the first violation. One comparator
+    /// serves both the verdict-identity test harness and the bench's
+    /// full-grid assertion, so they cannot drift apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables' grids differ (comparing different grids is a
+    /// programmer error, not a disagreement).
+    pub fn agreement_error(
+        &self,
+        other: &FrequencyTable,
+        obj_rel_tol: f64,
+        freq_rel_tol: f64,
+    ) -> Option<String> {
+        assert_eq!(self.tstarts_c, other.tstarts_c, "grids must match");
+        assert_eq!(self.ftargets_hz, other.ftargets_hz, "grids must match");
+        for r in 0..self.tstarts_c.len() {
+            for c in 0..self.ftargets_hz.len() {
+                let (a, b) = (self.entry(r, c), other.entry(r, c));
+                if a.is_some() != b.is_some() {
+                    return Some(format!(
+                        "verdict differs at cell ({r},{c}): {:?} vs {:?}",
+                        a.map(|e| e.objective),
+                        b.map(|e| e.objective)
+                    ));
+                }
+                let (Some(a), Some(b)) = (a, b) else {
+                    continue;
+                };
+                let obj_rel = (a.objective - b.objective).abs() / b.objective.abs().max(1.0);
+                if obj_rel > obj_rel_tol {
+                    return Some(format!(
+                        "objective at ({r},{c}): {} vs {} (rel {obj_rel:.3e})",
+                        a.objective, b.objective
+                    ));
+                }
+                let freq_rel = (a.avg_freq_hz() - b.avg_freq_hz()).abs() / b.avg_freq_hz().max(1.0);
+                if freq_rel > freq_rel_tol {
+                    return Some(format!(
+                        "avg frequency at ({r},{c}): {} vs {} (rel {freq_rel:.3e})",
+                        a.avg_freq_hz(),
+                        b.avg_freq_hz()
+                    ));
+                }
+            }
+        }
+        None
+    }
+
     /// Total number of cells.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -1,0 +1,120 @@
+//! Verdict-identity harness for the row-reduction + polish pass.
+//!
+//! The contract under test is the tentpole's headline claim: turning the
+//! solver's box-grounded row reduction and certificate polish on or off
+//! changes **no feasibility verdict** in a Phase-1 table — the pruned
+//! system has exactly the same feasible set — and moves feasible-cell
+//! objectives only within solver tolerance (fewer barrier terms shift the
+//! central path, not the constraint set). The pattern extends the
+//! screening on/off identity test from PR 2: build the same grid twice on
+//! contexts that differ only in the reduction/polish solver options and
+//! compare cell by cell.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use protemp::{AssignmentContext, ControlConfig, TableBuilder};
+use protemp_sim::Platform;
+
+/// Feasible-cell objective agreement. Within one solve the duality gap is
+/// `tol = 1e-5`, but a stalled final centering is accepted at the looser
+/// `LOOSE_CENTER_TOL` and the objective's `t_grad` term is nearly flat at
+/// low targets, so across two different barrier ladders the honest
+/// agreement bound is a few percent — same order as the warm-vs-cold
+/// comparisons the bench reports. (The bench's full-grid assertion uses
+/// the same comparator and tolerances.)
+const OBJ_REL_TOL: f64 = 5e-2;
+
+/// Average-frequency agreement: the operating point itself must match far
+/// tighter than the (t_grad-polluted) objective.
+const FREQ_REL_TOL: f64 = 1e-2;
+
+fn contexts(platform: &Platform, cfg: &ControlConfig) -> (AssignmentContext, AssignmentContext) {
+    let mut on = AssignmentContext::new(platform, cfg).unwrap();
+    let mut off = on.clone();
+    let mut opts = *on.solver_options();
+    opts.row_reduction = true;
+    on.set_solver_options(opts);
+    let mut opts_off = opts;
+    opts_off.row_reduction = false;
+    opts_off.polish_budget = 0;
+    off.set_solver_options(opts_off);
+    (on, off)
+}
+
+fn assert_tables_agree(
+    builder: &TableBuilder,
+    on: &AssignmentContext,
+    off: &AssignmentContext,
+) -> Result<(), TestCaseError> {
+    let (pruned, pruned_stats) = builder.clone().build(on).unwrap();
+    let (full, full_stats) = builder.clone().build(off).unwrap();
+    prop_assert_eq!(full_stats.rows_pruned, 0);
+    prop_assert!(
+        pruned_stats.rows_pruned > 0,
+        "the grid must actually exercise the reduction pass"
+    );
+    // The shared comparator (also asserted by the bench on the full paper
+    // grid): identical verdicts, same operating point within tolerance.
+    let err = pruned.agreement_error(&full, OBJ_REL_TOL, FREQ_REL_TOL);
+    prop_assert!(err.is_none(), "{}", err.unwrap_or_default());
+    Ok(())
+}
+
+/// Deterministic anchor on the paper's default model: a grid spanning the
+/// feasibility frontier (the same shape the screening identity test uses),
+/// with a row hot enough that certificates and monotone pruning fire.
+#[test]
+fn verdicts_identical_on_the_default_model() {
+    let platform = Platform::niagara8();
+    let cfg = ControlConfig::default();
+    let (on, off) = contexts(&platform, &cfg);
+    let builder = TableBuilder::new()
+        .tstarts(vec![55.0, 85.0, 100.0])
+        .ftargets(vec![0.2e9, 0.4e9, 0.6e9])
+        .threads(1);
+    assert_tables_agree(&builder, &on, &off).unwrap();
+}
+
+proptest! {
+    // Each case builds two small tables on a reduced horizon; keep the
+    // count modest so the suite stays minutes-cheap.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random contexts (temperature limit, margin, gradient weight and
+    /// stride, window length) and random grids: the verdicts must be
+    /// bit-identical and the feasible objectives within tolerance, every
+    /// time. `AssignmentContext::new` validates each drawn config, so the
+    /// generator stays inside the model's legal envelope by construction.
+    #[test]
+    fn verdicts_identical_for_random_contexts(
+        tmax in 92.0..108.0f64,
+        margin in 0.2..0.8f64,
+        tgrad_weight in 0.4..2.0f64,
+        stride in 2usize..8,
+        window_choice in 0usize..2,
+        t_lo in 40.0..60.0f64,
+        t_span in 25.0..45.0f64,
+        f_lo in 0.1..0.3f64,
+        f_span in 0.3..0.6f64,
+    ) {
+        let platform = Platform::niagara8();
+        let cfg = ControlConfig {
+            tmax_c: tmax,
+            margin_c: margin,
+            tgrad_weight,
+            gradient_stride: stride,
+            // 25 ms or 50 ms windows: 63/125-step horizons keep each build
+            // cheap while preserving the full constraint structure.
+            dfs_period_us: if window_choice == 0 { 25_200 } else { 50_000 },
+            ..ControlConfig::default()
+        };
+        let (on, off) = contexts(&platform, &cfg);
+        let tstarts = vec![t_lo, t_lo + t_span / 2.0, t_lo + t_span];
+        let ftargets = vec![f_lo * 1e9, (f_lo + f_span / 2.0) * 1e9, (f_lo + f_span) * 1e9];
+        let builder = TableBuilder::new()
+            .tstarts(tstarts)
+            .ftargets(ftargets)
+            .threads(1);
+        assert_tables_agree(&builder, &on, &off)?;
+    }
+}

@@ -73,10 +73,11 @@ fn artifact_strategy() -> impl Strategy<Value = BuildArtifact> {
         1usize..=3, // cols
         1usize..=3, // nvars
         // Per-cell pool (sliced to rows×cols): flag bits (feasible,
-        // tgrad, phase1, warm), an x vector (sliced to nvars), Newton.
+        // tgrad, phase1, warm, polish), an x vector (sliced to nvars),
+        // Newton.
         prop::collection::vec(
             (
-                0u64..16,
+                0u64..32,
                 prop::collection::vec(-1.0e3..1.0e3f64, 3usize),
                 0u64..500,
             ),
@@ -118,6 +119,8 @@ fn artifact_strategy() -> impl Strategy<Value = BuildArtifact> {
                         newton_steps: newton,
                         phase1,
                         warm,
+                        rows_pruned: newton / 2,
+                        polish: false,
                         x: Some(x[..nvars].to_vec()),
                     });
                 } else {
@@ -131,6 +134,8 @@ fn artifact_strategy() -> impl Strategy<Value = BuildArtifact> {
                         newton_steps: newton,
                         phase1,
                         warm,
+                        rows_pruned: newton / 2,
+                        polish: flags & 16 != 0 && i % 2 == 0,
                         x: None,
                     });
                 }

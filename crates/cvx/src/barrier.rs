@@ -2,6 +2,7 @@ use std::sync::OnceLock;
 
 use protemp_linalg::{vecops, Matrix, Qr};
 
+use crate::reduce::RowReducer;
 use crate::scratch::DimScratch;
 use crate::{
     CertScratch, Certificate, CvxError, Problem, QuadConstraint, Result, Solution, SolveStatus,
@@ -65,6 +66,21 @@ fn debug_enabled() -> bool {
 /// phase I — the Phase-1 table sweep and the MPC-style online controller
 /// both re-solve from a neighbouring optimum this way.
 ///
+/// # Row reduction
+///
+/// With [`SolverOptions::row_reduction`] on (the default), linear
+/// inequality rows that another retained row provably implies over the
+/// variable box are pruned before phase I (see the `reduce` module docs
+/// for the certificate). The pruned system has exactly the same feasible
+/// set, so feasibility verdicts are identical by construction and optima
+/// agree within the solver tolerance; what changes is `m` — the duality
+/// gap `m/t`, the Newton assembly cost and, decisively, the
+/// near-degenerate active sets that redundant row families create. The
+/// full packed row matrix is kept and the KKT assembly runs over the
+/// surviving subset through the row-subset linalg kernels, so no reduced
+/// copy is materialized. Systems with equality constraints skip the pass
+/// (their projected rows lose the box structure).
+///
 /// # Infeasibility certificates
 ///
 /// When phase I fails, the solver extracts a Farkas-style [`Certificate`]
@@ -73,7 +89,11 @@ fn debug_enabled() -> bool {
 /// to [`Certificate::certifies`] to reject neighbouring design points with
 /// one matvec instead of a fresh phase-I run. Phase I itself stops as soon
 /// as its duality bound proves no sufficiently feasible point exists,
-/// instead of polishing an infeasibility verdict it already knows.
+/// instead of polishing an infeasibility verdict it already knows — and
+/// when that early verdict leaves multipliers too rough to verify, a
+/// bounded *polish* continuation ([`SolverOptions::polish_budget`]) climbs
+/// until the Farkas check passes, so thin-frontier cells still mint a
+/// transferable certificate.
 ///
 /// The solver also caches the equality-elimination QR keyed by the
 /// constraint rows, so families of problems sharing one equality structure
@@ -98,6 +118,7 @@ pub struct BarrierSolver {
     opts: SolverOptions,
     scratch: SolverScratch,
     eq_cache: Option<EqReduction>,
+    reducer: RowReducer,
 }
 
 /// Cached QR machinery for one equality-constraint structure: grid cells
@@ -135,20 +156,65 @@ struct RunCtrl<'a> {
 ///
 /// Linear rows are packed into one row-major matrix so the Newton assembly
 /// can run matvecs and the blocked `AᵀDA` update over contiguous memory.
+/// After the row-reduction pass ([`Dense::restrict`]) the packed matrix
+/// keeps the *full* row storage and `rows` lists the surviving base rows:
+/// the KKT assembly runs over that subset through the row-subset linalg
+/// kernels instead of materializing a reduced copy per solve.
 struct Dense {
     n: usize,
     p0: Option<Matrix>,
     q0: Vec<f64>,
-    /// Packed linear inequality rows (`m × n`).
+    /// Packed linear inequality rows (`m_full × n`).
     a: Matrix,
-    /// Linear right-hand sides.
+    /// Linear right-hand sides, aligned with the *active* rows.
     b: Vec<f64>,
+    /// Active base-row indices into `a` when a reduction pruned rows
+    /// (ascending); `None` means every row of `a` is active.
+    rows: Option<Vec<usize>>,
     quad: Vec<QuadConstraint>,
 }
 
 impl Dense {
     fn num_lin(&self) -> usize {
-        self.a.rows()
+        self.b.len()
+    }
+
+    /// The `i`-th *active* linear row's coefficients.
+    fn lin_row(&self, i: usize) -> &[f64] {
+        match &self.rows {
+            Some(r) => self.a.row(r[i]),
+            None => self.a.row(i),
+        }
+    }
+
+    /// Restricts the system to the `kept` base rows (the reduction pass's
+    /// survivors): `a` keeps its full packed storage — the subset kernels
+    /// index into it — and the right-hand sides are repacked to align with
+    /// the survivors.
+    fn restrict(&mut self, kept: Vec<usize>) {
+        debug_assert!(self.rows.is_none(), "restrict applies to a full system");
+        self.b = kept.iter().map(|&i| self.b[i]).collect();
+        self.rows = Some(kept);
+    }
+
+    /// Active slacks `s = b − Ax` written into `slack` (length
+    /// [`Dense::num_lin`]).
+    fn slacks_into(&self, x: &[f64], slack: &mut [f64]) {
+        match &self.rows {
+            Some(r) => self.a.matvec_rows_into(r, x, slack),
+            None => self.a.matvec_into(x, slack),
+        }
+        for (sl, &bi) in slack.iter_mut().zip(&self.b) {
+            *sl = bi - *sl;
+        }
+    }
+
+    /// `y = Aᵀw` over the active rows (`w` aligned with them).
+    fn lin_combine_into(&self, w: &[f64], y: &mut [f64]) {
+        match &self.rows {
+            Some(r) => self.a.matvec_t_rows_into(r, w, y),
+            None => self.a.matvec_t_into(w, y),
+        }
     }
 
     fn num_ineq(&self) -> usize {
@@ -159,7 +225,7 @@ impl Dense {
     fn max_violation(&self, x: &[f64]) -> f64 {
         let mut worst = f64::NEG_INFINITY;
         for i in 0..self.num_lin() {
-            worst = worst.max(vecops::dot(self.a.row(i), x) - self.b[i]);
+            worst = worst.max(vecops::dot(self.lin_row(i), x) - self.b[i]);
         }
         for q in &self.quad {
             worst = worst.max(q.eval(x));
@@ -189,7 +255,7 @@ impl Dense {
     fn barrier_value(&self, t: f64, x: &[f64]) -> Option<f64> {
         let mut v = t * self.objective(x);
         for i in 0..self.num_lin() {
-            let s = self.b[i] - vecops::dot(self.a.row(i), x);
+            let s = self.b[i] - vecops::dot(self.lin_row(i), x);
             if s <= 0.0 {
                 return None;
             }
@@ -215,7 +281,7 @@ impl Dense {
     fn max_step(&self, x: &[f64], dx: &[f64], tmp: &mut [f64]) -> f64 {
         let mut alpha = 1.0_f64;
         for i in 0..self.num_lin() {
-            let row = self.a.row(i);
+            let row = self.lin_row(i);
             let deriv = vecops::dot(row, dx);
             if deriv > 0.0 {
                 let slack = self.b[i] - vecops::dot(row, x);
@@ -254,11 +320,11 @@ impl Dense {
         if m > 0 {
             let slack = &mut slack[..m];
             let w = &mut w[..m];
-            self.a.matvec_into(x, slack);
-            for ((wi, sl), &bi) in w.iter_mut().zip(slack.iter()).zip(&self.b) {
-                *wi = 1.0 / (bi - sl);
+            self.slacks_into(x, slack);
+            for (wi, &sl) in w.iter_mut().zip(slack.iter()) {
+                *wi = 1.0 / sl;
             }
-            self.a.matvec_t_into(w, qgrad);
+            self.lin_combine_into(w, qgrad);
             vecops::axpy(1.0, qgrad, grad);
         }
         for q in &self.quad {
@@ -303,19 +369,19 @@ impl Dense {
         if m > 0 {
             let slack = &mut slack[..m];
             let w = &mut w[..m];
-            self.a.matvec_into(x, slack);
-            for (sl, &bi) in slack.iter_mut().zip(&self.b) {
-                *sl = bi - *sl;
-            }
+            self.slacks_into(x, slack);
             for (wi, &sl) in w.iter_mut().zip(slack.iter()) {
                 *wi = 1.0 / sl;
             }
-            self.a.matvec_t_into(w, qgrad);
+            self.lin_combine_into(w, qgrad);
             vecops::axpy(1.0, qgrad, grad);
             for wi in w.iter_mut() {
                 *wi *= *wi;
             }
-            hess.syrk_lower_update(&self.a, w);
+            match &self.rows {
+                Some(r) => hess.syrk_lower_update_rows(&self.a, r, w),
+                None => hess.syrk_lower_update(&self.a, w),
+            }
         }
         // Quadratic constraints.
         for q in &self.quad {
@@ -359,8 +425,13 @@ struct Phase1Outcome {
     z: Option<Vec<f64>>,
     outer: usize,
     newton: usize,
-    /// Raw certificate material when the run proved infeasibility.
+    /// Raw certificate material when the run proved infeasibility,
+    /// with multipliers already scattered back to the full row space.
     cert: Option<CertParts>,
+    /// `true` when the certificate came out of the bounded polish
+    /// continuation (the verdict itself arrived earlier, via the centered
+    /// duality-gap bound).
+    polished: bool,
 }
 
 /// Result of a feasibility-only query
@@ -374,8 +445,13 @@ pub struct FeasibleOutcome {
     /// and extraction succeeded.
     pub certificate: Option<Certificate>,
     /// Newton steps the query consumed (0 when the seed or origin was
-    /// already strictly feasible).
+    /// already strictly feasible). Includes any polish continuation.
     pub newton_steps: usize,
+    /// Linear rows the reduction pass pruned before the solve.
+    pub rows_pruned: usize,
+    /// `true` when the certificate was minted by the bounded polish
+    /// continuation after a duality-gap-bound verdict.
+    pub polished: bool,
 }
 
 impl BarrierSolver {
@@ -390,6 +466,7 @@ impl BarrierSolver {
             opts,
             scratch: SolverScratch::new(),
             eq_cache: None,
+            reducer: RowReducer::default(),
         }
     }
 
@@ -465,7 +542,8 @@ impl BarrierSolver {
 
         // Eliminate equality constraints: x = x_p + F z.
         let (x_p, f_basis) = self.reduce_equalities(prob)?;
-        let dense = project_problem(prob, &x_p, f_basis.as_deref());
+        let mut dense = project_problem(prob, &x_p, f_basis.as_deref());
+        let rows_pruned = self.reduce_rows(prob, &mut dense, f_basis.is_some());
         let nz = dense.n;
 
         let mut outer_total = 0;
@@ -515,6 +593,7 @@ impl BarrierSolver {
                             outer_total,
                             newton_total,
                             phase1_steps,
+                            rows_pruned,
                         ));
                     }
                     // Stalled: the point hugs a corner where phase II at
@@ -538,6 +617,7 @@ impl BarrierSolver {
                         outer_total,
                         newton_total,
                         phase1_steps,
+                        rows_pruned,
                     ));
                 }
             } else {
@@ -560,11 +640,19 @@ impl BarrierSolver {
                 None => {
                     let certificate =
                         self.verify_cert_parts(prob, &x_p, f_basis.as_deref(), p1.cert);
+                    // `polished` promises a minted certificate: if the
+                    // final verification pass (full rows, normalized
+                    // multipliers) rejects what the in-run check accepted,
+                    // the polish produced nothing transferable and must
+                    // not be counted.
+                    let polished = p1.polished && certificate.is_some();
                     return Ok(Solution::infeasible(
                         outer_total,
                         newton_total,
                         phase1_steps,
                         certificate,
+                        rows_pruned,
+                        polished,
                     ));
                 }
             }
@@ -597,6 +685,7 @@ impl BarrierSolver {
                         outer_total,
                         newton_total,
                         phase1_steps,
+                        rows_pruned,
                     ));
                 }
             }
@@ -612,6 +701,7 @@ impl BarrierSolver {
             outer_total,
             newton_total,
             phase1_steps,
+            rows_pruned,
         ))
     }
 
@@ -646,7 +736,8 @@ impl BarrierSolver {
     ) -> Result<FeasibleOutcome> {
         prob.validate()?;
         let (x_p, f_basis) = self.reduce_equalities(prob)?;
-        let dense = project_problem(prob, &x_p, f_basis.as_deref());
+        let mut dense = project_problem(prob, &x_p, f_basis.as_deref());
+        let rows_pruned = self.reduce_rows(prob, &mut dense, f_basis.is_some());
         let z0 = match seed.filter(|v| v.len() == prob.num_vars()) {
             Some(x0) => match &f_basis {
                 Some(f) => f.matvec_t(&vecops::sub(x0, &x_p)),
@@ -659,6 +750,8 @@ impl BarrierSolver {
                 point: Some(lift(&x_p, f_basis.as_deref(), &z0)),
                 certificate: None,
                 newton_steps: 0,
+                rows_pruned,
+                polished: false,
             });
         }
         let p1 = self.phase1(&dense, &z0, f_basis.is_some())?;
@@ -667,12 +760,44 @@ impl BarrierSolver {
                 point: Some(lift(&x_p, f_basis.as_deref(), &z)),
                 certificate: None,
                 newton_steps: p1.newton,
+                rows_pruned,
+                polished: false,
             }),
-            None => Ok(FeasibleOutcome {
-                point: None,
-                certificate: self.verify_cert_parts(prob, &x_p, f_basis.as_deref(), p1.cert),
-                newton_steps: p1.newton,
-            }),
+            None => {
+                let certificate = self.verify_cert_parts(prob, &x_p, f_basis.as_deref(), p1.cert);
+                // As in `solve_inner`: `polished` only counts when the
+                // verified certificate actually materialized.
+                let polished = p1.polished && certificate.is_some();
+                Ok(FeasibleOutcome {
+                    point: None,
+                    certificate,
+                    newton_steps: p1.newton,
+                    rows_pruned,
+                    polished,
+                })
+            }
+        }
+    }
+
+    /// Runs the row-reduction pass over `dense` (shared by every solve
+    /// entry point, so the gate and the accounting cannot drift apart):
+    /// prunes linear rows another retained row implies over the variable
+    /// box, returning how many were dropped. Skipped — returning 0 — when
+    /// the option is off or the system is equality-reduced (`reduced`),
+    /// whose projected rows lose the box structure the certificate grounds
+    /// on. The feasible set, and therefore every verdict, is unchanged;
+    /// only the barrier sees fewer rows.
+    fn reduce_rows(&mut self, prob: &Problem, dense: &mut Dense, reduced: bool) -> usize {
+        if !self.opts.row_reduction || reduced {
+            return 0;
+        }
+        match self.reducer.select(prob) {
+            Some(kept) => {
+                let pruned = dense.a.rows() - kept.len();
+                dense.restrict(kept);
+                pruned
+            }
+            None => 0,
         }
     }
 
@@ -745,12 +870,13 @@ impl BarrierSolver {
         let nz = dense.n;
         let n_aug = nz + 1;
         let m_lin = dense.num_lin();
-        // Augmented rows [aᵢ, −1]; augmented quads keep P in the leading
+        // Augmented rows [aᵢ, −1] over the *active* rows only (pruned rows
+        // stay out of phase I too); augmented quads keep P in the leading
         // block and gain the −1 on s.
         let mut a_aug = Matrix::zeros(m_lin, n_aug);
         for i in 0..m_lin {
             let row = a_aug.row_mut(i);
-            row[..nz].copy_from_slice(dense.a.row(i));
+            row[..nz].copy_from_slice(dense.lin_row(i));
             row[nz] = -1.0;
         }
         let mut aug = Dense {
@@ -763,6 +889,7 @@ impl BarrierSolver {
             },
             a: a_aug,
             b: dense.b.clone(),
+            rows: None,
             quad: Vec::with_capacity(dense.quad.len()),
         };
         for q in &dense.quad {
@@ -818,26 +945,95 @@ impl BarrierSolver {
             newton_budget: None,
         };
         let run = self.run_barrier_impl(&aug, start, t0, ctrl);
-        *self.scratch.cert_ws() = cert_ws.into_inner();
-        self.opts = saved_opts;
-        let run = run?;
-        if run.x[nz] < -margin {
-            let z = run.x[..nz].to_vec();
-            Ok(Phase1Outcome {
-                z: Some(z),
+        let outcome = match run {
+            Err(e) => Err(e),
+            Ok(run) if run.x[nz] < -margin => Ok(Phase1Outcome {
+                z: Some(run.x[..nz].to_vec()),
                 outer: run.outer,
                 newton: run.newton,
                 cert: None,
-            })
-        } else {
-            let cert = extract_cert_parts(&aug, &run);
-            Ok(Phase1Outcome {
-                z: None,
-                outer: run.outer,
-                newton: run.newton,
-                cert,
-            })
-        }
+                polished: false,
+            }),
+            Ok(run) => {
+                // Infeasible. The verdict is final (both exits are sound
+                // proofs of `s* > −margin`), but a verdict that arrived
+                // through the centered duality-gap bound leaves multipliers
+                // that often fail certificate verification — the neighbours
+                // then re-pay a full phase I. The *polish* continuation
+                // climbs a little further with the Farkas check as its only
+                // exit: as `t` grows the centered multipliers concentrate
+                // on the genuinely conflicting rows and the box-grounded
+                // bound turns positive, minting a transferable certificate.
+                // Bounded by `polish_budget` Newton steps; numerical
+                // trouble inside the polish (the climb can push `t` into
+                // ill-conditioned territory) keeps the original iterate —
+                // it must never overturn or error out a settled verdict.
+                let mut final_run = run;
+                let mut polished = false;
+                if !reduced
+                    && saved_opts.polish_budget > 0
+                    && !phase1_infeas_check(dense, &final_run.x, &mut cert_ws.borrow_mut())
+                {
+                    // The box-grounded bound's slack is exactly the
+                    // centering residual: at an *exact* center the
+                    // aggregated gradient ρ vanishes and the bound equals
+                    // the (positive) dual value, so the polish re-centers
+                    // at essentially the same barrier parameter — tiny µ,
+                    // much tighter inner tolerance — instead of climbing
+                    // into the ill-conditioned large-`t` regime where the
+                    // verdict's centerings already stalled.
+                    let phase1_opts = self.opts;
+                    self.opts.mu = 1.5;
+                    self.opts.tol_inner = (phase1_opts.tol_inner * 1e-4).max(1e-12);
+                    let polish_exit = |pt: &[f64], _gap: f64, _centered: bool| {
+                        phase1_infeas_check(dense, pt, &mut cert_ws.borrow_mut())
+                    };
+                    let pctrl = RunCtrl {
+                        early_exit: None,
+                        bound_exit: Some(&polish_exit),
+                        newton_budget: Some(saved_opts.polish_budget),
+                    };
+                    let polish_run =
+                        self.run_barrier_impl(&aug, final_run.x.clone(), final_run.t, pctrl);
+                    self.opts = phase1_opts;
+                    if let Ok(prun) = polish_run {
+                        let minted = phase1_infeas_check(dense, &prun.x, &mut cert_ws.borrow_mut());
+                        // The polish's work is paid either way.
+                        final_run.outer += prun.outer;
+                        final_run.newton += prun.newton;
+                        if minted {
+                            final_run.x = prun.x;
+                            final_run.t = prun.t;
+                            polished = true;
+                        }
+                    }
+                }
+                // Scatter the multipliers of a pruned system back to the
+                // full row space (zero weight on pruned rows changes no
+                // verdict) so the certificate matches the original
+                // problem's rows and can circulate.
+                let cert = extract_cert_parts(&aug, &final_run).map(|mut parts| {
+                    if let Some(rows) = &dense.rows {
+                        let mut full = vec![0.0; dense.a.rows()];
+                        for (pos, &ri) in rows.iter().enumerate() {
+                            full[ri] = parts.lambda_lin[pos];
+                        }
+                        parts.lambda_lin = full;
+                    }
+                    parts
+                });
+                Ok(Phase1Outcome {
+                    z: None,
+                    outer: final_run.outer,
+                    newton: final_run.newton,
+                    cert,
+                    polished,
+                })
+            }
+        };
+        *self.scratch.cert_ws() = cert_ws.into_inner();
+        self.opts = saved_opts;
+        outcome
     }
 
     fn run_barrier_impl(
@@ -896,6 +1092,10 @@ impl BarrierSolver {
         let mut t = t0;
         let mut outer = 0;
         let mut last_lambda2 = f64::INFINITY;
+        // Barrier parameter of the last *cleanly centered* outer iterate
+        // (the point itself is kept in `s.center`): the fallback when the
+        // final centering stalls.
+        let mut center_t: Option<f64> = None;
         loop {
             // Centering at parameter t; `centered` records whether it ended
             // by Newton-decrement convergence (vs a stall).
@@ -983,6 +1183,10 @@ impl BarrierSolver {
                 }
             }
             outer += 1;
+            if centered {
+                s.center.copy_from_slice(&x);
+                center_t = Some(t);
+            }
             if debug_enabled() {
                 eprintln!(
                     "[barrier] outer {outer}: t={t:.3e} newton_total={newton_total} centered={centered} x_last={:.6e} obj={:.6e}",
@@ -1026,6 +1230,31 @@ impl BarrierSolver {
                 // otherwise the gap bound would be fiction and the caller
                 // must see `MaxIterations`.
                 let near_center = centered || last_lambda2 / 2.0 <= LOOSE_CENTER_TOL;
+                if !near_center {
+                    // Only the *immediately preceding* outer's center
+                    // qualifies (gap within µ·tol): an older center's bound
+                    // is too loose to hand back as an answer, and those
+                    // cells keep the stalled iterate exactly as before.
+                    if let Some(tc) = center_t.filter(|&tc| tc < t && m / tc <= o.tol * o.mu) {
+                        // Fall back to the last clean center: a one-µ-looser
+                        // but *honest* duality bound, and — decisive for the
+                        // sweep's warm chains — healthy slacks. The stalled
+                        // iterate sits pressed against the boundary (slacks
+                        // at the f64 noise floor), and every neighbouring
+                        // cell that warm-starts from it would pay a full
+                        // cold climb to recover.
+                        x.copy_from_slice(&s.center);
+                        return Ok(BarrierRun {
+                            x,
+                            outer,
+                            newton: newton_total,
+                            gap: m / tc,
+                            t: tc,
+                            converged: false,
+                            centered: true,
+                        });
+                    }
+                }
                 return Ok(BarrierRun {
                     x,
                     outer,
@@ -1133,7 +1362,7 @@ fn extract_cert_parts(aug: &Dense, run: &BarrierRun) -> Option<CertParts> {
     let mut lambda_quad = Vec::with_capacity(aug.quad.len());
     let mut sum = 0.0;
     for i in 0..aug.num_lin() {
-        let slack = aug.b[i] - vecops::dot(aug.a.row(i), &run.x);
+        let slack = aug.b[i] - vecops::dot(aug.lin_row(i), &run.x);
         if !(slack.is_finite() && slack > 0.0) {
             return None;
         }
@@ -1196,7 +1425,7 @@ fn phase1_infeas_check(dense: &Dense, pt: &[f64], ws: &mut CertScratch) -> bool 
     let mut value = 0.0;
     let mut mag = 0.0;
     for i in 0..dense.num_lin() {
-        let row = dense.a.row(i);
+        let row = dense.lin_row(i);
         let f = vecops::dot(row, z) - dense.b[i];
         let slack = s - f;
         if !(slack.is_finite() && slack > 0.0) {
@@ -1247,6 +1476,7 @@ fn lift(x_p: &[f64], f_basis: Option<&Matrix>, z: &[f64]) -> Vec<f64> {
 
 /// Maps a reduced-space barrier run back to the original variables and
 /// wraps it as a [`Solution`].
+#[allow(clippy::too_many_arguments)]
 fn assemble_solution(
     prob: &Problem,
     x_p: &[f64],
@@ -1255,6 +1485,7 @@ fn assemble_solution(
     outer_total: usize,
     newton_total: usize,
     phase1_steps: usize,
+    rows_pruned: usize,
 ) -> Solution {
     let x = lift(x_p, f_basis, &run.x);
     let objective = prob.objective_value(&x);
@@ -1271,6 +1502,8 @@ fn assemble_solution(
         phase1_steps,
         gap_bound: run.gap,
         certificate: None,
+        rows_pruned,
+        polished: false,
     }
 }
 
@@ -1357,6 +1590,7 @@ fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
                 q0: q0.to_vec(),
                 a,
                 b: prob.lin_rhs().to_vec(),
+                rows: None,
                 quad: prob.quad_constraints().to_vec(),
             }
         }
@@ -1404,6 +1638,7 @@ fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
                 q0: q0_z,
                 a,
                 b,
+                rows: None,
                 quad,
             }
         }

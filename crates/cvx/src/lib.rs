@@ -27,7 +27,14 @@
 //!   from failed phase-I runs: [`Certificate::certifies`] soundly rejects
 //!   a related problem with one matvec-equivalent pass instead of a
 //!   solve, which is what lets design-space sweeps skip most of their
-//!   frontier phase-I runs.
+//!   frontier phase-I runs. Thin-frontier verdicts that arrive through the
+//!   duality-gap bound get a bounded *polish* continuation so they mint a
+//!   transferable certificate too.
+//! * Row reduction — a box-grounded domination pass prunes provably
+//!   redundant linear rows before phase I (structured constraint families
+//!   carry many near-copies); the feasible set, and therefore every
+//!   verdict, is unchanged, while `m` and the degenerate active sets
+//!   shrink at the source.
 //! * [`solve_lp`] / [`solve_qp`] — one-call convenience wrappers.
 //!
 //! # Example
@@ -59,6 +66,7 @@ mod expr;
 mod model;
 mod options;
 mod problem;
+mod reduce;
 mod scratch;
 mod status;
 mod wrappers;

@@ -33,6 +33,23 @@ pub struct SolverOptions {
     pub beta: f64,
     /// Strict-feasibility margin required from phase I.
     pub phase1_margin: f64,
+    /// Enables the box-grounded row-reduction pass (see
+    /// [`crate::BarrierSolver`]): provably redundant linear inequality rows
+    /// — rows implied over the variable box by another retained row — are
+    /// pruned before phase I. Pruning never changes a feasibility verdict
+    /// (the pruned system has exactly the same feasible set) and keeps the
+    /// optimum within the solver tolerance; it only shrinks `m` and the
+    /// near-degenerate active sets that stall Newton centerings.
+    pub row_reduction: bool,
+    /// Newton-step budget for the certificate *polish* continuation: when
+    /// phase I proves infeasibility through the centered duality-gap bound
+    /// but the extracted multipliers do not yet pass the Farkas check, the
+    /// climb continues for at most this many extra Newton steps with the
+    /// Farkas check as its only exit, minting a transferable certificate
+    /// for thin-frontier cells. `0` disables polishing. The verdict itself
+    /// is already final when polishing starts — it can only improve the
+    /// certificate, never flip a verdict.
+    pub polish_budget: usize,
 }
 
 impl Default for SolverOptions {
@@ -47,6 +64,8 @@ impl Default for SolverOptions {
             armijo: 0.05,
             beta: 0.5,
             phase1_margin: 1e-8,
+            row_reduction: true,
+            polish_budget: 40,
         }
     }
 }

@@ -1,0 +1,404 @@
+//! Box-grounded reduction of provably redundant linear inequality rows.
+//!
+//! The Pro-Temp design-point problems carry thousands of structured linear
+//! rows — a temperature limit per core per horizon step and a pairwise
+//! gradient row per core pair per (strided) step. As the thermal system
+//! approaches steady state the late-step rows become near copies of each
+//! other, and at low frequency targets the pairwise gradient rows form a
+//! near-degenerate active set that stalls Newton centerings for tens of
+//! steps per outer iteration. This module removes that redundancy *at the
+//! source*, before phase I ever sees the system.
+//!
+//! # The domination certificate
+//!
+//! A candidate row `cᵀx ≤ r_c` may be dropped when some retained row
+//! `dᵀx ≤ r_d` implies it over the variable box `[lo, hi]` (the bounds
+//! harvested from the problem's own single-entry rows):
+//!
+//! ```text
+//! cᵀx = dᵀx + (c − d)ᵀx ≤ r_d + max_{x ∈ box} (c − d)ᵀx = r_d + M
+//! ```
+//!
+//! so `r_d + M ≤ r_c` proves every box point satisfying the dominator also
+//! satisfies the candidate — with slack at least as large, which is what
+//! preserves phase I's *strict*-feasibility margins. Single-entry rows
+//! (the box rows themselves) are never candidates or dominators: they
+//! ground the certificate and the Farkas box harvesting, and must survive.
+//!
+//! Dropping only dominated rows leaves the feasible set **exactly equal**
+//! to the full system's, so feasibility verdicts cannot change; the
+//! optimum moves only within the solver tolerance (fewer barrier terms
+//! shift the central path, not the constraint set). A cushion of
+//! [`PRUNE_REL_TOL`] times the accumulated magnitude absorbs the `f64`
+//! rounding of the bound itself, so near ties are kept, never dropped.
+//!
+//! # Cost model
+//!
+//! The expensive part of the certificate — `M`, the boxed maximum of the
+//! coefficient difference — depends only on row *coefficients* and the box
+//! bounds. Across a Phase-1 sweep those are identical for every grid cell;
+//! only the right-hand sides vary (offsets with the starting temperature,
+//! the workload bound with the target). [`RowReducer`] therefore caches
+//! the candidate/dominator pair structure (grouped by nonzero support,
+//! top-[`MAX_DOMINATORS`] smallest-`M` dominators per candidate) once, and
+//! each solve replays it with one `rhs` comparison per cached pair — a few
+//! ten-thousand compares against tens of millions of flops for a fresh
+//! analysis.
+
+use std::collections::BTreeMap;
+
+use crate::certificate::single_entry;
+use crate::Problem;
+
+/// Relative cushion on the domination bound: `r_d + M` must clear `r_c` by
+/// this fraction of the accumulated term magnitude before a row is
+/// dropped, so accumulation rounding can never fabricate a domination.
+/// Exact duplicates accumulate zero magnitude and prune at equality.
+pub(crate) const PRUNE_REL_TOL: f64 = 1e-9;
+
+/// Dominator candidates remembered per candidate row (smallest `M` first).
+/// Domination fires when `rhs[dom] + M ≤ rhs[cand]`, so small `M` is the
+/// best per-cell bet; a handful of near-duplicates covers the structured
+/// constraint families this pass targets.
+const MAX_DOMINATORS: usize = 16;
+
+/// Buckets larger than this are skipped entirely: the pair analysis is
+/// quadratic in the bucket size, and this bound keeps the one-time cache
+/// build comfortably below the cost it amortizes away.
+const MAX_BUCKET: usize = 4096;
+
+/// One cached domination candidate: dropping row `cand` is sound whenever
+/// `rhs[dom] + m_bound ≤ rhs[cand] − PRUNE_REL_TOL·mag` and `dom` has not
+/// itself been dropped first (drop justifications then chain, by
+/// transitivity of the box implication, to a never-dropped row).
+#[derive(Debug, Clone, Copy)]
+struct DominationPair {
+    cand: u32,
+    dom: u32,
+    /// `max_{x ∈ box} (row_cand − row_dom)ᵀx`, finite by construction.
+    m_bound: f64,
+    /// Accumulated `|term|` magnitude of the bound (rounding scale).
+    mag: f64,
+}
+
+/// The cached pair structure plus the exact inputs it was derived from
+/// (the cache key: row coefficients and the *aggregated* per-variable box
+/// `[lo, hi]`). Keying on the aggregated bounds instead of every
+/// single-entry row's rhs matters in practice: the first-horizon-step
+/// temperature rows are single-entry too (no thermal coupling after one
+/// step) and their rhs moves with the starting temperature, but the huge
+/// bounds they imply never beat the real variable boxes — so the
+/// aggregate, and with it the cache, is stable across a whole sweep.
+#[derive(Debug, Clone)]
+struct ReduceCache {
+    rows: Vec<Vec<f64>>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Sorted by `(cand, m_bound, dom)`.
+    pairs: Vec<DominationPair>,
+}
+
+/// Reusable row-reduction state held by a [`crate::BarrierSolver`]: the
+/// pair cache (rebuilt only when row coefficients or the harvested box
+/// change — once per problem family) and the per-solve scratch.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RowReducer {
+    cache: Option<ReduceCache>,
+    dropped: Vec<bool>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl RowReducer {
+    /// Selects the surviving linear rows of `prob`. Returns `None` when
+    /// nothing can be pruned (the common small-problem case — the caller
+    /// keeps its packed fast path), otherwise the ascending kept indices.
+    ///
+    /// Deterministic: the same problem always yields the same selection,
+    /// which the sweep's bit-identical replay guarantees depend on.
+    pub(crate) fn select(&mut self, prob: &Problem) -> Option<Vec<usize>> {
+        let rhs = prob.lin_rhs();
+        let m = rhs.len();
+        if m < 2 {
+            return None;
+        }
+        harvest_bounds(prob, &mut self.lo, &mut self.hi);
+        if !self.cache_matches(prob) {
+            self.cache = Some(build_cache(prob, &self.lo, &self.hi));
+        }
+        let cache = self.cache.as_ref().expect("cache built above");
+        if cache.pairs.is_empty() {
+            return None;
+        }
+        self.dropped.clear();
+        self.dropped.resize(m, false);
+        let mut any = false;
+        let mut i = 0;
+        while i < cache.pairs.len() {
+            let cand = cache.pairs[i].cand as usize;
+            let mut j = i;
+            while j < cache.pairs.len() && cache.pairs[j].cand as usize == cand {
+                let p = cache.pairs[j];
+                if !self.dropped[p.dom as usize]
+                    && rhs[p.dom as usize] + p.m_bound <= rhs[cand] - PRUNE_REL_TOL * p.mag
+                {
+                    self.dropped[cand] = true;
+                    any = true;
+                    break;
+                }
+                j += 1;
+            }
+            while i < cache.pairs.len() && cache.pairs[i].cand as usize == cand {
+                i += 1;
+            }
+        }
+        if !any {
+            return None;
+        }
+        Some((0..m).filter(|&r| !self.dropped[r]).collect::<Vec<usize>>())
+    }
+
+    /// `true` when the cached pair structure still applies: same row
+    /// coefficients and the same harvested box (bit-exact — the pairs' `M`
+    /// bounds are functions of exactly these inputs).
+    ///
+    /// The exact `O(m·n)` comparison (and the full coefficient copy the
+    /// cache keys on) is deliberate: a false cache hit would replay
+    /// domination pairs derived from *different* coefficients and could
+    /// prune a non-redundant row — an unsound verdict — so a probabilistic
+    /// fingerprint is not an acceptable substitute. The walk costs well
+    /// under 1 % of even a warm solve of the problem families this pass
+    /// targets, and short-circuits on the first differing row.
+    fn cache_matches(&self, prob: &Problem) -> bool {
+        let Some(cache) = &self.cache else {
+            return false;
+        };
+        cache.rows.len() == prob.lin_rows().len()
+            && cache.lo == self.lo
+            && cache.hi == self.hi
+            && cache.rows == prob.lin_rows()
+    }
+}
+
+/// Per-variable bounds implied by the problem's single-entry rows
+/// (`c·xⱼ ≤ b`), written into `lo`/`hi`.
+fn harvest_bounds(prob: &Problem, lo: &mut Vec<f64>, hi: &mut Vec<f64>) {
+    let n = prob.num_vars();
+    lo.clear();
+    hi.clear();
+    lo.resize(n, f64::NEG_INFINITY);
+    hi.resize(n, f64::INFINITY);
+    for (row, &rhs) in prob.lin_rows().iter().zip(prob.lin_rhs()) {
+        if let Some((j, c)) = single_entry(row) {
+            let bound = rhs / c;
+            if c > 0.0 {
+                hi[j] = hi[j].min(bound);
+            } else {
+                lo[j] = lo[j].max(bound);
+            }
+        }
+    }
+}
+
+/// Analyzes `prob`'s linear rows once against the harvested box: buckets
+/// multi-entry rows by nonzero support and keeps the
+/// [`MAX_DOMINATORS`] smallest-`M` domination pairs per candidate.
+fn build_cache(prob: &Problem, lo: &[f64], hi: &[f64]) -> ReduceCache {
+    let rows = prob.lin_rows();
+
+    // BTreeMap for deterministic bucket order: the selection feeds
+    // bit-identical sweep replay, so no hash-order nondeterminism may
+    // reach the stored pair list.
+    let mut buckets: BTreeMap<Vec<u32>, Vec<u32>> = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        if single_entry(row).is_some() {
+            continue;
+        }
+        let support: Vec<u32> = row
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(j, _)| j as u32)
+            .collect();
+        if support.len() >= 2 {
+            buckets.entry(support).or_default().push(i as u32);
+        }
+    }
+
+    let mut pairs: Vec<DominationPair> = Vec::new();
+    let mut best: Vec<DominationPair> = Vec::new();
+    for members in buckets.values() {
+        if members.len() < 2 || members.len() > MAX_BUCKET {
+            continue;
+        }
+        for &cand in members {
+            best.clear();
+            for &dom in members {
+                if dom == cand {
+                    continue;
+                }
+                let Some((m_bound, mag)) =
+                    boxed_difference_max(&rows[cand as usize], &rows[dom as usize], lo, hi)
+                else {
+                    continue;
+                };
+                let pair = DominationPair {
+                    cand,
+                    dom,
+                    m_bound,
+                    mag,
+                };
+                // Keep the MAX_DOMINATORS smallest-M pairs, ties broken by
+                // dominator index (determinism).
+                let pos = best
+                    .iter()
+                    .position(|b| (m_bound, dom) < (b.m_bound, b.dom))
+                    .unwrap_or(best.len());
+                if pos < MAX_DOMINATORS {
+                    best.insert(pos, pair);
+                    best.truncate(MAX_DOMINATORS);
+                }
+            }
+            pairs.extend_from_slice(&best);
+        }
+    }
+    pairs.sort_by(|a, b| {
+        (a.cand, a.m_bound, a.dom)
+            .partial_cmp(&(b.cand, b.m_bound, b.dom))
+            .expect("m_bound is finite")
+    });
+
+    ReduceCache {
+        rows: rows.to_vec(),
+        lo: lo.to_vec(),
+        hi: hi.to_vec(),
+        pairs,
+    }
+}
+
+/// `max over the box of (cand − dom)ᵀx` plus the accumulated term
+/// magnitude, or `None` when the maximum is not finite (a difference
+/// component on an unbounded variable — no certificate possible).
+fn boxed_difference_max(cand: &[f64], dom: &[f64], lo: &[f64], hi: &[f64]) -> Option<(f64, f64)> {
+    let mut m = 0.0;
+    let mut mag = 0.0;
+    for (((&c, &d), &l), &h) in cand.iter().zip(dom).zip(lo).zip(hi) {
+        let diff = c - d;
+        if diff == 0.0 {
+            continue;
+        }
+        let term = if diff > 0.0 { diff * h } else { diff * l };
+        if !term.is_finite() {
+            return None;
+        }
+        m += term;
+        mag += term.abs();
+    }
+    Some((m, mag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A boxed 2-variable problem with extra multi-entry rows appended.
+    fn boxed_problem(extra: &[(Vec<f64>, f64)]) -> Problem {
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![1.0, 1.0]);
+        p.add_box(0, 0.0, 2.0);
+        p.add_box(1, 0.0, 3.0);
+        for (row, rhs) in extra {
+            p.add_linear_le(row.clone(), *rhs);
+        }
+        p
+    }
+
+    fn kept_of(p: &Problem) -> Option<Vec<usize>> {
+        RowReducer::default().select(p)
+    }
+
+    #[test]
+    fn exact_duplicate_is_pruned_once() {
+        // Two identical rows: exactly one survives (the later one, whose
+        // earlier twin cites it), and all four box rows survive.
+        let p = boxed_problem(&[
+            (vec![1.0, 1.0], 4.0), // row 4
+            (vec![1.0, 1.0], 4.0), // row 5
+        ]);
+        let kept = kept_of(&p).expect("duplicate must be pruned");
+        assert_eq!(kept, vec![0, 1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn dominated_row_is_pruned() {
+        // Row 5 = row 4 shifted by (0.5, 0): M = max 0.5·x₀ over [0,2] = 1,
+        // rhs gap 6 − 4 = 2 ≥ 1 → dominated.
+        let p = boxed_problem(&[
+            (vec![1.0, 1.0], 4.0), // dominator
+            (vec![1.5, 1.0], 6.0), // dominated
+        ]);
+        let kept = kept_of(&p).expect("dominated row must be pruned");
+        assert_eq!(kept, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nearly_dominated_row_is_kept() {
+        // Same geometry, rhs gap a hair below M: must NOT be pruned — the
+        // candidate cuts off a corner of the box the dominator allows.
+        let p = boxed_problem(&[
+            (vec![1.0, 1.0], 4.0),
+            (vec![1.5, 1.0], 4.999), // needs ≥ 5.0
+        ]);
+        assert_eq!(kept_of(&p), None);
+    }
+
+    #[test]
+    fn unbounded_direction_blocks_domination() {
+        // x₁ has no upper bound: the difference (0, 0.5) has no boxed
+        // maximum, so no certificate and no pruning.
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![1.0, 1.0]);
+        p.add_box(0, 0.0, 2.0);
+        p.add_box(1, 0.0, f64::INFINITY);
+        p.add_linear_le(vec![1.0, 1.0], 4.0);
+        p.add_linear_le(vec![1.0, 1.5], 100.0);
+        assert_eq!(kept_of(&p), None);
+    }
+
+    #[test]
+    fn single_entry_rows_never_pruned() {
+        // Duplicate box rows are still single-entry: excluded by design so
+        // bound harvesting (here and in the Farkas checks) stays intact.
+        let mut p = Problem::new(1);
+        p.set_linear_objective(vec![1.0]);
+        p.add_box(0, 0.0, 1.0);
+        p.add_box(0, 0.0, 1.0);
+        assert_eq!(kept_of(&p), None);
+    }
+
+    #[test]
+    fn cache_replays_across_rhs_changes() {
+        let mut reducer = RowReducer::default();
+        let p1 = boxed_problem(&[(vec![1.0, 1.0], 4.0), (vec![1.5, 1.0], 6.0)]);
+        assert_eq!(reducer.select(&p1).unwrap(), vec![0, 1, 2, 3, 4]);
+        // Same coefficients, tighter candidate rhs: nothing prunable now —
+        // the cached pair structure must still answer correctly.
+        let p2 = boxed_problem(&[(vec![1.0, 1.0], 4.0), (vec![1.5, 1.0], 4.5)]);
+        assert_eq!(reducer.select(&p2), None);
+        // And looser again: prunes again off the same cache.
+        let p3 = boxed_problem(&[(vec![1.0, 1.0], 4.0), (vec![1.5, 1.0], 7.0)]);
+        assert_eq!(reducer.select(&p3).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mutual_domination_keeps_one_row() {
+        // Rows identical up to rhs: the tighter one dominates the looser;
+        // the looser is dropped, the tighter kept.
+        let p = boxed_problem(&[
+            (vec![1.0, 2.0], 9.0), // looser
+            (vec![1.0, 2.0], 5.0), // tighter
+        ]);
+        let kept = kept_of(&p).expect("looser twin must be pruned");
+        assert_eq!(kept, vec![0, 1, 2, 3, 5]);
+    }
+}

@@ -34,6 +34,12 @@ pub(crate) struct DimScratch {
     pub dx: Vec<f64>,
     /// Line-search candidate point.
     pub cand: Vec<f64>,
+    /// Copy of the most recent *cleanly centered* iterate (Newton
+    /// decrement converged). When the run's final centering stalls, the
+    /// barrier loop falls back to this point — an honest (one-µ-looser)
+    /// gap bound and healthy slacks instead of a boundary-pressed stall
+    /// artifact that would poison every downstream warm start.
+    pub center: Vec<f64>,
     /// Constraint slacks `b − Ax` (one per linear row; grows to the row
     /// count on first use).
     pub slack: Vec<f64>,
@@ -54,6 +60,7 @@ impl DimScratch {
             bs: vec![0.0; n],
             dx: vec![0.0; n],
             cand: vec![0.0; n],
+            center: vec![0.0; n],
             slack: Vec::new(),
             w: Vec::new(),
             chol: Cholesky::zeroed(n),
@@ -75,8 +82,9 @@ impl DimScratch {
     /// slack/weight buffers grow on first use and are reported by
     /// [`crate::SolverScratch::footprint_scalars`] once sized).
     pub(crate) const fn req(n: usize) -> StackReq {
-        // grad + qgrad + jacobi + bs + dx + cand, plus hess + hs + chol.
-        StackReq::scalars(6 * n)
+        // grad + qgrad + jacobi + bs + dx + cand + center, plus
+        // hess + hs + chol.
+        StackReq::scalars(7 * n)
             .and(StackReq::matrix(n, n))
             .and(StackReq::matrix(n, n))
             .and(StackReq::matrix(n, n))
@@ -161,6 +169,6 @@ mod tests {
         let mut s = SolverScratch::new();
         s.for_dim(3);
         assert_eq!(s.footprint_scalars(), DimScratch::req(3).len());
-        assert_eq!(DimScratch::req(3).len(), 6 * 3 + 3 * 9);
+        assert_eq!(DimScratch::req(3).len(), 7 * 3 + 3 * 9);
     }
 }

@@ -56,6 +56,14 @@ pub struct Solution {
     /// multipliers that re-certify this problem (see
     /// [`crate::Certificate::certifies`]).
     pub certificate: Option<Certificate>,
+    /// Linear inequality rows the box-grounded reduction pass pruned
+    /// before the solve (0 when `row_reduction` is off, the problem has
+    /// equalities, or nothing was provably redundant).
+    pub rows_pruned: usize,
+    /// `true` when the certificate was minted by the bounded *polish*
+    /// continuation after a duality-gap-bound infeasibility verdict
+    /// (always `false` for feasible solves).
+    pub polished: bool,
 }
 
 impl Solution {
@@ -65,6 +73,8 @@ impl Solution {
         newton: usize,
         phase1_steps: usize,
         certificate: Option<Certificate>,
+        rows_pruned: usize,
+        polished: bool,
     ) -> Self {
         Solution {
             status: SolveStatus::Infeasible,
@@ -75,6 +85,8 @@ impl Solution {
             phase1_steps,
             gap_bound: f64::INFINITY,
             certificate,
+            rows_pruned,
+            polished,
         }
     }
 }
@@ -92,11 +104,13 @@ mod tests {
 
     #[test]
     fn infeasible_marker() {
-        let s = Solution::infeasible(3, 17, 17, None);
+        let s = Solution::infeasible(3, 17, 17, None, 4, true);
         assert_eq!(s.status, SolveStatus::Infeasible);
         assert!(s.x.is_empty());
         assert!(s.objective.is_infinite());
         assert_eq!(s.phase1_steps, 17);
         assert!(s.certificate.is_none());
+        assert_eq!(s.rows_pruned, 4);
+        assert!(s.polished);
     }
 }

@@ -137,6 +137,70 @@ proptest! {
         prop_assert!(protemp_cvx::check_certificate(&build(gap + tighten), &cert));
     }
 
+    /// The polish continuation's whole contract: a duality-gap-bound
+    /// verdict that left no usable certificate gets a bounded re-centering
+    /// whose minted certificate (a) exists, (b) certifies its own problem,
+    /// and (c) never certifies a feasible sibling — and the verdict itself
+    /// is identical with polishing on or off.
+    ///
+    /// The generator is the asymmetric-conflict family
+    /// `s·(x₀+x₁) ≤ −δ` vs `x₀+x₁ ≥ δ` over a box so large that the
+    /// anchored linearization only turns positive once the multipliers
+    /// reach their exact ratio — the shape whose loose-centered gap exit
+    /// reliably precedes the in-run Farkas check.
+    #[test]
+    fn polished_certificates_are_sound(
+        scale in 5.0..60.0f64,
+        delta in 0.5..3.0f64,
+        box_half in 1.0e3..1.0e5f64,
+    ) {
+        let build = |infeasible: bool| {
+            let mut p = Problem::new(2);
+            p.set_linear_objective(vec![1.0, 0.0]);
+            p.add_box(0, -box_half, box_half);
+            p.add_box(1, -box_half, box_half);
+            p.add_linear_le(vec![scale, scale], -delta);
+            if infeasible {
+                // x₀ + x₁ ≥ δ contradicts s(x₀+x₁) ≤ −δ.
+                p.add_linear_le(vec![-1.0, -1.0], -delta);
+            } else {
+                // Same shape, compatible side: feasible.
+                p.add_linear_le(vec![-1.0, -1.0], 2.0 * delta / scale + delta);
+            }
+            p
+        };
+        let opts_with = |budget: usize| SolverOptions {
+            polish_budget: budget,
+            ..SolverOptions::default()
+        };
+        let plain = BarrierSolver::new(opts_with(0)).solve(&build(true)).unwrap();
+        let polished = BarrierSolver::new(opts_with(80)).solve(&build(true)).unwrap();
+        prop_assert_eq!(plain.status, SolveStatus::Infeasible);
+        prop_assert_eq!(
+            polished.status,
+            SolveStatus::Infeasible,
+            "polish must never flip a verdict"
+        );
+        if polished.polished {
+            let cert = polished
+                .certificate
+                .as_ref()
+                .expect("a polished run only reports `polished` after minting");
+            // (a)+(b): certifies the problem it came from.
+            prop_assert!(protemp_cvx::check_certificate(&build(true), cert));
+            // (c): can never reject the feasible sibling.
+            prop_assert!(!protemp_cvx::check_certificate(&build(false), cert));
+            // And it survives the `.certs` text serde bit-exactly.
+            let mut buf = Vec::new();
+            cert.write_text(&mut buf).unwrap();
+            let reread =
+                protemp_cvx::Certificate::read_text(std::str::from_utf8(&buf).unwrap())
+                    .unwrap();
+            prop_assert_eq!(&reread, cert);
+            prop_assert!(protemp_cvx::check_certificate(&build(true), &reread));
+        }
+    }
+
     /// Soundness fuzz: no certificate — however adversarial — may certify
     /// a problem with a known feasible point.
     #[test]
@@ -163,6 +227,88 @@ proptest! {
             "feasible problem (contains ({fx},{fy})) must never be certified infeasible"
         );
     }
+}
+
+/// Deterministic polish regression: this exact asymmetric conflict is known
+/// to exit phase I through the duality-gap bound with multipliers that fail
+/// the Farkas check — without polish there is no certificate at all; with
+/// it, one extra Newton step of re-centering mints a verified one.
+#[test]
+fn polish_mints_where_gap_verdict_left_no_certificate() {
+    let build = || {
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![1.0, 0.0]);
+        p.add_box(0, -1000.0, 1000.0);
+        p.add_box(1, -1000.0, 1000.0);
+        p.add_linear_le(vec![17.0, 17.0], -1.0);
+        p.add_linear_le(vec![-1.0, -1.0], -1.0);
+        p
+    };
+    let solve_with = |budget: usize| {
+        let opts = SolverOptions {
+            polish_budget: budget,
+            ..SolverOptions::default()
+        };
+        BarrierSolver::new(opts).solve(&build()).unwrap()
+    };
+    let plain = solve_with(0);
+    assert_eq!(plain.status, SolveStatus::Infeasible);
+    assert!(
+        plain.certificate.is_none(),
+        "this conflict's gap verdict must leave no certificate (or the \
+         regression no longer exercises the polish path)"
+    );
+    let polished = solve_with(80);
+    assert_eq!(polished.status, SolveStatus::Infeasible);
+    assert!(polished.polished, "the bounded polish must mint here");
+    let cert = polished.certificate.expect("polished certificate");
+    assert!(protemp_cvx::check_certificate(&build(), &cert));
+}
+
+/// The optimum of a solve whose reduction pass pruned rows must be feasible
+/// for the *full* row set, and match the unpruned optimum to solver
+/// tolerance — pruning changes the barrier, never the feasible set.
+#[test]
+fn pruned_optimum_is_feasible_for_the_full_row_set() {
+    let build = || {
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![-1.0, -1.0]);
+        p.add_box(0, 0.0, 2.0);
+        p.add_box(1, 0.0, 3.0);
+        p.add_linear_le(vec![1.0, 1.0], 4.0);
+        // Dominated copies of the binding row: pruned, yet the optimum
+        // presses exactly against the face they shadow.
+        p.add_linear_le(vec![1.0, 1.0], 4.0);
+        p.add_linear_le(vec![1.5, 1.0], 7.0);
+        p
+    };
+    let solve_with = |reduction: bool| {
+        let opts = SolverOptions {
+            row_reduction: reduction,
+            ..SolverOptions::default()
+        };
+        BarrierSolver::new(opts).solve(&build()).unwrap()
+    };
+    let pruned = solve_with(true);
+    let full = solve_with(false);
+    assert!(pruned.status.is_optimal());
+    assert!(
+        pruned.rows_pruned >= 2,
+        "both dominated rows must be pruned"
+    );
+    assert_eq!(full.rows_pruned, 0);
+    let p = build();
+    assert!(
+        p.max_violation(&pruned.x) <= 1e-9,
+        "pruned optimum violates a pruned row by {:.3e}",
+        p.max_violation(&pruned.x)
+    );
+    assert!(
+        (pruned.objective - full.objective).abs() < 1e-4,
+        "objectives must agree to solver tolerance: {} vs {}",
+        pruned.objective,
+        full.objective
+    );
 }
 
 /// Deterministic regression: a miniature of the Pro-Temp problem shape —

@@ -239,6 +239,55 @@ impl Matrix {
         }
     }
 
+    /// Row-subset matrix–vector product: `y[i] = row(rows[i]) · x`.
+    ///
+    /// The subset variant of [`Matrix::matvec_into`]: callers that solve a
+    /// *pruned* constraint system keep the full packed row matrix and hand
+    /// the surviving row indices here instead of materializing a reduced
+    /// copy. Allocation-free; `rows` may list base rows in any order (the
+    /// barrier's pruned KKT assembly keeps them ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`, `y.len() != rows.len()`, or any
+    /// index is out of range.
+    pub fn matvec_rows_into(&self, rows: &[usize], x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_rows dimension mismatch");
+        assert_eq!(y.len(), rows.len(), "matvec_rows output length mismatch");
+        for (yr, &r) in y.iter_mut().zip(rows) {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *yr = acc;
+        }
+    }
+
+    /// Row-subset transposed matrix–vector product:
+    /// `y = Σᵢ w[i] · row(rows[i])` (with `w` indexed by subset position).
+    ///
+    /// The subset variant of [`Matrix::matvec_t_into`]; see
+    /// [`Matrix::matvec_rows_into`] for when to use it. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != rows.len()`, `y.len() != self.cols()`, or any
+    /// index is out of range.
+    pub fn matvec_t_rows_into(&self, rows: &[usize], w: &[f64], y: &mut [f64]) {
+        assert_eq!(w.len(), rows.len(), "matvec_t_rows weight length");
+        assert_eq!(y.len(), self.cols, "matvec_t_rows output length mismatch");
+        y.fill(0.0);
+        for (&r, &wr) in rows.iter().zip(w) {
+            if wr == 0.0 {
+                continue;
+            }
+            for (yc, a) in y.iter_mut().zip(self.row(r)) {
+                *yc += a * wr;
+            }
+        }
+    }
+
     /// Copies `other`'s contents into `self`, resizing only on shape
     /// change.
     pub fn copy_from(&mut self, other: &Matrix) {
@@ -360,11 +409,52 @@ impl Matrix {
     /// Panics if `self` is not square with side `a.cols()`, or
     /// `w.len() != a.rows()`.
     pub fn syrk_lower_update(&mut self, a: &Matrix, w: &[f64]) {
+        assert!(
+            self.is_square() && a.cols() == self.rows,
+            "syrk_lower_update shape"
+        );
+        assert_eq!(a.rows(), w.len(), "syrk_lower_update weight length");
+        self.syrk_lower_impl(a, a.rows(), |i| i, w);
+    }
+
+    /// Adds `Aᵀ diag(w) A` restricted to a row subset to the lower triangle:
+    /// only rows `rows[i]` of `a` participate, each weighted by `w[i]`
+    /// (`w` is indexed by subset *position*, matching the packed slack
+    /// buffers of a pruned solve). The strict upper triangle is left
+    /// untouched.
+    ///
+    /// The subset variant of [`Matrix::syrk_lower_update`]: a pruned
+    /// constraint system reuses the full packed row matrix through this
+    /// view instead of materializing a reduced copy per solve. The same
+    /// span-panel blocking applies — panels form over consecutive subset
+    /// positions whose base rows share a nonzero span, which pruned
+    /// constraint families (temperature rows, gradient rows) still do.
+    /// Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square with side `a.cols()`,
+    /// `w.len() != rows.len()`, or any index is out of range.
+    pub fn syrk_lower_update_rows(&mut self, a: &Matrix, rows: &[usize], w: &[f64]) {
+        assert!(
+            self.is_square() && a.cols() == self.rows,
+            "syrk_lower_update_rows shape"
+        );
+        assert_eq!(rows.len(), w.len(), "syrk_lower_update_rows weight length");
+        self.syrk_lower_impl(a, rows.len(), |i| rows[i], w);
+    }
+
+    /// The one blocked span-panel syrk implementation behind both
+    /// [`Matrix::syrk_lower_update`] (identity mapping) and
+    /// [`Matrix::syrk_lower_update_rows`] (subset mapping): `base(i)` maps
+    /// position `i` (which indexes `w`) to a row of `a`. Generic so each
+    /// caller monomorphizes — the identity instantiation compiles to the
+    /// original full-matrix kernel — and the two public entry points can
+    /// never drift numerically (the row-subset proptests assert bitwise
+    /// equality between them).
+    fn syrk_lower_impl<F: Fn(usize) -> usize>(&mut self, a: &Matrix, m: usize, base: F, w: &[f64]) {
         const PANEL: usize = 8;
         let n = self.rows;
-        assert!(self.is_square() && a.cols() == n, "syrk_lower_update shape");
-        assert_eq!(a.rows(), w.len(), "syrk_lower_update weight length");
-        let m = a.rows();
         let mut k = 0;
         let mut coef = [0.0_f64; PANEL];
         while k < m {
@@ -372,22 +462,23 @@ impl Matrix {
                 k += 1;
                 continue;
             }
-            let Some((lo, hi)) = nonzero_span(a.row(k)) else {
+            let Some((lo, hi)) = nonzero_span(a.row(base(k))) else {
                 k += 1;
                 continue;
             };
-            // Extend the panel over consecutive rows with the same span.
+            // Extend the panel over consecutive positions whose rows share
+            // the same span.
             let mut end = k + 1;
             while end < m
                 && end - k < PANEL
                 && w[end] != 0.0
-                && nonzero_span(a.row(end)) == Some((lo, hi))
+                && nonzero_span(a.row(base(end))) == Some((lo, hi))
             {
                 end += 1;
             }
             for r in lo..=hi {
                 for (j, c) in coef.iter_mut().enumerate().take(end - k) {
-                    let row = a.row(k + j);
+                    let row = a.row(base(k + j));
                     *c = w[k + j] * row[r];
                 }
                 let dst = &mut self.data[r * n + lo..r * n + r + 1];
@@ -395,7 +486,7 @@ impl Matrix {
                     let col = lo + ci;
                     let mut acc = 0.0;
                     for (j, c) in coef.iter().enumerate().take(end - k) {
-                        acc += c * a.data[(k + j) * a.cols + col];
+                        acc += c * a.data[base(k + j) * a.cols + col];
                     }
                     *h += acc;
                 }

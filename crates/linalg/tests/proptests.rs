@@ -119,4 +119,68 @@ proptest! {
         let rhs = vecops::norm2(&a) * vecops::norm2(&b);
         prop_assert!(lhs <= rhs + 1e-9);
     }
+
+    /// The row-subset kernels must agree exactly with materializing the
+    /// subset as its own matrix and running the full kernels — they are the
+    /// same arithmetic in the same order, so equality is bitwise.
+    #[test]
+    fn row_subset_kernels_match_materialized_copy(
+        data in prop::collection::vec(-2.0..2.0f64, 7 * 4),
+        x in prop::collection::vec(-3.0..3.0f64, 4),
+        w in prop::collection::vec(0.0..5.0f64, 7),
+        mask in prop::collection::vec(0..2usize, 7),
+    ) {
+        let a = Matrix::from_vec(7, 4, data);
+        let rows: Vec<usize> = (0..7).filter(|&i| mask[i] == 1).collect();
+        let sub = Matrix::from_fn(rows.len(), 4, |r, c| a[(rows[r], c)]);
+        let wsub: Vec<f64> = rows.iter().map(|&i| w[i]).collect();
+
+        let mut y_view = vec![0.0; rows.len()];
+        a.matvec_rows_into(&rows, &x, &mut y_view);
+        let mut y_copy = vec![0.0; rows.len()];
+        sub.matvec_into(&x, &mut y_copy);
+        prop_assert_eq!(&y_view, &y_copy);
+
+        let mut t_view = vec![0.0; 4];
+        a.matvec_t_rows_into(&rows, &wsub, &mut t_view);
+        let mut t_copy = vec![0.0; 4];
+        sub.matvec_t_into(&wsub, &mut t_copy);
+        prop_assert_eq!(&t_view, &t_copy);
+
+        let mut h_view = Matrix::zeros(4, 4);
+        h_view.syrk_lower_update_rows(&a, &rows, &wsub);
+        let mut h_copy = Matrix::zeros(4, 4);
+        h_copy.syrk_lower_update(&sub, &wsub);
+        for r in 0..4 {
+            for c in 0..=r {
+                prop_assert_eq!(h_view[(r, c)], h_copy[(r, c)],
+                    "lower triangle ({}, {})", r, c);
+            }
+        }
+        // Strict upper triangle untouched by the subset kernel too.
+        for r in 0..4 {
+            for c in r + 1..4 {
+                prop_assert_eq!(h_view[(r, c)], 0.0);
+            }
+        }
+    }
+
+    /// An identity subset (every row, in order) is the full kernel.
+    #[test]
+    fn row_subset_identity_is_full_kernel(
+        data in prop::collection::vec(-2.0..2.0f64, 5 * 3),
+        w in prop::collection::vec(0.0..4.0f64, 5),
+    ) {
+        let a = Matrix::from_vec(5, 3, data);
+        let all: Vec<usize> = (0..5).collect();
+        let mut h_sub = Matrix::zeros(3, 3);
+        h_sub.syrk_lower_update_rows(&a, &all, &w);
+        let mut h_full = Matrix::zeros(3, 3);
+        h_full.syrk_lower_update(&a, &w);
+        for r in 0..3 {
+            for c in 0..=r {
+                prop_assert_eq!(h_sub[(r, c)], h_full[(r, c)]);
+            }
+        }
+    }
 }
