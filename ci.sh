@@ -43,10 +43,12 @@ python3 - <<'EOF'
 import json
 with open("results/tab_solver_runtime_quick.json") as f:
     data = json.load(f)
-for section in ("screened", "unscreened", "incremental", "unpruned"):
+for section in ("screened", "unscreened", "incremental", "unpruned",
+                "cold", "unpruned_cold"):
     for field in ("newton_steps", "phase1_solves", "certificate_screens",
                   "seed_reuses", "incremental_screens",
-                  "rows_pruned", "polish_mints"):
+                  "rows_pruned", "polish_mints", "chain_reentries",
+                  "reduce_s", "family_build_s"):
         assert field in data[section], f"missing {section}.{field}"
         assert data[section][field] >= 0, f"negative {section}.{field}"
 assert data["tables_identical"] is True
@@ -57,6 +59,16 @@ assert data["screened"]["newton_steps"] > 0
 # (the unpruned ablation section, by construction, must not).
 assert data["screened"]["rows_pruned"] > 0
 assert data["unpruned"]["rows_pruned"] == 0
+# Wall-clock honesty: pruning must never again cost more clock than it
+# saves (the binary also asserts this before writing the JSON; checking
+# the persisted number keeps the telemetry itself trustworthy).
+assert data["pruning_cold_wall_ratio"] <= 1.10, data["pruning_cold_wall_ratio"]
+# The sweep-shared family structure is built once per context and its
+# cost is reported, not hidden inside the first cell.
+assert data["family_build_s"] >= 0
+# The pruned default run spends real (reported) time in the per-cell
+# reduction pass; the unpruned ablation spends none.
+assert data["unpruned"]["reduce_s"] == 0
 # Screened-window latency telemetry (the controller-ablation numbers).
 for field in ("screened_window_s", "bisection_window_s"):
     assert field in data, f"missing {field}"
@@ -69,8 +81,11 @@ assert data["incremental"]["seed_reuses"] >= 1
 print("telemetry check: ok "
       f"(screened {data['screened']['newton_steps']} newton steps, "
       f"{data['screened']['certificate_screens']} screens, "
-      f"{data['screened']['rows_pruned']} rows pruned; "
+      f"{data['screened']['rows_pruned']} rows pruned, "
+      f"{data['screened']['chain_reentries']} chain re-entries; "
       f"unpruned {data['unpruned']['newton_steps']} newton steps; "
+      f"cold wall ratio {data['pruning_cold_wall_ratio']:.2f}, "
+      f"family build {data['family_build_s']:.2f} s; "
       f"incremental {data['incremental']['newton_steps']} newton steps, "
       f"{data['incremental']['seed_reuses']} reused cells, "
       f"{data['incremental']['incremental_screens']} inherited screens; "

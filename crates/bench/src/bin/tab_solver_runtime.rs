@@ -69,7 +69,8 @@ fn stats_json(label: &str, s: &BuildStats) -> String {
         "  \"{label}\": {{\"threads\": {}, \"warm_started\": {}, \"solved_points\": {}, \
          \"newton_steps\": {}, \"phase1_solves\": {}, \"certificate_screens\": {}, \
          \"seed_reuses\": {}, \"incremental_screens\": {}, \
-         \"rows_pruned\": {}, \"polish_mints\": {}, \
+         \"rows_pruned\": {}, \"polish_mints\": {}, \"chain_reentries\": {}, \
+         \"reduce_s\": {:.4}, \"family_build_s\": {:.4}, \
          \"total_s\": {:.3}, \"mean_point_s\": {:.4}, \"max_point_s\": {:.4}, \
          \"points_per_s\": {:.3}}}",
         s.threads,
@@ -82,6 +83,9 @@ fn stats_json(label: &str, s: &BuildStats) -> String {
         s.incremental_screens,
         s.rows_pruned,
         s.polish_mints,
+        s.chain_reentries,
+        s.reduce_s,
+        s.family_build_s,
         s.total_s,
         s.mean_point_s,
         s.max_point_s,
@@ -178,6 +182,33 @@ fn quick_run() {
         stats.newton_steps, stats.rows_pruned, unpruned_stats.newton_steps,
     );
 
+    // Cold pruned-vs-unpruned wall-clock honesty on the quick grid: the
+    // PR-4 regression class ("fewer Newton steps, slower clock") must be
+    // impossible to land silently, so the ratio is asserted here too —
+    // as a ratio, not absolute seconds, to stay robust on slow CI.
+    let (cold_table, cold_stats) = quick_grid()
+        .warm_start(false)
+        .certificate_screening(false)
+        .build(&ctx)
+        .expect("quick cold build");
+    let (unpruned_cold_table, unpruned_cold_stats) = quick_grid()
+        .warm_start(false)
+        .certificate_screening(false)
+        .build(&unpruned_ctx)
+        .expect("quick unpruned cold build");
+    assert_tables_agree(&cold_table, &unpruned_cold_table);
+    let wall_ratio = cold_stats.total_s / unpruned_cold_stats.total_s.max(1e-9);
+    println!(
+        "quick cold wall: pruned {:.2}s vs unpruned {:.2}s (ratio {:.2}, reduce_s {:.3}, family_build_s {:.3})",
+        cold_stats.total_s, unpruned_cold_stats.total_s, wall_ratio,
+        cold_stats.reduce_s, cold_stats.family_build_s,
+    );
+    assert!(
+        cold_stats.total_s <= unpruned_cold_stats.total_s * 1.10,
+        "pruned cold sweep must not be slower in wall-clock than unpruned \
+         (ratio {wall_ratio:.2} > 1.10)"
+    );
+
     // Screened-window latency: the ROADMAP's missing controller number.
     let (screened_s, bisection_s, screened_windows) = screened_window_latency(&ctx);
     println!(
@@ -188,9 +219,11 @@ fn quick_run() {
 
     let json = format!(
         "{{\n  \"bench\": \"tab_solver_runtime_quick\",\n  \"platform\": \"niagara8\",\n  \
-         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n{},\n  \
+         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n  \
          \"screened_window_s\": {:.6},\n  \"bisection_window_s\": {:.6},\n  \
          \"screened_windows\": {screened_windows},\n  \
+         \"pruning_cold_wall_ratio\": {:.4},\n  \
+         \"family_build_s\": {:.4},\n  \
          \"incremental_identical\": true,\n  \"tables_identical\": true,\n  \
          \"pruning_verdicts_identical\": true\n}}\n",
         table.tstarts_c().len(),
@@ -199,8 +232,12 @@ fn quick_run() {
         stats_json("unscreened", &plain_stats),
         stats_json("incremental", &inc_stats),
         stats_json("unpruned", &unpruned_stats),
+        stats_json("cold", &cold_stats),
+        stats_json("unpruned_cold", &unpruned_cold_stats),
         screened_s,
         bisection_s,
+        wall_ratio,
+        stats.family_build_s,
     );
     write_text("tab_solver_runtime_quick.json", &json);
 }
@@ -445,6 +482,27 @@ fn main() {
          (got {:.1}%)",
         cold_saving * 100.0
     );
+    // Wall-clock honesty (the PR-4 lesson: the pruned cold sweep was
+    // *slower* than the unpruned one, 8.8 s vs 3.5 s, because the
+    // box-keyed pair analysis rebuilt per hot cell — Newton counts alone
+    // never showed it). The family's box-free analysis builds once; the
+    // pruned sweep must now win, or at worst tie within 10 %.
+    let wall_ratio = cold.total_s / unpruned_cold.total_s.max(1e-9);
+    println!(
+        "  cold wall-clock     : pruned {:.2} s vs unpruned {:.2} s (ratio {:.2}; \
+         reduce {:.3} s/sweep, family build {:.3} s once)",
+        cold.total_s, unpruned_cold.total_s, wall_ratio, cold.reduce_s, cold.family_build_s,
+    );
+    assert!(
+        cold.total_s <= unpruned_cold.total_s * 1.10,
+        "pruned cold sweep must not be slower in wall-clock than unpruned \
+         (ratio {wall_ratio:.2} > 1.10)"
+    );
+    println!(
+        "  warm chains         : {} re-entries kept the low-frequency columns' \
+         chains alive ({} warm-started)",
+        serial_warm.chain_reentries, serial_warm.warm_started,
+    );
 
     let (screened_s, bisection_s, screened_windows) = screened_window_latency(&ctx);
     println!(
@@ -460,6 +518,8 @@ fn main() {
          \"fine_grid_rows\": {},\n  \"fine_grid_cols\": {},\n  \
          \"incremental_identical\": true,\n  \
          \"pruning_cold_saving\": {:.4},\n  \"pruning_warm_saving\": {:.4},\n  \
+         \"pruning_cold_wall_ratio\": {wall_ratio:.4},\n  \
+         \"family_build_s\": {:.4},\n  \
          \"pruning_verdicts_identical\": true,\n  \
          \"screened_window_s\": {:.6},\n  \"bisection_window_s\": {:.6},\n  \
          \"speedup_total\": {:.3},\n  \"tables_identical\": true,\n  \
@@ -479,6 +539,7 @@ fn main() {
         fine_cold_art.table.ftargets_hz().len(),
         cold_saving,
         warm_saving,
+        cold.family_build_s,
         screened_s,
         bisection_s,
         speedup,

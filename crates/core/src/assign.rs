@@ -1,9 +1,14 @@
-use protemp_cvx::{BarrierSolver, CertScratch, Certificate, Problem, SolveStatus, SolverOptions};
+use std::sync::{Arc, OnceLock};
+
+use protemp_cvx::{
+    BarrierSolver, CellSeed, CertScratch, Certificate, FamilySolver, Problem, ProblemFamily,
+    ProblemView, SolveStatus, SolverOptions,
+};
 use protemp_sim::Platform;
 use protemp_thermal::{AffineReach, DiscreteModel, IntegrationMethod, RcNetwork};
 use serde::{Deserialize, Serialize};
 
-use crate::problem::{build_problem, f_var, p_var, tgrad_var};
+use crate::problem::{build_problem, f_var, fill_point_rhs, p_var, tgrad_var};
 use crate::{ControlConfig, Result};
 
 /// How many *freshly minted* infeasibility certificates a [`CertPool`]
@@ -67,11 +72,19 @@ impl CertPool {
         }
     }
 
-    /// `true` when some pooled certificate proves `prob` infeasible; the
-    /// winner moves to the front (neighbouring cells will hit it again).
-    pub(crate) fn screen(&mut self, prob: &Problem) -> bool {
+    /// `true` when some pooled certificate proves the viewed problem
+    /// infeasible; the winner moves to the front (neighbouring cells will
+    /// hit it again). Views come from a built [`Problem`]
+    /// (`prob.view()`) or a family + cell rhs
+    /// ([`ProblemFamily::view_with`]); verdicts are identical by
+    /// construction.
+    pub(crate) fn screen_view(&mut self, view: ProblemView<'_>) -> bool {
         let ws = &mut self.ws;
-        match self.entries.iter().position(|(c, _)| c.certifies(prob, ws)) {
+        match self
+            .entries
+            .iter()
+            .position(|(c, _)| c.certifies_view(view, ws))
+        {
             Some(hit) => {
                 if self.entries[hit].1 {
                     self.inherited_hits += 1;
@@ -84,36 +97,108 @@ impl CertPool {
     }
 }
 
-/// Blend factor pulling a warm-start point toward the strictly interior
-/// heuristic seed before it re-enters the barrier, applied only when the
-/// point hugs the boundary below [`WARM_DEGENERATE_SLACK`]. A neighbouring
-/// optimum can sit machine-epsilon-close to a degenerate constraint face
-/// (the pairwise gradient rows at low targets do this, with slacks down at
-/// `1e-17`), where the log barrier is numerically hopeless and every warm
-/// link stalls into a cold climb. The blend lifts those slacks into real
-/// `f64` territory while staying so close to the optimum that the warm
-/// re-centering still resumes at the neighbouring solve's final barrier
-/// parameter. Constraint concavity guarantees the blend of two feasible
-/// points stays feasible. Healthy warm points (slacks around `1/t_final`)
-/// are passed through untouched — blending those would only force a
-/// pointless partial re-climb.
+/// Legacy blend factor pulling a boundary-degenerate warm-start point a
+/// hair toward the strictly interior heuristic seed, used when
+/// [`SolverOptions::reentry_pullback`] is `0`. A neighbouring optimum can
+/// sit machine-epsilon-close to a degenerate constraint face (the pairwise
+/// gradient rows at low targets do this, with slacks down at `1e-17`),
+/// where the log barrier is numerically hopeless and every warm link
+/// stalls into a cold climb. The blend lifts those slacks into real `f64`
+/// territory while staying close to the optimum. Constraint concavity
+/// guarantees the blend of two feasible points stays feasible. Healthy
+/// warm points (slacks around `1/t_final`) are passed through untouched —
+/// blending those would only force a pointless partial re-climb.
+///
+/// The default *stall-proof re-entry* blends harder
+/// (`reentry_pullback = 1e-3` toward the interior heuristic, an
+/// analytic-center estimate): the hair's-breadth blend lifts a `1e-17`
+/// slack only to ~`1e-9` of the heuristic's clearance, still inside the
+/// numerically hopeless zone, which is why the 100–300 MHz columns' warm
+/// chains kept dying (ROADMAP item). The decision is a pure function of
+/// the seed and the target cell's own rows, so incremental replays (which
+/// carry seeds but no solver state) reproduce it exactly.
 const WARM_PULLBACK: f64 = 1e-7;
 
 /// Worst-slack threshold below which a warm-start point counts as
-/// degenerate and gets the [`WARM_PULLBACK`] blend.
+/// degenerate and gets the re-entry blend.
 const WARM_DEGENERATE_SLACK: f64 = 1e-12;
 
+/// A warm seed after the boundary-degeneracy check: the (possibly
+/// blended) start point plus whether the stall-proof re-entry fired
+/// (counted as `chain_reentries` by sweeps).
+struct PreparedSeed {
+    x: Vec<f64>,
+    reentry: bool,
+}
+
+/// Shared warm-seed preparation for the per-cell and family solve paths:
+/// measures the seed's worst slack against the target cell's own rows and
+/// applies the re-entry blend toward the interior heuristic when the seed
+/// is boundary-degenerate. Pure function of `(view, x0, options)` — the
+/// replay-safety contract.
+fn prepare_warm_seed(
+    view: ProblemView<'_>,
+    platform: &Platform,
+    cfg: &ControlConfig,
+    opts: &SolverOptions,
+    ftarget_hz: f64,
+    x0: &[f64],
+) -> PreparedSeed {
+    if view.max_violation(x0) > -WARM_DEGENERATE_SLACK {
+        let h = heuristic_start(platform, cfg, ftarget_hz);
+        let (alpha, reentry) = if opts.reentry_pullback > 0.0 {
+            (opts.reentry_pullback, true)
+        } else {
+            (WARM_PULLBACK, false)
+        };
+        let x = x0
+            .iter()
+            .zip(&h)
+            .map(|(&a, &b)| a + alpha * (b - a))
+            .collect();
+        PreparedSeed { x, reentry }
+    } else {
+        PreparedSeed {
+            x: x0.to_vec(),
+            reentry: false,
+        }
+    }
+}
+
 /// Pre-computed machinery for solving design points on one platform:
-/// the RC network, the discrete model and the reachability operator
-/// (which is independent of the starting temperature, so it is built once
-/// and shared across the whole Phase-1 sweep).
-#[derive(Debug, Clone)]
+/// the RC network, the discrete model, the reachability operator and the
+/// lazily-built sweep-shared [`ProblemFamily`] (all independent of the
+/// starting temperature, so they are built once and shared across the
+/// whole Phase-1 sweep).
+#[derive(Debug)]
 pub struct AssignmentContext {
     platform: Platform,
     cfg: ControlConfig,
     net: RcNetwork,
     reach: AffineReach,
     solver_opts: SolverOptions,
+    /// Sweep-shared problem structure, built on first use and shared (via
+    /// `Arc`) by every worker's [`FamilySolver`]. Reset whenever the
+    /// solver options change (the options shape the family's reduction
+    /// analysis and are part of the fingerprint).
+    family: OnceLock<Arc<ProblemFamily>>,
+}
+
+impl Clone for AssignmentContext {
+    fn clone(&self) -> Self {
+        let family = OnceLock::new();
+        if let Some(f) = self.family.get() {
+            let _ = family.set(Arc::clone(f));
+        }
+        AssignmentContext {
+            platform: self.platform.clone(),
+            cfg: self.cfg,
+            net: self.net.clone(),
+            reach: self.reach.clone(),
+            solver_opts: self.solver_opts,
+            family,
+        }
+    }
 }
 
 impl AssignmentContext {
@@ -140,6 +225,7 @@ impl AssignmentContext {
             net,
             reach,
             solver_opts: SolverOptions::fast(),
+            family: OnceLock::new(),
         })
     }
 
@@ -164,8 +250,11 @@ impl AssignmentContext {
     }
 
     /// Overrides the solver options (default: [`SolverOptions::fast`]).
+    /// Drops the cached [`ProblemFamily`], whose structure (and
+    /// fingerprint) the options participate in.
     pub fn set_solver_options(&mut self, opts: SolverOptions) {
         self.solver_opts = opts;
+        self.family = OnceLock::new();
     }
 
     /// The solver options design-point solves run with.
@@ -187,6 +276,42 @@ impl AssignmentContext {
         build_problem(&self.platform, &self.cfg, &self.reach, &offsets, ftarget_hz)
     }
 
+    /// The sweep-shared [`ProblemFamily`] for this context's design
+    /// points, built once on first use: every grid cell's problem shares
+    /// its coefficients, boxes, quadratic couplings, equalities and
+    /// objective — only the linear rhs vary (see
+    /// [`AssignmentContext::point_rhs_into`]). Workers clone the `Arc` and
+    /// solve through per-worker [`FamilySolver`]s; solves are
+    /// bit-identical to the per-cell [`BarrierSolver`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family cannot be built — impossible for validated
+    /// contexts (the same structures already solve through the per-cell
+    /// path).
+    pub fn family(&self) -> &Arc<ProblemFamily> {
+        self.family.get_or_init(|| {
+            let proto = self.point_problem(0.0, 0.0);
+            Arc::new(
+                ProblemFamily::new(proto, &self.solver_opts)
+                    .expect("design-point problems form a valid family"),
+            )
+        })
+    }
+
+    /// Fills `rhs` with the linear right-hand sides of the design point
+    /// `(offsets, ftarget_hz)` over the family's row layout: static (box)
+    /// entries come from the prototype, the workload and thermal entries
+    /// are recomputed — through the same `fill_point_rhs` the per-cell
+    /// [`AssignmentContext::point_problem`] path uses, so the two paths
+    /// produce bit-identical problems.
+    pub fn point_rhs_into(&self, offsets: &[Vec<f64>], ftarget_hz: f64, rhs: &mut Vec<f64>) {
+        let proto = self.family().prototype();
+        rhs.clear();
+        rhs.extend_from_slice(proto.lin_rhs());
+        fill_point_rhs(&self.platform, &self.cfg, offsets, ftarget_hz, rhs);
+    }
+
     /// A 64-bit fingerprint of everything that determines a design-point
     /// solve besides the grid coordinates: the platform (floorplan, thermal
     /// parameters, frequency/power envelope), the control configuration and
@@ -197,9 +322,19 @@ impl AssignmentContext {
     pub fn fingerprint(&self) -> u64 {
         // Debug formatting of f64 prints the shortest round-trip
         // representation, so the digest covers every bit of every
-        // parameter.
+        // parameter. The solver's semantic revision is folded in so that
+        // algorithm changes (which alter solves without moving any option
+        // field) retire persisted artifacts instead of replaying them as
+        // if they were still bit-identical.
         crate::io::fnv1a(
-            format!("{:?}|{:?}|{:?}", self.platform, self.cfg, self.solver_opts).as_bytes(),
+            format!(
+                "{:?}|{:?}|{:?}|rev{}",
+                self.platform,
+                self.cfg,
+                self.solver_opts,
+                protemp_cvx::SOLVER_REVISION
+            )
+            .as_bytes(),
         )
     }
 }
@@ -291,6 +426,10 @@ pub struct PointOutcome {
     /// `true` when the cell's infeasibility certificate was minted by the
     /// bounded polish continuation after a duality-gap-bound verdict.
     pub polished: bool,
+    /// `true` when the warm seed was boundary-degenerate and the
+    /// stall-proof re-entry blend fired before the solve (the sweeps'
+    /// `chain_reentries`).
+    pub reentry: bool,
     /// The solved point, or `None` when infeasible.
     pub solution: Option<SolvedPoint>,
 }
@@ -330,17 +469,20 @@ pub(crate) fn solve_built_problem(
     ftarget_hz: f64,
     warm: Option<&[f64]>,
 ) -> Result<(PointOutcome, Option<Certificate>)> {
+    let mut reentry = false;
     let sol = match warm {
-        Some(x0) if prob.max_violation(x0) > -WARM_DEGENERATE_SLACK => {
-            let h = heuristic_start(&ctx.platform, &ctx.cfg, ftarget_hz);
-            let blended: Vec<f64> = x0
-                .iter()
-                .zip(&h)
-                .map(|(&a, &b)| a + WARM_PULLBACK * (b - a))
-                .collect();
-            solver.solve_warm(prob, &blended)?
+        Some(x0) => {
+            let seed = prepare_warm_seed(
+                prob.view(),
+                &ctx.platform,
+                &ctx.cfg,
+                &ctx.solver_opts,
+                ftarget_hz,
+                x0,
+            );
+            reentry = seed.reentry;
+            solver.solve_warm(prob, &seed.x)?
         }
-        Some(x0) => solver.solve_warm(prob, x0)?,
         None => {
             // Cold solves still get a domain-informed seed: it satisfies
             // the workload and coupling constraints by construction, so
@@ -351,49 +493,77 @@ pub(crate) fn solve_built_problem(
             solver.solve_seeded(prob, &x0)?
         }
     };
-    let newton_steps = sol.newton_steps;
-    let phase1_steps = sol.phase1_steps;
-    let rows_pruned = sol.rows_pruned;
-    let polished = sol.polished;
-    match sol.status {
-        SolveStatus::Infeasible => Ok((
+    // `sol` is owned here (unlike the family path, which borrows the
+    // solver's reused buffer): take the certificate instead of cloning
+    // its multiplier vectors per infeasible cell.
+    let mut sol = sol;
+    let cert = sol.certificate.take();
+    let outcome = assemble_point_outcome(
+        ctx,
+        sol.status,
+        sol.x,
+        sol.objective,
+        sol.newton_steps,
+        sol.phase1_steps,
+        sol.rows_pruned,
+        sol.polished,
+        reentry,
+    );
+    let cert = if outcome.solution.is_none() {
+        cert
+    } else {
+        None
+    };
+    Ok((outcome, cert))
+}
+
+/// Maps a raw solver solution to a [`PointOutcome`] (frequency/power
+/// extraction for feasible points) — shared by the per-cell and family
+/// solve paths so their assembled assignments cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn assemble_point_outcome(
+    ctx: &AssignmentContext,
+    status: SolveStatus,
+    x: Vec<f64>,
+    objective: f64,
+    newton_steps: usize,
+    phase1_steps: usize,
+    rows_pruned: usize,
+    polished: bool,
+    reentry: bool,
+) -> PointOutcome {
+    match status {
+        SolveStatus::Infeasible => PointOutcome {
+            newton_steps,
+            phase1_steps,
+            screened: false,
+            rows_pruned,
+            polished,
+            reentry,
+            solution: None,
+        },
+        _ => {
+            let n = ctx.platform.num_cores();
+            let freqs_hz: Vec<f64> = (0..n)
+                .map(|i| x[f_var(i)].clamp(0.0, 1.0) * ctx.platform.fmax_hz)
+                .collect();
+            let powers_w: Vec<f64> = (0..n).map(|i| x[p_var(n, i)]).collect();
+            let tgrad_c = (ctx.cfg.tgrad_weight > 0.0).then(|| x[tgrad_var(n)]);
+            let assignment = FrequencyAssignment {
+                freqs_hz,
+                powers_w,
+                tgrad_c,
+                objective,
+            };
             PointOutcome {
                 newton_steps,
                 phase1_steps,
                 screened: false,
                 rows_pruned,
                 polished,
-                solution: None,
-            },
-            sol.certificate,
-        )),
-        _ => {
-            let n = ctx.platform.num_cores();
-            let freqs_hz: Vec<f64> = (0..n)
-                .map(|i| sol.x[f_var(i)].clamp(0.0, 1.0) * ctx.platform.fmax_hz)
-                .collect();
-            let powers_w: Vec<f64> = (0..n).map(|i| sol.x[p_var(n, i)]).collect();
-            let tgrad_c = (ctx.cfg.tgrad_weight > 0.0).then(|| sol.x[tgrad_var(n)]);
-            let assignment = FrequencyAssignment {
-                freqs_hz,
-                powers_w,
-                tgrad_c,
-                objective: sol.objective,
-            };
-            Ok((
-                PointOutcome {
-                    newton_steps,
-                    phase1_steps,
-                    screened: false,
-                    rows_pruned,
-                    polished,
-                    solution: Some(SolvedPoint {
-                        assignment,
-                        x: sol.x,
-                    }),
-                },
-                None,
-            ))
+                reentry,
+                solution: Some(SolvedPoint { assignment, x }),
+            }
         }
     }
 }
@@ -416,38 +586,133 @@ fn heuristic_start(platform: &Platform, cfg: &ControlConfig, ftarget_hz: f64) ->
     x0
 }
 
+/// Bounded cache of thermal-offset trajectories keyed by the starting
+/// temperature's bits. The table sweep revisits each grid temperature once
+/// per column, so caching turns `rows × cols` offset propagations into
+/// `rows`; the cap keeps controller-style callers (arbitrary observed
+/// temperatures) from growing without bound. Cached values are bit-equal
+/// to fresh computations (pure function), so reuse cannot move a solve.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OffsetsCache {
+    entries: Vec<(u64, Vec<Vec<f64>>)>,
+}
+
+/// Offset trajectories are a few hundred small vectors each; 64 entries
+/// cover any realistic grid while bounding worst-case memory.
+const MAX_OFFSETS_CACHE: usize = 64;
+
+impl OffsetsCache {
+    pub(crate) fn get(&mut self, ctx: &AssignmentContext, tstart_c: f64) -> &[Vec<f64>] {
+        let key = tstart_c.to_bits();
+        let pos = match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(p) => p,
+            None => {
+                // Evict the *newest* entry when full: sweeps revisit
+                // temperatures cyclically (column after column), where
+                // FIFO/LRU would evict exactly the entry about to be
+                // re-requested and the hit rate would collapse to zero
+                // for grids larger than the cache. Keeping the stable
+                // prefix caches the first MAX−1 temperatures forever and
+                // churns one slot.
+                if self.entries.len() >= MAX_OFFSETS_CACHE {
+                    self.entries.pop();
+                }
+                self.entries.push((key, ctx.offsets_for(tstart_c)));
+                self.entries.len() - 1
+            }
+        };
+        &self.entries[pos].1
+    }
+}
+
+/// The solver machinery behind a [`PointSolver`]: the sweep-shared family
+/// path (default — per-cell data only, zero per-cell allocation in the
+/// solver core) or the legacy per-cell path (a fresh [`Problem`] per
+/// point), kept for one-shot callers and the family-vs-per-cell identity
+/// harness. Both produce bit-identical tables.
+#[derive(Debug, Clone)]
+enum Backend {
+    Family {
+        solver: FamilySolver,
+        /// The prepared cell's linear rhs (family row layout).
+        rhs: Vec<f64>,
+        offsets: OffsetsCache,
+    },
+    PerCell {
+        solver: BarrierSolver,
+        /// The prepared cell's fully built problem.
+        prob: Option<Problem>,
+    },
+}
+
 /// A per-worker design-point solver: one [`AssignmentContext`] borrow plus
-/// an owned [`BarrierSolver`] whose scratch persists across points, and a
+/// an owned solver backend whose scratch persists across points, and a
 /// small MRU pool of infeasibility [`Certificate`]s harvested from failed
 /// phase-I runs.
 ///
+/// By default the solver runs through the context's sweep-shared
+/// [`ProblemFamily`]: [`PointSolver::prepare`] assembles only the cell's
+/// right-hand sides (offsets cached per temperature) and
+/// [`PointSolver::solve_current`] hands them to a [`FamilySolver`] — no
+/// per-cell problem construction, packing, or reduction re-analysis.
+/// [`PointSolver::new_per_cell`] selects the legacy path (a built
+/// [`Problem`] per point); the two produce bit-identical outcomes, which
+/// the family identity tests assert.
+///
 /// Each table-build worker thread owns one of these and chains warm starts
 /// through it; the MPC-style [`crate::OnlineController`] holds the same
-/// machinery (via [`solve_assignment_with`]) across DFS windows. With
-/// screening enabled ([`PointSolver::set_screening`]), every solve first
-/// tries to reject the point against the inherited certificates — one
-/// matvec each — before paying for phase I; the sweep's feasibility
-/// frontier is monotone in temperature and frequency, so one certificate
-/// typically kills every hotter/faster cell that follows it.
+/// machinery across DFS windows. With screening enabled
+/// ([`PointSolver::set_screening`]), every solve first tries to reject the
+/// point against the inherited certificates — one matvec each — before
+/// paying for phase I; the sweep's feasibility frontier is monotone in
+/// temperature and frequency, so one certificate typically kills every
+/// hotter/faster cell that follows it.
 #[derive(Debug, Clone)]
 pub struct PointSolver<'a> {
     ctx: &'a AssignmentContext,
-    solver: BarrierSolver,
+    backend: Backend,
     screening: bool,
     pool: CertPool,
     minted: Option<Certificate>,
+    /// The `(tstart, ftarget)` the backend currently holds prepared data
+    /// for.
+    prepared: Option<(f64, f64)>,
 }
 
 impl<'a> PointSolver<'a> {
-    /// Creates a solver for this context (screening off; the table builder
-    /// turns it on explicitly so one-shot callers keep the plain behavior).
+    /// Creates a family-backed solver for this context (screening off; the
+    /// table builder turns it on explicitly so one-shot callers keep the
+    /// plain behavior).
     pub fn new(ctx: &'a AssignmentContext) -> Self {
+        let family = Arc::clone(ctx.family());
         PointSolver {
             ctx,
-            solver: BarrierSolver::new(ctx.solver_opts),
+            backend: Backend::Family {
+                solver: FamilySolver::new(family, ctx.solver_opts),
+                rhs: Vec::new(),
+                offsets: OffsetsCache::default(),
+            },
             screening: false,
             pool: CertPool::default(),
             minted: None,
+            prepared: None,
+        }
+    }
+
+    /// Creates a solver on the legacy per-cell path (one built [`Problem`]
+    /// per point). Outcomes are bit-identical to [`PointSolver::new`]; the
+    /// family identity tests build tables through both.
+    pub fn new_per_cell(ctx: &'a AssignmentContext) -> Self {
+        PointSolver {
+            ctx,
+            backend: Backend::PerCell {
+                solver: BarrierSolver::new(ctx.solver_opts),
+                prob: None,
+            },
+            screening: false,
+            pool: CertPool::default(),
+            minted: None,
+            prepared: None,
         }
     }
 
@@ -455,6 +720,11 @@ impl<'a> PointSolver<'a> {
     /// callers can keep it across mutable uses of the solver).
     pub fn context(&self) -> &'a AssignmentContext {
         self.ctx
+    }
+
+    /// `true` when this solver runs through the sweep-shared family.
+    pub fn uses_family(&self) -> bool {
+        matches!(self.backend, Backend::Family { .. })
     }
 
     /// Enables or disables certificate screening for subsequent solves.
@@ -465,6 +735,25 @@ impl<'a> PointSolver<'a> {
     /// Number of infeasibility certificates currently held.
     pub fn certificate_count(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Cumulative wall-clock seconds this solver spent inside the per-cell
+    /// row-reduction pass (`reduce_s` telemetry).
+    pub fn reduce_seconds(&self) -> f64 {
+        match &self.backend {
+            Backend::Family { solver, .. } => solver.reduce_seconds(),
+            Backend::PerCell { solver, .. } => solver.reduce_seconds(),
+        }
+    }
+
+    /// Seconds the one-time shared-structure build took: the
+    /// [`ProblemFamily`] construction (family path) or the row-reduction
+    /// analysis build (per-cell path).
+    pub fn family_build_seconds(&self) -> f64 {
+        match &self.backend {
+            Backend::Family { solver, .. } => solver.family().build_seconds(),
+            Backend::PerCell { solver, .. } => solver.reduce_analysis_seconds(),
+        }
     }
 
     /// Seeds the screening pool with certificates inherited from a prior
@@ -488,10 +777,52 @@ impl<'a> PointSolver<'a> {
         self.minted.take()
     }
 
-    /// Checks the point against the inherited certificates only (no
+    /// Prepares the backend for one design point: the family path
+    /// assembles the cell's rhs (offsets cached per temperature), the
+    /// per-cell path builds the full problem. Must precede
+    /// [`PointSolver::screen_current`] / [`PointSolver::solve_current`].
+    pub fn prepare(&mut self, tstart_c: f64, ftarget_hz: f64) {
+        match &mut self.backend {
+            Backend::Family {
+                rhs,
+                offsets,
+                solver: _,
+            } => {
+                let off = offsets.get(self.ctx, tstart_c);
+                self.ctx.point_rhs_into(off, ftarget_hz, rhs);
+            }
+            Backend::PerCell { prob, .. } => {
+                *prob = Some(self.ctx.point_problem(tstart_c, ftarget_hz));
+            }
+        }
+        self.prepared = Some((tstart_c, ftarget_hz));
+    }
+
+    /// Checks the prepared point against the pooled certificates only (no
     /// solve): `true` means certified infeasible. Updates the MRU order on
     /// a hit. Useful to kill a cell before paying for warm-start
     /// continuation hops toward it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no point is prepared.
+    pub fn screen_current(&mut self) -> bool {
+        assert!(self.prepared.is_some(), "prepare() must precede screening");
+        if !self.screening || self.pool.is_empty() {
+            return false;
+        }
+        match &self.backend {
+            Backend::Family { solver, rhs, .. } => {
+                self.pool.screen_view(solver.family().view_with(rhs))
+            }
+            Backend::PerCell { prob, .. } => self
+                .pool
+                .screen_view(prob.as_ref().expect("prepared").view()),
+        }
+    }
+
+    /// Checks the point against the inherited certificates only (no
+    /// solve): `true` means certified infeasible.
     ///
     /// # Errors
     ///
@@ -501,19 +832,8 @@ impl<'a> PointSolver<'a> {
         if !self.screening || self.pool.is_empty() {
             return Ok(false);
         }
-        let prob = self.ctx.point_problem(tstart_c, ftarget_hz);
-        Ok(self.screen_problem(&prob))
-    }
-
-    /// As [`PointSolver::screen_infeasible`], but against an
-    /// already-built problem — the table builder constructs each cell's
-    /// problem once and reuses it for the screen and the solve.
-    pub(crate) fn screen_prepared(&mut self, prob: &Problem) -> bool {
-        self.screening && !self.pool.is_empty() && self.screen_problem(prob)
-    }
-
-    fn screen_problem(&mut self, prob: &Problem) -> bool {
-        self.pool.screen(prob)
+        self.prepare(tstart_c, ftarget_hz);
+        Ok(self.screen_current())
     }
 
     fn remember_certificate(&mut self, cert: Certificate) {
@@ -536,38 +856,102 @@ impl<'a> PointSolver<'a> {
         ftarget_hz: f64,
         warm: Option<&[f64]>,
     ) -> Result<PointOutcome> {
-        let prob = self.ctx.point_problem(tstart_c, ftarget_hz);
-        self.solve_prepared(&prob, ftarget_hz, warm, true)
+        self.prepare(tstart_c, ftarget_hz);
+        self.solve_current(warm, true)
     }
 
-    /// As [`PointSolver::solve_point`], against an already-built problem
-    /// (the builder's hot path — one problem construction per cell).
-    /// `screen` lets a caller that just ran [`PointSolver::screen_prepared`]
-    /// against an unchanged certificate pool skip the redundant re-check.
-    pub(crate) fn solve_prepared(
-        &mut self,
-        prob: &Problem,
-        ftarget_hz: f64,
-        warm: Option<&[f64]>,
-        screen: bool,
-    ) -> Result<PointOutcome> {
-        if screen && self.screening && self.screen_problem(prob) {
+    /// Solves the prepared design point (the builder's hot path — one
+    /// preparation per cell serves the screen and the solve). `screen`
+    /// lets a caller that just ran [`PointSolver::screen_current`] against
+    /// an unchanged certificate pool skip the redundant re-check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical solver failures; infeasibility is *not* an
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no point is prepared.
+    pub fn solve_current(&mut self, warm: Option<&[f64]>, screen: bool) -> Result<PointOutcome> {
+        let (_, ftarget_hz) = self.prepared.expect("prepare() must precede solving");
+        if screen && self.screening && !self.pool.is_empty() && self.screen_current() {
             return Ok(PointOutcome {
                 newton_steps: 0,
                 phase1_steps: 0,
                 screened: true,
                 rows_pruned: 0,
                 polished: false,
+                reentry: false,
                 solution: None,
             });
         }
-        let (outcome, cert) =
-            solve_built_problem(self.ctx, &mut self.solver, prob, ftarget_hz, warm)?;
+        let ctx = self.ctx;
+        let (outcome, cert) = match &mut self.backend {
+            Backend::Family { solver, rhs, .. } => {
+                solve_family_cell(ctx, solver, rhs, ftarget_hz, warm)?
+            }
+            Backend::PerCell { solver, prob } => {
+                let prob = prob.as_ref().expect("prepared");
+                solve_built_problem(ctx, solver, prob, ftarget_hz, warm)?
+            }
+        };
         if let Some(cert) = cert {
             self.remember_certificate(cert);
         }
         Ok(outcome)
     }
+}
+
+/// Solves one family cell (given its rhs) with the shared warm-seed
+/// preparation and outcome assembly — the family-path mirror of
+/// [`solve_built_problem`], used by [`PointSolver`] and the MPC-style
+/// [`crate::OnlineController`].
+pub(crate) fn solve_family_cell(
+    ctx: &AssignmentContext,
+    solver: &mut FamilySolver,
+    rhs: &[f64],
+    ftarget_hz: f64,
+    warm: Option<&[f64]>,
+) -> Result<(PointOutcome, Option<Certificate>)> {
+    let mut reentry = false;
+    let seed: Option<Vec<f64>> = warm.map(|x0| {
+        let ps = prepare_warm_seed(
+            solver.family().view_with(rhs),
+            &ctx.platform,
+            &ctx.cfg,
+            &ctx.solver_opts,
+            ftarget_hz,
+            x0,
+        );
+        reentry = ps.reentry;
+        ps.x
+    });
+    let sol = match &seed {
+        Some(x) => solver.solve_cell(rhs, CellSeed::Warm(x))?,
+        None => {
+            let h = heuristic_start(&ctx.platform, &ctx.cfg, ftarget_hz);
+            solver.solve_cell(rhs, CellSeed::Seeded(&h))?
+        }
+    };
+    let cert = sol.certificate.clone();
+    let outcome = assemble_point_outcome(
+        ctx,
+        sol.status,
+        sol.x.clone(),
+        sol.objective,
+        sol.newton_steps,
+        sol.phase1_steps,
+        sol.rows_pruned,
+        sol.polished,
+        reentry,
+    );
+    let cert = if outcome.solution.is_none() {
+        cert
+    } else {
+        None
+    };
+    Ok((outcome, cert))
 }
 
 /// Checks feasibility only (phase I), without polishing to an optimum.

@@ -72,6 +72,19 @@ pub struct BuildStats {
     /// bounded polish continuation (the duality-gap-bound verdicts that
     /// would previously have left no usable proof behind).
     pub polish_mints: u64,
+    /// Warm-chain links whose seed arrived boundary-degenerate (worst
+    /// slack under ~1e-12 — a plateau-stalled neighbour) and got the
+    /// stall-proof re-entry blend toward the cell's interior heuristic
+    /// before the solve, instead of poisoning the chain into a cold climb.
+    pub chain_reentries: u64,
+    /// Wall-clock seconds spent inside the per-cell row-reduction pass,
+    /// summed over workers — the honest cost of pruning, which
+    /// `newton_steps` alone cannot show.
+    pub reduce_s: f64,
+    /// Wall-clock seconds the one-time sweep-shared structure build took
+    /// (the [`crate::AssignmentContext::family`] construction, row-pair
+    /// analysis included); paid once per context, not per sweep.
+    pub family_build_s: f64,
 }
 
 impl BuildStats {
@@ -130,6 +143,7 @@ pub struct TableBuilder {
     threads: usize,
     warm_start: bool,
     certificate_screening: bool,
+    use_family: bool,
 }
 
 impl Default for TableBuilder {
@@ -142,6 +156,7 @@ impl Default for TableBuilder {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             warm_start: true,
             certificate_screening: true,
+            use_family: true,
         }
     }
 }
@@ -158,6 +173,8 @@ struct ChunkStats {
     inherited_screens: u64,
     rows_pruned: u64,
     polish_mints: u64,
+    chain_reentries: u64,
+    reduce_s: f64,
 }
 
 /// One worker's chunk of columns: chunk-local column-major entries and
@@ -222,6 +239,16 @@ impl TableBuilder {
     /// on or off — only the Newton-step count changes (property-tested).
     pub fn certificate_screening(mut self, on: bool) -> Self {
         self.certificate_screening = on;
+        self
+    }
+
+    /// Selects the solver backend (default: the sweep-shared
+    /// [`crate::AssignmentContext::family`] path, which hoists every
+    /// cell-invariant structure out of the per-cell loop). `false` builds
+    /// through the legacy per-cell path — bit-identical tables, more
+    /// wall-clock; kept for the family identity tests and A/B benches.
+    pub fn use_family(mut self, on: bool) -> Self {
+        self.use_family = on;
         self
     }
 
@@ -338,6 +365,15 @@ impl TableBuilder {
         // and never cross a chunk.
         let cols_per_chunk = cols.div_ceil(workers.max(1)).max(1);
         let col_chunks: Vec<&[f64]> = self.ftargets_hz.chunks(cols_per_chunk).collect();
+        // Build the sweep-shared family before the workers spawn so its
+        // one-time cost is visible as `family_build_s` instead of hiding
+        // inside one worker's first cell.
+        let family_build_s = if self.use_family {
+            ctx.family().build_seconds()
+        } else {
+            0.0
+        };
+        let use_family = self.use_family;
         let chunk_outcomes: Vec<ChunkResult> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(col_chunks.len());
             for chunk in &col_chunks {
@@ -345,7 +381,11 @@ impl TableBuilder {
                 let warm_start = self.warm_start;
                 let screening = self.certificate_screening;
                 handles.push(scope.spawn(move || {
-                    let mut solver = PointSolver::new(ctx);
+                    let mut solver = if use_family {
+                        PointSolver::new(ctx)
+                    } else {
+                        PointSolver::new_per_cell(ctx)
+                    };
                     solver.set_screening(screening);
                     // Replay is only sound when the prior chained the same
                     // way this build does (the decisions being replayed
@@ -380,6 +420,7 @@ impl TableBuilder {
                         )?;
                     }
                     stats.inherited_screens = solver.inherited_screens();
+                    stats.reduce_s = solver.reduce_seconds();
                     Ok((entries, records, times, minted, stats))
                 }));
             }
@@ -420,6 +461,8 @@ impl TableBuilder {
             totals.inherited_screens += stats.inherited_screens;
             totals.rows_pruned += stats.rows_pruned;
             totals.polish_mints += stats.polish_mints;
+            totals.chain_reentries += stats.chain_reentries;
+            totals.reduce_s += stats.reduce_s;
             certificates.extend(minted);
             let mut it = entries.into_iter().zip(records).zip(times);
             for local_col in 0..chunk.len() {
@@ -480,6 +523,9 @@ impl TableBuilder {
             incremental_screens: totals.inherited_screens,
             rows_pruned: totals.rows_pruned,
             polish_mints: totals.polish_mints,
+            chain_reentries: totals.chain_reentries,
+            reduce_s: totals.reduce_s,
+            family_build_s,
         };
         let table = FrequencyTable::new(
             self.tstarts_c.clone(),
@@ -527,7 +573,6 @@ fn solve_column(
     stats: &mut ChunkStats,
     minted: &mut Vec<StoredCertificate>,
 ) -> Result<()> {
-    let ctx = solver.context();
     let mut chain = ColumnChain {
         prev: None,
         baseline: None,
@@ -613,15 +658,16 @@ fn solve_column(
             continue;
         }
         let t0 = Instant::now();
-        // Build the cell's problem once; it serves the pre-hop screen and
-        // the final solve.
-        let prob = ctx.point_problem(tstart, ftarget);
+        // Prepare the cell once (family path: just its rhs vector; legacy
+        // path: the built problem); it serves the pre-hop screen and the
+        // final solve.
+        solver.prepare(tstart, ftarget);
         // Screen the target against inherited certificates before paying
         // for continuation hops toward it: a certified cell (usually the
         // frontier crossing, already proven in a lower column) dies for
         // the cost of one matvec.
         let pre_screened = chain.prev.is_some();
-        if pre_screened && solver.screen_prepared(&prob) {
+        if pre_screened && solver.screen_current() {
             // Screened cells record no time, like pruned cells:
             // `mean_point_s` averages over actual solver runs only.
             stats.certificate_screens += 1;
@@ -656,6 +702,9 @@ fn solve_column(
                     let hop = solver.solve_point(tk, ftarget, Some(&x))?;
                     hops_ran = true;
                     cell_cost += hop.newton_steps as u64;
+                    if hop.reentry {
+                        stats.chain_reentries += 1;
+                    }
                     if hop.phase1_steps > 0 {
                         stats.phase1_solves += 1;
                         cell_phase1 = true;
@@ -682,9 +731,14 @@ fn solve_column(
         }
         // Re-screen only when the pool could have changed since the
         // pre-hop screen (a hop may have minted a certificate), or when no
-        // pre-screen ran at all (column's first cell).
+        // pre-screen ran at all (column's first cell). Continuation hops
+        // re-prepared the solver for their own sub-cells, so the final
+        // solve re-prepares this cell first.
+        if hops_ran {
+            solver.prepare(tstart, ftarget);
+        }
         let rescreen = !pre_screened || hops_ran;
-        let solved = solver.solve_prepared(&prob, ftarget, carry.as_deref(), rescreen)?;
+        let solved = solver.solve_current(carry.as_deref(), rescreen)?;
         if !solved.screened {
             times[entries.len()] = t0.elapsed().as_secs_f64();
         }
@@ -715,6 +769,9 @@ fn solve_column(
         }
         if carry.is_some() {
             stats.warm_used += 1;
+        }
+        if solved.reentry {
+            stats.chain_reentries += 1;
         }
         cell_cost += solved.newton_steps as u64;
         stats.newton += cell_cost;

@@ -1,7 +1,9 @@
-use protemp_cvx::{BarrierSolver, Certificate};
+use std::sync::Arc;
+
+use protemp_cvx::{Certificate, FamilySolver};
 use protemp_sim::{DfsPolicy, Observation, Platform};
 
-use crate::assign::{solve_built_problem, CertPool};
+use crate::assign::{solve_family_cell, CertPool, OffsetsCache};
 use crate::{AssignmentContext, FrequencyTable, LookupOutcome};
 
 /// Phase 2 of Pro-Temp: the run-time controller (paper Section 3.3).
@@ -116,7 +118,9 @@ impl DfsPolicy for ProTempController {
 #[derive(Debug, Clone)]
 pub struct OnlineController {
     ctx: AssignmentContext,
-    solver: BarrierSolver,
+    solver: FamilySolver,
+    rhs: Vec<f64>,
+    offsets: OffsetsCache,
     pool: CertPool,
     last_x: Option<Vec<f64>>,
     solves: u64,
@@ -126,12 +130,19 @@ pub struct OnlineController {
 }
 
 impl OnlineController {
-    /// Creates the online controller.
+    /// Creates the online controller. Window solves run through the
+    /// context's sweep-shared [`crate::AssignmentContext::family`]: per
+    /// window only the rhs vector is assembled (the observed temperature's
+    /// offsets plus the demanded workload bound), and the solver core
+    /// allocates nothing — the structure the family hoisted is exactly
+    /// what an MPC re-solve shares with its predecessor.
     pub fn new(ctx: AssignmentContext) -> Self {
-        let solver = BarrierSolver::new(*ctx.solver_options());
+        let solver = FamilySolver::new(Arc::clone(ctx.family()), *ctx.solver_options());
         OnlineController {
             ctx,
             solver,
+            rhs: Vec::new(),
+            offsets: OffsetsCache::default(),
             pool: CertPool::default(),
             last_x: None,
             solves: 0,
@@ -186,12 +197,16 @@ impl DfsPolicy for OnlineController {
         // first, then halve until feasible (few iterations in practice).
         let mut target = obs.required_avg_freq_hz.min(platform.fmax_hz);
         for _ in 0..6 {
-            let prob = self.ctx.point_problem(obs.max_core_temp, target);
+            let off = self.offsets.get(&self.ctx, obs.max_core_temp);
+            self.ctx.point_rhs_into(off, target, &mut self.rhs);
             // One matvec per pooled certificate before any solve: a
             // transiently infeasible window dies here instead of running
             // phase I, and the bisection drops straight to a halved
             // target.
-            if self.pool.screen(&prob) {
+            if self
+                .pool
+                .screen_view(self.solver.family().view_with(&self.rhs))
+            {
                 self.screened += 1;
                 self.infeasible += 1;
                 target *= 0.5;
@@ -201,10 +216,10 @@ impl DfsPolicy for OnlineController {
                 continue;
             }
             let warm_attempted = self.last_x.is_some();
-            match solve_built_problem(
+            match solve_family_cell(
                 &self.ctx,
                 &mut self.solver,
-                &prob,
+                &self.rhs,
                 target,
                 self.last_x.as_deref(),
             ) {

@@ -12,10 +12,12 @@
 //! matvec, no solve). [`FrontierPoint::probes`] records how much work that
 //! saved.
 
-use protemp_cvx::{BarrierSolver, Certificate};
+use std::sync::Arc;
+
+use protemp_cvx::{Certificate, FamilySolver};
 use serde::{Deserialize, Serialize};
 
-use crate::assign::CertPool;
+use crate::assign::{CertPool, OffsetsCache};
 use crate::{solve_assignment, AssignmentContext, FrequencyAssignment, Result};
 
 /// Probe accounting for one frontier point.
@@ -56,13 +58,18 @@ pub struct FrontierPoint {
     pub probes: ProbeStats,
 }
 
-/// Reusable probe machinery: one solver (scratch persists), the last
-/// feasible point as a phase-I seed, and a pool of infeasibility
-/// certificates — minted by failed probes, optionally seeded from a
-/// persisted prior build — as a screen.
+/// Reusable probe machinery: one sweep-shared [`FamilySolver`] (scratch
+/// and family structure persist — a bisection's probes differ only in the
+/// workload rhs, and consecutive temperatures only in the offsets, so the
+/// family path turns each probe into one rhs fill), the last feasible
+/// point as a phase-I seed, and a pool of infeasibility certificates —
+/// minted by failed probes, optionally seeded from a persisted prior
+/// build — as a screen.
 struct FrontierProber<'a> {
     ctx: &'a AssignmentContext,
-    solver: BarrierSolver,
+    solver: FamilySolver,
+    rhs: Vec<f64>,
+    offsets: OffsetsCache,
     seed: Option<Vec<f64>>,
     pool: CertPool,
     stats: ProbeStats,
@@ -72,7 +79,9 @@ impl<'a> FrontierProber<'a> {
     fn new(ctx: &'a AssignmentContext) -> Self {
         FrontierProber {
             ctx,
-            solver: BarrierSolver::new(*ctx.solver_options()),
+            solver: FamilySolver::new(Arc::clone(ctx.family()), *ctx.solver_options()),
+            rhs: Vec::new(),
+            offsets: OffsetsCache::default(),
             seed: None,
             pool: CertPool::default(),
             stats: ProbeStats::default(),
@@ -82,21 +91,25 @@ impl<'a> FrontierProber<'a> {
     /// One feasibility probe at `(tstart_c, ftarget_hz)`.
     fn check(&mut self, tstart_c: f64, ftarget_hz: f64) -> Result<bool> {
         self.stats.probes += 1;
-        let prob = self.ctx.point_problem(tstart_c, ftarget_hz);
-        if self.pool.screen(&prob) {
+        let off = self.offsets.get(self.ctx, tstart_c);
+        self.ctx.point_rhs_into(off, ftarget_hz, &mut self.rhs);
+        if self
+            .pool
+            .screen_view(self.solver.family().view_with(&self.rhs))
+        {
             self.stats.screened += 1;
             return Ok(false);
         }
         let had_seed = self.seed.is_some();
         let out = self
             .solver
-            .find_feasible_with(&prob, self.seed.as_deref())?;
+            .find_feasible_cell(&self.rhs, self.seed.as_deref())?;
         self.stats.newton_steps += out.newton_steps as u64;
         self.stats.rows_pruned += out.rows_pruned as u64;
         if out.polished {
             self.stats.polish_mints += 1;
         }
-        match out.point {
+        match &out.point {
             Some(x) => {
                 // Only a zero-cost accept *of the carried seed* counts as a
                 // seeded hit; trivially feasible unseeded probes (the f = 0
@@ -104,11 +117,12 @@ impl<'a> FrontierProber<'a> {
                 if had_seed && out.newton_steps == 0 {
                     self.stats.seeded_hits += 1;
                 }
-                self.seed = Some(x);
+                self.seed = Some(x.clone());
                 Ok(true)
             }
             None => {
-                if let Some(cert) = out.certificate {
+                let cert = out.certificate.clone();
+                if let Some(cert) = cert {
                     self.pool.remember(cert);
                 }
                 Ok(false)

@@ -48,6 +48,15 @@ pub(crate) const fn tgrad_var(n: usize) -> usize {
 /// exactly when no frequency assignment can hold every core below
 /// `t_max − margin` for the whole window while averaging `f_target`.
 ///
+/// Internally this is the family decomposition: the *structure*
+/// ([`build_point_structure`] — coefficients, boxes, quads, equalities,
+/// objective) is a pure function of platform/config/reach and is identical
+/// for every design point, while [`fill_point_rhs`] writes the only data
+/// that varies with `(tstart, ftarget)` — the workload bound and the
+/// thermal offsets — into the rhs vector. The sweep-shared family path
+/// calls `fill_point_rhs` alone per cell; routing this function through
+/// the same filler keeps the two paths bit-identical by construction.
+///
 /// # Panics
 ///
 /// Panics if `offsets` does not match the reach horizon (programmer error).
@@ -58,10 +67,26 @@ pub fn build_problem(
     offsets: &[Vec<f64>],
     ftarget_hz: f64,
 ) -> Problem {
-    let n = platform.num_cores();
-    let m = reach.steps();
-    assert_eq!(offsets.len(), m, "offsets must cover the whole horizon");
+    assert_eq!(
+        offsets.len(),
+        reach.steps(),
+        "offsets must cover the whole horizon"
+    );
+    let mut prob = build_point_structure(platform, cfg, reach);
+    fill_point_rhs(platform, cfg, offsets, ftarget_hz, prob.lin_rhs_mut());
+    prob
+}
 
+/// The design-point structure shared by every cell of one platform/config
+/// sweep: every coefficient, box, quadratic coupling, equality and the
+/// objective. The per-cell linear rhs entries (workload + thermal rows)
+/// are left at a placeholder `0.0` for [`fill_point_rhs`] to overwrite.
+pub(crate) fn build_point_structure(
+    platform: &Platform,
+    cfg: &ControlConfig,
+    reach: &AffineReach,
+) -> Problem {
+    let n = platform.num_cores();
     let use_grad = cfg.tgrad_weight > 0.0;
     let nv = 2 * n + 1;
     let mut prob = Problem::new(nv);
@@ -92,38 +117,30 @@ pub fn build_problem(
         prob.add_quad_le(Matrix::from_diag(&diag), lin, 0.0);
     }
 
-    // Workload: Σφ ≥ n·f_target/f_max. Relaxed by 0.2% so that the extreme
-    // point f_target = f_max keeps a strictly feasible interior (otherwise
-    // Σφ ≥ n with φ ≤ 1 pins every frequency to exactly 1 and the
-    // interior-point method cannot certify the singleton as feasible).
-    let fr = (ftarget_hz / platform.fmax_hz).clamp(0.0, 1.0) * (1.0 - 2e-3);
+    // Workload row: Σφ ≥ n·f_target/f_max (rhs filled per cell).
     let mut row = vec![0.0; nv];
     for ri in row.iter_mut().take(n) {
         *ri = -1.0;
     }
-    prob.add_linear_le(row, -(n as f64) * fr);
+    prob.add_linear_le(row, 0.0);
 
-    // Temperature limits at every step: (H_k p)_i ≤ t_max − δ − o_k[i].
-    let limit = cfg.tmax_c - cfg.margin_c;
-    for (k, off) in offsets.iter().enumerate() {
+    // Temperature limits at every step: (H_k p)_i ≤ t_max − δ − o_k[i]
+    // (rhs filled per cell).
+    for k in 0..reach.steps() {
         let h = &reach.sensitivities()[k];
         for i in 0..n {
             let mut row = vec![0.0; nv];
             for j in 0..n {
                 row[p_var(n, j)] = h[(i, j)];
             }
-            prob.add_linear_le(row, limit - off[i]);
+            prob.add_linear_le(row, 0.0);
         }
     }
 
     // Pairwise gradient constraints (Equation (4)), subsampled by stride:
-    // (H_k p + o_k)_i − (H_k p + o_k)_j ≤ t_grad.
+    // (H_k p + o_k)_i − (H_k p + o_k)_j ≤ t_grad (rhs filled per cell).
     if use_grad {
-        for (k, off) in offsets
-            .iter()
-            .enumerate()
-            .step_by(cfg.gradient_stride.max(1))
-        {
+        for k in (0..reach.steps()).step_by(cfg.gradient_stride.max(1)) {
             let h = &reach.sensitivities()[k];
             for i in 0..n {
                 for j in 0..n {
@@ -135,7 +152,7 @@ pub fn build_problem(
                         row[p_var(n, c)] = h[(i, c)] - h[(j, c)];
                     }
                     row[tgrad_var(n)] = -1.0;
-                    prob.add_linear_le(row, off[j] - off[i]);
+                    prob.add_linear_le(row, 0.0);
                 }
             }
         }
@@ -152,6 +169,76 @@ pub fn build_problem(
     }
 
     prob
+}
+
+/// Writes one design point's cell-varying linear rhs entries — the
+/// workload bound (moves with `ftarget`) and the temperature/gradient rows
+/// (move with the starting temperature through `offsets`) — into `rhs`,
+/// which must already hold the structure's static entries (the box rows).
+/// The single source of per-cell values for both the per-cell and the
+/// family solve paths, so they cannot drift apart.
+///
+/// # Panics
+///
+/// Panics if `rhs` does not match the structure's row count.
+pub(crate) fn fill_point_rhs(
+    platform: &Platform,
+    cfg: &ControlConfig,
+    offsets: &[Vec<f64>],
+    ftarget_hz: f64,
+    rhs: &mut [f64],
+) {
+    let n = platform.num_cores();
+    let use_grad = cfg.tgrad_weight > 0.0;
+    // Hard layout check up front (not a trailing debug_assert): the static
+    // prefix below is derived in parallel with `build_point_structure`'s
+    // add_box calls, and writing into a mis-laid-out vector must fail
+    // loudly before the first store, in release builds too.
+    let m = offsets.len();
+    let grad_rows = if use_grad {
+        n * (n - 1) * m.div_ceil(cfg.gradient_stride.max(1))
+    } else {
+        0
+    };
+    assert_eq!(
+        rhs.len(),
+        (4 * n + 2) + 1 + m * n + grad_rows,
+        "rhs does not match the design-point row layout"
+    );
+
+    // Workload: Σφ ≥ n·f_target/f_max. Relaxed by 0.2% so that the extreme
+    // point f_target = f_max keeps a strictly feasible interior (otherwise
+    // Σφ ≥ n with φ ≤ 1 pins every frequency to exactly 1 and the
+    // interior-point method cannot certify the singleton as feasible).
+    let fr = (ftarget_hz / platform.fmax_hz).clamp(0.0, 1.0) * (1.0 - 2e-3);
+    // Row layout: 4 box rows per core + 2 t_grad box rows, then the
+    // workload row, the temperature rows, the gradient rows.
+    let mut idx = 4 * n + 2;
+    rhs[idx] = -(n as f64) * fr;
+    idx += 1;
+
+    let limit = cfg.tmax_c - cfg.margin_c;
+    for off in offsets {
+        for oi in off.iter().take(n) {
+            rhs[idx] = limit - oi;
+            idx += 1;
+        }
+    }
+
+    if use_grad {
+        for off in offsets.iter().step_by(cfg.gradient_stride.max(1)) {
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    rhs[idx] = off[j] - off[i];
+                    idx += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(idx, rhs.len(), "rhs layout must cover every row");
 }
 
 #[cfg(test)]

@@ -1,0 +1,123 @@
+//! Family-vs-per-cell identity harness for the sweep-shared
+//! [`ProblemFamily`] path.
+//!
+//! The contract under test is the tentpole's headline claim: building a
+//! Phase-1 table through the sweep-shared family
+//! (`TableBuilder::use_family(true)`, the default — per-cell data only,
+//! zero per-cell re-analysis) produces **bit-identical** tables, per-cell
+//! records (statuses, Newton costs, optimizer points) and minted
+//! certificates to the legacy per-cell path (`use_family(false)`, a fresh
+//! `Problem` per point), at any thread count. The family path may only be
+//! faster — never different.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use protemp::{AssignmentContext, ControlConfig, TableBuilder};
+use protemp_sim::Platform;
+
+fn assert_paths_identical(
+    builder: &TableBuilder,
+    ctx: &AssignmentContext,
+) -> Result<(), TestCaseError> {
+    for threads in [1usize, 3] {
+        let (fam_art, fam_stats) = builder
+            .clone()
+            .threads(threads)
+            .use_family(true)
+            .build_artifact(ctx)
+            .unwrap();
+        let (cell_art, cell_stats) = builder
+            .clone()
+            .threads(threads)
+            .use_family(false)
+            .build_artifact(ctx)
+            .unwrap();
+        prop_assert_eq!(
+            &fam_art.table,
+            &cell_art.table,
+            "tables must be bit-identical ({} threads)",
+            threads
+        );
+        prop_assert_eq!(
+            &fam_art.cells,
+            &cell_art.cells,
+            "per-cell records (verdicts, newton, x) must be bit-identical"
+        );
+        prop_assert_eq!(
+            &fam_art.certificates,
+            &cell_art.certificates,
+            "minted certificates must be bit-identical"
+        );
+        // Every deterministic work counter agrees too — the family hoists
+        // structure, it must not change what the solver computes.
+        prop_assert_eq!(fam_stats.newton_steps, cell_stats.newton_steps);
+        prop_assert_eq!(fam_stats.phase1_solves, cell_stats.phase1_solves);
+        prop_assert_eq!(fam_stats.warm_started, cell_stats.warm_started);
+        prop_assert_eq!(
+            fam_stats.certificate_screens,
+            cell_stats.certificate_screens
+        );
+        prop_assert_eq!(fam_stats.rows_pruned, cell_stats.rows_pruned);
+        prop_assert_eq!(fam_stats.polish_mints, cell_stats.polish_mints);
+        prop_assert_eq!(fam_stats.chain_reentries, cell_stats.chain_reentries);
+    }
+    Ok(())
+}
+
+/// Deterministic anchor on the paper's default model: a grid spanning the
+/// feasibility frontier (hot rows force certificates, monotone pruning and
+/// the harvested-box changes that used to rebuild the reduction analysis).
+#[test]
+fn family_path_identical_on_the_default_model() {
+    let platform = Platform::niagara8();
+    let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+    let builder = TableBuilder::new()
+        .tstarts(vec![55.0, 85.0, 100.0])
+        .ftargets(vec![0.2e9, 0.4e9, 0.6e9]);
+    assert_paths_identical(&builder, &ctx).unwrap();
+}
+
+proptest! {
+    // Each case builds four small tables (2 paths × 2 thread counts) on a
+    // reduced horizon; keep the count modest so the suite stays
+    // minutes-cheap.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random contexts (temperature limit, margin, gradient weight and
+    /// stride, window length) and random grids: tables, records and
+    /// certificates must be bit-identical between the family and per-cell
+    /// paths, every time. `AssignmentContext::new` validates each drawn
+    /// config, so the generator stays inside the model's legal envelope by
+    /// construction.
+    #[test]
+    fn family_path_identical_for_random_contexts(
+        tmax in 92.0..108.0f64,
+        margin in 0.2..0.8f64,
+        tgrad_weight in 0.4..2.0f64,
+        stride in 2usize..8,
+        window_choice in 0usize..2,
+        t_lo in 40.0..60.0f64,
+        t_span in 25.0..45.0f64,
+        f_lo in 0.1..0.3f64,
+        f_span in 0.3..0.6f64,
+    ) {
+        let platform = Platform::niagara8();
+        let cfg = ControlConfig {
+            tmax_c: tmax,
+            margin_c: margin,
+            tgrad_weight,
+            gradient_stride: stride,
+            // 25 ms or 50 ms windows: 63/125-step horizons keep each build
+            // cheap while preserving the full constraint structure.
+            dfs_period_us: if window_choice == 0 { 25_200 } else { 50_000 },
+            ..ControlConfig::default()
+        };
+        let ctx = AssignmentContext::new(&platform, &cfg).unwrap();
+        let tstarts = vec![t_lo, t_lo + t_span / 2.0, t_lo + t_span];
+        let ftargets = vec![f_lo * 1e9, (f_lo + f_span / 2.0) * 1e9, (f_lo + f_span) * 1e9];
+        let builder = TableBuilder::new()
+            .tstarts(tstarts)
+            .ftargets(ftargets);
+        assert_paths_identical(&builder, &ctx)?;
+    }
+}

@@ -1,4 +1,4 @@
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use protemp_linalg::{vecops, Matrix, Qr};
 
@@ -66,6 +66,13 @@ fn debug_enabled() -> bool {
 /// phase I — the Phase-1 table sweep and the MPC-style online controller
 /// both re-solve from a neighbouring optimum this way.
 ///
+/// For *sweeps* of near-identical problems — same coefficients, varying
+/// right-hand sides — prefer [`crate::ProblemFamily`] +
+/// [`crate::FamilySolver`]: the family hoists everything cell-invariant
+/// (packed rows, the row-reduction analysis, the equality QR, the phase-I
+/// augmented system) out of the per-cell path, and its solves are
+/// bit-identical to this solver's because both run the same engine.
+///
 /// # Row reduction
 ///
 /// With [`SolverOptions::row_reduction`] on (the default), linear
@@ -119,13 +126,15 @@ pub struct BarrierSolver {
     scratch: SolverScratch,
     eq_cache: Option<EqReduction>,
     reducer: RowReducer,
+    aug: AugStorage,
+    pool: VecPool,
 }
 
 /// Cached QR machinery for one equality-constraint structure: grid cells
 /// that share the constraint matrix re-project only the right-hand side
 /// instead of re-factoring per solve.
 #[derive(Debug, Clone)]
-struct EqReduction {
+pub(crate) struct EqReduction {
     /// The equality rows this factorization covers (the cache key).
     rows: Vec<Vec<f64>>,
     /// Thin `Q` factor of `Aᵀ` (`n × k`).
@@ -134,7 +143,39 @@ struct EqReduction {
     r: Matrix,
     /// Orthonormal nullspace basis `F` (`n × (n−k)`), shared with callers
     /// so cache hits hand it out without copying.
-    f: std::sync::Arc<Matrix>,
+    f: Arc<Matrix>,
+}
+
+/// A tiny free-list of `Vec<f64>` buffers so the solve flow can move
+/// vectors through the barrier runs (which consume and return them) without
+/// per-solve heap traffic: after a few solves of one shape every pooled
+/// vector has enough capacity and take/put never allocate.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VecPool {
+    spare: Vec<Vec<f64>>,
+}
+
+impl VecPool {
+    /// A zero-filled buffer of length `len`.
+    pub(crate) fn take(&mut self, len: usize) -> Vec<f64> {
+        let mut v = self.spare.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// A buffer holding a copy of `src`.
+    pub(crate) fn take_from(&mut self, src: &[f64]) -> Vec<f64> {
+        let mut v = self.spare.pop().unwrap_or_default();
+        v.clear();
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// Returns a buffer to the pool (capacity retained).
+    pub(crate) fn put(&mut self, v: Vec<f64>) {
+        self.spare.push(v);
+    }
 }
 
 /// Feasibility predicate for phase I's early exit (checked every step).
@@ -152,66 +193,187 @@ struct RunCtrl<'a> {
     newton_budget: Option<usize>,
 }
 
-/// Inequality-only problem data in the (possibly reduced) variable space.
+/// Borrowed view of an inequality-only problem in the (possibly reduced)
+/// variable space — the type the whole Newton engine runs on.
 ///
 /// Linear rows are packed into one row-major matrix so the Newton assembly
 /// can run matvecs and the blocked `AᵀDA` update over contiguous memory.
-/// After the row-reduction pass ([`Dense::restrict`]) the packed matrix
-/// keeps the *full* row storage and `rows` lists the surviving base rows:
-/// the KKT assembly runs over that subset through the row-subset linalg
-/// kernels instead of materializing a reduced copy per solve.
-struct Dense {
-    n: usize,
-    p0: Option<Matrix>,
-    q0: Vec<f64>,
+/// After the row-reduction pass `rows` lists the surviving base rows and
+/// `b` holds their right-hand sides: the KKT assembly runs that subset
+/// through the row-subset linalg kernels instead of materializing a
+/// reduced copy per solve.
+///
+/// Both the per-cell [`BarrierSolver`] path (which owns a fresh
+/// [`ProjStorage`] per solve) and the sweep-shared [`crate::FamilySolver`]
+/// path (which borrows one [`crate::ProblemFamily`] for thousands of
+/// solves) construct these views over their own storage and then run the
+/// *same* engine functions — which is what makes family solves
+/// bit-identical to per-cell solves.
+#[derive(Clone, Copy)]
+pub(crate) struct Dense<'a> {
+    pub(crate) n: usize,
+    pub(crate) p0: Option<&'a Matrix>,
+    pub(crate) q0: &'a [f64],
     /// Packed linear inequality rows (`m_full × n`).
-    a: Matrix,
+    pub(crate) a: &'a Matrix,
     /// Linear right-hand sides, aligned with the *active* rows.
-    b: Vec<f64>,
+    pub(crate) b: &'a [f64],
     /// Active base-row indices into `a` when a reduction pruned rows
     /// (ascending); `None` means every row of `a` is active.
-    rows: Option<Vec<usize>>,
-    quad: Vec<QuadConstraint>,
+    pub(crate) rows: Option<&'a [usize]>,
+    pub(crate) quad: &'a [QuadConstraint],
 }
 
-impl Dense {
+/// Owned phase-II system storage in the (possibly reduced) variable space;
+/// [`project_problem`] builds one from a [`Problem`], problem families keep
+/// one for a whole sweep.
+#[derive(Debug, Clone)]
+pub(crate) struct ProjStorage {
+    pub(crate) n: usize,
+    pub(crate) p0: Option<Matrix>,
+    pub(crate) q0: Vec<f64>,
+    pub(crate) a: Matrix,
+    /// Full-system right-hand sides (the prototype's, for a family; the
+    /// problem's own, for a per-cell solve).
+    pub(crate) b: Vec<f64>,
+    pub(crate) quad: Vec<QuadConstraint>,
+}
+
+impl ProjStorage {
+    /// The phase-II view over this storage with per-cell `b` and row
+    /// subset.
+    pub(crate) fn view<'a>(&'a self, b: &'a [f64], rows: Option<&'a [usize]>) -> Dense<'a> {
+        Dense {
+            n: self.n,
+            p0: self.p0.as_ref(),
+            q0: &self.q0,
+            a: &self.a,
+            b,
+            rows,
+            quad: &self.quad,
+        }
+    }
+}
+
+/// Owned phase-I (augmented) system storage: rows `[aᵢ, −1]` over the
+/// *full* packed row matrix — the per-cell active subset indexes into it —
+/// objective `minimize s`, and the augmented quadratic constraints.
+///
+/// The per-cell path refills one of these per phase-I run; a
+/// [`crate::ProblemFamily`] builds it once for the whole sweep.
+#[derive(Debug, Clone)]
+pub(crate) struct AugStorage {
+    pub(crate) a: Matrix,
+    pub(crate) q0: Vec<f64>,
+    pub(crate) quad: Vec<QuadConstraint>,
+}
+
+impl Default for AugStorage {
+    fn default() -> Self {
+        AugStorage {
+            a: Matrix::zeros(0, 0),
+            q0: Vec::new(),
+            quad: Vec::new(),
+        }
+    }
+}
+
+impl AugStorage {
+    /// (Re)builds the augmented system from a phase-II storage. The matrix
+    /// keeps its allocation across refills of the same shape.
+    pub(crate) fn fill_from(&mut self, proj: &ProjStorage) {
+        let nz = proj.n;
+        let n_aug = nz + 1;
+        let m = proj.a.rows();
+        if self.a.shape() != (m, n_aug) {
+            self.a = Matrix::zeros(m, n_aug);
+        }
+        for i in 0..m {
+            let row = self.a.row_mut(i);
+            row[..nz].copy_from_slice(proj.a.row(i));
+            row[nz] = -1.0;
+        }
+        self.q0.clear();
+        self.q0.resize(n_aug, 0.0);
+        self.q0[nz] = 1.0; // minimize s
+        self.quad.clear();
+        for q in &proj.quad {
+            let mut p = Matrix::zeros(n_aug, n_aug);
+            for r in 0..nz {
+                for c in 0..nz {
+                    p[(r, c)] = q.p[(r, c)];
+                }
+            }
+            let mut qv = q.q.clone();
+            qv.push(-1.0);
+            self.quad.push(QuadConstraint { p, q: qv, r: q.r });
+        }
+    }
+
+    /// The phase-I view sharing the phase-II view's `b` and row subset.
+    pub(crate) fn view<'a>(&'a self, dense: &Dense<'a>) -> Dense<'a> {
+        Dense {
+            n: dense.n + 1,
+            p0: None,
+            q0: &self.q0,
+            a: &self.a,
+            b: dense.b,
+            rows: dense.rows,
+            quad: &self.quad,
+        }
+    }
+}
+
+/// Phase-I storage source for [`solve_flow`]: prebuilt by a problem family,
+/// or filled lazily (first phase-I need) from the per-cell projection.
+pub(crate) enum AugSource<'a> {
+    Prebuilt(&'a AugStorage),
+    Lazy(&'a mut AugStorage),
+}
+
+impl AugSource<'_> {
+    fn get(&mut self, proj: &ProjStorage, filled: &mut bool) -> &AugStorage {
+        match self {
+            AugSource::Prebuilt(a) => a,
+            AugSource::Lazy(a) => {
+                if !*filled {
+                    a.fill_from(proj);
+                    *filled = true;
+                }
+                a
+            }
+        }
+    }
+}
+
+impl Dense<'_> {
     fn num_lin(&self) -> usize {
         self.b.len()
     }
 
     /// The `i`-th *active* linear row's coefficients.
     fn lin_row(&self, i: usize) -> &[f64] {
-        match &self.rows {
+        match self.rows {
             Some(r) => self.a.row(r[i]),
             None => self.a.row(i),
         }
     }
 
-    /// Restricts the system to the `kept` base rows (the reduction pass's
-    /// survivors): `a` keeps its full packed storage — the subset kernels
-    /// index into it — and the right-hand sides are repacked to align with
-    /// the survivors.
-    fn restrict(&mut self, kept: Vec<usize>) {
-        debug_assert!(self.rows.is_none(), "restrict applies to a full system");
-        self.b = kept.iter().map(|&i| self.b[i]).collect();
-        self.rows = Some(kept);
-    }
-
     /// Active slacks `s = b − Ax` written into `slack` (length
     /// [`Dense::num_lin`]).
     fn slacks_into(&self, x: &[f64], slack: &mut [f64]) {
-        match &self.rows {
+        match self.rows {
             Some(r) => self.a.matvec_rows_into(r, x, slack),
             None => self.a.matvec_into(x, slack),
         }
-        for (sl, &bi) in slack.iter_mut().zip(&self.b) {
+        for (sl, &bi) in slack.iter_mut().zip(self.b) {
             *sl = bi - *sl;
         }
     }
 
     /// `y = Aᵀw` over the active rows (`w` aligned with them).
     fn lin_combine_into(&self, w: &[f64], y: &mut [f64]) {
-        match &self.rows {
+        match self.rows {
             Some(r) => self.a.matvec_t_rows_into(r, w, y),
             None => self.a.matvec_t_into(w, y),
         }
@@ -227,7 +389,7 @@ impl Dense {
         for i in 0..self.num_lin() {
             worst = worst.max(vecops::dot(self.lin_row(i), x) - self.b[i]);
         }
-        for q in &self.quad {
+        for q in self.quad {
             worst = worst.max(q.eval(x));
         }
         if self.num_ineq() == 0 {
@@ -238,7 +400,7 @@ impl Dense {
     }
 
     fn objective(&self, x: &[f64]) -> f64 {
-        let quad = match &self.p0 {
+        let quad = match self.p0 {
             Some(p) => {
                 let mut acc = 0.0;
                 for (r, &xr) in x.iter().enumerate() {
@@ -248,7 +410,7 @@ impl Dense {
             }
             None => 0.0,
         };
-        quad + vecops::dot(&self.q0, x)
+        quad + vecops::dot(self.q0, x)
     }
 
     /// Barrier function `t·f₀(x) − Σ log(sᵢ)`; `None` if any slack ≤ 0.
@@ -261,7 +423,7 @@ impl Dense {
             }
             v -= s.ln();
         }
-        for q in &self.quad {
+        for q in self.quad {
             let s = -q.eval(x);
             if s <= 0.0 {
                 return None;
@@ -288,7 +450,7 @@ impl Dense {
                 alpha = alpha.min(0.99 * slack / deriv);
             }
         }
-        for q in &self.quad {
+        for q in self.quad {
             // First-order boundary estimate along dx; the backtracking
             // loop still guards the (convex) second-order term.
             q.gradient_into(x, tmp);
@@ -327,7 +489,7 @@ impl Dense {
             self.lin_combine_into(w, qgrad);
             vecops::axpy(1.0, qgrad, grad);
         }
-        for q in &self.quad {
+        for q in self.quad {
             let slack = -q.eval(x);
             q.gradient_into(x, qgrad);
             vecops::axpy(1.0 / slack, qgrad, grad);
@@ -358,12 +520,12 @@ impl Dense {
         grad.fill(0.0);
         hess.set_zero();
         // Objective part.
-        if let Some(p) = &self.p0 {
+        if let Some(p) = self.p0 {
             p.matvec_into(x, qgrad);
             vecops::axpy(t, qgrad, grad);
             hess.axpy_lower(t, p).expect("shape");
         }
-        vecops::axpy(t, &self.q0, grad);
+        vecops::axpy(t, self.q0, grad);
         // Linear constraints: slacks s = b − Ax, then grad += Aᵀ(1/s) and
         // hess += Aᵀ diag(1/s²) A in one blocked pass.
         if m > 0 {
@@ -378,13 +540,13 @@ impl Dense {
             for wi in w.iter_mut() {
                 *wi *= *wi;
             }
-            match &self.rows {
-                Some(r) => hess.syrk_lower_update_rows(&self.a, r, w),
-                None => hess.syrk_lower_update(&self.a, w),
+            match self.rows {
+                Some(r) => hess.syrk_lower_update_rows(self.a, r, w),
+                None => hess.syrk_lower_update(self.a, w),
             }
         }
         // Quadratic constraints.
-        for q in &self.quad {
+        for q in self.quad {
             let sl = -q.eval(x);
             let inv = 1.0 / sl;
             q.gradient_into(x, qgrad);
@@ -396,42 +558,42 @@ impl Dense {
 }
 
 /// Outcome of the inner barrier loop.
-struct BarrierRun {
-    x: Vec<f64>,
-    outer: usize,
-    newton: usize,
-    gap: f64,
+pub(crate) struct BarrierRun {
+    pub(crate) x: Vec<f64>,
+    pub(crate) outer: usize,
+    pub(crate) newton: usize,
+    pub(crate) gap: f64,
     /// Barrier parameter at termination (certificate extraction needs it).
-    t: f64,
-    converged: bool,
+    pub(crate) t: f64,
+    pub(crate) converged: bool,
     /// `true` when the final centering ended by driving the Newton
     /// decrement under `tol_inner` (so the duality-gap bound `m/t` is
     /// trustworthy), `false` when it ended in a line-search stall. A stalled
     /// warm run falls back to the cold path instead of being certified.
-    centered: bool,
+    pub(crate) centered: bool,
 }
 
 /// Raw certificate pieces in the reduced variable space, as extracted from
 /// a failed phase-I run (multipliers per original constraint, anchor `z`).
-struct CertParts {
-    lambda_lin: Vec<f64>,
-    lambda_quad: Vec<f64>,
-    anchor_z: Vec<f64>,
+pub(crate) struct CertParts {
+    pub(crate) lambda_lin: Vec<f64>,
+    pub(crate) lambda_quad: Vec<f64>,
+    pub(crate) anchor_z: Vec<f64>,
 }
 
 /// Outcome of one phase-I run.
-struct Phase1Outcome {
+pub(crate) struct Phase1Outcome {
     /// A strictly feasible reduced point, or `None` when infeasible.
-    z: Option<Vec<f64>>,
-    outer: usize,
-    newton: usize,
+    pub(crate) z: Option<Vec<f64>>,
+    pub(crate) outer: usize,
+    pub(crate) newton: usize,
     /// Raw certificate material when the run proved infeasibility,
     /// with multipliers already scattered back to the full row space.
-    cert: Option<CertParts>,
+    pub(crate) cert: Option<CertParts>,
     /// `true` when the certificate came out of the bounded polish
     /// continuation (the verdict itself arrived earlier, via the centered
     /// duality-gap bound).
-    polished: bool,
+    pub(crate) polished: bool,
 }
 
 /// Result of a feasibility-only query
@@ -454,6 +616,692 @@ pub struct FeasibleOutcome {
     pub polished: bool,
 }
 
+/// How the shared solve flow finished.
+pub(crate) enum FlowVerdict {
+    /// The feasible path finished with this barrier run (reduced space).
+    Feasible(BarrierRun),
+    /// Phase I certified infeasibility.
+    Infeasible {
+        cert: Option<CertParts>,
+        polished: bool,
+    },
+}
+
+/// The shared flow's result: verdict plus the iteration accounting.
+pub(crate) struct FlowOutcome {
+    pub(crate) verdict: FlowVerdict,
+    pub(crate) outer: usize,
+    pub(crate) newton: usize,
+    pub(crate) phase1_steps: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The engine: free functions over `Dense` views, shared verbatim by the
+// per-cell `BarrierSolver` path and the sweep-shared `FamilySolver` path —
+// one implementation, therefore bit-identical numerics.
+// ---------------------------------------------------------------------------
+
+/// The full two-phase solve flow over prepared storage: warm fast path,
+/// seeded phase II, phase-I fallback with warm resume, final cold climb.
+/// Mirrors the historical `solve_inner` body after projection/reduction.
+///
+/// `x0` is the supplied start already projected into the reduced space (a
+/// warm point when `estimate_t`, a heuristic seed otherwise); `reduced`
+/// marks an equality-eliminated system (skips the box-grounded Farkas
+/// exits, whose harvesting needs original-space single-entry rows).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_flow(
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+    pool: &mut VecPool,
+    proj: &ProjStorage,
+    q0_override: Option<&[f64]>,
+    b: &[f64],
+    rows: Option<&[usize]>,
+    aug: &mut AugSource<'_>,
+    reduced: bool,
+    x0: Option<&[f64]>,
+    estimate_t: bool,
+) -> Result<FlowOutcome> {
+    let mut dense = proj.view(b, rows);
+    if let Some(q0) = q0_override {
+        dense.q0 = q0;
+    }
+    let nz = dense.n;
+    let mut aug_filled = false;
+
+    let mut outer_total = 0;
+    let mut newton_total = 0;
+    let mut phase1_steps = 0;
+
+    // Warm fast path: a strictly interior supplied point enters phase II
+    // directly — the log barrier only needs positive slacks, and a
+    // neighbouring optimum's active constraints carry slacks far below
+    // `phase1_margin` (they shrink like the reciprocal of the final
+    // barrier parameter) — at the barrier parameter that best matches
+    // the point (Boyd & Vandenberghe §11.3.1, t₀ = argmin‖t∇f₀ + ∇φ‖;
+    // starting a near-optimal point at t₀ = 1 would drag it back toward
+    // the analytic center and waste the whole warm start). If the
+    // centering stalls — the supplied point fit a *different* problem —
+    // fall through to the cold path rather than certify a stale point.
+    let mut phase1_seed: Option<&[f64]> = None;
+    if let Some(z0) = x0 {
+        if dense.num_ineq() > 0 && dense.max_violation(z0) < 0.0 {
+            if estimate_t {
+                // The attempt gets a small Newton budget: a genuine
+                // warm start (neighbouring optimum, matching barrier
+                // parameter) re-centers in a handful of steps, while a
+                // mismatched one stalls against the boundary — detect
+                // that cheaply and fall back instead of grinding.
+                let t_start = estimate_warm_t0(opts, scratch, &dense, z0);
+                let ctrl = RunCtrl {
+                    newton_budget: Some(WARM_TRY_BUDGET),
+                    ..RunCtrl::default()
+                };
+                let start = pool.take_from(z0);
+                let run = run_barrier(opts, scratch, &dense, start, t_start, ctrl)?;
+                outer_total += run.outer;
+                newton_total += run.newton;
+                if run.centered {
+                    return Ok(FlowOutcome {
+                        verdict: FlowVerdict::Feasible(run),
+                        outer: outer_total,
+                        newton: newton_total,
+                        phase1_steps,
+                    });
+                }
+                pool.put(run.x);
+                // Stalled: the point hugs a corner where phase II at
+                // t₀ would crawl for hundreds of steps. Hand it to the
+                // cold path below — its margin rule sends slack-< margin
+                // points through phase I, which re-centers them off the
+                // boundary far more cheaply than barrier descent can.
+                phase1_seed = Some(z0);
+            } else {
+                // Seed mode: phase II from the point at the configured
+                // t₀ (seeds are interior by construction).
+                let start = pool.take_from(z0);
+                let run = run_barrier(opts, scratch, &dense, start, opts.t0, RunCtrl::default())?;
+                outer_total += run.outer;
+                newton_total += run.newton;
+                return Ok(FlowOutcome {
+                    verdict: FlowVerdict::Feasible(run),
+                    outer: outer_total,
+                    newton: newton_total,
+                    phase1_steps,
+                });
+            }
+        } else {
+            // Infeasible for the new problem: still a better phase-I
+            // seed than the origin.
+            phase1_seed = Some(z0);
+        }
+    }
+
+    // Cold path (and the fallback for a stalled warm run).
+    let warm_origin = phase1_seed.is_some() && estimate_t;
+    let mut z0 = match phase1_seed {
+        Some(seed) => pool.take_from(seed),
+        None => pool.take(nz),
+    };
+    if dense.num_ineq() > 0 && dense.max_violation(&z0) >= -opts.phase1_margin {
+        let aug_storage = aug.get(proj, &mut aug_filled);
+        let aug_view = aug_storage.view(&dense);
+        let p1 = phase1(opts, scratch, pool, &dense, &aug_view, &z0, reduced)?;
+        outer_total += p1.outer;
+        newton_total += p1.newton;
+        phase1_steps += p1.newton;
+        match p1.z {
+            Some(z_feas) => {
+                pool.put(z0);
+                z0 = z_feas;
+            }
+            None => {
+                pool.put(z0);
+                return Ok(FlowOutcome {
+                    verdict: FlowVerdict::Infeasible {
+                        cert: p1.cert,
+                        polished: p1.polished,
+                    },
+                    outer: outer_total,
+                    newton: newton_total,
+                    phase1_steps,
+                });
+            }
+        }
+        // Warm resume: when the supplied point was a neighbouring
+        // optimum (warm semantics) that phase I just nudged back into
+        // the strict interior — it stalled against the boundary, or
+        // violated the new constraints slightly — it is still
+        // essentially optimal, so re-enter the central path at the
+        // matching barrier parameter instead of re-climbing from t₀.
+        // Without this, a degenerate active set (e.g. the gradient
+        // rows at low targets, whose optimum has machine-epsilon
+        // slack) costs a full cold climb on every link of a warm
+        // chain. The attempt is budgeted exactly like the direct warm
+        // fast path and falls back to the cold climb if it stalls.
+        if warm_origin {
+            let t_start = estimate_warm_t0(opts, scratch, &dense, &z0);
+            let ctrl = RunCtrl {
+                newton_budget: Some(WARM_TRY_BUDGET),
+                ..RunCtrl::default()
+            };
+            let start = pool.take_from(&z0);
+            let run = run_barrier(opts, scratch, &dense, start, t_start, ctrl)?;
+            outer_total += run.outer;
+            newton_total += run.newton;
+            if run.converged && run.centered {
+                pool.put(z0);
+                return Ok(FlowOutcome {
+                    verdict: FlowVerdict::Feasible(run),
+                    outer: outer_total,
+                    newton: newton_total,
+                    phase1_steps,
+                });
+            }
+            pool.put(run.x);
+        }
+    }
+    let run = run_barrier(opts, scratch, &dense, z0, opts.t0, RunCtrl::default())?;
+    outer_total += run.outer;
+    newton_total += run.newton;
+    Ok(FlowOutcome {
+        verdict: FlowVerdict::Feasible(run),
+        outer: outer_total,
+        newton: newton_total,
+        phase1_steps,
+    })
+}
+
+/// The feasibility-only flow (phase I, no optimization): instant accept of
+/// a sufficiently interior seed, else one phase-I run. Shared by
+/// [`BarrierSolver::find_feasible_with`] and the family solver's frontier
+/// probes.
+pub(crate) enum FeasFlow {
+    /// The supplied seed (or origin) is already strictly feasible beyond
+    /// the phase-I margin; no Newton steps were spent.
+    Instant,
+    Found(Phase1Outcome),
+    Infeasible(Phase1Outcome),
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn feasible_flow(
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+    pool: &mut VecPool,
+    proj: &ProjStorage,
+    q0_override: Option<&[f64]>,
+    b: &[f64],
+    rows: Option<&[usize]>,
+    aug: &mut AugSource<'_>,
+    reduced: bool,
+    z0: &[f64],
+) -> Result<FeasFlow> {
+    let mut dense = proj.view(b, rows);
+    if let Some(q0) = q0_override {
+        dense.q0 = q0;
+    }
+    if dense.num_ineq() == 0 || dense.max_violation(z0) < -opts.phase1_margin {
+        return Ok(FeasFlow::Instant);
+    }
+    let mut aug_filled = false;
+    let aug_storage = aug.get(proj, &mut aug_filled);
+    let aug_view = aug_storage.view(&dense);
+    let p1 = phase1(opts, scratch, pool, &dense, &aug_view, z0, reduced)?;
+    if p1.z.is_some() {
+        Ok(FeasFlow::Found(p1))
+    } else {
+        Ok(FeasFlow::Infeasible(p1))
+    }
+}
+
+/// The warm-start barrier parameter `t₀ = −⟨∇f₀, ∇φ⟩ / ‖∇f₀‖²` at a
+/// strictly feasible `x`: the `t` whose centering condition
+/// `t∇f₀ + ∇φ = 0` the supplied point comes closest to satisfying. At a
+/// near-optimal warm start this recovers the `t` of the neighbouring
+/// solve's final centering, so phase II resumes where it left off
+/// instead of re-climbing the central path from `t₀`.
+fn estimate_warm_t0(
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+    dense: &Dense<'_>,
+    x: &[f64],
+) -> f64 {
+    let s = scratch.for_dim(dense.n);
+    // s.grad = ∇φ (pure barrier gradient, no Hessian assembly).
+    dense.barrier_gradient_into(x, s);
+    // s.bs = ∇f₀.
+    if let Some(p) = dense.p0 {
+        p.matvec_into(x, &mut s.bs);
+        vecops::axpy(1.0, dense.q0, &mut s.bs);
+    } else {
+        s.bs.copy_from_slice(dense.q0);
+    }
+    let gg = vecops::dot(&s.bs, &s.bs);
+    if !gg.is_finite() || gg <= 1e-300 {
+        return opts.t0;
+    }
+    let t = -vecops::dot(&s.bs, &s.grad) / gg;
+    if t.is_finite() {
+        // The upper clamp bound must not fall below t0 (clamp panics on
+        // an inverted range, and validate() allows arbitrarily large t0).
+        t.clamp(opts.t0, opts.t0.max(1e12))
+    } else {
+        opts.t0
+    }
+}
+
+/// Phase I: minimize `s` subject to `fᵢ(z) ≤ s`. Returns a strictly
+/// feasible `z` (or `None`), the iteration counts — which cover the
+/// failed case too — and, on failure, the raw Farkas certificate
+/// material from the final centered iterate.
+///
+/// Two early exits bound the work: the run stops the moment any iterate
+/// certifies feasibility (`s < −margin`), and stops with an
+/// infeasibility verdict as soon as the duality bound proves
+/// `s* > −margin` (`s_cur − 2·gap > −margin`, with a factor-2 cushion
+/// for the inexact centering) — deeply infeasible cells no longer
+/// polish a verdict to tolerance that was already decided.
+/// `reduced` marks an equality-eliminated problem: its projected rows
+/// are dense, so the box-harvesting Farkas exit can never fire and is
+/// skipped (the centered duality-gap exit still applies).
+fn phase1(
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+    pool: &mut VecPool,
+    dense: &Dense<'_>,
+    aug: &Dense<'_>,
+    z0: &[f64],
+    reduced: bool,
+) -> Result<Phase1Outcome> {
+    let nz = dense.n;
+
+    let viol = dense.max_violation(z0);
+    let mut start = pool.take_from(z0);
+    let s0 = viol + f64::max(1.0, viol.abs() * 0.1);
+    start.push(s0);
+
+    // Start the barrier parameter high enough that the first centering
+    // weights the objective comparably to the (many) barrier terms;
+    // otherwise the analytic center throws `s` far upward and the
+    // solver wastes centerings crawling back down.
+    let t0 = (aug.num_ineq() as f64 / (s0.abs() + 1.0)).max(opts.t0);
+    let margin = opts.phase1_margin;
+    // Feasibility is decided by `s* < -margin`, so phase I must drive
+    // its duality gap below the margin — a frontier point with
+    // `s* ∈ (-tol, -margin)` would otherwise be misreported as
+    // infeasible when the loose sweep tolerance stops the climb early.
+    // The early exits fire the moment either verdict is certain, so the
+    // tighter gap only costs outers on razor-thin frontier cells.
+    let mut p1_opts = *opts;
+    p1_opts.tol = opts.tol.min(margin.max(1e-12));
+    let feasible_exit = |pt: &[f64]| pt[nz] < -margin;
+    // Infeasibility is decided two ways, both sound: at a centered
+    // point the duality bound `s* ≥ s − 2·gap` (factor-2 cushion for
+    // the inexact centering) proves `s* > −margin`; at *any* iterate
+    // the Farkas candidate `λᵢ = 1/(s − fᵢ(z))` may already certify
+    // through the box-grounded bound — which is what rescues the runs
+    // whose centerings stall near the end of the climb.
+    // Borrow the solver's warm certificate workspace for the duration
+    // of the run (a RefCell because the exit closure only sees `&self`
+    // borrows); returned below so repeated phase-I runs stay
+    // allocation-free once the buffers have grown.
+    let cert_ws = std::cell::RefCell::new(std::mem::take(scratch.cert_ws()));
+    let infeasible_exit = |pt: &[f64], gap: f64, centered: bool| {
+        (centered && pt[nz] - 2.0 * gap > -margin)
+            || (!reduced && phase1_infeas_check(dense, pt, &mut cert_ws.borrow_mut()))
+    };
+    let ctrl = RunCtrl {
+        early_exit: Some(&feasible_exit),
+        bound_exit: Some(&infeasible_exit),
+        newton_budget: None,
+    };
+    let run = run_barrier(&p1_opts, scratch, aug, start, t0, ctrl);
+    let outcome = match run {
+        Err(e) => Err(e),
+        Ok(run) if run.x[nz] < -margin => {
+            let z = pool.take_from(&run.x[..nz]);
+            let out = Phase1Outcome {
+                z: Some(z),
+                outer: run.outer,
+                newton: run.newton,
+                cert: None,
+                polished: false,
+            };
+            pool.put(run.x);
+            Ok(out)
+        }
+        Ok(run) => {
+            // Infeasible. The verdict is final (both exits are sound
+            // proofs of `s* > −margin`), but a verdict that arrived
+            // through the centered duality-gap bound leaves multipliers
+            // that often fail certificate verification — the neighbours
+            // then re-pay a full phase I. The *polish* continuation
+            // climbs a little further with the Farkas check as its only
+            // exit: as `t` grows the centered multipliers concentrate
+            // on the genuinely conflicting rows and the box-grounded
+            // bound turns positive, minting a transferable certificate.
+            // Bounded by `polish_budget` Newton steps; numerical
+            // trouble inside the polish (the climb can push `t` into
+            // ill-conditioned territory) keeps the original iterate —
+            // it must never overturn or error out a settled verdict.
+            let mut final_run = run;
+            let mut polished = false;
+            if !reduced
+                && opts.polish_budget > 0
+                && !phase1_infeas_check(dense, &final_run.x, &mut cert_ws.borrow_mut())
+            {
+                // The box-grounded bound's slack is exactly the
+                // centering residual: at an *exact* center the
+                // aggregated gradient ρ vanishes and the bound equals
+                // the (positive) dual value, so the polish re-centers
+                // at essentially the same barrier parameter — tiny µ,
+                // much tighter inner tolerance — instead of climbing
+                // into the ill-conditioned large-`t` regime where the
+                // verdict's centerings already stalled.
+                let mut polish_opts = p1_opts;
+                polish_opts.mu = 1.5;
+                polish_opts.tol_inner = (p1_opts.tol_inner * 1e-4).max(1e-12);
+                let polish_exit = |pt: &[f64], _gap: f64, _centered: bool| {
+                    phase1_infeas_check(dense, pt, &mut cert_ws.borrow_mut())
+                };
+                let pctrl = RunCtrl {
+                    early_exit: None,
+                    bound_exit: Some(&polish_exit),
+                    newton_budget: Some(opts.polish_budget),
+                };
+                let pstart = pool.take_from(&final_run.x);
+                let polish_run =
+                    run_barrier(&polish_opts, scratch, aug, pstart, final_run.t, pctrl);
+                if let Ok(prun) = polish_run {
+                    let minted = phase1_infeas_check(dense, &prun.x, &mut cert_ws.borrow_mut());
+                    // The polish's work is paid either way.
+                    final_run.outer += prun.outer;
+                    final_run.newton += prun.newton;
+                    if minted {
+                        pool.put(std::mem::replace(&mut final_run.x, prun.x));
+                        final_run.t = prun.t;
+                        polished = true;
+                    } else {
+                        pool.put(prun.x);
+                    }
+                }
+            }
+            // Scatter the multipliers of a pruned system back to the
+            // full row space (zero weight on pruned rows changes no
+            // verdict) so the certificate matches the original
+            // problem's rows and can circulate.
+            let cert = extract_cert_parts(aug, &final_run).map(|mut parts| {
+                if let Some(rows) = dense.rows {
+                    let mut full = vec![0.0; dense.a.rows()];
+                    for (pos, &ri) in rows.iter().enumerate() {
+                        full[ri] = parts.lambda_lin[pos];
+                    }
+                    parts.lambda_lin = full;
+                }
+                parts
+            });
+            let out = Phase1Outcome {
+                z: None,
+                outer: final_run.outer,
+                newton: final_run.newton,
+                cert,
+                polished,
+            };
+            pool.put(final_run.x);
+            Ok(out)
+        }
+    };
+    *scratch.cert_ws() = cert_ws.into_inner();
+    outcome
+}
+
+fn run_barrier(
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+    dense: &Dense<'_>,
+    x0: Vec<f64>,
+    t0: f64,
+    ctrl: RunCtrl<'_>,
+) -> Result<BarrierRun> {
+    let o = *opts;
+    let newton_budget = ctrl.newton_budget.unwrap_or(usize::MAX);
+    let s = scratch.for_dim(dense.n);
+    let m = dense.num_ineq() as f64;
+    let mut x = x0;
+    let mut newton_total = 0;
+
+    // Unconstrained case: a single Newton solve on the objective.
+    if dense.num_ineq() == 0 {
+        dense.grad_hess_into(1.0, &x, s);
+        if dense.p0.is_none() {
+            // Pure linear objective with no constraints is unbounded
+            // unless the gradient is zero.
+            if vecops::norm_inf(&s.grad) > 1e-12 {
+                return Err(CvxError::NumericalTrouble {
+                    phase: "unconstrained solve (unbounded objective)",
+                });
+            }
+            return Ok(BarrierRun {
+                x,
+                outer: 0,
+                newton: 0,
+                gap: 0.0,
+                t: t0,
+                converged: true,
+                centered: true,
+            });
+        }
+        solve_spd_in_place(s)?;
+        vecops::axpy(1.0, &s.dx, &mut x);
+        return Ok(BarrierRun {
+            x,
+            outer: 1,
+            newton: 1,
+            gap: 0.0,
+            t: t0,
+            converged: true,
+            centered: true,
+        });
+    }
+
+    debug_assert!(
+        dense.max_violation(&x) < 0.0,
+        "barrier loop requires a strictly feasible start"
+    );
+
+    let mut t = t0;
+    let mut outer = 0;
+    let mut last_lambda2 = f64::INFINITY;
+    // Barrier parameter of the last *cleanly centered* outer iterate
+    // (the point itself is kept in `s.center`): the fallback when the
+    // final centering stalls.
+    let mut center_t: Option<f64> = None;
+    loop {
+        // Centering at parameter t; `centered` records whether it ended
+        // by Newton-decrement convergence (vs a stall).
+        let mut centered = false;
+        let mut best_lambda2 = f64::INFINITY;
+        let mut steps_since_progress = 0usize;
+        for _ in 0..o.max_newton {
+            dense.grad_hess_into(t, &x, s);
+            solve_spd_in_place(s)?;
+            let lambda2 = -vecops::dot(&s.grad, &s.dx);
+            if !lambda2.is_finite() {
+                return Err(CvxError::NumericalTrouble { phase: "newton" });
+            }
+            last_lambda2 = lambda2;
+            if lambda2 / 2.0 <= o.tol_inner {
+                centered = true;
+                break;
+            }
+            // Decrement plateau: the centering has hit its noise floor;
+            // abandon it instead of grinding out the whole budget.
+            if lambda2 < PLATEAU_IMPROVE * best_lambda2 {
+                best_lambda2 = lambda2;
+                steps_since_progress = 0;
+            } else {
+                steps_since_progress += 1;
+                if steps_since_progress >= PLATEAU_BREAK {
+                    break;
+                }
+            }
+            // Backtracking line search on the barrier function, entered
+            // at the fraction-to-boundary step so near-boundary starts
+            // get real candidates instead of infeasible ones.
+            let psi0 = dense
+                .barrier_value(t, &x)
+                .ok_or(CvxError::NumericalTrouble {
+                    phase: "line search",
+                })?;
+            let mut alpha = dense.max_step(&x, &s.dx, &mut s.qgrad);
+            let mut accepted = false;
+            while alpha > 1e-14 {
+                vecops::add_scaled_into(&x, alpha, &s.dx, &mut s.cand);
+                if let Some(psi) = dense.barrier_value(t, &s.cand) {
+                    if psi <= psi0 - o.armijo * alpha * lambda2 {
+                        std::mem::swap(&mut x, &mut s.cand);
+                        accepted = true;
+                        break;
+                    }
+                }
+                alpha *= o.beta;
+            }
+            newton_total += 1;
+            if newton_total >= newton_budget {
+                return Ok(BarrierRun {
+                    x,
+                    outer,
+                    newton: newton_total,
+                    gap: m / t,
+                    t,
+                    converged: false,
+                    centered: false,
+                });
+            }
+            if debug_enabled() && newton_total % 16 == 0 {
+                eprintln!(
+                    "[newton {newton_total}] t={t:.1e} lambda2={lambda2:.3e} alpha={:.3e} accepted={accepted}",
+                    alpha
+                );
+            }
+            if !accepted {
+                // Line search stalled: no certified center at this t.
+                break;
+            }
+            if let Some(exit) = ctrl.early_exit {
+                if exit(&x) {
+                    return Ok(BarrierRun {
+                        x,
+                        outer,
+                        newton: newton_total,
+                        gap: m / t,
+                        t,
+                        converged: true,
+                        centered: true,
+                    });
+                }
+            }
+        }
+        outer += 1;
+        if centered {
+            s.center.copy_from_slice(&x);
+            center_t = Some(t);
+        }
+        if debug_enabled() {
+            eprintln!(
+                "[barrier] outer {outer}: t={t:.3e} newton_total={newton_total} centered={centered} x_last={:.6e} obj={:.6e}",
+                x.last().copied().unwrap_or(f64::NAN),
+                dense.objective(&x)
+            );
+        }
+        if let Some(exit) = ctrl.early_exit {
+            if exit(&x) {
+                return Ok(BarrierRun {
+                    x,
+                    outer,
+                    newton: newton_total,
+                    gap: m / t,
+                    t,
+                    converged: true,
+                    centered: true,
+                });
+            }
+        }
+        // Infeasibility exit (phase I's verdict): checked after every
+        // outer iteration; the predicate receives `centered` so it can
+        // gate its duality-gap test while running certificate tests —
+        // which are sound at any iterate — unconditionally.
+        if let Some(exit) = ctrl.bound_exit {
+            if exit(&x, m / t, centered) {
+                return Ok(BarrierRun {
+                    x,
+                    outer,
+                    newton: newton_total,
+                    gap: m / t,
+                    t,
+                    converged: true,
+                    centered,
+                });
+            }
+        }
+        if m / t < o.tol {
+            // A stalled final centering only counts as converged when
+            // its decrement certifies the iterate is near the center —
+            // otherwise the gap bound would be fiction and the caller
+            // must see `MaxIterations`.
+            let near_center = centered || last_lambda2 / 2.0 <= LOOSE_CENTER_TOL;
+            if !near_center {
+                // Only the *immediately preceding* outer's center
+                // qualifies (gap within µ·tol): an older center's bound
+                // is too loose to hand back as an answer, and those
+                // cells keep the stalled iterate exactly as before.
+                if let Some(tc) = center_t.filter(|&tc| tc < t && m / tc <= o.tol * o.mu) {
+                    // Fall back to the last clean center: a one-µ-looser
+                    // but *honest* duality bound, and — decisive for the
+                    // sweep's warm chains — healthy slacks. The stalled
+                    // iterate sits pressed against the boundary (slacks
+                    // at the f64 noise floor), and every neighbouring
+                    // cell that warm-starts from it would pay a full
+                    // cold climb to recover.
+                    x.copy_from_slice(&s.center);
+                    return Ok(BarrierRun {
+                        x,
+                        outer,
+                        newton: newton_total,
+                        gap: m / tc,
+                        t: tc,
+                        converged: false,
+                        centered: true,
+                    });
+                }
+            }
+            return Ok(BarrierRun {
+                x,
+                outer,
+                newton: newton_total,
+                gap: m / t,
+                t,
+                converged: near_center,
+                centered,
+            });
+        }
+        if outer >= o.max_outer {
+            return Ok(BarrierRun {
+                x,
+                outer,
+                newton: newton_total,
+                gap: m / t,
+                t,
+                converged: false,
+                centered,
+            });
+        }
+        t *= o.mu;
+    }
+}
+
 impl BarrierSolver {
     /// Creates a solver with the given options.
     ///
@@ -467,6 +1315,8 @@ impl BarrierSolver {
             scratch: SolverScratch::new(),
             eq_cache: None,
             reducer: RowReducer::default(),
+            aug: AugStorage::default(),
+            pool: VecPool::default(),
         }
     }
 
@@ -478,6 +1328,18 @@ impl BarrierSolver {
     /// The scratch buffers (exposed for capacity diagnostics).
     pub fn scratch(&self) -> &SolverScratch {
         &self.scratch
+    }
+
+    /// Cumulative wall-clock seconds spent inside the per-cell row-reduction
+    /// pass (sweep telemetry; the one-time analysis build is reported by
+    /// [`BarrierSolver::reduce_analysis_seconds`]).
+    pub fn reduce_seconds(&self) -> f64 {
+        self.reducer.reduce_seconds()
+    }
+
+    /// Seconds the (last) row-reduction analysis build took.
+    pub fn reduce_analysis_seconds(&self) -> f64 {
+        self.reducer.analysis_build_seconds()
     }
 
     /// Solves a [`Problem`].
@@ -541,14 +1403,22 @@ impl BarrierSolver {
         let n = prob.num_vars();
 
         // Eliminate equality constraints: x = x_p + F z.
-        let (x_p, f_basis) = self.reduce_equalities(prob)?;
-        let mut dense = project_problem(prob, &x_p, f_basis.as_deref());
-        let rows_pruned = self.reduce_rows(prob, &mut dense, f_basis.is_some());
-        let nz = dense.n;
-
-        let mut outer_total = 0;
-        let mut newton_total = 0;
-        let mut phase1_steps = 0;
+        let (x_p, f_basis) = reduce_equalities_cached(&mut self.eq_cache, prob)?;
+        let proj = project_problem(prob, &x_p, f_basis.as_deref());
+        // Row reduction (box-grounded domination; see the reduce module).
+        // The per-cell path copies the surviving indices out of the
+        // reducer so the engine's disjoint field borrows stay simple; the
+        // family path avoids even that copy.
+        let kept: Option<Vec<usize>> = if self.opts.row_reduction && f_basis.is_none() {
+            self.reducer.select(prob).map(<[usize]>::to_vec)
+        } else {
+            None
+        };
+        let rows_pruned = kept.as_ref().map_or(0, |k| proj.a.rows() - k.len());
+        let b_active: Vec<f64> = match &kept {
+            Some(k) => k.iter().map(|&i| proj.b[i]).collect(),
+            None => proj.b.clone(),
+        };
 
         // Projected warm start, when one was supplied with the right size.
         let warm_z0: Option<Vec<f64>> = x0.filter(|v| v.len() == n).map(|x0| match &f_basis {
@@ -557,152 +1427,53 @@ impl BarrierSolver {
             None => x0.to_vec(),
         });
 
-        // Warm fast path: a strictly interior supplied point enters phase II
-        // directly — the log barrier only needs positive slacks, and a
-        // neighbouring optimum's active constraints carry slacks far below
-        // `phase1_margin` (they shrink like the reciprocal of the final
-        // barrier parameter) — at the barrier parameter that best matches
-        // the point (Boyd & Vandenberghe §11.3.1, t₀ = argmin‖t∇f₀ + ∇φ‖;
-        // starting a near-optimal point at t₀ = 1 would drag it back toward
-        // the analytic center and waste the whole warm start). If the
-        // centering stalls — the supplied point fit a *different* problem —
-        // fall through to the cold path rather than certify a stale point.
-        let mut phase1_seed: Option<Vec<f64>> = None;
-        if let Some(z0) = warm_z0 {
-            if dense.num_ineq() > 0 && dense.max_violation(&z0) < 0.0 {
-                if estimate_t {
-                    // The attempt gets a small Newton budget: a genuine
-                    // warm start (neighbouring optimum, matching barrier
-                    // parameter) re-centers in a handful of steps, while a
-                    // mismatched one stalls against the boundary — detect
-                    // that cheaply and fall back instead of grinding.
-                    let t_start = self.estimate_warm_t0(&dense, &z0);
-                    let ctrl = RunCtrl {
-                        newton_budget: Some(WARM_TRY_BUDGET),
-                        ..RunCtrl::default()
-                    };
-                    let run = self.run_barrier_impl(&dense, z0.clone(), t_start, ctrl)?;
-                    outer_total += run.outer;
-                    newton_total += run.newton;
-                    if run.centered {
-                        return Ok(assemble_solution(
-                            prob,
-                            &x_p,
-                            f_basis.as_deref(),
-                            run,
-                            outer_total,
-                            newton_total,
-                            phase1_steps,
-                            rows_pruned,
-                        ));
-                    }
-                    // Stalled: the point hugs a corner where phase II at
-                    // t₀ would crawl for hundreds of steps. Hand it to the
-                    // cold path below — its margin rule sends slack-< margin
-                    // points through phase I, which re-centers them off the
-                    // boundary far more cheaply than barrier descent can.
-                    phase1_seed = Some(z0);
-                } else {
-                    // Seed mode: phase II from the point at the configured
-                    // t₀ (seeds are interior by construction).
-                    let run =
-                        self.run_barrier_impl(&dense, z0, self.opts.t0, RunCtrl::default())?;
-                    outer_total += run.outer;
-                    newton_total += run.newton;
-                    return Ok(assemble_solution(
-                        prob,
-                        &x_p,
-                        f_basis.as_deref(),
-                        run,
-                        outer_total,
-                        newton_total,
-                        phase1_steps,
-                        rows_pruned,
-                    ));
-                }
-            } else {
-                // Infeasible for the new problem: still a better phase-I
-                // seed than the origin.
-                phase1_seed = Some(z0);
+        let mut aug = AugSource::Lazy(&mut self.aug);
+        let flow = solve_flow(
+            &self.opts,
+            &mut self.scratch,
+            &mut self.pool,
+            &proj,
+            None,
+            &b_active,
+            kept.as_deref(),
+            &mut aug,
+            f_basis.is_some(),
+            warm_z0.as_deref(),
+            estimate_t,
+        )?;
+        match flow.verdict {
+            FlowVerdict::Feasible(run) => {
+                let sol = assemble_solution(
+                    prob,
+                    &x_p,
+                    f_basis.as_deref(),
+                    run,
+                    flow.outer,
+                    flow.newton,
+                    flow.phase1_steps,
+                    rows_pruned,
+                );
+                Ok(sol)
+            }
+            FlowVerdict::Infeasible { cert, polished } => {
+                let certificate =
+                    verify_cert_parts(prob, &x_p, f_basis.as_deref(), cert, self.scratch.cert_ws());
+                // `polished` promises a minted certificate: if the
+                // final verification pass (full rows, normalized
+                // multipliers) rejects what the in-run check accepted,
+                // the polish produced nothing transferable and must
+                // not be counted.
+                let polished = polished && certificate.is_some();
+                Ok(Solution::infeasible(
+                    flow.outer,
+                    flow.newton,
+                    flow.phase1_steps,
+                    certificate,
+                    rows_pruned,
+                    polished,
+                ))
             }
         }
-
-        // Cold path (and the fallback for a stalled warm run).
-        let warm_origin = phase1_seed.is_some() && estimate_t;
-        let mut z0 = phase1_seed.unwrap_or_else(|| vec![0.0; nz]);
-        if dense.num_ineq() > 0 && dense.max_violation(&z0) >= -self.opts.phase1_margin {
-            let p1 = self.phase1(&dense, &z0, f_basis.is_some())?;
-            outer_total += p1.outer;
-            newton_total += p1.newton;
-            phase1_steps += p1.newton;
-            match p1.z {
-                Some(z_feas) => z0 = z_feas,
-                None => {
-                    let certificate =
-                        self.verify_cert_parts(prob, &x_p, f_basis.as_deref(), p1.cert);
-                    // `polished` promises a minted certificate: if the
-                    // final verification pass (full rows, normalized
-                    // multipliers) rejects what the in-run check accepted,
-                    // the polish produced nothing transferable and must
-                    // not be counted.
-                    let polished = p1.polished && certificate.is_some();
-                    return Ok(Solution::infeasible(
-                        outer_total,
-                        newton_total,
-                        phase1_steps,
-                        certificate,
-                        rows_pruned,
-                        polished,
-                    ));
-                }
-            }
-            // Warm resume: when the supplied point was a neighbouring
-            // optimum (warm semantics) that phase I just nudged back into
-            // the strict interior — it stalled against the boundary, or
-            // violated the new constraints slightly — it is still
-            // essentially optimal, so re-enter the central path at the
-            // matching barrier parameter instead of re-climbing from t₀.
-            // Without this, a degenerate active set (e.g. the gradient
-            // rows at low targets, whose optimum has machine-epsilon
-            // slack) costs a full cold climb on every link of a warm
-            // chain. The attempt is budgeted exactly like the direct warm
-            // fast path and falls back to the cold climb if it stalls.
-            if warm_origin {
-                let t_start = self.estimate_warm_t0(&dense, &z0);
-                let ctrl = RunCtrl {
-                    newton_budget: Some(WARM_TRY_BUDGET),
-                    ..RunCtrl::default()
-                };
-                let run = self.run_barrier_impl(&dense, z0.clone(), t_start, ctrl)?;
-                outer_total += run.outer;
-                newton_total += run.newton;
-                if run.converged && run.centered {
-                    return Ok(assemble_solution(
-                        prob,
-                        &x_p,
-                        f_basis.as_deref(),
-                        run,
-                        outer_total,
-                        newton_total,
-                        phase1_steps,
-                        rows_pruned,
-                    ));
-                }
-            }
-        }
-        let run = self.run_barrier_impl(&dense, z0, self.opts.t0, RunCtrl::default())?;
-        outer_total += run.outer;
-        newton_total += run.newton;
-        Ok(assemble_solution(
-            prob,
-            &x_p,
-            f_basis.as_deref(),
-            run,
-            outer_total,
-            newton_total,
-            phase1_steps,
-            rows_pruned,
-        ))
     }
 
     /// Runs phase I only: returns a strictly feasible point for the
@@ -735,36 +1506,66 @@ impl BarrierSolver {
         seed: Option<&[f64]>,
     ) -> Result<FeasibleOutcome> {
         prob.validate()?;
-        let (x_p, f_basis) = self.reduce_equalities(prob)?;
-        let mut dense = project_problem(prob, &x_p, f_basis.as_deref());
-        let rows_pruned = self.reduce_rows(prob, &mut dense, f_basis.is_some());
+        let (x_p, f_basis) = reduce_equalities_cached(&mut self.eq_cache, prob)?;
+        let proj = project_problem(prob, &x_p, f_basis.as_deref());
+        let kept: Option<Vec<usize>> = if self.opts.row_reduction && f_basis.is_none() {
+            self.reducer.select(prob).map(<[usize]>::to_vec)
+        } else {
+            None
+        };
+        let rows_pruned = kept.as_ref().map_or(0, |k| proj.a.rows() - k.len());
+        let b_active: Vec<f64> = match &kept {
+            Some(k) => k.iter().map(|&i| proj.b[i]).collect(),
+            None => proj.b.clone(),
+        };
         let z0 = match seed.filter(|v| v.len() == prob.num_vars()) {
             Some(x0) => match &f_basis {
                 Some(f) => f.matvec_t(&vecops::sub(x0, &x_p)),
                 None => x0.to_vec(),
             },
-            None => vec![0.0; dense.n],
+            None => vec![0.0; proj.n],
         };
-        if dense.num_ineq() == 0 || dense.max_violation(&z0) < -self.opts.phase1_margin {
-            return Ok(FeasibleOutcome {
+        let mut aug = AugSource::Lazy(&mut self.aug);
+        let flow = feasible_flow(
+            &self.opts,
+            &mut self.scratch,
+            &mut self.pool,
+            &proj,
+            None,
+            &b_active,
+            kept.as_deref(),
+            &mut aug,
+            f_basis.is_some(),
+            &z0,
+        )?;
+        match flow {
+            FeasFlow::Instant => Ok(FeasibleOutcome {
                 point: Some(lift(&x_p, f_basis.as_deref(), &z0)),
                 certificate: None,
                 newton_steps: 0,
                 rows_pruned,
                 polished: false,
-            });
-        }
-        let p1 = self.phase1(&dense, &z0, f_basis.is_some())?;
-        match p1.z {
-            Some(z) => Ok(FeasibleOutcome {
-                point: Some(lift(&x_p, f_basis.as_deref(), &z)),
-                certificate: None,
-                newton_steps: p1.newton,
-                rows_pruned,
-                polished: false,
             }),
-            None => {
-                let certificate = self.verify_cert_parts(prob, &x_p, f_basis.as_deref(), p1.cert);
+            FeasFlow::Found(p1) => {
+                let z = p1.z.expect("Found carries a feasible point");
+                let point = Some(lift(&x_p, f_basis.as_deref(), &z));
+                self.pool.put(z);
+                Ok(FeasibleOutcome {
+                    point,
+                    certificate: None,
+                    newton_steps: p1.newton,
+                    rows_pruned,
+                    polished: false,
+                })
+            }
+            FeasFlow::Infeasible(p1) => {
+                let certificate = verify_cert_parts(
+                    prob,
+                    &x_p,
+                    f_basis.as_deref(),
+                    p1.cert,
+                    self.scratch.cert_ws(),
+                );
                 // As in `solve_inner`: `polished` only counts when the
                 // verified certificate actually materialized.
                 let polished = p1.polished && certificate.is_some();
@@ -778,573 +1579,92 @@ impl BarrierSolver {
             }
         }
     }
+}
 
-    /// Runs the row-reduction pass over `dense` (shared by every solve
-    /// entry point, so the gate and the accounting cannot drift apart):
-    /// prunes linear rows another retained row implies over the variable
-    /// box, returning how many were dropped. Skipped — returning 0 — when
-    /// the option is off or the system is equality-reduced (`reduced`),
-    /// whose projected rows lose the box structure the certificate grounds
-    /// on. The feasible set, and therefore every verdict, is unchanged;
-    /// only the barrier sees fewer rows.
-    fn reduce_rows(&mut self, prob: &Problem, dense: &mut Dense, reduced: bool) -> usize {
-        if !self.opts.row_reduction || reduced {
-            return 0;
-        }
-        match self.reducer.select(prob) {
-            Some(kept) => {
-                let pruned = dense.a.rows() - kept.len();
-                dense.restrict(kept);
-                pruned
-            }
-            None => 0,
-        }
+/// Maps raw reduced-space certificate parts back to the original
+/// variables and keeps them only if they genuinely certify `prob`
+/// (the barrier multipliers are approximate; an unverified certificate
+/// must never circulate).
+pub(crate) fn verify_cert_parts(
+    prob: &Problem,
+    x_p: &[f64],
+    f_basis: Option<&Matrix>,
+    parts: Option<CertParts>,
+    ws: &mut CertScratch,
+) -> Option<Certificate> {
+    let parts = parts?;
+    let cert = Certificate {
+        lambda_lin: parts.lambda_lin,
+        lambda_quad: parts.lambda_quad,
+        anchor: lift(x_p, f_basis, &parts.anchor_z),
+    };
+    cert.certifies(prob, ws).then_some(cert)
+}
+
+/// Computes a particular solution and nullspace basis for the equality
+/// system `A x = b`, returning `(x_p, None)` with `x_p = 0` when there
+/// are no equalities.
+///
+/// The QR factorization of `Aᵀ` is cached keyed by the constraint rows:
+/// a sweep of problems sharing one equality structure (the common case
+/// — only right-hand sides vary across grid cells) re-projects the
+/// right-hand side with one small triangular solve instead of
+/// re-factoring. Shared by the per-cell [`BarrierSolver`] path and
+/// [`crate::ProblemFamily`] construction.
+pub(crate) fn reduce_equalities_cached(
+    cache: &mut Option<EqReduction>,
+    prob: &Problem,
+) -> Result<(Vec<f64>, Option<Arc<Matrix>>)> {
+    let n = prob.num_vars();
+    let (rows, rhs) = prob.equalities();
+    if rows.is_empty() {
+        return Ok((vec![0.0; n], None));
     }
-
-    /// Maps raw reduced-space certificate parts back to the original
-    /// variables and keeps them only if they genuinely certify `prob`
-    /// (the barrier multipliers are approximate; an unverified certificate
-    /// must never circulate).
-    fn verify_cert_parts(
-        &mut self,
-        prob: &Problem,
-        x_p: &[f64],
-        f_basis: Option<&Matrix>,
-        parts: Option<CertParts>,
-    ) -> Option<Certificate> {
-        let parts = parts?;
-        let cert = Certificate {
-            lambda_lin: parts.lambda_lin,
-            lambda_quad: parts.lambda_quad,
-            anchor: lift(x_p, f_basis, &parts.anchor_z),
-        };
-        cert.certifies(prob, self.scratch.cert_ws()).then_some(cert)
+    let k = rows.len();
+    if k > n {
+        return Err(CvxError::InconsistentEqualities);
     }
-
-    /// The warm-start barrier parameter `t₀ = −⟨∇f₀, ∇φ⟩ / ‖∇f₀‖²` at a
-    /// strictly feasible `x`: the `t` whose centering condition
-    /// `t∇f₀ + ∇φ = 0` the supplied point comes closest to satisfying. At a
-    /// near-optimal warm start this recovers the `t` of the neighbouring
-    /// solve's final centering, so phase II resumes where it left off
-    /// instead of re-climbing the central path from `t₀`.
-    fn estimate_warm_t0(&mut self, dense: &Dense, x: &[f64]) -> f64 {
-        let s = self.scratch.for_dim(dense.n);
-        // s.grad = ∇φ (pure barrier gradient, no Hessian assembly).
-        dense.barrier_gradient_into(x, s);
-        // s.bs = ∇f₀.
-        if let Some(p) = &dense.p0 {
-            p.matvec_into(x, &mut s.bs);
-            vecops::axpy(1.0, &dense.q0, &mut s.bs);
-        } else {
-            s.bs.copy_from_slice(&dense.q0);
-        }
-        let gg = vecops::dot(&s.bs, &s.bs);
-        if !gg.is_finite() || gg <= 1e-300 {
-            return self.opts.t0;
-        }
-        let t = -vecops::dot(&s.bs, &s.grad) / gg;
-        if t.is_finite() {
-            // The upper clamp bound must not fall below t0 (clamp panics on
-            // an inverted range, and validate() allows arbitrarily large t0).
-            t.clamp(self.opts.t0, self.opts.t0.max(1e12))
-        } else {
-            self.opts.t0
-        }
+    let cached = cache
+        .as_ref()
+        .is_some_and(|c| c.q_thin.rows() == n && c.rows == rows);
+    if !cached {
+        // QR of Aᵀ (n × k): A = RᵀQᵀ, so x_p = Q_thin (Rᵀ)⁻¹ b.
+        let at = Matrix::from_fn(n, k, |r, c| rows[c][r]);
+        let qr = Qr::factor(&at)?;
+        let q = qr.q();
+        *cache = Some(EqReduction {
+            rows: rows.to_vec(),
+            q_thin: Matrix::from_fn(n, k, |r, c| q[(r, c)]),
+            r: qr.r(),
+            f: Arc::new(qr.nullspace_basis()),
+        });
     }
-
-    /// Phase I: minimize `s` subject to `fᵢ(z) ≤ s`. Returns a strictly
-    /// feasible `z` (or `None`), the iteration counts — which cover the
-    /// failed case too — and, on failure, the raw Farkas certificate
-    /// material from the final centered iterate.
-    ///
-    /// Two early exits bound the work: the run stops the moment any iterate
-    /// certifies feasibility (`s < −margin`), and stops with an
-    /// infeasibility verdict as soon as the duality bound proves
-    /// `s* > −margin` (`s_cur − 2·gap > −margin`, with a factor-2 cushion
-    /// for the inexact centering) — deeply infeasible cells no longer
-    /// polish a verdict to tolerance that was already decided.
-    /// `reduced` marks an equality-eliminated problem: its projected rows
-    /// are dense, so the box-harvesting Farkas exit can never fire and is
-    /// skipped (the centered duality-gap exit still applies).
-    fn phase1(&mut self, dense: &Dense, z0: &[f64], reduced: bool) -> Result<Phase1Outcome> {
-        let nz = dense.n;
-        let n_aug = nz + 1;
-        let m_lin = dense.num_lin();
-        // Augmented rows [aᵢ, −1] over the *active* rows only (pruned rows
-        // stay out of phase I too); augmented quads keep P in the leading
-        // block and gain the −1 on s.
-        let mut a_aug = Matrix::zeros(m_lin, n_aug);
-        for i in 0..m_lin {
-            let row = a_aug.row_mut(i);
-            row[..nz].copy_from_slice(dense.lin_row(i));
-            row[nz] = -1.0;
+    let cache = cache.as_ref().expect("cache populated above");
+    // Forward substitution on Rᵀ w = b (cheap; this is all that varies
+    // between cache hits).
+    let r = &cache.r;
+    let mut w = rhs.to_vec();
+    let rscale = r.norm_max().max(1.0);
+    for i in 0..k {
+        for j in 0..i {
+            let rji = r[(j, i)];
+            w[i] -= rji * w[j];
         }
-        let mut aug = Dense {
-            n: n_aug,
-            p0: None,
-            q0: {
-                let mut q = vec![0.0; n_aug];
-                q[nz] = 1.0; // minimize s
-                q
-            },
-            a: a_aug,
-            b: dense.b.clone(),
-            rows: None,
-            quad: Vec::with_capacity(dense.quad.len()),
-        };
-        for q in &dense.quad {
-            let mut p = Matrix::zeros(n_aug, n_aug);
-            for r in 0..nz {
-                for c in 0..nz {
-                    p[(r, c)] = q.p[(r, c)];
-                }
-            }
-            let mut qv = q.q.clone();
-            qv.push(-1.0);
-            aug.quad.push(QuadConstraint { p, q: qv, r: q.r });
-        }
-
-        let viol = dense.max_violation(z0);
-        let mut start = z0.to_vec();
-        let s0 = viol + f64::max(1.0, viol.abs() * 0.1);
-        start.push(s0);
-
-        // Start the barrier parameter high enough that the first centering
-        // weights the objective comparably to the (many) barrier terms;
-        // otherwise the analytic center throws `s` far upward and the
-        // solver wastes centerings crawling back down.
-        let t0 = (aug.num_ineq() as f64 / (s0.abs() + 1.0)).max(self.opts.t0);
-        let margin = self.opts.phase1_margin;
-        // Feasibility is decided by `s* < -margin`, so phase I must drive
-        // its duality gap below the margin — a frontier point with
-        // `s* ∈ (-tol, -margin)` would otherwise be misreported as
-        // infeasible when the loose sweep tolerance stops the climb early.
-        // The early exits fire the moment either verdict is certain, so the
-        // tighter gap only costs outers on razor-thin frontier cells.
-        let saved_opts = self.opts;
-        self.opts.tol = self.opts.tol.min(margin.max(1e-12));
-        let feasible_exit = |pt: &[f64]| pt[nz] < -margin;
-        // Infeasibility is decided two ways, both sound: at a centered
-        // point the duality bound `s* ≥ s − 2·gap` (factor-2 cushion for
-        // the inexact centering) proves `s* > −margin`; at *any* iterate
-        // the Farkas candidate `λᵢ = 1/(s − fᵢ(z))` may already certify
-        // through the box-grounded bound — which is what rescues the runs
-        // whose centerings stall near the end of the climb.
-        // Borrow the solver's warm certificate workspace for the duration
-        // of the run (a RefCell because the exit closure only sees `&self`
-        // borrows); returned below so repeated phase-I runs stay
-        // allocation-free once the buffers have grown.
-        let cert_ws = std::cell::RefCell::new(std::mem::take(self.scratch.cert_ws()));
-        let infeasible_exit = |pt: &[f64], gap: f64, centered: bool| {
-            (centered && pt[nz] - 2.0 * gap > -margin)
-                || (!reduced && phase1_infeas_check(dense, pt, &mut cert_ws.borrow_mut()))
-        };
-        let ctrl = RunCtrl {
-            early_exit: Some(&feasible_exit),
-            bound_exit: Some(&infeasible_exit),
-            newton_budget: None,
-        };
-        let run = self.run_barrier_impl(&aug, start, t0, ctrl);
-        let outcome = match run {
-            Err(e) => Err(e),
-            Ok(run) if run.x[nz] < -margin => Ok(Phase1Outcome {
-                z: Some(run.x[..nz].to_vec()),
-                outer: run.outer,
-                newton: run.newton,
-                cert: None,
-                polished: false,
-            }),
-            Ok(run) => {
-                // Infeasible. The verdict is final (both exits are sound
-                // proofs of `s* > −margin`), but a verdict that arrived
-                // through the centered duality-gap bound leaves multipliers
-                // that often fail certificate verification — the neighbours
-                // then re-pay a full phase I. The *polish* continuation
-                // climbs a little further with the Farkas check as its only
-                // exit: as `t` grows the centered multipliers concentrate
-                // on the genuinely conflicting rows and the box-grounded
-                // bound turns positive, minting a transferable certificate.
-                // Bounded by `polish_budget` Newton steps; numerical
-                // trouble inside the polish (the climb can push `t` into
-                // ill-conditioned territory) keeps the original iterate —
-                // it must never overturn or error out a settled verdict.
-                let mut final_run = run;
-                let mut polished = false;
-                if !reduced
-                    && saved_opts.polish_budget > 0
-                    && !phase1_infeas_check(dense, &final_run.x, &mut cert_ws.borrow_mut())
-                {
-                    // The box-grounded bound's slack is exactly the
-                    // centering residual: at an *exact* center the
-                    // aggregated gradient ρ vanishes and the bound equals
-                    // the (positive) dual value, so the polish re-centers
-                    // at essentially the same barrier parameter — tiny µ,
-                    // much tighter inner tolerance — instead of climbing
-                    // into the ill-conditioned large-`t` regime where the
-                    // verdict's centerings already stalled.
-                    let phase1_opts = self.opts;
-                    self.opts.mu = 1.5;
-                    self.opts.tol_inner = (phase1_opts.tol_inner * 1e-4).max(1e-12);
-                    let polish_exit = |pt: &[f64], _gap: f64, _centered: bool| {
-                        phase1_infeas_check(dense, pt, &mut cert_ws.borrow_mut())
-                    };
-                    let pctrl = RunCtrl {
-                        early_exit: None,
-                        bound_exit: Some(&polish_exit),
-                        newton_budget: Some(saved_opts.polish_budget),
-                    };
-                    let polish_run =
-                        self.run_barrier_impl(&aug, final_run.x.clone(), final_run.t, pctrl);
-                    self.opts = phase1_opts;
-                    if let Ok(prun) = polish_run {
-                        let minted = phase1_infeas_check(dense, &prun.x, &mut cert_ws.borrow_mut());
-                        // The polish's work is paid either way.
-                        final_run.outer += prun.outer;
-                        final_run.newton += prun.newton;
-                        if minted {
-                            final_run.x = prun.x;
-                            final_run.t = prun.t;
-                            polished = true;
-                        }
-                    }
-                }
-                // Scatter the multipliers of a pruned system back to the
-                // full row space (zero weight on pruned rows changes no
-                // verdict) so the certificate matches the original
-                // problem's rows and can circulate.
-                let cert = extract_cert_parts(&aug, &final_run).map(|mut parts| {
-                    if let Some(rows) = &dense.rows {
-                        let mut full = vec![0.0; dense.a.rows()];
-                        for (pos, &ri) in rows.iter().enumerate() {
-                            full[ri] = parts.lambda_lin[pos];
-                        }
-                        parts.lambda_lin = full;
-                    }
-                    parts
-                });
-                Ok(Phase1Outcome {
-                    z: None,
-                    outer: final_run.outer,
-                    newton: final_run.newton,
-                    cert,
-                    polished,
-                })
-            }
-        };
-        *self.scratch.cert_ws() = cert_ws.into_inner();
-        self.opts = saved_opts;
-        outcome
-    }
-
-    fn run_barrier_impl(
-        &mut self,
-        dense: &Dense,
-        x0: Vec<f64>,
-        t0: f64,
-        ctrl: RunCtrl<'_>,
-    ) -> Result<BarrierRun> {
-        let o = self.opts;
-        let newton_budget = ctrl.newton_budget.unwrap_or(usize::MAX);
-        let s = self.scratch.for_dim(dense.n);
-        let m = dense.num_ineq() as f64;
-        let mut x = x0;
-        let mut newton_total = 0;
-
-        // Unconstrained case: a single Newton solve on the objective.
-        if dense.num_ineq() == 0 {
-            dense.grad_hess_into(1.0, &x, s);
-            if dense.p0.is_none() {
-                // Pure linear objective with no constraints is unbounded
-                // unless the gradient is zero.
-                if vecops::norm_inf(&s.grad) > 1e-12 {
-                    return Err(CvxError::NumericalTrouble {
-                        phase: "unconstrained solve (unbounded objective)",
-                    });
-                }
-                return Ok(BarrierRun {
-                    x,
-                    outer: 0,
-                    newton: 0,
-                    gap: 0.0,
-                    t: t0,
-                    converged: true,
-                    centered: true,
-                });
-            }
-            solve_spd_in_place(s)?;
-            vecops::axpy(1.0, &s.dx, &mut x);
-            return Ok(BarrierRun {
-                x,
-                outer: 1,
-                newton: 1,
-                gap: 0.0,
-                t: t0,
-                converged: true,
-                centered: true,
-            });
-        }
-
-        debug_assert!(
-            dense.max_violation(&x) < 0.0,
-            "barrier loop requires a strictly feasible start"
-        );
-
-        let mut t = t0;
-        let mut outer = 0;
-        let mut last_lambda2 = f64::INFINITY;
-        // Barrier parameter of the last *cleanly centered* outer iterate
-        // (the point itself is kept in `s.center`): the fallback when the
-        // final centering stalls.
-        let mut center_t: Option<f64> = None;
-        loop {
-            // Centering at parameter t; `centered` records whether it ended
-            // by Newton-decrement convergence (vs a stall).
-            let mut centered = false;
-            let mut best_lambda2 = f64::INFINITY;
-            let mut steps_since_progress = 0usize;
-            for _ in 0..o.max_newton {
-                dense.grad_hess_into(t, &x, s);
-                solve_spd_in_place(s)?;
-                let lambda2 = -vecops::dot(&s.grad, &s.dx);
-                if !lambda2.is_finite() {
-                    return Err(CvxError::NumericalTrouble { phase: "newton" });
-                }
-                last_lambda2 = lambda2;
-                if lambda2 / 2.0 <= o.tol_inner {
-                    centered = true;
-                    break;
-                }
-                // Decrement plateau: the centering has hit its noise floor;
-                // abandon it instead of grinding out the whole budget.
-                if lambda2 < PLATEAU_IMPROVE * best_lambda2 {
-                    best_lambda2 = lambda2;
-                    steps_since_progress = 0;
-                } else {
-                    steps_since_progress += 1;
-                    if steps_since_progress >= PLATEAU_BREAK {
-                        break;
-                    }
-                }
-                // Backtracking line search on the barrier function, entered
-                // at the fraction-to-boundary step so near-boundary starts
-                // get real candidates instead of infeasible ones.
-                let psi0 = dense
-                    .barrier_value(t, &x)
-                    .ok_or(CvxError::NumericalTrouble {
-                        phase: "line search",
-                    })?;
-                let mut alpha = dense.max_step(&x, &s.dx, &mut s.qgrad);
-                let mut accepted = false;
-                while alpha > 1e-14 {
-                    vecops::add_scaled_into(&x, alpha, &s.dx, &mut s.cand);
-                    if let Some(psi) = dense.barrier_value(t, &s.cand) {
-                        if psi <= psi0 - o.armijo * alpha * lambda2 {
-                            std::mem::swap(&mut x, &mut s.cand);
-                            accepted = true;
-                            break;
-                        }
-                    }
-                    alpha *= o.beta;
-                }
-                newton_total += 1;
-                if newton_total >= newton_budget {
-                    return Ok(BarrierRun {
-                        x,
-                        outer,
-                        newton: newton_total,
-                        gap: m / t,
-                        t,
-                        converged: false,
-                        centered: false,
-                    });
-                }
-                if debug_enabled() && newton_total % 16 == 0 {
-                    eprintln!(
-                        "[newton {newton_total}] t={t:.1e} lambda2={lambda2:.3e} alpha={:.3e} accepted={accepted}",
-                        alpha
-                    );
-                }
-                if !accepted {
-                    // Line search stalled: no certified center at this t.
-                    break;
-                }
-                if let Some(exit) = ctrl.early_exit {
-                    if exit(&x) {
-                        return Ok(BarrierRun {
-                            x,
-                            outer,
-                            newton: newton_total,
-                            gap: m / t,
-                            t,
-                            converged: true,
-                            centered: true,
-                        });
-                    }
-                }
-            }
-            outer += 1;
-            if centered {
-                s.center.copy_from_slice(&x);
-                center_t = Some(t);
-            }
-            if debug_enabled() {
-                eprintln!(
-                    "[barrier] outer {outer}: t={t:.3e} newton_total={newton_total} centered={centered} x_last={:.6e} obj={:.6e}",
-                    x.last().copied().unwrap_or(f64::NAN),
-                    dense.objective(&x)
-                );
-            }
-            if let Some(exit) = ctrl.early_exit {
-                if exit(&x) {
-                    return Ok(BarrierRun {
-                        x,
-                        outer,
-                        newton: newton_total,
-                        gap: m / t,
-                        t,
-                        converged: true,
-                        centered: true,
-                    });
-                }
-            }
-            // Infeasibility exit (phase I's verdict): checked after every
-            // outer iteration; the predicate receives `centered` so it can
-            // gate its duality-gap test while running certificate tests —
-            // which are sound at any iterate — unconditionally.
-            if let Some(exit) = ctrl.bound_exit {
-                if exit(&x, m / t, centered) {
-                    return Ok(BarrierRun {
-                        x,
-                        outer,
-                        newton: newton_total,
-                        gap: m / t,
-                        t,
-                        converged: true,
-                        centered,
-                    });
-                }
-            }
-            if m / t < o.tol {
-                // A stalled final centering only counts as converged when
-                // its decrement certifies the iterate is near the center —
-                // otherwise the gap bound would be fiction and the caller
-                // must see `MaxIterations`.
-                let near_center = centered || last_lambda2 / 2.0 <= LOOSE_CENTER_TOL;
-                if !near_center {
-                    // Only the *immediately preceding* outer's center
-                    // qualifies (gap within µ·tol): an older center's bound
-                    // is too loose to hand back as an answer, and those
-                    // cells keep the stalled iterate exactly as before.
-                    if let Some(tc) = center_t.filter(|&tc| tc < t && m / tc <= o.tol * o.mu) {
-                        // Fall back to the last clean center: a one-µ-looser
-                        // but *honest* duality bound, and — decisive for the
-                        // sweep's warm chains — healthy slacks. The stalled
-                        // iterate sits pressed against the boundary (slacks
-                        // at the f64 noise floor), and every neighbouring
-                        // cell that warm-starts from it would pay a full
-                        // cold climb to recover.
-                        x.copy_from_slice(&s.center);
-                        return Ok(BarrierRun {
-                            x,
-                            outer,
-                            newton: newton_total,
-                            gap: m / tc,
-                            t: tc,
-                            converged: false,
-                            centered: true,
-                        });
-                    }
-                }
-                return Ok(BarrierRun {
-                    x,
-                    outer,
-                    newton: newton_total,
-                    gap: m / t,
-                    t,
-                    converged: near_center,
-                    centered,
-                });
-            }
-            if outer >= o.max_outer {
-                return Ok(BarrierRun {
-                    x,
-                    outer,
-                    newton: newton_total,
-                    gap: m / t,
-                    t,
-                    converged: false,
-                    centered,
-                });
-            }
-            t *= o.mu;
-        }
-    }
-
-    /// Computes a particular solution and nullspace basis for the equality
-    /// system `A x = b`, returning `(x_p, None)` with `x_p = 0` when there
-    /// are no equalities.
-    ///
-    /// The QR factorization of `Aᵀ` is cached keyed by the constraint rows:
-    /// a sweep of problems sharing one equality structure (the common case
-    /// — only right-hand sides vary across grid cells) re-projects the
-    /// right-hand side with one small triangular solve instead of
-    /// re-factoring.
-    fn reduce_equalities(
-        &mut self,
-        prob: &Problem,
-    ) -> Result<(Vec<f64>, Option<std::sync::Arc<Matrix>>)> {
-        let n = prob.num_vars();
-        let (rows, rhs) = prob.equalities();
-        if rows.is_empty() {
-            return Ok((vec![0.0; n], None));
-        }
-        let k = rows.len();
-        if k > n {
+        let d = r[(i, i)];
+        if d.abs() < 1e-12 * rscale {
             return Err(CvxError::InconsistentEqualities);
         }
-        let cached = self
-            .eq_cache
-            .as_ref()
-            .is_some_and(|c| c.q_thin.rows() == n && c.rows == rows);
-        if !cached {
-            // QR of Aᵀ (n × k): A = RᵀQᵀ, so x_p = Q_thin (Rᵀ)⁻¹ b.
-            let at = Matrix::from_fn(n, k, |r, c| rows[c][r]);
-            let qr = Qr::factor(&at)?;
-            let q = qr.q();
-            self.eq_cache = Some(EqReduction {
-                rows: rows.to_vec(),
-                q_thin: Matrix::from_fn(n, k, |r, c| q[(r, c)]),
-                r: qr.r(),
-                f: std::sync::Arc::new(qr.nullspace_basis()),
-            });
-        }
-        let cache = self.eq_cache.as_ref().expect("cache populated above");
-        // Forward substitution on Rᵀ w = b (cheap; this is all that varies
-        // between cache hits).
-        let r = &cache.r;
-        let mut w = rhs.to_vec();
-        let rscale = r.norm_max().max(1.0);
-        for i in 0..k {
-            for j in 0..i {
-                let rji = r[(j, i)];
-                w[i] -= rji * w[j];
-            }
-            let d = r[(i, i)];
-            if d.abs() < 1e-12 * rscale {
-                return Err(CvxError::InconsistentEqualities);
-            }
-            w[i] /= d;
-        }
-        let x_p = cache.q_thin.matvec(&w);
-        // Verify consistency.
-        for (row, &b) in rows.iter().zip(rhs) {
-            if (vecops::dot(row, &x_p) - b).abs() > 1e-7 * (1.0 + b.abs()) {
-                return Err(CvxError::InconsistentEqualities);
-            }
-        }
-        // Cache hits share the basis by reference count — no copy.
-        Ok((x_p, Some(std::sync::Arc::clone(&cache.f))))
+        w[i] /= d;
     }
+    let x_p = cache.q_thin.matvec(&w);
+    // Verify consistency.
+    for (row, &b) in rows.iter().zip(rhs) {
+        if (vecops::dot(row, &x_p) - b).abs() > 1e-7 * (1.0 + b.abs()) {
+            return Err(CvxError::InconsistentEqualities);
+        }
+    }
+    // Cache hits share the basis by reference count — no copy.
+    Ok((x_p, Some(Arc::clone(&cache.f))))
 }
 
 /// Extracts Farkas certificate material from a failed phase-I run: the
@@ -1352,7 +1672,7 @@ impl BarrierSolver {
 /// normalized to sum 1, plus the iterate itself (without the `s` slot) as
 /// the linearization anchor. Returns `None` when any slack is non-positive
 /// (the iterate left the domain — nothing trustworthy to extract).
-fn extract_cert_parts(aug: &Dense, run: &BarrierRun) -> Option<CertParts> {
+fn extract_cert_parts(aug: &Dense<'_>, run: &BarrierRun) -> Option<CertParts> {
     let nz = aug.n - 1;
     let t = run.t;
     if !(t.is_finite() && t > 0.0) {
@@ -1370,7 +1690,7 @@ fn extract_cert_parts(aug: &Dense, run: &BarrierRun) -> Option<CertParts> {
         sum += l;
         lambda_lin.push(l);
     }
-    for q in &aug.quad {
+    for q in aug.quad {
         let slack = -q.eval(&run.x);
         if !(slack.is_finite() && slack > 0.0) {
             return None;
@@ -1414,7 +1734,7 @@ fn extract_cert_parts(aug: &Dense, run: &BarrierRun) -> Option<CertParts> {
 /// NOTE: the aggregation mirrors [`Certificate::certifies`] over the
 /// packed row storage with inline multipliers — keep the two in sync; the
 /// acceptance verdict is shared via `boxed_bound_accepts`.
-fn phase1_infeas_check(dense: &Dense, pt: &[f64], ws: &mut CertScratch) -> bool {
+fn phase1_infeas_check(dense: &Dense<'_>, pt: &[f64], ws: &mut CertScratch) -> bool {
     let nz = dense.n;
     let z = &pt[..nz];
     let s = pt[nz];
@@ -1444,7 +1764,7 @@ fn phase1_infeas_check(dense: &Dense, pt: &[f64], ws: &mut CertScratch) -> bool 
         mag += l * f.abs();
         vecops::axpy(l, row, &mut ws.rho);
     }
-    for q in &dense.quad {
+    for q in dense.quad {
         let f = q.eval(z);
         let slack = s - f;
         if !(slack.is_finite() && slack > 0.0) {
@@ -1467,10 +1787,29 @@ fn phase1_infeas_check(dense: &Dense, pt: &[f64], ws: &mut CertScratch) -> bool 
 }
 
 /// Maps a reduced point back to the original variables: `x = x_p + F z`.
-fn lift(x_p: &[f64], f_basis: Option<&Matrix>, z: &[f64]) -> Vec<f64> {
+pub(crate) fn lift(x_p: &[f64], f_basis: Option<&Matrix>, z: &[f64]) -> Vec<f64> {
     match f_basis {
         Some(f) => vecops::add(x_p, &f.matvec(z)),
         None => z.to_vec(),
+    }
+}
+
+/// Allocation-free [`lift`]: `out` is resized (capacity permitting) and
+/// overwritten with `x_p + F z`.
+pub(crate) fn lift_into(x_p: &[f64], f_basis: Option<&Matrix>, z: &[f64], out: &mut Vec<f64>) {
+    match f_basis {
+        Some(f) => {
+            out.clear();
+            out.resize(x_p.len(), 0.0);
+            f.matvec_into(z, out);
+            for (o, &p) in out.iter_mut().zip(x_p) {
+                *o += p;
+            }
+        }
+        None => {
+            out.clear();
+            out.extend_from_slice(z);
+        }
     }
 }
 
@@ -1574,7 +1913,7 @@ fn solve_spd_in_place(s: &mut DimScratch) -> Result<()> {
 /// Projects the problem into the reduced space `x = x_p + F z`, packing the
 /// linear inequality rows into one contiguous matrix for the blocked
 /// Newton assembly.
-fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
+pub(crate) fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> ProjStorage {
     let (p0, q0, _) = prob.objective();
     let m_lin = prob.lin_rows().len();
     match f {
@@ -1584,13 +1923,12 @@ fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
             for (i, row) in prob.lin_rows().iter().enumerate() {
                 a.row_mut(i).copy_from_slice(row);
             }
-            Dense {
+            ProjStorage {
                 n,
                 p0: p0.cloned(),
                 q0: q0.to_vec(),
                 a,
                 b: prob.lin_rhs().to_vec(),
-                rows: None,
                 quad: prob.quad_constraints().to_vec(),
             }
         }
@@ -1632,13 +1970,12 @@ fn project_problem(prob: &Problem, x_p: &[f64], f: Option<&Matrix>) -> Dense {
                     }
                 })
                 .collect();
-            Dense {
+            ProjStorage {
                 n: nz,
                 p0: p0_z,
                 q0: q0_z,
                 a,
                 b,
-                rows: None,
                 quad,
             }
         }

@@ -95,6 +95,83 @@ impl CertScratch {
     }
 }
 
+/// A borrowed, storage-agnostic view of one problem's inequality data —
+/// what a certificate check actually reads. Constructed from a full
+/// [`Problem`] ([`Problem::view`]) or from a [`crate::ProblemFamily`] plus
+/// a cell's right-hand sides ([`crate::ProblemFamily::view_with`]); both
+/// run the identical aggregation, so family-side screens are bit-identical
+/// to per-cell screens.
+#[derive(Clone, Copy)]
+pub struct ProblemView<'a> {
+    pub(crate) n: usize,
+    pub(crate) rows: RowsRef<'a>,
+    pub(crate) rhs: &'a [f64],
+    pub(crate) quad: &'a [crate::QuadConstraint],
+}
+
+/// Row storage behind a [`ProblemView`]: per-row slices (a [`Problem`]) or
+/// one packed row-major matrix (a [`crate::ProblemFamily`]).
+#[derive(Clone, Copy)]
+pub(crate) enum RowsRef<'a> {
+    Slices(&'a [Vec<f64>]),
+    Packed(&'a protemp_linalg::Matrix),
+}
+
+impl RowsRef<'_> {
+    pub(crate) fn row(&self, i: usize) -> &[f64] {
+        match self {
+            RowsRef::Slices(r) => &r[i],
+            RowsRef::Packed(m) => m.row(i),
+        }
+    }
+}
+
+impl<'a> ProblemView<'a> {
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of linear inequality rows.
+    pub fn num_lin(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Worst inequality violation at `x` (≤ 0 means feasible); mirrors
+    /// [`Problem::max_violation`] over whichever storage backs the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the view's variable count.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n);
+        let mut worst = f64::NEG_INFINITY;
+        for i in 0..self.num_lin() {
+            worst = worst.max(vecops::dot(self.rows.row(i), x) - self.rhs[i]);
+        }
+        for q in self.quad {
+            worst = worst.max(q.eval(x));
+        }
+        if self.num_lin() + self.quad.len() == 0 {
+            0.0
+        } else {
+            worst
+        }
+    }
+}
+
+impl Problem {
+    /// The borrowed inequality view certificate checks run on.
+    pub fn view(&self) -> ProblemView<'_> {
+        ProblemView {
+            n: self.num_vars(),
+            rows: RowsRef::Slices(self.lin_rows()),
+            rhs: self.lin_rhs(),
+            quad: self.quad_constraints(),
+        }
+    }
+}
+
 impl Certificate {
     /// Structural validity: every multiplier finite and nonnegative, every
     /// anchor coordinate finite. [`Certificate::certifies`] re-checks this
@@ -201,12 +278,18 @@ impl Certificate {
     /// `ws` is clobbered; reuse one [`CertScratch`] across checks to keep
     /// the screen allocation-free.
     pub fn certifies(&self, prob: &Problem, ws: &mut CertScratch) -> bool {
-        let n = prob.num_vars();
-        let lin_rows = prob.lin_rows();
-        let lin_rhs = prob.lin_rhs();
-        let quad = prob.quad_constraints();
+        self.certifies_view(prob.view(), ws)
+    }
+
+    /// As [`Certificate::certifies`], over a borrowed [`ProblemView`] —
+    /// the entry point for sweep-shared problem families, which have no
+    /// per-cell [`Problem`] to hand over. Identical aggregation, identical
+    /// verdicts.
+    pub fn certifies_view(&self, v: ProblemView<'_>, ws: &mut CertScratch) -> bool {
+        let n = v.n;
+        let quad = v.quad;
         if self.anchor.len() != n
-            || self.lambda_lin.len() != lin_rows.len()
+            || self.lambda_lin.len() != v.num_lin()
             || self.lambda_quad.len() != quad.len()
         {
             return false;
@@ -228,7 +311,9 @@ impl Certificate {
         // itself is shared via `boxed_bound_accepts`).
         let mut value = 0.0;
         let mut mag = 0.0;
-        for ((row, &rhs), &l) in lin_rows.iter().zip(lin_rhs).zip(&self.lambda_lin) {
+        for (i, &l) in self.lambda_lin.iter().enumerate() {
+            let row = v.rows.row(i);
+            let rhs = v.rhs[i];
             if let Some((j, c)) = single_entry(row) {
                 let bound = rhs / c;
                 if c > 0.0 {

@@ -63,6 +63,7 @@ mod barrier;
 mod certificate;
 mod error;
 mod expr;
+mod family;
 mod model;
 mod options;
 mod problem;
@@ -72,15 +73,31 @@ mod status;
 mod wrappers;
 
 pub use barrier::{BarrierSolver, FeasibleOutcome};
-pub use certificate::{check_certificate, CertScratch, Certificate};
+pub use certificate::{check_certificate, CertScratch, Certificate, ProblemView};
 pub use error::CvxError;
 pub use expr::{Expr, Var};
+pub use family::{CellSeed, FamilySolver, ProblemFamily};
 pub use model::{Model, ModelSolution};
 pub use options::SolverOptions;
 pub use problem::{Problem, QuadConstraint};
+pub use reduce::ReduceAnalysis;
 pub use scratch::SolverScratch;
 pub use status::{Solution, SolveStatus};
 pub use wrappers::{solve_lp, solve_qp};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, CvxError>;
+
+/// Monotone revision of the solver's *numerical semantics*: bumped whenever
+/// a change alters what a solve computes (row-reduction selection rules,
+/// centering/exit logic, seed handling, …) even though no [`SolverOptions`]
+/// field moved. Consumers that persist solver outputs and later replay them
+/// verbatim (the Pro-Temp table store's incremental rebuilds) must fold
+/// this into their compatibility fingerprints — an artifact built under a
+/// different revision would otherwise be replayed as if the solves were
+/// still bit-identical.
+///
+/// Revision 5: box-free row-reduction analysis (dominators ranked by
+/// coefficient distance, boxed maxima evaluated per cell) and the
+/// stall-proof warm-chain re-entry blend.
+pub const SOLVER_REVISION: u32 = 5;

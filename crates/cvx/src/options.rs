@@ -41,6 +41,18 @@ pub struct SolverOptions {
     /// optimum within the solver tolerance; it only shrinks `m` and the
     /// near-degenerate active sets that stall Newton centerings.
     pub row_reduction: bool,
+    /// Blend strength for the *stall-proof warm-chain re-entry*: when a
+    /// warm-start point sits boundary-degenerate on the next problem
+    /// (worst slack under ~1e-12 — the plateau-stalled iterates the
+    /// low-target gradient rows produce), sweep layers pull it this
+    /// fraction of the way toward the cell's interior heuristic (an
+    /// analytic-center estimate) before re-entering the barrier, lifting
+    /// the dead slacks into real `f64` territory so the warm chain
+    /// survives instead of poisoning the next cell into a cold climb.
+    /// `0` falls back to the legacy hair's-breadth blend (1e-7). The
+    /// solver core itself does not read this; it lives here so it is part
+    /// of the option fingerprint that keys persisted-artifact reuse.
+    pub reentry_pullback: f64,
     /// Newton-step budget for the certificate *polish* continuation: when
     /// phase I proves infeasibility through the centered duality-gap bound
     /// but the extracted multipliers do not yet pass the Farkas check, the
@@ -65,6 +77,7 @@ impl Default for SolverOptions {
             beta: 0.5,
             phase1_margin: 1e-8,
             row_reduction: true,
+            reentry_pullback: 1e-3,
             polish_budget: 40,
         }
     }
@@ -100,6 +113,12 @@ impl SolverOptions {
         }
         if !(self.armijo > 0.0 && self.armijo < 0.5) {
             return Err(format!("armijo must be in (0,0.5), got {}", self.armijo));
+        }
+        if !(self.reentry_pullback >= 0.0 && self.reentry_pullback < 1.0) {
+            return Err(format!(
+                "reentry_pullback must be in [0,1), got {}",
+                self.reentry_pullback
+            ));
         }
         Ok(())
     }

@@ -211,6 +211,13 @@ impl Problem {
         &self.lin_rhs
     }
 
+    /// Mutable borrow of the linear inequality right-hand sides, for
+    /// callers that rebuild a problem family's per-cell data in place
+    /// (coefficients stay fixed; only the rhs vary across a sweep).
+    pub fn lin_rhs_mut(&mut self) -> &mut [f64] {
+        &mut self.lin_rhs
+    }
+
     /// Borrow of the quadratic constraints.
     pub fn quad_constraints(&self) -> &[QuadConstraint] {
         &self.quad

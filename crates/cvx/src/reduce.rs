@@ -32,20 +32,43 @@
 //! [`PRUNE_REL_TOL`] times the accumulated magnitude absorbs the `f64`
 //! rounding of the bound itself, so near ties are kept, never dropped.
 //!
-//! # Cost model
+//! # Cost model: the analysis is box-free, the decision is per-cell
 //!
-//! The expensive part of the certificate — `M`, the boxed maximum of the
-//! coefficient difference — depends only on row *coefficients* and the box
-//! bounds. Across a Phase-1 sweep those are identical for every grid cell;
-//! only the right-hand sides vary (offsets with the starting temperature,
-//! the workload bound with the target). [`RowReducer`] therefore caches
-//! the candidate/dominator pair structure (grouped by nonzero support,
-//! top-[`MAX_DOMINATORS`] smallest-`M` dominators per candidate) once, and
-//! each solve replays it with one `rhs` comparison per cached pair — a few
-//! ten-thousand compares against tens of millions of flops for a fresh
-//! analysis.
+//! Across a Phase-1 sweep every cell shares the row *coefficients*; only
+//! the right-hand sides move (offsets with the starting temperature, the
+//! workload bound with the target) — and with them the harvested box: at
+//! hot starting temperatures the first-step temperature rows (single-entry,
+//! rhs `≈ t_max − t_start`) undercut the static power box. An analysis
+//! keyed on the box would therefore rebuild at exactly those cells, and the
+//! pair enumeration is quadratic per support bucket (tens of millions of
+//! coefficient-difference maximizations) — re-paying it per cell is what
+//! made the PR-4 pruned cold sweep *slower* in wall-clock than the
+//! unpruned one despite fewer Newton steps.
+//!
+//! [`ReduceAnalysis`] is therefore a pure function of the row coefficients:
+//! it buckets multi-entry rows by nonzero support and keeps, per candidate,
+//! the [`MAX_DOMINATORS`] dominator rows with the smallest coefficient
+//! difference (ranked by `‖c − d‖₁`, a box-independent proxy for the boxed
+//! maximum: the near-duplicate rows this pass targets have tiny
+//! differences, hence tiny `M` under *any* box) together with the sparse
+//! difference itself. A cell's prune decision
+//! ([`ReduceAnalysis::select_into`]) is then one fused pass over the
+//! candidates: each stored pair evaluates its boxed maximum `M` against the
+//! cell's own harvested `[lo, hi]` in `O(nnz(c − d))` and compares right
+//! hand sides — `O(candidate rows)` work, no pair cache to probe, nothing
+//! to rebuild, ever. Soundness never depends on *which* dominators were
+//! kept — only the fired inequality, evaluated against the cell's own box,
+//! proves a drop — so the box-free ranking cannot make a verdict unsound,
+//! only (at worst) miss a prune.
+//!
+//! Because the analysis depends on the coefficients alone, every consumer
+//! of one problem family — the per-cell [`crate::BarrierSolver`] path, a
+//! sweep-shared [`crate::ProblemFamily`], any worker thread — derives the
+//! *same* analysis and therefore the same per-cell selections, which is
+//! what keeps family-built tables bit-identical to per-cell-built ones.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::certificate::single_entry;
 use crate::Problem;
@@ -56,245 +79,355 @@ use crate::Problem;
 /// Exact duplicates accumulate zero magnitude and prune at equality.
 pub(crate) const PRUNE_REL_TOL: f64 = 1e-9;
 
-/// Dominator candidates remembered per candidate row (smallest `M` first).
-/// Domination fires when `rhs[dom] + M ≤ rhs[cand]`, so small `M` is the
-/// best per-cell bet; a handful of near-duplicates covers the structured
-/// constraint families this pass targets.
+/// Dominator candidates remembered per candidate row (smallest `‖c − d‖₁`
+/// first). Domination fires when `rhs[dom] + M ≤ rhs[cand]`, and a small
+/// coefficient difference bounds `M` under any cell's box, so the nearest
+/// rows are the best bets; a handful of near-duplicates covers the
+/// structured constraint families this pass targets.
 const MAX_DOMINATORS: usize = 16;
 
 /// Buckets larger than this are skipped entirely: the pair analysis is
-/// quadratic in the bucket size, and this bound keeps the one-time cache
-/// build comfortably below the cost it amortizes away.
+/// quadratic in the bucket size, and this bound keeps the one-time build
+/// comfortably below the cost it amortizes away.
 const MAX_BUCKET: usize = 4096;
 
-/// One cached domination candidate: dropping row `cand` is sound whenever
-/// `rhs[dom] + m_bound ≤ rhs[cand] − PRUNE_REL_TOL·mag` and `dom` has not
-/// itself been dropped first (drop justifications then chain, by
-/// transitivity of the box implication, to a never-dropped row).
+/// One cached domination pair: dropping row `cand` is sound whenever the
+/// boxed maximum `M` of the stored sparse difference `row_cand − row_dom`
+/// satisfies `rhs[dom] + M ≤ rhs[cand] − PRUNE_REL_TOL·mag` under the
+/// cell's box and `dom` has not itself been dropped first (drop
+/// justifications then chain, by transitivity of the box implication, to a
+/// never-dropped row).
 #[derive(Debug, Clone, Copy)]
 struct DominationPair {
     cand: u32,
     dom: u32,
-    /// `max_{x ∈ box} (row_cand − row_dom)ᵀx`, finite by construction.
-    m_bound: f64,
-    /// Accumulated `|term|` magnitude of the bound (rounding scale).
-    mag: f64,
+    /// Range into the sparse-difference arenas.
+    off: u32,
+    len: u32,
 }
 
-/// The cached pair structure plus the exact inputs it was derived from
-/// (the cache key: row coefficients and the *aggregated* per-variable box
-/// `[lo, hi]`). Keying on the aggregated bounds instead of every
-/// single-entry row's rhs matters in practice: the first-horizon-step
-/// temperature rows are single-entry too (no thermal coupling after one
-/// step) and their rhs moves with the starting temperature, but the huge
-/// bounds they imply never beat the real variable boxes — so the
-/// aggregate, and with it the cache, is stable across a whole sweep.
-#[derive(Debug, Clone)]
-struct ReduceCache {
-    rows: Vec<Vec<f64>>,
-    lo: Vec<f64>,
-    hi: Vec<f64>,
-    /// Sorted by `(cand, m_bound, dom)`.
-    pairs: Vec<DominationPair>,
-}
-
-/// Reusable row-reduction state held by a [`crate::BarrierSolver`]: the
-/// pair cache (rebuilt only when row coefficients or the harvested box
-/// change — once per problem family) and the per-solve scratch.
+/// The box-free pair structure of one problem family's linear rows — a
+/// pure function of the row coefficients (the cache key), shareable across
+/// threads via `Arc`.
+///
+/// Build once per family with [`ReduceAnalysis::build`]; apply per cell
+/// with [`ReduceAnalysis::select_into`].
 #[derive(Debug, Clone, Default)]
-pub(crate) struct RowReducer {
-    cache: Option<ReduceCache>,
-    dropped: Vec<bool>,
-    lo: Vec<f64>,
-    hi: Vec<f64>,
+pub struct ReduceAnalysis {
+    /// The exact coefficients the analysis was derived from (cache key for
+    /// [`RowReducer`]; the full copy is deliberate — replaying pairs
+    /// derived from *different* coefficients could prune a non-redundant
+    /// row, so a probabilistic fingerprint is not an acceptable
+    /// substitute).
+    rows: Vec<Vec<f64>>,
+    n: usize,
+    /// Single-entry rows `(row, var, coeff)` in row order — the per-cell
+    /// box harvest visits exactly these instead of re-scanning every row.
+    singles: Vec<(u32, u32, f64)>,
+    /// Sorted by `(cand, ‖diff‖₁, dom)`; grouped runs share a candidate.
+    pairs: Vec<DominationPair>,
+    /// Sparse-difference arenas (indices/values of `row_cand − row_dom`).
+    diff_idx: Vec<u32>,
+    diff_val: Vec<f64>,
+    /// Wall-clock seconds the one-time build took.
+    build_s: f64,
 }
 
-impl RowReducer {
-    /// Selects the surviving linear rows of `prob`. Returns `None` when
-    /// nothing can be pruned (the common small-problem case — the caller
-    /// keeps its packed fast path), otherwise the ascending kept indices.
+impl ReduceAnalysis {
+    /// Analyzes `prob`'s linear rows once: buckets multi-entry rows by
+    /// nonzero support and keeps the [`MAX_DOMINATORS`]
+    /// smallest-difference domination pairs per candidate, with the sparse
+    /// differences themselves so per-cell applications never touch the
+    /// full rows again.
+    pub fn build(prob: &Problem) -> ReduceAnalysis {
+        let t0 = Instant::now();
+        let rows = prob.lin_rows();
+        let n = prob.num_vars();
+
+        let mut singles = Vec::new();
+        // BTreeMap for deterministic bucket order: the selection feeds
+        // bit-identical sweep replay, so no hash-order nondeterminism may
+        // reach the stored pair list.
+        let mut buckets: std::collections::BTreeMap<Vec<u32>, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            if let Some((j, c)) = single_entry(row) {
+                singles.push((i as u32, j as u32, c));
+                continue;
+            }
+            let support: Vec<u32> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(j, _)| j as u32)
+                .collect();
+            if support.len() >= 2 {
+                buckets.entry(support).or_default().push(i as u32);
+            }
+        }
+
+        let mut pairs: Vec<DominationPair> = Vec::new();
+        let mut diff_idx: Vec<u32> = Vec::new();
+        let mut diff_val: Vec<f64> = Vec::new();
+        // Per-candidate best list: (l1, dom), smallest l1 first, ties by
+        // dominator index (determinism).
+        let mut best: Vec<(f64, u32)> = Vec::new();
+        for (support, members) in &buckets {
+            if members.len() < 2 || members.len() > MAX_BUCKET {
+                continue;
+            }
+            for &cand in members {
+                best.clear();
+                for &dom in members {
+                    if dom == cand {
+                        continue;
+                    }
+                    let mut l1 = 0.0;
+                    for &j in support {
+                        l1 += (rows[cand as usize][j as usize] - rows[dom as usize][j as usize])
+                            .abs();
+                    }
+                    let pos = best
+                        .iter()
+                        .position(|&(bl1, bdom)| (l1, dom) < (bl1, bdom))
+                        .unwrap_or(best.len());
+                    if pos < MAX_DOMINATORS {
+                        best.insert(pos, (l1, dom));
+                        best.truncate(MAX_DOMINATORS);
+                    }
+                }
+                for &(_, dom) in &best {
+                    let off = diff_idx.len() as u32;
+                    for &j in support {
+                        let d = rows[cand as usize][j as usize] - rows[dom as usize][j as usize];
+                        if d != 0.0 {
+                            diff_idx.push(j);
+                            diff_val.push(d);
+                        }
+                    }
+                    pairs.push(DominationPair {
+                        cand,
+                        dom,
+                        off,
+                        len: diff_idx.len() as u32 - off,
+                    });
+                }
+            }
+        }
+
+        ReduceAnalysis {
+            rows: rows.to_vec(),
+            n,
+            singles,
+            pairs,
+            diff_idx,
+            diff_val,
+            build_s: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Wall-clock seconds the one-time analysis build took.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_s
+    }
+
+    /// `true` when no stored pair can ever fire (nothing multi-entry to
+    /// prune) — callers skip the per-cell pass entirely.
+    pub fn is_trivial(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// `true` when the analysis was derived from exactly these rows
+    /// (bit-exact coefficient comparison, short-circuiting on the first
+    /// differing row).
+    pub fn matches_rows(&self, rows: &[Vec<f64>]) -> bool {
+        self.rows.len() == rows.len() && self.rows == rows
+    }
+
+    /// Harvests the per-variable box `[lo, hi]` implied by the single-entry
+    /// rows under this cell's `rhs`, then runs the fused prune pass: every
+    /// candidate checks its stored dominators — boxed maximum of the sparse
+    /// difference against the cell box, then the rhs comparison — and is
+    /// dropped on the first firing pair whose dominator still stands.
     ///
-    /// Deterministic: the same problem always yields the same selection,
-    /// which the sweep's bit-identical replay guarantees depend on.
-    pub(crate) fn select(&mut self, prob: &Problem) -> Option<Vec<usize>> {
-        let rhs = prob.lin_rhs();
+    /// Fills `kept` with the ascending surviving row indices and returns
+    /// `true` when anything was pruned; `false` leaves `kept` unspecified
+    /// (the caller keeps its unreduced fast path). `dropped`, `lo` and `hi`
+    /// are caller-owned scratch (no allocation once grown). Deterministic:
+    /// the same analysis and rhs always yield the same selection, which the
+    /// sweep's bit-identical replay guarantees depend on.
+    pub fn select_into(
+        &self,
+        rhs: &[f64],
+        lo: &mut Vec<f64>,
+        hi: &mut Vec<f64>,
+        dropped: &mut Vec<bool>,
+        kept: &mut Vec<usize>,
+    ) -> bool {
         let m = rhs.len();
-        if m < 2 {
-            return None;
+        debug_assert_eq!(m, self.rows.len(), "rhs must cover the analyzed rows");
+        if self.pairs.is_empty() || m < 2 {
+            return false;
         }
-        harvest_bounds(prob, &mut self.lo, &mut self.hi);
-        if !self.cache_matches(prob) {
-            self.cache = Some(build_cache(prob, &self.lo, &self.hi));
+        lo.clear();
+        hi.clear();
+        lo.resize(self.n, f64::NEG_INFINITY);
+        hi.resize(self.n, f64::INFINITY);
+        for &(i, j, c) in &self.singles {
+            let bound = rhs[i as usize] / c;
+            if c > 0.0 {
+                hi[j as usize] = hi[j as usize].min(bound);
+            } else {
+                lo[j as usize] = lo[j as usize].max(bound);
+            }
         }
-        let cache = self.cache.as_ref().expect("cache built above");
-        if cache.pairs.is_empty() {
-            return None;
-        }
-        self.dropped.clear();
-        self.dropped.resize(m, false);
+        dropped.clear();
+        dropped.resize(m, false);
         let mut any = false;
         let mut i = 0;
-        while i < cache.pairs.len() {
-            let cand = cache.pairs[i].cand as usize;
+        while i < self.pairs.len() {
+            let cand = self.pairs[i].cand as usize;
             let mut j = i;
-            while j < cache.pairs.len() && cache.pairs[j].cand as usize == cand {
-                let p = cache.pairs[j];
-                if !self.dropped[p.dom as usize]
-                    && rhs[p.dom as usize] + p.m_bound <= rhs[cand] - PRUNE_REL_TOL * p.mag
+            while j < self.pairs.len() && self.pairs[j].cand as usize == cand {
+                let p = self.pairs[j];
+                j += 1;
+                if dropped[p.dom as usize] {
+                    continue;
+                }
+                // Boxed maximum of the sparse difference under *this
+                // cell's* box; a non-finite term (difference component on
+                // an unbounded variable) voids the pair for this cell.
+                let mut m_bound = 0.0;
+                let mut mag = 0.0;
+                let mut finite = true;
+                let (off, len) = (p.off as usize, p.len as usize);
+                for (&jx, &v) in self.diff_idx[off..off + len]
+                    .iter()
+                    .zip(&self.diff_val[off..off + len])
                 {
-                    self.dropped[cand] = true;
+                    let term = if v > 0.0 {
+                        v * hi[jx as usize]
+                    } else {
+                        v * lo[jx as usize]
+                    };
+                    if !term.is_finite() {
+                        finite = false;
+                        break;
+                    }
+                    m_bound += term;
+                    mag += term.abs();
+                }
+                if finite && rhs[p.dom as usize] + m_bound <= rhs[cand] - PRUNE_REL_TOL * mag {
+                    dropped[cand] = true;
                     any = true;
                     break;
                 }
-                j += 1;
             }
-            while i < cache.pairs.len() && cache.pairs[i].cand as usize == cand {
+            while i < self.pairs.len() && self.pairs[i].cand as usize == cand {
                 i += 1;
             }
         }
         if !any {
-            return None;
-        }
-        Some((0..m).filter(|&r| !self.dropped[r]).collect::<Vec<usize>>())
-    }
-
-    /// `true` when the cached pair structure still applies: same row
-    /// coefficients and the same harvested box (bit-exact — the pairs' `M`
-    /// bounds are functions of exactly these inputs).
-    ///
-    /// The exact `O(m·n)` comparison (and the full coefficient copy the
-    /// cache keys on) is deliberate: a false cache hit would replay
-    /// domination pairs derived from *different* coefficients and could
-    /// prune a non-redundant row — an unsound verdict — so a probabilistic
-    /// fingerprint is not an acceptable substitute. The walk costs well
-    /// under 1 % of even a warm solve of the problem families this pass
-    /// targets, and short-circuits on the first differing row.
-    fn cache_matches(&self, prob: &Problem) -> bool {
-        let Some(cache) = &self.cache else {
             return false;
-        };
-        cache.rows.len() == prob.lin_rows().len()
-            && cache.lo == self.lo
-            && cache.hi == self.hi
-            && cache.rows == prob.lin_rows()
+        }
+        kept.clear();
+        kept.extend((0..m).filter(|&r| !dropped[r]));
+        true
     }
 }
 
-/// Per-variable bounds implied by the problem's single-entry rows
-/// (`c·xⱼ ≤ b`), written into `lo`/`hi`.
-fn harvest_bounds(prob: &Problem, lo: &mut Vec<f64>, hi: &mut Vec<f64>) {
-    let n = prob.num_vars();
-    lo.clear();
-    hi.clear();
-    lo.resize(n, f64::NEG_INFINITY);
-    hi.resize(n, f64::INFINITY);
-    for (row, &rhs) in prob.lin_rows().iter().zip(prob.lin_rhs()) {
-        if let Some((j, c)) = single_entry(row) {
-            let bound = rhs / c;
-            if c > 0.0 {
-                hi[j] = hi[j].min(bound);
-            } else {
-                lo[j] = lo[j].max(bound);
-            }
-        }
-    }
+/// Reusable row-reduction state held by a [`crate::BarrierSolver`] or
+/// [`crate::FamilySolver`]: the shared box-free [`ReduceAnalysis`] (rebuilt
+/// only when the row coefficients change — or pinned once by a
+/// [`crate::ProblemFamily`] and never checked again) plus the per-cell
+/// scratch and cumulative timing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RowReducer {
+    analysis: Option<Arc<ReduceAnalysis>>,
+    /// Pinned by a problem family: the coefficient comparison is skipped
+    /// (the family already guarantees every cell shares the coefficients).
+    pinned: bool,
+    dropped: Vec<bool>,
+    kept: Vec<usize>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Cumulative wall-clock seconds spent inside [`RowReducer::select`]
+    /// (the per-cell pass; analysis builds are counted separately).
+    reduce_s: f64,
 }
 
-/// Analyzes `prob`'s linear rows once against the harvested box: buckets
-/// multi-entry rows by nonzero support and keeps the
-/// [`MAX_DOMINATORS`] smallest-`M` domination pairs per candidate.
-fn build_cache(prob: &Problem, lo: &[f64], hi: &[f64]) -> ReduceCache {
-    let rows = prob.lin_rows();
+impl RowReducer {
+    /// Pins a family-shared analysis: subsequent selections trust it
+    /// without re-deriving or comparing coefficients.
+    pub(crate) fn pin(&mut self, analysis: Arc<ReduceAnalysis>) {
+        self.analysis = Some(analysis);
+        self.pinned = true;
+    }
 
-    // BTreeMap for deterministic bucket order: the selection feeds
-    // bit-identical sweep replay, so no hash-order nondeterminism may
-    // reach the stored pair list.
-    let mut buckets: BTreeMap<Vec<u32>, Vec<u32>> = BTreeMap::new();
-    for (i, row) in rows.iter().enumerate() {
-        if single_entry(row).is_some() {
-            continue;
-        }
-        let support: Vec<u32> = row
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v != 0.0)
-            .map(|(j, _)| j as u32)
-            .collect();
-        if support.len() >= 2 {
-            buckets.entry(support).or_default().push(i as u32);
+    /// Cumulative seconds spent in per-cell selection passes.
+    pub(crate) fn reduce_seconds(&self) -> f64 {
+        self.reduce_s
+    }
+
+    /// Seconds the (last) analysis build took, 0.0 before any build.
+    pub(crate) fn analysis_build_seconds(&self) -> f64 {
+        self.analysis.as_ref().map_or(0.0, |a| a.build_s)
+    }
+
+    /// Selects the surviving linear rows for `rhs` (the cell's right-hand
+    /// sides over the analyzed coefficient rows). Returns the ascending
+    /// kept indices, or `None` when nothing can be pruned (the common
+    /// small-problem case — the caller keeps its packed fast path).
+    pub(crate) fn select_rhs(&mut self, rhs: &[f64]) -> Option<&[usize]> {
+        let t0 = Instant::now();
+        let analysis = self.analysis.as_ref()?;
+        let any = analysis.select_into(
+            rhs,
+            &mut self.lo,
+            &mut self.hi,
+            &mut self.dropped,
+            &mut self.kept,
+        );
+        self.reduce_s += t0.elapsed().as_secs_f64();
+        if any {
+            Some(&self.kept)
+        } else {
+            None
         }
     }
 
-    let mut pairs: Vec<DominationPair> = Vec::new();
-    let mut best: Vec<DominationPair> = Vec::new();
-    for members in buckets.values() {
-        if members.len() < 2 || members.len() > MAX_BUCKET {
-            continue;
-        }
-        for &cand in members {
-            best.clear();
-            for &dom in members {
-                if dom == cand {
-                    continue;
-                }
-                let Some((m_bound, mag)) =
-                    boxed_difference_max(&rows[cand as usize], &rows[dom as usize], lo, hi)
-                else {
-                    continue;
-                };
-                let pair = DominationPair {
-                    cand,
-                    dom,
-                    m_bound,
-                    mag,
-                };
-                // Keep the MAX_DOMINATORS smallest-M pairs, ties broken by
-                // dominator index (determinism).
-                let pos = best
-                    .iter()
-                    .position(|b| (m_bound, dom) < (b.m_bound, b.dom))
-                    .unwrap_or(best.len());
-                if pos < MAX_DOMINATORS {
-                    best.insert(pos, pair);
-                    best.truncate(MAX_DOMINATORS);
-                }
-            }
-            pairs.extend_from_slice(&best);
-        }
-    }
-    pairs.sort_by(|a, b| {
-        (a.cand, a.m_bound, a.dom)
-            .partial_cmp(&(b.cand, b.m_bound, b.dom))
-            .expect("m_bound is finite")
-    });
-
-    ReduceCache {
-        rows: rows.to_vec(),
-        lo: lo.to_vec(),
-        hi: hi.to_vec(),
-        pairs,
-    }
-}
-
-/// `max over the box of (cand − dom)ᵀx` plus the accumulated term
-/// magnitude, or `None` when the maximum is not finite (a difference
-/// component on an unbounded variable — no certificate possible).
-fn boxed_difference_max(cand: &[f64], dom: &[f64], lo: &[f64], hi: &[f64]) -> Option<(f64, f64)> {
-    let mut m = 0.0;
-    let mut mag = 0.0;
-    for (((&c, &d), &l), &h) in cand.iter().zip(dom).zip(lo).zip(hi) {
-        let diff = c - d;
-        if diff == 0.0 {
-            continue;
-        }
-        let term = if diff > 0.0 { diff * h } else { diff * l };
-        if !term.is_finite() {
+    /// As [`RowReducer::select_rhs`], for a standalone [`Problem`]:
+    /// (re)derives the analysis when the row coefficients changed since the
+    /// last call, then applies the per-cell pass on the problem's own rhs.
+    pub(crate) fn select(&mut self, prob: &Problem) -> Option<&[usize]> {
+        if prob.lin_rhs().len() < 2 {
             return None;
         }
-        m += term;
-        mag += term.abs();
+        let fresh = match &self.analysis {
+            Some(a) => {
+                // A pinned analysis is trusted without the O(m·n)
+                // comparison — the family guarantees membership — but the
+                // invariant stays self-enforcing in debug builds: replaying
+                // pairs derived from *different* coefficients could prune a
+                // non-redundant row.
+                debug_assert!(
+                    !self.pinned || a.matches_rows(prob.lin_rows()),
+                    "pinned reducer given a problem outside its family"
+                );
+                self.pinned || a.matches_rows(prob.lin_rows())
+            }
+            None => false,
+        };
+        if !fresh {
+            self.analysis = Some(Arc::new(ReduceAnalysis::build(prob)));
+        }
+        self.select_rhs_owned(prob.lin_rhs())
     }
-    Some((m, mag))
+
+    /// Non-borrow-splitting helper for [`RowReducer::select`].
+    fn select_rhs_owned(&mut self, rhs: &[f64]) -> Option<&[usize]> {
+        self.select_rhs(rhs)
+    }
 }
 
 #[cfg(test)]
@@ -314,7 +447,7 @@ mod tests {
     }
 
     fn kept_of(p: &Problem) -> Option<Vec<usize>> {
-        RowReducer::default().select(p)
+        RowReducer::default().select(p).map(<[usize]>::to_vec)
     }
 
     #[test]
@@ -355,7 +488,7 @@ mod tests {
     #[test]
     fn unbounded_direction_blocks_domination() {
         // x₁ has no upper bound: the difference (0, 0.5) has no boxed
-        // maximum, so no certificate and no pruning.
+        // maximum, so the stored pair is void for this cell — no pruning.
         let mut p = Problem::new(2);
         p.set_linear_objective(vec![1.0, 1.0]);
         p.add_box(0, 0.0, 2.0);
@@ -377,17 +510,54 @@ mod tests {
     }
 
     #[test]
-    fn cache_replays_across_rhs_changes() {
+    fn analysis_replays_across_rhs_changes() {
         let mut reducer = RowReducer::default();
         let p1 = boxed_problem(&[(vec![1.0, 1.0], 4.0), (vec![1.5, 1.0], 6.0)]);
-        assert_eq!(reducer.select(&p1).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(reducer.select(&p1).unwrap(), &[0, 1, 2, 3, 4]);
+        let analysis = reducer.analysis.clone().expect("analysis built");
         // Same coefficients, tighter candidate rhs: nothing prunable now —
-        // the cached pair structure must still answer correctly.
+        // the cached analysis must still answer correctly, without a
+        // rebuild.
         let p2 = boxed_problem(&[(vec![1.0, 1.0], 4.0), (vec![1.5, 1.0], 4.5)]);
-        assert_eq!(reducer.select(&p2), None);
-        // And looser again: prunes again off the same cache.
+        assert!(reducer.select(&p2).is_none());
+        assert!(
+            Arc::ptr_eq(&analysis, reducer.analysis.as_ref().unwrap()),
+            "rhs changes must not rebuild the analysis"
+        );
+        // And looser again: prunes again off the same analysis.
         let p3 = boxed_problem(&[(vec![1.0, 1.0], 4.0), (vec![1.5, 1.0], 7.0)]);
-        assert_eq!(reducer.select(&p3).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(reducer.select(&p3).unwrap(), &[0, 1, 2, 3, 4]);
+        assert!(Arc::ptr_eq(&analysis, reducer.analysis.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn box_changes_do_not_rebuild_the_analysis() {
+        // The analysis is box-free: tightening a *single-entry* rhs (which
+        // moves the harvested box, the exact situation at the sweep's hot
+        // rows) must change neither the analysis nor its verdict soundness.
+        let mut reducer = RowReducer::default();
+        let mut p1 = Problem::new(2);
+        p1.set_linear_objective(vec![1.0, 1.0]);
+        p1.add_box(0, 0.0, 2.0);
+        p1.add_box(1, 0.0, 3.0);
+        p1.add_linear_le(vec![1.0, 1.0], 4.0);
+        p1.add_linear_le(vec![1.5, 1.0], 6.0);
+        assert_eq!(reducer.select(&p1).unwrap(), &[0, 1, 2, 3, 4]);
+        let analysis = reducer.analysis.clone().unwrap();
+        // Same coefficients, hi₀ tightened 2.0 → 1.0 via the box row's rhs:
+        // M = max 0.5·x₀ shrinks to 0.5, still ≤ gap 2 → same prune, same
+        // analysis object.
+        let mut p2 = Problem::new(2);
+        p2.set_linear_objective(vec![1.0, 1.0]);
+        p2.add_box(0, 0.0, 1.0);
+        p2.add_box(1, 0.0, 3.0);
+        p2.add_linear_le(vec![1.0, 1.0], 4.0);
+        p2.add_linear_le(vec![1.5, 1.0], 6.0);
+        assert_eq!(reducer.select(&p2).unwrap(), &[0, 1, 2, 3, 4]);
+        assert!(
+            Arc::ptr_eq(&analysis, reducer.analysis.as_ref().unwrap()),
+            "a box move must not rebuild the box-free analysis"
+        );
     }
 
     #[test]
@@ -400,5 +570,19 @@ mod tests {
         ]);
         let kept = kept_of(&p).expect("looser twin must be pruned");
         assert_eq!(kept, vec![0, 1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn pinned_analysis_is_trusted_without_comparison() {
+        let p = boxed_problem(&[(vec![1.0, 1.0], 4.0), (vec![1.0, 1.0], 4.0)]);
+        let analysis = Arc::new(ReduceAnalysis::build(&p));
+        assert!(!analysis.is_trivial());
+        assert!(analysis.matches_rows(p.lin_rows()));
+        let mut reducer = RowReducer::default();
+        reducer.pin(Arc::clone(&analysis));
+        assert_eq!(reducer.select_rhs(p.lin_rhs()).unwrap(), &[0, 1, 2, 3, 5]);
+        // select() on the pinned reducer reuses the pinned analysis.
+        assert_eq!(reducer.select(&p).unwrap(), &[0, 1, 2, 3, 5]);
+        assert!(Arc::ptr_eq(&analysis, reducer.analysis.as_ref().unwrap()));
     }
 }
