@@ -48,6 +48,7 @@ for section in ("screened", "unscreened", "incremental", "unpruned",
     for field in ("newton_steps", "phase1_solves", "certificate_screens",
                   "seed_reuses", "incremental_screens",
                   "rows_pruned", "polish_mints", "chain_reentries",
+                  "batched_cells", "amortized_column_s",
                   "reduce_s", "family_build_s"):
         assert field in data[section], f"missing {section}.{field}"
         assert data[section][field] >= 0, f"negative {section}.{field}"
@@ -78,6 +79,11 @@ assert data["screened_windows"] >= 1
 # so verbatim replay must actually fire (the binary regenerates a
 # stale-fingerprint prior itself, so this cannot trip on drift alone).
 assert data["incremental"]["seed_reuses"] >= 1
+# Batched multi-rhs column evaluation is the default path: every
+# default-config build must route its live cells through the fused column
+# screens, and the per-column amortized time must be a sane measurement.
+assert data["screened"]["batched_cells"] > 0, "default path must batch"
+assert data["screened"]["amortized_column_s"] >= 0
 print("telemetry check: ok "
       f"(screened {data['screened']['newton_steps']} newton steps, "
       f"{data['screened']['certificate_screens']} screens, "
@@ -92,5 +98,11 @@ print("telemetry check: ok "
       f"screened window {data['screened_window_s']*1e3:.1f} ms vs "
       f"bisection {data['bisection_window_s']*1e3:.1f} ms)")
 EOF
+
+# Publish the quick-run telemetry at the repo root so the perf headline is
+# one `cat` away (and diffs show up in review next to the code that moved
+# them). This is a verbatim copy of the checked quick JSON above.
+cp results/tab_solver_runtime_quick.json BENCH_tab_solver_runtime.json
+echo "==> BENCH_tab_solver_runtime.json refreshed from quick run"
 
 echo "ci.sh: all green"

@@ -1,8 +1,8 @@
 use std::sync::{Arc, OnceLock};
 
 use protemp_cvx::{
-    BarrierSolver, CellSeed, CertScratch, Certificate, FamilySolver, Problem, ProblemFamily,
-    ProblemView, SolveStatus, SolverOptions,
+    BarrierSolver, CellSeed, CertScratch, Certificate, ColumnScreen, FamilySolver, Problem,
+    ProblemFamily, ProblemView, SolveStatus, SolverOptions,
 };
 use protemp_sim::Platform;
 use protemp_thermal::{AffineReach, DiscreteModel, IntegrationMethod, RcNetwork};
@@ -36,6 +36,13 @@ pub(crate) struct CertPool {
     ws: CertScratch,
     inherited: usize,
     inherited_hits: u64,
+    /// Bumped on every mutation of the entry list (preload, remember, MRU
+    /// rotation). Batched screens cache per-certificate preparation and
+    /// per-cell verdicts keyed by this epoch: a matching epoch guarantees
+    /// the pool holds the same certificates in the same check order as
+    /// when the cache was filled, so consuming a cached verdict is
+    /// bit-identical to re-screening.
+    epoch: u64,
 }
 
 impl CertPool {
@@ -52,12 +59,25 @@ impl CertPool {
         self.inherited_hits
     }
 
+    /// The pool's mutation epoch (see the `epoch` field).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pooled certificates in check order (the order
+    /// [`CertPool::screen_view`] tries them). Valid until the next
+    /// mutation; pair with [`CertPool::epoch`] to detect staleness.
+    pub(crate) fn certificates(&self) -> impl Iterator<Item = &Certificate> {
+        self.entries.iter().map(|(c, _)| c)
+    }
+
     /// Adds verified certificates from a prior build (exempt from the MRU
     /// cap, initially behind every minted certificate in check order).
     pub(crate) fn preload(&mut self, certs: impl IntoIterator<Item = Certificate>) {
         for c in certs {
             self.entries.push((c, true));
             self.inherited += 1;
+            self.epoch += 1;
         }
     }
 
@@ -70,6 +90,21 @@ impl CertPool {
                 self.entries.remove(pos);
             }
         }
+        self.epoch += 1;
+    }
+
+    /// Applies the bookkeeping of a screening hit at check-order index
+    /// `hit`: counts inherited hits and rotates the winner to the front
+    /// (neighbouring cells will hit it again). Shared by the scalar
+    /// [`CertPool::screen_view`] and the batched column screens, which
+    /// compute the hit index externally against
+    /// [`CertPool::certificates`].
+    pub(crate) fn apply_hit(&mut self, hit: usize) {
+        if self.entries[hit].1 {
+            self.inherited_hits += 1;
+        }
+        self.entries[..=hit].rotate_right(1);
+        self.epoch += 1;
     }
 
     /// `true` when some pooled certificate proves the viewed problem
@@ -86,10 +121,7 @@ impl CertPool {
             .position(|(c, _)| c.certifies_view(view, ws))
         {
             Some(hit) => {
-                if self.entries[hit].1 {
-                    self.inherited_hits += 1;
-                }
-                self.entries[..=hit].rotate_right(1);
+                self.apply_hit(hit);
                 true
             }
             None => false,
@@ -625,6 +657,46 @@ impl OffsetsCache {
     }
 }
 
+/// Per-column batched-evaluation state carried by a [`PointSolver`] on the
+/// family path: the fused [`ColumnScreen`] over one grid column's rhs
+/// panel (column-major, one column per cell), the panel coordinates it was
+/// computed for, and any prefetched group-solve outcomes awaiting
+/// consumption.
+///
+/// The cached *verdicts* are only consumed while the certificate pool's
+/// epoch still matches `pool_epoch` (same certificates, same check order —
+/// bit-identical to re-screening). The cached *kept-row masks* are pure
+/// functions of each cell's rhs, so they stay valid across pool mutations.
+#[derive(Debug, Clone, Default)]
+struct BatchState {
+    screen: ColumnScreen,
+    /// Bit patterns of the screened cells' starting temperatures, panel
+    /// order (`coords[i]` ↔ panel column `i`).
+    coords: Vec<u64>,
+    /// Bit pattern of the frequency target the panel was assembled for.
+    ftarget_bits: u64,
+    /// Pool epoch at screen time; gates verdict consumption.
+    pool_epoch: u64,
+    /// Whether the screen actually ran against the pool's certificates
+    /// (false when screening was off — verdicts are vacuous misses and
+    /// must not be consumed as real ones).
+    certs_screened: bool,
+    valid: bool,
+    /// Column-major rhs panel (`m × coords.len()`), assembled through the
+    /// same `point_rhs_into` path `prepare` uses, so panel columns are
+    /// bit-identical to the per-cell rhs.
+    panel: Vec<f64>,
+    /// Scratch for assembling one panel column.
+    col: Vec<f64>,
+    /// Prefetched outcomes of a batched phase-I group, front = next cell
+    /// to consume: `(tstart bits, outcome, certificate, solve seconds)`.
+    group: std::collections::VecDeque<(u64, PointOutcome, Option<Certificate>, f64)>,
+    /// Wall-clock seconds of the most recent solve whose outcome was
+    /// consumed from the group (its *own* solve time, not the whole
+    /// group's), so sweeps can report honest per-cell times.
+    last_time: Option<f64>,
+}
+
 /// The solver machinery behind a [`PointSolver`]: the sweep-shared family
 /// path (default — per-cell data only, zero per-cell allocation in the
 /// solver core) or the legacy per-cell path (a fresh [`Problem`] per
@@ -677,6 +749,16 @@ pub struct PointSolver<'a> {
     /// The `(tstart, ftarget)` the backend currently holds prepared data
     /// for.
     prepared: Option<(f64, f64)>,
+    /// Multi-rhs batched column evaluation (family path only; see
+    /// [`PointSolver::set_batching`]).
+    batching: bool,
+    /// Batched phase-I grouping: prefetch a run of same-mask unscreened
+    /// cells through one [`FamilySolver::solve_cells`] call. Only sound
+    /// for cold sweeps (no warm chaining), where every cell in the run
+    /// starts from the same ftarget-determined heuristic seed.
+    grouping: bool,
+    batched_cells: u64,
+    batch: BatchState,
 }
 
 impl<'a> PointSolver<'a> {
@@ -696,6 +778,10 @@ impl<'a> PointSolver<'a> {
             pool: CertPool::default(),
             minted: None,
             prepared: None,
+            batching: false,
+            grouping: false,
+            batched_cells: 0,
+            batch: BatchState::default(),
         }
     }
 
@@ -713,6 +799,10 @@ impl<'a> PointSolver<'a> {
             pool: CertPool::default(),
             minted: None,
             prepared: None,
+            batching: false,
+            grouping: false,
+            batched_cells: 0,
+            batch: BatchState::default(),
         }
     }
 
@@ -730,6 +820,136 @@ impl<'a> PointSolver<'a> {
     /// Enables or disables certificate screening for subsequent solves.
     pub fn set_screening(&mut self, on: bool) {
         self.screening = on;
+    }
+
+    /// Enables multi-rhs batched column evaluation (`batch`) and batched
+    /// phase-I grouping (`group`); both are no-ops on the per-cell
+    /// backend. Grouping is only sound when solves are not warm-chained
+    /// (every cell in a group must start from the same
+    /// ftarget-determined heuristic seed), which is why the table builder
+    /// passes `group = batched && !warm_start`.
+    pub fn set_batching(&mut self, batch: bool, group: bool) {
+        let family = self.uses_family();
+        self.batching = batch && family;
+        self.grouping = batch && group && family;
+    }
+
+    /// Cells screened through batched column screens
+    /// ([`PointSolver::screen_column`]) — a deterministic work counter
+    /// (`batched_cells` in sweep stats): it counts panel columns
+    /// assembled, not wall-clock or hits, so it is identical across
+    /// thread counts.
+    pub fn batched_cells(&self) -> u64 {
+        self.batched_cells
+    }
+
+    /// Wall-clock seconds of the most recent solve whose outcome came out
+    /// of a prefetched batched group (cleared by the take and by
+    /// non-batched solves). The builder substitutes this for its own
+    /// elapsed measurement so the group's first cell is not billed the
+    /// whole group's wall time.
+    pub fn take_last_batched_time(&mut self) -> Option<f64> {
+        self.batch.last_time.take()
+    }
+
+    /// Runs one fused batched screen over a whole grid column of cells
+    /// (`tstarts_c` × one `ftarget_hz`): assembles the column's rhs panel
+    /// (column-major, one column per cell, through the same rhs path
+    /// [`PointSolver::prepare`] uses), then computes every cell's
+    /// certificate verdict and kept-row mask in one
+    /// [`FamilySolver::screen_cells`] pass. Subsequent
+    /// [`PointSolver::screen_current`] / [`PointSolver::solve_current`]
+    /// calls on these cells consume the cached results instead of
+    /// re-deriving them per cell; verdict consumption is epoch-gated so
+    /// results stay bit-identical to the scalar path.
+    ///
+    /// No-op unless batching is enabled on the family backend.
+    pub fn screen_column(&mut self, tstarts_c: &[f64], ftarget_hz: f64) {
+        let batch = &mut self.batch;
+        batch.valid = false;
+        if !self.batching || tstarts_c.is_empty() {
+            return;
+        }
+        let Backend::Family {
+            solver, offsets, ..
+        } = &mut self.backend
+        else {
+            return;
+        };
+        batch.coords.clear();
+        batch.group.clear();
+        batch.panel.clear();
+        for &t in tstarts_c {
+            let off = offsets.get(self.ctx, t);
+            self.ctx.point_rhs_into(off, ftarget_hz, &mut batch.col);
+            batch.panel.extend_from_slice(&batch.col);
+            batch.coords.push(t.to_bits());
+        }
+        // With screening off the pass still computes the kept-row masks
+        // (pure rhs functions), just against an empty certificate list.
+        let certs: Vec<&Certificate> = if self.screening {
+            self.pool.certificates().collect()
+        } else {
+            Vec::new()
+        };
+        solver.screen_cells(
+            &batch.panel,
+            tstarts_c.len(),
+            &certs,
+            self.pool.epoch(),
+            &mut batch.screen,
+        );
+        batch.ftarget_bits = ftarget_hz.to_bits();
+        batch.pool_epoch = self.pool.epoch();
+        batch.certs_screened = self.screening;
+        batch.valid = true;
+        self.batched_cells += tstarts_c.len() as u64;
+    }
+
+    /// Panel index of the prepared cell in the current batch, if the
+    /// batch covers it.
+    fn batch_panel_position(&self, tstart_c: f64, ftarget_hz: f64) -> Option<usize> {
+        if !self.batch.valid || self.batch.ftarget_bits != ftarget_hz.to_bits() {
+            return None;
+        }
+        self.batch
+            .coords
+            .iter()
+            .position(|&b| b == tstart_c.to_bits())
+    }
+
+    /// Like [`PointSolver::batch_panel_position`], but only for cells
+    /// whose cached verdict was a miss — the ones that carry a kept-row
+    /// mask (hit cells were meant to die at the screen, so no mask was
+    /// computed for them). Does not check the pool epoch: the mask is a
+    /// pure function of the cell rhs, valid regardless of later pool
+    /// mutations.
+    fn batch_cell_index(&self, tstart_c: f64, ftarget_hz: f64) -> Option<usize> {
+        self.batch_panel_position(tstart_c, ftarget_hz)
+            .filter(|&c| self.batch.screen.hit(c).is_none())
+    }
+
+    /// Pops the prefetched group outcome for the prepared cell, if the
+    /// front of the group queue is exactly that cell.
+    fn take_group_outcome(
+        &mut self,
+        tstart_c: f64,
+        ftarget_hz: f64,
+    ) -> Option<(PointOutcome, Option<Certificate>, f64)> {
+        if !self.batch.valid || self.batch.ftarget_bits != ftarget_hz.to_bits() {
+            return None;
+        }
+        let front_bits = self.batch.group.front().map(|(bits, ..)| *bits);
+        if front_bits == Some(tstart_c.to_bits()) {
+            let (_, outcome, cert, secs) = self.batch.group.pop_front()?;
+            Some((outcome, cert, secs))
+        } else {
+            // A consumption-order mismatch (the sweep skipped a cell)
+            // drops the prefetch; the scalar path re-solves
+            // bit-identically, so grouping never decides correctness.
+            self.batch.group.clear();
+            None
+        }
     }
 
     /// Number of infeasibility certificates currently held.
@@ -807,9 +1027,27 @@ impl<'a> PointSolver<'a> {
     ///
     /// Panics if no point is prepared.
     pub fn screen_current(&mut self) -> bool {
-        assert!(self.prepared.is_some(), "prepare() must precede screening");
+        let (tstart_c, ftarget_hz) = self.prepared.expect("prepare() must precede screening");
         if !self.screening || self.pool.is_empty() {
             return false;
+        }
+        // Batched fast path: the column screen already computed this
+        // cell's verdict. Consuming it is bit-identical to re-screening
+        // as long as the pool has not mutated since (same certificates,
+        // same check order), which the epoch gate guarantees.
+        if self.batch.valid
+            && self.batch.certs_screened
+            && self.batch.pool_epoch == self.pool.epoch()
+        {
+            if let Some(cell) = self.batch_panel_position(tstart_c, ftarget_hz) {
+                return match self.batch.screen.hit(cell) {
+                    Some(hit) => {
+                        self.pool.apply_hit(hit);
+                        true
+                    }
+                    None => false,
+                };
+            }
         }
         match &self.backend {
             Backend::Family { solver, rhs, .. } => {
@@ -874,7 +1112,8 @@ impl<'a> PointSolver<'a> {
     ///
     /// Panics if no point is prepared.
     pub fn solve_current(&mut self, warm: Option<&[f64]>, screen: bool) -> Result<PointOutcome> {
-        let (_, ftarget_hz) = self.prepared.expect("prepare() must precede solving");
+        let (tstart_c, ftarget_hz) = self.prepared.expect("prepare() must precede solving");
+        self.batch.last_time = None;
         if screen && self.screening && !self.pool.is_empty() && self.screen_current() {
             return Ok(PointOutcome {
                 newton_steps: 0,
@@ -886,10 +1125,36 @@ impl<'a> PointSolver<'a> {
                 solution: None,
             });
         }
+        // A batched-group prefetch may already hold this cell's outcome;
+        // its certificate (if any) enters the pool only now, at the same
+        // point in the consumption order where the scalar path would mint
+        // it.
+        if let Some((outcome, cert, secs)) = self.take_group_outcome(tstart_c, ftarget_hz) {
+            if let Some(cert) = cert {
+                self.remember_certificate(cert);
+            }
+            self.batch.last_time = Some(secs);
+            return Ok(outcome);
+        }
+        let batch_cell = self.batch_cell_index(tstart_c, ftarget_hz);
+        if warm.is_none() && self.grouping {
+            if let Some(cell) = batch_cell {
+                self.prefetch_group(cell, ftarget_hz)?;
+                if let Some((outcome, cert, secs)) = self.take_group_outcome(tstart_c, ftarget_hz) {
+                    if let Some(cert) = cert {
+                        self.remember_certificate(cert);
+                    }
+                    self.batch.last_time = Some(secs);
+                    return Ok(outcome);
+                }
+            }
+        }
         let ctx = self.ctx;
+        let batch_screen = &self.batch.screen;
         let (outcome, cert) = match &mut self.backend {
             Backend::Family { solver, rhs, .. } => {
-                solve_family_cell(ctx, solver, rhs, ftarget_hz, warm)?
+                let batched = batch_cell.map(|c| (batch_screen, c));
+                solve_family_cell(ctx, solver, rhs, ftarget_hz, warm, batched)?
             }
             Backend::PerCell { solver, prob } => {
                 let prob = prob.as_ref().expect("prepared");
@@ -901,18 +1166,85 @@ impl<'a> PointSolver<'a> {
         }
         Ok(outcome)
     }
+
+    /// Prefetches a batched phase-I group: the maximal run of consecutive
+    /// panel cells starting at `first` that are unscreened and share
+    /// `first`'s kept-row mask is solved through one
+    /// [`FamilySolver::solve_cells`] call (shared heuristic seed, shared
+    /// pre-built augmented factorization, cached masks), and the outcomes
+    /// are queued for consumption in panel order. Runs of length 1 are
+    /// left to the scalar path. Cells after the run's first infeasible
+    /// solve are not solved (the sweep's columns are monotone — the
+    /// scalar path would never reach them either).
+    fn prefetch_group(&mut self, first: usize, ftarget_hz: f64) -> Result<()> {
+        let base = self.batch.screen.kept(first);
+        let mut end = first + 1;
+        while end < self.batch.screen.ncells()
+            && self.batch.screen.hit(end).is_none()
+            && self.batch.screen.kept(end) == base
+        {
+            end += 1;
+        }
+        if end - first < 2 {
+            return Ok(());
+        }
+        let ctx = self.ctx;
+        let Backend::Family { solver, .. } = &mut self.backend else {
+            return Ok(());
+        };
+        let h = heuristic_start(&ctx.platform, &ctx.cfg, ftarget_hz);
+        let BatchState {
+            screen,
+            coords,
+            panel,
+            group,
+            ..
+        } = &mut self.batch;
+        solver.solve_cells(
+            panel,
+            coords.len(),
+            first..end,
+            CellSeed::Seeded(&h),
+            screen,
+            |cell, sol, secs| {
+                let cert = sol.certificate.clone();
+                let outcome = assemble_point_outcome(
+                    ctx,
+                    sol.status,
+                    sol.x.clone(),
+                    sol.objective,
+                    sol.newton_steps,
+                    sol.phase1_steps,
+                    sol.rows_pruned,
+                    sol.polished,
+                    false,
+                );
+                let cert = if outcome.solution.is_none() {
+                    cert
+                } else {
+                    None
+                };
+                group.push_back((coords[cell], outcome, cert, secs));
+            },
+        )?;
+        Ok(())
+    }
 }
 
 /// Solves one family cell (given its rhs) with the shared warm-seed
 /// preparation and outcome assembly — the family-path mirror of
 /// [`solve_built_problem`], used by [`PointSolver`] and the MPC-style
-/// [`crate::OnlineController`].
+/// [`crate::OnlineController`]. When `batched` carries a [`ColumnScreen`]
+/// and the cell's panel index, the solve consumes the screen's cached
+/// kept-row mask instead of re-running row selection — the mask is a pure
+/// function of the cell rhs, so the solve is bit-identical either way.
 pub(crate) fn solve_family_cell(
     ctx: &AssignmentContext,
     solver: &mut FamilySolver,
     rhs: &[f64],
     ftarget_hz: f64,
     warm: Option<&[f64]>,
+    batched: Option<(&ColumnScreen, usize)>,
 ) -> Result<(PointOutcome, Option<Certificate>)> {
     let mut reentry = false;
     let seed: Option<Vec<f64>> = warm.map(|x0| {
@@ -927,11 +1259,19 @@ pub(crate) fn solve_family_cell(
         reentry = ps.reentry;
         ps.x
     });
-    let sol = match &seed {
-        Some(x) => solver.solve_cell(rhs, CellSeed::Warm(x))?,
-        None => {
+    let sol = match (&seed, batched) {
+        (Some(x), Some((screen, cell))) => {
+            solver.solve_cell_screened(rhs, CellSeed::Warm(x), screen, cell)?
+        }
+        (Some(x), None) => solver.solve_cell(rhs, CellSeed::Warm(x))?,
+        (None, batched) => {
             let h = heuristic_start(&ctx.platform, &ctx.cfg, ftarget_hz);
-            solver.solve_cell(rhs, CellSeed::Seeded(&h))?
+            match batched {
+                Some((screen, cell)) => {
+                    solver.solve_cell_screened(rhs, CellSeed::Seeded(&h), screen, cell)?
+                }
+                None => solver.solve_cell(rhs, CellSeed::Seeded(&h))?,
+            }
         }
     };
     let cert = sol.certificate.clone();

@@ -85,6 +85,19 @@ pub struct BuildStats {
     /// (the [`crate::AssignmentContext::family`] construction, row-pair
     /// analysis included); paid once per context, not per sweep.
     pub family_build_s: f64,
+    /// Cells evaluated through the batched multi-rhs column screens
+    /// ([`PointSolver::screen_column`]): each live column's remaining
+    /// cells are screened in one fused pass over a column-major rhs
+    /// panel. A deterministic work counter (panel columns assembled, not
+    /// hits), identical across thread counts; `0` when batching is off
+    /// ([`TableBuilder::batched`]) or on the per-cell backend.
+    pub batched_cells: u64,
+    /// Mean wall-clock seconds per *live* column (columns that ran at
+    /// least one screen or solve; replayed and dead columns are free and
+    /// excluded) — the amortized cost the batched column pass is meant to
+    /// drive down. Wall-clock telemetry, excluded from bit-identity
+    /// comparisons.
+    pub amortized_column_s: f64,
 }
 
 impl BuildStats {
@@ -144,6 +157,7 @@ pub struct TableBuilder {
     warm_start: bool,
     certificate_screening: bool,
     use_family: bool,
+    batched: bool,
 }
 
 impl Default for TableBuilder {
@@ -157,6 +171,7 @@ impl Default for TableBuilder {
             warm_start: true,
             certificate_screening: true,
             use_family: true,
+            batched: true,
         }
     }
 }
@@ -175,6 +190,11 @@ struct ChunkStats {
     polish_mints: u64,
     chain_reentries: u64,
     reduce_s: f64,
+    batched_cells: u64,
+    /// Wall-clock seconds inside live column passes (screen + solves).
+    column_s: f64,
+    /// Columns that entered the live phase with work left to do.
+    live_columns: u64,
 }
 
 /// One worker's chunk of columns: chunk-local column-major entries and
@@ -249,6 +269,23 @@ impl TableBuilder {
     /// wall-clock; kept for the family identity tests and A/B benches.
     pub fn use_family(mut self, on: bool) -> Self {
         self.use_family = on;
+        self
+    }
+
+    /// Enables or disables batched multi-rhs column evaluation (default:
+    /// enabled; family backend only). When on, each live column's
+    /// remaining cells are screened in one fused pass over a column-major
+    /// rhs panel ([`PointSolver::screen_column`]) — certificate verdicts
+    /// and kept-row masks for the whole column at once — and cold sweeps
+    /// additionally group consecutive same-mask cells through one shared
+    /// phase-I entry. Both are bit-identity-preserving (verdicts and
+    /// masks are cached, epoch-gated re-screens, not approximations), so
+    /// tables, records, certificates and all deterministic counters are
+    /// identical with batching on or off — only wall-clock and the
+    /// `batched_cells` telemetry move. Kept toggleable for the batched
+    /// identity tests and A/B benches.
+    pub fn batched(mut self, on: bool) -> Self {
+        self.batched = on;
         self
     }
 
@@ -380,6 +417,7 @@ impl TableBuilder {
                 let tstarts = &self.tstarts_c;
                 let warm_start = self.warm_start;
                 let screening = self.certificate_screening;
+                let batched = self.batched;
                 handles.push(scope.spawn(move || {
                     let mut solver = if use_family {
                         PointSolver::new(ctx)
@@ -387,6 +425,10 @@ impl TableBuilder {
                         PointSolver::new_per_cell(ctx)
                     };
                     solver.set_screening(screening);
+                    // Phase-I grouping shares one heuristic seed across a
+                    // run of cells, which is only the scalar path's seed
+                    // when the sweep is not warm-chaining.
+                    solver.set_batching(batched, batched && !warm_start);
                     // Replay is only sound when the prior chained the same
                     // way this build does (the decisions being replayed
                     // depend on it); screening is sound unconditionally.
@@ -421,6 +463,7 @@ impl TableBuilder {
                     }
                     stats.inherited_screens = solver.inherited_screens();
                     stats.reduce_s = solver.reduce_seconds();
+                    stats.batched_cells = solver.batched_cells();
                     Ok((entries, records, times, minted, stats))
                 }));
             }
@@ -463,6 +506,9 @@ impl TableBuilder {
             totals.polish_mints += stats.polish_mints;
             totals.chain_reentries += stats.chain_reentries;
             totals.reduce_s += stats.reduce_s;
+            totals.batched_cells += stats.batched_cells;
+            totals.column_s += stats.column_s;
+            totals.live_columns += stats.live_columns;
             certificates.extend(minted);
             let mut it = entries.into_iter().zip(records).zip(times);
             for local_col in 0..chunk.len() {
@@ -526,6 +572,8 @@ impl TableBuilder {
             chain_reentries: totals.chain_reentries,
             reduce_s: totals.reduce_s,
             family_build_s,
+            batched_cells: totals.batched_cells,
+            amortized_column_s: totals.column_s / totals.live_columns.max(1) as f64,
         };
         let table = FrequencyTable::new(
             self.tstarts_c.clone(),
@@ -643,6 +691,16 @@ fn solve_column(
     }
 
     // Live phase: identical to a cold build from `row` on.
+    let live = !chain.dead && row < tstarts.len();
+    let col_t0 = Instant::now();
+    if live {
+        // One fused batched screen over the whole remaining column: every
+        // cell's certificate verdict and kept-row mask from one pass over
+        // the column's rhs panel, consumed (epoch-gated, bit-identically)
+        // by the per-cell screens and solves below. No-op when batching
+        // is off.
+        solver.screen_column(&tstarts[row..], ftarget);
+    }
     for &tstart in &tstarts[row..] {
         if chain.dead {
             entries.push(None);
@@ -740,7 +798,12 @@ fn solve_column(
         let rescreen = !pre_screened || hops_ran;
         let solved = solver.solve_current(carry.as_deref(), rescreen)?;
         if !solved.screened {
-            times[entries.len()] = t0.elapsed().as_secs_f64();
+            // A batched-group outcome reports its own solve seconds (the
+            // group's first cell would otherwise be billed the whole
+            // group's wall time, with its peers recording ~0).
+            times[entries.len()] = solver
+                .take_last_batched_time()
+                .unwrap_or_else(|| t0.elapsed().as_secs_f64());
         }
         if solved.screened {
             // Killed by a certificate the pre-hop screen didn't have yet:
@@ -823,6 +886,10 @@ fn solve_column(
                 entries.push(None);
             }
         }
+    }
+    if live {
+        stats.column_s += col_t0.elapsed().as_secs_f64();
+        stats.live_columns += 1;
     }
     Ok(())
 }

@@ -222,6 +222,7 @@ impl DfsPolicy for OnlineController {
                 &self.rhs,
                 target,
                 self.last_x.as_deref(),
+                None,
             ) {
                 Ok((outcome, cert)) => {
                     if let Some(cert) = cert {
