@@ -44,12 +44,13 @@ import json
 with open("results/tab_solver_runtime_quick.json") as f:
     data = json.load(f)
 for section in ("screened", "unscreened", "incremental", "unpruned",
-                "cold", "unpruned_cold"):
+                "cold", "unpruned_cold", "modal_sweep"):
     for field in ("newton_steps", "phase1_solves", "certificate_screens",
                   "seed_reuses", "incremental_screens",
                   "rows_pruned", "polish_mints", "chain_reentries",
                   "batched_cells", "amortized_column_s",
-                  "reduce_s", "family_build_s"):
+                  "reduce_s", "family_build_s",
+                  "rows_full", "rows_reduced", "modal_build_s"):
         assert field in data[section], f"missing {section}.{field}"
         assert data[section][field] >= 0, f"negative {section}.{field}"
 assert data["tables_identical"] is True
@@ -84,6 +85,17 @@ assert data["incremental"]["seed_reuses"] >= 1
 # screens, and the per-column amortized time must be a sane measurement.
 assert data["screened"]["batched_cells"] > 0, "default path must batch"
 assert data["screened"]["amortized_column_s"] >= 0
+# Modal truncation: the reduced sweep must be conservative (the binary
+# asserts the cell-by-cell contract before writing this flag), actually
+# shrink the thermal row count, and report its one-time build cost. The
+# default (non-modal) sections must report the full count on both sides.
+assert data["modal"]["conservative_ok"] is True
+assert data["modal"]["rows_reduced"] * 2 < data["modal"]["rows_full"]
+assert data["modal"]["modal_build_s"] >= 0
+assert data["modal"]["coverage_lost"] >= 0
+assert data["modal_sweep"]["rows_reduced"] == data["modal"]["rows_reduced"]
+assert data["screened"]["rows_reduced"] == data["screened"]["rows_full"]
+assert data["screened"]["modal_build_s"] == 0
 print("telemetry check: ok "
       f"(screened {data['screened']['newton_steps']} newton steps, "
       f"{data['screened']['certificate_screens']} screens, "
@@ -95,6 +107,8 @@ print("telemetry check: ok "
       f"incremental {data['incremental']['newton_steps']} newton steps, "
       f"{data['incremental']['seed_reuses']} reused cells, "
       f"{data['incremental']['incremental_screens']} inherited screens; "
+      f"modal {data['modal']['rows_full']} -> {data['modal']['rows_reduced']} "
+      f"thermal rows, {data['modal']['coverage_lost']} cells lost; "
       f"screened window {data['screened_window_s']*1e3:.1f} ms vs "
       f"bisection {data['bisection_window_s']*1e3:.1f} ms)")
 EOF

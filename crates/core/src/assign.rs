@@ -5,11 +5,31 @@ use protemp_cvx::{
     ProblemFamily, ProblemView, SolveStatus, SolverOptions,
 };
 use protemp_sim::Platform;
-use protemp_thermal::{AffineReach, DiscreteModel, IntegrationMethod, RcNetwork};
+use protemp_thermal::{
+    AffineReach, DiscreteModel, IntegrationMethod, ModalModel, ModalReach, ModalSpec, RcNetwork,
+};
 use serde::{Deserialize, Serialize};
 
-use crate::problem::{build_problem, f_var, fill_point_rhs, p_var, tgrad_var};
+use crate::problem::{
+    build_problem, build_problem_modal, f_var, fill_point_rhs, fill_point_rhs_modal, p_var,
+    tgrad_var,
+};
 use crate::{ControlConfig, Result};
+
+/// Per-band anchored-gap budget (°C) for the reduced *temperature* rows
+/// when modal truncation is enabled. Bounds both the soundness cushion
+/// (how much tighter a reduced row is than the full rows it covers) and
+/// the coverage conservatism (how much feasibility the reduction can
+/// forfeit) per band. 0.25 °C is well under the default 0.5 °C guard
+/// margin, so the reduction's bite stays smaller than the model's own
+/// safety slack.
+const MODAL_TEMP_BUDGET_C: f64 = 0.25;
+
+/// Per-band budget (°C) for the reduced *gradient* rows. Gradient
+/// conservatism only inflates the `t_grad` slack variable — an objective
+/// cost, never an infeasibility — so this budget can be much looser than
+/// the temperature one.
+const MODAL_GRAD_BUDGET_C: f64 = 1.5;
 
 /// How many *freshly minted* infeasibility certificates a [`CertPool`]
 /// keeps, most recently useful first. The sweep's frontier moves
@@ -208,6 +228,12 @@ pub struct AssignmentContext {
     cfg: ControlConfig,
     net: RcNetwork,
     reach: AffineReach,
+    /// Banded reduced constraint structure, present exactly when the
+    /// config enables modal truncation (`modal_order`/`modal_tol`). With
+    /// it, [`AssignmentContext::point_problem`] and
+    /// [`AssignmentContext::point_rhs_into`] emit the conservative
+    /// reduced rows instead of the per-step full rows.
+    modal: Option<Arc<ModalReach>>,
     solver_opts: SolverOptions,
     /// Sweep-shared problem structure, built on first use and shared (via
     /// `Arc`) by every worker's [`FamilySolver`]. Reset whenever the
@@ -227,6 +253,7 @@ impl Clone for AssignmentContext {
             cfg: self.cfg,
             net: self.net.clone(),
             reach: self.reach.clone(),
+            modal: self.modal.clone(),
             solver_opts: self.solver_opts,
             family,
         }
@@ -251,11 +278,32 @@ impl AssignmentContext {
             IntegrationMethod::ForwardEuler,
         )?;
         let reach = AffineReach::new(&net, &model, cfg.steps_per_window())?;
+        let modal = match (cfg.modal_order, cfg.modal_tol) {
+            (None, None) => None,
+            (order, tol) => {
+                let spec = match (order, tol) {
+                    (Some(r), _) => ModalSpec::Order(r),
+                    (_, Some(f)) => ModalSpec::Tol(f),
+                    _ => unreachable!("validate() rejects both knobs unset here"),
+                };
+                let mm = ModalModel::reduce(&net, &model, cfg.steps_per_window(), spec)?;
+                let mr = ModalReach::new(
+                    &mm,
+                    &reach,
+                    platform.pmax_w,
+                    cfg.gradient_stride.max(1),
+                    MODAL_TEMP_BUDGET_C,
+                    MODAL_GRAD_BUDGET_C,
+                )?;
+                Some(Arc::new(mr))
+            }
+        };
         Ok(AssignmentContext {
             platform: platform.clone(),
             cfg: *cfg,
             net,
             reach,
+            modal,
             solver_opts: SolverOptions::fast(),
             family: OnceLock::new(),
         })
@@ -279,6 +327,47 @@ impl AssignmentContext {
     /// The reachability operator.
     pub fn reach(&self) -> &AffineReach {
         &self.reach
+    }
+
+    /// The banded modal reduction, when the config enables it.
+    pub fn modal_reach(&self) -> Option<&ModalReach> {
+        self.modal.as_deref()
+    }
+
+    /// Thermal constraint rows (temperature + gradient) the *full* model
+    /// carries per design point.
+    pub fn thermal_rows_full(&self) -> usize {
+        let n = self.platform.num_cores();
+        let m = self.reach.steps();
+        let grad = if self.cfg.tgrad_weight > 0.0 {
+            n * (n - 1) * m.div_ceil(self.cfg.gradient_stride.max(1))
+        } else {
+            0
+        };
+        m * n + grad
+    }
+
+    /// Thermal constraint rows each design point actually solves with:
+    /// the banded reduced count under modal truncation, otherwise the full
+    /// count.
+    pub fn thermal_rows_reduced(&self) -> usize {
+        match &self.modal {
+            Some(mr) => {
+                let grad = if self.cfg.tgrad_weight > 0.0 {
+                    mr.reduced_grad_rows()
+                } else {
+                    0
+                };
+                mr.reduced_temp_rows() + grad
+            }
+            None => self.thermal_rows_full(),
+        }
+    }
+
+    /// Wall-clock seconds spent building the modal basis and the banded
+    /// reduction (0 when modal truncation is off).
+    pub fn modal_build_seconds(&self) -> f64 {
+        self.modal.as_ref().map_or(0.0, |mr| mr.build_seconds())
     }
 
     /// Overrides the solver options (default: [`SolverOptions::fast`]).
@@ -305,7 +394,12 @@ impl AssignmentContext {
     /// probes can construct it without solving.
     pub fn point_problem(&self, tstart_c: f64, ftarget_hz: f64) -> Problem {
         let offsets = self.offsets_for(tstart_c);
-        build_problem(&self.platform, &self.cfg, &self.reach, &offsets, ftarget_hz)
+        match &self.modal {
+            Some(mreach) => {
+                build_problem_modal(&self.platform, &self.cfg, mreach, &offsets, ftarget_hz)
+            }
+            None => build_problem(&self.platform, &self.cfg, &self.reach, &offsets, ftarget_hz),
+        }
     }
 
     /// The sweep-shared [`ProblemFamily`] for this context's design
@@ -341,7 +435,12 @@ impl AssignmentContext {
         let proto = self.family().prototype();
         rhs.clear();
         rhs.extend_from_slice(proto.lin_rhs());
-        fill_point_rhs(&self.platform, &self.cfg, offsets, ftarget_hz, rhs);
+        match &self.modal {
+            Some(mreach) => {
+                fill_point_rhs_modal(&self.platform, &self.cfg, mreach, offsets, ftarget_hz, rhs)
+            }
+            None => fill_point_rhs(&self.platform, &self.cfg, offsets, ftarget_hz, rhs),
+        }
     }
 
     /// A 64-bit fingerprint of everything that determines a design-point
@@ -1301,8 +1400,7 @@ pub(crate) fn solve_family_cell(
 ///
 /// Propagates numerical solver failures.
 pub fn check_feasible(ctx: &AssignmentContext, tstart_c: f64, ftarget_hz: f64) -> Result<bool> {
-    let offsets = ctx.offsets_for(tstart_c);
-    let prob = build_problem(&ctx.platform, &ctx.cfg, &ctx.reach, &offsets, ftarget_hz);
+    let prob = ctx.point_problem(tstart_c, ftarget_hz);
     let mut solver = BarrierSolver::new(ctx.solver_opts);
     Ok(solver.find_feasible(&prob)?.is_some())
 }

@@ -64,7 +64,7 @@ pub use error::ProTempError;
 pub use io::{
     read_certificates, read_table, read_table_v2, write_certificates, write_table, write_table_v2,
 };
-pub use problem::build_problem;
+pub use problem::{build_problem, build_problem_modal};
 pub use protemp_cvx::{CertScratch, Certificate};
 pub use spec::{ControlConfig, FreqMode};
 pub use store::TableStore;

@@ -64,6 +64,20 @@ pub struct ControlConfig {
     pub gradient_stride: usize,
     /// Uniform or per-core frequency assignment.
     pub mode: FreqMode,
+    /// Modal truncation: keep exactly this many of the slowest thermal
+    /// modes when building the constraint set. `None` (default) uses the
+    /// full model with bit-identical tables; `Some(r)` switches the builder
+    /// to the provably conservative banded modal rows. Mutually exclusive
+    /// with [`modal_tol`].
+    ///
+    /// [`modal_tol`]: ControlConfig::modal_tol
+    pub modal_order: Option<usize>,
+    /// Modal truncation by time constant: keep every mode whose time
+    /// constant is at least this fraction of the DFS window (must lie in
+    /// `(0, 1)`). Mutually exclusive with [`modal_order`].
+    ///
+    /// [`modal_order`]: ControlConfig::modal_order
+    pub modal_tol: Option<f64>,
 }
 
 impl Default for ControlConfig {
@@ -76,6 +90,8 @@ impl Default for ControlConfig {
             tgrad_weight: 1.0,
             gradient_stride: 5,
             mode: FreqMode::Variable,
+            modal_order: None,
+            modal_tol: None,
         }
     }
 }
@@ -125,6 +141,25 @@ impl ControlConfig {
                 reason: "gradient_stride must be at least 1".to_string(),
             });
         }
+        if self.modal_order.is_some() && self.modal_tol.is_some() {
+            return Err(ProTempError::BadConfig {
+                reason: "modal_order and modal_tol are mutually exclusive".to_string(),
+            });
+        }
+        if let Some(r) = self.modal_order {
+            if r == 0 {
+                return Err(ProTempError::BadConfig {
+                    reason: "modal_order must be at least 1".to_string(),
+                });
+            }
+        }
+        if let Some(t) = self.modal_tol {
+            if !(t > 0.0 && t < 1.0) {
+                return Err(ProTempError::BadConfig {
+                    reason: format!("modal_tol {t} must lie in (0, 1)"),
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -156,6 +191,36 @@ mod tests {
         assert!(c.validate().is_err());
         let c = ControlConfig {
             gradient_stride: 0,
+            ..ControlConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn modal_knobs_validated() {
+        let c = ControlConfig {
+            modal_order: Some(24),
+            ..ControlConfig::default()
+        };
+        c.validate().unwrap();
+        let c = ControlConfig {
+            modal_tol: Some(0.25),
+            ..ControlConfig::default()
+        };
+        c.validate().unwrap();
+        let c = ControlConfig {
+            modal_order: Some(24),
+            modal_tol: Some(0.25),
+            ..ControlConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ControlConfig {
+            modal_order: Some(0),
+            ..ControlConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ControlConfig {
+            modal_tol: Some(1.5),
             ..ControlConfig::default()
         };
         assert!(c.validate().is_err());

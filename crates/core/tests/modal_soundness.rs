@@ -1,0 +1,257 @@
+//! Conservativeness harness for the modal-truncated constraint set.
+//!
+//! With `modal_order`/`modal_tol` set, design points solve against the
+//! banded reduced rows of [`protemp_thermal::ModalReach`] instead of the
+//! per-step full rows. The reduction's contract is *one-sided*: the
+//! reduced feasible set is a subset of the full one. Concretely:
+//!
+//! * **No unsound gains** — a cell the reduced table calls feasible must
+//!   be feasible for the full model too, and re-propagating the reduced
+//!   solve's power vector through the *full* reachability operator must
+//!   respect every temperature limit and the achieved gradient bound.
+//! * **Bounded coverage loss** — conservatism may forfeit cells near the
+//!   feasibility frontier (the cushions bite before the true limit), but
+//!   only a sliver of them: the per-band budget (0.25 °C) is half the
+//!   default guard margin, so losses concentrate in cells already within
+//!   a fraction of a degree of infeasible.
+//! * **Thread determinism** — the reduced tables are bit-identical at any
+//!   thread count, like every other build path.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use protemp::{AssignmentContext, ControlConfig, FrequencyTable, TableBuilder};
+use protemp_sim::Platform;
+
+/// Slack for re-propagation checks: the interior-point solution satisfies
+/// its own (reduced) rows strictly, and the cushions cover the full rows
+/// exactly, so only accumulated float rounding can show up here.
+const REPROP_TOL_C: f64 = 1e-6;
+
+fn grid() -> TableBuilder {
+    TableBuilder::new()
+        .tstarts(vec![60.0, 85.0, 95.0])
+        .ftargets(vec![0.2e9, 0.5e9, 0.8e9])
+}
+
+/// Builds the full-model and reduced tables for one config (reduced at
+/// both 1 and 2 threads, asserting bit-identity), then checks the
+/// subset/re-propagation/coverage contract cell by cell. Returns
+/// `(full_feasible, lost)` cell counts for the caller's coverage bound.
+fn assert_conservative(
+    platform: &Platform,
+    cfg_full: &ControlConfig,
+    cfg_modal: &ControlConfig,
+    builder: &TableBuilder,
+) -> Result<(usize, usize), TestCaseError> {
+    let ctx_full = AssignmentContext::new(platform, cfg_full).unwrap();
+    let ctx_modal = AssignmentContext::new(platform, cfg_modal).unwrap();
+    prop_assert!(
+        ctx_modal.modal_reach().is_some(),
+        "modal config must actually build the reduction"
+    );
+    prop_assert!(
+        ctx_modal.thermal_rows_reduced() < ctx_full.thermal_rows_full(),
+        "the reduction must shrink the thermal row count ({} vs {})",
+        ctx_modal.thermal_rows_reduced(),
+        ctx_full.thermal_rows_full()
+    );
+
+    let (full_table, _) = builder.clone().build(&ctx_full).unwrap();
+    let (modal_table, _) = builder.clone().threads(1).build(&ctx_modal).unwrap();
+    let (modal_t2, _) = builder.clone().threads(2).build(&ctx_modal).unwrap();
+    prop_assert_eq!(
+        &modal_table,
+        &modal_t2,
+        "reduced tables must be bit-identical across thread counts"
+    );
+
+    let (full_feasible, lost) = check_cells(&ctx_full, &full_table, &modal_table)?;
+    Ok((full_feasible, lost))
+}
+
+/// The cell-by-cell contract: subset verdicts + full-model re-propagation
+/// of every reduced solution.
+fn check_cells(
+    ctx_full: &AssignmentContext,
+    full_table: &FrequencyTable,
+    modal_table: &FrequencyTable,
+) -> Result<(usize, usize), TestCaseError> {
+    let cfg = ctx_full.config();
+    let limit = cfg.tmax_c - cfg.margin_c;
+    let n = ctx_full.platform().num_cores();
+    let sens = ctx_full.reach().sensitivities();
+    let stride = cfg.gradient_stride.max(1);
+    let mut full_feasible = 0usize;
+    let mut lost = 0usize;
+
+    for (r, &tstart) in full_table.tstarts_c().iter().enumerate() {
+        let offsets = ctx_full.offsets_for(tstart);
+        for c in 0..full_table.ftargets_hz().len() {
+            let full_ok = full_table.entry(r, c).is_some();
+            let modal_entry = modal_table.entry(r, c);
+            full_feasible += full_ok as usize;
+            match modal_entry {
+                None => {
+                    lost += full_ok as usize;
+                }
+                Some(a) => {
+                    prop_assert!(
+                        full_ok,
+                        "UNSOUND: reduced model feasible at ({tstart} C, col {c}) \
+                         where the full model is infeasible"
+                    );
+                    // Re-propagate the reduced solve's powers through the
+                    // full-model operator: every per-step limit must hold.
+                    let p = &a.powers_w;
+                    let tgrad = a.tgrad_c.unwrap_or(f64::INFINITY);
+                    for (k, h) in sens.iter().enumerate() {
+                        let hp = h.matvec(p);
+                        for i in 0..n {
+                            let t = hp[i] + offsets[k][i];
+                            prop_assert!(
+                                t <= limit + REPROP_TOL_C,
+                                "UNSOUND: step {k} core {i} at ({tstart} C, col {c}): \
+                                 {t} > limit {limit}"
+                            );
+                        }
+                        if cfg.tgrad_weight > 0.0 && k % stride == 0 {
+                            for i in 0..n {
+                                for j in 0..n {
+                                    let g = (hp[i] + offsets[k][i]) - (hp[j] + offsets[k][j]);
+                                    prop_assert!(
+                                        g <= tgrad + REPROP_TOL_C,
+                                        "UNSOUND: gradient ({i},{j}) step {k} exceeds \
+                                         the achieved bound: {g} > {tgrad}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((full_feasible, lost))
+}
+
+/// Deterministic anchor on the paper's default model: the reduced table
+/// is sound everywhere and forfeits at most a sliver of the frontier.
+#[test]
+fn modal_table_is_conservative_on_the_default_model() {
+    let platform = Platform::niagara8();
+    let cfg_full = ControlConfig::default();
+    let cfg_modal = ControlConfig {
+        modal_order: Some(24),
+        ..cfg_full
+    };
+    let (full_feasible, lost) =
+        assert_conservative(&platform, &cfg_full, &cfg_modal, &grid()).unwrap();
+    assert!(full_feasible >= 4, "grid must cross the frontier");
+    assert!(
+        lost * 4 <= full_feasible,
+        "coverage loss must stay under 25% of the feasible cells \
+         ({lost} of {full_feasible} lost)"
+    );
+}
+
+/// The `modal_tol` spec routes through the same machinery: a 5% window
+/// fraction keeps a strict subset of modes and stays conservative.
+#[test]
+fn modal_tol_spec_is_conservative() {
+    let platform = Platform::niagara8();
+    let cfg_full = ControlConfig::default();
+    let cfg_modal = ControlConfig {
+        modal_tol: Some(0.05),
+        ..cfg_full
+    };
+    let (full_feasible, lost) =
+        assert_conservative(&platform, &cfg_full, &cfg_modal, &grid()).unwrap();
+    assert!(full_feasible >= 4);
+    assert!(lost * 4 <= full_feasible, "{lost} of {full_feasible} lost");
+}
+
+/// Modal off must keep the default path byte-for-byte: same fingerprint,
+/// same table as an explicitly default config. Turning it on must retire
+/// persisted artifacts (the fingerprint moves).
+#[test]
+fn modal_off_is_identity_and_on_moves_the_fingerprint() {
+    let platform = Platform::niagara8();
+    let base = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+    let off = AssignmentContext::new(
+        &platform,
+        &ControlConfig {
+            modal_order: None,
+            modal_tol: None,
+            ..ControlConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(base.fingerprint(), off.fingerprint());
+    assert!(off.modal_reach().is_none());
+    assert_eq!(off.thermal_rows_reduced(), off.thermal_rows_full());
+
+    let on = AssignmentContext::new(
+        &platform,
+        &ControlConfig {
+            modal_order: Some(24),
+            ..ControlConfig::default()
+        },
+    )
+    .unwrap();
+    assert_ne!(base.fingerprint(), on.fingerprint());
+}
+
+proptest! {
+    // Each case builds one full and two reduced tables on a reduced
+    // horizon; keep the count modest so the suite stays minutes-cheap.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random contexts (temperature limit, margin, gradient weight and
+    /// stride, window length, retained order): the reduced table is
+    /// sound for every drawn model — no cell feasible where the full
+    /// model is not, every reduced solution re-propagates cleanly, and
+    /// coverage loss stays a frontier sliver.
+    #[test]
+    fn modal_tables_conservative_for_random_contexts(
+        tmax in 92.0..108.0f64,
+        margin in 0.3..0.8f64,
+        tgrad_weight in 0.4..2.0f64,
+        stride in 2usize..8,
+        window_choice in 0usize..2,
+        order in 22usize..30,
+        t_lo in 45.0..60.0f64,
+        t_span in 25.0..40.0f64,
+        f_lo in 0.15..0.3f64,
+        f_span in 0.3..0.6f64,
+    ) {
+        let platform = Platform::niagara8();
+        let cfg_full = ControlConfig {
+            tmax_c: tmax,
+            margin_c: margin,
+            tgrad_weight,
+            gradient_stride: stride,
+            dfs_period_us: if window_choice == 0 { 25_200 } else { 50_000 },
+            ..ControlConfig::default()
+        };
+        let cfg_modal = ControlConfig {
+            modal_order: Some(order),
+            ..cfg_full
+        };
+        let tstarts = vec![t_lo, t_lo + t_span / 2.0, t_lo + t_span];
+        let ftargets = vec![f_lo * 1e9, (f_lo + f_span / 2.0) * 1e9, (f_lo + f_span) * 1e9];
+        let builder = TableBuilder::new().tstarts(tstarts).ftargets(ftargets);
+        let (full_feasible, lost) =
+            assert_conservative(&platform, &cfg_full, &cfg_modal, &builder)?;
+        // Random grids may sit entirely inside (or outside) the frontier;
+        // the coverage bound only means something when cells are at stake.
+        if full_feasible > 0 {
+            prop_assert!(
+                lost * 2 <= full_feasible,
+                "coverage loss must stay under half the feasible cells \
+                 ({} of {} lost)",
+                lost,
+                full_feasible
+            );
+        }
+    }
+}

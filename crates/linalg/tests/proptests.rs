@@ -1,7 +1,7 @@
 //! Property-based tests for the dense linear algebra kernels.
 
 use proptest::prelude::*;
-use protemp_linalg::{expm, vecops, Cholesky, Lu, Matrix, Qr};
+use protemp_linalg::{eigen, expm, vecops, Cholesky, Lu, Matrix, Qr};
 
 /// Strategy: a well-conditioned SPD matrix A = BᵀB + n·I of side `n`.
 fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
@@ -285,6 +285,62 @@ proptest! {
         let mut single = bs[..5].to_vec();
         ch.solve_in_place(&mut single);
         prop_assert_eq!(&one, &single);
+    }
+
+    /// The Jacobi eigensolver agrees with the shifted power iterations on
+    /// the extremal eigenvalues of random SPD matrices, its eigenvalues come
+    /// back sorted, and `V·diag(λ)·Vᵀ` reconstructs the input.
+    #[test]
+    fn sym_eig_matches_power_extremes_and_reconstructs(a in spd_matrix(6)) {
+        let (lambda, v) = eigen::sym_eig(&a).unwrap();
+        prop_assert!(lambda.windows(2).all(|w| w[0] <= w[1]));
+        let lmax = eigen::sym_eig_max(&a).unwrap();
+        let lmin = eigen::sym_eig_min(&a).unwrap();
+        let scale = a.norm_max().max(1.0);
+        prop_assert!((lambda[5] - lmax).abs() < 1e-6 * scale,
+            "lmax jacobi {} vs power {}", lambda[5], lmax);
+        prop_assert!((lambda[0] - lmin).abs() < 1e-6 * scale,
+            "lmin jacobi {} vs power {}", lambda[0], lmin);
+        let recon = Matrix::from_fn(6, 6, |r, c| {
+            (0..6).map(|j| v[(r, j)] * lambda[j] * v[(c, j)]).sum()
+        });
+        prop_assert!((&recon - &a).norm_max() < 1e-9 * scale,
+            "reconstruction residual {}", (&recon - &a).norm_max());
+        // Orthonormal eigenvectors: VᵀV == I.
+        let vtv = v.transpose().matmul(&v).unwrap();
+        prop_assert!((&vtv - &Matrix::identity(6)).norm_max() < 1e-10);
+    }
+
+    /// 1×1 matrices are their own eigendecomposition.
+    #[test]
+    fn sym_eig_scalar_case(x in -100.0..100.0f64) {
+        let (lambda, v) = eigen::sym_eig(&Matrix::from_diag(&[x])).unwrap();
+        prop_assert_eq!(lambda[0], x);
+        prop_assert!((v[(0, 0)].abs() - 1.0).abs() < 1e-15);
+    }
+
+    /// Repeated eigenvalues: `Q·diag(μ, μ, ν)·Qᵀ` still reconstructs and
+    /// returns the repeated value twice, for any rotation Q (built from a QR
+    /// factorization of a random matrix).
+    #[test]
+    fn sym_eig_repeated_eigenvalues(
+        data in prop::collection::vec(-1.0..1.0f64, 9),
+        mu in 1.0..5.0f64,
+        gap in 1.0..4.0f64,
+    ) {
+        let mut g = Matrix::from_vec(3, 3, data);
+        for i in 0..3 { g[(i, i)] += 4.0; }
+        let q = Qr::factor(&g).unwrap().q();
+        let d = Matrix::from_diag(&[mu, mu, mu + gap]);
+        let a = q.matmul(&d).unwrap().matmul(&q.transpose()).unwrap();
+        let (lambda, v) = eigen::sym_eig(&a).unwrap();
+        prop_assert!((lambda[0] - mu).abs() < 1e-8);
+        prop_assert!((lambda[1] - mu).abs() < 1e-8);
+        prop_assert!((lambda[2] - (mu + gap)).abs() < 1e-8);
+        let recon = Matrix::from_fn(3, 3, |r, c| {
+            (0..3).map(|j| v[(r, j)] * lambda[j] * v[(c, j)]).sum()
+        });
+        prop_assert!((&recon - &a).norm_max() < 1e-8);
     }
 
     /// An identity subset (every row, in order) is the full kernel.

@@ -23,22 +23,39 @@ pub enum IntegrationMethod {
 /// equation "had to be solved with a time step of 0.4 ms" to achieve
 /// numerical stability: steps above the returned bound diverge.
 ///
+/// Uses the full Jacobi eigendecomposition of the symmetrized system matrix
+/// `S = C^{-1/2} G C^{-1/2}`, so the returned limit is built from the *exact*
+/// extremal eigenvalue rather than a power-iteration estimate (which
+/// approaches `λ_max` from below and therefore reported a slightly
+/// conservative limit).
+///
 /// # Errors
 ///
-/// Propagates eigenvalue-estimation failures (the thermal matrices here have
-/// real spectra, so failures indicate a malformed network).
+/// Propagates eigenvalue failures (the thermal matrices here have real
+/// spectra, so failures indicate a malformed network).
 pub fn stability_limit(net: &RcNetwork) -> Result<f64> {
     // C⁻¹G is similar to the symmetric S = C^{-1/2} G C^{-1/2}; use the
-    // symmetric form so power iteration is reliable.
-    let n = net.num_nodes();
-    let c = net.capacitance();
-    let g = net.conductance();
-    let s = Matrix::from_fn(n, n, |r, col| g[(r, col)] / (c[r] * c[col]).sqrt());
-    let lmax = eigen::sym_eig_max(&s)?;
+    // symmetric form so the Jacobi eigensolver applies directly.
+    let s = symmetrized_system(net);
+    let (lambda, _) = eigen::sym_eig(&s)?;
+    let lmax = lambda.last().copied().unwrap_or(0.0);
     if lmax <= 0.0 {
         return Err(ThermalError::NotFinite);
     }
     Ok(2.0 / lmax)
+}
+
+/// The capacitance-symmetrized system matrix `S = C^{-1/2} G C^{-1/2}`.
+///
+/// `S` is similar to `C⁻¹G` (via the scaling `C^{1/2}`), symmetric, and
+/// positive definite for a connected network with ambient coupling. It is the
+/// common starting point for the stability limit above and for the modal
+/// truncation in [`crate::modal`].
+pub(crate) fn symmetrized_system(net: &RcNetwork) -> Matrix {
+    let n = net.num_nodes();
+    let c = net.capacitance();
+    let g = net.conductance();
+    Matrix::from_fn(n, n, |r, col| g[(r, col)] / (c[r] * c[col]).sqrt())
 }
 
 /// A discrete-time linear map `T⁺ = A_d·T + B_d·u` advancing the thermal
@@ -198,6 +215,29 @@ mod tests {
         assert!(
             limit > 0.4e-3,
             "0.4 ms (the paper's step) must be stable; limit is {limit:.2e} s"
+        );
+    }
+
+    #[test]
+    fn exact_limit_at_least_power_iteration_limit() {
+        // Shifted power iteration approaches λ_max from below, so the old
+        // limit 2/λ_est was ≥ the true limit only up to its convergence
+        // tolerance; the Jacobi-exact limit must match it to that tolerance
+        // and strictly beat the coarse Gershgorin-style bound 2/‖S‖₁.
+        let net = net();
+        let s = symmetrized_system(&net);
+        let old_limit = 2.0 / eigen::sym_eig_max(&s).unwrap();
+        let new_limit = stability_limit(&net).unwrap();
+        assert!(
+            new_limit >= old_limit * (1.0 - 1e-8),
+            "exact limit {new_limit:.9e} fell below the conservative power-iteration \
+             limit {old_limit:.9e}"
+        );
+        let gershgorin_limit = 2.0 / s.norm_one();
+        assert!(
+            new_limit > gershgorin_limit,
+            "exact limit {new_limit:.3e} must strictly beat the norm bound \
+             {gershgorin_limit:.3e}"
         );
     }
 

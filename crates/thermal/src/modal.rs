@@ -1,0 +1,770 @@
+//! Modal truncation of the RC thermal dynamics with rigorous,
+//! box-grounded truncation-error cushions.
+//!
+//! The capacitance scaling `C^{1/2}` symmetrizes the continuous system
+//! matrix: `S = C^{-1/2} G C^{-1/2}` is symmetric positive definite, so it
+//! has a full orthonormal eigenbasis `S = V Λ Vᵀ` ([`protemp_linalg::eigen::sym_eig`]).
+//! Every discretization used here is a scalar function of `S` under the same
+//! similarity, so the discrete step matrix factors as
+//!
+//! ```text
+//! A = Ψ · diag(μ) · Φ_state,   Ψ = C^{-1/2} V,   μ_j = f(λ_j)
+//! ```
+//!
+//! with `μ_j = 1 − dt·λ_j` (forward Euler), `1/(1 + dt·λ_j)` (backward
+//! Euler) or `e^{−dt·λ_j}` (exact map). The step-`k` power sensitivity
+//! `H_k = Σ_{t<k} Aᵗ B_s` therefore has the modal form
+//!
+//! ```text
+//! H_k = Ψ · diag(σ_k(μ)) · Φ,   σ_k(μ) = 1 + μ + … + μ^{k−1},
+//! Φ = Vᵀ C^{1/2} B_s,
+//! ```
+//!
+//! which costs `O(r)` per step to advance (`σ_{k+1} = μ·σ_k + 1`) instead of
+//! a dense matrix–matrix product. [`ModalModel::reduce`] keeps the `r`
+//! *slowest* modes (smallest `λ`, the ones that matter over an MPC horizon);
+//! fast modes have `σ_∞ ≈ 1/(dt·λ)`, so their discarded steady contribution
+//! is provably small.
+//!
+//! Soundness does **not** rest on the modal arithmetic at all:
+//! [`ModalReach`] compares every reduced sensitivity row `H̃` against the
+//! *exact* `H_k` from the full [`AffineReach`] recursion and folds the
+//! worst-case signed difference over the power box `p ∈ [0, p_max]^n` into a
+//! per-row cushion
+//!
+//! ```text
+//! ε = p_max · Σ_c max(0, (H_k − H̃)[c])   ⟹   H_k·p ≤ H̃·p + ε  ∀ p in box.
+//! ```
+//!
+//! Tightening the right-hand side of every reduced row by its cushion makes
+//! the reduced constraint set a *subset* of the full feasible set — any
+//! point feasible for the reduced rows satisfies every full-model row. The
+//! cushion absorbs truncation error *and* eigensolver floating-point error
+//! in one bound.
+//!
+//! Row collapse follows the mixing structure of the dynamics: contiguous
+//! runs of steps whose sensitivities have nearly stopped moving are merged
+//! into a single *band* anchored on the run's last step ([`ModalBand`]),
+//! with the anchored-gap budget bounding both the cushion and the coverage
+//! conservatism per band. Early transient steps stay (near-)per-step; late
+//! steps merge into wide steady-anchored bands, the final band being the
+//! steady-state row of the classic `k*` mixing argument. The row count
+//! drops from `m·n` toward `(bands)·n ≈ k*·n + n`.
+
+use std::time::Instant;
+
+use protemp_linalg::{eigen, Matrix};
+
+use crate::discrete::symmetrized_system;
+use crate::{AffineReach, DiscreteModel, IntegrationMethod, RcNetwork, Result, ThermalError};
+
+/// Absolute safety pad (°C) added to every static cushion so that
+/// floating-point rounding in the cushion arithmetic itself can never flip a
+/// bound the wrong way.
+const CUSHION_PAD_C: f64 = 1e-7;
+
+/// How to choose the retained mode count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModalSpec {
+    /// Keep exactly this many of the slowest modes (clamped to `[1, n]`).
+    Order(usize),
+    /// Keep every mode whose time constant `τ_j = 1/λ_j` is at least this
+    /// fraction of the prediction window `dt·steps`. Must lie in `(0, 1)`.
+    Tol(f64),
+}
+
+/// Truncated modal basis of the symmetrized RC dynamics.
+///
+/// Holds the full eigendecomposition (the truncation is a prefix choice, so
+/// keeping everything around costs one `n×n` matrix) plus the discrete
+/// per-mode multipliers for the model's integration method.
+#[derive(Debug, Clone)]
+pub struct ModalModel {
+    /// Eigenvalues of `S`, ascending — slow modes first.
+    lambda: Vec<f64>,
+    /// Discrete per-step multiplier per mode, `μ_j = f(λ_j)`.
+    mu: Vec<f64>,
+    /// Node output map `Ψ = C^{-1/2} V` (nodes × modes).
+    psi: Matrix,
+    /// Modal input map `Φ = Vᵀ C^{1/2} B_s` (modes × cores).
+    phi: Matrix,
+    /// Number of retained (slowest) modes.
+    kept: usize,
+    /// Time step the multipliers were built for (s).
+    dt: f64,
+    /// Wall-clock seconds spent in `reduce` (eigendecomposition included).
+    build_s: f64,
+}
+
+impl ModalModel {
+    /// Eigendecomposes the network's symmetrized dynamics and selects the
+    /// retained slow modes per `spec`.
+    ///
+    /// `horizon_steps` is the prediction horizon the [`ModalSpec::Tol`]
+    /// criterion is measured against (the window length is
+    /// `model.dt() · horizon_steps`).
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::DimensionMismatch`] if the model and network
+    ///   disagree on node count.
+    /// * [`ThermalError::NotFinite`] for a non-positive [`ModalSpec::Tol`]
+    ///   fraction or a degenerate (zero-step) horizon with `Tol`.
+    /// * Propagates eigensolver failures.
+    pub fn reduce(
+        net: &RcNetwork,
+        model: &DiscreteModel,
+        horizon_steps: usize,
+        spec: ModalSpec,
+    ) -> Result<Self> {
+        let start = Instant::now();
+        let n = net.num_nodes();
+        if model.num_nodes() != n {
+            return Err(ThermalError::DimensionMismatch {
+                what: "discrete model",
+                expected: n,
+                actual: model.num_nodes(),
+            });
+        }
+        let s = symmetrized_system(net);
+        let (lambda, v) = eigen::sym_eig(&s)?;
+        let dt = model.dt();
+        let mu: Vec<f64> = lambda
+            .iter()
+            .map(|&l| match model.method() {
+                IntegrationMethod::ForwardEuler => 1.0 - dt * l,
+                IntegrationMethod::BackwardEuler => 1.0 / (1.0 + dt * l),
+                IntegrationMethod::Exact => (-dt * l).exp(),
+            })
+            .collect();
+
+        let c = net.capacitance();
+        // Ψ = C^{-1/2} V : scale each row of V by 1/sqrt(c_r).
+        let psi = Matrix::from_fn(n, n, |r, j| v[(r, j)] / c[r].sqrt());
+        // Φ = Vᵀ C^{1/2} B_s with B_s the per-core input columns.
+        let cores = net.core_nodes();
+        let nc = cores.len();
+        let b = model.b();
+        let phi = Matrix::from_fn(n, nc, |j, cc| {
+            let core = cores[cc];
+            (0..n).map(|r| v[(r, j)] * c[r].sqrt() * b[(r, core)]).sum()
+        });
+
+        let kept = match spec {
+            ModalSpec::Order(r) => r.max(1).min(n),
+            ModalSpec::Tol(f) => {
+                if !(f > 0.0 && f < 1.0) || horizon_steps == 0 {
+                    return Err(ThermalError::NotFinite);
+                }
+                let window = dt * horizon_steps as f64;
+                // Keep modes with time constant 1/λ ≥ f·window, i.e.
+                // λ ≤ 1/(f·window); `lambda` is ascending so this is a
+                // prefix.
+                let cutoff = 1.0 / (f * window);
+                lambda.iter().take_while(|&&l| l <= cutoff).count().max(1)
+            }
+        };
+
+        Ok(ModalModel {
+            lambda,
+            mu,
+            psi,
+            phi,
+            kept,
+            dt,
+            build_s: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Eigenvalues of the symmetrized system, ascending.
+    pub fn lambda(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// Discrete per-step multipliers `μ_j`, aligned with [`lambda`].
+    ///
+    /// [`lambda`]: ModalModel::lambda
+    pub fn mu(&self) -> &[f64] {
+        &self.mu
+    }
+
+    /// Node output map `Ψ = C^{-1/2} V` (nodes × modes).
+    pub fn psi(&self) -> &Matrix {
+        &self.psi
+    }
+
+    /// Modal input map `Φ = Vᵀ C^{1/2} B_s` (modes × cores).
+    pub fn phi(&self) -> &Matrix {
+        &self.phi
+    }
+
+    /// Number of retained slow modes `r`.
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// Total number of modes (thermal nodes).
+    pub fn num_modes(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// Time step the discrete multipliers were built for (s).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Wall-clock seconds spent building the modal basis.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_s
+    }
+
+    /// The truncated step-`k` sensitivity `H̃_k = Ψ_w · diag(σ_k) · Φ` for
+    /// the given watched rows, where `sigma` holds the retained modes'
+    /// geometric sums `σ_k(μ_j)`.
+    fn htilde_into(&self, watch: &[usize], sigma: &[f64], out: &mut Matrix) {
+        let nc = self.phi.cols();
+        for (i, &w) in watch.iter().enumerate() {
+            for cc in 0..nc {
+                let mut acc = 0.0;
+                for (j, &s) in sigma.iter().enumerate() {
+                    acc += self.psi[(w, j)] * s * self.phi[(j, cc)];
+                }
+                out[(i, cc)] = acc;
+            }
+        }
+    }
+}
+
+/// One contiguous run of step indices collapsed onto a single anchored row.
+///
+/// The band covers full-model step indices `start..end` (0-based, exclusive
+/// end; step index `idx` is step `k = idx + 1`) and is anchored on the
+/// reduced sensitivity at `anchor = end − 1`. A width-1 band is an exact
+/// per-step row whose only cushion is the truncation error at its own step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModalBand {
+    /// First covered step index.
+    pub start: usize,
+    /// One past the last covered step index.
+    pub end: usize,
+}
+
+impl ModalBand {
+    /// The step index whose reduced row anchors this band (`end − 1`).
+    pub fn anchor(&self) -> usize {
+        self.end - 1
+    }
+
+    /// Number of steps collapsed into this band.
+    pub fn width(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Reduced reachability: adaptively banded constraint rows with rigorous,
+/// box-grounded truncation cushions.
+///
+/// The horizon `[1, m]` is partitioned into contiguous [`ModalBand`]s. Each
+/// band contributes one row per watched node, anchored on the reduced
+/// sensitivity `H̃` at the band's last step, with a static cushion
+///
+/// ```text
+/// eps(band, i) = max_{k ∈ band} p_max · Σ_c max(0, (H_k − H̃_anchor)[i,c]) + pad
+/// ```
+///
+/// so `H_k·p ≤ H̃_anchor·p + eps` for every covered step and every `p` in the
+/// power box — the full rows are *implied* by the banded row once the
+/// consumer also tightens the right-hand side by the per-cell offset cushion
+/// `max_{k ∈ band} max(0, o_k[i] − o_anchor[i])` (offsets are cell state, so
+/// that part is evaluated at fill time from the exact trajectory).
+///
+/// Band boundaries are chosen greedily: a band keeps absorbing the next step
+/// while the two-sided anchored gap (soundness cushion *and* the coverage
+/// ramp `max_k p_max·Σ_c max(0, (H̃_anchor − H_k)[i,c])`) stays below a
+/// budget. Early steps, where the thermal transient moves fast, get width-1
+/// bands — the exact per-step "head"; later steps merge into progressively
+/// wider bands, the last one being the steady-anchored row of the mixing
+/// argument. [`kstar`] reports where widths first exceed 1. Thermal-gradient
+/// rows (ordered node pairs on the strided schedule) are banded the same way
+/// with their own budget; gradient conservatism only inflates the gradient
+/// slack variable (an objective cost), never feasibility, so its budget can
+/// be looser.
+///
+/// [`kstar`]: ModalReach::kstar
+#[derive(Debug, Clone)]
+pub struct ModalReach {
+    watch: Vec<usize>,
+    steps: usize,
+    /// Temperature bands partitioning step indices `0..m`.
+    temp_bands: Vec<ModalBand>,
+    /// Anchored reduced rows per temperature band (watched × cores).
+    temp_h: Vec<Matrix>,
+    /// Static cushions per temperature band `[band][watched]` (°C).
+    temp_eps: Vec<Vec<f64>>,
+    /// Strided step indices carrying thermal-gradient rows.
+    grad_strided: Vec<usize>,
+    /// Gradient bands as ranges over *positions* in `grad_strided`.
+    grad_bands: Vec<ModalBand>,
+    /// Anchored reduced rows per gradient band (watched × cores).
+    grad_h: Vec<Matrix>,
+    /// Static cushions per gradient band `[band][ordered pair]` (°C).
+    grad_eps: Vec<Vec<f64>>,
+    kept: usize,
+    modes: usize,
+    build_s: f64,
+}
+
+impl ModalReach {
+    /// Builds the banded reduced structure for `full`'s horizon.
+    ///
+    /// `p_max` bounds the per-core power box the cushions are maximized
+    /// over; `grad_stride` is the thermal-gradient row stride;
+    /// `temp_budget_c` / `grad_budget_c` are the per-band anchored-gap
+    /// budgets (°C) controlling how aggressively steps merge (larger budget
+    /// ⇒ fewer, wider bands ⇒ fewer rows but more conservatism).
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::DimensionMismatch`] on an empty horizon or zero
+    ///   stride.
+    /// * [`ThermalError::NotFinite`] for non-finite/negative `p_max` or
+    ///   budgets.
+    pub fn new(
+        modal: &ModalModel,
+        full: &AffineReach,
+        p_max: f64,
+        grad_stride: usize,
+        temp_budget_c: f64,
+        grad_budget_c: f64,
+    ) -> Result<Self> {
+        let start = Instant::now();
+        let m = full.steps();
+        if m == 0 || grad_stride == 0 {
+            return Err(ThermalError::DimensionMismatch {
+                what: "modal horizon/stride",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let budgets_ok = p_max.is_finite()
+            && p_max >= 0.0
+            && temp_budget_c.is_finite()
+            && temp_budget_c >= 0.0
+            && grad_budget_c.is_finite()
+            && grad_budget_c >= 0.0;
+        if !budgets_ok {
+            return Err(ThermalError::NotFinite);
+        }
+        let watch = full.watch().to_vec();
+        let nw = watch.len();
+        let h_full = full.sensitivities();
+        let nc = h_full[0].cols();
+
+        // Materialize every reduced H̃_k by advancing the retained modes'
+        // geometric sums σ: O(r) per step plus O(nw·r·nc) to form the rows.
+        let kept = modal.kept();
+        let mu = &modal.mu()[..kept];
+        let mut sigma = vec![1.0; kept];
+        let mut htilde: Vec<Matrix> = Vec::with_capacity(m);
+        let mut cur = Matrix::zeros(nw, nc);
+        modal.htilde_into(&watch, &sigma, &mut cur);
+        htilde.push(cur.clone());
+        for _ in 1..m {
+            for (s, &mj) in sigma.iter_mut().zip(mu) {
+                *s = mj * *s + 1.0;
+            }
+            modal.htilde_into(&watch, &sigma, &mut cur);
+            htilde.push(cur.clone());
+        }
+
+        // One-sided box-grounded gaps of a full step against an anchor row:
+        // `sound` is how far the full row can exceed the anchor (must go in
+        // the cushion), `cover` how far the anchor exceeds the full row
+        // (pure conservatism, budget-capped but never a soundness issue).
+        let gaps = |idx: usize, anchor: &Matrix, i: usize| -> (f64, f64) {
+            let (mut up, mut down) = (0.0, 0.0);
+            for cc in 0..nc {
+                let d = h_full[idx][(i, cc)] - anchor[(i, cc)];
+                if d > 0.0 {
+                    up += d;
+                } else {
+                    down -= d;
+                }
+            }
+            (p_max * up, p_max * down)
+        };
+        let pair_gaps = |idx: usize, anchor: &Matrix, i: usize, j: usize| -> (f64, f64) {
+            let (mut up, mut down) = (0.0, 0.0);
+            for cc in 0..nc {
+                let d = (h_full[idx][(i, cc)] - h_full[idx][(j, cc)])
+                    - (anchor[(i, cc)] - anchor[(j, cc)]);
+                if d > 0.0 {
+                    up += d;
+                } else {
+                    down -= d;
+                }
+            }
+            (p_max * up, p_max * down)
+        };
+
+        // Greedy banding over the temperature steps: extend the candidate
+        // band while every covered step's two-sided gap against the *new*
+        // anchor stays within budget (the anchor moves with the band end,
+        // so each extension re-checks the whole band — O(width²·nw·nc) per
+        // band, trivial at these sizes).
+        let mut temp_bands: Vec<ModalBand> = Vec::new();
+        let mut s0 = 0usize;
+        while s0 < m {
+            let mut end = s0 + 1;
+            while end < m {
+                let cand_anchor = &htilde[end];
+                let ok = (s0..=end).all(|idx| {
+                    (0..nw).all(|i| {
+                        let (up, down) = gaps(idx, cand_anchor, i);
+                        up.max(down) <= temp_budget_c
+                    })
+                });
+                if ok {
+                    end += 1;
+                } else {
+                    break;
+                }
+            }
+            temp_bands.push(ModalBand { start: s0, end });
+            s0 = end;
+        }
+        let mut temp_h = Vec::with_capacity(temp_bands.len());
+        let mut temp_eps = Vec::with_capacity(temp_bands.len());
+        for b in &temp_bands {
+            let anchor = &htilde[b.anchor()];
+            let eps: Vec<f64> = (0..nw)
+                .map(|i| {
+                    (b.start..b.end)
+                        .map(|idx| gaps(idx, anchor, i).0)
+                        .fold(0.0, f64::max)
+                        + CUSHION_PAD_C
+                })
+                .collect();
+            temp_h.push(anchor.clone());
+            temp_eps.push(eps);
+        }
+
+        // Same banding over the strided gradient schedule, per ordered pair.
+        let grad_strided: Vec<usize> = (0..m).step_by(grad_stride).collect();
+        let npairs = nw * nw.saturating_sub(1);
+        let ns = grad_strided.len();
+        let mut grad_bands: Vec<ModalBand> = Vec::new();
+        let mut p0 = 0usize;
+        while p0 < ns {
+            let mut end = p0 + 1;
+            while end < ns {
+                let cand_anchor = &htilde[grad_strided[end]];
+                let ok = (p0..=end).all(|pos| {
+                    let idx = grad_strided[pos];
+                    (0..nw).all(|i| {
+                        (0..nw).all(|j| {
+                            if i == j {
+                                return true;
+                            }
+                            let (up, down) = pair_gaps(idx, cand_anchor, i, j);
+                            up.max(down) <= grad_budget_c
+                        })
+                    })
+                });
+                if ok {
+                    end += 1;
+                } else {
+                    break;
+                }
+            }
+            grad_bands.push(ModalBand { start: p0, end });
+            p0 = end;
+        }
+        let mut grad_h = Vec::with_capacity(grad_bands.len());
+        let mut grad_eps = Vec::with_capacity(grad_bands.len());
+        for b in &grad_bands {
+            let anchor = &htilde[grad_strided[b.anchor()]];
+            let mut eps = Vec::with_capacity(npairs);
+            for i in 0..nw {
+                for j in 0..nw {
+                    if i == j {
+                        continue;
+                    }
+                    let worst = (b.start..b.end)
+                        .map(|pos| pair_gaps(grad_strided[pos], anchor, i, j).0)
+                        .fold(0.0, f64::max);
+                    eps.push(worst + CUSHION_PAD_C);
+                }
+            }
+            grad_h.push(anchor.clone());
+            grad_eps.push(eps);
+        }
+
+        Ok(ModalReach {
+            watch,
+            steps: m,
+            temp_bands,
+            temp_h,
+            temp_eps,
+            grad_strided,
+            grad_bands,
+            grad_h,
+            grad_eps,
+            kept,
+            modes: modal.num_modes(),
+            build_s: modal.build_seconds() + start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Watched node indices (same order as the full reach).
+    pub fn watch(&self) -> &[usize] {
+        &self.watch
+    }
+
+    /// Full horizon length `m`.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Retained mode count `r`.
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// Total mode count (thermal nodes).
+    pub fn modes(&self) -> usize {
+        self.modes
+    }
+
+    /// Mixing step `k*`: the first step index where bands widen past one
+    /// step (every earlier step has its own exact-anchored row).
+    pub fn kstar(&self) -> usize {
+        self.temp_bands
+            .iter()
+            .find(|b| b.width() > 1)
+            .map_or(self.steps, |b| b.start)
+    }
+
+    /// Temperature bands partitioning step indices `0..m`.
+    pub fn temp_bands(&self) -> &[ModalBand] {
+        &self.temp_bands
+    }
+
+    /// Anchored reduced sensitivity of temperature band `b`.
+    pub fn temp_h(&self, b: usize) -> &Matrix {
+        &self.temp_h[b]
+    }
+
+    /// Static cushion of temperature band `b`, watched node `i` (°C).
+    pub fn temp_eps(&self, b: usize, i: usize) -> f64 {
+        self.temp_eps[b][i]
+    }
+
+    /// Strided step indices carrying thermal-gradient rows.
+    pub fn grad_strided(&self) -> &[usize] {
+        &self.grad_strided
+    }
+
+    /// Gradient bands over positions into [`grad_strided`].
+    ///
+    /// [`grad_strided`]: ModalReach::grad_strided
+    pub fn grad_bands(&self) -> &[ModalBand] {
+        &self.grad_bands
+    }
+
+    /// Anchored reduced sensitivity of gradient band `b`.
+    pub fn grad_h(&self, b: usize) -> &Matrix {
+        &self.grad_h[b]
+    }
+
+    /// Static cushion of gradient band `b`, ordered pair `pair` (°C).
+    ///
+    /// Pairs are enumerated i-major: `(i, j)` for all `i ≠ j`.
+    pub fn grad_eps(&self, b: usize, pair: usize) -> f64 {
+        self.grad_eps[b][pair]
+    }
+
+    /// Number of reduced temperature rows (bands × watched nodes).
+    pub fn reduced_temp_rows(&self) -> usize {
+        self.temp_bands.len() * self.watch.len()
+    }
+
+    /// Number of reduced thermal-gradient rows (bands × ordered pairs).
+    pub fn reduced_grad_rows(&self) -> usize {
+        let nw = self.watch.len();
+        self.grad_bands.len() * nw * nw.saturating_sub(1)
+    }
+
+    /// Number of full-model temperature rows (`m·n`).
+    pub fn full_temp_rows(&self) -> usize {
+        self.steps * self.watch.len()
+    }
+
+    /// Number of full-model thermal-gradient rows.
+    pub fn full_grad_rows(&self) -> usize {
+        let nw = self.watch.len();
+        self.grad_strided.len() * nw * nw.saturating_sub(1)
+    }
+
+    /// Wall-clock seconds spent building the modal basis plus this reduced
+    /// structure.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThermalConfig;
+    use protemp_floorplan::niagara::niagara8;
+
+    fn setup() -> (RcNetwork, DiscreteModel) {
+        let net = RcNetwork::from_floorplan(&niagara8(), &ThermalConfig::default());
+        let model = DiscreteModel::new(&net, 0.4e-3, IntegrationMethod::ForwardEuler).unwrap();
+        (net, model)
+    }
+
+    #[test]
+    fn full_order_modal_reconstructs_sensitivities() {
+        let (net, model) = setup();
+        let steps = 60;
+        let full = AffineReach::new(&net, &model, steps).unwrap();
+        let modal =
+            ModalModel::reduce(&net, &model, steps, ModalSpec::Order(net.num_nodes())).unwrap();
+        assert_eq!(modal.kept(), net.num_nodes());
+        let reach = ModalReach::new(&modal, &full, 4.0, 5, 1e-6, 1e-6).unwrap();
+        // With every mode kept and a near-zero budget every band is width 1
+        // and the anchored rows match the exact recursion to float rounding.
+        assert_eq!(reach.temp_bands().len(), steps);
+        for (b, band) in reach.temp_bands().iter().enumerate() {
+            assert_eq!(band.width(), 1);
+            let h = &full.sensitivities()[band.anchor()];
+            let ht = reach.temp_h(b);
+            for i in 0..h.rows() {
+                for c in 0..h.cols() {
+                    assert!(
+                        (h[(i, c)] - ht[(i, c)]).abs() < 1e-8,
+                        "band {b} ({i},{c}): exact {} vs modal {}",
+                        h[(i, c)],
+                        ht[(i, c)]
+                    );
+                }
+                assert!(reach.temp_eps(b, i) < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_rows_are_box_conservative() {
+        // For random p in the box, every anchored row + cushion dominates
+        // the exact row at every step its band covers — temperature and
+        // gradient alike.
+        let (net, model) = setup();
+        let steps = 250;
+        let p_max = 4.0;
+        let stride = 5;
+        let full = AffineReach::new(&net, &model, steps).unwrap();
+        let modal = ModalModel::reduce(&net, &model, steps, ModalSpec::Order(24)).unwrap();
+        let reach = ModalReach::new(&modal, &full, p_max, stride, 0.25, 1.5).unwrap();
+        assert!(
+            reach.temp_bands().len() < steps,
+            "bands must actually merge steps"
+        );
+
+        let nw = reach.watch().len();
+        let nc = full.sensitivities()[0].cols();
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _trial in 0..25 {
+            let p: Vec<f64> = (0..nc).map(|_| p_max * next()).collect();
+            for (b, band) in reach.temp_bands().iter().enumerate() {
+                let hr = reach.temp_h(b).matvec(&p);
+                for idx in band.start..band.end {
+                    let hp = full.sensitivities()[idx].matvec(&p);
+                    for i in 0..nw {
+                        assert!(
+                            hp[i] <= hr[i] + reach.temp_eps(b, i),
+                            "band {b} step {idx} node {i}: {} > {} + {}",
+                            hp[i],
+                            hr[i],
+                            reach.temp_eps(b, i)
+                        );
+                    }
+                }
+            }
+            for (b, band) in reach.grad_bands().iter().enumerate() {
+                let hr = reach.grad_h(b).matvec(&p);
+                for pos in band.start..band.end {
+                    let idx = reach.grad_strided()[pos];
+                    let hp = full.sensitivities()[idx].matvec(&p);
+                    let mut pair = 0;
+                    for i in 0..nw {
+                        for j in 0..nw {
+                            if i == j {
+                                continue;
+                            }
+                            assert!(
+                                hp[i] - hp[j] <= hr[i] - hr[j] + reach.grad_eps(b, pair),
+                                "grad band {b} step {idx} pair ({i},{j})"
+                            );
+                            pair += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_counts_shrink() {
+        let (net, model) = setup();
+        let steps = 250;
+        let full = AffineReach::new(&net, &model, steps).unwrap();
+        let modal = ModalModel::reduce(&net, &model, steps, ModalSpec::Order(24)).unwrap();
+        assert!(modal.kept() < net.num_nodes());
+        let reach = ModalReach::new(&modal, &full, 4.0, 5, 0.25, 1.5).unwrap();
+        assert!(
+            reach.reduced_temp_rows() * 2 < reach.full_temp_rows(),
+            "temp rows {} vs full {}",
+            reach.reduced_temp_rows(),
+            reach.full_temp_rows()
+        );
+        assert!(
+            reach.reduced_grad_rows() < reach.full_grad_rows(),
+            "grad rows {} vs full {}",
+            reach.reduced_grad_rows(),
+            reach.full_grad_rows()
+        );
+        // Bands cover the horizon exactly once, in order.
+        let mut next_start = 0;
+        for b in reach.temp_bands() {
+            assert_eq!(b.start, next_start);
+            assert!(b.end > b.start);
+            next_start = b.end;
+        }
+        assert_eq!(next_start, steps);
+        // kstar reports the first merged band's start, within the horizon.
+        assert!(reach.kstar() <= steps);
+    }
+
+    #[test]
+    fn tol_spec_keeps_slow_prefix() {
+        let (net, model) = setup();
+        let modal = ModalModel::reduce(&net, &model, 250, ModalSpec::Tol(0.05)).unwrap();
+        let r = modal.kept();
+        assert!(r >= 1 && r <= net.num_nodes());
+        // Every kept eigenvalue is at most every dropped one.
+        if r < net.num_nodes() {
+            assert!(modal.lambda()[r - 1] <= modal.lambda()[r]);
+        }
+        // Rejects degenerate fractions.
+        assert!(ModalModel::reduce(&net, &model, 250, ModalSpec::Tol(0.0)).is_err());
+        assert!(ModalModel::reduce(&net, &model, 250, ModalSpec::Tol(1.5)).is_err());
+    }
+}

@@ -1,5 +1,5 @@
 use protemp_floorplan::{adjacency, BlockKind, Floorplan};
-use protemp_linalg::{Lu, Matrix};
+use protemp_linalg::{Cholesky, Matrix};
 use serde::{Deserialize, Serialize};
 
 use crate::{Result, ThermalConfig, ThermalError};
@@ -256,12 +256,13 @@ impl RcNetwork {
     /// # Errors
     ///
     /// * [`ThermalError::DimensionMismatch`] for a bad power vector.
-    /// * [`ThermalError::Linalg`] if the conductance matrix is singular
-    ///   (cannot happen for a connected network with ambient coupling).
+    /// * [`ThermalError::Linalg`] if the conductance matrix is not positive
+    ///   definite (cannot happen for a connected network with ambient
+    ///   coupling: it is a grounded Laplacian, hence SPD).
     pub fn steady_state(&self, block_powers: &[f64]) -> Result<Vec<f64>> {
         let u = self.input_vector(block_powers)?;
-        let lu = Lu::factor(&self.g)?;
-        Ok(lu.solve(&u)?)
+        let ch = Cholesky::factor(&self.g)?;
+        Ok(ch.solve(&u))
     }
 
     /// The system matrix `M = C⁻¹·G` of the dynamics `Ṫ = −M·T + C⁻¹·u`.
@@ -358,6 +359,26 @@ mod tests {
     fn input_vector_checks_length() {
         let net = net();
         assert!(net.input_vector(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn steady_state_cholesky_matches_lu() {
+        // The SPD fast path must agree with a general LU solve of the same
+        // grounded-Laplacian system to tight tolerance.
+        let net = net();
+        for power in [0.5, 2.0, 4.0] {
+            let p = net.full_power_vector(power);
+            let chol = net.steady_state(&p).unwrap();
+            let u = net.input_vector(&p).unwrap();
+            let lu = protemp_linalg::Lu::factor(net.conductance()).unwrap();
+            let gold = lu.solve(&u).unwrap();
+            for (a, b) in chol.iter().zip(&gold) {
+                assert!(
+                    (a - b).abs() < 1e-8 * b.abs().max(1.0),
+                    "cholesky {a} vs lu {b} at {power} W"
+                );
+            }
+        }
     }
 
     #[test]
