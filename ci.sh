@@ -96,6 +96,28 @@ assert data["modal"]["coverage_lost"] >= 0
 assert data["modal_sweep"]["rows_reduced"] == data["modal"]["rows_reduced"]
 assert data["screened"]["rows_reduced"] == data["screened"]["rows_full"]
 assert data["screened"]["modal_build_s"] == 0
+# Scenario substrate: every built-in platform must build a table end to
+# end (feasible cells exist) and the convex controller must meet or beat
+# the integral baseline on limit violations — including the capped memory
+# dies of the 3D stack — at equal-or-better throughput. The binary
+# asserts the same bounds before writing; checking the persisted numbers
+# keeps the published telemetry trustworthy.
+for scenario in ("niagara8", "biglittle8", "stacked3d"):
+    s = data["scenarios"][scenario]
+    for field in ("rows", "cols", "feasible_cells", "table_build_s",
+                  "mean_point_s", "max_point_s", "baseline_violations",
+                  "convex_violations", "baseline_throughput",
+                  "convex_throughput"):
+        assert field in s, f"missing scenarios.{scenario}.{field}"
+        assert s[field] >= 0, f"negative scenarios.{scenario}.{field}"
+    assert s["rows"] > 0 and s["cols"] > 0, f"{scenario}: empty grid"
+    assert s["feasible_cells"] > 0, f"{scenario}: table build found no feasible cells"
+    assert s["convex_violations"] <= s["baseline_violations"] + 1e-9, (
+        f"{scenario}: convex {s['convex_violations']} vs "
+        f"baseline {s['baseline_violations']}")
+    assert s["convex_throughput"] >= s["baseline_throughput"] * 0.999, (
+        f"{scenario}: convex {s['convex_throughput']} vs "
+        f"baseline {s['baseline_throughput']} work-s/s")
 print("telemetry check: ok "
       f"(screened {data['screened']['newton_steps']} newton steps, "
       f"{data['screened']['certificate_screens']} screens, "
@@ -111,6 +133,15 @@ print("telemetry check: ok "
       f"thermal rows, {data['modal']['coverage_lost']} cells lost; "
       f"screened window {data['screened_window_s']*1e3:.1f} ms vs "
       f"bisection {data['bisection_window_s']*1e3:.1f} ms)")
+for scenario in ("niagara8", "biglittle8", "stacked3d"):
+    s = data["scenarios"][scenario]
+    print(f"scenario {scenario}: {s['feasible_cells']} feasible cells, "
+          f"table {s['table_build_s']:.2f} s "
+          f"({s['mean_point_s']:.4f} s/pt mean, {s['max_point_s']:.4f} max), "
+          f"violations {s['baseline_violations']:.5f} -> "
+          f"{s['convex_violations']:.5f}, "
+          f"throughput {s['baseline_throughput']:.3f} -> "
+          f"{s['convex_throughput']:.3f} work-s/s")
 EOF
 
 # Publish the quick-run telemetry at the repo root so the perf headline is

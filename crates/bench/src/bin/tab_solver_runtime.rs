@@ -28,7 +28,10 @@ use protemp::prelude::*;
 use protemp::{solve_assignment, AssignmentContext, BuildStats, TableStore};
 use protemp_bench::{
     control_config, platform, results_dir, screened_window_latency, write_csv, write_text,
+    FIGURE_SEED,
 };
+use protemp_sim::{run_simulation, FirstIdle, IntegralController, SimConfig};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
 
 /// The paper's Figure 4 grid: 30–100 °C at 10 °C steps × 100–1000 MHz.
 fn paper_grid() -> TableBuilder {
@@ -188,6 +191,179 @@ fn assert_tables_agree(pruned: &FrequencyTable, full: &FrequencyTable) {
     }
 }
 
+/// One scenario's end-to-end A/B record: Phase-1 build telemetry plus a
+/// closed-loop simulation of the integral-control baseline against the
+/// convex table controller on the same trace.
+struct ScenarioAb {
+    name: &'static str,
+    grid_rows: usize,
+    grid_cols: usize,
+    feasible_cells: usize,
+    table_build_s: f64,
+    mean_point_s: f64,
+    max_point_s: f64,
+    baseline_violations: f64,
+    convex_violations: f64,
+    baseline_throughput: f64,
+    convex_throughput: f64,
+}
+
+impl ScenarioAb {
+    fn json(&self) -> String {
+        format!(
+            "    \"{}\": {{\"rows\": {}, \"cols\": {}, \"feasible_cells\": {}, \
+             \"table_build_s\": {:.4}, \"mean_point_s\": {:.5}, \"max_point_s\": {:.5}, \
+             \"baseline_violations\": {:.6}, \"convex_violations\": {:.6}, \
+             \"baseline_throughput\": {:.4}, \"convex_throughput\": {:.4}}}",
+            self.name,
+            self.grid_rows,
+            self.grid_cols,
+            self.feasible_cells,
+            self.table_build_s,
+            self.mean_point_s,
+            self.max_point_s,
+            self.baseline_violations,
+            self.convex_violations,
+            self.baseline_throughput,
+            self.convex_throughput,
+        )
+    }
+}
+
+/// Builds a Phase-1 table for one scenario and drives the same mixed trace
+/// through the adjustable-gain integral baseline and the convex table
+/// controller. Violations count core seconds over `tmax` *plus* capped-node
+/// seconds over their own caps (the stacked scenario's memory dies), so the
+/// comparison covers every limit the scenario declares.
+fn scenario_ab(name: &'static str, platform: &Platform) -> ScenarioAb {
+    let cfg = control_config();
+    let ctx = AssignmentContext::new(platform, &cfg).expect("scenario ctx");
+    // Frequency columns scale with the scenario's clock so heterogeneous
+    // platforms (little cores capped below `fmax`) still see usable rows,
+    // and reach 90% of `fmax` so the table can track demand instead of
+    // clipping throughput at an artificial grid ceiling. Temperature rows
+    // cluster near the limit where the controller actually operates.
+    let ftargets: Vec<f64> = (1..=6)
+        .map(|i| 0.15 * i as f64 * platform.fmax_hz)
+        .collect();
+    // The 70–85 °C band matters for capped stacks: a row's offsets start
+    // every node — capped memory dies included — at the row temperature,
+    // so rows above a node cap are infeasible by construction and the
+    // controller lives in the rows just below the tightest cap.
+    let builder = TableBuilder::new()
+        .tstarts(vec![60.0, 70.0, 75.0, 80.0, 85.0, 90.0, 95.0, 100.0])
+        .ftargets(ftargets);
+    let (table, stats) = builder.build(&ctx).expect("scenario table build");
+    assert!(
+        table.feasible_count() > 0,
+        "{name}: the scenario grid must contain feasible cells"
+    );
+
+    // Bursty but sustainable: compute segments saturate demand (the
+    // reactive baseline overshoots the limit chasing them), while the
+    // light segments leave room to drain the backlog a thermally honest
+    // controller accrues — so with work conserved, both controllers can
+    // finish the same total work and throughput compares like for like.
+    let n = platform.num_cores();
+    let light = BenchmarkProfile {
+        name: "light".to_string(),
+        min_work_us: 1_000,
+        max_work_us: 3_000,
+        load: 0.15,
+        pattern: protemp_workload::ArrivalPattern::Poisson,
+    };
+    let trace = TraceGenerator::new(FIGURE_SEED + 7).generate_mix(
+        &[
+            BenchmarkProfile::compute_intensive(),
+            light.clone(),
+            BenchmarkProfile::web_serving(),
+            light,
+            BenchmarkProfile::multimedia(),
+        ],
+        5.0,
+        40.0,
+        n,
+    );
+    let sim_cfg = SimConfig {
+        t_init_c: 70.0,
+        tmax_c: cfg.tmax_c,
+        max_duration_s: 40.0,
+        ..SimConfig::default()
+    };
+    let mut baseline = IntegralController::for_limit(cfg.tmax_c);
+    let base_report = run_simulation(platform, &trace, &mut baseline, &mut FirstIdle, &sim_cfg)
+        .expect("baseline sim");
+    let mut convex = ProTempController::new(table.clone());
+    let convex_report = run_simulation(platform, &trace, &mut convex, &mut FirstIdle, &sim_cfg)
+        .expect("convex sim");
+
+    let ab = ScenarioAb {
+        name,
+        grid_rows: table.tstarts_c().len(),
+        grid_cols: table.ftargets_hz().len(),
+        feasible_cells: table.feasible_count(),
+        table_build_s: stats.total_s,
+        mean_point_s: stats.mean_point_s,
+        max_point_s: stats.max_point_s,
+        baseline_violations: base_report.violation_fraction + base_report.cap_violation_fraction,
+        convex_violations: convex_report.violation_fraction + convex_report.cap_violation_fraction,
+        baseline_throughput: base_report.throughput(),
+        convex_throughput: convex_report.throughput(),
+    };
+    println!(
+        "scenario {name}: {} feasible cells, table {:.2}s ({:.4}s/pt mean, {:.4}s max); \
+         violations integral {:.4}% vs convex {:.4}%; throughput {:.3} vs {:.3} work-s/s \
+         (peaks {:.1} / {:.1} C)",
+        ab.feasible_cells,
+        ab.table_build_s,
+        ab.mean_point_s,
+        ab.max_point_s,
+        ab.baseline_violations * 100.0,
+        ab.convex_violations * 100.0,
+        ab.baseline_throughput,
+        ab.convex_throughput,
+        base_report.peak_temp_c,
+        convex_report.peak_temp_c,
+    );
+    ab
+}
+
+/// The per-scenario A/B sweep over every built-in platform. The convex
+/// controller must meet or beat the integral baseline on violations — the
+/// paper's core claim, now asserted on heterogeneous and 3D-stacked
+/// scenarios too, with a hair of float slack on the comparison.
+fn scenario_sweep() -> String {
+    let scenarios: [(&'static str, Platform); 3] = [
+        ("niagara8", Platform::niagara8()),
+        ("biglittle8", Platform::biglittle8()),
+        ("stacked3d", Platform::stacked3d()),
+    ];
+    let abs: Vec<ScenarioAb> = scenarios
+        .iter()
+        .map(|(name, p)| scenario_ab(name, p))
+        .collect();
+    for ab in &abs {
+        assert!(
+            ab.convex_violations <= ab.baseline_violations + 1e-9,
+            "{}: convex controller must meet or beat the integral baseline on violations \
+             ({:.6} vs {:.6})",
+            ab.name,
+            ab.convex_violations,
+            ab.baseline_violations
+        );
+        assert!(
+            ab.convex_throughput >= ab.baseline_throughput * 0.999,
+            "{}: convex controller must hold equal-or-better throughput \
+             ({:.4} vs {:.4} work-s/s)",
+            ab.name,
+            ab.convex_throughput,
+            ab.baseline_throughput
+        );
+    }
+    let body: Vec<String> = abs.iter().map(ScenarioAb::json).collect();
+    format!("  \"scenarios\": {{\n{}\n  }}", body.join(",\n"))
+}
+
 fn quick_run() {
     let ctx = AssignmentContext::new(&platform(), &control_config()).expect("ctx");
     let (table, stats) = quick_grid().build(&ctx).expect("quick build");
@@ -304,9 +480,15 @@ fn quick_run() {
         modal_stats.modal_build_s,
     );
 
+    // Scenario substrate A/B: every built-in platform through the integral
+    // baseline and the convex controller (CI asserts off these fields).
+    println!("\nScenario A/B (integral baseline vs convex controller):");
+    let scenarios_json = scenario_sweep();
+
     let json = format!(
         "{{\n  \"bench\": \"tab_solver_runtime_quick\",\n  \"platform\": \"niagara8\",\n  \
-         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \
+         \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n\
+         {scenarios_json},\n  \
          \"screened_window_s\": {:.6},\n  \"bisection_window_s\": {:.6},\n  \
          \"screened_windows\": {screened_windows},\n  \
          \"pruning_cold_wall_ratio\": {:.4},\n  \
@@ -651,9 +833,15 @@ fn main() {
         bisection_s * 1e6
     );
 
+    // Scenario substrate A/B on the full run too, so the perf trajectory
+    // records the heterogeneous and stacked platforms alongside Niagara.
+    println!("\nScenario A/B (integral baseline vs convex controller):");
+    let scenarios_json = scenario_sweep();
+
     let json = format!(
         "{{\n  \"bench\": \"tab_solver_runtime\",\n  \"platform\": \"niagara8\",\n  \
          \"grid_rows\": {},\n  \"grid_cols\": {},\n  \"available_cores\": {cores},\n\
+         {scenarios_json},\n\
          {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \
          \"fine_grid_rows\": {},\n  \"fine_grid_cols\": {},\n  \
          \"incremental_identical\": true,\n  \

@@ -16,21 +16,6 @@ use crate::problem::{
 };
 use crate::{ControlConfig, Result};
 
-/// Per-band anchored-gap budget (°C) for the reduced *temperature* rows
-/// when modal truncation is enabled. Bounds both the soundness cushion
-/// (how much tighter a reduced row is than the full rows it covers) and
-/// the coverage conservatism (how much feasibility the reduction can
-/// forfeit) per band. 0.25 °C is well under the default 0.5 °C guard
-/// margin, so the reduction's bite stays smaller than the model's own
-/// safety slack.
-const MODAL_TEMP_BUDGET_C: f64 = 0.25;
-
-/// Per-band budget (°C) for the reduced *gradient* rows. Gradient
-/// conservatism only inflates the `t_grad` slack variable — an objective
-/// cost, never an infeasibility — so this budget can be much looser than
-/// the temperature one.
-const MODAL_GRAD_BUDGET_C: f64 = 1.5;
-
 /// How many *freshly minted* infeasibility certificates a [`CertPool`]
 /// keeps, most recently useful first. The sweep's frontier moves
 /// monotonically, so a tiny MRU pool covers every screening opportunity in
@@ -271,13 +256,19 @@ impl AssignmentContext {
         platform
             .validate()
             .map_err(|reason| crate::ProTempError::BadConfig { reason })?;
-        let net = RcNetwork::from_floorplan(&platform.floorplan, &platform.thermal);
+        let net = platform.rc_network();
         let model = DiscreteModel::new(
             &net,
             cfg.dt_us as f64 / 1e6,
             IntegrationMethod::ForwardEuler,
         )?;
-        let reach = AffineReach::new(&net, &model, cfg.steps_per_window())?;
+        // Watch list convention: the core nodes first (global limit), then
+        // every per-node capped block in configured order (its own cap).
+        // `fill_point_rhs` / `fill_point_rhs_modal` rely on exactly this
+        // ordering to assign per-row limits.
+        let mut watch = net.core_nodes().to_vec();
+        watch.extend(platform.resolved_node_caps().iter().map(|&(node, _)| node));
+        let reach = AffineReach::with_watch(&net, &model, cfg.steps_per_window(), watch)?;
         let modal = match (cfg.modal_order, cfg.modal_tol) {
             (None, None) => None,
             (order, tol) => {
@@ -290,10 +281,10 @@ impl AssignmentContext {
                 let mr = ModalReach::new(
                     &mm,
                     &reach,
-                    platform.pmax_w,
+                    platform.max_core_peak_power(),
                     cfg.gradient_stride.max(1),
-                    MODAL_TEMP_BUDGET_C,
-                    MODAL_GRAD_BUDGET_C,
+                    cfg.modal_temp_budget_c(),
+                    cfg.modal_grad_budget_c(),
                 )?;
                 Some(Arc::new(mr))
             }
@@ -335,16 +326,18 @@ impl AssignmentContext {
     }
 
     /// Thermal constraint rows (temperature + gradient) the *full* model
-    /// carries per design point.
+    /// carries per design point. Temperature rows cover every watched
+    /// node (cores plus capped blocks); gradient rows pair cores only.
     pub fn thermal_rows_full(&self) -> usize {
         let n = self.platform.num_cores();
+        let nw = self.reach.watch().len();
         let m = self.reach.steps();
         let grad = if self.cfg.tgrad_weight > 0.0 {
             n * (n - 1) * m.div_ceil(self.cfg.gradient_stride.max(1))
         } else {
             0
         };
-        m * n + grad
+        m * nw + grad
     }
 
     /// Thermal constraint rows each design point actually solves with:
@@ -676,7 +669,10 @@ fn assemble_point_outcome(
         _ => {
             let n = ctx.platform.num_cores();
             let freqs_hz: Vec<f64> = (0..n)
-                .map(|i| x[f_var(i)].clamp(0.0, 1.0) * ctx.platform.fmax_hz)
+                .map(|i| {
+                    let ratio = ctx.platform.core_model(i).max_ratio;
+                    x[f_var(i)].clamp(0.0, ratio) * ctx.platform.fmax_hz
+                })
                 .collect();
             let powers_w: Vec<f64> = (0..n).map(|i| x[p_var(n, i)]).collect();
             let tgrad_c = (ctx.cfg.tgrad_weight > 0.0).then(|| x[tgrad_var(n)]);
@@ -699,19 +695,23 @@ fn assemble_point_outcome(
     }
 }
 
-/// A deterministic interior-leaning start for a design point: uniform
-/// frequencies just above the (relaxed) target, powers just above the
-/// frequency–power coupling, and the gradient bound mid-box. Everything
-/// except the temperature rows holds strictly, which is the best geometry
-/// phase I can ask for.
+/// A deterministic interior-leaning start for a design point: per-core
+/// frequencies just above the (relaxed) target but strictly inside each
+/// core's own frequency box, powers just above the frequency–power
+/// coupling (including the leakage floor), and the gradient bound
+/// mid-box. Everything except the temperature rows holds strictly, which
+/// is the best geometry phase I can ask for.
 fn heuristic_start(platform: &Platform, cfg: &ControlConfig, ftarget_hz: f64) -> Vec<f64> {
     let n = platform.num_cores();
     let fr = (ftarget_hz / platform.fmax_hz).clamp(0.0, 1.0);
-    let phi = (fr * 1.005).min(0.999);
     let mut x0 = vec![0.0; 2 * n + 1];
     for i in 0..n {
+        let cm = platform.core_model(i);
+        let rr = cm.max_ratio;
+        let phi = (fr * 1.005).min(0.999 * rr);
         x0[f_var(i)] = phi;
-        x0[p_var(n, i)] = (platform.pmax_w * (phi * phi + 0.02)).min(platform.pmax_w * 0.999);
+        x0[p_var(n, i)] = (cm.pmax_w * (phi * phi + 0.02) + cm.leakage_w)
+            .min(cm.pmax_w * (rr * rr) * 0.999 + cm.leakage_w);
     }
     x0[tgrad_var(n)] = 2.0 * cfg.tmax_c;
     x0
@@ -1535,5 +1535,63 @@ mod tests {
         let ctx = ctx(ControlConfig::default());
         assert!(check_feasible(&ctx, 60.0, 0.6e9).unwrap());
         assert!(!check_feasible(&ctx, 95.0, 0.9e9).unwrap());
+    }
+
+    #[test]
+    fn biglittle_respects_per_core_clocks_and_leakage() {
+        let platform = Platform::biglittle8();
+        let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+        let a = solve_assignment(&ctx, 50.0, 0.6e9).unwrap().unwrap();
+        assert!(a.avg_freq_hz() >= 0.6e9 * 0.995, "avg {}", a.avg_freq_hz());
+        for i in 0..8 {
+            let fmax_i = platform.core_fmax(i);
+            assert!(
+                a.freqs_hz[i] <= fmax_i + 1.0,
+                "core {i} exceeds its clock: {} > {fmax_i}",
+                a.freqs_hz[i]
+            );
+            // Tight relaxation: p ≈ leak + pmax φ² with that core's model.
+            let expect = platform.core_power_i(i, a.freqs_hz[i]);
+            assert!(
+                (a.powers_w[i] - expect).abs() < 0.05,
+                "core {i} power {} vs rule {expect}",
+                a.powers_w[i]
+            );
+        }
+    }
+
+    #[test]
+    fn stacked3d_holds_memory_caps_in_prediction() {
+        let platform = Platform::stacked3d();
+        let cfg = ControlConfig::default();
+        let ctx = AssignmentContext::new(&platform, &cfg).unwrap();
+        // Watch list: 4 cores, then the 4 capped memory stripes.
+        assert_eq!(ctx.reach().watch().len(), 8);
+        let tstart = 70.0;
+        let a = solve_assignment(&ctx, tstart, 0.5e9).unwrap().unwrap();
+        let offsets = ctx.offsets_for(tstart);
+        let n = platform.num_cores();
+        let caps = platform.resolved_node_caps();
+        for k in 1..=ctx.reach().steps() {
+            let pred = ctx.reach().predict(k, &a.powers_w, &offsets);
+            for (i, t) in pred.iter().enumerate() {
+                let limit = if i < n { cfg.tmax_c } else { caps[i - n].1 };
+                assert!(
+                    *t <= limit + 1e-6,
+                    "watched node {i} at step {k} reaches {t:.3} C (limit {limit})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_fingerprints_differ() {
+        let cfg = ControlConfig::default();
+        let a = AssignmentContext::new(&Platform::niagara8(), &cfg).unwrap();
+        let b = AssignmentContext::new(&Platform::biglittle8(), &cfg).unwrap();
+        let c = AssignmentContext::new(&Platform::stacked3d(), &cfg).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(b.fingerprint(), c.fingerprint());
     }
 }

@@ -3,15 +3,20 @@
 //!
 //! After eliminating the thermal states through the affine reachability
 //! operator `T_k = H_k·p + o_k`, the model has `2n + 1` variables —
-//! normalized frequencies `φᵢ = fᵢ/f_max ∈ [0,1]`, core powers `pᵢ` and the
-//! gradient bound `t_grad` — and:
+//! normalized frequencies `φᵢ = fᵢ/f_max ∈ [0, ρᵢ]` (with `ρᵢ` the core's
+//! reachable ratio of `f_max`), core powers `pᵢ` and the gradient bound
+//! `t_grad` — and:
 //!
-//! * `m × n` linear temperature constraints `(H_k·p + o_k)ᵢ ≤ t_max − δ`,
-//! * `n` convex quadratic couplings `p_max·φᵢ² ≤ pᵢ` (Equation (2), relaxed
-//!   as in model (3); tight at any optimum),
+//! * `m × n_watch` linear temperature constraints `(H_k·p + o_k)ᵢ ≤
+//!   limitᵢ − δ`, where the watch list is the cores (limit `t_max`)
+//!   followed by any per-node capped blocks (their own caps, e.g. 85 °C
+//!   memory dies),
+//! * `n` convex quadratic couplings `leakᵢ + p_max,ᵢ·φᵢ² ≤ pᵢ`
+//!   (Equation (2) with the scenario's per-core power model, relaxed as in
+//!   model (3); tight at any optimum),
 //! * the workload constraint `Σφᵢ ≥ n·f_target/f_max`,
-//! * optionally the pairwise gradient constraints (Equation (4)) and the
-//!   `+ t_grad` objective term (Equation (5)),
+//! * optionally the pairwise core gradient constraints (Equation (4)) and
+//!   the `+ t_grad` objective term (Equation (5)),
 //! * for [`FreqMode::Uniform`]: equalities `φᵢ = φ₁`.
 
 use protemp_cvx::Problem;
@@ -101,20 +106,31 @@ pub(crate) fn build_point_structure(
     }
     prob.set_linear_objective(q0);
 
-    // Boxes.
+    // Boxes: each core's frequency tops out at its own reachable ratio,
+    // each power at its peak busy power (leakage + dynamic at the top).
     for i in 0..n {
-        prob.add_box(f_var(i), 0.0, 1.0);
-        prob.add_box(p_var(n, i), 0.0, platform.pmax_w);
+        let cm = platform.core_model(i);
+        prob.add_box(f_var(i), 0.0, cm.max_ratio);
+        prob.add_box(p_var(n, i), 0.0, cm.peak_power());
     }
     prob.add_box(tgrad_var(n), 0.0, 4.0 * cfg.tmax_c);
 
-    // Frequency–power coupling: p_max·φ² ≤ p  ⇔  ½·(2·p_max)·φ² − p ≤ 0.
+    // Frequency–power coupling with the scenario's per-core model:
+    // leak + p_max·φ² ≤ p  ⇔  ½·(2·p_max)·φ² − p ≤ −leak. The zero-leak
+    // rhs is written as literal 0.0 (not −0.0) so homogeneous platforms
+    // stay bit-identical to the historical encoding.
     for i in 0..n {
+        let cm = platform.core_model(i);
         let mut diag = vec![0.0; nv];
-        diag[f_var(i)] = 2.0 * platform.pmax_w;
+        diag[f_var(i)] = 2.0 * cm.pmax_w;
         let mut lin = vec![0.0; nv];
         lin[p_var(n, i)] = -1.0;
-        prob.add_quad_le(Matrix::from_diag(&diag), lin, 0.0);
+        let r = if cm.leakage_w == 0.0 {
+            0.0
+        } else {
+            -cm.leakage_w
+        };
+        prob.add_quad_le(Matrix::from_diag(&diag), lin, r);
     }
 
     // Workload row: Σφ ≥ n·f_target/f_max (rhs filled per cell).
@@ -124,11 +140,12 @@ pub(crate) fn build_point_structure(
     }
     prob.add_linear_le(row, 0.0);
 
-    // Temperature limits at every step: (H_k p)_i ≤ t_max − δ − o_k[i]
-    // (rhs filled per cell).
+    // Temperature limits at every step for every *watched* node — the
+    // cores first, then any per-node capped blocks: (H_k p)_i ≤
+    // limit_i − δ − o_k[i] (rhs filled per cell).
     for k in 0..reach.steps() {
         let h = &reach.sensitivities()[k];
-        for i in 0..n {
+        for i in 0..h.rows() {
             let mut row = vec![0.0; nv];
             for j in 0..n {
                 row[p_var(n, j)] = h[(i, j)];
@@ -190,6 +207,11 @@ pub(crate) fn fill_point_rhs(
 ) {
     let n = platform.num_cores();
     let use_grad = cfg.tgrad_weight > 0.0;
+    // The watch list is the cores followed by the per-node capped blocks,
+    // in the caps' configured order — the same convention
+    // `AssignmentContext::new` builds the reach with.
+    let caps = platform.resolved_node_caps();
+    let nw = n + caps.len();
     // Hard layout check up front (not a trailing debug_assert): the static
     // prefix below is derived in parallel with `build_point_structure`'s
     // add_box calls, and writing into a mis-laid-out vector must fail
@@ -202,7 +224,7 @@ pub(crate) fn fill_point_rhs(
     };
     assert_eq!(
         rhs.len(),
-        (4 * n + 2) + 1 + m * n + grad_rows,
+        (4 * n + 2) + 1 + m * nw + grad_rows,
         "rhs does not match the design-point row layout"
     );
 
@@ -221,6 +243,12 @@ pub(crate) fn fill_point_rhs(
     for off in offsets {
         for oi in off.iter().take(n) {
             rhs[idx] = limit - oi;
+            idx += 1;
+        }
+        // Capped passive nodes follow the cores in the watch order; each
+        // row enforces the node's own cap under the same guard margin.
+        for (c, &(_, cap)) in caps.iter().enumerate() {
+            rhs[idx] = (cap - cfg.margin_c) - off[n + c];
             idx += 1;
         }
     }
@@ -299,17 +327,24 @@ pub(crate) fn build_point_structure_modal(
     prob.set_linear_objective(q0);
 
     for i in 0..n {
-        prob.add_box(f_var(i), 0.0, 1.0);
-        prob.add_box(p_var(n, i), 0.0, platform.pmax_w);
+        let cm = platform.core_model(i);
+        prob.add_box(f_var(i), 0.0, cm.max_ratio);
+        prob.add_box(p_var(n, i), 0.0, cm.peak_power());
     }
     prob.add_box(tgrad_var(n), 0.0, 4.0 * cfg.tmax_c);
 
     for i in 0..n {
+        let cm = platform.core_model(i);
         let mut diag = vec![0.0; nv];
-        diag[f_var(i)] = 2.0 * platform.pmax_w;
+        diag[f_var(i)] = 2.0 * cm.pmax_w;
         let mut lin = vec![0.0; nv];
         lin[p_var(n, i)] = -1.0;
-        prob.add_quad_le(Matrix::from_diag(&diag), lin, 0.0);
+        let r = if cm.leakage_w == 0.0 {
+            0.0
+        } else {
+            -cm.leakage_w
+        };
+        prob.add_quad_le(Matrix::from_diag(&diag), lin, r);
     }
 
     let mut row = vec![0.0; nv];
@@ -318,11 +353,13 @@ pub(crate) fn build_point_structure_modal(
     }
     prob.add_linear_le(row, 0.0);
 
-    // One anchored temperature row per band per core:
-    // (H̃_anchor p)_i ≤ limit − o_anchor[i] − eps − η (rhs filled per cell).
+    // One anchored temperature row per band per watched node (cores
+    // first, then capped passive blocks):
+    // (H̃_anchor p)_i ≤ limit_i − o_anchor[i] − eps − η (rhs filled per
+    // cell).
     for b in 0..mreach.temp_bands().len() {
         let h = mreach.temp_h(b);
-        for i in 0..n {
+        for i in 0..h.rows() {
             let mut row = vec![0.0; nv];
             for j in 0..n {
                 row[p_var(n, j)] = h[(i, j)];
@@ -393,6 +430,9 @@ pub(crate) fn fill_point_rhs_modal(
 ) {
     let n = platform.num_cores();
     let use_grad = cfg.tgrad_weight > 0.0;
+    let caps = platform.resolved_node_caps();
+    let nw = mreach.watch().len();
+    assert_eq!(nw, n + caps.len(), "watch must be cores then capped nodes");
     let grad_rows = if use_grad {
         mreach.reduced_grad_rows()
     } else {
@@ -417,11 +457,16 @@ pub(crate) fn fill_point_rhs_modal(
     let limit = cfg.tmax_c - cfg.margin_c;
     for (b, band) in mreach.temp_bands().iter().enumerate() {
         let anchor = &offsets[band.anchor()];
-        for i in 0..n {
+        for i in 0..nw {
+            let limit_i = if i < n {
+                limit
+            } else {
+                caps[i - n].1 - cfg.margin_c
+            };
             let eta = (band.start..band.end)
                 .map(|k| offsets[k][i] - anchor[i])
                 .fold(0.0, f64::max);
-            rhs[idx] = limit - anchor[i] - mreach.temp_eps(b, i) - eta;
+            rhs[idx] = limit_i - anchor[i] - mreach.temp_eps(b, i) - eta;
             idx += 1;
         }
     }

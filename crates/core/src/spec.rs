@@ -102,6 +102,26 @@ impl ControlConfig {
         (self.dfs_period_us / self.dt_us) as usize
     }
 
+    /// Per-band anchored-gap budget (°C) for the reduced *temperature*
+    /// rows when modal truncation is enabled: half the guard margin, so
+    /// the reduction's bite — both the soundness cushion and the coverage
+    /// conservatism per band — always stays strictly inside the model's
+    /// own safety slack, on every scenario. At the default
+    /// `margin_c = 0.5` this is the historical 0.25 °C budget exactly.
+    pub fn modal_temp_budget_c(&self) -> f64 {
+        self.margin_c * 0.5
+    }
+
+    /// Per-band budget (°C) for the reduced *gradient* rows: three times
+    /// the guard margin. Gradient conservatism only inflates the `t_grad`
+    /// slack variable — an objective cost, never an infeasibility — so
+    /// this budget scales much looser than the temperature one. At the
+    /// default `margin_c = 0.5` this is the historical 1.5 °C budget
+    /// exactly.
+    pub fn modal_grad_budget_c(&self) -> f64 {
+        self.margin_c * 3.0
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -224,6 +244,22 @@ mod tests {
             ..ControlConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn modal_budgets_derive_from_guard_margin() {
+        // The default margin reproduces the historical fixed budgets
+        // bit-for-bit (they are part of the table fingerprint story).
+        let c = ControlConfig::default();
+        assert_eq!(c.modal_temp_budget_c(), 0.25);
+        assert_eq!(c.modal_grad_budget_c(), 1.5);
+        // A tighter guard band tightens the reduction's bite with it.
+        let c = ControlConfig {
+            margin_c: 0.2,
+            ..ControlConfig::default()
+        };
+        assert!((c.modal_temp_budget_c() - 0.1).abs() < 1e-15);
+        assert!((c.modal_grad_budget_c() - 0.6).abs() < 1e-15);
     }
 
     #[test]

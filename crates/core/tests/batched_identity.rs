@@ -18,6 +18,16 @@ use proptest::test_runner::TestCaseError;
 use protemp::{AssignmentContext, ControlConfig, TableBuilder};
 use protemp_sim::Platform;
 
+/// The scenario substrate under test: the identity contract must hold on
+/// every built-in platform, not just the paper's Niagara-8.
+fn scenario(choice: usize) -> Platform {
+    match choice {
+        0 => Platform::niagara8(),
+        1 => Platform::biglittle8(),
+        _ => Platform::stacked3d(),
+    }
+}
+
 fn assert_batched_identical(
     builder: &TableBuilder,
     ctx: &AssignmentContext,
@@ -123,13 +133,14 @@ proptest! {
     // count modest so the suite stays minutes-cheap.
     #![proptest_config(ProptestConfig::with_cases(3))]
 
-    /// Random contexts and random grids: tables, records and certificates
-    /// must be bit-identical between the batched and scalar paths, every
-    /// time, warm or cold. `AssignmentContext::new` validates each drawn
-    /// config, so the generator stays inside the model's legal envelope
-    /// by construction.
+    /// Random contexts (including the scenario) and random grids: tables,
+    /// records and certificates must be bit-identical between the batched
+    /// and scalar paths, every time, warm or cold.
+    /// `AssignmentContext::new` validates each drawn config, so the
+    /// generator stays inside the model's legal envelope by construction.
     #[test]
     fn batched_path_identical_for_random_contexts(
+        scenario_choice in 0usize..3,
         tmax in 92.0..108.0f64,
         margin in 0.2..0.8f64,
         tgrad_weight in 0.4..2.0f64,
@@ -140,7 +151,7 @@ proptest! {
         f_lo in 0.1..0.3f64,
         f_span in 0.3..0.6f64,
     ) {
-        let platform = Platform::niagara8();
+        let platform = scenario(scenario_choice);
         let cfg = ControlConfig {
             tmax_c: tmax,
             margin_c: margin,

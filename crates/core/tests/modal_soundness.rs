@@ -27,6 +27,17 @@ use protemp_sim::Platform;
 /// exactly, so only accumulated float rounding can show up here.
 const REPROP_TOL_C: f64 = 1e-6;
 
+/// The scenario substrate under test: the one-sided conservativeness
+/// contract must hold on every built-in platform, including the capped
+/// 3D stack (whose memory-die rows carry their own limits).
+fn scenario(choice: usize) -> Platform {
+    match choice {
+        0 => Platform::niagara8(),
+        1 => Platform::biglittle8(),
+        _ => Platform::stacked3d(),
+    }
+}
+
 fn grid() -> TableBuilder {
     TableBuilder::new()
         .tstarts(vec![60.0, 85.0, 95.0])
@@ -79,6 +90,18 @@ fn check_cells(
     let cfg = ctx_full.config();
     let limit = cfg.tmax_c - cfg.margin_c;
     let n = ctx_full.platform().num_cores();
+    // Per-row limits over the watch list: cores under the global limit,
+    // then any capped passive nodes under their own caps.
+    let limits: Vec<f64> = (0..n)
+        .map(|_| limit)
+        .chain(
+            ctx_full
+                .platform()
+                .resolved_node_caps()
+                .iter()
+                .map(|&(_, cap)| cap - cfg.margin_c),
+        )
+        .collect();
     let sens = ctx_full.reach().sensitivities();
     let stride = cfg.gradient_stride.max(1);
     let mut full_feasible = 0usize;
@@ -106,12 +129,12 @@ fn check_cells(
                     let tgrad = a.tgrad_c.unwrap_or(f64::INFINITY);
                     for (k, h) in sens.iter().enumerate() {
                         let hp = h.matvec(p);
-                        for i in 0..n {
+                        for (i, &lim_i) in limits.iter().enumerate() {
                             let t = hp[i] + offsets[k][i];
                             prop_assert!(
-                                t <= limit + REPROP_TOL_C,
-                                "UNSOUND: step {k} core {i} at ({tstart} C, col {c}): \
-                                 {t} > limit {limit}"
+                                t <= lim_i + REPROP_TOL_C,
+                                "UNSOUND: step {k} watched node {i} at ({tstart} C, col {c}): \
+                                 {t} > limit {lim_i}"
                             );
                         }
                         if cfg.tgrad_weight > 0.0 && k % stride == 0 {
@@ -206,13 +229,15 @@ proptest! {
     // horizon; keep the count modest so the suite stays minutes-cheap.
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// Random contexts (temperature limit, margin, gradient weight and
-    /// stride, window length, retained order): the reduced table is
-    /// sound for every drawn model — no cell feasible where the full
-    /// model is not, every reduced solution re-propagates cleanly, and
-    /// coverage loss stays a frontier sliver.
+    /// Random contexts (scenario, temperature limit, margin, gradient
+    /// weight and stride, window length, retained order): the reduced
+    /// table is sound for every drawn model — no cell feasible where the
+    /// full model is not, every reduced solution re-propagates cleanly
+    /// (capped nodes under their own limits), and coverage loss stays a
+    /// frontier sliver.
     #[test]
     fn modal_tables_conservative_for_random_contexts(
+        scenario_choice in 0usize..3,
         tmax in 92.0..108.0f64,
         margin in 0.3..0.8f64,
         tgrad_weight in 0.4..2.0f64,
@@ -224,7 +249,7 @@ proptest! {
         f_lo in 0.15..0.3f64,
         f_span in 0.3..0.6f64,
     ) {
-        let platform = Platform::niagara8();
+        let platform = scenario(scenario_choice);
         let cfg_full = ControlConfig {
             tmax_c: tmax,
             margin_c: margin,

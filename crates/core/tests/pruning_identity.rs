@@ -28,6 +28,17 @@ const OBJ_REL_TOL: f64 = 5e-2;
 /// tighter than the (t_grad-polluted) objective.
 const FREQ_REL_TOL: f64 = 1e-2;
 
+/// The scenario substrate under test: every built-in platform — the
+/// paper's homogeneous Niagara-8, the heterogeneous big.LITTLE and the
+/// capped 3D processor–memory stack — must satisfy the identity contract.
+fn scenario(choice: usize) -> Platform {
+    match choice {
+        0 => Platform::niagara8(),
+        1 => Platform::biglittle8(),
+        _ => Platform::stacked3d(),
+    }
+}
+
 fn contexts(platform: &Platform, cfg: &ControlConfig) -> (AssignmentContext, AssignmentContext) {
     let mut on = AssignmentContext::new(platform, cfg).unwrap();
     let mut off = on.clone();
@@ -80,13 +91,15 @@ proptest! {
     // count modest so the suite stays minutes-cheap.
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// Random contexts (temperature limit, margin, gradient weight and
-    /// stride, window length) and random grids: the verdicts must be
-    /// bit-identical and the feasible objectives within tolerance, every
-    /// time. `AssignmentContext::new` validates each drawn config, so the
-    /// generator stays inside the model's legal envelope by construction.
+    /// Random contexts (scenario, temperature limit, margin, gradient
+    /// weight and stride, window length) and random grids: the verdicts
+    /// must be bit-identical and the feasible objectives within
+    /// tolerance, every time. `AssignmentContext::new` validates each
+    /// drawn config, so the generator stays inside the model's legal
+    /// envelope by construction.
     #[test]
     fn verdicts_identical_for_random_contexts(
+        scenario_choice in 0usize..3,
         tmax in 92.0..108.0f64,
         margin in 0.2..0.8f64,
         tgrad_weight in 0.4..2.0f64,
@@ -97,7 +110,7 @@ proptest! {
         f_lo in 0.1..0.3f64,
         f_span in 0.3..0.6f64,
     ) {
-        let platform = Platform::niagara8();
+        let platform = scenario(scenario_choice);
         let cfg = ControlConfig {
             tmax_c: tmax,
             margin_c: margin,

@@ -18,6 +18,9 @@ pub enum BlockKind {
     Crossbar,
     /// IO, DRAM controllers and bridges.
     Io,
+    /// A passive memory die block (3D stacks): a fixed background heat
+    /// source with its own, typically tighter, temperature cap.
+    Memory,
     /// Anything else (buffers, pads, unused silicon).
     Other,
 }
@@ -30,6 +33,7 @@ impl BlockKind {
             BlockKind::L2Cache => "l2",
             BlockKind::Crossbar => "xbar",
             BlockKind::Io => "io",
+            BlockKind::Memory => "mem",
             BlockKind::Other => "other",
         }
     }

@@ -31,11 +31,13 @@ mod rect;
 
 pub mod adjacency;
 pub mod niagara;
+pub mod stack;
 
 pub use block::{Block, BlockKind};
 pub use error::FloorplanError;
 pub use plan::Floorplan;
 pub use rect::Rect;
+pub use stack::{Layer, Stack, VerticalAdjacency};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, FloorplanError>;

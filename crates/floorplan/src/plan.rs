@@ -129,6 +129,25 @@ impl Floorplan {
     ///
     /// Returns the first violated invariant as a [`FloorplanError`].
     pub fn validate(&self) -> Result<()> {
+        self.validate_geometry()?;
+        // At least one core.
+        if !self.blocks.iter().any(Block::is_core) {
+            return Err(FloorplanError::MissingKind { kind: "core" });
+        }
+        Ok(())
+    }
+
+    /// Geometric invariants only: unique names, blocks inside the die, no
+    /// pairwise overlaps — without requiring a core.
+    ///
+    /// Passive layers of a [`crate::stack::Stack`] (e.g. memory dies) are
+    /// legitimate core-free floorplans; the core requirement moves to the
+    /// stack as a whole.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`FloorplanError`].
+    pub fn validate_geometry(&self) -> Result<()> {
         // Unique names.
         for (i, a) in self.blocks.iter().enumerate() {
             for b in &self.blocks[i + 1..] {
@@ -159,10 +178,6 @@ impl Floorplan {
                     });
                 }
             }
-        }
-        // At least one core.
-        if !self.blocks.iter().any(Block::is_core) {
-            return Err(FloorplanError::MissingKind { kind: "core" });
         }
         Ok(())
     }
@@ -222,6 +237,7 @@ impl Floorplan {
                 BlockKind::L2Cache => 'L',
                 BlockKind::Crossbar => 'X',
                 BlockKind::Io => 'I',
+                BlockKind::Memory => 'M',
                 BlockKind::Other => 'o',
             };
             for row in grid.iter_mut().take(y1.min(rows)).skip(y0) {

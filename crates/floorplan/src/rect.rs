@@ -99,6 +99,21 @@ impl Rect {
         0.0
     }
 
+    /// Area of the overlap between the footprints of two rectangles.
+    ///
+    /// Used for *vertical* adjacency in layered stacks, where blocks on
+    /// consecutive layers exchange heat through their overlapping
+    /// footprint. Returns `0.0` when the footprints are disjoint.
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = self.x2().min(other.x2()) - self.x.max(other.x);
+        let h = self.y2().min(other.y2()) - self.y.max(other.y);
+        if w > GEOM_EPS && h > GEOM_EPS {
+            w * h
+        } else {
+            0.0
+        }
+    }
+
     /// Euclidean distance between the centres of two rectangles.
     pub fn center_distance(&self, other: &Rect) -> f64 {
         let (ax, ay) = self.center();

@@ -1,0 +1,350 @@
+//! Layered die stacks (3D integration).
+//!
+//! A [`Stack`] is an ordered list of [`Layer`]s, each carrying its own
+//! [`Floorplan`]. Layer 0 is the die closest to the heat sink (the spreader
+//! attaches below it); higher indices stack upwards, away from the sink —
+//! the classic processor-at-the-bottom, memory-on-top arrangement. Blocks
+//! on consecutive layers exchange heat through their overlapping footprint
+//! (see [`Stack::vertical_adjacencies`]); lateral heat flow within a layer
+//! uses the ordinary [`crate::adjacency`] relation.
+//!
+//! Block node indices are global across the stack: layer 0's blocks first
+//! in their insertion order, then layer 1's, and so on. This keeps the
+//! single-layer case trivially identical to a plain floorplan.
+//!
+//! # Example
+//!
+//! ```
+//! use protemp_floorplan::{Block, BlockKind, Floorplan, Rect};
+//! use protemp_floorplan::stack::{Layer, Stack};
+//!
+//! let mut cpu = Floorplan::new(2e-3, 2e-3);
+//! cpu.push(Block::new("C1", BlockKind::Core, Rect::new(0.0, 0.0, 2e-3, 2e-3)));
+//! let mut mem = Floorplan::new(2e-3, 2e-3);
+//! mem.push(Block::new("M1", BlockKind::Memory, Rect::new(0.0, 0.0, 2e-3, 2e-3)));
+//!
+//! let stack = Stack::new(vec![Layer::new("cpu", cpu), Layer::new("mem", mem)]);
+//! stack.validate().unwrap();
+//! assert_eq!(stack.num_blocks(), 2);
+//! assert_eq!(stack.vertical_adjacencies().len(), 1);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Block, Floorplan, FloorplanError, Result};
+
+/// One die of a [`Stack`]: a named [`Floorplan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    name: String,
+    plan: Floorplan,
+}
+
+impl Layer {
+    /// Creates a named layer around a floorplan.
+    pub fn new(name: impl Into<String>, plan: Floorplan) -> Self {
+        Layer {
+            name: name.into(),
+            plan,
+        }
+    }
+
+    /// The layer's name (unique within a validated stack).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's floorplan.
+    pub fn plan(&self) -> &Floorplan {
+        &self.plan
+    }
+}
+
+/// A vertical thermal contact between blocks on consecutive layers.
+///
+/// Indices are *global* block indices (see [`Stack::block_offset`]); `lower`
+/// always lives on the layer closer to the heat sink.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerticalAdjacency {
+    /// Global index of the block on the lower layer.
+    pub lower: usize,
+    /// Global index of the block on the upper layer.
+    pub upper: usize,
+    /// Index of the lower layer (`upper` is on layer `lower_layer + 1`).
+    pub lower_layer: usize,
+    /// Footprint overlap area in m² (the conduction cross-section).
+    pub overlap_area: f64,
+}
+
+/// An ordered stack of dies, layer 0 nearest the heat sink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stack {
+    layers: Vec<Layer>,
+}
+
+impl Stack {
+    /// Creates a stack from its layers (layer 0 nearest the sink).
+    /// Validation is deferred to [`Stack::validate`].
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Stack { layers }
+    }
+
+    /// Wraps a single floorplan as a one-layer stack named `die`.
+    pub fn single(plan: Floorplan) -> Self {
+        Stack {
+            layers: vec![Layer::new("die", plan)],
+        }
+    }
+
+    /// The layers, sink-nearest first.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of blocks across all layers.
+    pub fn num_blocks(&self) -> usize {
+        self.layers.iter().map(|l| l.plan.len()).sum()
+    }
+
+    /// Global block index of layer `layer`'s first block.
+    pub fn block_offset(&self, layer: usize) -> usize {
+        self.layers[..layer].iter().map(|l| l.plan.len()).sum()
+    }
+
+    /// Layer index owning the global block index `block`.
+    pub fn layer_of(&self, block: usize) -> Option<usize> {
+        let mut off = 0;
+        for (li, l) in self.layers.iter().enumerate() {
+            off += l.plan.len();
+            if block < off {
+                return Some(li);
+            }
+        }
+        None
+    }
+
+    /// All blocks in global node-index order (layer 0 first).
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.layers.iter().flat_map(|l| l.plan.blocks().iter())
+    }
+
+    /// Global node indices of the processing cores, in node-index order.
+    pub fn core_indices(&self) -> Vec<usize> {
+        self.blocks()
+            .enumerate()
+            .filter(|(_, b)| b.is_core())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Global node index of the block with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.blocks().position(|b| b.name() == name)
+    }
+
+    /// Structural invariants: at least one layer, per-layer geometry valid,
+    /// unique block and layer names across the whole stack, matching die
+    /// outlines, and at least one core somewhere in the stack.
+    ///
+    /// Individual layers may be core-free (memory dies); only the stack as
+    /// a whole must contain a core.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`FloorplanError`].
+    pub fn validate(&self) -> Result<()> {
+        if self.layers.is_empty() {
+            return Err(FloorplanError::MissingKind { kind: "layer" });
+        }
+        for (i, a) in self.layers.iter().enumerate() {
+            a.plan.validate_geometry()?;
+            for b in &self.layers[i + 1..] {
+                if a.name == b.name {
+                    return Err(FloorplanError::DuplicateName {
+                        name: a.name.clone(),
+                    });
+                }
+                // All dies in a stack share one outline: vertical conduction
+                // areas and the spreader attachment assume congruent dies.
+                if (a.plan.die_width() - b.plan.die_width()).abs() > 1e-9
+                    || (a.plan.die_height() - b.plan.die_height()).abs() > 1e-9
+                {
+                    return Err(FloorplanError::OutOfBounds {
+                        name: b.name.clone(),
+                    });
+                }
+            }
+        }
+        // Unique block names across layers (within-layer uniqueness is part
+        // of validate_geometry above).
+        let all: Vec<&Block> = self.blocks().collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                if a.name() == b.name() {
+                    return Err(FloorplanError::DuplicateName {
+                        name: a.name().to_string(),
+                    });
+                }
+            }
+        }
+        if !self.blocks().any(Block::is_core) {
+            return Err(FloorplanError::MissingKind { kind: "core" });
+        }
+        Ok(())
+    }
+
+    /// Vertical thermal contacts between consecutive layers, by footprint
+    /// overlap. Pairs with zero overlap are omitted.
+    pub fn vertical_adjacencies(&self) -> Vec<VerticalAdjacency> {
+        let mut out = Vec::new();
+        for li in 0..self.layers.len().saturating_sub(1) {
+            let lo_off = self.block_offset(li);
+            let hi_off = self.block_offset(li + 1);
+            let lower = self.layers[li].plan.blocks();
+            let upper = self.layers[li + 1].plan.blocks();
+            for (i, a) in lower.iter().enumerate() {
+                for (j, b) in upper.iter().enumerate() {
+                    let area = a.rect().overlap_area(b.rect());
+                    if area > 0.0 {
+                        out.push(VerticalAdjacency {
+                            lower: lo_off + i,
+                            upper: hi_off + j,
+                            lower_layer: li,
+                            overlap_area: area,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockKind, Rect};
+
+    fn cpu_layer() -> Floorplan {
+        let mut fp = Floorplan::new(4.0, 2.0);
+        fp.push(Block::new(
+            "C1",
+            BlockKind::Core,
+            Rect::new(0.0, 0.0, 2.0, 2.0),
+        ));
+        fp.push(Block::new(
+            "C2",
+            BlockKind::Core,
+            Rect::new(2.0, 0.0, 2.0, 2.0),
+        ));
+        fp
+    }
+
+    fn mem_layer() -> Floorplan {
+        let mut fp = Floorplan::new(4.0, 2.0);
+        fp.push(Block::new(
+            "M1",
+            BlockKind::Memory,
+            Rect::new(0.0, 0.0, 4.0, 2.0),
+        ));
+        fp
+    }
+
+    fn two_layer_stack() -> Stack {
+        Stack::new(vec![
+            Layer::new("cpu", cpu_layer()),
+            Layer::new("mem", mem_layer()),
+        ])
+    }
+
+    #[test]
+    fn validates_and_indexes() {
+        let s = two_layer_stack();
+        s.validate().unwrap();
+        assert_eq!(s.num_blocks(), 3);
+        assert_eq!(s.block_offset(1), 2);
+        assert_eq!(s.core_indices(), vec![0, 1]);
+        assert_eq!(s.index_of("M1"), Some(2));
+        assert_eq!(s.layer_of(2), Some(1));
+        assert_eq!(s.layer_of(0), Some(0));
+        assert_eq!(s.layer_of(3), None);
+    }
+
+    #[test]
+    fn memory_layer_alone_has_no_core() {
+        let s = Stack::new(vec![Layer::new("mem", mem_layer())]);
+        assert!(matches!(
+            s.validate(),
+            Err(FloorplanError::MissingKind { kind: "core" })
+        ));
+    }
+
+    #[test]
+    fn empty_stack_rejected() {
+        let s = Stack::new(vec![]);
+        assert!(matches!(
+            s.validate(),
+            Err(FloorplanError::MissingKind { kind: "layer" })
+        ));
+    }
+
+    #[test]
+    fn mismatched_die_outline_rejected() {
+        let mut small = Floorplan::new(2.0, 2.0);
+        small.push(Block::new(
+            "M1",
+            BlockKind::Memory,
+            Rect::new(0.0, 0.0, 2.0, 2.0),
+        ));
+        let s = Stack::new(vec![
+            Layer::new("cpu", cpu_layer()),
+            Layer::new("mem", small),
+        ]);
+        assert!(matches!(
+            s.validate(),
+            Err(FloorplanError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_block_names_across_layers_rejected() {
+        let mut dup = Floorplan::new(4.0, 2.0);
+        dup.push(Block::new(
+            "C1",
+            BlockKind::Memory,
+            Rect::new(0.0, 0.0, 4.0, 2.0),
+        ));
+        let s = Stack::new(vec![Layer::new("cpu", cpu_layer()), Layer::new("mem", dup)]);
+        assert!(matches!(
+            s.validate(),
+            Err(FloorplanError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn vertical_adjacency_by_overlap() {
+        let s = two_layer_stack();
+        let v = s.vertical_adjacencies();
+        // M1 spans the whole die: it touches both cores with area 4 each.
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].lower, 0);
+        assert_eq!(v[0].upper, 2);
+        assert_eq!(v[0].lower_layer, 0);
+        assert!((v[0].overlap_area - 4.0).abs() < 1e-12);
+        assert!((v[1].overlap_area - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_layer_stack_matches_plan() {
+        let s = Stack::single(cpu_layer());
+        s.validate().unwrap();
+        assert_eq!(s.num_layers(), 1);
+        assert!(s.vertical_adjacencies().is_empty());
+        assert_eq!(s.core_indices(), cpu_layer().core_indices());
+    }
+}

@@ -3,7 +3,7 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use protemp_thermal::{DiscreteModel, IntegrationMethod, RcNetwork, ThermalSim};
+use protemp_thermal::{DiscreteModel, IntegrationMethod, ThermalSim};
 use protemp_workload::{Task, Trace};
 
 use crate::metrics::FreqResidency;
@@ -143,7 +143,7 @@ pub fn run_simulation(
         .validate()
         .map_err(|reason| SimError::BadConfig { reason })?;
 
-    let net = RcNetwork::from_floorplan(&platform.floorplan, &platform.thermal);
+    let net = platform.rc_network();
     let model = DiscreteModel::new(
         &net,
         cfg.dt_us as f64 / 1e6,
@@ -153,7 +153,9 @@ pub fn run_simulation(
     let mut thermal = ThermalSim::from_parts(net, model, initial);
 
     let n_cores = platform.num_cores();
-    let core_block_idx: Vec<usize> = platform.floorplan.core_indices();
+    let core_block_idx: Vec<usize> = platform.core_block_indices();
+    // Per-node caps (memory dies etc.): silicon node index == block index.
+    let node_caps = platform.resolved_node_caps();
     let mut cores: Vec<CoreState> = (0..n_cores)
         .map(|_| CoreState {
             freq_hz: 0.0,
@@ -182,6 +184,8 @@ pub fn run_simulation(
     let mut grad_steps = 0u64;
     let mut violation_time = 0.0; // (core × seconds) above tmax
     let mut total_core_time = 0.0;
+    let mut cap_violation_time = 0.0; // (capped node × seconds) above its cap
+    let mut total_cap_time = 0.0;
     let mut core_energy_j = 0.0;
     let mut work_done_us = 0.0;
     let mut trace_out: Vec<TimePoint> = Vec::new();
@@ -194,7 +198,7 @@ pub fn run_simulation(
     let mut predicted_work_us = 0.0;
 
     let mut now_us: u64 = 0;
-    let mut block_powers = vec![0.0; platform.floorplan.len()];
+    let mut block_powers = vec![0.0; platform.num_blocks()];
 
     loop {
         // --- DFS decision at window boundaries (including t = 0).
@@ -250,8 +254,8 @@ pub fn run_simulation(
                     reason: "frequencies must be finite and non-negative".to_string(),
                 });
             }
-            for (core, f) in cores.iter_mut().zip(&freqs) {
-                core.freq_hz = f.min(platform.fmax_hz);
+            for (i, (core, f)) in cores.iter_mut().zip(&freqs).enumerate() {
+                core.freq_hz = f.min(platform.core_fmax(i));
                 core.busy_us = 0.0;
             }
             windows += 1;
@@ -313,7 +317,7 @@ pub fn run_simulation(
             let p = if core.freq_hz <= 0.0 {
                 0.0
             } else if core.running.is_some() {
-                platform.core_power(core.freq_hz)
+                platform.core_power_i(i, core.freq_hz)
             } else {
                 platform.idle_power_w
             };
@@ -334,6 +338,12 @@ pub fn run_simulation(
             total_core_time += dt_s;
             tmax_now = tmax_now.max(t);
             tmin_now = tmin_now.min(t);
+        }
+        for &(node, cap) in &node_caps {
+            if thermal.state()[node] > cap {
+                cap_violation_time += dt_s;
+            }
+            total_cap_time += dt_s;
         }
         peak_temp = peak_temp.max(tmax_now);
         grad_sum += tmax_now - tmin_now;
@@ -384,6 +394,11 @@ pub fn run_simulation(
         waiting: WaitingStats::from_samples(waiting_samples),
         violation_fraction: if total_core_time > 0.0 {
             violation_time / total_core_time
+        } else {
+            0.0
+        },
+        cap_violation_fraction: if total_cap_time > 0.0 {
+            cap_violation_time / total_cap_time
         } else {
             0.0
         },

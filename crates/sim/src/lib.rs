@@ -50,7 +50,7 @@ pub use engine::{run_simulation, SimConfig};
 pub use error::SimError;
 pub use machine::Platform;
 pub use metrics::{FreqResidency, SimReport, TimePoint, WaitingStats};
-pub use policy::{BasicDfs, DfsPolicy, FixedFrequency, NoTc, Observation};
+pub use policy::{BasicDfs, DfsPolicy, FixedFrequency, IntegralController, NoTc, Observation};
 pub use scheduler::{AssignmentPolicy, CoolestFirst, FirstIdle, RandomAssign};
 
 /// Convenience alias for results returned by this crate.

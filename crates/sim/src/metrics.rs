@@ -171,6 +171,10 @@ pub struct SimReport {
     pub waiting: WaitingStats,
     /// Fraction of (core × time) spent above `t_max`.
     pub violation_fraction: f64,
+    /// Fraction of (capped node × time) spent above the node's own cap
+    /// (`Platform::node_caps`, e.g. memory dies). Zero when no caps are
+    /// configured.
+    pub cap_violation_fraction: f64,
     /// Hottest core temperature ever observed, °C.
     pub peak_temp_c: f64,
     /// Time-average of the spatial gradient (max − min core temp), °C.

@@ -97,6 +97,111 @@ impl DfsPolicy for BasicDfs {
     }
 }
 
+/// Adjustable-gain integral temperature controller (after Rao, Song,
+/// Yalamanchili and Wardi): the classical-control baseline the convex
+/// table/MPC controllers are measured against.
+///
+/// Each core runs an integrator on its own temperature error
+/// `e_i = t_ref − T_i`:
+///
+/// ```text
+/// f_i ← clamp(f_i + g_i·e_i, 0, f_max,i)
+/// ```
+///
+/// with a per-core adaptive gain `g_i`: a sign flip in the error (the loop
+/// overshot) halves the gain down to a floor of 0.1× the base gain, while
+/// persistent same-sign error grows it by 1.1× up to 4× the base gain, so
+/// the loop speeds up when far from the reference and calms down around
+/// it. The command is additionally capped by the demanded frequency, so an
+/// idle machine does not run hot for nothing.
+///
+/// Unlike the convex controller it has no model of the thermal coupling
+/// between cores and no preview of where the temperature is heading — it
+/// reacts to sensor error only, which is exactly the gap the A/B bench
+/// quantifies.
+#[derive(Debug, Clone)]
+pub struct IntegralController {
+    t_ref_c: f64,
+    base_gain: f64,
+    gains: Vec<f64>,
+    commands: Vec<f64>,
+    last_err_sign: Vec<f64>,
+}
+
+impl IntegralController {
+    /// Creates the controller with a temperature reference (°C) and a base
+    /// integral gain in Hz per °C of error.
+    pub fn new(t_ref_c: f64, base_gain_hz_per_c: f64) -> Self {
+        IntegralController {
+            t_ref_c,
+            base_gain: base_gain_hz_per_c,
+            gains: Vec::new(),
+            commands: Vec::new(),
+            last_err_sign: Vec::new(),
+        }
+    }
+
+    /// A reference 1 °C under the global limit with a 50 MHz/°C base gain.
+    pub fn for_limit(tmax_c: f64) -> Self {
+        IntegralController::new(tmax_c - 1.0, 5.0e7)
+    }
+
+    /// The temperature reference, °C.
+    pub fn t_ref_c(&self) -> f64 {
+        self.t_ref_c
+    }
+}
+
+impl Default for IntegralController {
+    /// The paper-limit configuration: reference 99 °C against the 100 °C
+    /// cap.
+    fn default() -> Self {
+        IntegralController::for_limit(100.0)
+    }
+}
+
+impl DfsPolicy for IntegralController {
+    fn name(&self) -> &str {
+        "integral"
+    }
+
+    fn frequencies(&mut self, obs: &Observation, platform: &Platform) -> Vec<f64> {
+        let n = platform.num_cores();
+        if self.commands.len() != n {
+            // First window: start every integrator mid-range.
+            self.commands = (0..n).map(|i| 0.5 * platform.core_fmax(i)).collect();
+            self.gains = vec![self.base_gain; n];
+            self.last_err_sign = vec![0.0; n];
+        }
+        let demand = obs.required_avg_freq_hz.min(platform.fmax_hz);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let err = self.t_ref_c - obs.core_temps[i];
+            let sign = if err > 0.0 {
+                1.0
+            } else if err < 0.0 {
+                -1.0
+            } else {
+                0.0
+            };
+            // Adapt the gain: overshoot (sign flip) halves it, persistent
+            // error grows it.
+            if sign != 0.0 && self.last_err_sign[i] != 0.0 {
+                if sign != self.last_err_sign[i] {
+                    self.gains[i] = (0.5 * self.gains[i]).max(0.1 * self.base_gain);
+                } else {
+                    self.gains[i] = (1.1 * self.gains[i]).min(4.0 * self.base_gain);
+                }
+            }
+            self.last_err_sign[i] = sign;
+            let fmax_i = platform.core_fmax(i);
+            self.commands[i] = (self.commands[i] + self.gains[i] * err).clamp(0.0, fmax_i);
+            out.push(self.commands[i].min(demand));
+        }
+        out
+    }
+}
+
 /// A fixed-frequency policy (useful for calibration and ablations).
 #[derive(Debug, Clone, Copy)]
 pub struct FixedFrequency {
@@ -162,5 +267,58 @@ mod tests {
         let p = Platform::niagara8();
         let f = FixedFrequency { f_hz: 0.5e9 }.frequencies(&obs(vec![50.0; 8], 0.0), &p);
         assert!(f.iter().all(|&x| x == 0.5e9));
+    }
+
+    #[test]
+    fn integral_controller_ramps_up_when_cool() {
+        let p = Platform::niagara8();
+        let mut c = IntegralController::for_limit(100.0);
+        // 1 °C under the reference: a gentle, non-saturating ramp.
+        let f1 = c.frequencies(&obs(vec![98.0; 8], 1.0e9), &p);
+        let f2 = c.frequencies(&obs(vec![98.0; 8], 1.0e9), &p);
+        // Cool chip, persistent positive error: the command keeps rising.
+        assert!(f2[0] > f1[0], "{} then {}", f1[0], f2[0]);
+        assert!(f2.iter().all(|&x| x <= p.fmax_hz));
+    }
+
+    #[test]
+    fn integral_controller_backs_off_when_hot() {
+        let p = Platform::niagara8();
+        let mut c = IntegralController::for_limit(100.0);
+        let f1 = c.frequencies(&obs(vec![105.0; 8], 1.0e9), &p);
+        let f2 = c.frequencies(&obs(vec![105.0; 8], 1.0e9), &p);
+        assert!(f2[0] < f1[0], "hot chip must wind the frequency down");
+    }
+
+    #[test]
+    fn integral_controller_respects_demand_and_little_core_clock() {
+        let p = Platform::biglittle8();
+        let mut c = IntegralController::for_limit(100.0);
+        // Cool chip, let it ramp to the top.
+        let mut f = Vec::new();
+        for _ in 0..200 {
+            f = c.frequencies(&obs(vec![40.0; 8], 2.0e9), &p);
+        }
+        // Big cores reach the full clock, little cores their 750 MHz cap.
+        assert!((f[0] - 1.0e9).abs() < 1.0, "big at fmax, got {}", f[0]);
+        assert!((f[4] - 0.75e9).abs() < 1.0, "little capped, got {}", f[4]);
+        // Low demand caps the output regardless of the integrator state.
+        let f = c.frequencies(&obs(vec![40.0; 8], 0.2e9), &p);
+        assert!(f.iter().all(|&x| x <= 0.2e9 + 1.0));
+    }
+
+    #[test]
+    fn integral_gain_adapts_on_sign_flip() {
+        let p = Platform::niagara8();
+        let mut c = IntegralController::new(99.0, 5.0e7);
+        // Persistent positive error grows the gain.
+        let _ = c.frequencies(&obs(vec![90.0; 8], 1.0e9), &p);
+        let _ = c.frequencies(&obs(vec![90.0; 8], 1.0e9), &p);
+        let _ = c.frequencies(&obs(vec![90.0; 8], 1.0e9), &p);
+        assert!(c.gains[0] > 5.0e7);
+        // A sign flip halves it.
+        let grown = c.gains[0];
+        let _ = c.frequencies(&obs(vec![105.0; 8], 1.0e9), &p);
+        assert!(c.gains[0] < grown);
     }
 }

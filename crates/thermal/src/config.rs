@@ -1,5 +1,95 @@
 use serde::{Deserialize, Serialize};
 
+use crate::ThermalError;
+
+/// Material parameters of one *additional* die in a 3D stack.
+///
+/// The base die (stack layer 0, nearest the heat sink) always uses the
+/// `k_si`/`t_si`/`cv_si` fields of [`ThermalConfig`]; `layers[i]` of
+/// [`ThermalConfig::layers`] describes stack layer `i + 1`. The bond fields
+/// model the inter-die bonding interface (micro-bumps / adhesive) that
+/// connects this die to the one directly below it.
+///
+/// # Example
+///
+/// ```
+/// use protemp_thermal::LayerConfig;
+///
+/// let mem = LayerConfig::memory_die();
+/// mem.validate(1).unwrap();
+/// assert!(mem.thickness < 0.5e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerConfig {
+    /// Die thermal conductivity, W/(m·K).
+    pub k: f64,
+    /// Die thickness, m.
+    pub thickness: f64,
+    /// Die volumetric heat capacity, J/(m³·K).
+    pub cv: f64,
+    /// Bond (inter-die interface) conductivity to the layer below, W/(m·K).
+    pub k_bond: f64,
+    /// Bond thickness, m.
+    pub t_bond: f64,
+}
+
+impl LayerConfig {
+    /// A stacked logic/silicon die: bulk-silicon parameters with a
+    /// TIM-like bond, matching the base-die defaults of [`ThermalConfig`].
+    pub fn silicon_die() -> Self {
+        LayerConfig {
+            k: 100.0,
+            thickness: 0.5e-3,
+            cv: 5.25e6,
+            k_bond: 1.1,
+            t_bond: 45e-6,
+        }
+    }
+
+    /// A thinned DRAM die bonded face-to-back: thinner than a logic die,
+    /// same bulk silicon material, micro-bump bond.
+    pub fn memory_die() -> Self {
+        LayerConfig {
+            k: 100.0,
+            thickness: 0.1e-3,
+            cv: 5.25e6,
+            k_bond: 2.0,
+            t_bond: 25e-6,
+        }
+    }
+
+    /// Validates that all parameters are positive and finite. `index` is
+    /// the position in [`ThermalConfig::layers`], used in the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidConfig`] naming the first bad field.
+    pub fn validate(&self, index: usize) -> std::result::Result<(), ThermalError> {
+        let fields = [
+            ("k", self.k),
+            ("thickness", self.thickness),
+            ("cv", self.cv),
+            ("k_bond", self.k_bond),
+            ("t_bond", self.t_bond),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ThermalError::InvalidConfig {
+                    field: format!("layers[{index}].{name}"),
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for LayerConfig {
+    fn default() -> Self {
+        LayerConfig::silicon_die()
+    }
+}
+
 /// Physical parameters of the thermal RC model.
 ///
 /// Defaults are calibrated for the paper's evaluation platform (Section 5):
@@ -12,7 +102,10 @@ use serde::{Deserialize, Serialize};
 /// * the forward-Euler integrator is stable at the paper's 0.4 ms step.
 ///
 /// The layer stack is silicon → thermal interface material (TIM) → copper
-/// heat spreader → heat sink → ambient, the same stack HotSpot models.
+/// heat spreader → heat sink → ambient, the same stack HotSpot models. For
+/// 3D stacks, [`ThermalConfig::layers`] adds per-die material parameters
+/// for the dies above the base die; the default (empty) leaves the
+/// single-layer model bit-for-bit unchanged.
 ///
 /// # Example
 ///
@@ -22,7 +115,7 @@ use serde::{Deserialize, Serialize};
 /// let cfg = ThermalConfig::default();
 /// assert!(cfg.ambient_c > 20.0 && cfg.ambient_c < 60.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThermalConfig {
     /// Ambient (air inlet) temperature in °C.
     pub ambient_c: f64,
@@ -48,6 +141,11 @@ pub struct ThermalConfig {
     pub sink_capacitance: f64,
     /// Sink-to-ambient convection resistance, K/W.
     pub r_convection: f64,
+    /// Material parameters for stacked dies above the base die:
+    /// `layers[i]` describes stack layer `i + 1`. Stacks with more upper
+    /// layers than entries fall back to [`LayerConfig::silicon_die`].
+    #[serde(default)]
+    pub layers: Vec<LayerConfig>,
 }
 
 impl Default for ThermalConfig {
@@ -65,6 +163,7 @@ impl Default for ThermalConfig {
             r_spreader_sink: 8e-6,
             sink_capacitance: 25.0,
             r_convection: 1.5,
+            layers: Vec::new(),
         }
     }
 }
@@ -80,12 +179,36 @@ impl ThermalConfig {
         1.0 / self.r_spreader_sink
     }
 
-    /// Validates that all parameters are positive and finite.
+    /// Material parameters of stack layer `layer` (0 = base die).
+    ///
+    /// Layer 0 mirrors the base `k_si`/`t_si`/`cv_si` fields (its bond
+    /// fields are the TIM, unused for inter-die coupling); upper layers
+    /// read [`ThermalConfig::layers`], falling back to
+    /// [`LayerConfig::silicon_die`] past the end.
+    pub fn layer_params(&self, layer: usize) -> LayerConfig {
+        if layer == 0 {
+            LayerConfig {
+                k: self.k_si,
+                thickness: self.t_si,
+                cv: self.cv_si,
+                k_bond: self.k_tim,
+                t_bond: self.t_tim,
+            }
+        } else {
+            self.layers
+                .get(layer - 1)
+                .copied()
+                .unwrap_or_else(LayerConfig::silicon_die)
+        }
+    }
+
+    /// Validates that all parameters are positive and finite, including
+    /// every per-layer entry.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first bad field.
-    pub fn validate(&self) -> std::result::Result<(), String> {
+    /// Returns [`ThermalError::InvalidConfig`] naming the first bad field.
+    pub fn validate(&self) -> std::result::Result<(), ThermalError> {
         let fields = [
             ("k_si", self.k_si),
             ("t_si", self.t_si),
@@ -101,13 +224,20 @@ impl ThermalConfig {
         ];
         for (name, v) in fields {
             if !(v.is_finite() && v > 0.0) {
-                return Err(format!(
-                    "thermal config field `{name}` must be positive, got {v}"
-                ));
+                return Err(ThermalError::InvalidConfig {
+                    field: name.to_string(),
+                    value: v,
+                });
             }
         }
         if !self.ambient_c.is_finite() {
-            return Err("ambient_c must be finite".to_string());
+            return Err(ThermalError::InvalidConfig {
+                field: "ambient_c".to_string(),
+                value: self.ambient_c,
+            });
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.validate(i)?;
         }
         Ok(())
     }
@@ -128,7 +258,58 @@ mod tests {
             k_si: -1.0,
             ..ThermalConfig::default()
         };
-        assert!(cfg.validate().is_err());
+        match cfg.validate() {
+            Err(ThermalError::InvalidConfig { field, value }) => {
+                assert_eq!(field, "k_si");
+                assert_eq!(value, -1.0);
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_layer_field_detected() {
+        let cfg = ThermalConfig {
+            layers: vec![
+                LayerConfig::memory_die(),
+                LayerConfig {
+                    thickness: 0.0,
+                    ..LayerConfig::memory_die()
+                },
+            ],
+            ..ThermalConfig::default()
+        };
+        match cfg.validate() {
+            Err(ThermalError::InvalidConfig { field, .. }) => {
+                assert_eq!(field, "layers[1].thickness");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_layer_field_detected() {
+        let layer = LayerConfig {
+            k_bond: f64::NAN,
+            ..LayerConfig::silicon_die()
+        };
+        assert!(layer.validate(0).is_err());
+    }
+
+    #[test]
+    fn layer_params_base_mirrors_config() {
+        let cfg = ThermalConfig::default();
+        let l0 = cfg.layer_params(0);
+        assert_eq!(l0.k, cfg.k_si);
+        assert_eq!(l0.thickness, cfg.t_si);
+        assert_eq!(l0.cv, cfg.cv_si);
+        // Past-the-end upper layers fall back to the silicon default.
+        assert_eq!(cfg.layer_params(3), LayerConfig::silicon_die());
+        let with = ThermalConfig {
+            layers: vec![LayerConfig::memory_die()],
+            ..ThermalConfig::default()
+        };
+        assert_eq!(with.layer_params(1), LayerConfig::memory_die());
     }
 
     #[test]

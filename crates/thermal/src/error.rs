@@ -26,6 +26,13 @@ pub enum ThermalError {
     },
     /// A non-finite value was supplied or produced.
     NotFinite,
+    /// A thermal configuration field is non-positive or non-finite.
+    InvalidConfig {
+        /// The offending field (e.g. `k_si`, `layers[1].thickness`).
+        field: String,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -42,6 +49,10 @@ impl fmt::Display for ThermalError {
                 actual,
             } => write!(f, "{what} has length {actual}, expected {expected}"),
             ThermalError::NotFinite => write!(f, "non-finite value in thermal computation"),
+            ThermalError::InvalidConfig { field, value } => write!(
+                f,
+                "thermal config field `{field}` must be positive and finite, got {value}"
+            ),
         }
     }
 }

@@ -54,11 +54,11 @@ mod sim;
 pub mod leakage;
 pub mod modal;
 
-pub use config::ThermalConfig;
+pub use config::{LayerConfig, ThermalConfig};
 pub use discrete::{stability_limit, DiscreteModel, IntegrationMethod};
 pub use error::ThermalError;
 pub use modal::{ModalModel, ModalReach, ModalSpec};
-pub use network::RcNetwork;
+pub use network::{RcNetwork, UNCORE_POWER_FRACTION};
 pub use propagate::AffineReach;
 pub use sim::ThermalSim;
 

@@ -303,6 +303,11 @@ pub struct ModalReach {
     temp_eps: Vec<Vec<f64>>,
     /// Strided step indices carrying thermal-gradient rows.
     grad_strided: Vec<usize>,
+    /// How many leading watched rows participate in gradient pairs. The
+    /// watch convention is cores-first, and gradient constraints pair
+    /// *cores* only — extra watched nodes (per-node temperature caps on
+    /// passive blocks) get temperature rows but no gradient pairs.
+    grad_nodes: usize,
     /// Gradient bands as ranges over *positions* in `grad_strided`.
     grad_bands: Vec<ModalBand>,
     /// Anchored reduced rows per gradient band (watched × cores).
@@ -449,9 +454,12 @@ impl ModalReach {
             temp_eps.push(eps);
         }
 
-        // Same banding over the strided gradient schedule, per ordered pair.
+        // Same banding over the strided gradient schedule, per ordered
+        // pair. Only the leading core rows of the (cores-first) watch pair
+        // up — extra watched nodes carry temperature caps, not gradients.
         let grad_strided: Vec<usize> = (0..m).step_by(grad_stride).collect();
-        let npairs = nw * nw.saturating_sub(1);
+        let ng = nc.min(nw);
+        let npairs = ng * ng.saturating_sub(1);
         let ns = grad_strided.len();
         let mut grad_bands: Vec<ModalBand> = Vec::new();
         let mut p0 = 0usize;
@@ -461,8 +469,8 @@ impl ModalReach {
                 let cand_anchor = &htilde[grad_strided[end]];
                 let ok = (p0..=end).all(|pos| {
                     let idx = grad_strided[pos];
-                    (0..nw).all(|i| {
-                        (0..nw).all(|j| {
+                    (0..ng).all(|i| {
+                        (0..ng).all(|j| {
                             if i == j {
                                 return true;
                             }
@@ -485,8 +493,8 @@ impl ModalReach {
         for b in &grad_bands {
             let anchor = &htilde[grad_strided[b.anchor()]];
             let mut eps = Vec::with_capacity(npairs);
-            for i in 0..nw {
-                for j in 0..nw {
+            for i in 0..ng {
+                for j in 0..ng {
                     if i == j {
                         continue;
                     }
@@ -507,6 +515,7 @@ impl ModalReach {
             temp_h,
             temp_eps,
             grad_strided,
+            grad_nodes: ng,
             grad_bands,
             grad_h,
             grad_eps,
@@ -589,21 +598,22 @@ impl ModalReach {
         self.temp_bands.len() * self.watch.len()
     }
 
-    /// Number of reduced thermal-gradient rows (bands × ordered pairs).
+    /// Number of reduced thermal-gradient rows (bands × ordered core
+    /// pairs).
     pub fn reduced_grad_rows(&self) -> usize {
-        let nw = self.watch.len();
-        self.grad_bands.len() * nw * nw.saturating_sub(1)
+        let ng = self.grad_nodes;
+        self.grad_bands.len() * ng * ng.saturating_sub(1)
     }
 
-    /// Number of full-model temperature rows (`m·n`).
+    /// Number of full-model temperature rows (`m·n_watch`).
     pub fn full_temp_rows(&self) -> usize {
         self.steps * self.watch.len()
     }
 
     /// Number of full-model thermal-gradient rows.
     pub fn full_grad_rows(&self) -> usize {
-        let nw = self.watch.len();
-        self.grad_strided.len() * nw * nw.saturating_sub(1)
+        let ng = self.grad_nodes;
+        self.grad_strided.len() * ng * ng.saturating_sub(1)
     }
 
     /// Wall-clock seconds spent building the modal basis plus this reduced

@@ -1,4 +1,4 @@
-use protemp_floorplan::{adjacency, BlockKind, Floorplan};
+use protemp_floorplan::{adjacency, Block, BlockKind, Floorplan, Stack};
 use protemp_linalg::{Cholesky, Matrix};
 use serde::{Deserialize, Serialize};
 
@@ -9,15 +9,22 @@ use crate::{Result, ThermalConfig, ThermalError};
 /// the power consumption of the processing cores").
 pub const UNCORE_POWER_FRACTION: f64 = 0.30;
 
-/// A lumped thermal RC network derived from a floorplan.
+/// A lumped thermal RC network derived from a floorplan or a layered stack.
 ///
 /// # Node layout
 ///
-/// For a floorplan with `N` blocks the network has `2N + 1` nodes:
+/// For a single-layer floorplan with `N` blocks the network has `2N + 1`
+/// nodes:
 ///
 /// * nodes `0..N` — silicon, one per block (heat is injected here);
 /// * nodes `N..2N` — heat-spreader footprint under each block;
 /// * node `2N` — the lumped heat sink, coupled to the fixed ambient.
+///
+/// For a [`Stack`] (see [`RcNetwork::from_stack`]) with `N` blocks total
+/// and `N₀` blocks on the sink-nearest layer, nodes `0..N` are the silicon
+/// nodes of every block in global stack order, nodes `N..N+N₀` are the
+/// spreader footprints under the base layer only (the spreader attaches to
+/// the bottom die), and node `N+N₀` is the sink.
 ///
 /// The continuous dynamics are `C·Ṫ = −G·T + u`, where `G` is the
 /// conductance Laplacian (with the ambient coupling on the sink diagonal),
@@ -134,18 +141,133 @@ impl RcNetwork {
             ambient_c: cfg.ambient_c,
         };
         let core_budget: f64 = 4.0 * net.core_nodes.len() as f64;
-        net.distribute_uncore_power(fp, UNCORE_POWER_FRACTION * core_budget);
+        net.distribute_uncore_power(fp.blocks(), UNCORE_POWER_FRACTION * core_budget);
         net
     }
 
-    fn distribute_uncore_power(&mut self, fp: &Floorplan, budget: f64) {
-        let uncore_area: f64 = fp
-            .blocks()
+    /// Builds the RC network for a layered die [`Stack`].
+    ///
+    /// Every block of every layer gets a silicon node (global stack block
+    /// order); the heat spreader attaches under the base layer only. Within
+    /// a layer, lateral conductances follow shared edges exactly as in the
+    /// single-layer model, using that layer's material parameters
+    /// ([`ThermalConfig::layer_params`]). Consecutive layers couple through
+    /// their footprint overlap: half of each die's through-thickness
+    /// resistance in series with the upper layer's bond interface.
+    ///
+    /// A one-layer stack produces exactly the network of
+    /// [`RcNetwork::from_floorplan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack fails validation or the config is invalid —
+    /// both indicate programmer error in the calling code.
+    pub fn from_stack(stack: &Stack, cfg: &ThermalConfig) -> Self {
+        stack.validate().expect("stack must validate");
+        cfg.validate().expect("thermal config must validate");
+
+        let n = stack.num_blocks();
+        let base = stack.layers()[0].plan();
+        let n0 = base.len();
+        let total = n + n0 + 1;
+        let sink = n + n0;
+        let mut g = Matrix::zeros(total, total);
+        let mut c = vec![0.0; total];
+        let mut g_amb = vec![0.0; total];
+        let mut names = Vec::with_capacity(total);
+
+        for b in stack.blocks() {
+            names.push(b.name().to_string());
+        }
+        for b in base.blocks() {
+            names.push(format!("{}_sp", b.name()));
+        }
+        names.push("SINK".to_string());
+
+        // Capacities: each die uses its own layer material; the spreader
+        // footprint exists only under the base die.
+        for (li, layer) in stack.layers().iter().enumerate() {
+            let lp = cfg.layer_params(li);
+            let off = stack.block_offset(li);
+            for (i, b) in layer.plan().blocks().iter().enumerate() {
+                c[off + i] = lp.cv * b.area() * lp.thickness;
+            }
+        }
+        for (i, b) in base.blocks().iter().enumerate() {
+            c[n + i] = cfg.cv_cu * b.area() * cfg.t_spreader;
+        }
+        c[sink] = cfg.sink_capacitance;
+
+        let couple = |g: &mut Matrix, a: usize, b: usize, cond: f64| {
+            g[(a, a)] += cond;
+            g[(b, b)] += cond;
+            g[(a, b)] -= cond;
+            g[(b, a)] -= cond;
+        };
+
+        // Lateral conductances per layer; the spreader layer mirrors the
+        // base die's adjacency.
+        for (li, layer) in stack.layers().iter().enumerate() {
+            let lp = cfg.layer_params(li);
+            let off = stack.block_offset(li);
+            for adj in adjacency::adjacencies(layer.plan()) {
+                let g_die = lp.k * lp.thickness * adj.shared_edge / adj.center_distance;
+                couple(&mut g, off + adj.a, off + adj.b, g_die);
+                if li == 0 {
+                    let g_sp = cfg.k_cu * cfg.t_spreader * adj.shared_edge / adj.center_distance;
+                    couple(&mut g, n + adj.a, n + adj.b, g_sp);
+                }
+            }
+        }
+
+        // Vertical paths under the base die: silicon → spreader (TIM),
+        // spreader → sink.
+        for (i, b) in base.blocks().iter().enumerate() {
+            let g_tim = cfg.tim_conductance_per_area() * b.area();
+            couple(&mut g, i, n + i, g_tim);
+            let g_ss = cfg.spreader_sink_conductance_per_area() * b.area();
+            couple(&mut g, n + i, sink, g_ss);
+        }
+
+        // Inter-die coupling through footprint overlap: half of each die's
+        // through-thickness resistance plus the bond interface in series.
+        for v in stack.vertical_adjacencies() {
+            let lo = cfg.layer_params(v.lower_layer);
+            let hi = cfg.layer_params(v.lower_layer + 1);
+            let r_per_area =
+                0.5 * lo.thickness / lo.k + hi.t_bond / hi.k_bond + 0.5 * hi.thickness / hi.k;
+            couple(&mut g, v.lower, v.upper, v.overlap_area / r_per_area);
+        }
+
+        // Sink → ambient convection.
+        let g_conv = 1.0 / cfg.r_convection;
+        g[(sink, sink)] += g_conv;
+        g_amb[sink] = g_conv;
+
+        let core_nodes = stack.core_indices();
+        let mut net = RcNetwork {
+            names,
+            g,
+            c,
+            g_amb,
+            n_blocks: n,
+            core_nodes,
+            uncore_power: vec![0.0; n],
+            ambient_c: cfg.ambient_c,
+        };
+        let core_budget: f64 = 4.0 * net.core_nodes.len() as f64;
+        let blocks: Vec<Block> = stack.blocks().cloned().collect();
+        net.distribute_uncore_power(&blocks, UNCORE_POWER_FRACTION * core_budget);
+        net
+    }
+
+    fn distribute_uncore_power(&mut self, blocks: &[Block], budget: f64) {
+        let uncore_area: f64 = blocks
             .iter()
             .filter(|b| !b.is_core())
             .map(|b| b.area())
             .sum();
-        for (i, b) in fp.blocks().iter().enumerate() {
+        for (i, b) in blocks.iter().enumerate() {
             self.uncore_power[i] = if b.is_core() || uncore_area == 0.0 {
                 0.0
             } else {
@@ -169,12 +291,20 @@ impl RcNetwork {
 
     /// Re-sizes the uncore background power budget (W, spread by area).
     pub fn set_uncore_power_budget(&mut self, fp: &Floorplan, budget: f64) {
-        self.distribute_uncore_power(fp, budget);
+        self.distribute_uncore_power(fp.blocks(), budget);
     }
 
-    /// Total number of thermal nodes (`2N + 1`).
+    /// Re-sizes the uncore background power budget for a stacked network
+    /// (W, spread by area over every non-core block of every layer).
+    pub fn set_uncore_power_budget_stack(&mut self, stack: &Stack, budget: f64) {
+        let blocks: Vec<Block> = stack.blocks().cloned().collect();
+        self.distribute_uncore_power(&blocks, budget);
+    }
+
+    /// Total number of thermal nodes (`2N + 1` single-layer, `N + N₀ + 1`
+    /// for a stack).
     pub fn num_nodes(&self) -> usize {
-        2 * self.n_blocks + 1
+        self.c.len()
     }
 
     /// Number of floorplan blocks `N`.
@@ -379,6 +509,61 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn single_layer_stack_matches_floorplan_network() {
+        use protemp_floorplan::Stack;
+        let cfg = ThermalConfig::default();
+        let flat = RcNetwork::from_floorplan(&niagara8(), &cfg);
+        let stacked = RcNetwork::from_stack(&Stack::single(niagara8()), &cfg);
+        assert_eq!(flat.num_nodes(), stacked.num_nodes());
+        assert_eq!(flat.core_nodes(), stacked.core_nodes());
+        for r in 0..flat.num_nodes() {
+            assert_eq!(flat.capacitance()[r], stacked.capacitance()[r], "c[{r}]");
+            for c in 0..flat.num_nodes() {
+                assert_eq!(
+                    flat.conductance()[(r, c)],
+                    stacked.conductance()[(r, c)],
+                    "g[({r},{c})]"
+                );
+            }
+        }
+        assert_eq!(flat.uncore_power(), stacked.uncore_power());
+    }
+
+    #[test]
+    fn stacked_network_couples_layers_and_stays_spd() {
+        use protemp_floorplan::{Block, BlockKind, Layer, Rect, Stack};
+        let mut cpu = Floorplan::new(4e-3, 4e-3);
+        cpu.push(Block::new(
+            "C1",
+            BlockKind::Core,
+            Rect::new(0.0, 0.0, 4e-3, 4e-3),
+        ));
+        let mut mem = Floorplan::new(4e-3, 4e-3);
+        mem.push(Block::new(
+            "M1",
+            BlockKind::Memory,
+            Rect::new(0.0, 0.0, 4e-3, 4e-3),
+        ));
+        let stack = Stack::new(vec![Layer::new("cpu", cpu), Layer::new("mem", mem)]);
+        let cfg = ThermalConfig {
+            layers: vec![crate::LayerConfig::memory_die()],
+            ..ThermalConfig::default()
+        };
+        let net = RcNetwork::from_stack(&stack, &cfg);
+        // 2 silicon nodes + 1 spreader (base layer only) + sink.
+        assert_eq!(net.num_nodes(), 4);
+        assert_eq!(net.core_nodes(), &[0]);
+        assert!(net.conductance().is_symmetric(1e-12));
+        // Heating the core warms the memory die above it through the
+        // inter-layer bond.
+        let t = net.steady_state(&[4.0, 0.0]).unwrap();
+        assert!(t[1] > net.ambient_c() + 1.0, "memory die heats up: {t:?}");
+        // And the memory die sits *above* (further from the sink than) the
+        // spreader, so it runs hotter than the spreader node.
+        assert!(t[1] > t[2], "memory above spreader: {t:?}");
     }
 
     #[test]

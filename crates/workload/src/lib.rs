@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod generator;
+mod power;
 mod profile;
 mod task;
 mod trace;
@@ -37,6 +38,7 @@ mod trace;
 pub mod io;
 
 pub use generator::TraceGenerator;
+pub use power::CorePowerModel;
 pub use profile::{ArrivalPattern, BenchmarkProfile};
 pub use task::Task;
 pub use trace::{Trace, TraceStats};

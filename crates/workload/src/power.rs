@@ -1,0 +1,132 @@
+//! Per-core-type power models.
+//!
+//! The paper's evaluation platform is homogeneous: every core peaks at the
+//! same `p_max` and the power model is the single quadratic
+//! `p(φ) = p_max·φ²` in the normalized frequency `φ = f/f_max`.
+//! Heterogeneous platforms (big.LITTLE-style) break that: core types differ
+//! in peak dynamic power, in leakage, and in the fraction of the shared
+//! `f_max` they can actually reach. [`CorePowerModel`] captures exactly
+//! those three parameters per core, and its defaults reproduce the
+//! homogeneous model bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+/// Power model of one DVFS-controlled core.
+///
+/// Busy power at normalized frequency `φ ∈ [0, max_ratio]` is
+/// `leakage_w + pmax_w·φ²`: a frequency-independent leakage floor plus the
+/// paper's quadratic dynamic term. `max_ratio` caps the core's reachable
+/// frequency as a fraction of the platform `f_max` (little cores top out
+/// below the big cores' clock).
+///
+/// # Example
+///
+/// ```
+/// use protemp_workload::CorePowerModel;
+///
+/// let big = CorePowerModel::new(6.0, 0.3, 1.0);
+/// assert!((big.busy_power(1.0) - 6.3).abs() < 1e-12);
+/// let little = CorePowerModel::new(1.5, 0.05, 0.75);
+/// assert!(little.busy_power(little.max_ratio) < big.busy_power(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorePowerModel {
+    /// Peak dynamic power at `φ = 1`, W.
+    pub pmax_w: f64,
+    /// Frequency-independent leakage power while powered, W.
+    pub leakage_w: f64,
+    /// Highest reachable normalized frequency, in `(0, 1]`.
+    pub max_ratio: f64,
+}
+
+impl CorePowerModel {
+    /// Creates a model from its three parameters.
+    pub fn new(pmax_w: f64, leakage_w: f64, max_ratio: f64) -> Self {
+        CorePowerModel {
+            pmax_w,
+            leakage_w,
+            max_ratio,
+        }
+    }
+
+    /// The paper's homogeneous model: pure quadratic at `pmax_w`, no
+    /// leakage term, full frequency range.
+    pub fn homogeneous(pmax_w: f64) -> Self {
+        CorePowerModel {
+            pmax_w,
+            leakage_w: 0.0,
+            max_ratio: 1.0,
+        }
+    }
+
+    /// Busy power at normalized frequency `ratio`, W.
+    ///
+    /// The caller is responsible for keeping `ratio ≤ max_ratio`; the model
+    /// evaluates the polynomial as given.
+    pub fn busy_power(&self, ratio: f64) -> f64 {
+        self.leakage_w + self.pmax_w * ratio * ratio
+    }
+
+    /// Peak busy power (at `φ = max_ratio`), W.
+    pub fn peak_power(&self) -> f64 {
+        self.busy_power(self.max_ratio)
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first bad field:
+    /// `pmax_w` must be positive and finite, `leakage_w` non-negative and
+    /// finite, `max_ratio` in `(0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.pmax_w.is_finite() && self.pmax_w > 0.0) {
+            return Err(format!("pmax_w must be positive, got {}", self.pmax_w));
+        }
+        if !(self.leakage_w.is_finite() && self.leakage_w >= 0.0) {
+            return Err(format!(
+                "leakage_w must be non-negative, got {}",
+                self.leakage_w
+            ));
+        }
+        if !(self.max_ratio.is_finite() && self.max_ratio > 0.0 && self.max_ratio <= 1.0) {
+            return Err(format!(
+                "max_ratio must be in (0, 1], got {}",
+                self.max_ratio
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_matches_quadratic() {
+        let m = CorePowerModel::homogeneous(4.0);
+        for phi in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(m.busy_power(phi), 4.0 * phi * phi);
+        }
+        assert_eq!(m.peak_power(), 4.0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn leakage_adds_a_floor() {
+        let m = CorePowerModel::new(1.5, 0.05, 0.75);
+        assert_eq!(m.busy_power(0.0), 0.05);
+        assert!((m.peak_power() - (0.05 + 1.5 * 0.5625)).abs() < 1e-12);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        assert!(CorePowerModel::new(0.0, 0.0, 1.0).validate().is_err());
+        assert!(CorePowerModel::new(4.0, -0.1, 1.0).validate().is_err());
+        assert!(CorePowerModel::new(4.0, 0.0, 0.0).validate().is_err());
+        assert!(CorePowerModel::new(4.0, 0.0, 1.5).validate().is_err());
+        assert!(CorePowerModel::new(f64::NAN, 0.0, 1.0).validate().is_err());
+    }
+}

@@ -9,14 +9,17 @@
 
 use proc_macro::TokenStream;
 
-/// No-op `Serialize` derive.
-#[proc_macro_derive(Serialize)]
+/// No-op `Serialize` derive. Registers the `serde` helper attribute so
+/// field annotations like `#[serde(default)]` parse as they do with the
+/// real crate.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op `Deserialize` derive.
-#[proc_macro_derive(Deserialize)]
+/// No-op `Deserialize` derive. See [`derive_serialize`] for the helper
+/// attribute registration.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
