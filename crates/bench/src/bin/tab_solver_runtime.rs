@@ -27,8 +27,8 @@ use std::time::Instant;
 use protemp::prelude::*;
 use protemp::{solve_assignment, AssignmentContext, BuildStats, TableStore};
 use protemp_bench::{
-    control_config, platform, results_dir, screened_window_latency, write_csv, write_text,
-    FIGURE_SEED,
+    control_config, platform, results_dir, screened_window_latency, serve_bench, write_csv,
+    write_text, FIGURE_SEED,
 };
 use protemp_sim::{run_simulation, FirstIdle, IntegralController, SimConfig};
 use protemp_workload::{BenchmarkProfile, TraceGenerator};
@@ -464,6 +464,24 @@ fn quick_run() {
         bisection_s * 1e6,
     );
 
+    // Serving-tier benchmark: the coarse prior served from a startup
+    // scan, hammered by multi-threaded lock-free lookups while the quick
+    // grid's incremental refinement republishes mid-flight.
+    let serve = serve_bench(&prior, &inc_artifact, 120);
+    println!(
+        "quick serving tier: {:.2}M lookups/s across {} threads \
+         (p50 {:.2} µs, p99 {:.2} µs, refine-while-serving ok: {})",
+        serve.lookups_per_s / 1e6,
+        serve.threads,
+        serve.p50_us,
+        serve.p99_us,
+        serve.refine_while_serving_ok,
+    );
+    assert!(
+        serve.refine_while_serving_ok,
+        "mid-flight republish broke a serving guarantee"
+    );
+
     // Modal-truncation A/B on the quick grid: the banded reduced rows must
     // stay provably conservative (asserted cell by cell against the full
     // table) while carrying a fraction of the thermal rows.
@@ -495,6 +513,10 @@ fn quick_run() {
          \"family_build_s\": {:.4},\n  \
          \"modal\": {{\"conservative_ok\": true, \"coverage_lost\": {modal_lost}, \
          \"rows_full\": {}, \"rows_reduced\": {}, \"modal_build_s\": {:.4}}},\n  \
+         \"serve_threads\": {},\n  \"serve_lookups\": {},\n  \
+         \"serve_lookups_per_s\": {:.1},\n  \
+         \"serve_p50_us\": {:.3},\n  \"serve_p99_us\": {:.3},\n  \
+         \"refine_while_serving_ok\": {},\n  \
          \"incremental_identical\": true,\n  \"tables_identical\": true,\n  \
          \"pruning_verdicts_identical\": true\n}}\n",
         table.tstarts_c().len(),
@@ -513,6 +535,12 @@ fn quick_run() {
         modal_stats.rows_full,
         modal_stats.rows_reduced,
         modal_stats.modal_build_s,
+        serve.threads,
+        serve.total_lookups,
+        serve.lookups_per_s,
+        serve.p50_us,
+        serve.p99_us,
+        serve.refine_while_serving_ok,
     );
     write_text("tab_solver_runtime_quick.json", &json);
 }
@@ -760,6 +788,24 @@ fn main() {
         .save("paper_16x20", &fine_inc_art)
         .expect("persist 16x20 artifact");
 
+    // Serving-tier benchmark on the paper artifacts: the 8×10 prior
+    // served from a startup scan under multi-threaded lock-free lookups,
+    // with the 16×20 incremental refinement republished mid-flight.
+    let serve = serve_bench(&prior, &fine_inc_art, 400);
+    println!(
+        "  serving tier      : {:.2}M lookups/s across {} threads \
+         (p50 {:.2} µs, p99 {:.2} µs, refine-while-serving ok: {})",
+        serve.lookups_per_s / 1e6,
+        serve.threads,
+        serve.p50_us,
+        serve.p99_us,
+        serve.refine_while_serving_ok,
+    );
+    assert!(
+        serve.refine_while_serving_ok,
+        "mid-flight republish broke a serving guarantee"
+    );
+
     // Pruning + polish ablation: rebuild the paper grid with the solver's
     // row reduction and certificate polish disabled (the pre-reduction
     // solver) and compare Newton totals in both sweep modes. Verdicts must
@@ -853,6 +899,10 @@ fn main() {
          \"rows_full\": {}, \"rows_reduced\": {}, \"modal_build_s\": {:.4}, \
          \"wall_speedup\": {modal_speedup:.3}}},\n  \
          \"pruning_verdicts_identical\": true,\n  \
+         \"serve_threads\": {},\n  \"serve_lookups\": {},\n  \
+         \"serve_lookups_per_s\": {:.1},\n  \
+         \"serve_p50_us\": {:.3},\n  \"serve_p99_us\": {:.3},\n  \
+         \"refine_while_serving_ok\": {},\n  \
          \"screened_window_s\": {:.6},\n  \"bisection_window_s\": {:.6},\n  \
          \"speedup_total\": {:.3},\n  \"tables_identical\": true,\n  \
          \"frontier_cells_rescued_by_warm\": {},\n  \
@@ -877,6 +927,12 @@ fn main() {
         fine_modal.rows_full,
         fine_modal.rows_reduced,
         fine_modal.modal_build_s,
+        serve.threads,
+        serve.total_lookups,
+        serve.lookups_per_s,
+        serve.p50_us,
+        serve.p99_us,
+        serve.refine_while_serving_ok,
         screened_s,
         bisection_s,
         speedup,

@@ -210,6 +210,187 @@ pub fn screened_window_latency(ctx: &AssignmentContext) -> (f64, f64, u64) {
     (screened_s, bisection_s, screens)
 }
 
+/// One run of the serving-tier benchmark (see [`serve_bench`]).
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Reader threads driven concurrently.
+    pub threads: usize,
+    /// Lookups answered across all threads.
+    pub total_lookups: u64,
+    /// Aggregate throughput (sum of per-thread rates), lookups/s.
+    pub lookups_per_s: f64,
+    /// Median sampled per-lookup latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile sampled per-lookup latency, µs.
+    pub p99_us: f64,
+    /// True iff the mid-flight republish held every serving guarantee:
+    /// the publish landed as generation 1, every sampled outcome equals
+    /// the pre- or post-publish snapshot's answer (nothing torn), at
+    /// least one reader crossed onto the refined snapshot, and the new
+    /// snapshot serves both resolutions finest-first.
+    pub refine_while_serving_ok: bool,
+}
+
+/// Order-statistic of an ascending slice with the harness's ceil rule.
+fn quantile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Benchmarks the [`protemp::TableService`] read path end to end: saves
+/// `coarse` to a scratch store, opens the service off the startup scan,
+/// hammers it with multi-threaded lock-free lookups for `serve_ms`
+/// milliseconds, and republishes `refined` mid-flight (the background
+/// incremental-refine scenario). Reports aggregate throughput, sampled
+/// p50/p99 per-lookup latency, and whether every refine-while-serving
+/// guarantee held (each sampled outcome linearizes against the pre- or
+/// post-publish snapshot).
+///
+/// # Panics
+///
+/// Panics on setup failures (store I/O, mismatched artifact fingerprints,
+/// a non-clean startup scan); concurrency-guarantee violations are
+/// reported through `refine_while_serving_ok` instead.
+pub fn serve_bench(
+    coarse: &protemp::BuildArtifact,
+    refined: &protemp::BuildArtifact,
+    serve_ms: u64,
+) -> ServeBenchReport {
+    use protemp::{LookupOutcome, TableService, TableStore};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::time::{Duration, Instant};
+
+    let fp = coarse.fingerprint;
+    assert_eq!(fp, refined.fingerprint, "artifacts must share a context");
+    let dir = std::env::temp_dir().join(format!(
+        "protemp_serve_bench_{}_{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+    let store = TableStore::new(&dir);
+    store.save("coarse", coarse).expect("save coarse artifact");
+    let service = Arc::new(TableService::open(&store).expect("open service"));
+    assert!(
+        service.skipped().is_empty(),
+        "startup scan skipped artifacts: {:?}",
+        service.skipped()
+    );
+    let snap_before = service.snapshot();
+
+    // Query mix spanning the refined grid (plus margins beyond it on both
+    // axes, so the mix exercises Run, degraded-target, and Shutdown
+    // answers) — deterministic, no RNG on the hot path.
+    let tstarts = refined.table.tstarts_c();
+    let ftargets = refined.table.ftargets_hz();
+    let (tlo, thi) = (tstarts[0], tstarts[tstarts.len() - 1]);
+    let fhi = ftargets[ftargets.len() - 1];
+    let queries: Vec<(f64, f64)> = (0..61)
+        .map(|i| {
+            let temp = tlo - 3.0 + (i % 16) as f64 * (thi + 6.0 - tlo) / 15.0;
+            let freq = (i % 9) as f64 * fhi * 1.1 / 8.0;
+            (temp, freq)
+        })
+        .collect();
+
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .clamp(2, 8);
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let start = Arc::clone(&start);
+        let queries = queries.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut reader = service.reader(fp);
+            let mut sampled: Vec<(f64, f64, LookupOutcome)> = Vec::new();
+            let mut lat_us: Vec<f64> = Vec::new();
+            let mut count = 0u64;
+            let mut i = t; // desynchronize the threads' query phases
+            start.wait();
+            let t0 = Instant::now();
+            while !stop.load(Ordering::Relaxed) {
+                let (temp, freq) = queries[i % queries.len()];
+                i += 1;
+                if count.is_multiple_of(64) {
+                    // Sampled iteration: individually timed, outcome kept
+                    // for the post-hoc linearizability check.
+                    let s0 = Instant::now();
+                    let out = reader.lookup_ref(temp, freq);
+                    let dt = s0.elapsed();
+                    let out = out.to_owned();
+                    lat_us.push(dt.as_secs_f64() * 1e6);
+                    if sampled.len() < 100_000 {
+                        sampled.push((temp, freq, out));
+                    }
+                } else {
+                    std::hint::black_box(reader.lookup_ref(temp, freq));
+                }
+                count += 1;
+            }
+            let elapsed_s = t0.elapsed().as_secs_f64();
+            let generation = reader.snapshot().generation();
+            (count, elapsed_s, lat_us, sampled, generation)
+        }));
+    }
+
+    // Serve for a third of the budget on the coarse snapshot, republish
+    // the refined artifact mid-flight, then serve out the rest on it.
+    start.wait();
+    std::thread::sleep(Duration::from_millis(serve_ms / 3));
+    let generation = service
+        .publish("refined", refined)
+        .expect("publish refined");
+    std::thread::sleep(Duration::from_millis(serve_ms - serve_ms / 3));
+    stop.store(true, Ordering::Relaxed);
+
+    let snap_after = service.snapshot();
+    let mut total_lookups = 0u64;
+    let mut lookups_per_s = 0.0;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut torn = 0usize;
+    let mut saw_new_world = false;
+    for h in handles {
+        let (count, elapsed_s, lat_us, sampled, last_generation) =
+            h.join().expect("reader thread panicked");
+        total_lookups += count;
+        lookups_per_s += count as f64 / elapsed_s.max(1e-9);
+        latencies.extend(lat_us);
+        saw_new_world |= last_generation == generation;
+        for (temp, freq, out) in sampled {
+            let old_ans = snap_before.lookup(fp, temp, freq);
+            let new_ans = snap_after.lookup(fp, temp, freq);
+            torn += (out != old_ans && out != new_ans) as usize;
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let after_tables = snap_after.tables(fp);
+    let refine_while_serving_ok = generation == 1
+        && torn == 0
+        && saw_new_world
+        && snap_before.tables(fp).len() == 1
+        && after_tables.len() == 2
+        && after_tables[0].rows == tstarts.len();
+    let _ = fs::remove_dir_all(&dir);
+    ServeBenchReport {
+        threads,
+        total_lookups,
+        lookups_per_s,
+        p50_us: quantile_us(&latencies, 0.50),
+        p99_us: quantile_us(&latencies, 0.99),
+        refine_while_serving_ok,
+    }
+}
+
 /// Runs one policy over a trace with the figure defaults.
 pub fn run_policy(
     trace: &Trace,

@@ -19,9 +19,12 @@
 //!
 //! Supporting APIs: [`solve_assignment`] is the one-shot convex solve
 //! (the CODES-ISSS'07 primitive the paper builds on), [`frontier`] computes
-//! the uniform-vs-variable feasibility frontiers of Figure 9, and
+//! the uniform-vs-variable feasibility frontiers of Figure 9,
 //! [`OnlineController`] is an MPC-style extension that re-solves the convex
-//! program at run time instead of using the table.
+//! program at run time instead of using the table, and [`TableService`] is
+//! the production serving tier: lock-free multi-resolution lookups over
+//! every stored artifact, refreshed by atomically published snapshots
+//! while a background build refines the grid.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@ mod controller;
 mod error;
 mod io;
 mod problem;
+mod serve;
 mod spec;
 mod store;
 mod table;
@@ -66,9 +70,10 @@ pub use io::{
 };
 pub use problem::{build_problem, build_problem_modal};
 pub use protemp_cvx::{CertScratch, Certificate};
+pub use serve::{ServeSnapshot, ServedTableInfo, TableReader, TableService};
 pub use spec::{ControlConfig, FreqMode};
 pub use store::TableStore;
-pub use table::{FrequencyTable, LookupOutcome};
+pub use table::{FrequencyTable, LookupOutcome, LookupRef};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, ProTempError>;

@@ -1,0 +1,584 @@
+//! The production table-serving tier: lock-free, multi-resolution reads
+//! over every artifact a [`TableStore`] directory holds.
+//!
+//! The paper's runtime does one table lookup per DFS window. At fleet
+//! scale that read path is a service: one process thermally managing
+//! thousands of sockets answers millions of `lookup(tstart, target)`
+//! calls per second, while a background builder keeps refining the grid
+//! ([`crate::TableBuilder::build_incremental`]) and republishing finer
+//! tables. [`TableService`] is that read path.
+//!
+//! # Startup
+//!
+//! [`TableService::open`] scans the store directory once: every `*.table`
+//! artifact is loaded with a single `read`, its checksum and structure
+//! verified by the `protemp-table v2` parser, and the table indexed by
+//! **(context fingerprint, grid resolution)**. Artifacts that fail to
+//! parse are skipped (and reported via [`TableService::skipped`]) — a
+//! corrupt file degrades coverage, never poisons the service. After
+//! startup no lookup re-reads, re-hashes, or re-verifies anything.
+//!
+//! # The snapshot-swap design (arc-swap idiom over `std`)
+//!
+//! All served state lives in one immutable [`ServeSnapshot`] behind an
+//! `Arc`. Publishing builds a **new** snapshot off to the side and swaps
+//! it in atomically; the old snapshot is untouched and stays fully valid
+//! for any reader still holding it — a reader can never observe a torn
+//! (half-updated) table, because no table is ever updated in place.
+//!
+//! The swap itself is the arc-swap idiom built from `std` primitives: each
+//! snapshot is wrapped in a chain node whose `next` pointer is a
+//! [`OnceLock`]`<Arc<Node>>`. A publisher links the next node exactly once
+//! (serialized by a writer-side mutex); a [`TableReader`] advances to the
+//! newest snapshot by following `next` pointers — `OnceLock::get` is a
+//! single atomic acquire-load, so the steady-state read path is **one
+//! atomic load plus two binary searches**, no lock, no allocation
+//! ([`TableReader::lookup_ref`]). Old nodes free themselves through `Arc`
+//! reference counting as the last reader moves past them.
+//!
+//! # Republish and the multi-resolution pick rule
+//!
+//! A snapshot is republished whenever [`TableService::publish`] lands a
+//! new artifact — typically the background refine loop finishing an
+//! incremental rebuild at a finer grid. Within a fingerprint group,
+//! tables are ordered finest-first (most grid cells, ties broken toward
+//! more temperature rows, then by name). A lookup answers from the
+//! **finest covering table**: the first table in that order whose hottest
+//! row is at or above the measured temperature. If that table says
+//! [`LookupRef::Shutdown`], that is the service's answer — a coarser grid
+//! would only round the temperature up further and the demand up to a
+//! coarser column, so it can never honestly rescue the lookup.
+//!
+//! Fingerprints gate everything: a reader is bound to its context's
+//! fingerprint ([`TableService::reader`]) and only ever sees tables whose
+//! artifact carried exactly that fingerprint, so a refresh can never leak
+//! a table built under a different platform, control config, or solver
+//! option set into the read path.
+
+use std::fs;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::{
+    read_table_v2, BuildArtifact, FrequencyTable, LookupOutcome, LookupRef, ProTempError, Result,
+    TableStore,
+};
+
+/// One table being served, with its provenance.
+#[derive(Debug, Clone)]
+struct ServedTable {
+    /// Artifact name this table came from (diagnostics and replacement).
+    name: String,
+    table: Arc<FrequencyTable>,
+}
+
+impl ServedTable {
+    /// Grid resolution — the index key within a fingerprint group.
+    fn resolution(&self) -> (usize, usize) {
+        (self.table.tstarts_c().len(), self.table.ftargets_hz().len())
+    }
+
+    /// Fineness sort key: descending cell count, then descending row
+    /// count, then name (total and deterministic).
+    fn fineness_key(&self) -> (usize, usize, String) {
+        (
+            self.table.len(),
+            self.table.tstarts_c().len(),
+            self.name.clone(),
+        )
+    }
+}
+
+/// Metadata describing one served table (see [`ServeSnapshot::tables`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedTableInfo {
+    /// Artifact name the table was loaded or published under.
+    pub name: String,
+    /// Temperature rows in the grid.
+    pub rows: usize,
+    /// Frequency columns in the grid.
+    pub cols: usize,
+}
+
+/// An immutable view of everything the service is serving at one instant.
+///
+/// Snapshots are never mutated after publication: holding an
+/// `Arc<ServeSnapshot>` pins a consistent world that stays valid however
+/// many republishes happen after it (the refine-while-serving guarantee).
+#[derive(Debug)]
+pub struct ServeSnapshot {
+    /// Monotone publish counter; generation 0 is the startup scan.
+    generation: u64,
+    /// Fingerprint groups, each sorted finest-first. Few groups and few
+    /// resolutions per group in practice, so linear group search beats a
+    /// hash map on the hot path.
+    groups: Vec<(u64, Vec<ServedTable>)>,
+}
+
+impl ServeSnapshot {
+    /// The publish generation this snapshot was created at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Every context fingerprint with at least one served table.
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.groups.iter().map(|(fp, _)| *fp).collect()
+    }
+
+    /// Metadata for the tables served under `fingerprint`, finest first.
+    pub fn tables(&self, fingerprint: u64) -> Vec<ServedTableInfo> {
+        self.group(fingerprint)
+            .map(|tables| {
+                tables
+                    .iter()
+                    .map(|st| ServedTableInfo {
+                        name: st.name.clone(),
+                        rows: st.table.tstarts_c().len(),
+                        cols: st.table.ftargets_hz().len(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn group(&self, fingerprint: u64) -> Option<&[ServedTable]> {
+        self.groups
+            .iter()
+            .find(|(fp, _)| *fp == fingerprint)
+            .map(|(_, tables)| tables.as_slice())
+    }
+
+    /// Allocation-free lookup against this snapshot: answers from the
+    /// finest table under `fingerprint` whose temperature grid covers the
+    /// measurement (see the module docs for the pick rule).
+    pub fn lookup_ref(
+        &self,
+        fingerprint: u64,
+        max_core_temp_c: f64,
+        required_freq_hz: f64,
+    ) -> LookupRef<'_> {
+        let Some(tables) = self.group(fingerprint) else {
+            return LookupRef::Shutdown;
+        };
+        for st in tables {
+            // Covering: the hottest row can still round the measurement
+            // up. (`<=` is false for NaN, which correctly falls through
+            // to Shutdown.)
+            let covers = st
+                .table
+                .tstarts_c()
+                .last()
+                .is_some_and(|&hottest| max_core_temp_c <= hottest);
+            if covers {
+                return st.table.lookup_ref(max_core_temp_c, required_freq_hz);
+            }
+        }
+        LookupRef::Shutdown
+    }
+
+    /// Owned-result variant of [`ServeSnapshot::lookup_ref`].
+    pub fn lookup(
+        &self,
+        fingerprint: u64,
+        max_core_temp_c: f64,
+        required_freq_hz: f64,
+    ) -> LookupOutcome {
+        self.lookup_ref(fingerprint, max_core_temp_c, required_freq_hz)
+            .to_owned()
+    }
+}
+
+/// A chain node: one published snapshot plus the write-once link to its
+/// successor. `OnceLock::get` on `next` is the entire reader-side
+/// synchronization.
+#[derive(Debug)]
+struct Node {
+    snapshot: Arc<ServeSnapshot>,
+    next: OnceLock<Arc<Node>>,
+}
+
+/// The serving tier (see the module docs).
+///
+/// # Example
+///
+/// ```no_run
+/// use protemp::prelude::*;
+/// use protemp::{LookupOutcome, TableService, TableStore};
+///
+/// let platform = Platform::niagara8();
+/// let ctx = AssignmentContext::new(&platform, &ControlConfig::default()).unwrap();
+/// let service = TableService::open(&TableStore::new("results")).unwrap();
+/// let mut reader = service.reader(ctx.fingerprint());
+/// match reader.lookup(72.0, 0.5e9) {
+///     LookupOutcome::Run { freqs_hz, .. } => assert_eq!(freqs_hz.len(), 8),
+///     LookupOutcome::Shutdown => panic!("no covering table"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct TableService {
+    /// Latest node; the publisher's swap point and the entry point for new
+    /// readers. Readers never touch this after [`TableService::reader`] —
+    /// they follow the lock-free `next` chain instead.
+    head: Mutex<Arc<Node>>,
+    /// Artifact names the startup scan could not serve (unparseable,
+    /// checksum-mismatched, or empty tables), with the reason.
+    skipped: Vec<(String, String)>,
+}
+
+impl TableService {
+    /// Opens a service over everything `store` holds: scans the directory,
+    /// loads every `*.table` artifact with one read, verifies checksums
+    /// via the v2 parser, and indexes the survivors by (fingerprint,
+    /// resolution). Unreadable or corrupt artifacts are skipped and
+    /// reported via [`TableService::skipped`]; a missing directory is an
+    /// empty (but serviceable) store.
+    pub fn open(store: &TableStore) -> Result<Self> {
+        let mut tables: Vec<(u64, ServedTable)> = Vec::new();
+        let mut skipped = Vec::new();
+        for name in store.list() {
+            // One read syscall per artifact; parse + checksum from memory.
+            let loaded = fs::read(store.table_path(&name))
+                .map_err(|e| ProTempError::Store {
+                    reason: format!("read {}: {e}", store.table_path(&name).display()),
+                })
+                .and_then(|bytes| read_table_v2(bytes.as_slice()));
+            match loaded {
+                Ok(artifact) if artifact.table.is_empty() => {
+                    skipped.push((name, "empty grid".to_string()));
+                }
+                Ok(artifact) => tables.push((
+                    artifact.fingerprint,
+                    ServedTable {
+                        name,
+                        table: Arc::new(artifact.table),
+                    },
+                )),
+                Err(e) => skipped.push((name, e.to_string())),
+            }
+        }
+        let snapshot = Arc::new(Self::snapshot_from(0, tables));
+        Ok(TableService {
+            head: Mutex::new(Arc::new(Node {
+                snapshot,
+                next: OnceLock::new(),
+            })),
+            skipped,
+        })
+    }
+
+    /// Builds a snapshot from (fingerprint, table) pairs, deduplicating by
+    /// (fingerprint, resolution) — the *last* pair wins, which lets
+    /// [`TableService::publish`] replace a same-resolution table — and
+    /// sorting each group finest-first.
+    fn snapshot_from(generation: u64, tables: Vec<(u64, ServedTable)>) -> ServeSnapshot {
+        let mut groups: Vec<(u64, Vec<ServedTable>)> = Vec::new();
+        for (fp, st) in tables {
+            let group = match groups.iter_mut().find(|(g, _)| *g == fp) {
+                Some((_, tables)) => tables,
+                None => {
+                    groups.push((fp, Vec::new()));
+                    &mut groups.last_mut().expect("just pushed").1
+                }
+            };
+            match group
+                .iter_mut()
+                .find(|existing| existing.resolution() == st.resolution())
+            {
+                Some(existing) => *existing = st,
+                None => group.push(st),
+            }
+        }
+        for (_, group) in &mut groups {
+            group.sort_by(|a, b| {
+                let (ac, ar, an) = a.fineness_key();
+                let (bc, br, bn) = b.fineness_key();
+                (bc, br).cmp(&(ac, ar)).then(an.cmp(&bn))
+            });
+        }
+        groups.sort_by_key(|(fp, _)| *fp);
+        ServeSnapshot { generation, groups }
+    }
+
+    /// Artifacts the startup scan rejected, as `(name, reason)` pairs.
+    pub fn skipped(&self) -> &[(String, String)] {
+        &self.skipped
+    }
+
+    /// The latest published snapshot.
+    pub fn snapshot(&self) -> Arc<ServeSnapshot> {
+        Arc::clone(&self.head.lock().expect("service lock poisoned").snapshot)
+    }
+
+    /// A reader bound to `fingerprint`. Creation takes the service lock
+    /// once; every subsequent [`TableReader::lookup`] is lock-free.
+    pub fn reader(&self, fingerprint: u64) -> TableReader {
+        TableReader {
+            fingerprint,
+            cursor: Arc::clone(&*self.head.lock().expect("service lock poisoned")),
+        }
+    }
+
+    /// Atomically publishes `artifact` (typically a background refine's
+    /// [`crate::TableBuilder::build_incremental`] output) as the next
+    /// snapshot. The new table joins its fingerprint group, replacing a
+    /// previous table of the same grid resolution; every other served
+    /// table carries over untouched. Readers switch at their next lookup;
+    /// any snapshot already held stays valid. Returns the new generation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects artifacts with an empty grid ([`ProTempError::Store`]) —
+    /// serving one would turn every lookup into a shutdown.
+    pub fn publish(&self, name: &str, artifact: &BuildArtifact) -> Result<u64> {
+        if artifact.table.is_empty() {
+            return Err(ProTempError::Store {
+                reason: format!("refusing to publish `{name}`: empty table grid"),
+            });
+        }
+        let mut head = self.head.lock().expect("service lock poisoned");
+        let prev = &head.snapshot;
+        let generation = prev.generation + 1;
+        // Rebuild the pair list from the previous snapshot (cheap: Arcs),
+        // appending the new table last so dedup-by-resolution replaces.
+        let mut tables: Vec<(u64, ServedTable)> = Vec::new();
+        for (fp, group) in &prev.groups {
+            for st in group {
+                tables.push((*fp, st.clone()));
+            }
+        }
+        tables.push((
+            artifact.fingerprint,
+            ServedTable {
+                name: name.to_string(),
+                table: Arc::new(artifact.table.clone()),
+            },
+        ));
+        let node = Arc::new(Node {
+            snapshot: Arc::new(Self::snapshot_from(generation, tables)),
+            next: OnceLock::new(),
+        });
+        // Link, then swap the head. Publishers are serialized by the head
+        // mutex, so the write-once link cannot be contended; readers see
+        // the new node the instant `set` lands (acquire/release pairing
+        // inside `OnceLock`).
+        head.next
+            .set(Arc::clone(&node))
+            .expect("chain link already set: publisher invariant broken");
+        *head = node;
+        Ok(generation)
+    }
+}
+
+/// A lock-free read handle bound to one context fingerprint.
+///
+/// The reader caches its position in the snapshot chain; each lookup
+/// first advances to the newest snapshot (a chain of `OnceLock::get`
+/// acquire-loads — in steady state a single failed load) and then answers
+/// from it. Create one reader per serving thread.
+#[derive(Debug)]
+pub struct TableReader {
+    fingerprint: u64,
+    cursor: Arc<Node>,
+}
+
+impl TableReader {
+    /// Advances to the newest published snapshot (lock-free).
+    fn refresh(&mut self) {
+        while let Some(next) = self.cursor.next.get() {
+            self.cursor = Arc::clone(next);
+        }
+    }
+
+    /// The fingerprint this reader serves.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The snapshot the reader currently stands on (after advancing to
+    /// the newest), for inspection in tests and telemetry.
+    pub fn snapshot(&mut self) -> &Arc<ServeSnapshot> {
+        self.refresh();
+        &self.cursor.snapshot
+    }
+
+    /// Serving hot path: advance to the newest snapshot, then answer from
+    /// the finest covering table — no lock, no allocation.
+    pub fn lookup_ref(&mut self, max_core_temp_c: f64, required_freq_hz: f64) -> LookupRef<'_> {
+        self.refresh();
+        self.cursor
+            .snapshot
+            .lookup_ref(self.fingerprint, max_core_temp_c, required_freq_hz)
+    }
+
+    /// Owned-result variant of [`TableReader::lookup_ref`] (clones the
+    /// winning frequency vector).
+    pub fn lookup(&mut self, max_core_temp_c: f64, required_freq_hz: f64) -> LookupOutcome {
+        self.lookup_ref(max_core_temp_c, required_freq_hz)
+            .to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellRecord, CellStatus, FreqMode, FrequencyAssignment};
+
+    fn asg(mhz: f64) -> FrequencyAssignment {
+        FrequencyAssignment {
+            freqs_hz: vec![mhz * 1e6; 8],
+            powers_w: vec![1.0; 8],
+            tgrad_c: None,
+            objective: 8.0,
+        }
+    }
+
+    /// A fully feasible synthetic artifact on the given grids.
+    fn artifact(fp: u64, tstarts: Vec<f64>, ftargets: Vec<f64>) -> BuildArtifact {
+        let entries: Vec<_> = (0..tstarts.len() * ftargets.len())
+            .map(|i| Some(asg(100.0 + i as f64)))
+            .collect();
+        let cells = entries
+            .iter()
+            .map(|_| CellRecord {
+                status: CellStatus::Feasible,
+                newton_steps: 1,
+                phase1: false,
+                warm: false,
+                rows_pruned: 0,
+                polish: false,
+                x: None,
+            })
+            .collect();
+        BuildArtifact {
+            table: FrequencyTable::new(tstarts, ftargets, entries, FreqMode::Variable),
+            cells,
+            certificates: Vec::new(),
+            fingerprint: fp,
+            warm_start: true,
+        }
+    }
+
+    fn empty_service() -> TableService {
+        TableService::open(&TableStore::new("/nonexistent/protemp_serve_dir")).unwrap()
+    }
+
+    #[test]
+    fn empty_store_serves_shutdown() {
+        let svc = empty_service();
+        let mut r = svc.reader(42);
+        assert_eq!(r.lookup(50.0, 0.5e9), LookupOutcome::Shutdown);
+        assert_eq!(svc.snapshot().generation(), 0);
+        assert!(svc.skipped().is_empty());
+    }
+
+    #[test]
+    fn finest_covering_table_wins() {
+        let svc = empty_service();
+        // Coarse 2×2 covering up to 100 °C, fine 3×3 covering up to 90 °C.
+        svc.publish(
+            "coarse",
+            &artifact(7, vec![60.0, 100.0], vec![0.3e9, 0.6e9]),
+        )
+        .unwrap();
+        svc.publish(
+            "fine",
+            &artifact(7, vec![60.0, 80.0, 90.0], vec![0.2e9, 0.4e9, 0.6e9]),
+        )
+        .unwrap();
+        let mut r = svc.reader(7);
+        // 70 °C is covered by both: the fine table answers (row 80).
+        match r.lookup(70.0, 0.3e9) {
+            LookupOutcome::Run {
+                tstart_c,
+                ftarget_hz,
+                ..
+            } => {
+                assert_eq!(tstart_c, 80.0);
+                assert_eq!(ftarget_hz, 0.4e9);
+            }
+            _ => panic!("expected run"),
+        }
+        // 95 °C only the coarse table covers.
+        match r.lookup(95.0, 0.3e9) {
+            LookupOutcome::Run { tstart_c, .. } => assert_eq!(tstart_c, 100.0),
+            _ => panic!("expected run"),
+        }
+        // Hotter than every table: shutdown.
+        assert_eq!(r.lookup(101.0, 0.3e9), LookupOutcome::Shutdown);
+    }
+
+    #[test]
+    fn fingerprints_are_isolated() {
+        let svc = empty_service();
+        svc.publish("a", &artifact(1, vec![60.0, 100.0], vec![0.3e9]))
+            .unwrap();
+        let mut right = svc.reader(1);
+        let mut wrong = svc.reader(2);
+        assert!(matches!(
+            right.lookup(50.0, 0.1e9),
+            LookupOutcome::Run { .. }
+        ));
+        // A reader bound to another fingerprint never sees the table.
+        assert_eq!(wrong.lookup(50.0, 0.1e9), LookupOutcome::Shutdown);
+        assert_eq!(svc.snapshot().fingerprints(), vec![1]);
+    }
+
+    #[test]
+    fn same_resolution_republish_replaces() {
+        let svc = empty_service();
+        svc.publish("v1", &artifact(9, vec![60.0, 100.0], vec![0.3e9]))
+            .unwrap();
+        let gen = svc
+            .publish("v2", &artifact(9, vec![50.0, 90.0], vec![0.4e9]))
+            .unwrap();
+        assert_eq!(gen, 2);
+        let snap = svc.snapshot();
+        let infos = snap.tables(9);
+        assert_eq!(infos.len(), 1, "same resolution must replace: {infos:?}");
+        assert_eq!(infos[0].name, "v2");
+    }
+
+    #[test]
+    fn empty_artifact_is_rejected() {
+        let svc = empty_service();
+        let bad = artifact(3, vec![60.0], vec![]);
+        assert!(svc.publish("bad", &bad).is_err());
+    }
+
+    #[test]
+    fn held_snapshot_survives_republish() {
+        let svc = empty_service();
+        svc.publish("t1", &artifact(5, vec![60.0, 100.0], vec![0.3e9]))
+            .unwrap();
+        let old = svc.snapshot();
+        let before = old.lookup(5, 70.0, 0.1e9);
+        svc.publish(
+            "t2",
+            &artifact(5, vec![60.0, 80.0, 100.0], vec![0.2e9, 0.3e9]),
+        )
+        .unwrap();
+        // The old snapshot is immutable: same answer, bit for bit.
+        assert_eq!(old.lookup(5, 70.0, 0.1e9), before);
+        assert_eq!(old.generation() + 1, svc.snapshot().generation());
+    }
+
+    #[test]
+    fn reader_advances_to_new_snapshot() {
+        let svc = empty_service();
+        svc.publish("t1", &artifact(5, vec![60.0, 100.0], vec![0.3e9]))
+            .unwrap();
+        let mut r = svc.reader(5);
+        assert_eq!(r.snapshot().generation(), 1);
+        svc.publish(
+            "t2",
+            &artifact(5, vec![60.0, 80.0, 100.0], vec![0.2e9, 0.3e9]),
+        )
+        .unwrap();
+        // The existing reader sees the republish on its next access.
+        assert_eq!(r.snapshot().generation(), 2);
+        match r.lookup(70.0, 0.1e9) {
+            LookupOutcome::Run { tstart_c, .. } => assert_eq!(tstart_c, 80.0),
+            _ => panic!("expected run from the finer table"),
+        }
+    }
+}

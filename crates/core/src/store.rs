@@ -95,6 +95,13 @@ impl TableStore {
         fs::create_dir_all(&self.dir).map_err(|e| ProTempError::Store {
             reason: format!("create {}: {e}", self.dir.display()),
         })?;
+        // A writer that crashed between `create` and `rename` leaves its
+        // writer-unique `*.tmp` sibling behind forever (no later writer
+        // reuses the name). Sweep them on the next save so the directory
+        // converges back to exactly the published artifacts. Live tmp
+        // files from a *concurrent* writer in this process can't be
+        // swept by mistake: the sweep skips this process's pid prefix.
+        self.sweep_stale_tmp();
         let mut table_bytes = Vec::new();
         write_table_v2(artifact, &mut table_bytes)?;
         let mut cert_bytes = Vec::new();
@@ -106,6 +113,55 @@ impl TableStore {
         self.atomic_write(&self.table_path(name), &table_bytes)?;
         self.atomic_write(&self.certs_path(name), &cert_bytes)?;
         Ok(())
+    }
+
+    /// Removes `*.tmp` siblings left behind by crashed writers (see
+    /// [`TableStore::save`]). Best-effort: filesystem races (another
+    /// sweeper, a writer finishing its rename) are fine, the loser just
+    /// sees a missing file. Live writers are never swept: files carrying
+    /// this process's pid belong to a concurrent save on another thread,
+    /// files from another pid are only stale once that process is gone
+    /// (checked via `/proc` where it exists) — or, where pid liveness
+    /// can't be checked, once the file is old enough (60 s) that no
+    /// in-flight write plausibly still owns it.
+    fn sweep_stale_tmp(&self) {
+        fn is_old(entry: &fs::DirEntry) -> bool {
+            entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age.as_secs() >= 60)
+        }
+        let own_pid = std::process::id();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(".tmp") else {
+                continue;
+            };
+            // Writer-unique names are `<file>.<pid>.<seq>.tmp`.
+            let mut parts = stem.rsplit('.');
+            let pid: Option<u32> = parts.nth(1).and_then(|p| p.parse().ok());
+            let stale = match pid {
+                Some(pid) if pid == own_pid => false,
+                Some(pid) => {
+                    if Path::new("/proc/self").exists() {
+                        !Path::new(&format!("/proc/{pid}")).exists()
+                    } else {
+                        is_old(&entry)
+                    }
+                }
+                // Not this module's naming scheme: only age vouches.
+                None => is_old(&entry),
+            };
+            if stale {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
     }
 
     fn atomic_write(&self, path: &Path, bytes: &[u8]) -> Result<()> {
@@ -129,7 +185,15 @@ impl TableStore {
             f.write_all(bytes).map_err(|e| err("write", e))?;
             f.sync_all().map_err(|e| err("sync", e))?;
         }
-        fs::rename(&tmp, path).map_err(|e| err("rename", e))
+        fs::rename(&tmp, path).map_err(|e| err("rename", e))?;
+        // Syncing the file alone does not make the *rename* durable: the
+        // new directory entry lives in the parent directory's data, and
+        // until that is fsynced a crash can roll the directory back to the
+        // old entry (or none) — losing the atomic replace the module docs
+        // promise. POSIX durability requires fsyncing the directory too.
+        let dir = path.parent().unwrap_or(Path::new("."));
+        let d = fs::File::open(dir).map_err(|e| err("open dir", e))?;
+        d.sync_all().map_err(|e| err("sync dir", e))
     }
 
     /// Loads the artifact saved under `name`.
@@ -165,5 +229,112 @@ impl TableStore {
     /// `true` when a `.table` file exists for `name`.
     pub fn contains(&self, name: &str) -> bool {
         self.table_path(name).is_file()
+    }
+
+    /// Names of every artifact with a `.table` file in the store
+    /// directory, sorted (so scans — e.g. [`crate::TableService`] startup
+    /// — are deterministic). A missing directory is an empty store, not an
+    /// error.
+    pub fn list(&self) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                let stem = name.strip_suffix(".table")?;
+                (Self::check_name(stem).is_ok() && e.path().is_file()).then(|| stem.to_string())
+            })
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique, self-cleaning store directory per test.
+    struct TempStore {
+        dir: PathBuf,
+        store: TableStore,
+    }
+
+    impl TempStore {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "protemp_storemod_{tag}_{}_{:x}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            TempStore {
+                store: TableStore::new(&dir),
+                dir,
+            }
+        }
+    }
+
+    impl Drop for TempStore {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    #[test]
+    fn atomic_write_lands_and_lists() {
+        let ts = TempStore::new("write_list");
+        ts.store
+            .atomic_write(&ts.store.table_path("foo"), b"hello")
+            .unwrap();
+        ts.store
+            .atomic_write(&ts.store.certs_path("foo"), b"certs")
+            .unwrap();
+        // Only `.table` files are artifacts; the `.certs` sibling and
+        // stray files are not listed.
+        fs::write(ts.dir.join("notes.txt"), b"x").unwrap();
+        assert!(ts.store.contains("foo"));
+        assert_eq!(ts.store.list(), vec!["foo".to_string()]);
+        assert_eq!(fs::read(ts.store.table_path("foo")).unwrap(), b"hello");
+        // No `.tmp` residue after a successful write.
+        let tmps: Vec<_> = fs::read_dir(&ts.dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(tmps.is_empty(), "tmp residue: {tmps:?}");
+    }
+
+    #[test]
+    fn list_of_missing_dir_is_empty() {
+        let store = TableStore::new("/nonexistent/protemp_store_dir");
+        assert!(store.list().is_empty());
+    }
+
+    #[test]
+    fn stale_tmp_from_dead_writer_is_swept_live_one_kept() {
+        let ts = TempStore::new("sweep");
+        // A crashed writer from a pid that cannot be alive (beyond
+        // pid_max on Linux; the age fallback covers other platforms,
+        // where this file is brand new and therefore kept — so only
+        // assert removal when /proc exists).
+        let dead = ts.dir.join("a.table.999999999.0.tmp");
+        fs::write(&dead, b"half-written").unwrap();
+        // A concurrent writer in *this* process must never be swept.
+        let live = ts.dir.join(format!("b.table.{}.3.tmp", std::process::id()));
+        fs::write(&live, b"in flight").unwrap();
+        ts.store.sweep_stale_tmp();
+        if Path::new("/proc/self").exists() {
+            assert!(!dead.exists(), "dead writer's tmp must be swept");
+        }
+        assert!(live.exists(), "own-pid tmp must survive the sweep");
+        // Neither tmp file shows up as an artifact.
+        assert!(ts.store.list().is_empty());
     }
 }

@@ -70,6 +70,50 @@ pub enum LookupOutcome {
     Shutdown,
 }
 
+/// Borrowed variant of [`LookupOutcome`]: the serving hot path's result.
+///
+/// [`FrequencyTable::lookup_ref`] returns the stored assignment's frequency
+/// vector by reference, so a lookup allocates nothing. Convert to the owned
+/// form with [`LookupRef::to_owned`] when the caller needs to keep the
+/// frequencies past the table borrow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LookupRef<'a> {
+    /// Run the cores at the given frequencies.
+    Run {
+        /// Per-core frequencies, Hz (borrowed from the table entry).
+        freqs_hz: &'a [f64],
+        /// Grid row (starting temperature) used, °C.
+        tstart_c: f64,
+        /// Grid column (target frequency) used, Hz.
+        ftarget_hz: f64,
+        /// `true` when the requested frequency had to be degraded to a
+        /// lower feasible column.
+        degraded: bool,
+    },
+    /// No feasible entry: shut every core down for this window.
+    Shutdown,
+}
+
+impl LookupRef<'_> {
+    /// Clones the borrowed outcome into an owned [`LookupOutcome`].
+    pub fn to_owned(&self) -> LookupOutcome {
+        match *self {
+            LookupRef::Run {
+                freqs_hz,
+                tstart_c,
+                ftarget_hz,
+                degraded,
+            } => LookupOutcome::Run {
+                freqs_hz: freqs_hz.to_vec(),
+                tstart_c,
+                ftarget_hz,
+                degraded,
+            },
+            LookupRef::Shutdown => LookupOutcome::Shutdown,
+        }
+    }
+}
+
 impl FrequencyTable {
     /// Assembles a table from grids and row-major entries.
     ///
@@ -200,33 +244,63 @@ impl FrequencyTable {
 
     /// Run-time lookup (see the type-level docs for the exact semantics).
     pub fn lookup(&self, max_core_temp_c: f64, required_freq_hz: f64) -> LookupOutcome {
-        // Round temperature UP to the next grid row.
-        let Some(row) = self.tstarts_c.iter().position(|&t| t >= max_core_temp_c) else {
-            // Hotter than the hottest modeled row: shut down.
-            return LookupOutcome::Shutdown;
-        };
+        self.lookup_ref(max_core_temp_c, required_freq_hz)
+            .to_owned()
+    }
+
+    /// Allocation-free run-time lookup: identical semantics to
+    /// [`FrequencyTable::lookup`], but the winning assignment's frequency
+    /// vector is returned by reference instead of cloned. This is the
+    /// serving hot path ([`crate::TableService`]); both grid searches are
+    /// `partition_point` binary searches over the (strictly ascending)
+    /// grids, and a table with an empty grid answers
+    /// [`LookupRef::Shutdown`] — there is nothing to run.
+    pub fn lookup_ref(&self, max_core_temp_c: f64, required_freq_hz: f64) -> LookupRef<'_> {
+        // A NaN sensor reading gives no row to round up to — conservative
+        // shutdown (and `partition_point`'s `<` would otherwise answer the
+        // coolest row, the one direction the rounding contract forbids).
+        if max_core_temp_c.is_nan() {
+            return LookupRef::Shutdown;
+        }
+        // Round temperature UP to the next grid row: first row with
+        // `t >= max_core_temp_c`. `partition_point` on the ascending grid
+        // counts the rows strictly below the measurement.
+        let row = self.tstarts_c.partition_point(|&t| t < max_core_temp_c);
+        if row == self.tstarts_c.len() {
+            // Hotter than the hottest modeled row (or an empty grid):
+            // shut down.
+            return LookupRef::Shutdown;
+        }
 
         // Desired column: smallest ftarget ≥ demand (or the highest column
-        // if demand exceeds the grid).
+        // if demand exceeds the grid — a NaN demand counts as off the top,
+        // like the linear scan it replaced). An empty frequency grid has
+        // no column to serve — shut down instead of underflowing
+        // `ncols - 1`.
         let ncols = self.ftargets_hz.len();
-        let desired = self
-            .ftargets_hz
-            .iter()
-            .position(|&f| f >= required_freq_hz)
-            .unwrap_or(ncols - 1);
+        if ncols == 0 {
+            return LookupRef::Shutdown;
+        }
+        let desired = if required_freq_hz.is_nan() {
+            ncols - 1
+        } else {
+            self.ftargets_hz
+                .partition_point(|&f| f < required_freq_hz)
+                .min(ncols - 1)
+        };
 
         // Walk down until a feasible cell is found.
         for col in (0..=desired).rev() {
             if let Some(a) = self.entry(row, col) {
-                return LookupOutcome::Run {
-                    freqs_hz: a.freqs_hz.clone(),
+                return LookupRef::Run {
+                    freqs_hz: &a.freqs_hz,
                     tstart_c: self.tstarts_c[row],
                     ftarget_hz: self.ftargets_hz[col],
                     degraded: col < desired,
                 };
             }
         }
-        LookupOutcome::Shutdown
+        LookupRef::Shutdown
     }
 
     /// Renders the table in the paper's Figure 4 layout (rows = starting
@@ -353,6 +427,70 @@ mod tests {
         let s = t.render();
         assert!(s.contains("--"));
         assert!(s.contains("MHz"));
+    }
+
+    #[test]
+    fn empty_frequency_grid_shuts_down_instead_of_panicking() {
+        // Regression: `FrequencyTable::new` accepts an empty frequency
+        // grid, and `lookup` used to underflow `ncols - 1` and panic.
+        let t = FrequencyTable::new(vec![60.0, 100.0], vec![], vec![], FreqMode::Variable);
+        assert_eq!(t.lookup(50.0, 0.5e9), LookupOutcome::Shutdown);
+        assert_eq!(t.lookup_ref(50.0, 0.5e9), LookupRef::Shutdown);
+    }
+
+    #[test]
+    fn empty_temperature_grid_shuts_down() {
+        let t = FrequencyTable::new(vec![], vec![0.3e9], vec![], FreqMode::Variable);
+        assert_eq!(t.lookup(50.0, 0.3e9), LookupOutcome::Shutdown);
+        // Fully empty table too.
+        let t = FrequencyTable::new(vec![], vec![], vec![], FreqMode::Variable);
+        assert_eq!(t.lookup(50.0, 0.3e9), LookupOutcome::Shutdown);
+    }
+
+    #[test]
+    fn one_by_one_grid_round_trips() {
+        let t = FrequencyTable::new(
+            vec![80.0],
+            vec![0.5e9],
+            vec![Some(asg(500.0))],
+            FreqMode::Variable,
+        );
+        match t.lookup(70.0, 0.2e9) {
+            LookupOutcome::Run {
+                tstart_c,
+                ftarget_hz,
+                degraded,
+                ..
+            } => {
+                assert_eq!(tstart_c, 80.0);
+                assert_eq!(ftarget_hz, 0.5e9);
+                assert!(!degraded);
+            }
+            _ => panic!("expected run"),
+        }
+        assert_eq!(t.lookup(80.1, 0.2e9), LookupOutcome::Shutdown);
+        // 1×1 infeasible cell.
+        let t = FrequencyTable::new(vec![80.0], vec![0.5e9], vec![None], FreqMode::Variable);
+        assert_eq!(t.lookup(70.0, 0.2e9), LookupOutcome::Shutdown);
+    }
+
+    #[test]
+    fn nan_inputs_match_old_scan_semantics() {
+        let t = table();
+        // NaN temperature: no row rounds up — shut down.
+        assert_eq!(t.lookup(f64::NAN, 0.3e9), LookupOutcome::Shutdown);
+        // NaN demand behaves like demand off the top of the grid.
+        assert_eq!(t.lookup(50.0, f64::NAN), t.lookup(50.0, 2.0e9));
+    }
+
+    #[test]
+    fn lookup_ref_matches_owned_lookup() {
+        let t = table();
+        for &temp in &[20.0, 59.9, 60.0, 60.1, 99.9, 100.0, 100.1] {
+            for &freq in &[0.0, 0.2e9, 0.3e9, 0.45e9, 0.9e9, 1.5e9] {
+                assert_eq!(t.lookup_ref(temp, freq).to_owned(), t.lookup(temp, freq));
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,56 @@ use proptest::prelude::*;
 use protemp::prelude::*;
 use protemp::{solve_assignment, FrequencyAssignment, LookupOutcome};
 
+/// The pre-PR-9 `lookup`, verbatim: linear `position` scans over both
+/// grids. The binary-search rewrite must be bit-equal to this on every
+/// non-empty grid (on an empty frequency grid the old code underflowed
+/// `ncols - 1` and panicked — that case is covered by the unit regression
+/// tests instead).
+fn reference_scan_lookup(
+    table: &FrequencyTable,
+    max_core_temp_c: f64,
+    required_freq_hz: f64,
+) -> LookupOutcome {
+    let Some(row) = table.tstarts_c().iter().position(|&t| t >= max_core_temp_c) else {
+        return LookupOutcome::Shutdown;
+    };
+    let ncols = table.ftargets_hz().len();
+    let desired = table
+        .ftargets_hz()
+        .iter()
+        .position(|&f| f >= required_freq_hz)
+        .unwrap_or(ncols - 1);
+    for col in (0..=desired).rev() {
+        if let Some(a) = table.entry(row, col) {
+            return LookupOutcome::Run {
+                freqs_hz: a.freqs_hz.clone(),
+                tstart_c: table.tstarts_c()[row],
+                ftarget_hz: table.ftargets_hz()[col],
+                degraded: col < desired,
+            };
+        }
+    }
+    LookupOutcome::Shutdown
+}
+
+/// A table with an arbitrary feasibility pattern drawn from `mask` bits
+/// (unlike [`synthetic_table`], not monotone — the scan/bisect equivalence
+/// must hold for any pattern, not just realistic ones).
+fn masked_table(rows: usize, cols: usize, mask: u64) -> FrequencyTable {
+    let tstarts: Vec<f64> = (0..rows).map(|r| 50.0 + 7.5 * r as f64).collect();
+    let ftargets: Vec<f64> = (0..cols).map(|c| 0.1e9 * (c as f64 + 1.0)).collect();
+    let entries: Vec<Option<FrequencyAssignment>> = (0..rows * cols)
+        .map(|i| {
+            if (mask >> (i % 64)) & 1 == 1 {
+                Some(mk_assignment(100.0 * (i as f64 + 1.0)))
+            } else {
+                None
+            }
+        })
+        .collect();
+    FrequencyTable::new(tstarts, ftargets, entries, FreqMode::Variable)
+}
+
 fn mk_assignment(avg_mhz: f64) -> FrequencyAssignment {
     FrequencyAssignment {
         freqs_hz: vec![avg_mhz * 1e6; 8],
@@ -81,6 +131,37 @@ proptest! {
                 }
             } else {
                 prop_assert_eq!(ftarget_hz, demand);
+            }
+        }
+    }
+
+    /// PR-9 regression: the `partition_point` binary searches (and the
+    /// borrow-based `lookup_ref` behind `lookup`) are bit-equal to the old
+    /// linear `position` scans — on arbitrary feasibility patterns, for
+    /// in-grid, off-grid, and exactly-on-grid queries.
+    #[test]
+    fn bisect_lookup_bit_equal_to_linear_scan(
+        rows in 1usize..7, cols in 1usize..7, mask in 0u64..u64::MAX,
+        temp in 30.0..120.0f64, freq in 0.0..1.0e9,
+        qr in 0usize..7, qc in 0usize..7,
+    ) {
+        let table = masked_table(rows, cols, mask);
+        // A continuous query point…
+        prop_assert_eq!(
+            table.lookup(temp, freq),
+            reference_scan_lookup(&table, temp, freq)
+        );
+        // …and queries exactly on (and just off) the grid values, where
+        // the >= / < boundary between the two searches would first drift.
+        let t_on = table.tstarts_c()[qr % rows];
+        let f_on = table.ftargets_hz()[qc % cols];
+        for t in [t_on, t_on - 1e-9, t_on + 1e-9] {
+            for f in [f_on, f_on - 1.0, f_on + 1.0] {
+                prop_assert_eq!(table.lookup(t, f), reference_scan_lookup(&table, t, f));
+                prop_assert_eq!(
+                    table.lookup_ref(t, f).to_owned(),
+                    reference_scan_lookup(&table, t, f)
+                );
             }
         }
     }

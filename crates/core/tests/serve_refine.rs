@@ -1,0 +1,198 @@
+//! Refine-while-serving guarantees of the [`TableService`] tier:
+//!
+//! * readers running full tilt through a republish never observe a torn
+//!   snapshot — every outcome they see is exactly the answer of either the
+//!   pre-publish or the post-publish snapshot (linearizability against the
+//!   two captured worlds),
+//! * a snapshot held across the republish stays valid and answers
+//!   bit-identically (the old world is immutable, not invalidated),
+//! * readers never see a table from a different context fingerprint, and
+//! * the background refine path is the real one: `build_incremental` from
+//!   the coarse prior, published while lookups are in flight.
+//!
+//! A shortened constraint horizon (20 ms windows) keeps the builds cheap;
+//! solver and model paths are the paper configuration.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use protemp::prelude::*;
+use protemp::{AssignmentContext, LookupOutcome, TableService, TableStore};
+
+fn fast_config() -> ControlConfig {
+    ControlConfig {
+        dfs_period_us: 20_000,
+        ..ControlConfig::default()
+    }
+}
+
+/// A unique, self-cleaning store directory per test.
+struct TempStore {
+    dir: std::path::PathBuf,
+    store: TableStore,
+}
+
+impl TempStore {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "protemp_serve_{tag}_{}_{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        TempStore {
+            store: TableStore::new(&dir),
+            dir,
+        }
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn refine_while_serving_readers_never_see_torn_or_foreign_state() {
+    let ctx = AssignmentContext::new(&Platform::niagara8(), &fast_config()).expect("ctx");
+    let fp = ctx.fingerprint();
+
+    // Phase 1 artifact at a coarse grid, persisted and then served from
+    // the startup scan (the production startup path: one read + verify).
+    let ts = TempStore::new("refine");
+    let (coarse, _) = TableBuilder::new()
+        .tstarts(vec![60.0, 100.0])
+        .ftargets(vec![0.3e9, 0.6e9])
+        .build_artifact(&ctx)
+        .expect("coarse build");
+    ts.store.save("coarse", &coarse).expect("save coarse");
+    let service = Arc::new(TableService::open(&ts.store).expect("open service"));
+    assert!(service.skipped().is_empty(), "{:?}", service.skipped());
+
+    // The worlds a reader is allowed to observe: the snapshot before the
+    // refine lands and the one after. Capturing them as Arcs also proves
+    // the old snapshot outlives the republish unchanged.
+    let snap_before = service.snapshot();
+
+    // Reader fleet: hammer lookups across the grid while the refine runs,
+    // recording every (query, outcome) pair for the linearizability check.
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries: Vec<(f64, f64)> = (0..40)
+        .map(|i| (55.0 + (i % 10) as f64 * 5.5, 0.1e9 + (i % 8) as f64 * 0.1e9))
+        .collect();
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let queries = queries.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut reader = service.reader(fp);
+            let mut observed: Vec<(f64, f64, LookupOutcome)> = Vec::new();
+            let mut last_generation = 0u64;
+            let mut i = t; // desynchronize the threads' query phases
+            while !stop.load(Ordering::Relaxed) {
+                let (temp, freq) = queries[i % queries.len()];
+                i += 1;
+                let out = reader.lookup(temp, freq);
+                // Generations only move forward for a reader.
+                let generation = reader.snapshot().generation();
+                assert!(generation >= last_generation, "snapshot went backwards");
+                last_generation = generation;
+                // Only this context's fingerprint was ever stored or
+                // published: a snapshot holding any other would mean a
+                // foreign table leaked into the read path.
+                assert_eq!(
+                    reader.snapshot().fingerprints(),
+                    vec![fp],
+                    "stale-fingerprint table observed"
+                );
+                if observed.len() < 20_000 {
+                    observed.push((temp, freq, out));
+                }
+            }
+            (observed, last_generation)
+        }));
+    }
+
+    // Background refine: the real incremental path from the served prior
+    // to a 2×-finer grid, published mid-flight.
+    let prior = ts.store.load("coarse").expect("reload coarse");
+    let (fine, _) = TableBuilder::new()
+        .tstarts(vec![60.0, 80.0, 100.0])
+        .ftargets(vec![0.15e9, 0.3e9, 0.45e9, 0.6e9])
+        .build_incremental(&ctx, &prior)
+        .expect("incremental refine");
+    let generation = service.publish("fine", &fine).expect("publish refine");
+    assert_eq!(generation, 1);
+    // Let the readers run against the new snapshot for a moment.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+
+    let snap_after = service.snapshot();
+    assert_eq!(snap_after.generation(), 1);
+    // The old snapshot is still alive and still answers; the new one
+    // serves both resolutions with the finer one preferred.
+    assert_eq!(snap_before.tables(fp).len(), 1);
+    assert_eq!(snap_after.tables(fp).len(), 2);
+    assert_eq!(snap_after.tables(fp)[0].rows, 3, "finest first");
+
+    let mut saw_new_world = false;
+    for h in handles {
+        let (observed, last_generation) = h.join().expect("reader panicked");
+        assert!(!observed.is_empty());
+        saw_new_world |= last_generation == 1;
+        for (temp, freq, out) in observed {
+            // Linearizability: every observed outcome is exactly what one
+            // of the two worlds answers — nothing torn, mixed, or stale
+            // beyond the previous world.
+            let old_ans = snap_before.lookup(fp, temp, freq);
+            let new_ans = snap_after.lookup(fp, temp, freq);
+            assert!(
+                out == old_ans || out == new_ans,
+                "torn outcome at ({temp}, {freq}): {out:?} is neither {old_ans:?} nor {new_ans:?}"
+            );
+        }
+    }
+    assert!(
+        saw_new_world,
+        "at least one reader must have crossed onto the refined snapshot"
+    );
+
+    // And the held pre-publish snapshot still answers bit-identically to a
+    // fresh service opened over only the coarse artifact.
+    for &(temp, freq) in &queries {
+        assert_eq!(
+            snap_before.lookup(fp, temp, freq),
+            coarse.table.lookup(temp, freq),
+            "held snapshot must keep serving the coarse table"
+        );
+    }
+}
+
+#[test]
+fn startup_scan_skips_corrupt_artifacts_and_serves_the_rest() {
+    let ctx = AssignmentContext::new(&Platform::niagara8(), &fast_config()).expect("ctx");
+    let ts = TempStore::new("corrupt");
+    let (good, _) = TableBuilder::new()
+        .tstarts(vec![60.0, 100.0])
+        .ftargets(vec![0.3e9])
+        .build_artifact(&ctx)
+        .expect("build");
+    ts.store.save("good", &good).expect("save");
+    // A half-written / bit-flipped sibling artifact.
+    std::fs::write(ts.store.table_path("bad"), b"protemp-table v2\ngarbage\n").expect("write bad");
+
+    let service = TableService::open(&ts.store).expect("open");
+    assert_eq!(service.skipped().len(), 1);
+    assert_eq!(service.skipped()[0].0, "bad");
+    let mut reader = service.reader(ctx.fingerprint());
+    // Query the cool row (55 → 60 °C), which a real build always finds
+    // feasible at 300 MHz; the 100 °C row is legitimately infeasible.
+    assert!(
+        matches!(reader.lookup(55.0, 0.2e9), LookupOutcome::Run { .. }),
+        "the intact artifact must still serve"
+    );
+}

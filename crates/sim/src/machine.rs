@@ -192,6 +192,36 @@ impl Platform {
         }
     }
 
+    /// A 64-bit identity of everything a *controller's* accumulated state
+    /// depends on: core count and block count, the global clock and power
+    /// scalars, every per-core power model, and the per-node caps. Two
+    /// platforms with equal identities present the same control surface, so
+    /// integrator state, gains, and commands carry over; a policy holding
+    /// state keyed to one identity must reset when handed another (two
+    /// same-width platforms — e.g. `niagara8` vs `biglittle8` — differ
+    /// here even though their core *counts* match).
+    pub fn identity(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.num_cores().hash(&mut h);
+        self.num_blocks().hash(&mut h);
+        self.fmax_hz.to_bits().hash(&mut h);
+        self.pmax_w.to_bits().hash(&mut h);
+        self.idle_power_w.to_bits().hash(&mut h);
+        self.thermal.ambient_c.to_bits().hash(&mut h);
+        for i in 0..self.num_cores() {
+            let m = self.core_model(i);
+            m.pmax_w.to_bits().hash(&mut h);
+            m.leakage_w.to_bits().hash(&mut h);
+            m.max_ratio.to_bits().hash(&mut h);
+        }
+        for (name, cap) in &self.node_caps {
+            name.hash(&mut h);
+            cap.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Total number of thermal blocks (across every layer for stacks).
     pub fn num_blocks(&self) -> usize {
         match &self.stack {

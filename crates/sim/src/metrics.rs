@@ -28,7 +28,10 @@ impl WaitingStats {
                 max_us: 0.0,
             };
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // `total_cmp` is a total order: NaN samples (a poisoned window's
+        // arithmetic, say) sort after +∞ instead of panicking the whole
+        // report out of existence — they surface as NaN in the stats.
+        samples.sort_by(f64::total_cmp);
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
         let p95_idx = ((count as f64 * 0.95).ceil() as usize).clamp(1, count) - 1;
@@ -229,6 +232,20 @@ mod tests {
         let w = WaitingStats::from_samples(vec![]);
         assert_eq!(w.count, 0);
         assert_eq!(w.mean_us, 0.0);
+    }
+
+    #[test]
+    fn nan_samples_do_not_panic() {
+        // Regression: `partial_cmp(...).expect("finite")` panicked on the
+        // first NaN waiting time. NaNs now sort last (total order) and
+        // surface as NaN in the order statistics instead of aborting.
+        let w = WaitingStats::from_samples(vec![3.0, f64::NAN, 1.0]);
+        assert_eq!(w.count, 3);
+        assert!(w.max_us.is_nan(), "NaN sorts after every finite sample");
+        assert!(w.mean_us.is_nan());
+        // Finite stats stay exact when no NaN is present.
+        let w = WaitingStats::from_samples(vec![3.0, 1.0]);
+        assert_eq!(w.max_us, 3.0);
     }
 
     #[test]

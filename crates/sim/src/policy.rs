@@ -126,6 +126,9 @@ pub struct IntegralController {
     gains: Vec<f64>,
     commands: Vec<f64>,
     last_err_sign: Vec<f64>,
+    /// [`Platform::identity`] the integrator state was accumulated on;
+    /// `None` until the first window.
+    platform_identity: Option<u64>,
 }
 
 impl IntegralController {
@@ -138,6 +141,7 @@ impl IntegralController {
             gains: Vec::new(),
             commands: Vec::new(),
             last_err_sign: Vec::new(),
+            platform_identity: None,
         }
     }
 
@@ -167,11 +171,19 @@ impl DfsPolicy for IntegralController {
 
     fn frequencies(&mut self, obs: &Observation, platform: &Platform) -> Vec<f64> {
         let n = platform.num_cores();
-        if self.commands.len() != n {
-            // First window: start every integrator mid-range.
+        // Reset on platform *identity*, not core count: reusing one
+        // controller across same-width platforms (e.g. niagara8 →
+        // biglittle8) used to carry stale commands and adapted gains —
+        // tuned to the old platform's clocks and thermals — into the new
+        // one.
+        let identity = platform.identity();
+        if self.platform_identity != Some(identity) {
+            // First window on this platform: start every integrator
+            // mid-range with fresh gains.
             self.commands = (0..n).map(|i| 0.5 * platform.core_fmax(i)).collect();
             self.gains = vec![self.base_gain; n];
             self.last_err_sign = vec![0.0; n];
+            self.platform_identity = Some(identity);
         }
         let demand = obs.required_avg_freq_hz.min(platform.fmax_hz);
         let mut out = Vec::with_capacity(n);
@@ -305,6 +317,46 @@ mod tests {
         // Low demand caps the output regardless of the integrator state.
         let f = c.frequencies(&obs(vec![40.0; 8], 0.2e9), &p);
         assert!(f.iter().all(|&x| x <= 0.2e9 + 1.0));
+    }
+
+    #[test]
+    fn integral_controller_resets_on_platform_change_same_core_count() {
+        // niagara8 and biglittle8 are both 8-wide: the old count-keyed
+        // reset carried niagara-tuned commands and grown gains into the
+        // big.LITTLE platform.
+        let niagara = Platform::niagara8();
+        let biglittle = Platform::biglittle8();
+        assert_eq!(niagara.num_cores(), biglittle.num_cores());
+        assert_ne!(niagara.identity(), biglittle.identity());
+
+        let mut c = IntegralController::new(99.0, 5.0e7);
+        // Ramp hard on niagara: grown gains, near-fmax commands.
+        for _ in 0..100 {
+            let _ = c.frequencies(&obs(vec![40.0; 8], 2.0e9), &niagara);
+        }
+        assert!(c.gains[0] > 5.0e7, "gain must have grown on niagara");
+        let carried_gains = c.gains.clone();
+
+        // First window on biglittle must start from a clean slate…
+        let f = c.frequencies(&obs(vec![98.0; 8], 2.0e9), &biglittle);
+        assert_ne!(c.gains, carried_gains, "gains must reset on new platform");
+        assert_eq!(c.gains, vec![5.0e7; 8], "fresh base gains");
+        // …with commands re-seeded mid-range *per core* of the new
+        // platform (little cores' mid-range is below their 750 MHz cap,
+        // far from the carried-over niagara commands at ~1 GHz).
+        let err = 99.0 - 98.0;
+        let expect_little = (0.5 * biglittle.core_fmax(4) + 5.0e7 * err).min(2.0e9);
+        assert!(
+            (f[4] - expect_little).abs() < 1.0,
+            "little-core command must restart mid-range: {} vs {expect_little}",
+            f[4]
+        );
+
+        // Same platform again: no reset, the integrator keeps moving.
+        let g_before = c.gains.clone();
+        let _ = c.frequencies(&obs(vec![98.0; 8], 2.0e9), &biglittle);
+        let _ = c.frequencies(&obs(vec![98.0; 8], 2.0e9), &biglittle);
+        assert!(c.gains[0] > g_before[0], "same platform must not reset");
     }
 
     #[test]
