@@ -25,12 +25,15 @@
 use std::time::Instant;
 
 use protemp::prelude::*;
-use protemp::{solve_assignment, AssignmentContext, BuildStats, TableStore};
+use protemp::{solve_assignment, AssignmentContext, BuildStats, LadderController, TableStore};
 use protemp_bench::{
     control_config, platform, results_dir, screened_window_latency, serve_bench, write_csv,
     write_text, FIGURE_SEED,
 };
-use protemp_sim::{run_simulation, FirstIdle, IntegralController, SimConfig};
+use protemp_sim::{
+    run_simulation, run_simulation_with_faults, FaultCampaign, FaultClass, FirstIdle,
+    IntegralController, SimConfig,
+};
 use protemp_workload::{BenchmarkProfile, TraceGenerator};
 
 /// The paper's Figure 4 grid: 30–100 °C at 10 °C steps × 100–1000 MHz.
@@ -364,6 +367,94 @@ fn scenario_sweep() -> String {
     format!("  \"scenarios\": {{\n{}\n  }}", body.join(",\n"))
 }
 
+/// Deadline-bounded degraded-mode section: the ladder controller driven
+/// through a seeded fault campaign covering every fault class. The
+/// robustness contract is asserted here — zero temperature-cap
+/// violations, every tick inside the fixed Newton deadline (the
+/// deterministic worst-case-latency bound), and the ladder back at full
+/// MPC for the majority of the run — before the numbers are written, so
+/// the published telemetry can't drift from what was checked.
+fn fault_campaign_section(table: &FrequencyTable) -> String {
+    const TICK_BUDGET: usize = 2000;
+    let platform = platform();
+    let ctx = AssignmentContext::new(&platform, &control_config()).expect("fault ctx");
+    let mut policy = LadderController::with_table(ctx, table.clone(), TICK_BUDGET);
+    let trace = TraceGenerator::new(FIGURE_SEED + 13).generate(
+        &BenchmarkProfile::web_serving(),
+        3.0,
+        platform.num_cores(),
+    );
+    let campaign = FaultCampaign::seeded(0xFA17, &FaultClass::ALL, 25, 1);
+    let sim_cfg = SimConfig {
+        max_duration_s: 4.0,
+        ..SimConfig::default()
+    };
+    let report = run_simulation_with_faults(
+        &platform,
+        &trace,
+        &mut policy,
+        &mut FirstIdle,
+        &sim_cfg,
+        Some(&campaign),
+    )
+    .expect("fault-campaign sim");
+    let telemetry = policy.telemetry();
+    let cap_violations = report.violation_fraction + report.cap_violation_fraction;
+    assert_eq!(
+        cap_violations, 0.0,
+        "the fault campaign must complete with zero temperature-cap violations"
+    );
+    assert_eq!(
+        telemetry.budget_overruns, 0,
+        "every tick must stay within the {TICK_BUDGET}-step Newton deadline \
+         (worst observed {})",
+        telemetry.max_tick_newton
+    );
+    assert!(telemetry.max_tick_newton <= TICK_BUDGET);
+    assert!(
+        !report.ladder_occupancy.is_empty() && report.ladder_occupancy[0] > 0.5,
+        "the ladder must return to full MPC between episodes: {:?}",
+        report.ladder_occupancy
+    );
+    println!(
+        "quick fault campaign: {} episodes over {} windows; occupancy {:?}; \
+         recovery p99 {:.0} ticks; worst tick {} newton steps (budget {TICK_BUDGET}); \
+         {} dropped / {} late ticks; cap violations {:.4}%",
+        campaign.episodes().len(),
+        report.windows,
+        report.ladder_occupancy,
+        report.fault_recovery_ticks_p99,
+        telemetry.max_tick_newton,
+        report.dropped_ticks,
+        report.late_ticks,
+        cap_violations * 100.0,
+    );
+    let occupancy: Vec<String> = report
+        .ladder_occupancy
+        .iter()
+        .map(|f| format!("{f:.6}"))
+        .collect();
+    format!(
+        "  \"ladder_occupancy\": [{}],\n  \
+         \"fault_recovery_ticks_p99\": {:.1},\n  \
+         \"cap_violations_under_faults\": {:.6},\n  \
+         \"fault_campaign\": {{\"episodes\": {}, \"windows\": {}, \
+         \"tick_budget\": {TICK_BUDGET}, \"max_tick_newton\": {}, \
+         \"budget_overruns\": {}, \"truncated_serves\": {}, \
+         \"dropped_ticks\": {}, \"late_ticks\": {}}}",
+        occupancy.join(", "),
+        report.fault_recovery_ticks_p99,
+        cap_violations,
+        campaign.episodes().len(),
+        report.windows,
+        telemetry.max_tick_newton,
+        telemetry.budget_overruns,
+        telemetry.truncated_serves,
+        report.dropped_ticks,
+        report.late_ticks,
+    )
+}
+
 fn quick_run() {
     let ctx = AssignmentContext::new(&platform(), &control_config()).expect("ctx");
     let (table, stats) = quick_grid().build(&ctx).expect("quick build");
@@ -503,10 +594,14 @@ fn quick_run() {
     println!("\nScenario A/B (integral baseline vs convex controller):");
     let scenarios_json = scenario_sweep();
 
+    // Degraded-mode fault campaign: the ladder under every fault class
+    // (CI asserts zero cap violations and bounded tick latency off this).
+    let fault_json = fault_campaign_section(&table);
+
     let json = format!(
         "{{\n  \"bench\": \"tab_solver_runtime_quick\",\n  \"platform\": \"niagara8\",\n  \
          \"grid_rows\": {},\n  \"grid_cols\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n\
-         {scenarios_json},\n  \
+         {scenarios_json},\n{fault_json},\n  \
          \"screened_window_s\": {:.6},\n  \"bisection_window_s\": {:.6},\n  \
          \"screened_windows\": {screened_windows},\n  \
          \"pruning_cold_wall_ratio\": {:.4},\n  \

@@ -535,6 +535,14 @@ pub struct SolvedPoint {
 /// solves in a sweep) and the solution when the point is feasible.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointOutcome {
+    /// Raw solver verdict for the point. `Optimal` and `Infeasible` are
+    /// certified; `Budgeted` marks a deterministic tick-budget truncation
+    /// ([`protemp_cvx::SolverOptions::tick_budget`]) whose `solution` — if
+    /// present — is a strictly feasible but non-optimal iterate, and
+    /// whose absence means the verdict is *undecided*, not proven
+    /// infeasible. Screened points report `Infeasible` (the certificate
+    /// is a proof).
+    pub status: SolveStatus,
     /// Newton steps the solve consumed (phases I and II; 0 when the point
     /// was screened).
     pub newton_steps: usize,
@@ -658,6 +666,20 @@ fn assemble_point_outcome(
 ) -> PointOutcome {
     match status {
         SolveStatus::Infeasible => PointOutcome {
+            status,
+            newton_steps,
+            phase1_steps,
+            screened: false,
+            rows_pruned,
+            polished,
+            reentry,
+            solution: None,
+        },
+        // A budget that died inside phase I leaves no point at all: the
+        // verdict is undecided and there is nothing to extract (indexing
+        // the empty `x` below would panic).
+        SolveStatus::Budgeted if x.is_empty() => PointOutcome {
+            status,
             newton_steps,
             phase1_steps,
             screened: false,
@@ -683,6 +705,7 @@ fn assemble_point_outcome(
                 objective,
             };
             PointOutcome {
+                status,
                 newton_steps,
                 phase1_steps,
                 screened: false,
@@ -1215,6 +1238,8 @@ impl<'a> PointSolver<'a> {
         self.batch.last_time = None;
         if screen && self.screening && !self.pool.is_empty() && self.screen_current() {
             return Ok(PointOutcome {
+                // A certificate screen is a proof of infeasibility.
+                status: SolveStatus::Infeasible,
                 newton_steps: 0,
                 phase1_steps: 0,
                 screened: true,

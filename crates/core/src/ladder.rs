@@ -1,0 +1,632 @@
+//! Deadline-bounded degraded-mode control: the fallback ladder.
+//!
+//! [`LadderController`] wraps the MPC-style online solve in a fixed
+//! sequence of fallback rungs so that *every* DFS tick produces a safe
+//! frequency vector within a deterministic iteration budget, whatever
+//! fails — the solver, the sensors, or the table artifacts:
+//!
+//! 0. **Full MPC** — the convex program solved to a certified optimum.
+//! 1. **Truncated solve** — the tick budget ran out mid-solve; the
+//!    barrier's iterate is strictly feasible (it satisfies every thermal
+//!    and workload constraint), merely suboptimal in power.
+//! 2. **Table policy** — a Phase-1 certified [`FrequencyTable`] entry at
+//!    a grid row at or above the measured temperature (served directly or
+//!    through a [`TableReader`]).
+//! 3. **Integral baseline** — the only uncertified rung: a clamped
+//!    integral law, reachable only when *no* table covers the measured
+//!    temperature, guard-banded (`INTEGRAL_GUARD_C` below the cap) and
+//!    clamped to the demanded frequency.
+//! 4. **Thermal-safe shutdown** — 0 Hz on every core, trivially safe.
+//!
+//! Every rung only rounds frequency *down* relative to a certified
+//! answer: rungs 0–1 satisfy the full constraint set, rung 2 is a
+//! certified entry keyed conservatively by the maximum temperature, rung
+//! 3 never exceeds the demand, and rung 4 serves nothing at all.
+//!
+//! Transient solver failures (an `Err` from the solve, or a budget
+//! truncation that decided nothing) trigger an exponential backoff: the
+//! controller serves from the table for 1, 2, 4, … windows (capped)
+//! before retrying the MPC rung, and a certified optimum resets the
+//! backoff. Per-tick telemetry — rung occupancy, Newton spend, budget
+//! overruns — is exposed through [`LadderTelemetry`] and the simulator's
+//! `DfsPolicy::ladder_level` hook.
+
+use std::sync::Arc;
+
+use protemp_cvx::{Certificate, FamilySolver, SolveStatus};
+use protemp_sim::{DfsPolicy, Observation, Platform};
+
+use crate::assign::{solve_family_cell, CertPool, OffsetsCache};
+use crate::{AssignmentContext, FrequencyTable, LookupRef, ServedLookup, TableReader};
+
+/// °C added to the last good reading when a sensor goes non-finite: the
+/// table rung is then keyed by a conservative (hotter) temperature.
+const NAN_SENSOR_MARGIN_C: f64 = 3.0;
+
+/// Guard band below the temperature cap inside which the uncertified
+/// integral rung abdicates to shutdown.
+const INTEGRAL_GUARD_C: f64 = 2.0;
+
+/// Longest MPC backoff, in DFS windows.
+const MAX_BACKOFF_WINDOWS: u64 = 8;
+
+/// Integral-rung gain as a fraction of `f_max` per °C of headroom.
+const INTEGRAL_GAIN_PER_C: f64 = 0.01;
+
+/// One rung of the degradation ladder, ordered from full capability to
+/// full shutdown. The numeric value is what
+/// `DfsPolicy::ladder_level` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LadderRung {
+    /// Certified optimal MPC solve.
+    FullMpc = 0,
+    /// Deadline-truncated solve: strictly feasible, suboptimal.
+    TruncatedSolve = 1,
+    /// Phase-1 certified table entry.
+    TablePolicy = 2,
+    /// Uncertified guard-banded integral baseline.
+    Integral = 3,
+    /// Thermal-safe shutdown (0 Hz everywhere).
+    Shutdown = 4,
+}
+
+impl LadderRung {
+    /// All rungs, top (most capable) first.
+    pub const ALL: [LadderRung; 5] = [
+        LadderRung::FullMpc,
+        LadderRung::TruncatedSolve,
+        LadderRung::TablePolicy,
+        LadderRung::Integral,
+        LadderRung::Shutdown,
+    ];
+}
+
+/// Where the certified table rung gets its answers.
+#[derive(Debug)]
+enum TableSource {
+    /// No table available: the ladder skips straight to the integral rung.
+    None,
+    /// An owned Phase-1 table.
+    Direct(FrequencyTable),
+    /// A serving-tier reader (multi-resolution, refreshed snapshots).
+    Service(TableReader),
+}
+
+/// What the table rung answered before rung assignment.
+enum TableAnswer {
+    Freqs(Vec<f64>),
+    Shutdown,
+    Miss,
+}
+
+/// Outcome of the MPC rung's bisection.
+enum MpcOutcome {
+    /// A usable frequency vector, at the given rung (0 or 1).
+    Served(Vec<f64>, LadderRung),
+    /// Every probe down to 1% of `f_max` was *certified* infeasible.
+    CertifiedShutdown,
+    /// The solver erred or the budget expired undecided: fall down the
+    /// ladder and back off.
+    Degrade,
+}
+
+/// Per-run ladder telemetry counters (all monotone).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LadderTelemetry {
+    /// DFS ticks served.
+    pub ticks: u64,
+    /// Ticks served per rung (index = [`LadderRung`] value).
+    pub rung_counts: [u64; 5],
+    /// Ticks served from a deadline-truncated (rung 1) solve.
+    pub truncated_serves: u64,
+    /// Bisection probes rejected as certified infeasible (solve or screen).
+    pub infeasible_probes: u64,
+    /// Probes rejected by a pooled certificate in one matvec.
+    pub screened_probes: u64,
+    /// Solver `Err` returns (transient failures that trigger backoff).
+    pub solver_errors: u64,
+    /// Backoff episodes scheduled.
+    pub backoffs: u64,
+    /// Table-rung lookups with no covering table.
+    pub table_misses: u64,
+    /// Largest Newton spend of any single tick.
+    pub max_tick_newton: usize,
+    /// Ticks whose Newton spend exceeded the configured budget. Always 0
+    /// when the budget is honored (the fault-campaign bench asserts it).
+    pub budget_overruns: u64,
+}
+
+/// The degraded-mode controller (see the module docs for the ladder).
+///
+/// Construct with [`LadderController::new`] (solver-only),
+/// [`LadderController::with_table`] (plus an owned certified table) or
+/// [`LadderController::with_service`] (plus a serving-tier reader); a
+/// non-zero `tick_budget` caps the *total* Newton steps any single tick
+/// may spend across all of its bisection probes.
+#[derive(Debug)]
+pub struct LadderController {
+    ctx: AssignmentContext,
+    solver: FamilySolver,
+    rhs: Vec<f64>,
+    offsets: OffsetsCache,
+    pool: CertPool,
+    last_x: Option<Vec<f64>>,
+    table: TableSource,
+    tick_budget: usize,
+    /// Newton steps spent inside the current tick.
+    tick_newton: usize,
+    /// Integral-rung command, Hz (clamped — the anti-windup).
+    integral_cmd_hz: f64,
+    /// First window at which the MPC rung may be retried.
+    backoff_until_window: u64,
+    /// Current backoff length, windows (0 = no failure since last reset).
+    backoff_len: u64,
+    /// Set by `DfsPolicy::inject_solver_timeout`; consumed by the next tick.
+    forced_timeout: bool,
+    /// Last finite max-core-temperature observed, °C.
+    last_good_temp_c: f64,
+    last_rung: LadderRung,
+    telemetry: LadderTelemetry,
+}
+
+impl LadderController {
+    /// Creates a ladder with no table rung (misses fall to the integral
+    /// baseline). `tick_budget` of 0 disables the deadline.
+    pub fn new(ctx: AssignmentContext, tick_budget: usize) -> Self {
+        Self::build(ctx, tick_budget, TableSource::None)
+    }
+
+    /// As [`LadderController::new`], with an owned Phase-1 table backing
+    /// the certified table rung.
+    pub fn with_table(ctx: AssignmentContext, table: FrequencyTable, tick_budget: usize) -> Self {
+        Self::build(ctx, tick_budget, TableSource::Direct(table))
+    }
+
+    /// As [`LadderController::new`], with a serving-tier reader backing
+    /// the certified table rung.
+    pub fn with_service(ctx: AssignmentContext, reader: TableReader, tick_budget: usize) -> Self {
+        Self::build(ctx, tick_budget, TableSource::Service(reader))
+    }
+
+    fn build(ctx: AssignmentContext, tick_budget: usize, table: TableSource) -> Self {
+        let mut opts = *ctx.solver_options();
+        opts.tick_budget = tick_budget;
+        let solver = FamilySolver::new(Arc::clone(ctx.family()), opts);
+        // Before the first reading arrives, assume the worst: a NaN-first
+        // run keys the table at the cap and shuts down if nothing covers.
+        let last_good_temp_c = ctx.config().tmax_c;
+        LadderController {
+            ctx,
+            solver,
+            rhs: Vec::new(),
+            offsets: OffsetsCache::default(),
+            pool: CertPool::default(),
+            last_x: None,
+            table,
+            tick_budget,
+            tick_newton: 0,
+            integral_cmd_hz: 0.0,
+            backoff_until_window: 0,
+            backoff_len: 0,
+            forced_timeout: false,
+            last_good_temp_c,
+            last_rung: LadderRung::FullMpc,
+            telemetry: LadderTelemetry::default(),
+        }
+    }
+
+    /// Seeds the screening pool with certificates from a prior build.
+    pub fn preload_certificates(&mut self, certs: impl IntoIterator<Item = Certificate>) {
+        self.pool.preload(certs);
+    }
+
+    /// Replaces the per-tick Newton budget (0 disables it).
+    pub fn set_tick_budget(&mut self, budget: usize) {
+        self.tick_budget = budget;
+        self.solver.set_tick_budget(budget);
+    }
+
+    /// The configured per-tick Newton budget (0 = unlimited).
+    pub fn tick_budget(&self) -> usize {
+        self.tick_budget
+    }
+
+    /// The rung the most recent tick was served from.
+    pub fn last_rung(&self) -> LadderRung {
+        self.last_rung
+    }
+
+    /// Snapshot of the ladder's telemetry counters.
+    pub fn telemetry(&self) -> LadderTelemetry {
+        self.telemetry
+    }
+
+    fn schedule_backoff(&mut self, window: u64) {
+        self.backoff_len = if self.backoff_len == 0 {
+            1
+        } else {
+            (self.backoff_len * 2).min(MAX_BACKOFF_WINDOWS)
+        };
+        self.backoff_until_window = window + 1 + self.backoff_len;
+        self.telemetry.backoffs += 1;
+    }
+
+    /// Rungs 0–1: the budgeted bisection over the convex program.
+    fn mpc_rung(&mut self, obs: &Observation, platform: &Platform) -> MpcOutcome {
+        let mut target = obs.required_avg_freq_hz.min(platform.fmax_hz);
+        for _ in 0..6 {
+            if self.tick_budget > 0 {
+                // Grant each probe only what the tick has left, so the
+                // whole bisection — not just one solve — honors the
+                // deadline.
+                let remaining = self.tick_budget.saturating_sub(self.tick_newton);
+                if remaining == 0 {
+                    return MpcOutcome::Degrade;
+                }
+                self.solver.set_tick_budget(remaining);
+            }
+            let off = self.offsets.get(&self.ctx, obs.max_core_temp);
+            self.ctx.point_rhs_into(off, target, &mut self.rhs);
+            if self
+                .pool
+                .screen_view(self.solver.family().view_with(&self.rhs))
+            {
+                self.telemetry.screened_probes += 1;
+                self.telemetry.infeasible_probes += 1;
+                target *= 0.5;
+                if target < platform.fmax_hz * 0.01 {
+                    return MpcOutcome::CertifiedShutdown;
+                }
+                continue;
+            }
+            match solve_family_cell(
+                &self.ctx,
+                &mut self.solver,
+                &self.rhs,
+                target,
+                self.last_x.as_deref(),
+                None,
+            ) {
+                Ok((outcome, cert)) => {
+                    self.tick_newton += outcome.newton_steps;
+                    if let Some(cert) = cert {
+                        self.pool.remember(cert);
+                    }
+                    match (outcome.status, outcome.solution) {
+                        // `MaxIterations` is the unbudgeted solver's
+                        // natural termination at some design points (gap
+                        // above tol after the outer cap) — the same
+                        // answer `OnlineController` has always served.
+                        // Only a deadline truncation is rung 1.
+                        (SolveStatus::Optimal | SolveStatus::MaxIterations, Some(p)) => {
+                            // A full solve heals the ladder: reset the
+                            // backoff ramp.
+                            self.backoff_len = 0;
+                            self.last_x = Some(p.x);
+                            return MpcOutcome::Served(p.assignment.freqs_hz, LadderRung::FullMpc);
+                        }
+                        // A truncated iterate is strictly feasible — every
+                        // thermal and workload constraint holds — just not
+                        // power-optimal. Serve it rather than degrade.
+                        (SolveStatus::Budgeted, Some(p)) => {
+                            self.telemetry.truncated_serves += 1;
+                            self.last_x = Some(p.x);
+                            return MpcOutcome::Served(
+                                p.assignment.freqs_hz,
+                                LadderRung::TruncatedSolve,
+                            );
+                        }
+                        (SolveStatus::Infeasible, _) => {
+                            self.telemetry.infeasible_probes += 1;
+                            target *= 0.5;
+                            if target < platform.fmax_hz * 0.01 {
+                                return MpcOutcome::CertifiedShutdown;
+                            }
+                        }
+                        // Budgeted with no point: the deadline expired
+                        // before phase I decided anything.
+                        _ => return MpcOutcome::Degrade,
+                    }
+                }
+                Err(_) => {
+                    self.telemetry.solver_errors += 1;
+                    return MpcOutcome::Degrade;
+                }
+            }
+        }
+        MpcOutcome::CertifiedShutdown
+    }
+
+    /// Rung 2 (falling through to 3/4): certified table lookup.
+    fn table_rung(
+        &mut self,
+        temp_c: f64,
+        demand_hz: f64,
+        platform: &Platform,
+    ) -> (Vec<f64>, LadderRung) {
+        let n = platform.num_cores();
+        let answer = match &mut self.table {
+            TableSource::Service(reader) => match reader.lookup_served(temp_c, demand_hz) {
+                ServedLookup::Covered(LookupRef::Run { freqs_hz, .. }) => {
+                    TableAnswer::Freqs(freqs_hz.to_vec())
+                }
+                ServedLookup::Covered(LookupRef::Shutdown) => TableAnswer::Shutdown,
+                ServedLookup::NoCoveringTable => TableAnswer::Miss,
+            },
+            TableSource::Direct(table) => {
+                // Same covering rule as the serving tier: the hottest grid
+                // row must round the measurement up (false for NaN).
+                let covers = table
+                    .tstarts_c()
+                    .last()
+                    .is_some_and(|&hottest| temp_c <= hottest);
+                if covers {
+                    match table.lookup_ref(temp_c, demand_hz) {
+                        LookupRef::Run { freqs_hz, .. } => TableAnswer::Freqs(freqs_hz.to_vec()),
+                        LookupRef::Shutdown => TableAnswer::Shutdown,
+                    }
+                } else {
+                    TableAnswer::Miss
+                }
+            }
+            TableSource::None => TableAnswer::Miss,
+        };
+        match answer {
+            TableAnswer::Freqs(f) => (f, LadderRung::TablePolicy),
+            // An in-grid shutdown is an honest certified verdict that no
+            // safe operating point exists — respect it, don't fall past it.
+            TableAnswer::Shutdown => (vec![0.0; n], LadderRung::Shutdown),
+            TableAnswer::Miss => {
+                self.telemetry.table_misses += 1;
+                self.integral_rung(temp_c, demand_hz, platform)
+            }
+        }
+    }
+
+    /// Rung 3 (falling through to 4): the uncertified integral baseline.
+    fn integral_rung(
+        &mut self,
+        temp_c: f64,
+        demand_hz: f64,
+        platform: &Platform,
+    ) -> (Vec<f64>, LadderRung) {
+        let n = platform.num_cores();
+        let ceiling_c = self.ctx.config().tmax_c - INTEGRAL_GUARD_C;
+        // Anything not provably inside the guard band — NaN included —
+        // shuts down.
+        if !temp_c.is_finite() || temp_c >= ceiling_c {
+            self.integral_cmd_hz = 0.0;
+            return (vec![0.0; n], LadderRung::Shutdown);
+        }
+        let headroom_c = ceiling_c - temp_c;
+        // Clamping the integrator *is* the anti-windup: the command can
+        // never wind past what the actuator delivers.
+        self.integral_cmd_hz = (self.integral_cmd_hz
+            + INTEGRAL_GAIN_PER_C * platform.fmax_hz * headroom_c)
+            .clamp(0.0, platform.fmax_hz);
+        let f = self.integral_cmd_hz.min(demand_hz.max(0.0));
+        (
+            (0..n).map(|i| f.min(platform.core_fmax(i))).collect(),
+            LadderRung::Integral,
+        )
+    }
+}
+
+impl DfsPolicy for LadderController {
+    fn name(&self) -> &str {
+        "pro-temp-ladder"
+    }
+
+    fn frequencies(&mut self, obs: &Observation, platform: &Platform) -> Vec<f64> {
+        self.telemetry.ticks += 1;
+        self.tick_newton = 0;
+        let demand = obs.required_avg_freq_hz.min(platform.fmax_hz);
+        let window = obs.window_index;
+        let forced = std::mem::take(&mut self.forced_timeout);
+
+        let (freqs, rung) = if !obs.max_core_temp.is_finite() {
+            // A poisoned sensor can key neither the solver nor an honest
+            // table row at face value: serve the table at a conservative
+            // (hotter) temperature derived from the last good reading.
+            let t = self.last_good_temp_c + NAN_SENSOR_MARGIN_C;
+            self.table_rung(t, demand, platform)
+        } else {
+            self.last_good_temp_c = obs.max_core_temp;
+            if forced {
+                self.schedule_backoff(window);
+                self.table_rung(obs.max_core_temp, demand, platform)
+            } else if window < self.backoff_until_window {
+                self.table_rung(obs.max_core_temp, demand, platform)
+            } else {
+                match self.mpc_rung(obs, platform) {
+                    MpcOutcome::Served(f, rung) => (f, rung),
+                    MpcOutcome::CertifiedShutdown => {
+                        // The carried optimum was solved for a different
+                        // (halved) target — drop it.
+                        self.last_x = None;
+                        (vec![0.0; platform.num_cores()], LadderRung::Shutdown)
+                    }
+                    MpcOutcome::Degrade => {
+                        self.last_x = None;
+                        self.schedule_backoff(window);
+                        self.table_rung(obs.max_core_temp, demand, platform)
+                    }
+                }
+            }
+        };
+
+        if self.tick_budget > 0 && self.tick_newton > self.tick_budget {
+            self.telemetry.budget_overruns += 1;
+        }
+        self.telemetry.max_tick_newton = self.telemetry.max_tick_newton.max(self.tick_newton);
+        self.telemetry.rung_counts[rung as usize] += 1;
+        self.last_rung = rung;
+        freqs
+    }
+
+    fn ladder_level(&self) -> Option<u8> {
+        Some(self.last_rung as u8)
+    }
+
+    fn inject_solver_timeout(&mut self) {
+        self.forced_timeout = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControlConfig, FreqMode, FrequencyAssignment};
+
+    fn ctx() -> AssignmentContext {
+        AssignmentContext::new(&Platform::niagara8(), &ControlConfig::default()).unwrap()
+    }
+
+    fn obs_at(window: u64, max_temp: f64, f_req: f64) -> Observation {
+        Observation {
+            window_index: window,
+            core_temps: vec![max_temp; 8],
+            max_core_temp: max_temp,
+            required_avg_freq_hz: f_req,
+            queue_len: 0,
+            backlog_work_us: 0.0,
+            utilization: vec![0.5; 8],
+        }
+    }
+
+    fn wide_table() -> FrequencyTable {
+        let asg = |mhz: f64| {
+            Some(FrequencyAssignment {
+                freqs_hz: vec![mhz * 1e6; 8],
+                powers_w: vec![1.0; 8],
+                tgrad_c: None,
+                objective: 8.0,
+            })
+        };
+        FrequencyTable::new(
+            vec![70.0, 110.0],
+            vec![0.3e9, 0.8e9],
+            vec![asg(300.0), asg(800.0), asg(300.0), None],
+            FreqMode::Variable,
+        )
+    }
+
+    #[test]
+    fn healthy_window_serves_full_mpc() {
+        let platform = Platform::niagara8();
+        let mut c = LadderController::new(ctx(), 0);
+        let f = c.frequencies(&obs_at(0, 60.0, 0.5e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::FullMpc);
+        assert_eq!(c.ladder_level(), Some(0));
+        let avg = f.iter().sum::<f64>() / f.len() as f64;
+        assert!(avg >= 0.5e9 * 0.99, "avg {avg}");
+        assert_eq!(c.telemetry().rung_counts[0], 1);
+    }
+
+    #[test]
+    fn tiny_budget_truncates_to_rung_one_and_recovers() {
+        let platform = Platform::niagara8();
+        let mut c = LadderController::new(ctx(), 0);
+        // Window 0: unbudgeted certified solve establishes a warm point.
+        let _ = c.frequencies(&obs_at(0, 60.0, 0.5e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::FullMpc);
+        // Window 1: cooler chip, lower demand — the warm iterate stays
+        // feasible but the optimum moved, and a 1-Newton-step deadline
+        // cannot re-center it. The iterate is still feasible — rung 1,
+        // not a degrade.
+        c.set_tick_budget(1);
+        let f = c.frequencies(&obs_at(1, 58.0, 0.35e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::TruncatedSolve);
+        assert!(f.iter().all(|x| x.is_finite() && *x >= 0.0));
+        let t = c.telemetry();
+        assert_eq!(t.truncated_serves, 1);
+        // `max_tick_newton` spans the unbudgeted window 0 too — the
+        // budgeted window's deadline is what `budget_overruns` audits.
+        assert_eq!(t.budget_overruns, 0);
+        // Window 2: deadline lifted — straight back to full MPC.
+        c.set_tick_budget(0);
+        let _ = c.frequencies(&obs_at(2, 58.0, 0.35e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::FullMpc);
+    }
+
+    #[test]
+    fn forced_timeout_serves_table_then_backs_off_then_recovers() {
+        let platform = Platform::niagara8();
+        let mut c = LadderController::with_table(ctx(), wide_table(), 0);
+        c.inject_solver_timeout();
+        let f = c.frequencies(&obs_at(0, 60.0, 0.3e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::TablePolicy);
+        assert!((f[0] - 0.3e9).abs() < 1.0, "table column served");
+        // Window 1 is inside the backoff: still the table rung.
+        let _ = c.frequencies(&obs_at(1, 60.0, 0.3e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::TablePolicy);
+        // Window 2: backoff expired, MPC retried and certified.
+        let _ = c.frequencies(&obs_at(2, 60.0, 0.3e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::FullMpc);
+        assert_eq!(c.telemetry().backoffs, 1);
+    }
+
+    #[test]
+    fn nan_sensor_uses_conservative_table_row() {
+        let platform = Platform::niagara8();
+        let mut c = LadderController::with_table(ctx(), wide_table(), 0);
+        // Establish a last good reading.
+        let _ = c.frequencies(&obs_at(0, 60.0, 0.3e9), &platform);
+        // NaN sensor: table keyed at 60 + margin, still covered → rung 2.
+        let f = c.frequencies(&obs_at(1, f64::NAN, 0.3e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::TablePolicy);
+        assert!(f.iter().all(|x| x.is_finite()));
+        // Healthy again: back to full MPC.
+        let _ = c.frequencies(&obs_at(2, 60.0, 0.3e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::FullMpc);
+    }
+
+    #[test]
+    fn nan_sensor_without_table_shuts_down_from_cold_start() {
+        let platform = Platform::niagara8();
+        let mut c = LadderController::new(ctx(), 0);
+        // First-ever window reads NaN: last-good defaults to the cap, the
+        // integral guard refuses, the ladder lands on shutdown.
+        let f = c.frequencies(&obs_at(0, f64::NAN, 0.5e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::Shutdown);
+        assert!(f.iter().all(|&x| x == 0.0));
+        assert_eq!(c.telemetry().table_misses, 1);
+    }
+
+    #[test]
+    fn no_table_miss_falls_to_guarded_integral() {
+        let platform = Platform::niagara8();
+        let mut c = LadderController::new(ctx(), 0);
+        // Healthy window first so last-good is cool.
+        let _ = c.frequencies(&obs_at(0, 60.0, 0.5e9), &platform);
+        c.inject_solver_timeout();
+        let f = c.frequencies(&obs_at(1, 60.0, 0.5e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::Integral);
+        assert!(f.iter().all(|x| x.is_finite() && *x >= 0.0));
+        let avg = f.iter().sum::<f64>() / f.len() as f64;
+        assert!(avg <= 0.5e9 + 1.0, "integral rung never exceeds demand");
+    }
+
+    #[test]
+    fn integral_rung_abdicates_near_the_cap() {
+        let platform = Platform::niagara8();
+        let mut c = LadderController::new(ctx(), 0);
+        let _ = c.frequencies(&obs_at(0, 60.0, 0.5e9), &platform);
+        c.inject_solver_timeout();
+        // 99 °C is inside the guard band of the 100 °C cap.
+        let f = c.frequencies(&obs_at(1, 99.0, 0.5e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::Shutdown);
+        assert!(f.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn certified_infeasible_all_the_way_down_shuts_down() {
+        let platform = Platform::niagara8();
+        let mut c = LadderController::new(ctx(), 0);
+        let f = c.frequencies(&obs_at(0, 150.0, 0.5e9), &platform);
+        assert_eq!(c.last_rung(), LadderRung::Shutdown);
+        assert!(f.iter().all(|&x| x == 0.0));
+        assert!(c.telemetry().infeasible_probes >= 1);
+    }
+}

@@ -49,6 +49,7 @@ mod builder;
 mod controller;
 mod error;
 mod io;
+mod ladder;
 mod problem;
 mod serve;
 mod spec;
@@ -68,9 +69,10 @@ pub use error::ProTempError;
 pub use io::{
     read_certificates, read_table, read_table_v2, write_certificates, write_table, write_table_v2,
 };
+pub use ladder::{LadderController, LadderRung, LadderTelemetry};
 pub use problem::{build_problem, build_problem_modal};
 pub use protemp_cvx::{CertScratch, Certificate};
-pub use serve::{ServeSnapshot, ServedTableInfo, TableReader, TableService};
+pub use serve::{ServeSnapshot, ServedLookup, ServedTableInfo, TableReader, TableService};
 pub use spec::{ControlConfig, FreqMode};
 pub use store::TableStore;
 pub use table::{FrequencyTable, LookupOutcome, LookupRef};

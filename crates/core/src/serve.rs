@@ -99,6 +99,25 @@ pub struct ServedTableInfo {
     pub cols: usize,
 }
 
+/// Allocation-free serve-tier lookup result: distinguishes a covering
+/// table's honest answer from the service having *no covering table at
+/// all* — the miss the controller ladder degrades past the table rung on.
+/// The plain [`ServeSnapshot::lookup_ref`] path folds both cases into
+/// [`LookupRef::Shutdown`]; this typed form keeps them apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServedLookup<'a> {
+    /// The finest covering table answered. The answer may itself be
+    /// [`LookupRef::Shutdown`] — an honest in-grid verdict that no safe
+    /// operating point exists at this temperature, which a fallback
+    /// policy must respect.
+    Covered(LookupRef<'a>),
+    /// No table under the fingerprint covers the measured temperature:
+    /// the fingerprint group is empty (no artifacts served) or every
+    /// grid tops out below the measurement. A NaN measurement also lands
+    /// here — no grid can honestly cover it.
+    NoCoveringTable,
+}
+
 /// An immutable view of everything the service is serving at one instant.
 ///
 /// Snapshots are never mutated after publication: holding an
@@ -157,23 +176,42 @@ impl ServeSnapshot {
         max_core_temp_c: f64,
         required_freq_hz: f64,
     ) -> LookupRef<'_> {
+        match self.lookup_served(fingerprint, max_core_temp_c, required_freq_hz) {
+            ServedLookup::Covered(answer) => answer,
+            ServedLookup::NoCoveringTable => LookupRef::Shutdown,
+        }
+    }
+
+    /// As [`ServeSnapshot::lookup_ref`], but with the no-covering-table
+    /// miss kept as a typed [`ServedLookup::NoCoveringTable`] instead of
+    /// being folded into shutdown — the distinction the controller ladder
+    /// needs to pick its next rung (a covering table's shutdown is a
+    /// safety verdict; a miss only means this tier cannot answer).
+    pub fn lookup_served(
+        &self,
+        fingerprint: u64,
+        max_core_temp_c: f64,
+        required_freq_hz: f64,
+    ) -> ServedLookup<'_> {
         let Some(tables) = self.group(fingerprint) else {
-            return LookupRef::Shutdown;
+            return ServedLookup::NoCoveringTable;
         };
         for st in tables {
             // Covering: the hottest row can still round the measurement
             // up. (`<=` is false for NaN, which correctly falls through
-            // to Shutdown.)
+            // to the miss outcome.)
             let covers = st
                 .table
                 .tstarts_c()
                 .last()
                 .is_some_and(|&hottest| max_core_temp_c <= hottest);
             if covers {
-                return st.table.lookup_ref(max_core_temp_c, required_freq_hz);
+                return ServedLookup::Covered(
+                    st.table.lookup_ref(max_core_temp_c, required_freq_hz),
+                );
             }
         }
-        LookupRef::Shutdown
+        ServedLookup::NoCoveringTable
     }
 
     /// Owned-result variant of [`ServeSnapshot::lookup_ref`].
@@ -315,6 +353,7 @@ impl TableService {
         TableReader {
             fingerprint,
             cursor: Arc::clone(&*self.head.lock().expect("service lock poisoned")),
+            served_misses: 0,
         }
     }
 
@@ -379,6 +418,9 @@ impl TableService {
 pub struct TableReader {
     fingerprint: u64,
     cursor: Arc<Node>,
+    /// Lookups answered [`ServedLookup::NoCoveringTable`] — the served-miss
+    /// telemetry the controller ladder and capacity planning read.
+    served_misses: u64,
 }
 
 impl TableReader {
@@ -401,13 +443,39 @@ impl TableReader {
         &self.cursor.snapshot
     }
 
+    /// Lookups this reader answered with no covering table (either
+    /// through [`TableReader::lookup_served`] or folded into shutdown by
+    /// the plain lookup paths).
+    pub fn served_misses(&self) -> u64 {
+        self.served_misses
+    }
+
     /// Serving hot path: advance to the newest snapshot, then answer from
     /// the finest covering table — no lock, no allocation.
     pub fn lookup_ref(&mut self, max_core_temp_c: f64, required_freq_hz: f64) -> LookupRef<'_> {
+        match self.lookup_served(max_core_temp_c, required_freq_hz) {
+            ServedLookup::Covered(answer) => answer,
+            ServedLookup::NoCoveringTable => LookupRef::Shutdown,
+        }
+    }
+
+    /// Typed serving path: as [`TableReader::lookup_ref`] but keeping the
+    /// no-covering-table miss distinct (see [`ServedLookup`]); misses bump
+    /// [`TableReader::served_misses`].
+    pub fn lookup_served(
+        &mut self,
+        max_core_temp_c: f64,
+        required_freq_hz: f64,
+    ) -> ServedLookup<'_> {
         self.refresh();
-        self.cursor
-            .snapshot
-            .lookup_ref(self.fingerprint, max_core_temp_c, required_freq_hz)
+        let answer =
+            self.cursor
+                .snapshot
+                .lookup_served(self.fingerprint, max_core_temp_c, required_freq_hz);
+        if answer == ServedLookup::NoCoveringTable {
+            self.served_misses += 1;
+        }
+        answer
     }
 
     /// Owned-result variant of [`TableReader::lookup_ref`] (clones the
@@ -560,6 +628,41 @@ mod tests {
         // The old snapshot is immutable: same answer, bit for bit.
         assert_eq!(old.lookup(5, 70.0, 0.1e9), before);
         assert_eq!(old.generation() + 1, svc.snapshot().generation());
+    }
+
+    #[test]
+    fn served_miss_is_typed_and_counted() {
+        let svc = empty_service();
+        svc.publish("t", &artifact(7, vec![60.0, 90.0], vec![0.3e9]))
+            .unwrap();
+        let mut r = svc.reader(7);
+        // In-grid: a covered answer, no miss counted.
+        assert!(matches!(
+            r.lookup_served(70.0, 0.1e9),
+            ServedLookup::Covered(LookupRef::Run { .. })
+        ));
+        assert_eq!(r.served_misses(), 0);
+        // Hotter than every grid: a typed miss, distinct from an honest
+        // in-grid shutdown.
+        assert_eq!(r.lookup_served(95.0, 0.1e9), ServedLookup::NoCoveringTable);
+        assert_eq!(r.served_misses(), 1);
+        // NaN measurement: no grid can honestly cover it.
+        assert_eq!(
+            r.lookup_served(f64::NAN, 0.1e9),
+            ServedLookup::NoCoveringTable
+        );
+        assert_eq!(r.served_misses(), 2);
+        // The legacy path still folds misses into Shutdown — and still
+        // counts them.
+        assert_eq!(r.lookup(120.0, 0.1e9), LookupOutcome::Shutdown);
+        assert_eq!(r.served_misses(), 3);
+        // A reader bound to an unserved fingerprint misses on every call.
+        let mut wrong = svc.reader(8);
+        assert_eq!(
+            wrong.lookup_served(70.0, 0.1e9),
+            ServedLookup::NoCoveringTable
+        );
+        assert_eq!(wrong.served_misses(), 1);
     }
 
     #[test]

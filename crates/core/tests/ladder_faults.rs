@@ -1,0 +1,258 @@
+//! Deterministic fault-injection tests: one per fault class.
+//!
+//! Each test runs the [`LadderController`] through a seeded simulation
+//! with a single-class [`FaultCampaign`] episode and asserts the three
+//! ladder guarantees the fault-campaign bench enforces fleet-wide:
+//!
+//! * the fault lands on the **expected rung** (sensor faults that stay
+//!   finite are absorbed at full MPC; a NaN sensor or a forced solver
+//!   timeout degrades to the certified table rung; a corrupt artifact
+//!   degrades past the table to the guarded integral rung),
+//! * the ladder **recovers to full MPC** once the episode ends, and
+//! * the run completes with **zero temperature-cap violations** and zero
+//!   per-tick budget overruns.
+
+use protemp::{
+    AssignmentContext, ControlConfig, FreqMode, FrequencyAssignment, FrequencyTable,
+    LadderController, LadderRung, LadderTelemetry, TableService, TableStore,
+};
+use protemp_sim::{
+    run_simulation_with_faults, DfsPolicy, FaultCampaign, FaultClass, FirstIdle, Observation,
+    Platform, SimConfig, SimReport,
+};
+use protemp_workload::{BenchmarkProfile, TraceGenerator};
+
+/// Generous per-tick Newton deadline: normal windows finish far below it,
+/// so any overrun is a real budget-accounting bug.
+const TICK_BUDGET: usize = 2000;
+
+fn ctx() -> AssignmentContext {
+    AssignmentContext::new(&Platform::niagara8(), &ControlConfig::default()).expect("ctx")
+}
+
+/// A hand-built certified-style table whose hottest row (110 °C) covers
+/// every temperature the mild test workload can reach, with mild entries
+/// that can never heat the chip to the cap.
+fn safe_table() -> FrequencyTable {
+    let asg = |mhz: f64| {
+        Some(FrequencyAssignment {
+            freqs_hz: vec![mhz * 1e6; 8],
+            powers_w: vec![1.0; 8],
+            tgrad_c: None,
+            objective: 8.0,
+        })
+    };
+    FrequencyTable::new(
+        vec![70.0, 110.0],
+        vec![0.3e9, 0.8e9],
+        vec![asg(300.0), asg(800.0), asg(300.0), None],
+        FreqMode::Variable,
+    )
+}
+
+/// Runs the ladder over a light deterministic trace under `campaign`.
+fn run_ladder(campaign: Option<&FaultCampaign>) -> (SimReport, LadderTelemetry) {
+    let platform = Platform::niagara8();
+    let mut policy = LadderController::with_table(ctx(), safe_table(), TICK_BUDGET);
+    let trace = TraceGenerator::new(11).generate(&BenchmarkProfile::web_serving(), 3.0, 8);
+    let cfg = SimConfig {
+        max_duration_s: 4.0,
+        ..SimConfig::default()
+    };
+    let report = run_simulation_with_faults(
+        &platform,
+        &trace,
+        &mut policy,
+        &mut FirstIdle,
+        &cfg,
+        campaign,
+    )
+    .expect("simulation");
+    (report, policy.telemetry())
+}
+
+/// The guarantees every fault class must preserve.
+fn assert_safe_and_bounded(report: &SimReport, telemetry: &LadderTelemetry) {
+    assert_eq!(
+        report.violation_fraction, 0.0,
+        "zero temperature-cap violations under faults"
+    );
+    assert_eq!(report.cap_violation_fraction, 0.0);
+    assert_eq!(
+        telemetry.budget_overruns, 0,
+        "every tick within the Newton deadline (worst {})",
+        telemetry.max_tick_newton
+    );
+    assert!(telemetry.max_tick_newton <= TICK_BUDGET);
+    assert!(
+        !report.ladder_occupancy.is_empty(),
+        "ladder policy must report occupancy"
+    );
+}
+
+#[test]
+fn baseline_without_faults_stays_on_full_mpc() {
+    let (report, telemetry) = run_ladder(None);
+    assert_safe_and_bounded(&report, &telemetry);
+    assert_eq!(
+        report.ladder_occupancy[0], 1.0,
+        "healthy run never leaves rung 0: {:?}",
+        report.ladder_occupancy
+    );
+    assert_eq!(report.fault_recovery_ticks_p99, 0.0);
+    assert_eq!(report.dropped_ticks, 0);
+    assert_eq!(report.late_ticks, 0);
+    assert_eq!(report.clamped_power_samples, 0);
+}
+
+#[test]
+fn sensor_nan_degrades_to_table_rung_and_recovers() {
+    let campaign = FaultCampaign::single(FaultClass::SensorNan, 5, 2);
+    let (report, telemetry) = run_ladder(Some(&campaign));
+    assert_safe_and_bounded(&report, &telemetry);
+    assert_eq!(
+        telemetry.rung_counts[LadderRung::TablePolicy as usize],
+        2,
+        "both NaN windows served from the conservative table row: {:?}",
+        telemetry.rung_counts
+    );
+    // Recovery: the two-window degraded span closed (ladder back at MPC).
+    assert!(report.fault_recovery_ticks_p99 >= 1.0);
+    assert!(report.fault_recovery_ticks_p99 <= 4.0);
+    assert!(report.ladder_occupancy[0] > 0.5, "mostly full MPC");
+}
+
+#[test]
+fn sensor_stuck_is_absorbed_at_full_mpc() {
+    let campaign = FaultCampaign::single(FaultClass::SensorStuck, 5, 2);
+    let (report, telemetry) = run_ladder(Some(&campaign));
+    assert_safe_and_bounded(&report, &telemetry);
+    // A stuck reading stays finite: the solver handles it, never degrades.
+    assert_eq!(
+        report.ladder_occupancy[0], 1.0,
+        "stuck sensors absorbed at rung 0: {:?}",
+        telemetry.rung_counts
+    );
+}
+
+#[test]
+fn sensor_quantized_is_absorbed_at_full_mpc() {
+    let campaign = FaultCampaign::single(FaultClass::SensorQuantized, 5, 2);
+    let (report, telemetry) = run_ladder(Some(&campaign));
+    assert_safe_and_bounded(&report, &telemetry);
+    assert_eq!(report.ladder_occupancy[0], 1.0);
+}
+
+#[test]
+fn sensor_delayed_is_absorbed_at_full_mpc() {
+    let campaign = FaultCampaign::single(FaultClass::SensorDelayed, 5, 2);
+    let (report, telemetry) = run_ladder(Some(&campaign));
+    assert_safe_and_bounded(&report, &telemetry);
+    assert_eq!(report.ladder_occupancy[0], 1.0);
+}
+
+#[test]
+fn dropped_ticks_hold_frequencies_safely() {
+    let campaign = FaultCampaign::single(FaultClass::DroppedTick, 5, 2);
+    let (report, telemetry) = run_ladder(Some(&campaign));
+    assert_safe_and_bounded(&report, &telemetry);
+    assert_eq!(report.dropped_ticks, 2, "both episode windows dropped");
+    // The policy was simply not consulted on dropped windows.
+    assert_eq!(telemetry.ticks, report.windows - 2);
+}
+
+#[test]
+fn late_ticks_apply_the_decision_late_and_stay_safe() {
+    let campaign = FaultCampaign::single(FaultClass::LateTick, 5, 2);
+    let (report, telemetry) = run_ladder(Some(&campaign));
+    assert_safe_and_bounded(&report, &telemetry);
+    assert_eq!(report.late_ticks, 2);
+    assert_eq!(telemetry.ticks, report.windows, "late ticks still decide");
+}
+
+#[test]
+fn solver_timeout_degrades_to_table_then_recovers_to_full_mpc() {
+    let campaign = FaultCampaign::single(FaultClass::SolverTimeout, 5, 2);
+    let (report, telemetry) = run_ladder(Some(&campaign));
+    assert_safe_and_bounded(&report, &telemetry);
+    // The forced timeouts (plus their backoff tail) serve from the table.
+    assert!(
+        telemetry.rung_counts[LadderRung::TablePolicy as usize] >= 2,
+        "timeout windows served from the table: {:?}",
+        telemetry.rung_counts
+    );
+    assert!(telemetry.backoffs >= 1);
+    // Recovery: the degraded span closes within the backoff ramp.
+    assert!(report.fault_recovery_ticks_p99 >= 2.0);
+    assert!(report.fault_recovery_ticks_p99 <= 10.0);
+    assert!(report.ladder_occupancy[0] > 0.5);
+}
+
+#[test]
+fn corrupted_artifact_is_skipped_and_ladder_degrades_past_table() {
+    // A store whose only artifact is garbage: the startup scan must skip
+    // it (not fail), and the ladder must treat the service as empty —
+    // degrading past the table rung to the guarded integral baseline.
+    let dir = std::env::temp_dir().join(format!(
+        "protemp_ladder_corrupt_{}_{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = TableStore::new(&dir);
+    std::fs::write(store.table_path("bad"), b"definitely not a table").unwrap();
+    let service = TableService::open(&store).expect("open skips, not fails");
+    assert_eq!(service.skipped().len(), 1, "corrupt artifact reported");
+
+    let ctx = ctx();
+    let reader = service.reader(ctx.fingerprint());
+    let platform = Platform::niagara8();
+    let mut c = LadderController::with_service(ctx, reader, 0);
+    let obs = |w: u64| Observation {
+        window_index: w,
+        core_temps: vec![60.0; 8],
+        max_core_temp: 60.0,
+        required_avg_freq_hz: 0.4e9,
+        queue_len: 0,
+        backlog_work_us: 0.0,
+        utilization: vec![0.5; 8],
+    };
+    let _ = c.frequencies(&obs(0), &platform);
+    assert_eq!(c.last_rung(), LadderRung::FullMpc);
+    // A forced timeout must fall past the (empty) table straight to the
+    // integral rung.
+    c.inject_solver_timeout();
+    let f = c.frequencies(&obs(1), &platform);
+    assert_eq!(c.last_rung(), LadderRung::Integral);
+    assert!(f.iter().all(|x| x.is_finite() && *x >= 0.0));
+    assert!(c.telemetry().table_misses >= 1);
+    // Backoff window, still degraded.
+    let _ = c.frequencies(&obs(2), &platform);
+    assert_eq!(c.last_rung(), LadderRung::Integral);
+    // Backoff expired: full MPC again.
+    let _ = c.frequencies(&obs(3), &platform);
+    assert_eq!(c.last_rung(), LadderRung::FullMpc);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_campaign_all_classes_is_safe_and_returns_to_full_mpc() {
+    // The quick version of the bench's seeded campaign: every fault
+    // class, deterministic schedule, one run.
+    let campaign = FaultCampaign::seeded(0x0DDB0A7, &FaultClass::ALL, 25, 1);
+    assert_eq!(campaign.episodes().len(), FaultClass::ALL.len());
+    let (report, telemetry) = run_ladder(Some(&campaign));
+    assert_safe_and_bounded(&report, &telemetry);
+    // The ladder spends most of the run at full MPC and always gets back
+    // there after each episode.
+    assert!(
+        report.ladder_occupancy[0] > 0.5,
+        "occupancy {:?}",
+        report.ladder_occupancy
+    );
+    assert!(report.fault_recovery_ticks_p99 <= 12.0);
+}

@@ -594,6 +594,11 @@ pub(crate) struct Phase1Outcome {
     /// continuation (the verdict itself arrived earlier, via the centered
     /// duality-gap bound).
     pub(crate) polished: bool,
+    /// `true` when the run was cut off by the caller-supplied Newton
+    /// budget before either sound exit fired: the feasibility question is
+    /// *undecided*, not proven infeasible (`z` is `None`, `cert` is
+    /// `None`). Never set on the unbudgeted path.
+    pub(crate) budgeted: bool,
 }
 
 /// Result of a feasibility-only query
@@ -625,6 +630,12 @@ pub(crate) enum FlowVerdict {
         cert: Option<CertParts>,
         polished: bool,
     },
+    /// The deterministic tick budget ([`SolverOptions::tick_budget`]) ran
+    /// out before a certified verdict. `Some(run)` carries the truncated —
+    /// still strictly feasible — barrier iterate (reduced space); `None`
+    /// means the budget died inside phase I with the feasibility question
+    /// undecided.
+    Budgeted(Option<BarrierRun>),
 }
 
 /// The shared flow's result: verdict plus the iteration accounting.
@@ -674,6 +685,22 @@ pub(crate) fn solve_flow(
     let mut newton_total = 0;
     let mut phase1_steps = 0;
 
+    // Deterministic tick budget: remaining Newton steps across the whole
+    // flow (phase I + every centering). `None` = unbudgeted (the default
+    // path, bit-identical to the pre-budget flow: every `RunCtrl` below
+    // then carries exactly the caps it always carried). `run_barrier`
+    // returns from its budget check before any exit can fire, so a run
+    // that spent its entire effective budget is *exactly* a truncated run
+    // — `run.newton >= remaining` is the discriminator throughout.
+    let mut remaining: Option<usize> = (opts.tick_budget > 0).then_some(opts.tick_budget);
+    fn capped(base: Option<usize>, remaining: Option<usize>) -> Option<usize> {
+        match (base, remaining) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
     // Warm fast path: a strictly interior supplied point enters phase II
     // directly — the log barrier only needs positive slacks, and a
     // neighbouring optimum's active constraints carry slacks far below
@@ -695,7 +722,7 @@ pub(crate) fn solve_flow(
                 // that cheaply and fall back instead of grinding.
                 let t_start = estimate_warm_t0(opts, scratch, &dense, z0);
                 let ctrl = RunCtrl {
-                    newton_budget: Some(WARM_TRY_BUDGET),
+                    newton_budget: capped(Some(WARM_TRY_BUDGET), remaining),
                     ..RunCtrl::default()
                 };
                 let start = pool.take_from(z0);
@@ -710,6 +737,21 @@ pub(crate) fn solve_flow(
                         phase1_steps,
                     });
                 }
+                if remaining.is_some_and(|r| run.newton >= r) {
+                    // The tick budget (not the warm-try cap) was binding:
+                    // hand back the truncated iterate, which is still
+                    // strictly feasible (barrier iterates never leave the
+                    // interior).
+                    return Ok(FlowOutcome {
+                        verdict: FlowVerdict::Budgeted(Some(run)),
+                        outer: outer_total,
+                        newton: newton_total,
+                        phase1_steps,
+                    });
+                }
+                if let Some(r) = remaining.as_mut() {
+                    *r = r.saturating_sub(run.newton);
+                }
                 pool.put(run.x);
                 // Stalled: the point hugs a corner where phase II at
                 // t₀ would crawl for hundreds of steps. Hand it to the
@@ -721,11 +763,20 @@ pub(crate) fn solve_flow(
                 // Seed mode: phase II from the point at the configured
                 // t₀ (seeds are interior by construction).
                 let start = pool.take_from(z0);
-                let run = run_barrier(opts, scratch, &dense, start, opts.t0, RunCtrl::default())?;
+                let ctrl = RunCtrl {
+                    newton_budget: remaining,
+                    ..RunCtrl::default()
+                };
+                let run = run_barrier(opts, scratch, &dense, start, opts.t0, ctrl)?;
                 outer_total += run.outer;
                 newton_total += run.newton;
+                let verdict = if remaining.is_some_and(|r| run.newton >= r) {
+                    FlowVerdict::Budgeted(Some(run))
+                } else {
+                    FlowVerdict::Feasible(run)
+                };
                 return Ok(FlowOutcome {
-                    verdict: FlowVerdict::Feasible(run),
+                    verdict,
                     outer: outer_total,
                     newton: newton_total,
                     phase1_steps,
@@ -745,12 +796,37 @@ pub(crate) fn solve_flow(
         None => pool.take(nz),
     };
     if dense.num_ineq() > 0 && dense.max_violation(&z0) >= -opts.phase1_margin {
+        if remaining == Some(0) {
+            // Not a single Newton step left to decide feasibility: the
+            // verdict is undecided, not infeasible.
+            pool.put(z0);
+            return Ok(FlowOutcome {
+                verdict: FlowVerdict::Budgeted(None),
+                outer: outer_total,
+                newton: newton_total,
+                phase1_steps,
+            });
+        }
         let aug_storage = aug.get(proj, &mut aug_filled);
         let aug_view = aug_storage.view(&dense);
-        let p1 = phase1(opts, scratch, pool, &dense, &aug_view, &z0, reduced)?;
+        let p1 = phase1(
+            opts, scratch, pool, &dense, &aug_view, &z0, reduced, remaining,
+        )?;
         outer_total += p1.outer;
         newton_total += p1.newton;
         phase1_steps += p1.newton;
+        if let Some(r) = remaining.as_mut() {
+            *r = r.saturating_sub(p1.newton);
+        }
+        if p1.budgeted {
+            pool.put(z0);
+            return Ok(FlowOutcome {
+                verdict: FlowVerdict::Budgeted(None),
+                outer: outer_total,
+                newton: newton_total,
+                phase1_steps,
+            });
+        }
         match p1.z {
             Some(z_feas) => {
                 pool.put(z0);
@@ -780,10 +856,10 @@ pub(crate) fn solve_flow(
         // slack) costs a full cold climb on every link of a warm
         // chain. The attempt is budgeted exactly like the direct warm
         // fast path and falls back to the cold climb if it stalls.
-        if warm_origin {
+        if warm_origin && remaining != Some(0) {
             let t_start = estimate_warm_t0(opts, scratch, &dense, &z0);
             let ctrl = RunCtrl {
-                newton_budget: Some(WARM_TRY_BUDGET),
+                newton_budget: capped(Some(WARM_TRY_BUDGET), remaining),
                 ..RunCtrl::default()
             };
             let start = pool.take_from(&z0);
@@ -799,14 +875,55 @@ pub(crate) fn solve_flow(
                     phase1_steps,
                 });
             }
+            if remaining.is_some_and(|r| run.newton >= r) {
+                pool.put(z0);
+                return Ok(FlowOutcome {
+                    verdict: FlowVerdict::Budgeted(Some(run)),
+                    outer: outer_total,
+                    newton: newton_total,
+                    phase1_steps,
+                });
+            }
+            if let Some(r) = remaining.as_mut() {
+                *r = r.saturating_sub(run.newton);
+            }
             pool.put(run.x);
         }
     }
-    let run = run_barrier(opts, scratch, &dense, z0, opts.t0, RunCtrl::default())?;
+    if remaining == Some(0) {
+        // Phase I spent the whole budget certifying feasibility: return
+        // its strictly feasible point as the truncated answer instead of
+        // spending even one unbudgeted centering step.
+        let run = BarrierRun {
+            x: z0,
+            outer: 0,
+            newton: 0,
+            gap: f64::INFINITY,
+            t: opts.t0,
+            converged: false,
+            centered: false,
+        };
+        return Ok(FlowOutcome {
+            verdict: FlowVerdict::Budgeted(Some(run)),
+            outer: outer_total,
+            newton: newton_total,
+            phase1_steps,
+        });
+    }
+    let ctrl = RunCtrl {
+        newton_budget: remaining,
+        ..RunCtrl::default()
+    };
+    let run = run_barrier(opts, scratch, &dense, z0, opts.t0, ctrl)?;
     outer_total += run.outer;
     newton_total += run.newton;
+    let verdict = if remaining.is_some_and(|r| run.newton >= r) {
+        FlowVerdict::Budgeted(Some(run))
+    } else {
+        FlowVerdict::Feasible(run)
+    };
     Ok(FlowOutcome {
-        verdict: FlowVerdict::Feasible(run),
+        verdict,
         outer: outer_total,
         newton: newton_total,
         phase1_steps,
@@ -848,7 +965,9 @@ pub(crate) fn feasible_flow(
     let mut aug_filled = false;
     let aug_storage = aug.get(proj, &mut aug_filled);
     let aug_view = aug_storage.view(&dense);
-    let p1 = phase1(opts, scratch, pool, &dense, &aug_view, z0, reduced)?;
+    // Feasibility probes stay unbudgeted: frontier bisections need a real
+    // verdict, and their callers never run under a tick deadline.
+    let p1 = phase1(opts, scratch, pool, &dense, &aug_view, z0, reduced, None)?;
     if p1.z.is_some() {
         Ok(FeasFlow::Found(p1))
     } else {
@@ -906,6 +1025,13 @@ fn estimate_warm_t0(
 /// `reduced` marks an equality-eliminated problem: its projected rows
 /// are dense, so the box-harvesting Farkas exit can never fire and is
 /// skipped (the centered duality-gap exit still applies).
+///
+/// `budget` caps the total Newton steps (climb + polish together). A run
+/// cut off by the budget before either sound exit fires is reported with
+/// `budgeted: true` — the verdict is *undecided*, never misreported as
+/// certified infeasible. `None` (the default path) is exactly the
+/// historical unbudgeted behavior.
+#[allow(clippy::too_many_arguments)]
 fn phase1(
     opts: &SolverOptions,
     scratch: &mut SolverScratch,
@@ -914,6 +1040,7 @@ fn phase1(
     aug: &Dense<'_>,
     z0: &[f64],
     reduced: bool,
+    budget: Option<usize>,
 ) -> Result<Phase1Outcome> {
     let nz = dense.n;
 
@@ -955,12 +1082,14 @@ fn phase1(
     let ctrl = RunCtrl {
         early_exit: Some(&feasible_exit),
         bound_exit: Some(&infeasible_exit),
-        newton_budget: None,
+        newton_budget: budget,
     };
     let run = run_barrier(&p1_opts, scratch, aug, start, t0, ctrl);
     let outcome = match run {
         Err(e) => Err(e),
         Ok(run) if run.x[nz] < -margin => {
+            // Sound even when the run was budget-truncated: the final
+            // iterate itself certifies strict feasibility.
             let z = pool.take_from(&run.x[..nz]);
             let out = Phase1Outcome {
                 z: Some(z),
@@ -968,6 +1097,24 @@ fn phase1(
                 newton: run.newton,
                 cert: None,
                 polished: false,
+                budgeted: false,
+            };
+            pool.put(run.x);
+            Ok(out)
+        }
+        Ok(run) if budget.is_some_and(|b| run.newton >= b) => {
+            // The budget check returns before any exit can fire, so a
+            // run that spent it all ended by truncation: neither the
+            // feasible nor the infeasible proof materialized. Reporting
+            // this as `Infeasible` would be an unsound verdict — hand
+            // back "undecided" and let the caller degrade.
+            let out = Phase1Outcome {
+                z: None,
+                outer: run.outer,
+                newton: run.newton,
+                cert: None,
+                polished: false,
+                budgeted: true,
             };
             pool.put(run.x);
             Ok(out)
@@ -988,8 +1135,15 @@ fn phase1(
             // it must never overturn or error out a settled verdict.
             let mut final_run = run;
             let mut polished = false;
+            // Under a tick budget the polish may only spend what the
+            // climb left over, so the whole phase-I bill stays within
+            // the deterministic cap.
+            let polish_cap = match budget {
+                Some(b) => opts.polish_budget.min(b.saturating_sub(final_run.newton)),
+                None => opts.polish_budget,
+            };
             if !reduced
-                && opts.polish_budget > 0
+                && polish_cap > 0
                 && !phase1_infeas_check(dense, &final_run.x, &mut cert_ws.borrow_mut())
             {
                 // The box-grounded bound's slack is exactly the
@@ -1009,7 +1163,7 @@ fn phase1(
                 let pctrl = RunCtrl {
                     early_exit: None,
                     bound_exit: Some(&polish_exit),
-                    newton_budget: Some(opts.polish_budget),
+                    newton_budget: Some(polish_cap),
                 };
                 let pstart = pool.take_from(&final_run.x);
                 let polish_run =
@@ -1048,6 +1202,7 @@ fn phase1(
                 newton: final_run.newton,
                 cert,
                 polished,
+                budgeted: false,
             };
             pool.put(final_run.x);
             Ok(out)
@@ -1473,6 +1628,16 @@ impl BarrierSolver {
                     polished,
                 ))
             }
+            FlowVerdict::Budgeted(run) => Ok(assemble_budgeted(
+                prob,
+                &x_p,
+                f_basis.as_deref(),
+                run,
+                flow.outer,
+                flow.newton,
+                flow.phase1_steps,
+                rows_pruned,
+            )),
         }
     }
 
@@ -1813,6 +1978,42 @@ pub(crate) fn lift_into(x_p: &[f64], f_basis: Option<&Matrix>, z: &[f64], out: &
     }
 }
 
+/// Assembles a [`SolveStatus::Budgeted`] solution: the lifted truncated
+/// iterate (strictly feasible) when the budget died in a centering, the
+/// empty "undecided" marker when it died inside phase I.
+#[allow(clippy::too_many_arguments)]
+fn assemble_budgeted(
+    prob: &Problem,
+    x_p: &[f64],
+    f_basis: Option<&Matrix>,
+    run: Option<BarrierRun>,
+    outer_total: usize,
+    newton_total: usize,
+    phase1_steps: usize,
+    rows_pruned: usize,
+) -> Solution {
+    let (x, objective, gap) = match run {
+        Some(run) => {
+            let x = lift(x_p, f_basis, &run.x);
+            let objective = prob.objective_value(&x);
+            (x, objective, run.gap)
+        }
+        None => (Vec::new(), f64::INFINITY, f64::INFINITY),
+    };
+    Solution {
+        status: SolveStatus::Budgeted,
+        x,
+        objective,
+        outer_iterations: outer_total,
+        newton_steps: newton_total,
+        phase1_steps,
+        gap_bound: gap,
+        certificate: None,
+        rows_pruned,
+        polished: false,
+    }
+}
+
 /// Maps a reduced-space barrier run back to the original variables and
 /// wraps it as a [`Solution`].
 #[allow(clippy::too_many_arguments)]
@@ -2064,6 +2265,81 @@ mod tests {
         feasible.add_linear_le(vec![1.0], 2.0);
         feasible.add_linear_le(vec![-1.0], -1.0);
         assert!(!crate::check_certificate(&feasible, &cert));
+    }
+
+    #[test]
+    fn tick_budget_truncates_with_feasible_iterate() {
+        // The LP is feasible; a tiny deterministic budget must return a
+        // `Budgeted` status whose point is still strictly feasible, with
+        // the Newton bill never exceeding the budget.
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![-1.0, -2.0]);
+        p.add_linear_le(vec![1.0, 1.0], 4.0);
+        p.add_box(0, 0.0, 2.0);
+        p.add_box(1, 0.0, f64::INFINITY);
+        let budget = 5;
+        let opts = SolverOptions {
+            tick_budget: budget,
+            ..SolverOptions::default()
+        };
+        let s = BarrierSolver::new(opts).solve(&p).unwrap();
+        assert!(s.newton_steps <= budget, "bill {} > budget", s.newton_steps);
+        if s.status == SolveStatus::Budgeted && !s.x.is_empty() {
+            // Truncated mid-centering: the iterate must satisfy every
+            // constraint (barrier iterates never leave the interior).
+            assert!(s.x[0] + s.x[1] <= 4.0 + 1e-9);
+            assert!((0.0..=2.0 + 1e-9).contains(&s.x[0]));
+            assert!(s.x[1] >= -1e-9);
+            assert!(s.objective.is_finite());
+        } else {
+            // Phase I could not certify feasibility within the budget.
+            assert_eq!(s.status, SolveStatus::Budgeted);
+            assert!(s.x.is_empty());
+        }
+    }
+
+    #[test]
+    fn tick_budget_never_fakes_an_infeasibility_verdict() {
+        // A feasible problem whose phase I needs real work: with a
+        // one-step budget the verdict must be Budgeted (undecided), never
+        // a certified Infeasible.
+        let mut p = Problem::new(2);
+        p.set_linear_objective(vec![1.0, 1.0]);
+        p.add_linear_le(vec![1.0, 1.0], 4.0);
+        p.add_linear_le(vec![-1.0, -1.0], -3.9);
+        p.add_box(0, 0.0, 4.0);
+        p.add_box(1, 0.0, 4.0);
+        let opts = SolverOptions {
+            tick_budget: 1,
+            ..SolverOptions::default()
+        };
+        let s = BarrierSolver::new(opts).solve(&p).unwrap();
+        assert_ne!(s.status, SolveStatus::Infeasible);
+        assert!(s.newton_steps <= 1);
+        assert!(s.certificate.is_none());
+    }
+
+    #[test]
+    fn tick_budget_large_enough_is_bit_identical_to_unbudgeted() {
+        // A budget the solve never reaches must not change a single bit
+        // of the answer: the budgeted RunCtrl caps are inert until hit.
+        let mut p = Problem::new(2);
+        p.set_quadratic_objective(Matrix::from_diag(&[2.0, 2.0]), vec![-4.0, -4.0]);
+        p.add_linear_le(vec![1.0, 1.0], 2.0);
+        p.add_box(0, -5.0, 5.0);
+        p.add_box(1, -5.0, 5.0);
+        let plain = BarrierSolver::new(SolverOptions::default())
+            .solve(&p)
+            .unwrap();
+        let opts = SolverOptions {
+            tick_budget: 1_000_000,
+            ..SolverOptions::default()
+        };
+        let budgeted = BarrierSolver::new(opts).solve(&p).unwrap();
+        assert_eq!(plain.status, budgeted.status);
+        assert_eq!(plain.x, budgeted.x);
+        assert_eq!(plain.newton_steps, budgeted.newton_steps);
+        assert_eq!(plain.objective.to_bits(), budgeted.objective.to_bits());
     }
 
     #[test]

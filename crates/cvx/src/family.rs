@@ -291,6 +291,15 @@ impl FamilySolver {
         &self.opts
     }
 
+    /// Replaces the per-solve Newton budget
+    /// ([`SolverOptions::tick_budget`]) without touching the scratch or
+    /// the shared family — the one option a deadline-driven caller
+    /// retunes between solves to spread one tick's budget across several
+    /// probes. `0` disables the budget.
+    pub fn set_tick_budget(&mut self, budget: usize) {
+        self.opts.tick_budget = budget;
+    }
+
     /// Cumulative wall-clock seconds spent inside the per-cell
     /// row-reduction pass (`reduce_s` telemetry).
     pub fn reduce_seconds(&self) -> f64 {
@@ -458,6 +467,30 @@ impl FamilySolver {
                 // verified certificate actually materialized.
                 out.polished = polished && certificate.is_some();
                 out.certificate = certificate;
+            }
+            FlowVerdict::Budgeted(run) => {
+                out.status = SolveStatus::Budgeted;
+                out.certificate = None;
+                out.polished = false;
+                match run {
+                    Some(run) => {
+                        // Truncated but strictly feasible iterate: lift it
+                        // and price it exactly like the feasible path.
+                        lift_into(&family.x_p, family.f_basis.as_deref(), &run.x, &mut out.x);
+                        let quad = objective_quad(&family.proto, &out.x);
+                        let (_, proto_q0, c0) = family.proto.objective();
+                        let q0_full = objective.unwrap_or(proto_q0);
+                        out.objective = quad + vecops::dot(q0_full, &out.x) + c0;
+                        out.gap_bound = run.gap;
+                        self.pool.put(run.x);
+                    }
+                    None => {
+                        // Budget died in phase I: feasibility undecided.
+                        out.x.clear();
+                        out.objective = f64::INFINITY;
+                        out.gap_bound = f64::INFINITY;
+                    }
+                }
             }
         }
         Ok(&self.out)

@@ -12,12 +12,26 @@ pub enum SolveStatus {
     Infeasible,
     /// Outer iteration limit reached; the returned point is the best found.
     MaxIterations,
+    /// The deterministic tick budget ([`crate::SolverOptions::tick_budget`])
+    /// ran out before the solve reached a certified verdict. When the
+    /// budget died during centering the returned point is the truncated —
+    /// but still strictly feasible — barrier iterate; when it died inside
+    /// phase I before either exit fired the point is empty and the
+    /// feasibility verdict is undecided.
+    Budgeted,
 }
 
 impl SolveStatus {
     /// `true` when the solution can be used as an optimum.
     pub fn is_optimal(&self) -> bool {
         matches!(self, SolveStatus::Optimal)
+    }
+
+    /// `true` when the verdict is certified (a converged optimum or a
+    /// proven infeasibility) rather than truncated by an iteration limit
+    /// or the deterministic tick budget.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Infeasible)
     }
 }
 
@@ -27,6 +41,7 @@ impl std::fmt::Display for SolveStatus {
             SolveStatus::Optimal => "optimal",
             SolveStatus::Infeasible => "infeasible",
             SolveStatus::MaxIterations => "max-iterations",
+            SolveStatus::Budgeted => "budgeted",
         };
         f.write_str(s)
     }
@@ -98,8 +113,13 @@ mod tests {
     #[test]
     fn status_display_and_flags() {
         assert_eq!(SolveStatus::Optimal.to_string(), "optimal");
+        assert_eq!(SolveStatus::Budgeted.to_string(), "budgeted");
         assert!(SolveStatus::Optimal.is_optimal());
         assert!(!SolveStatus::Infeasible.is_optimal());
+        assert!(SolveStatus::Optimal.is_certified());
+        assert!(SolveStatus::Infeasible.is_certified());
+        assert!(!SolveStatus::MaxIterations.is_certified());
+        assert!(!SolveStatus::Budgeted.is_certified());
     }
 
     #[test]

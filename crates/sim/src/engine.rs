@@ -6,10 +6,11 @@ use rand::{Rng, SeedableRng};
 use protemp_thermal::{DiscreteModel, IntegrationMethod, ThermalSim};
 use protemp_workload::{Task, Trace};
 
+use crate::faults::FaultInjector;
 use crate::metrics::FreqResidency;
 use crate::{
-    AssignmentPolicy, BandOccupancy, DfsPolicy, Observation, Platform, Result, SimError, SimReport,
-    TimePoint, WaitingStats,
+    AssignmentPolicy, BandOccupancy, DfsPolicy, FaultCampaign, Observation, Platform, Result,
+    SimError, SimReport, TimePoint, WaitingStats,
 };
 
 /// Simulation parameters.
@@ -138,6 +139,34 @@ pub fn run_simulation(
     assign: &mut dyn AssignmentPolicy,
     cfg: &SimConfig,
 ) -> Result<SimReport> {
+    run_simulation_with_faults(platform, trace, policy, assign, cfg, None)
+}
+
+/// [`run_simulation`] with an optional deterministic fault campaign.
+///
+/// When `faults` is `None` this is bit-identical to [`run_simulation`] —
+/// every injection point is gated on the campaign's presence. When a
+/// campaign is supplied, sensor faults corrupt the *sensed* temperatures
+/// the policy observes (physics always advances on true temperatures),
+/// dropped ticks skip the policy call and hold frequencies, late ticks
+/// apply the decision a quarter-window late, and solver-timeout episodes
+/// call [`DfsPolicy::inject_solver_timeout`] before the decision.
+///
+/// Ladder telemetry ([`SimReport::ladder_occupancy`],
+/// [`SimReport::fault_recovery_ticks_p99`]) is recorded whenever the
+/// policy reports [`DfsPolicy::ladder_level`], faulted or not.
+///
+/// # Errors
+///
+/// Same contract as [`run_simulation`].
+pub fn run_simulation_with_faults(
+    platform: &Platform,
+    trace: &Trace,
+    policy: &mut dyn DfsPolicy,
+    assign: &mut dyn AssignmentPolicy,
+    cfg: &SimConfig,
+    faults: Option<&FaultCampaign>,
+) -> Result<SimReport> {
     cfg.validate()?;
     platform
         .validate()
@@ -197,6 +226,17 @@ pub fn run_simulation(
     let mut window_arrived_work_us = 0.0;
     let mut predicted_work_us = 0.0;
 
+    // Fault injection and degradation-ladder telemetry.
+    let mut injector: Option<FaultInjector<'_>> = faults.map(FaultInjector::new);
+    // Decision waiting to be applied (LateTick): frequencies + apply time.
+    let mut pending_freqs: Option<(Vec<f64>, u64)> = None;
+    let late_delay_us = ((window_us / 4) / cfg.dt_us).max(1) * cfg.dt_us;
+    let mut ladder_counts = [0u64; 5];
+    let mut ladder_samples = 0u64;
+    let mut degraded_span = 0u64;
+    let mut recovery_samples: Vec<u64> = Vec::new();
+    let mut clamped_power_samples = 0u64;
+
     let mut now_us: u64 = 0;
     let mut block_powers = vec![0.0; platform.num_blocks()];
 
@@ -204,7 +244,7 @@ pub fn run_simulation(
         // --- DFS decision at window boundaries (including t = 0).
         if now_us.is_multiple_of(window_us) {
             let temps = thermal.core_temps();
-            let sensed: Vec<f64> = temps
+            let mut sensed: Vec<f64> = temps
                 .iter()
                 .map(|&t| {
                     if cfg.sensor_noise_sd > 0.0 {
@@ -214,6 +254,10 @@ pub fn run_simulation(
                     }
                 })
                 .collect();
+            let nan_poisoned = match injector.as_mut() {
+                Some(inj) => inj.apply_sensor_faults(windows, &mut sensed),
+                None => false,
+            };
             // Update the arrival-work predictor from the window just ended.
             if now_us > 0 {
                 predicted_work_us = cfg.ewma_alpha * window_arrived_work_us
@@ -233,32 +277,83 @@ pub fn run_simulation(
             }
             let required = (platform.fmax_hz * demand_ratio).clamp(0.0, platform.fmax_hz);
 
-            let max_temp = sensed.iter().cloned().fold(f64::MIN, f64::max);
-            let obs = Observation {
-                window_index: windows,
-                core_temps: sensed,
-                max_core_temp: max_temp,
-                required_avg_freq_hz: required,
-                queue_len: queue.len(),
-                backlog_work_us: backlog,
-                utilization: cores.iter().map(|c| c.busy_us / window_us as f64).collect(),
-            };
-            let freqs = policy.frequencies(&obs, platform);
-            if freqs.len() != n_cores {
-                return Err(SimError::BadFrequencies {
-                    reason: format!("expected {} entries, got {}", n_cores, freqs.len()),
-                });
+            let dropped = injector.as_mut().is_some_and(|inj| inj.drop_tick(windows));
+            if dropped {
+                // The tick never happens: frequencies hold, the window's
+                // utilization accounting restarts.
+                for core in cores.iter_mut() {
+                    core.busy_us = 0.0;
+                }
+            } else {
+                // A NaN sensor must poison the headline reading explicitly:
+                // the `f64::max` fold silently drops NaN.
+                let max_temp = if nan_poisoned {
+                    f64::NAN
+                } else {
+                    sensed.iter().cloned().fold(f64::MIN, f64::max)
+                };
+                let obs = Observation {
+                    window_index: windows,
+                    core_temps: sensed,
+                    max_core_temp: max_temp,
+                    required_avg_freq_hz: required,
+                    queue_len: queue.len(),
+                    backlog_work_us: backlog,
+                    utilization: cores.iter().map(|c| c.busy_us / window_us as f64).collect(),
+                };
+                if injector
+                    .as_ref()
+                    .is_some_and(|inj| inj.solver_timeout(windows))
+                {
+                    policy.inject_solver_timeout();
+                }
+                let freqs = policy.frequencies(&obs, platform);
+                if freqs.len() != n_cores {
+                    return Err(SimError::BadFrequencies {
+                        reason: format!("expected {} entries, got {}", n_cores, freqs.len()),
+                    });
+                }
+                if freqs.iter().any(|f| !f.is_finite() || *f < 0.0) {
+                    return Err(SimError::BadFrequencies {
+                        reason: "frequencies must be finite and non-negative".to_string(),
+                    });
+                }
+                let late = injector.as_mut().is_some_and(|inj| inj.late_tick(windows));
+                if late {
+                    pending_freqs = Some((freqs, now_us + late_delay_us));
+                    for core in cores.iter_mut() {
+                        core.busy_us = 0.0;
+                    }
+                } else {
+                    for (i, (core, f)) in cores.iter_mut().zip(&freqs).enumerate() {
+                        core.freq_hz = f.min(platform.core_fmax(i));
+                        core.busy_us = 0.0;
+                    }
+                }
             }
-            if freqs.iter().any(|f| !f.is_finite() || *f < 0.0) {
-                return Err(SimError::BadFrequencies {
-                    reason: "frequencies must be finite and non-negative".to_string(),
-                });
-            }
-            for (i, (core, f)) in cores.iter_mut().zip(&freqs).enumerate() {
-                core.freq_hz = f.min(platform.core_fmax(i));
-                core.busy_us = 0.0;
+            if let Some(level) = policy.ladder_level() {
+                let rung = (level as usize).min(4);
+                ladder_counts[rung] += 1;
+                ladder_samples += 1;
+                if rung > 0 {
+                    degraded_span += 1;
+                } else if degraded_span > 0 {
+                    recovery_samples.push(degraded_span);
+                    degraded_span = 0;
+                }
             }
             windows += 1;
+        }
+
+        // --- Apply a late control decision once its delay elapses.
+        if let Some((freqs, at_us)) = pending_freqs.take() {
+            if now_us >= at_us {
+                for (i, (core, f)) in cores.iter_mut().zip(&freqs).enumerate() {
+                    core.freq_hz = f.min(platform.core_fmax(i));
+                }
+            } else {
+                pending_freqs = Some((freqs, at_us));
+            }
         }
 
         // --- Admit arrivals.
@@ -313,14 +408,27 @@ pub fn run_simulation(
 
         // --- Thermal step with the current power map.
         block_powers.copy_from_slice(thermal.network().uncore_power());
+        for p in block_powers.iter_mut() {
+            if !p.is_finite() || *p < 0.0 {
+                *p = 0.0;
+                clamped_power_samples += 1;
+            }
+        }
         for (i, core) in cores.iter().enumerate() {
-            let p = if core.freq_hz <= 0.0 {
+            let mut p = if core.freq_hz <= 0.0 {
                 0.0
             } else if core.running.is_some() {
                 platform.core_power_i(i, core.freq_hz)
             } else {
                 platform.idle_power_w
             };
+            // Guard the thermal model against a poisoned power sample: a
+            // non-finite or negative watt reading becomes 0 W and is
+            // counted, never integrated.
+            if !p.is_finite() || p < 0.0 {
+                p = 0.0;
+                clamped_power_samples += 1;
+            }
             block_powers[core_block_idx[i]] = p;
             core_energy_j += p * dt_s;
         }
@@ -382,6 +490,32 @@ pub fn run_simulation(
         bands_avg.merge(b);
     }
 
+    // Close an open degraded span so a run that ends off rung 0 still
+    // contributes a recovery sample.
+    if degraded_span > 0 {
+        recovery_samples.push(degraded_span);
+    }
+    let ladder_occupancy = if ladder_samples > 0 {
+        ladder_counts
+            .iter()
+            .map(|&c| c as f64 / ladder_samples as f64)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let fault_recovery_ticks_p99 = if recovery_samples.is_empty() {
+        0.0
+    } else {
+        recovery_samples.sort_unstable();
+        let idx = ((recovery_samples.len() as f64 * 0.99).ceil() as usize)
+            .clamp(1, recovery_samples.len())
+            - 1;
+        recovery_samples[idx] as f64
+    };
+    let (dropped_ticks, late_ticks) = injector
+        .as_ref()
+        .map_or((0, 0), |inj| (inj.dropped_ticks, inj.late_ticks));
+
     Ok(SimReport {
         policy: policy.name().to_string(),
         assignment: assign.name().to_string(),
@@ -412,6 +546,11 @@ pub fn run_simulation(
         core_energy_j,
         work_done_s: work_done_us / 1e6,
         freq_residency,
+        ladder_occupancy,
+        fault_recovery_ticks_p99,
+        dropped_ticks,
+        late_ticks,
+        clamped_power_samples,
         trace: trace_out,
     })
 }

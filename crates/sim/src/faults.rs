@@ -1,0 +1,358 @@
+//! Deterministic fault-injection campaigns for the simulator.
+//!
+//! A [`FaultCampaign`] is a seeded, fully reproducible schedule of fault
+//! episodes over DFS windows. The engine (via
+//! [`run_simulation_with_faults`](crate::run_simulation_with_faults))
+//! applies each active episode at the window boundary it covers:
+//! sensor faults corrupt the *sensed* temperature vector before the
+//! policy observes it (the physics always advances on true temperatures),
+//! tick faults drop or delay the control decision, and
+//! [`FaultClass::SolverTimeout`] asks the policy to pretend its solver
+//! blew the deadline via [`DfsPolicy::inject_solver_timeout`]
+//! (crate::DfsPolicy::inject_solver_timeout).
+//!
+//! Running with `None` for the campaign is bit-identical to
+//! [`run_simulation`](crate::run_simulation) — every injection point is
+//! gated on the campaign's presence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One class of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// A core's temperature sensor reads NaN; the observation's
+    /// `max_core_temp` is poisoned to NaN as well.
+    SensorNan,
+    /// All sensors freeze at the values they read when the episode began.
+    SensorStuck,
+    /// Sensors quantize downward to a coarse grid (4 °C steps) — the
+    /// dangerous direction: the controller sees the chip cooler than it is.
+    SensorQuantized,
+    /// Sensors report the previous window's readings (one-window latency).
+    SensorDelayed,
+    /// The control tick never happens: frequencies hold from last window.
+    DroppedTick,
+    /// The control decision is computed but applied a quarter-window late.
+    LateTick,
+    /// The policy is told its solver exceeded the tick deadline this
+    /// window (see `DfsPolicy::inject_solver_timeout`).
+    SolverTimeout,
+}
+
+impl FaultClass {
+    /// Every fault class, in schedule order.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::SensorNan,
+        FaultClass::SensorStuck,
+        FaultClass::SensorQuantized,
+        FaultClass::SensorDelayed,
+        FaultClass::DroppedTick,
+        FaultClass::LateTick,
+        FaultClass::SolverTimeout,
+    ];
+
+    /// Stable lowercase name (used in bench JSON and logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultClass::SensorNan => "sensor_nan",
+            FaultClass::SensorStuck => "sensor_stuck",
+            FaultClass::SensorQuantized => "sensor_quantized",
+            FaultClass::SensorDelayed => "sensor_delayed",
+            FaultClass::DroppedTick => "dropped_tick",
+            FaultClass::LateTick => "late_tick",
+            FaultClass::SolverTimeout => "solver_timeout",
+        }
+    }
+}
+
+/// A contiguous run of DFS windows during which one fault class is active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEpisode {
+    /// Which fault to inject.
+    pub class: FaultClass,
+    /// First DFS window (0-based) the fault covers.
+    pub start_window: u64,
+    /// Number of consecutive windows the fault stays active (≥ 1).
+    pub duration_windows: u64,
+}
+
+impl FaultEpisode {
+    /// Whether this episode covers `window`.
+    pub fn covers(&self, window: u64) -> bool {
+        window >= self.start_window && window < self.start_window + self.duration_windows
+    }
+}
+
+/// A deterministic schedule of fault episodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCampaign {
+    episodes: Vec<FaultEpisode>,
+}
+
+impl FaultCampaign {
+    /// Builds a campaign from an explicit episode list.
+    pub fn new(episodes: Vec<FaultEpisode>) -> Self {
+        FaultCampaign { episodes }
+    }
+
+    /// A single-episode campaign — convenient for per-class tests.
+    pub fn single(class: FaultClass, start_window: u64, duration_windows: u64) -> Self {
+        FaultCampaign {
+            episodes: vec![FaultEpisode {
+                class,
+                start_window,
+                duration_windows: duration_windows.max(1),
+            }],
+        }
+    }
+
+    /// Deterministic seeded campaign: `episodes_per_class` episodes of
+    /// every class in `classes`, with start windows spread over
+    /// `[1, horizon_windows)` and durations of 1–3 windows. The same
+    /// `(seed, classes, horizon_windows, episodes_per_class)` always
+    /// yields the same schedule.
+    pub fn seeded(
+        seed: u64,
+        classes: &[FaultClass],
+        horizon_windows: u64,
+        episodes_per_class: usize,
+    ) -> Self {
+        let horizon = horizon_windows.max(2);
+        let mut episodes = Vec::with_capacity(classes.len() * episodes_per_class);
+        for (ci, &class) in classes.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37 + ci as u64 * 0x1_0001));
+            for _ in 0..episodes_per_class {
+                let start = 1 + rng.next_u64() % (horizon - 1);
+                let duration = 1 + rng.next_u64() % 3;
+                episodes.push(FaultEpisode {
+                    class,
+                    start_window: start,
+                    duration_windows: duration,
+                });
+            }
+        }
+        episodes.sort_by_key(|e| (e.start_window, e.class.name()));
+        FaultCampaign { episodes }
+    }
+
+    /// The scheduled episodes.
+    pub fn episodes(&self) -> &[FaultEpisode] {
+        &self.episodes
+    }
+
+    /// Whether the campaign schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// Whether `class` is active at `window`.
+    pub fn active(&self, window: u64, class: FaultClass) -> bool {
+        self.episodes
+            .iter()
+            .any(|e| e.class == class && e.covers(window))
+    }
+
+    /// Last window any episode covers (0 for an empty campaign).
+    pub fn last_window(&self) -> u64 {
+        self.episodes
+            .iter()
+            .map(|e| e.start_window + e.duration_windows)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Mutable injector state the engine threads through a faulted run.
+#[derive(Debug)]
+pub(crate) struct FaultInjector<'a> {
+    campaign: &'a FaultCampaign,
+    /// Sensor values captured when a `SensorStuck` episode began.
+    stuck: Option<Vec<f64>>,
+    /// Previous window's true sensed values (for `SensorDelayed`).
+    last_sensed: Option<Vec<f64>>,
+    /// Windows whose control tick was dropped.
+    pub dropped_ticks: u64,
+    /// Windows whose control decision was applied late.
+    pub late_ticks: u64,
+}
+
+impl<'a> FaultInjector<'a> {
+    pub(crate) fn new(campaign: &'a FaultCampaign) -> Self {
+        FaultInjector {
+            campaign,
+            stuck: None,
+            last_sensed: None,
+            dropped_ticks: 0,
+            late_ticks: 0,
+        }
+    }
+
+    /// Applies all active sensor faults to `sensed` in place. Returns
+    /// `true` when the vector was poisoned with a NaN (the engine must
+    /// then poison `max_core_temp` explicitly — a plain `f64::max` fold
+    /// silently drops NaN).
+    pub(crate) fn apply_sensor_faults(&mut self, window: u64, sensed: &mut [f64]) -> bool {
+        let truth = sensed.to_vec();
+
+        if self.campaign.active(window, FaultClass::SensorDelayed) {
+            if let Some(prev) = &self.last_sensed {
+                sensed.copy_from_slice(prev);
+            }
+        }
+        if self.campaign.active(window, FaultClass::SensorStuck) {
+            match &self.stuck {
+                Some(held) => sensed.copy_from_slice(held),
+                None => self.stuck = Some(sensed.to_vec()),
+            }
+        } else {
+            self.stuck = None;
+        }
+        if self.campaign.active(window, FaultClass::SensorQuantized) {
+            for t in sensed.iter_mut() {
+                *t = (*t / 4.0).floor() * 4.0;
+            }
+        }
+        let mut poisoned = false;
+        if self.campaign.active(window, FaultClass::SensorNan) {
+            sensed[0] = f64::NAN;
+            poisoned = true;
+        }
+
+        self.last_sensed = Some(truth);
+        poisoned
+    }
+
+    /// Whether this window's control tick is dropped (counts it if so).
+    pub(crate) fn drop_tick(&mut self, window: u64) -> bool {
+        if self.campaign.active(window, FaultClass::DroppedTick) {
+            self.dropped_ticks += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether this window's decision lands late (counts it if so).
+    pub(crate) fn late_tick(&mut self, window: u64) -> bool {
+        if self.campaign.active(window, FaultClass::LateTick) {
+            self.late_ticks += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the policy should be told its solver timed out this window.
+    pub(crate) fn solver_timeout(&self, window: u64) -> bool {
+        self.campaign.active(window, FaultClass::SolverTimeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_campaign_is_deterministic() {
+        let a = FaultCampaign::seeded(7, &FaultClass::ALL, 40, 2);
+        let b = FaultCampaign::seeded(7, &FaultClass::ALL, 40, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.episodes().len(), FaultClass::ALL.len() * 2);
+        // Every class appears, starts stay inside the horizon.
+        for class in FaultClass::ALL {
+            assert!(a.episodes().iter().any(|e| e.class == class));
+        }
+        for e in a.episodes() {
+            assert!(e.start_window >= 1 && e.start_window < 40);
+            assert!((1..=3).contains(&e.duration_windows));
+        }
+        let c = FaultCampaign::seeded(8, &FaultClass::ALL, 40, 2);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn episode_coverage_and_activity() {
+        let camp = FaultCampaign::single(FaultClass::SensorStuck, 3, 2);
+        assert!(!camp.active(2, FaultClass::SensorStuck));
+        assert!(camp.active(3, FaultClass::SensorStuck));
+        assert!(camp.active(4, FaultClass::SensorStuck));
+        assert!(!camp.active(5, FaultClass::SensorStuck));
+        assert!(!camp.active(3, FaultClass::SensorNan));
+        assert_eq!(camp.last_window(), 5);
+    }
+
+    #[test]
+    fn stuck_sensor_holds_onset_values_then_releases() {
+        let camp = FaultCampaign::single(FaultClass::SensorStuck, 1, 2);
+        let mut inj = FaultInjector::new(&camp);
+        let mut w0 = vec![50.0, 60.0];
+        assert!(!inj.apply_sensor_faults(0, &mut w0));
+        let mut w1 = vec![55.0, 65.0];
+        inj.apply_sensor_faults(1, &mut w1);
+        assert_eq!(w1, vec![55.0, 65.0], "onset window captures, not alters");
+        let mut w2 = vec![70.0, 80.0];
+        inj.apply_sensor_faults(2, &mut w2);
+        assert_eq!(w2, vec![55.0, 65.0], "stuck at onset values");
+        let mut w3 = vec![71.0, 81.0];
+        inj.apply_sensor_faults(3, &mut w3);
+        assert_eq!(w3, vec![71.0, 81.0], "released after the episode");
+    }
+
+    #[test]
+    fn delayed_sensor_reports_previous_window() {
+        let camp = FaultCampaign::single(FaultClass::SensorDelayed, 1, 1);
+        let mut inj = FaultInjector::new(&camp);
+        let mut w0 = vec![50.0];
+        inj.apply_sensor_faults(0, &mut w0);
+        let mut w1 = vec![60.0];
+        inj.apply_sensor_faults(1, &mut w1);
+        assert_eq!(w1, vec![50.0], "one-window-old reading");
+    }
+
+    #[test]
+    fn quantized_rounds_down() {
+        let camp = FaultCampaign::single(FaultClass::SensorQuantized, 0, 1);
+        let mut inj = FaultInjector::new(&camp);
+        let mut w = vec![87.9, 92.0];
+        inj.apply_sensor_faults(0, &mut w);
+        assert_eq!(w, vec![84.0, 92.0]);
+    }
+
+    #[test]
+    fn nan_poisons_and_reports() {
+        let camp = FaultCampaign::single(FaultClass::SensorNan, 0, 1);
+        let mut inj = FaultInjector::new(&camp);
+        let mut w = vec![70.0, 71.0];
+        assert!(inj.apply_sensor_faults(0, &mut w));
+        assert!(w[0].is_nan());
+        assert_eq!(w[1], 71.0);
+    }
+
+    #[test]
+    fn tick_fault_counters() {
+        let camp = FaultCampaign::new(vec![
+            FaultEpisode {
+                class: FaultClass::DroppedTick,
+                start_window: 1,
+                duration_windows: 2,
+            },
+            FaultEpisode {
+                class: FaultClass::LateTick,
+                start_window: 4,
+                duration_windows: 1,
+            },
+        ]);
+        let mut inj = FaultInjector::new(&camp);
+        assert!(!inj.drop_tick(0));
+        assert!(inj.drop_tick(1));
+        assert!(inj.drop_tick(2));
+        assert!(!inj.drop_tick(3));
+        assert!(inj.late_tick(4));
+        assert!(!inj.late_tick(5));
+        assert_eq!(inj.dropped_ticks, 2);
+        assert_eq!(inj.late_ticks, 1);
+        assert!(!inj.solver_timeout(0));
+    }
+}

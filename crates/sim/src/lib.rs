@@ -40,14 +40,16 @@
 mod bands;
 mod engine;
 mod error;
+mod faults;
 mod machine;
 mod metrics;
 mod policy;
 mod scheduler;
 
 pub use bands::BandOccupancy;
-pub use engine::{run_simulation, SimConfig};
+pub use engine::{run_simulation, run_simulation_with_faults, SimConfig};
 pub use error::SimError;
+pub use faults::{FaultCampaign, FaultClass, FaultEpisode};
 pub use machine::Platform;
 pub use metrics::{FreqResidency, SimReport, TimePoint, WaitingStats};
 pub use policy::{BasicDfs, DfsPolicy, FixedFrequency, IntegralController, NoTc, Observation};

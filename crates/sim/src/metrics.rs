@@ -190,6 +190,21 @@ pub struct SimReport {
     pub work_done_s: f64,
     /// Per-core frequency-level residency.
     pub freq_residency: FreqResidency,
+    /// Fraction of DFS windows spent at each degradation-ladder rung
+    /// (index = rung: 0 full MPC … 4 shutdown). Empty when the policy does
+    /// not report a ladder level (see `DfsPolicy::ladder_level`).
+    pub ladder_occupancy: Vec<f64>,
+    /// 99th percentile of degraded-span lengths, in DFS windows: how long
+    /// the ladder stayed off rung 0 before recovering to full MPC. Zero
+    /// when the run never degraded (or the policy reports no ladder).
+    pub fault_recovery_ticks_p99: f64,
+    /// Control ticks dropped by fault injection.
+    pub dropped_ticks: u64,
+    /// Control decisions applied late by fault injection.
+    pub late_ticks: u64,
+    /// Power samples clamped to 0 W because they were non-finite or
+    /// negative (engine guard; always 0 on a healthy run).
+    pub clamped_power_samples: u64,
     /// Decimated temperature/frequency trajectory (when recording enabled).
     pub trace: Vec<TimePoint>,
 }

@@ -35,6 +35,20 @@ pub trait DfsPolicy {
 
     /// Returns the frequency (Hz) for each core for the next window.
     fn frequencies(&mut self, obs: &Observation, platform: &Platform) -> Vec<f64>;
+
+    /// The degradation-ladder rung the policy's *last* window ran on, for
+    /// policies that implement one (0 = full MPC solve … 4 = thermal-safe
+    /// shutdown; see `protemp::LadderController`). Policies without a
+    /// ladder report `None` and the simulator records no occupancy.
+    fn ladder_level(&self) -> Option<u8> {
+        None
+    }
+
+    /// Fault-injection hook: makes the policy's next window behave as if
+    /// its optimizer hit its deterministic tick budget (a forced solver
+    /// timeout). Default no-op — only ladder-style policies degrade on
+    /// it; the seeded fault campaigns drive it through the engine.
+    fn inject_solver_timeout(&mut self) {}
 }
 
 /// "No-TC": frequencies match application demand; temperature is ignored.
@@ -196,17 +210,24 @@ impl DfsPolicy for IntegralController {
             } else {
                 0.0
             };
+            let fmax_i = platform.core_fmax(i);
+            // Anti-windup: while the command is pinned at an actuator
+            // bound and the error keeps pushing *into* that bound, the
+            // plant cannot act on a larger gain — growing it anyway winds
+            // up authority that discharges as a frequency slam (and a
+            // temperature overshoot) when the error finally flips.
+            let saturated =
+                (self.commands[i] >= fmax_i && err > 0.0) || (self.commands[i] <= 0.0 && err < 0.0);
             // Adapt the gain: overshoot (sign flip) halves it, persistent
-            // error grows it.
+            // error grows it — but never while saturated.
             if sign != 0.0 && self.last_err_sign[i] != 0.0 {
                 if sign != self.last_err_sign[i] {
                     self.gains[i] = (0.5 * self.gains[i]).max(0.1 * self.base_gain);
-                } else {
+                } else if !saturated {
                     self.gains[i] = (1.1 * self.gains[i]).min(4.0 * self.base_gain);
                 }
             }
             self.last_err_sign[i] = sign;
-            let fmax_i = platform.core_fmax(i);
             self.commands[i] = (self.commands[i] + self.gains[i] * err).clamp(0.0, fmax_i);
             out.push(self.commands[i].min(demand));
         }
@@ -330,9 +351,11 @@ mod tests {
         assert_ne!(niagara.identity(), biglittle.identity());
 
         let mut c = IntegralController::new(99.0, 5.0e7);
-        // Ramp hard on niagara: grown gains, near-fmax commands.
+        // Ramp on niagara with a mild 1 °C error: the command climbs
+        // gently (no saturation, so anti-windup stays out of the way) and
+        // the persistent same-sign error grows the gain.
         for _ in 0..100 {
-            let _ = c.frequencies(&obs(vec![40.0; 8], 2.0e9), &niagara);
+            let _ = c.frequencies(&obs(vec![98.0; 8], 2.0e9), &niagara);
         }
         assert!(c.gains[0] > 5.0e7, "gain must have grown on niagara");
         let carried_gains = c.gains.clone();
@@ -357,6 +380,36 @@ mod tests {
         let _ = c.frequencies(&obs(vec![98.0; 8], 2.0e9), &biglittle);
         let _ = c.frequencies(&obs(vec![98.0; 8], 2.0e9), &biglittle);
         assert!(c.gains[0] > g_before[0], "same platform must not reset");
+    }
+
+    #[test]
+    fn integral_anti_windup_no_overshoot_after_saturation_burst() {
+        let p = Platform::niagara8();
+        let base = 5.0e7;
+        let mut c = IntegralController::new(99.0, base);
+        // Long cool burst: the command pins at the core clock on the very
+        // first window (59 °C of error dwarfs the clock range) and the
+        // actuator cannot follow the integrator any higher.
+        for _ in 0..200 {
+            let f = c.frequencies(&obs(vec![40.0; 8], 2.0e9), &p);
+            assert_eq!(f[0], p.core_fmax(0).min(2.0e9), "burst must saturate");
+        }
+        // Anti-windup: the gain must not have grown while pinned (the old
+        // behavior wound it up to 4× base over such a burst).
+        assert!(
+            c.gains[0] <= base,
+            "gain wound up during saturation: {}",
+            c.gains[0]
+        );
+        // A mild 1 °C overshoot after the burst: the correction is one
+        // (sign-flip-halved) base-gain step, not a 4×-wound-up slam.
+        let f = c.frequencies(&obs(vec![100.0; 8], 2.0e9), &p);
+        let dropped = p.core_fmax(0).min(2.0e9) - f[0];
+        assert!(dropped > 0.0, "hot chip must still back off");
+        assert!(
+            dropped <= base + 1.0,
+            "unwound gain must not overshoot: dropped {dropped} Hz on 1 °C of error"
+        );
     }
 
     #[test]
